@@ -1,0 +1,1 @@
+bin/e2ebench.ml: Arg Cmd Cmdliner E2e List Loadgen Printf Result Sim String Term

@@ -1,0 +1,1 @@
+bin/tune.ml: List Loadgen Printf Sim String Sys

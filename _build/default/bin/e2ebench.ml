@@ -1,0 +1,321 @@
+(* Command-line front end for single benchmark runs and sweeps.
+
+   Examples:
+     e2ebench run --rate 60 --nagle off
+     e2ebench run --rate 90 --nagle dynamic --policy slo:500
+     e2ebench run --rate 40 --unit hinted --set-ratio 0.95
+     e2ebench sweep --rates 10,40,70,100,130
+     e2ebench model --alpha 2 --beta 4 --client-cost 3 *)
+
+open Cmdliner
+
+let pf = Printf.printf
+
+(* {1 Shared options} *)
+
+let rate_arg =
+  let doc = "Offered load in kRPS." in
+  Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"KRPS" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let duration_arg =
+  let doc = "Measured duration in milliseconds (after warmup)." in
+  Arg.(value & opt int 300 & info [ "duration-ms" ] ~doc)
+
+let warmup_arg =
+  let doc = "Warmup in milliseconds (excluded from statistics)." in
+  Arg.(value & opt int 50 & info [ "warmup-ms" ] ~doc)
+
+let nagle_arg =
+  let doc = "Batching mode: on, off, dynamic, or aimd." in
+  Arg.(value & opt string "off" & info [ "nagle" ] ~docv:"MODE" ~doc)
+
+let policy_arg =
+  let doc = "Objective for dynamic mode: latency, throughput, slo, or slo:<us>." in
+  Arg.(value & opt string "slo" & info [ "policy" ] ~doc)
+
+let epsilon_arg =
+  let doc = "Exploration rate for dynamic mode." in
+  Arg.(value & opt float 0.05 & info [ "epsilon" ] ~doc)
+
+let unit_arg =
+  let doc = "Estimator message unit: bytes, packets, syscalls, or hinted." in
+  Arg.(value & opt string "bytes" & info [ "unit" ] ~doc)
+
+let value_size_arg =
+  let doc = "Value size in bytes (paper: 16384)." in
+  Arg.(value & opt int 16384 & info [ "value-size" ] ~doc)
+
+let set_ratio_arg =
+  let doc = "Fraction of SETs (paper: 1.0 for Fig 4a, 0.95 for Fig 4b)." in
+  Arg.(value & opt float 1.0 & info [ "set-ratio" ] ~doc)
+
+let vm_mult_arg =
+  let doc = "Client CPU cost multiplier (models the Figure-2 VM client)." in
+  Arg.(value & opt float 1.0 & info [ "vm-mult" ] ~doc)
+
+let exchange_arg =
+  let doc = "Metadata exchange: every, <microseconds>, or demand." in
+  Arg.(value & opt string "100" & info [ "exchange" ] ~doc)
+
+let conns_arg =
+  let doc = "Concurrent connections (estimates aggregated across them)." in
+  Arg.(value & opt int 1 & info [ "conns" ] ~doc)
+
+let tso_arg =
+  let doc = "Enable 64 KiB TCP segmentation offload." in
+  Arg.(value & flag & info [ "tso" ] ~doc)
+
+let loss_arg =
+  let doc = "Per-packet drop probability (enables congestion control)." in
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let parse_batching nagle policy epsilon =
+  match nagle with
+  | "on" -> Ok Loadgen.Runner.Static_on
+  | "off" -> Ok Loadgen.Runner.Static_off
+  | "aimd" -> Ok (Loadgen.Runner.Aimd_limit Loadgen.Runner.default_aimd)
+  | "dynamic" ->
+    Result.map
+      (fun policy ->
+        Loadgen.Runner.Dynamic { Loadgen.Runner.default_dynamic with policy; epsilon })
+      (E2e.Policy.of_string policy)
+  | other -> Error (Printf.sprintf "unknown batching mode %S" other)
+
+let parse_exchange = function
+  | "every" -> Ok E2e.Exchange.Every_segment
+  | "demand" -> Ok E2e.Exchange.On_demand
+  | us -> (
+    match int_of_string_opt us with
+    | Some us when us > 0 -> Ok (E2e.Exchange.Periodic (Sim.Time.us us))
+    | Some _ | None -> Error (Printf.sprintf "bad exchange spec %S" us))
+
+let build_config ?(conns = 1) ?(tso = false) ?(loss = 0.0) ~rate ~seed ~duration
+    ~warmup ~nagle ~policy ~epsilon ~unit_mode ~value_size ~set_ratio ~vm_mult
+    ~exchange () =
+  let ( let* ) = Result.bind in
+  let* batching = parse_batching nagle policy epsilon in
+  let* unit_mode = E2e.Units.of_string unit_mode in
+  let* exchange = parse_exchange exchange in
+  let* workload =
+    Loadgen.Workload.validate
+      { Loadgen.Workload.paper_set_only with value_size; set_ratio }
+  in
+  let base = Loadgen.Runner.default_config ~rate_rps:(rate *. 1e3) ~batching in
+  if loss < 0.0 || loss >= 1.0 then Error "loss must be in [0,1)"
+  else if conns < 1 then Error "conns must be at least 1"
+  else
+    Ok
+      {
+        base with
+        seed;
+        duration = Sim.Time.ms duration;
+        warmup = Sim.Time.ms warmup;
+        unit_mode;
+        exchange;
+        workload;
+        n_conns = conns;
+        tso;
+        loss_prob = loss;
+        cc = loss > 0.0;
+        client = { base.client with cpu_multiplier = vm_mult };
+      }
+
+let print_result (r : Loadgen.Runner.result) =
+  let opt = function None -> "-" | Some v -> Printf.sprintf "%.1f" v in
+  pf "offered load        : %.1f kRPS\n" (r.offered_rps /. 1e3);
+  pf "achieved throughput : %.1f kRPS (%d requests)\n" (r.achieved_rps /. 1e3) r.completed;
+  pf "measured latency    : mean %.1f us, p50 %.1f us, p99 %.1f us\n" r.measured_mean_us
+    r.measured_p50_us r.measured_p99_us;
+  pf "under 500us SLO     : %.1f%% of requests\n" (100.0 *. r.under_slo);
+  pf "estimated latency   : %s us (local %s / remote %s)\n" (opt r.estimated_us)
+    (opt r.estimated_local_us) (opt r.estimated_remote_us);
+  pf "hint-based estimate : %s us (server view %s us)\n" (opt r.hint_estimated_us)
+    (opt r.hint_server_estimated_us);
+  pf "CPU utilization     : client app %.0f%%, irq %.0f%% | server app %.0f%%, irq %.0f%%\n"
+    (100.0 *. r.client_app_util) (100.0 *. r.client_irq_util)
+    (100.0 *. r.server_app_util) (100.0 *. r.server_irq_util);
+  pf "packets             : %d (%.1f per request), server GRO merge %.1f\n" r.packets
+    r.packets_per_request r.server_gro_merge;
+  pf "server batching     : %.1f requests per wakeup (%d wakeups)\n" r.server_batch_mean
+    r.server_wakeups;
+  (match r.final_mode with
+  | Some m ->
+    pf "dynamic controller  : final mode %s, %d toggles\n" (E2e.Toggler.mode_to_string m)
+      r.nagle_toggles
+  | None -> ());
+  match r.final_batch_limit with
+  | Some l -> pf "AIMD batch limit    : %d bytes\n" l
+  | None -> ()
+
+(* {1 run} *)
+
+let run_cmd =
+  let action rate seed duration warmup nagle policy epsilon unit_mode value_size
+      set_ratio vm_mult exchange conns tso loss =
+    match
+      build_config ~conns ~tso ~loss ~rate ~seed ~duration ~warmup ~nagle ~policy
+        ~epsilon ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange ()
+    with
+    | Error e -> fail "%s" e
+    | Ok cfg ->
+      print_result (Loadgen.Runner.run cfg);
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ rate_arg $ seed_arg $ duration_arg $ warmup_arg $ nagle_arg
+       $ policy_arg $ epsilon_arg $ unit_arg $ value_size_arg $ set_ratio_arg
+       $ vm_mult_arg $ exchange_arg $ conns_arg $ tso_arg $ loss_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark point and print all metrics") term
+
+(* {1 sweep} *)
+
+let rates_arg =
+  let doc = "Comma-separated offered loads in kRPS." in
+  Arg.(value & opt string "10,40,70,100,130" & info [ "rates" ] ~doc)
+
+let sweep_cmd =
+  let action rates seed duration warmup unit_mode value_size set_ratio vm_mult =
+    let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' rates) in
+    if parsed = [] then fail "no valid rates in %S" rates
+    else begin
+      match
+        build_config ~rate:1.0 ~seed ~duration ~warmup ~nagle:"off" ~policy:"slo"
+          ~epsilon:0.05 ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange:"100" ()
+      with
+      | Error e -> fail "%s" e
+      | Ok base ->
+        let points =
+          Loadgen.Sweep.sweep ~base ~rates:(List.map (fun r -> r *. 1e3) parsed)
+        in
+        pf "%6s | %10s %10s | %10s %10s\n" "kRPS" "off-meas" "off-est" "on-meas" "on-est";
+        pf "%s\n" (String.make 58 '-');
+        List.iter
+          (fun (p : Loadgen.Sweep.point) ->
+            let est = function
+              | None -> "         -"
+              | Some v -> Printf.sprintf "%8.1fus" v
+            in
+            pf "%6.0f | %8.1fus %s | %8.1fus %s\n" (p.rate_rps /. 1e3)
+              p.off.measured_mean_us (est p.off.estimated_us) p.on.measured_mean_us
+              (est p.on.estimated_us))
+          points;
+        (match Loadgen.Sweep.cutoff_rps points with
+        | Some c -> pf "measured cutoff   : %.0f kRPS\n" (c /. 1e3)
+        | None -> pf "measured cutoff   : not in sweep\n");
+        (match Loadgen.Sweep.estimated_cutoff_rps points with
+        | Some c -> pf "estimated cutoff  : %.0f kRPS\n" (c /. 1e3)
+        | None -> pf "estimated cutoff  : not in sweep\n");
+        (match Loadgen.Sweep.range_extension ~slo_us:500.0 points with
+        | Some ext -> pf "SLO range ext.    : %.2fx\n" ext
+        | None -> ());
+        `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ rates_arg $ seed_arg $ duration_arg $ warmup_arg $ unit_arg
+       $ value_size_arg $ set_ratio_arg $ vm_mult_arg))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep offered load with Nagle on and off") term
+
+(* {1 trace} *)
+
+let trace_cmd =
+  let out = Arg.(value & opt string "workload.trace" & info [ "out" ] ~doc:"Output path.") in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~doc:"Trace file to replay.")
+  in
+  let action rate seed duration out replay value_size set_ratio =
+    match replay with
+    | Some path -> (
+      match Loadgen.Trace.load_file path with
+      | Error e -> fail "%s" e
+      | Ok entries -> (
+        match
+          build_config ~rate ~seed ~duration ~warmup:20 ~nagle:"off" ~policy:"slo"
+            ~epsilon:0.05 ~unit_mode:"bytes" ~value_size ~set_ratio ~vm_mult:1.0
+            ~exchange:"100" ()
+        with
+        | Error e -> fail "%s" e
+        | Ok cfg ->
+          pf "replaying %d requests spanning %s from %s\n"
+            (Loadgen.Trace.count entries)
+            (Sim.Time.to_string (Loadgen.Trace.duration entries))
+            path;
+          print_result (Loadgen.Runner.run { cfg with trace = Some entries });
+          `Ok ()))
+    | None -> (
+      match
+        Loadgen.Workload.validate
+          { Loadgen.Workload.paper_set_only with value_size; set_ratio }
+      with
+      | Error e -> fail "%s" e
+      | Ok workload -> (
+        let entries =
+          Loadgen.Trace.synthesize ~workload ~rate_rps:(rate *. 1e3)
+            ~duration:(Sim.Time.ms duration)
+            ~rng:(Sim.Rng.create ~seed)
+        in
+        match Loadgen.Trace.save_file out entries with
+        | Ok () ->
+          pf "wrote %d requests (%s) to %s\n" (Loadgen.Trace.count entries)
+            (Sim.Time.to_string (Loadgen.Trace.duration entries))
+            out;
+          `Ok ()
+        | Error e -> fail "%s" e))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ rate_arg $ seed_arg $ duration_arg $ out $ replay
+       $ value_size_arg $ set_ratio_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Synthesize a workload trace, or replay one with --replay FILE")
+    term
+
+(* {1 model} *)
+
+let model_cmd =
+  let alpha = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"Per-request cost.") in
+  let beta = Arg.(value & opt float 4.0 & info [ "beta" ] ~doc:"Per-batch cost.") in
+  let cost = Arg.(value & opt float 3.0 & info [ "client-cost" ] ~doc:"Client cost c.") in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Queued requests.") in
+  let action alpha beta client_cost n =
+    if n <= 0 || alpha < 0.0 || beta < 0.0 || client_cost < 0.0 then
+      fail "parameters must be non-negative (n positive)"
+    else begin
+      let p = { E2e.Batch_model.alpha; beta; client_cost; n } in
+      let b = E2e.Batch_model.batched p in
+      let u = E2e.Batch_model.unbatched p in
+      let show label (r : E2e.Batch_model.run) =
+        pf "%-10s avg latency %.2f, makespan %.2f, throughput %.3f\n" label r.avg_latency
+          r.makespan r.throughput
+      in
+      show "batched" b;
+      show "unbatched" u;
+      let v = E2e.Batch_model.compare p in
+      pf "batching %s latency, %s throughput\n"
+        (if v.batching_improves_latency then "improves" else "degrades")
+        (if v.batching_improves_throughput then "improves" else "degrades");
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const action $ alpha $ beta $ cost $ n)) in
+  Cmd.v (Cmd.info "model" ~doc:"Evaluate the Figure-1 analytic batching model") term
+
+let () =
+  let doc = "end-to-end-aware batching benchmarks (HotOS'25 reproduction)" in
+  let info = Cmd.info "e2ebench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; model_cmd; trace_cmd ]))

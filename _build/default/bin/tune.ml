@@ -1,0 +1,35 @@
+(* Scratch driver for calibrating the benchmark cost model and probing
+   configurations during development. *)
+
+let pf = Printf.printf
+
+let show label (r : Loadgen.Runner.result) =
+  pf
+    "%-4s rate=%6.1fk ach=%6.1fk mean=%9.1fus p99=%9.1fus est=%s hint=%s \
+     srv_app=%4.2f srv_irq=%4.2f cli_irq=%4.2f batch=%4.1f gro=%4.1f\n"
+    label (r.offered_rps /. 1e3) (r.achieved_rps /. 1e3) r.measured_mean_us
+    r.measured_p99_us
+    (match r.estimated_us with None -> "  n/a  " | Some e -> Printf.sprintf "%8.1f" e)
+    (match r.hint_estimated_us with None -> "  n/a  " | Some e -> Printf.sprintf "%8.1f" e)
+    r.server_app_util r.server_irq_util r.client_irq_util r.server_batch_mean
+    r.server_gro_merge
+
+let geti name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let () =
+  let n_conns = geti "CONNS" 1 in
+  let rates =
+    match Sys.getenv_opt "RATES" with
+    | Some r -> List.map (fun x -> float_of_string x *. 1e3) (String.split_on_char ',' r)
+    | None -> [ 10e3; 40e3; 70e3; 100e3; 130e3 ]
+  in
+  List.iter
+    (fun rate ->
+      let base = Loadgen.Runner.default_config ~rate_rps:rate ~batching:Loadgen.Runner.Static_off in
+      let base = { base with Loadgen.Runner.n_conns; warmup = Sim.Time.ms 50; duration = Sim.Time.ms 300 } in
+      let p = Loadgen.Sweep.run_pair ~base ~rate_rps:rate in
+      show "off" p.off;
+      show "on" p.on;
+      pf "\n")
+    rates

@@ -1,0 +1,1 @@
+examples/dynamic_toggle.ml: E2e Kv List Loadgen Printf Sim String Tcp

@@ -1,0 +1,1 @@
+examples/hints_vs_bytes.ml: List Loadgen Printf Sim String

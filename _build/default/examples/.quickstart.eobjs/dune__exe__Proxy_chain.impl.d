@@ -1,0 +1,1 @@
+examples/proxy_chain.ml: E2e Printf Queue Sim String Tcp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char E2e List Printf Sim String Tcp

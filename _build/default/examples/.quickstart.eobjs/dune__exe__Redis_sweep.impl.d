@@ -1,0 +1,1 @@
+examples/redis_sweep.ml: List Loadgen Printf Sim String

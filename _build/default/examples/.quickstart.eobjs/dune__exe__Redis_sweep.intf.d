@@ -1,0 +1,1 @@
+examples/redis_sweep.mli:

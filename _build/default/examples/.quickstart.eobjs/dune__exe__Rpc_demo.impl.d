@@ -1,0 +1,1 @@
+examples/rpc_demo.ml: Char E2e Printf Rpc Sim String Tcp

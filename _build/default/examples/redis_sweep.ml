@@ -1,0 +1,29 @@
+(* A miniature Figure-4a: sweep offered load on the Redis-like server
+   with Nagle on and off, print measured vs estimated latency and the
+   derived headline metrics.
+
+   Run with: dune exec examples/redis_sweep.exe *)
+
+let pf = Printf.printf
+
+let () =
+  let base = Loadgen.Runner.default_config ~rate_rps:0.0 ~batching:Loadgen.Runner.Static_off in
+  let base = { base with warmup = Sim.Time.ms 50; duration = Sim.Time.ms 200 } in
+  let rates = [ 10e3; 40e3; 70e3; 100e3; 130e3 ] in
+  pf "Workload: %s\n\n" (Loadgen.Workload.describe base.workload);
+  pf "%6s | %10s %10s | %10s %10s\n" "kRPS" "off-meas" "off-est" "on-meas" "on-est";
+  pf "%s\n" (String.make 60 '-');
+  let points = Loadgen.Sweep.sweep ~base ~rates in
+  List.iter
+    (fun (p : Loadgen.Sweep.point) ->
+      let est = function None -> "         -" | Some v -> Printf.sprintf "%8.1fus" v in
+      pf "%6.0f | %8.1fus %s | %8.1fus %s\n" (p.rate_rps /. 1e3)
+        p.off.measured_mean_us (est p.off.estimated_us) p.on.measured_mean_us
+        (est p.on.estimated_us))
+    points;
+  (match Loadgen.Sweep.cutoff_rps points with
+  | Some c -> pf "\nBatching starts to win at ~%.0f kRPS (measured)\n" (c /. 1e3)
+  | None -> pf "\nNo crossover inside this sweep\n");
+  match Loadgen.Sweep.range_extension ~slo_us:500.0 points with
+  | Some ext -> pf "Nagle extends the 500us-SLO range by %.2fx\n" ext
+  | None -> ()

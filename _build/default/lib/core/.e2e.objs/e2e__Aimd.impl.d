@@ -1,0 +1,1 @@
+lib/core/aimd.ml: Policy Stdlib

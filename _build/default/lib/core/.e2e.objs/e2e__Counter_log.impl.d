@@ -1,0 +1,1 @@
+lib/core/counter_log.ml: Exchange Latency List Queue_state Sim

@@ -1,0 +1,1 @@
+lib/core/counter_log.mli: Exchange Sim

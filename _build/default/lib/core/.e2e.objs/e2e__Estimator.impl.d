@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Exchange Latency Option Queue_state Sim

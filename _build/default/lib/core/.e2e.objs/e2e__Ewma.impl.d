@@ -1,0 +1,1 @@
+lib/core/ewma.ml: Float Option Sim

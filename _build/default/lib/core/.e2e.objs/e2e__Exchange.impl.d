@@ -1,0 +1,1 @@
+lib/core/exchange.ml: Bytes Format Printf Queue_state Sim String

@@ -1,0 +1,1 @@
+lib/core/exchange.mli: Format Queue_state Sim

@@ -1,0 +1,1 @@
+lib/core/hints.ml: Queue_state

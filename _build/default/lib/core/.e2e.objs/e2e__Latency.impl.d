@@ -1,0 +1,1 @@
+lib/core/latency.ml: Exchange Float Option Queue_state Sim

@@ -1,0 +1,1 @@
+lib/core/queue_state.ml: Format Sim

@@ -1,0 +1,1 @@
+lib/core/queue_state_fixed.ml: Queue_state Sim

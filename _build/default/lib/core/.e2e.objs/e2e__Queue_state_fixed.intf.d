@@ -1,0 +1,1 @@
+lib/core/queue_state_fixed.mli: Queue_state Sim

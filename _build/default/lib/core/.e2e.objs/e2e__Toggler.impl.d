@@ -1,0 +1,1 @@
+lib/core/toggler.ml: Ewma Format Policy Sim

@@ -1,0 +1,1 @@
+lib/core/toggler.mli: Format Policy Sim

@@ -1,0 +1,27 @@
+type input = { latency_ns : float option; throughput : float }
+
+type t = { latency_ns : float option; throughput : float; flows : int }
+
+let combine (inputs : input list) =
+  let weighted, weight, flows, throughput =
+    List.fold_left
+      (fun (acc, w, n, tp) (i : input) ->
+        let tp = tp +. i.throughput in
+        match i.latency_ns with
+        | Some l when i.throughput > 0.0 ->
+          (acc +. (l *. i.throughput), w +. i.throughput, n + 1, tp)
+        | Some _ | None -> (acc, w, n, tp))
+      (0.0, 0.0, 0, 0.0) inputs
+  in
+  {
+    latency_ns = (if weight > 0.0 then Some (weighted /. weight) else None);
+    throughput;
+    flows;
+  }
+
+let of_estimates estimates =
+  combine
+    (List.map
+       (fun (e : Estimator.estimate) : input ->
+         { latency_ns = e.latency_ns; throughput = e.throughput })
+       estimates)

@@ -1,0 +1,20 @@
+(** Cross-connection aggregation (§3.2).
+
+    "The above provides per-connection estimates, which can be averaged
+    if a batching policy simultaneously affects multiple connections."
+    Latencies are combined as a throughput-weighted mean (a message
+    picked at random across connections experiences the average);
+    throughputs add. *)
+
+type input = { latency_ns : float option; throughput : float }
+
+type t = {
+  latency_ns : float option;  (** weighted mean over contributing flows *)
+  throughput : float;  (** sum *)
+  flows : int;  (** inputs that contributed a latency estimate *)
+}
+
+val combine : input list -> t
+
+val of_estimates : Estimator.estimate list -> t
+(** Convenience over {!Estimator.estimate} results. *)

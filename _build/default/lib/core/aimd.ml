@@ -1,0 +1,44 @@
+type t = {
+  min_limit : int;
+  max_limit : int;
+  increase : int;
+  decrease : float;
+  mutable current : int;
+  mutable good : int;
+  mutable bad : int;
+}
+
+let create ?initial ~min_limit ~max_limit ~increase ~decrease () =
+  if min_limit <= 0 || max_limit < min_limit then
+    invalid_arg "Aimd.create: need 0 < min_limit <= max_limit";
+  if increase <= 0 then invalid_arg "Aimd.create: increase must be positive";
+  if decrease <= 0.0 || decrease >= 1.0 then
+    invalid_arg "Aimd.create: decrease must be in (0,1)";
+  let current =
+    match initial with
+    | None -> min_limit
+    | Some i ->
+      if i < min_limit || i > max_limit then
+        invalid_arg "Aimd.create: initial outside [min_limit, max_limit]";
+      i
+  in
+  { min_limit; max_limit; increase; decrease; current; good = 0; bad = 0 }
+
+let limit t = t.current
+
+let clamp t v = Stdlib.max t.min_limit (Stdlib.min t.max_limit v)
+
+let feedback t = function
+  | `Good ->
+    t.good <- t.good + 1;
+    t.current <- clamp t (t.current + t.increase);
+    t.current
+  | `Bad ->
+    t.bad <- t.bad + 1;
+    t.current <- clamp t (int_of_float (float_of_int t.current *. t.decrease));
+    t.current
+
+let good_rounds t = t.good
+let bad_rounds t = t.bad
+
+let with_slo ~slo_ns (o : Policy.outcome) = if o.latency_ns <= slo_ns then `Good else `Bad

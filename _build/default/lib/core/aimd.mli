@@ -1,0 +1,37 @@
+(** AIMD batch-limit controller (paper §5 "Better Batching Heuristics").
+
+    Instead of binary on/off toggling, gradually adjust a batching limit
+    (e.g. how many bytes to coalesce before transmitting) based on
+    observed end-to-end performance: additive increase while the
+    feedback is good, multiplicative decrease when it is bad — the
+    Chiu–Jain scheme that converges to an efficient, fair operating
+    point under changing conditions. *)
+
+type t
+
+val create :
+  ?initial:int ->
+  min_limit:int ->
+  max_limit:int ->
+  increase:int ->
+  decrease:float ->
+  unit ->
+  t
+(** [increase] is the additive step (same unit as the limit);
+    [decrease] is the multiplicative factor in (0, 1).  [initial]
+    defaults to [min_limit].
+    @raise Invalid_argument on an empty or inverted range, a
+    non-positive step, or a factor outside (0, 1). *)
+
+val limit : t -> int
+(** The current batching limit. *)
+
+val feedback : t -> [ `Good | `Bad ] -> int
+(** Apply one round of feedback; returns the new limit, clamped to
+    [min_limit, max_limit]. *)
+
+val good_rounds : t -> int
+val bad_rounds : t -> int
+
+val with_slo : slo_ns:float -> Policy.outcome -> [ `Good | `Bad ]
+(** Feedback adapter: good while measured latency meets the SLO. *)

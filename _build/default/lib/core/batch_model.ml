@@ -1,0 +1,70 @@
+type params = { alpha : float; beta : float; client_cost : float; n : int }
+
+let figure1_params ~client_cost = { alpha = 2.0; beta = 4.0; client_cost; n = 3 }
+
+type run = {
+  completions : float array;
+  avg_latency : float;
+  makespan : float;
+  throughput : float;
+}
+
+let check p =
+  if p.n <= 0 then invalid_arg "Batch_model: n must be positive";
+  if p.alpha < 0.0 || p.beta < 0.0 || p.client_cost < 0.0 then
+    invalid_arg "Batch_model: costs must be non-negative"
+
+let summarize completions =
+  let n = Array.length completions in
+  let sum = Array.fold_left ( +. ) 0.0 completions in
+  let makespan = Array.fold_left Float.max 0.0 completions in
+  {
+    completions;
+    avg_latency = sum /. float_of_int n;
+    makespan;
+    throughput = (if makespan > 0.0 then float_of_int n /. makespan else infinity);
+  }
+
+(* The client is a sequential pipeline: response [i] finishes
+   [client_cost] after both its server-side availability and the
+   completion of response [i-1]. *)
+let client_pipeline ~available ~client_cost =
+  let n = Array.length available in
+  let completions = Array.make n 0.0 in
+  let prev_done = ref 0.0 in
+  for i = 0 to n - 1 do
+    let start = Float.max available.(i) !prev_done in
+    completions.(i) <- start +. client_cost;
+    prev_done := completions.(i)
+  done;
+  completions
+
+let batched p =
+  check p;
+  let ready = (float_of_int p.n *. p.alpha) +. p.beta in
+  let available = Array.make p.n ready in
+  summarize (client_pipeline ~available ~client_cost:p.client_cost)
+
+let unbatched p =
+  check p;
+  let available =
+    Array.init p.n (fun i -> float_of_int (i + 1) *. (p.alpha +. p.beta))
+  in
+  summarize (client_pipeline ~available ~client_cost:p.client_cost)
+
+type verdict = {
+  batching_improves_latency : bool;
+  batching_improves_throughput : bool;
+}
+
+let compare p =
+  let b = batched p and u = unbatched p in
+  {
+    batching_improves_latency = b.avg_latency < u.avg_latency;
+    batching_improves_throughput = b.throughput > u.throughput;
+  }
+
+let scan_client_cost ~alpha ~beta ~n ~costs =
+  List.map
+    (fun client_cost -> (client_cost, compare { alpha; beta; client_cost; n }))
+    costs

@@ -1,0 +1,49 @@
+(** Analytic batching model (paper Figure 1).
+
+    [n] client requests are queued at the server at time 0.  Serving
+    one request and generating its response costs [alpha + beta], where
+    [alpha] is the per-request cost and [beta] the per-batch
+    (amortizable) cost: processing all [n] together costs
+    [n*alpha + beta]; processing individually costs [n*(alpha+beta)].
+    The client then spends a fixed [client_cost] ([c] in the paper)
+    processing each response, sequentially.
+
+    Depending on [c], batching improves both average latency and
+    throughput (c=1), degrades both (c=5), or trades one for the other
+    (c=3, with alpha=2, beta=4, n=3) — the paper's point that the same
+    server-side decision can land anywhere on the spectrum, driven by
+    client-side timing the server cannot see. *)
+
+type params = { alpha : float; beta : float; client_cost : float; n : int }
+
+val figure1_params : client_cost:float -> params
+(** The paper's constants: alpha = 2, beta = 4, n = 3. *)
+
+type run = {
+  completions : float array;
+      (** per-request completion times, in arrival order *)
+  avg_latency : float;  (** mean completion time (requests arrive at 0) *)
+  makespan : float;  (** completion time of the last request *)
+  throughput : float;  (** n / makespan *)
+}
+
+val batched : params -> run
+(** The server processes all [n] requests as one batch: every response
+    becomes available at [n*alpha + beta], then the client works
+    through them sequentially. *)
+
+val unbatched : params -> run
+(** The server processes requests one at a time (response [i] available
+    at [i*(alpha+beta)]); the client pipeline may or may not be the
+    bottleneck. *)
+
+type verdict = {
+  batching_improves_latency : bool;
+  batching_improves_throughput : bool;
+}
+
+val compare : params -> verdict
+
+val scan_client_cost : alpha:float -> beta:float -> n:int -> costs:float list ->
+  (float * verdict) list
+(** The Figure-1 sweep: how the batching verdict changes with [c]. *)

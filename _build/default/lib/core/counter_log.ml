@@ -1,0 +1,65 @@
+type entry = { at : Sim.Time.t; local : Exchange.triple; remote : Exchange.triple }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+
+let record t ~at ~local ~remote =
+  (match t.entries with
+  | last :: _ when Sim.Time.compare at last.at < 0 ->
+    invalid_arg "Counter_log.record: samples must be appended in time order"
+  | _ -> ());
+  t.entries <- { at; local; remote } :: t.entries
+
+let length t = List.length t.entries
+
+type sample = { at : Sim.Time.t; latency_ns : float option; throughput : float }
+
+let estimate_between (prev : entry) (cur : entry) =
+  let latency_local =
+    Latency.estimate_one_direction ~local_prev:prev.local ~local_cur:cur.local
+      ~remote_prev:prev.remote ~remote_cur:cur.remote
+  in
+  let latency_remote =
+    Latency.estimate_one_direction ~local_prev:prev.remote ~local_cur:cur.remote
+      ~remote_prev:prev.local ~remote_cur:cur.local
+  in
+  let throughput =
+    match
+      Queue_state.get_avgs ~prev:prev.local.Exchange.unacked
+        ~cur:cur.local.Exchange.unacked
+    with
+    | Some avgs -> avgs.throughput
+    | None -> 0.0
+  in
+  { at = cur.at; latency_ns = Latency.reconcile latency_local latency_remote; throughput }
+
+let series t =
+  let ordered = List.rev t.entries in
+  let rec go acc = function
+    | prev :: (cur :: _ as rest) -> go (estimate_between prev cur :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] ordered
+
+let overall t =
+  let ordered = List.rev t.entries in
+  match ordered with
+  | first :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    Some (estimate_between first last)
+  | [ _ ] | [] -> None
+
+let mean_latency_ns t =
+  (* Weight each interval's latency by its departures, so intervals
+     that carried more traffic count proportionally — equivalent to
+     one big window when the counters are exact. *)
+  let weighted, weight =
+    List.fold_left
+      (fun (acc, w) s ->
+        match s.latency_ns with
+        | Some l when s.throughput > 0.0 -> (acc +. (l *. s.throughput), w +. s.throughput)
+        | Some _ | None -> (acc, w))
+      (0.0, 0.0) (series t)
+  in
+  if weight > 0.0 then Some (weighted /. weight) else None

@@ -1,0 +1,37 @@
+(** Offline counter analysis — the paper's prototype methodology (§3.4).
+
+    The prototype does not exchange queue states in-band: it exports
+    the 3-tuples as ethtool counters, polls them periodically at both
+    ends, and derives latency estimates offline.  This module is that
+    pipeline: append counter dumps during a run, then replay GETAVGS
+    over consecutive dumps to obtain a latency/throughput time series
+    and its run-level aggregate. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> at:Sim.Time.t -> local:Exchange.triple -> remote:Exchange.triple -> unit
+(** Append one polling sample: both ends' counters read at
+    (approximately) the same instant, as the offline experiment
+    collects them.  Samples must be appended in time order.
+    @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+
+type sample = {
+  at : Sim.Time.t;  (** end of the interval *)
+  latency_ns : float option;  (** max of the two vantage points *)
+  throughput : float;  (** local unacked departures per second *)
+}
+
+val series : t -> sample list
+(** Per-interval estimates between consecutive dumps, oldest first. *)
+
+val overall : t -> sample option
+(** One estimate spanning the first to the last dump. *)
+
+val mean_latency_ns : t -> float option
+(** Departure-weighted mean of the per-interval latency estimates —
+    the number the offline analysis compares against the load
+    generator's measured mean. *)

@@ -1,0 +1,116 @@
+type t = {
+  unacked : Queue_state.t;
+  unread : Queue_state.t;
+  ackdelay : Queue_state.t;
+  mutable local_prev : Exchange.triple;
+  mutable remote_baseline : Exchange.triple option;
+  mutable remote_latest : Exchange.triple option;
+}
+
+let triple_at estim ~at : Exchange.triple =
+  {
+    unacked = Queue_state.snapshot estim.unacked ~at;
+    unread = Queue_state.snapshot estim.unread ~at;
+    ackdelay = Queue_state.snapshot estim.ackdelay ~at;
+  }
+
+let create ~at =
+  let unacked = Queue_state.create ~at in
+  let unread = Queue_state.create ~at in
+  let ackdelay = Queue_state.create ~at in
+  let zero : Queue_state.share = { time = at; total = 0; integral = 0.0 } in
+  let local_prev : Exchange.triple =
+    { unacked = zero; unread = zero; ackdelay = zero }
+  in
+  {
+    unacked;
+    unread;
+    ackdelay;
+    local_prev;
+    remote_baseline = None;
+    remote_latest = None;
+  }
+
+let track_unacked t ~at n = Queue_state.track t.unacked ~at n
+let track_unread t ~at n = Queue_state.track t.unread ~at n
+let track_ackdelay t ~at n = Queue_state.track t.ackdelay ~at n
+
+let unacked_size t = Queue_state.size t.unacked
+let unread_size t = Queue_state.size t.unread
+let ackdelay_size t = Queue_state.size t.ackdelay
+
+let local_snapshot t ~at = triple_at t ~at
+
+let ingest_remote t triple =
+  if t.remote_baseline = None then t.remote_baseline <- Some triple;
+  t.remote_latest <- Some triple
+
+let remote_window t =
+  match (t.remote_baseline, t.remote_latest) with
+  | Some prev, Some cur -> Some (prev, cur)
+  | _ -> None
+
+type estimate = {
+  latency_ns : float option;
+  latency_local_ns : float option;
+  latency_remote_ns : float option;
+  throughput : float;
+  window : Sim.Time.span;
+}
+
+let compute t ~at =
+  let local_cur = triple_at t ~at in
+  let local_prev = t.local_prev in
+  let window = Sim.Time.diff local_cur.unacked.time local_prev.unacked.time in
+  if window <= 0 then None
+  else begin
+    let local_comp = Latency.components_of_triples ~prev:local_prev ~cur:local_cur in
+    let remote_comp =
+      match remote_window t with
+      | None -> None
+      | Some (prev, cur) -> Latency.components_of_triples ~prev ~cur
+    in
+    let none_comp : Latency.components =
+      { unacked = None; unread = None; ackdelay = None }
+    in
+    let latency_local_ns =
+      match local_comp with
+      | None -> None
+      | Some local ->
+        Latency.combine ~local ~remote:(Option.value remote_comp ~default:none_comp)
+    in
+    let latency_remote_ns =
+      (* The peer's vantage point: its unacked/unread with our
+         ackdelay/unread subtracted or added symmetrically. *)
+      match remote_comp with
+      | None -> None
+      | Some remote ->
+        let local = Option.value local_comp ~default:none_comp in
+        Latency.combine ~local:remote ~remote:local
+    in
+    let throughput =
+      match Queue_state.get_avgs ~prev:local_prev.unacked ~cur:local_cur.unacked with
+      | Some avgs -> avgs.throughput
+      | None -> 0.0
+    in
+    let latency_ns = Latency.reconcile latency_local_ns latency_remote_ns in
+    Some
+      ({ latency_ns; latency_local_ns; latency_remote_ns; throughput; window },
+       local_cur)
+  end
+
+let estimate t ~at =
+  match compute t ~at with
+  | None -> None
+  | Some (est, local_cur) ->
+    t.local_prev <- local_cur;
+    (* The remote window advances too: the latest ingested share becomes
+       the next window's baseline, keeping the two vantage points'
+       windows aligned (modulo one network delay). *)
+    (match t.remote_latest with
+    | Some latest -> t.remote_baseline <- Some latest
+    | None -> ());
+    Some est
+
+let peek_estimate t ~at =
+  match compute t ~at with None -> None | Some (est, _) -> Some est

@@ -1,0 +1,70 @@
+(** Per-connection end-to-end performance estimator.
+
+    Owns the three local queue states of §3.2 (the network stack calls
+    {!track_unacked} & co. on every queue change, as the prototype's
+    kernel hooks do), ingests the peer's shared snapshots, and produces
+    windowed latency/throughput estimates.
+
+    Because both parties share all three queue states, either side can
+    compute the end-to-end latency from {e both} vantage points;
+    {!estimate} returns the maximum of the two (§3.2). *)
+
+type t
+
+val create : at:Sim.Time.t -> t
+
+(** {1 Local queue instrumentation} *)
+
+val track_unacked : t -> at:Sim.Time.t -> int -> unit
+(** Items entered (positive) or left via acknowledgment (negative) the
+    sent-unacknowledged queue. *)
+
+val track_unread : t -> at:Sim.Time.t -> int -> unit
+(** Items delivered to (positive) or read by the application from
+    (negative) the receive queue. *)
+
+val track_ackdelay : t -> at:Sim.Time.t -> int -> unit
+(** Items received but not yet acknowledged to the peer. *)
+
+val unacked_size : t -> int
+val unread_size : t -> int
+val ackdelay_size : t -> int
+
+(** {1 Sharing} *)
+
+val local_snapshot : t -> at:Sim.Time.t -> Exchange.triple
+(** The three 3-tuples to put on the wire. *)
+
+val ingest_remote : t -> Exchange.triple -> unit
+(** Record a snapshot received from the peer.  The remote measurement
+    window runs from the snapshot that was current at the last window
+    advance (see {!estimate}) to the latest one, mirroring the local
+    window. *)
+
+val remote_window : t -> (Exchange.triple * Exchange.triple) option
+(** The remote window bounds, oldest first. *)
+
+(** {1 Estimation} *)
+
+type estimate = {
+  latency_ns : float option;
+      (** max of the two vantage points, per §3.2 *)
+  latency_local_ns : float option;  (** as seen from this side *)
+  latency_remote_ns : float option;  (** as seen from the peer *)
+  throughput : float;
+      (** departures/s from the local unacked queue — messages this
+          side successfully pushed through in the window *)
+  window : Sim.Time.span;  (** local window length *)
+}
+
+val estimate : t -> at:Sim.Time.t -> estimate option
+(** Estimate over the window since the previous [estimate] call (or
+    creation).  The remote window is the span of shares ingested during
+    the same period; the paper accepts the slight skew between the two
+    ("Little's law estimates remain accurate regardless", §5).  Returns
+    [None] when the local window is empty.  Advances both windows: the
+    current local snapshot and the latest remote share become the new
+    baselines. *)
+
+val peek_estimate : t -> at:Sim.Time.t -> estimate option
+(** Same computation without advancing the window. *)

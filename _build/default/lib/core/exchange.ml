@@ -1,0 +1,113 @@
+type triple = {
+  unacked : Queue_state.share;
+  unread : Queue_state.share;
+  ackdelay : Queue_state.share;
+}
+
+let pp_triple ppf t =
+  Format.fprintf ppf "@[<h>unacked=%a unread=%a ackdelay=%a@]" Queue_state.pp_share
+    t.unacked Queue_state.pp_share t.unread Queue_state.pp_share t.ackdelay
+
+let wire_size = 36
+
+let mask32 = 0xFFFF_FFFF
+
+(* Per-counter wire representation: time in whole microseconds, total in
+   items, integral in item-microseconds, each modulo 2^32. *)
+let to_u32_time (t : Sim.Time.t) = Sim.Time.to_ns t / 1_000 land mask32
+let to_u32_integral integral = int_of_float (integral /. 1e3) land mask32
+
+let put_u32 buf off v =
+  Bytes.set_uint16_le buf off (v land 0xFFFF);
+  Bytes.set_uint16_le buf (off + 2) ((v lsr 16) land 0xFFFF)
+
+let get_u32 s off =
+  String.get_uint16_le s off lor (String.get_uint16_le s (off + 2) lsl 16)
+
+let encode_share buf off (s : Queue_state.share) =
+  put_u32 buf off (to_u32_time s.time);
+  put_u32 buf (off + 4) (s.total land mask32);
+  put_u32 buf (off + 8) (to_u32_integral s.integral)
+
+let decode_share s off : Queue_state.share =
+  {
+    time = Sim.Time.us (get_u32 s off);
+    total = get_u32 s (off + 4);
+    integral = float_of_int (get_u32 s (off + 8)) *. 1e3;
+  }
+
+let encode t =
+  let buf = Bytes.create wire_size in
+  encode_share buf 0 t.unacked;
+  encode_share buf 12 t.unread;
+  encode_share buf 24 t.ackdelay;
+  Bytes.unsafe_to_string buf
+
+let decode s =
+  if String.length s <> wire_size then
+    Error
+      (Printf.sprintf "Exchange.decode: expected %d bytes, got %d" wire_size
+         (String.length s))
+  else
+    Ok
+      {
+        unacked = decode_share s 0;
+        unread = decode_share s 12;
+        ackdelay = decode_share s 24;
+      }
+
+(* Reconstruct a monotone counter from its wrapped 32-bit value, given
+   the previous full-width value: advance by the wrapped delta. *)
+let unwrap_counter ~prev ~cur_wrapped =
+  let delta = (cur_wrapped - (prev land mask32)) land mask32 in
+  prev + delta
+
+let unwrap_share ~(prev : Queue_state.share) ~(cur : Queue_state.share) :
+    Queue_state.share =
+  let time_us =
+    unwrap_counter
+      ~prev:(Sim.Time.to_ns prev.time / 1_000)
+      ~cur_wrapped:(Sim.Time.to_ns cur.time / 1_000)
+  in
+  let total = unwrap_counter ~prev:prev.total ~cur_wrapped:cur.total in
+  let integral_us =
+    unwrap_counter
+      ~prev:(int_of_float (prev.integral /. 1e3))
+      ~cur_wrapped:(int_of_float (cur.integral /. 1e3))
+  in
+  { time = Sim.Time.us time_us; total; integral = float_of_int integral_us *. 1e3 }
+
+let unwrap ~prev ~cur =
+  {
+    unacked = unwrap_share ~prev:prev.unacked ~cur:cur.unacked;
+    unread = unwrap_share ~prev:prev.unread ~cur:cur.unread;
+    ackdelay = unwrap_share ~prev:prev.ackdelay ~cur:cur.ackdelay;
+  }
+
+type policy = Every_segment | Periodic of Sim.Time.span | On_demand
+
+type scheduler = {
+  policy : policy;
+  mutable last_sent : Sim.Time.t option;
+  mutable requested : bool;
+}
+
+let scheduler policy = { policy; last_sent = None; requested = false }
+
+let request s = s.requested <- true
+
+let should_attach s ~now =
+  let attach =
+    match s.policy with
+    | Every_segment -> true
+    | On_demand -> s.requested
+    | Periodic interval -> (
+      match s.last_sent with
+      | None -> true
+      | Some last -> Sim.Time.diff now last >= interval)
+  in
+  if attach then begin
+    s.last_sent <- Some now;
+    s.requested <- false
+  end;
+  attach

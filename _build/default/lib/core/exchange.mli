@@ -1,0 +1,54 @@
+(** Peer metadata exchange (paper §3.2 and §5).
+
+    Each party shares its three local queue states — unacked, unread,
+    ackdelay — as three 3-tuples of 4-byte counters: 36 bytes per
+    exchange.  The wire format truncates each counter to 32 bits
+    (microsecond time, item count, item-microsecond integral); receivers
+    reconstruct full-width values by unwrapping against the previously
+    received payload, exactly as TCP timestamps are handled. *)
+
+type triple = {
+  unacked : Queue_state.share;
+  unread : Queue_state.share;
+  ackdelay : Queue_state.share;
+}
+(** One side's three queue snapshots, all taken at the same instant. *)
+
+val pp_triple : Format.formatter -> triple -> unit
+
+(** {1 Wire codec} *)
+
+val wire_size : int
+(** 36: three queues times three 4-byte counters. *)
+
+val encode : triple -> string
+(** Serialize to the 36-byte option payload (little-endian u32s,
+    truncating each counter modulo 2{^32}). *)
+
+val decode : string -> (triple, string) result
+(** Decode a payload in isolation.  Counters are the raw (possibly
+    wrapped) 32-bit values; use {!unwrap} to reconstruct monotone
+    counters across successive payloads. *)
+
+val unwrap : prev:triple -> cur:triple -> triple
+(** Reconstruct full-width monotone counters for [cur] given the
+    previously unwrapped [prev], assuming each counter advanced by less
+    than 2{^32} between the two payloads. *)
+
+(** {1 Exchange scheduling (§5 "Metadata Exchange")} *)
+
+type policy =
+  | Every_segment  (** attach the option to every outgoing segment *)
+  | Periodic of Sim.Time.span  (** at most one exchange per interval *)
+  | On_demand  (** only when {!request} was called since the last send *)
+
+type scheduler
+
+val scheduler : policy -> scheduler
+val request : scheduler -> unit
+(** Ask for an exchange at the next transmission opportunity
+    (meaningful for [On_demand]). *)
+
+val should_attach : scheduler -> now:Sim.Time.t -> bool
+(** Decide whether the segment being built should carry the option;
+    when it returns [true] the scheduler records the send. *)

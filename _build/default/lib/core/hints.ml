@@ -1,0 +1,17 @@
+type t = Queue_state.t
+
+let tracker ~at = Queue_state.create ~at
+
+let create t ~at n =
+  if n < 0 then invalid_arg "Hints.create: negative count";
+  Queue_state.track t ~at n
+
+let complete t ~at n =
+  if n < 0 then invalid_arg "Hints.complete: negative count";
+  Queue_state.track t ~at (-n)
+
+let in_flight t = Queue_state.size t
+
+let share t ~at = Queue_state.snapshot t ~at
+
+let avgs ~prev ~cur = Queue_state.get_avgs ~prev ~cur

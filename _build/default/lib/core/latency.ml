@@ -1,0 +1,50 @@
+type components = {
+  unacked : float option;
+  unread : float option;
+  ackdelay : float option;
+}
+
+let queue_latency ~prev ~cur =
+  match Queue_state.get_avgs ~prev ~cur with
+  | None -> None
+  | Some avgs -> avgs.latency_ns
+
+let components_of_triples ~(prev : Exchange.triple) ~(cur : Exchange.triple) =
+  if Sim.Time.diff cur.unacked.time prev.unacked.time <= 0 then None
+  else
+    Some
+      {
+        unacked = queue_latency ~prev:prev.unacked ~cur:cur.unacked;
+        unread = queue_latency ~prev:prev.unread ~cur:cur.unread;
+        ackdelay = queue_latency ~prev:prev.ackdelay ~cur:cur.ackdelay;
+      }
+
+let combine ~local ~remote =
+  match local.unacked with
+  | None -> None
+  | Some unacked ->
+    let value_of = Option.value ~default:0.0 in
+    let l =
+      unacked
+      -. value_of remote.ackdelay
+      +. value_of local.unread
+      +. value_of remote.unread
+    in
+    Some (Float.max l 0.0)
+
+let estimate_one_direction ~local_prev ~local_cur ~remote_prev ~remote_cur =
+  match
+    ( components_of_triples ~prev:local_prev ~cur:local_cur,
+      components_of_triples ~prev:remote_prev ~cur:remote_cur )
+  with
+  | Some local, Some remote -> combine ~local ~remote
+  | Some local, None ->
+    (* Peer window empty: fall back to local-only terms. *)
+    combine ~local ~remote:{ unacked = None; unread = None; ackdelay = None }
+  | None, _ -> None
+
+let reconcile a b =
+  match (a, b) with
+  | Some x, Some y -> Some (Float.max x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None

@@ -1,0 +1,45 @@
+(** Combining per-queue delays into end-to-end latency (paper §3.2).
+
+    With [L_unacked] the delay of sent-but-unacknowledged messages,
+    [L_unread] the delay of received-but-unread messages, and
+    [L_ackdelay] the (virtual) delay of received-but-unacknowledged
+    messages, the paper derives (Figure 3):
+
+    {v L ~= L_unacked^local - L_ackdelay^remote
+          + L_unread^local + L_unread^remote v}
+
+    The [- L_ackdelay^remote] term removes the peer's deliberate
+    ack-delay from the unacked measurement, after which the residual
+    round trip approximates the two one-way journeys. *)
+
+type components = {
+  unacked : float option;
+  unread : float option;
+  ackdelay : float option;
+}
+(** Per-queue average delays (ns) over one measurement window; a queue
+    with no departures in the window contributes [None]. *)
+
+val components_of_triples :
+  prev:Exchange.triple -> cur:Exchange.triple -> components option
+(** Run Algorithm 2 on each of the three queues of a snapshot pair.
+    [None] when the window is empty. *)
+
+val combine : local:components -> remote:components -> float option
+(** The estimate above, clamped to non-negative.  [local.unacked] is
+    required (without departures from the unacked queue no message
+    completed a round trip, so there is nothing to estimate); the other
+    terms default to zero when absent. *)
+
+val estimate_one_direction :
+  local_prev:Exchange.triple ->
+  local_cur:Exchange.triple ->
+  remote_prev:Exchange.triple ->
+  remote_cur:Exchange.triple ->
+  float option
+(** End-to-end latency as seen from the [local] vantage point, from raw
+    snapshot pairs. *)
+
+val reconcile : float option -> float option -> float option
+(** The paper uses the maximum of the two sides' estimates "to account
+    for possible underestimations". *)

@@ -1,0 +1,56 @@
+(** Little's-law queue accounting (paper §3.1, Algorithms 1 and 2).
+
+    A queue's average delay is [D = Q / lambda] where [Q] is average
+    occupancy and [lambda] the departure rate.  Both derive from a
+    4-tuple state [(time, size, total, integral)] updated by {!track}
+    whenever items enter or leave, exactly as in Algorithm 1:
+
+    - [size]     — items currently in the queue;
+    - [total]    — cumulative items that have {e left} the queue;
+    - [integral] — time integral of [size] (item·ns);
+    - [time]     — instant of the last update.
+
+    {!get_avgs} (Algorithm 2) subtracts two 3-tuple snapshots to obtain
+    window averages: [Q = d_integral/d_time], [lambda = d_total/d_time],
+    [latency = Q/lambda = d_integral/d_total]. *)
+
+type t
+
+val create : at:Sim.Time.t -> t
+(** Empty queue state initialized at the given instant. *)
+
+val track : t -> at:Sim.Time.t -> int -> unit
+(** [track t ~at nitems] records that [nitems] entered (positive) or
+    left (negative) the queue at time [at] (Algorithm 1).  Updates must
+    not go backwards in time and must not drive [size] negative.
+    @raise Invalid_argument on either violation. *)
+
+val size : t -> int
+(** Current queue occupancy in items. *)
+
+val total : t -> int
+(** Cumulative departures. *)
+
+(** {1 Snapshots and window averages} *)
+
+type share = { time : Sim.Time.t; total : int; integral : float }
+(** The 3-tuple a peer shares (§3.1): [size] is deliberately omitted
+    because Algorithm 2 never uses it. *)
+
+val snapshot : t -> at:Sim.Time.t -> share
+(** Non-destructive snapshot with the integral advanced to [at]
+    (accounts for the current occupancy persisting since the last
+    {!track} call).  [at] must not precede the last update. *)
+
+type avgs = {
+  q_avg : float;  (** average occupancy over the window (items) *)
+  throughput : float;  (** departures per second *)
+  latency_ns : float option;  (** [None] when nothing departed *)
+}
+
+val get_avgs : prev:share -> cur:share -> avgs option
+(** Algorithm 2 over the window between two snapshots; [None] when the
+    window is empty or inverted. *)
+
+val pp_share : Format.formatter -> share -> unit
+val pp : Format.formatter -> t -> unit

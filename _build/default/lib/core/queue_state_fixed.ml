@@ -1,0 +1,43 @@
+type t = {
+  mutable time_us : int;
+  mutable size : int;
+  mutable total : int;
+  mutable integral_us : int;  (* item-microseconds *)
+}
+
+let us_of_ns ns = ns / 1_000
+
+let create ~at =
+  { time_us = us_of_ns (Sim.Time.to_ns at); size = 0; total = 0; integral_us = 0 }
+
+(* Pure microsecond arithmetic, exactly as a kernel counter clocked
+   from a µs source would run.  Each transition quantizes its interval
+   to whole microseconds, so the integral drifts from the exact value
+   by at most one item-µs per transition — negligible against the
+   multi-µs queueing delays being measured. *)
+let track t ~at nitems =
+  let at_us = us_of_ns (Sim.Time.to_ns at) in
+  if at_us < t.time_us then invalid_arg "Queue_state_fixed.track: time went backwards";
+  t.integral_us <- t.integral_us + (t.size * (at_us - t.time_us));
+  t.time_us <- at_us;
+  let nsize = t.size + nitems in
+  if nsize < 0 then invalid_arg "Queue_state_fixed.track: size would become negative";
+  t.size <- nsize;
+  if nitems < 0 then t.total <- t.total - nitems
+
+let size t = t.size
+let total t = t.total
+let integral_item_us t = t.integral_us
+
+let snapshot t ~at : Queue_state.share =
+  let at_us = us_of_ns (Sim.Time.to_ns at) in
+  if at_us < t.time_us then
+    invalid_arg "Queue_state_fixed.snapshot: time went backwards";
+  let integral_us = t.integral_us + (t.size * (at_us - t.time_us)) in
+  {
+    time = Sim.Time.us at_us;
+    total = t.total;
+    integral = float_of_int integral_us *. 1e3;
+  }
+
+let wire_triple_bytes = 12

@@ -1,0 +1,30 @@
+(** Integer-only queue state — the in-kernel form of Algorithm 1.
+
+    A kernel cannot use floating point, and the wire format carries
+    32-bit integers anyway (§3.2: three 4-byte counters per queue).
+    This variant maintains the same 4-tuple as {!Queue_state} with the
+    integral held in item-microseconds as a plain integer, matching
+    what the prototype's ethtool counters export.  {!Queue_state} (the
+    float version) is the reference; the two agree to within the
+    microsecond quantization, which the equivalence tests check. *)
+
+type t
+
+val create : at:Sim.Time.t -> t
+
+val track : t -> at:Sim.Time.t -> int -> unit
+(** Same contract as {!Queue_state.track}. *)
+
+val size : t -> int
+val total : t -> int
+
+val integral_item_us : t -> int
+(** The raw counter a kernel would expose. *)
+
+val snapshot : t -> at:Sim.Time.t -> Queue_state.share
+(** Interoperates with the float pipeline: the integral is widened
+    from item-µs to item-ns. *)
+
+val wire_triple_bytes : int
+(** 12: the per-queue wire footprint (time µs, total, integral item-µs,
+    each 32 bits) — one third of {!Exchange.wire_size}. *)

@@ -1,0 +1,72 @@
+type mode = Batch_on | Batch_off
+
+let mode_to_string = function Batch_on -> "on" | Batch_off -> "off"
+let pp_mode ppf m = Format.pp_print_string ppf (mode_to_string m)
+let flip = function Batch_on -> Batch_off | Batch_off -> Batch_on
+
+type arm = { latency : Ewma.t; throughput : Ewma.t; mutable samples : int }
+
+type t = {
+  epsilon : float;
+  min_observations : int;
+  policy : Policy.t;
+  rng : Sim.Rng.t;
+  on_arm : arm;
+  off_arm : arm;
+  mutable current : mode;
+}
+
+let make_arm alpha = { latency = Ewma.create ~alpha; throughput = Ewma.create ~alpha; samples = 0 }
+
+let create ?(epsilon = 0.05) ?(ewma_alpha = 0.3) ?(min_observations = 3) ~policy ~rng
+    ~initial () =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Toggler.create: epsilon must be in [0,1]";
+  if min_observations <= 0 then
+    invalid_arg "Toggler.create: min_observations must be positive";
+  {
+    epsilon;
+    min_observations;
+    policy;
+    rng;
+    on_arm = make_arm ewma_alpha;
+    off_arm = make_arm ewma_alpha;
+    current = initial;
+  }
+
+let arm t = function Batch_on -> t.on_arm | Batch_off -> t.off_arm
+
+let mode t = t.current
+
+let observe t ~mode (outcome : Policy.outcome) =
+  let a = arm t mode in
+  ignore (Ewma.update a.latency outcome.latency_ns);
+  ignore (Ewma.update a.throughput outcome.throughput);
+  a.samples <- a.samples + 1
+
+let observations t m = (arm t m).samples
+
+let smoothed t m : Policy.outcome option =
+  let a = arm t m in
+  match (Ewma.value a.latency, Ewma.value a.throughput) with
+  | Some latency_ns, Some throughput -> Some { latency_ns; throughput }
+  | _ -> None
+
+let decide t =
+  let other = flip t.current in
+  let next =
+    if (arm t other).samples < t.min_observations then
+      (* The other arm is under-sampled: explore it so exploitation has
+         something to compare against. *)
+      other
+    else if Sim.Rng.float t.rng < t.epsilon then other
+    else begin
+      match (smoothed t t.current, smoothed t other) with
+      | Some cur, Some oth -> if Policy.better t.policy oth cur then other else t.current
+      | Some _, None -> t.current
+      | None, Some _ -> other
+      | None, None -> t.current
+    end
+  in
+  t.current <- next;
+  next

@@ -1,0 +1,47 @@
+(** ε-greedy dynamic batching toggle (paper §5 "Dynamic Toggling").
+
+    The effect of flipping batching is unknown until tried — a classic
+    exploration/exploitation tradeoff — so the controller occasionally
+    runs the other mode ("a light method like ε-greedy will suffice").
+    Per-mode latency and throughput observations are EWMA-smoothed
+    (§5 "Toggling Granularity") and compared under a {!Policy.t}. *)
+
+type mode = Batch_on | Batch_off
+
+val mode_to_string : mode -> string
+val pp_mode : Format.formatter -> mode -> unit
+val flip : mode -> mode
+
+type t
+
+val create :
+  ?epsilon:float ->
+  ?ewma_alpha:float ->
+  ?min_observations:int ->
+  policy:Policy.t ->
+  rng:Sim.Rng.t ->
+  initial:mode ->
+  unit ->
+  t
+(** [epsilon] (default 0.05) is the exploration probability per
+    decision; [ewma_alpha] (default 0.3) smooths per-mode scores;
+    [min_observations] (default 3) is how many samples a mode needs
+    before its smoothed outcome is trusted (unexplored or stale modes
+    are explored first).
+    @raise Invalid_argument for [epsilon] outside [0, 1] or a
+    non-positive [min_observations]. *)
+
+val mode : t -> mode
+(** The mode currently in force. *)
+
+val observe : t -> mode:mode -> Policy.outcome -> unit
+(** Feed one measurement window's outcome for the mode that was active
+    during it. *)
+
+val observations : t -> mode -> int
+val smoothed : t -> mode -> Policy.outcome option
+
+val decide : t -> mode
+(** Pick the mode for the next window: explore with probability ε (or
+    when the other arm is unexplored), otherwise exploit the better
+    smoothed outcome.  Updates {!mode}. *)

@@ -1,0 +1,19 @@
+type t = Bytes | Packets | Syscalls | Hinted
+
+let all = [ Bytes; Packets; Syscalls; Hinted ]
+
+let to_string = function
+  | Bytes -> "bytes"
+  | Packets -> "packets"
+  | Syscalls -> "syscalls"
+  | Hinted -> "hinted"
+
+let of_string = function
+  | "bytes" -> Ok Bytes
+  | "packets" -> Ok Packets
+  | "syscalls" -> Ok Syscalls
+  | "hinted" -> Ok Hinted
+  | s -> Error (Printf.sprintf "unknown unit %S (expected bytes|packets|syscalls|hinted)" s)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = a = b

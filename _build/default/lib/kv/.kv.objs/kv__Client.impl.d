@@ -1,0 +1,1 @@
+lib/kv/client.ml: Command E2e Float Queue Resp Sim Tcp

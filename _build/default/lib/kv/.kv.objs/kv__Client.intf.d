@@ -1,0 +1,1 @@
+lib/kv/client.mli: Command E2e Resp Sim Tcp

@@ -1,0 +1,1 @@
+lib/kv/command.ml: List Printf Resp Result Sim Store String

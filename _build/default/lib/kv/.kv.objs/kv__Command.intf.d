@@ -1,0 +1,1 @@
+lib/kv/command.mli: Resp Sim Store

@@ -1,0 +1,1 @@
+lib/kv/resp.ml: Buffer Char Format List Option Printf Result String

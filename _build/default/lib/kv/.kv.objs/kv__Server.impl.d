@@ -1,0 +1,1 @@
+lib/kv/server.ml: Command List Resp Sim Store Tcp

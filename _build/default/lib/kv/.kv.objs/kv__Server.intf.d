@@ -1,0 +1,1 @@
+lib/kv/server.mli: Sim Store Tcp

@@ -1,0 +1,1 @@
+lib/kv/store.ml: Hashtbl List Option Result Sim String

@@ -1,0 +1,96 @@
+type config = {
+  send_cost : Sim.Time.span;
+  response_cost : Sim.Time.span;
+  cpu_multiplier : float;
+}
+
+let default_config = { send_cost = Sim.Time.us 1; response_cost = Sim.Time.us 2; cpu_multiplier = 1.0 }
+
+type pending = {
+  issued_at : Sim.Time.t;
+  on_complete : latency:Sim.Time.span -> Resp.value -> unit;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  socket : Tcp.Socket.t;
+  send_cost : Sim.Time.span;
+  response_cost : Sim.Time.span;
+  parser : Resp.Parser.t;
+  pending : pending Queue.t;
+  hints : E2e.Hints.t;
+  tail : Sim.Stats.P2.t;  (* online p99 without storing samples *)
+  mutable busy : bool;
+  mutable issued : int;
+  mutable completed : int;
+}
+
+let scale mult span =
+  int_of_float (Float.round (float_of_int span *. mult))
+
+let rec create engine ~cpu ~socket cfg =
+  if cfg.cpu_multiplier <= 0.0 then
+    invalid_arg "Client.create: cpu_multiplier must be positive";
+  let t =
+    {
+      engine;
+      cpu;
+      socket;
+      send_cost = scale cfg.cpu_multiplier cfg.send_cost;
+      response_cost = scale cfg.cpu_multiplier cfg.response_cost;
+      parser = Resp.Parser.create ();
+      pending = Queue.create ();
+      hints = E2e.Hints.tracker ~at:(Sim.Engine.now engine);
+      tail = Sim.Stats.P2.create ~q:0.99;
+      busy = false;
+      issued = 0;
+      completed = 0;
+    }
+  in
+  Tcp.Socket.set_hint_provider socket (fun ~at -> E2e.Hints.share t.hints ~at);
+  Tcp.Socket.on_readable socket (fun () -> wake t);
+  t
+
+(* The application read loop: pull everything off the socket, then
+   handle complete responses one at a time, charging [c] per response
+   on the client CPU before looking at the next one. *)
+and wake t = if not t.busy then process t
+
+and process t =
+  let avail = Tcp.Socket.recv_available t.socket in
+  if avail > 0 then Resp.Parser.feed t.parser (Tcp.Socket.recv t.socket avail);
+  match Resp.Parser.next t.parser with
+  | Error msg -> failwith ("kv client: protocol error: " ^ msg)
+  | Ok None -> ()
+  | Ok (Some reply) ->
+    let now = Sim.Engine.now t.engine in
+    let rec_ =
+      match Queue.take_opt t.pending with
+      | Some r -> r
+      | None -> failwith "kv client: response with no outstanding request"
+    in
+    let latency = Sim.Time.diff now rec_.issued_at in
+    t.completed <- t.completed + 1;
+    Sim.Stats.P2.add t.tail (float_of_int latency);
+    E2e.Hints.complete t.hints ~at:now 1;
+    rec_.on_complete ~latency reply;
+    t.busy <- true;
+    Sim.Cpu.run t.cpu ~cost:t.response_cost (fun () ->
+        t.busy <- false;
+        process t)
+
+let request t cmd ~on_complete =
+  let now = Sim.Engine.now t.engine in
+  t.issued <- t.issued + 1;
+  E2e.Hints.create t.hints ~at:now 1;
+  Queue.add { issued_at = now; on_complete } t.pending;
+  let wire = Resp.encode (Command.to_resp cmd) in
+  Sim.Cpu.run t.cpu ~cost:t.send_cost (fun () -> Tcp.Socket.send t.socket wire)
+
+let outstanding t = Queue.length t.pending
+let issued t = t.issued
+let completed t = t.completed
+let hint_tracker t = t.hints
+
+let p99_estimate_ns t = Sim.Stats.P2.value t.tail

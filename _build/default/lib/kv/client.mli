@@ -1,0 +1,49 @@
+(** The simulated Redis client (the load generator's endpoint).
+
+    Single-threaded like the paper's pinned Lancet thread: issuing a
+    request costs [send_cost] CPU, and each response costs
+    [response_cost] ([c] in Figure 1), processed strictly in order.
+    Request latency is measured from the {!request} call to the moment
+    the application gets around to reading the complete response off
+    the socket — so a response's own [c] is excluded, while head-of-
+    line delays behind earlier responses are included, matching the
+    paper's Figure-3 event definitions (events 1 to 10).
+
+    [cpu_multiplier] scales both costs, modeling the virtual-machine
+    client of Figure 2 whose processing is uniformly more expensive.
+
+    The client also maintains the §3.3 hint tracker ([create] on issue,
+    [complete] on response) and installs it as the socket's hint
+    provider. *)
+
+type config = {
+  send_cost : Sim.Time.span;
+  response_cost : Sim.Time.span;  (** [c] *)
+  cpu_multiplier : float;  (** 1.0 bare metal; >1 models a VM *)
+}
+
+val default_config : config
+(** 1 µs send, 2 µs response, multiplier 1. *)
+
+type t
+
+val create : Sim.Engine.t -> cpu:Sim.Cpu.t -> socket:Tcp.Socket.t -> config -> t
+
+val request :
+  t ->
+  Command.t ->
+  on_complete:(latency:Sim.Time.span -> Resp.value -> unit) ->
+  unit
+(** Issue one command; the callback fires when its response has been
+    read (before the response's own processing cost is charged). *)
+
+val outstanding : t -> int
+val issued : t -> int
+val completed : t -> int
+
+val hint_tracker : t -> E2e.Hints.t
+
+val p99_estimate_ns : t -> float option
+(** Online p99 latency tracked by a P² estimator in O(1) space — the
+    building block for the tail metrics the paper defers to future
+    work.  [None] before the fifth response. *)

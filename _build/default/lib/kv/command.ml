@@ -1,0 +1,205 @@
+type t =
+  | Ping
+  | Echo of string
+  | Set of { key : string; value : string; ttl : Sim.Time.span option }
+  | Get of string
+  | Del of string list
+  | Exists of string list
+  | Append of { key : string; value : string }
+  | Strlen of string
+  | Incr of string
+  | Decr of string
+  | Incrby of { key : string; delta : int }
+  | Mset of (string * string) list
+  | Mget of string list
+  | Setnx of { key : string; value : string }
+  | Getset of { key : string; value : string }
+  | Expire of { key : string; seconds : int }
+  | Ttl of string
+  | Dbsize
+  | Flushall
+  | Keys of string
+
+let name = function
+  | Ping -> "PING"
+  | Echo _ -> "ECHO"
+  | Set _ -> "SET"
+  | Get _ -> "GET"
+  | Del _ -> "DEL"
+  | Exists _ -> "EXISTS"
+  | Append _ -> "APPEND"
+  | Strlen _ -> "STRLEN"
+  | Incr _ -> "INCR"
+  | Decr _ -> "DECR"
+  | Incrby _ -> "INCRBY"
+  | Mset _ -> "MSET"
+  | Mget _ -> "MGET"
+  | Setnx _ -> "SETNX"
+  | Getset _ -> "GETSET"
+  | Expire _ -> "EXPIRE"
+  | Ttl _ -> "TTL"
+  | Dbsize -> "DBSIZE"
+  | Flushall -> "FLUSHALL"
+  | Keys _ -> "KEYS"
+
+let bulk s = Resp.Bulk (Some s)
+
+let to_resp t =
+  let parts =
+    match t with
+    | Ping -> [ "PING" ]
+    | Echo s -> [ "ECHO"; s ]
+    | Set { key; value; ttl = None } -> [ "SET"; key; value ]
+    | Set { key; value; ttl = Some span } ->
+      [ "SET"; key; value; "PX"; string_of_int (Sim.Time.to_ns span / 1_000_000) ]
+    | Get key -> [ "GET"; key ]
+    | Del keys -> "DEL" :: keys
+    | Exists keys -> "EXISTS" :: keys
+    | Append { key; value } -> [ "APPEND"; key; value ]
+    | Strlen key -> [ "STRLEN"; key ]
+    | Incr key -> [ "INCR"; key ]
+    | Decr key -> [ "DECR"; key ]
+    | Incrby { key; delta } -> [ "INCRBY"; key; string_of_int delta ]
+    | Mset pairs -> "MSET" :: List.concat_map (fun (k, v) -> [ k; v ]) pairs
+    | Mget keys -> "MGET" :: keys
+    | Setnx { key; value } -> [ "SETNX"; key; value ]
+    | Getset { key; value } -> [ "GETSET"; key; value ]
+    | Expire { key; seconds } -> [ "EXPIRE"; key; string_of_int seconds ]
+    | Ttl key -> [ "TTL"; key ]
+    | Dbsize -> [ "DBSIZE" ]
+    | Flushall -> [ "FLUSHALL" ]
+    | Keys pattern -> [ "KEYS"; pattern ]
+  in
+  Resp.Array (Some (List.map bulk parts))
+
+let request_bytes t = Resp.encoded_length (to_resp t)
+
+let strings_of_resp = function
+  | Resp.Array (Some items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Resp.Bulk (Some s) :: rest -> go (s :: acc) rest
+      | _ -> Result.Error "command arguments must be bulk strings"
+    in
+    go [] items
+  | _ -> Result.Error "command must be an array of bulk strings"
+
+let wrong_args cmd = Result.Error (Printf.sprintf "wrong number of arguments for '%s'" cmd)
+
+let parse_int_arg s ~what =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Result.Error (Printf.sprintf "%s is not an integer" what)
+
+let rec pairs_of = function
+  | [] -> Ok []
+  | k :: v :: rest -> Result.map (fun tail -> (k, v) :: tail) (pairs_of rest)
+  | [ _ ] -> Result.Error "wrong number of arguments for 'MSET'"
+
+let of_resp value =
+  match strings_of_resp value with
+  | Result.Error _ as e -> e
+  | Ok [] -> Result.Error "empty command"
+  | Ok (cmd :: args) -> (
+    match (String.uppercase_ascii cmd, args) with
+    | "PING", [] -> Ok Ping
+    | "PING", _ -> wrong_args "PING"
+    | "ECHO", [ s ] -> Ok (Echo s)
+    | "ECHO", _ -> wrong_args "ECHO"
+    | "SET", [ key; value ] -> Ok (Set { key; value; ttl = None })
+    | "SET", [ key; value; px; ms ] when String.uppercase_ascii px = "PX" ->
+      Result.map
+        (fun ms -> Set { key; value; ttl = Some (Sim.Time.ms ms) })
+        (parse_int_arg ms ~what:"PX value")
+    | "SET", [ key; value; ex; seconds ] when String.uppercase_ascii ex = "EX" ->
+      Result.map
+        (fun s -> Set { key; value; ttl = Some (Sim.Time.sec s) })
+        (parse_int_arg seconds ~what:"EX value")
+    | "SET", _ -> wrong_args "SET"
+    | "GET", [ key ] -> Ok (Get key)
+    | "GET", _ -> wrong_args "GET"
+    | "DEL", (_ :: _ as keys) -> Ok (Del keys)
+    | "DEL", [] -> wrong_args "DEL"
+    | "EXISTS", (_ :: _ as keys) -> Ok (Exists keys)
+    | "EXISTS", [] -> wrong_args "EXISTS"
+    | "APPEND", [ key; value ] -> Ok (Append { key; value })
+    | "APPEND", _ -> wrong_args "APPEND"
+    | "STRLEN", [ key ] -> Ok (Strlen key)
+    | "STRLEN", _ -> wrong_args "STRLEN"
+    | "INCR", [ key ] -> Ok (Incr key)
+    | "INCR", _ -> wrong_args "INCR"
+    | "DECR", [ key ] -> Ok (Decr key)
+    | "DECR", _ -> wrong_args "DECR"
+    | "INCRBY", [ key; delta ] ->
+      Result.map (fun delta -> Incrby { key; delta }) (parse_int_arg delta ~what:"delta")
+    | "INCRBY", _ -> wrong_args "INCRBY"
+    | "MSET", (_ :: _ as rest) -> Result.map (fun pairs -> Mset pairs) (pairs_of rest)
+    | "MSET", [] -> wrong_args "MSET"
+    | "MGET", (_ :: _ as keys) -> Ok (Mget keys)
+    | "MGET", [] -> wrong_args "MGET"
+    | "SETNX", [ key; value ] -> Ok (Setnx { key; value })
+    | "SETNX", _ -> wrong_args "SETNX"
+    | "GETSET", [ key; value ] -> Ok (Getset { key; value })
+    | "GETSET", _ -> wrong_args "GETSET"
+    | "EXPIRE", [ key; seconds ] ->
+      Result.map
+        (fun seconds -> Expire { key; seconds })
+        (parse_int_arg seconds ~what:"seconds")
+    | "EXPIRE", _ -> wrong_args "EXPIRE"
+    | "TTL", [ key ] -> Ok (Ttl key)
+    | "TTL", _ -> wrong_args "TTL"
+    | "DBSIZE", [] -> Ok Dbsize
+    | "DBSIZE", _ -> wrong_args "DBSIZE"
+    | "FLUSHALL", [] -> Ok Flushall
+    | "FLUSHALL", _ -> wrong_args "FLUSHALL"
+    | "KEYS", [ pattern ] -> Ok (Keys pattern)
+    | "KEYS", _ -> wrong_args "KEYS"
+    | other, _ -> Result.Error (Printf.sprintf "unknown command '%s'" other))
+
+let ok = Resp.Simple "OK"
+
+let execute store ~now t =
+  match t with
+  | Ping -> Resp.Simple "PONG"
+  | Echo s -> Resp.Bulk (Some s)
+  | Set { key; value; ttl } ->
+    Store.set store ~now ?ttl key value;
+    ok
+  | Get key -> Resp.Bulk (Store.get store ~now key)
+  | Del keys -> Resp.Integer (Store.delete store ~now keys)
+  | Exists keys -> Resp.Integer (Store.exists store ~now keys)
+  | Append { key; value } -> Resp.Integer (Store.append store ~now key value)
+  | Strlen key -> Resp.Integer (Store.strlen store ~now key)
+  | Incr key -> (
+    match Store.incr_by store ~now key 1 with
+    | Ok v -> Resp.Integer v
+    | Result.Error e -> Resp.Error ("ERR " ^ e))
+  | Decr key -> (
+    match Store.incr_by store ~now key (-1) with
+    | Ok v -> Resp.Integer v
+    | Result.Error e -> Resp.Error ("ERR " ^ e))
+  | Incrby { key; delta } -> (
+    match Store.incr_by store ~now key delta with
+    | Ok v -> Resp.Integer v
+    | Result.Error e -> Resp.Error ("ERR " ^ e))
+  | Mset pairs ->
+    List.iter (fun (k, v) -> Store.set store ~now k v) pairs;
+    ok
+  | Mget keys -> Resp.Array (Some (List.map (fun k -> Resp.Bulk (Store.get store ~now k)) keys))
+  | Setnx { key; value } -> Resp.Integer (if Store.setnx store ~now key value then 1 else 0)
+  | Getset { key; value } -> Resp.Bulk (Store.getset store ~now key value)
+  | Expire { key; seconds } ->
+    Resp.Integer (if Store.expire store ~now key ~ttl:(Sim.Time.sec seconds) then 1 else 0)
+  | Ttl key -> (
+    match Store.ttl store ~now key with
+    | `Missing -> Resp.Integer (-2)
+    | `No_ttl -> Resp.Integer (-1)
+    | `Ttl span -> Resp.Integer (Sim.Time.to_ns span / 1_000_000_000))
+  | Dbsize -> Resp.Integer (Store.size store ~now)
+  | Flushall ->
+    Store.flush store;
+    ok
+  | Keys pattern ->
+    Resp.Array
+      (Some
+         (List.map (fun k -> Resp.Bulk (Some k)) (Store.keys_matching store ~now ~pattern)))

@@ -1,0 +1,38 @@
+(** Redis command parsing, encoding, and execution. *)
+
+type t =
+  | Ping
+  | Echo of string
+  | Set of { key : string; value : string; ttl : Sim.Time.span option }
+  | Get of string
+  | Del of string list
+  | Exists of string list
+  | Append of { key : string; value : string }
+  | Strlen of string
+  | Incr of string
+  | Decr of string
+  | Incrby of { key : string; delta : int }
+  | Mset of (string * string) list
+  | Mget of string list
+  | Setnx of { key : string; value : string }
+  | Getset of { key : string; value : string }
+  | Expire of { key : string; seconds : int }
+  | Ttl of string
+  | Dbsize
+  | Flushall
+  | Keys of string
+
+val to_resp : t -> Resp.value
+(** Client-side encoding: the command as a RESP array of bulk strings,
+    exactly as redis-cli would send it. *)
+
+val of_resp : Resp.value -> (t, string) result
+(** Server-side decoding.  Command names are case-insensitive. *)
+
+val execute : Store.t -> now:Sim.Time.t -> t -> Resp.value
+(** Run against the store, producing the RESP reply. *)
+
+val name : t -> string
+
+val request_bytes : t -> int
+(** Wire size of the encoded request. *)

@@ -1,0 +1,179 @@
+type value =
+  | Simple of string
+  | Error of string
+  | Integer of int
+  | Bulk of string option
+  | Array of value list option
+
+let rec equal a b =
+  match (a, b) with
+  | Simple x, Simple y | Error x, Error y -> String.equal x y
+  | Integer x, Integer y -> x = y
+  | Bulk x, Bulk y -> Option.equal String.equal x y
+  | Array x, Array y -> Option.equal (List.equal equal) x y
+  | (Simple _ | Error _ | Integer _ | Bulk _ | Array _), _ -> false
+
+let rec pp ppf = function
+  | Simple s -> Format.fprintf ppf "+%s" s
+  | Error s -> Format.fprintf ppf "-%s" s
+  | Integer i -> Format.fprintf ppf ":%d" i
+  | Bulk None -> Format.pp_print_string ppf "(nil)"
+  | Bulk (Some s) ->
+    if String.length s <= 32 then Format.fprintf ppf "%S" s
+    else Format.fprintf ppf "<bulk:%d bytes>" (String.length s)
+  | Array None -> Format.pp_print_string ppf "(nil array)"
+  | Array (Some vs) ->
+    Format.fprintf ppf "[@[<h>%a@]]" (Format.pp_print_list ~pp_sep:(fun ppf () ->
+        Format.pp_print_string ppf "; ") pp) vs
+
+let rec encode_into buf = function
+  | Simple s ->
+    Buffer.add_char buf '+';
+    Buffer.add_string buf s;
+    Buffer.add_string buf "\r\n"
+  | Error s ->
+    Buffer.add_char buf '-';
+    Buffer.add_string buf s;
+    Buffer.add_string buf "\r\n"
+  | Integer i ->
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_string buf "\r\n"
+  | Bulk None -> Buffer.add_string buf "$-1\r\n"
+  | Bulk (Some s) ->
+    Buffer.add_char buf '$';
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_string buf "\r\n";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "\r\n"
+  | Array None -> Buffer.add_string buf "*-1\r\n"
+  | Array (Some vs) ->
+    Buffer.add_char buf '*';
+    Buffer.add_string buf (string_of_int (List.length vs));
+    Buffer.add_string buf "\r\n";
+    List.iter (encode_into buf) vs
+
+let encode v =
+  let buf = Buffer.create 64 in
+  encode_into buf v;
+  Buffer.contents buf
+
+let digits n = String.length (string_of_int n)
+
+let rec encoded_length = function
+  | Simple s | Error s -> 1 + String.length s + 2
+  | Integer i -> 1 + digits i + 2
+  | Bulk None -> 5
+  | Bulk (Some s) ->
+    let n = String.length s in
+    1 + digits n + 2 + n + 2
+  | Array None -> 5
+  | Array (Some vs) ->
+    List.fold_left (fun acc v -> acc + encoded_length v) (1 + digits (List.length vs) + 2)
+      vs
+
+module Parser = struct
+  type t = {
+    mutable buf : Buffer.t;
+    mutable pos : int;  (* consumed prefix of [buf] *)
+    mutable failed : string option;
+  }
+
+  let create () = { buf = Buffer.create 256; pos = 0; failed = None }
+
+  let feed t s = Buffer.add_string t.buf s
+
+  let buffered t = Buffer.length t.buf - t.pos
+
+  exception Incomplete
+  exception Bad of string
+
+  (* All parsing works on the buffer contents snapshot; [Incomplete]
+     aborts without consuming, so a later feed can retry. *)
+  let find_crlf s pos limit =
+    let rec go i =
+      if i + 1 >= limit then raise Incomplete
+      else if s.[i] = '\r' && s.[i + 1] = '\n' then i
+      else go (i + 1)
+    in
+    go pos
+
+  let parse_int s ~from ~until =
+    let negative = until > from && s.[from] = '-' in
+    let start = if negative then from + 1 else from in
+    if start >= until then raise (Bad "empty integer");
+    let acc = ref 0 in
+    for i = start to until - 1 do
+      match s.[i] with
+      | '0' .. '9' -> acc := (!acc * 10) + (Char.code s.[i] - Char.code '0')
+      | c -> raise (Bad (Printf.sprintf "bad digit %C in integer" c))
+    done;
+    if negative then - !acc else !acc
+
+  let rec parse s pos limit =
+    if pos >= limit then raise Incomplete;
+    let header_end = find_crlf s (pos + 1) limit in
+    let after = header_end + 2 in
+    match s.[pos] with
+    | '+' -> (Simple (String.sub s (pos + 1) (header_end - pos - 1)), after)
+    | '-' -> (Error (String.sub s (pos + 1) (header_end - pos - 1)), after)
+    | ':' -> (Integer (parse_int s ~from:(pos + 1) ~until:header_end), after)
+    | '$' ->
+      let n = parse_int s ~from:(pos + 1) ~until:header_end in
+      if n = -1 then (Bulk None, after)
+      else if n < 0 then raise (Bad "negative bulk length")
+      else if after + n + 2 > limit then raise Incomplete
+      else if not (s.[after + n] = '\r' && s.[after + n + 1] = '\n') then
+        raise (Bad "bulk payload not terminated by CRLF")
+      else (Bulk (Some (String.sub s after n)), after + n + 2)
+    | '*' ->
+      let n = parse_int s ~from:(pos + 1) ~until:header_end in
+      if n = -1 then (Array None, after)
+      else if n < 0 then raise (Bad "negative array length")
+      else begin
+        let items = ref [] in
+        let cursor = ref after in
+        for _ = 1 to n do
+          let v, next = parse s !cursor limit in
+          items := v :: !items;
+          cursor := next
+        done;
+        (Array (Some (List.rev !items)), !cursor)
+      end
+    | c -> raise (Bad (Printf.sprintf "unexpected type byte %C" c))
+
+  let compact t =
+    (* Reclaim consumed prefix once it dominates the buffer. *)
+    if t.pos > 4096 && t.pos * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      let fresh = Buffer.create (String.length rest + 256) in
+      Buffer.add_string fresh rest;
+      t.buf <- fresh;
+      t.pos <- 0
+    end
+
+  let next t =
+    match t.failed with
+    | Some msg -> Result.Error msg
+    | None -> (
+      let s = Buffer.contents t.buf in
+      let limit = String.length s in
+      match parse s t.pos limit with
+      | v, consumed ->
+        t.pos <- consumed;
+        compact t;
+        Ok (Some v)
+      | exception Incomplete -> Ok None
+      | exception Bad msg ->
+        t.failed <- Some msg;
+        Result.Error msg)
+end
+
+let parse_exactly s =
+  let p = Parser.create () in
+  Parser.feed p s;
+  match Parser.next p with
+  | Result.Error e -> Result.Error e
+  | Ok None -> Result.Error "incomplete value"
+  | Ok (Some v) ->
+    if Parser.buffered p <> 0 then Result.Error "trailing bytes after value" else Ok v

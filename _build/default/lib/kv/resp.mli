@@ -1,0 +1,41 @@
+(** RESP2 — the Redis serialization protocol.
+
+    Implemented for wire realism: the simulated Redis server and client
+    exchange genuine RESP traffic, so message sizes (and hence what
+    Nagle sees) match the paper's workload. *)
+
+type value =
+  | Simple of string  (** [+OK\r\n] *)
+  | Error of string  (** [-ERR ...\r\n] *)
+  | Integer of int  (** [:42\r\n] *)
+  | Bulk of string option  (** [$5\r\nhello\r\n]; [None] is the nil bulk *)
+  | Array of value list option  (** [*2\r\n...]; [None] is the nil array *)
+
+val equal : value -> value -> bool
+val pp : Format.formatter -> value -> unit
+
+val encode : value -> string
+
+val encoded_length : value -> int
+(** [String.length (encode v)] without building the string. *)
+
+(** Incremental parser for a TCP byte stream: feed arbitrary chunks,
+    pop complete values as they become available. *)
+module Parser : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> (value option, string) result
+  (** [Ok None] when the buffered bytes do not yet form a complete
+      value; [Error _] on protocol violations (parsing cannot continue
+      afterwards). *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed by returned values. *)
+end
+
+val parse_exactly : string -> (value, string) result
+(** Parse a string expected to contain exactly one value. *)

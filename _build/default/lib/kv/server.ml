@@ -1,0 +1,79 @@
+type config = { alpha : Sim.Time.span; beta : Sim.Time.span }
+
+let default_config = { alpha = Sim.Time.us 6; beta = Sim.Time.us 4 }
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  socket : Tcp.Socket.t;
+  store : Store.t;
+  cfg : config;
+  parser : Resp.Parser.t;
+  mutable busy : bool;
+  mutable served : int;
+  mutable wakeups : int;
+  mutable empty_wakeups : int;
+  batch_sizes : Sim.Stats.Summary.t;
+}
+
+let drain_requests t =
+  let rec go acc =
+    match Resp.Parser.next t.parser with
+    | Ok (Some value) -> (
+      match Command.of_resp value with
+      | Ok cmd -> go (cmd :: acc)
+      | Error msg -> failwith ("kv server: unparsable command: " ^ msg))
+    | Ok None -> List.rev acc
+    | Error msg -> failwith ("kv server: protocol error: " ^ msg)
+  in
+  go []
+
+let rec wake t = if not t.busy then process t
+
+and process t =
+  t.busy <- true;
+  t.wakeups <- t.wakeups + 1;
+  let avail = Tcp.Socket.recv_available t.socket in
+  if avail > 0 then Resp.Parser.feed t.parser (Tcp.Socket.recv t.socket avail);
+  let requests = drain_requests t in
+  let k = List.length requests in
+  if k = 0 then t.empty_wakeups <- t.empty_wakeups + 1
+  else Sim.Stats.Summary.add t.batch_sizes (float_of_int k);
+  let cost = t.cfg.beta + (k * t.cfg.alpha) in
+  Sim.Cpu.run t.cpu ~cost (fun () ->
+      let now = Sim.Engine.now t.engine in
+      List.iter
+        (fun cmd ->
+          let reply = Command.execute t.store ~now cmd in
+          t.served <- t.served + 1;
+          Tcp.Socket.send t.socket (Resp.encode reply))
+        requests;
+      t.busy <- false;
+      (* Data may have accumulated while we were processing. *)
+      if Tcp.Socket.recv_available t.socket > 0 then process t)
+
+let create engine ~cpu ~socket ?(store = Store.create ()) cfg =
+  if cfg.alpha < 0 || cfg.beta < 0 then invalid_arg "Server.create: negative costs";
+  let t =
+    {
+      engine;
+      cpu;
+      socket;
+      store;
+      cfg;
+      parser = Resp.Parser.create ();
+      busy = false;
+      served = 0;
+      wakeups = 0;
+      empty_wakeups = 0;
+      batch_sizes = Sim.Stats.Summary.create ();
+    }
+  in
+  Tcp.Socket.on_readable socket (fun () -> wake t);
+  t
+
+let store t = t.store
+let requests_served t = t.served
+let wakeups t = t.wakeups
+let empty_wakeups t = t.empty_wakeups
+let batch_sizes t = t.batch_sizes

@@ -1,0 +1,126 @@
+type entry = { value : string; expires_at : Sim.Time.t option }
+
+type t = { table : (string, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let alive ~now entry =
+  match entry.expires_at with
+  | None -> true
+  | Some deadline -> Sim.Time.compare now deadline < 0
+
+(* Lazy expiration: reap on access. *)
+let lookup t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+    if alive ~now entry then Some entry
+    else begin
+      Hashtbl.remove t.table key;
+      None
+    end
+
+let set t ~now ?ttl key value =
+  let expires_at = Option.map (fun span -> Sim.Time.add now span) ttl in
+  Hashtbl.replace t.table key { value; expires_at }
+
+let get t ~now key = Option.map (fun e -> e.value) (lookup t ~now key)
+
+let delete t ~now keys =
+  List.fold_left
+    (fun acc key ->
+      match lookup t ~now key with
+      | Some _ ->
+        Hashtbl.remove t.table key;
+        acc + 1
+      | None -> acc)
+    0 keys
+
+let exists t ~now keys =
+  List.fold_left
+    (fun acc key -> match lookup t ~now key with Some _ -> acc + 1 | None -> acc)
+    0 keys
+
+let append t ~now key suffix =
+  let current, expires_at =
+    match lookup t ~now key with
+    | Some e -> (e.value, e.expires_at)
+    | None -> ("", None)
+  in
+  let value = current ^ suffix in
+  Hashtbl.replace t.table key { value; expires_at };
+  String.length value
+
+let strlen t ~now key =
+  match lookup t ~now key with Some e -> String.length e.value | None -> 0
+
+let incr_by t ~now key delta =
+  let current =
+    match lookup t ~now key with
+    | Some e -> int_of_string_opt e.value
+    | None -> Some 0
+  in
+  match current with
+  | None -> Result.Error "value is not an integer or out of range"
+  | Some v ->
+    let v = v + delta in
+    let expires_at =
+      match lookup t ~now key with Some e -> e.expires_at | None -> None
+    in
+    Hashtbl.replace t.table key { value = string_of_int v; expires_at };
+    Ok v
+
+let setnx t ~now key value =
+  match lookup t ~now key with
+  | Some _ -> false
+  | None ->
+    set t ~now key value;
+    true
+
+let getset t ~now key value =
+  let previous = get t ~now key in
+  set t ~now key value;
+  previous
+
+let expire t ~now key ~ttl =
+  match lookup t ~now key with
+  | None -> false
+  | Some e ->
+    Hashtbl.replace t.table key { e with expires_at = Some (Sim.Time.add now ttl) };
+    true
+
+let ttl t ~now key =
+  match lookup t ~now key with
+  | None -> `Missing
+  | Some { expires_at = None; _ } -> `No_ttl
+  | Some { expires_at = Some deadline; _ } -> `Ttl (Sim.Time.diff deadline now)
+
+let size t ~now =
+  Hashtbl.fold (fun _ e acc -> if alive ~now e then acc + 1 else acc) t.table 0
+
+let flush t = Hashtbl.reset t.table
+
+(* Glob matching with [*] and [?]; classic two-pointer backtracking. *)
+let glob_match pattern name =
+  let np = String.length pattern and nn = String.length name in
+  let rec go pi ni star_pi star_ni =
+    if ni = nn then
+      if pi = np then true
+      else if pi < np && pattern.[pi] = '*' then go (pi + 1) ni star_pi star_ni
+      else false
+    else if pi < np && (pattern.[pi] = '?' || pattern.[pi] = name.[ni]) then
+      go (pi + 1) (ni + 1) star_pi star_ni
+    else if pi < np && pattern.[pi] = '*' then go (pi + 1) ni (Some pi) ni
+    else begin
+      match star_pi with
+      | Some spi -> go (spi + 1) (star_ni + 1) star_pi (star_ni + 1)
+      | None -> false
+    end
+  in
+  go 0 0 None 0
+
+let keys_matching t ~now ~pattern =
+  Hashtbl.fold
+    (fun key e acc -> if alive ~now e && glob_match pattern key then key :: acc else acc)
+    t.table []
+  |> List.sort String.compare

@@ -1,0 +1,41 @@
+(** In-memory key-value store with optional per-key expiry.
+
+    The data plane behind the simulated Redis server.  Expiry is lazy:
+    a key whose deadline has passed is treated as absent and reaped on
+    access, like Redis's passive expiration. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> now:Sim.Time.t -> ?ttl:Sim.Time.span -> string -> string -> unit
+val get : t -> now:Sim.Time.t -> string -> string option
+
+val delete : t -> now:Sim.Time.t -> string list -> int
+(** Number of keys actually removed. *)
+
+val exists : t -> now:Sim.Time.t -> string list -> int
+
+val append : t -> now:Sim.Time.t -> string -> string -> int
+(** Append to the (possibly absent) value; returns the new length. *)
+
+val strlen : t -> now:Sim.Time.t -> string -> int
+
+val incr_by : t -> now:Sim.Time.t -> string -> int -> (int, string) result
+(** [Error _] when the current value is not an integer. *)
+
+val setnx : t -> now:Sim.Time.t -> string -> string -> bool
+val getset : t -> now:Sim.Time.t -> string -> string -> string option
+
+val expire : t -> now:Sim.Time.t -> string -> ttl:Sim.Time.span -> bool
+(** [false] when the key does not exist. *)
+
+val ttl : t -> now:Sim.Time.t -> string -> [ `Missing | `No_ttl | `Ttl of Sim.Time.span ]
+
+val size : t -> now:Sim.Time.t -> int
+(** Live keys (expired keys are not counted). *)
+
+val flush : t -> unit
+
+val keys_matching : t -> now:Sim.Time.t -> pattern:string -> string list
+(** Glob match with [*] and [?], like Redis [KEYS]; results sorted. *)

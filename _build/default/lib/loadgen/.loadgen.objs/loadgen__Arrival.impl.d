@@ -1,0 +1,1 @@
+lib/loadgen/arrival.ml: Sim

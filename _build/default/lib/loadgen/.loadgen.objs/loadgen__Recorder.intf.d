@@ -1,0 +1,1 @@
+lib/loadgen/recorder.mli: Sim

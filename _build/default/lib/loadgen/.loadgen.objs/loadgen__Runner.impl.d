@@ -1,0 +1,1 @@
+lib/loadgen/runner.ml: Array Arrival E2e Float Kv List Option Recorder Sim Tcp Trace Workload

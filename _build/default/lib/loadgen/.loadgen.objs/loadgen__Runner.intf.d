@@ -1,0 +1,1 @@
+lib/loadgen/runner.mli: E2e Kv Sim Tcp Trace Workload

@@ -1,0 +1,1 @@
+lib/loadgen/trace.ml: Arrival Buffer Fun Hashtbl In_channel Kv List Printf Sim String Workload

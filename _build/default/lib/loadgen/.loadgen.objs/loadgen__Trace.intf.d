@@ -1,0 +1,1 @@
+lib/loadgen/trace.mli: Kv Sim Workload

@@ -1,0 +1,1 @@
+lib/loadgen/workload.ml: Hashtbl Kv Printf Sim String

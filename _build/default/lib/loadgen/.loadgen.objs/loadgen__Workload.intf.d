@@ -1,0 +1,1 @@
+lib/loadgen/workload.mli: Kv Sim

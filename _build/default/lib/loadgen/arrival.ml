@@ -1,0 +1,39 @@
+type kind =
+  | Poisson of Sim.Rng.t
+  | Uniform
+  | Bursty of { rng : Sim.Rng.t; burst : int; mutable left : int }
+
+type t = { kind : kind; rate_rps : float; gap_ns : float }
+
+let check_rate rate_rps =
+  if rate_rps <= 0.0 then invalid_arg "Arrival: rate must be positive"
+
+let poisson ~rng ~rate_rps =
+  check_rate rate_rps;
+  { kind = Poisson rng; rate_rps; gap_ns = 1e9 /. rate_rps }
+
+let uniform ~rate_rps =
+  check_rate rate_rps;
+  { kind = Uniform; rate_rps; gap_ns = 1e9 /. rate_rps }
+
+let bursty ~rng ~rate_rps ~burst =
+  check_rate rate_rps;
+  if burst < 1 then invalid_arg "Arrival.bursty: burst must be >= 1";
+  { kind = Bursty { rng; burst; left = 0 }; rate_rps; gap_ns = 1e9 /. rate_rps }
+
+let next_gap t =
+  match t.kind with
+  | Uniform -> int_of_float t.gap_ns
+  | Poisson rng -> int_of_float (Sim.Rng.exponential rng ~mean:t.gap_ns)
+  | Bursty b ->
+    if b.left > 0 then begin
+      b.left <- b.left - 1;
+      0
+    end
+    else begin
+      b.left <- b.burst - 1;
+      (* Bursts arrive at rate/burst, so the per-request rate holds. *)
+      int_of_float (Sim.Rng.exponential b.rng ~mean:(t.gap_ns *. float_of_int b.burst))
+    end
+
+let rate t = t.rate_rps

@@ -1,0 +1,24 @@
+(** Request arrival processes.
+
+    Open-loop generation as in Lancet: inter-arrival gaps are drawn
+    independently of completions, so the offered load is fixed and
+    queueing delay shows up as latency rather than as a reduced request
+    rate. *)
+
+type t
+
+val poisson : rng:Sim.Rng.t -> rate_rps:float -> t
+(** Exponential gaps with mean [1/rate] — a memoryless open-loop
+    client.  @raise Invalid_argument when the rate is not positive. *)
+
+val uniform : rate_rps:float -> t
+(** Fixed gaps of exactly [1/rate]. *)
+
+val bursty : rng:Sim.Rng.t -> rate_rps:float -> burst:int -> t
+(** Poisson arrivals of bursts of [burst] back-to-back requests, with
+    the gap mean scaled so the long-run rate stays [rate_rps]. *)
+
+val next_gap : t -> Sim.Time.span
+(** The gap before the next request (0 within a burst). *)
+
+val rate : t -> float

@@ -1,0 +1,534 @@
+type dynamic = {
+  policy : E2e.Policy.t;
+  epsilon : float;
+  tick : Sim.Time.span;
+  ewma_alpha : float;
+  min_observations : int;
+}
+
+let default_dynamic =
+  {
+    policy = E2e.Policy.Throughput_under_slo { slo_ns = E2e.Policy.default_slo_ns };
+    epsilon = 0.05;
+    tick = Sim.Time.ms 1;
+    ewma_alpha = 0.3;
+    min_observations = 3;
+  }
+
+type aimd_cfg = {
+  slo_us : float;
+  aimd_tick : Sim.Time.span;
+  min_limit : int;
+  max_limit : int;
+  increase : int;
+  decrease : float;
+}
+
+let default_aimd =
+  {
+    slo_us = 500.0;
+    aimd_tick = Sim.Time.ms 1;
+    min_limit = 64;
+    max_limit = 1448;
+    increase = 128;
+    decrease = 0.5;
+  }
+
+type batching = Static_on | Static_off | Dynamic of dynamic | Aimd_limit of aimd_cfg
+
+let batching_label = function
+  | Static_on -> "nagle-on"
+  | Static_off -> "nagle-off"
+  | Dynamic _ -> "dynamic"
+  | Aimd_limit _ -> "aimd"
+
+type config = {
+  seed : int;
+  warmup : Sim.Time.span;
+  duration : Sim.Time.span;
+  rate_rps : float;
+  burst : int;
+  n_conns : int;
+  workload : Workload.t;
+  trace : Trace.entry list option;
+      (* replay this schedule instead of drawing from workload/arrival *)
+  batching : batching;
+  unit_mode : E2e.Units.t;
+  exchange : E2e.Exchange.policy;
+  server : Kv.Server.config;
+  client : Kv.Client.config;
+  mss : int;
+  rcv_buf : int;
+  cork : bool;
+  tso : bool;
+  cc : bool;
+  loss_prob : float;  (* per-packet drop probability, both directions *)
+  delack_timeout : Sim.Time.span;
+  tx_cost : Sim.Time.span;
+  rx_seg_cost : Sim.Time.span;
+  rx_batch_cost : Sim.Time.span;
+  gro_enabled : bool;
+  gro_flush_timeout : Sim.Time.span;
+  link : Tcp.Conn.link_params;
+}
+
+let default_config ~rate_rps ~batching =
+  {
+    seed = 42;
+    warmup = Sim.Time.ms 100;
+    duration = Sim.Time.ms 400;
+    rate_rps;
+    burst = 1;
+    n_conns = 1;
+    workload = Workload.paper_set_only;
+    trace = None;
+    batching;
+    unit_mode = E2e.Units.Bytes;
+    exchange = E2e.Exchange.Periodic (Sim.Time.us 100);
+    server = Kv.Server.default_config;
+    client = Kv.Client.default_config;
+    mss = 1448;
+    rcv_buf = 1024 * 1024;
+    cork = false;
+    tso = false;
+    cc = false;
+    loss_prob = 0.0;
+    delack_timeout = Sim.Time.ms 40;
+    tx_cost = Sim.Time.ns 300;
+    rx_seg_cost = Sim.Time.ns 150;
+    rx_batch_cost = Sim.Time.us 8;
+    gro_enabled = true;
+    gro_flush_timeout = Sim.Time.us 12;
+    link = Tcp.Conn.default_link;
+  }
+
+type estimate_sample = {
+  at_us : float;
+  latency_us : float option;
+  throughput_rps : float;
+  mode : E2e.Toggler.mode;
+}
+
+type result = {
+  offered_rps : float;
+  achieved_rps : float;
+  completed : int;
+  measured_mean_us : float;
+  measured_p50_us : float;
+  measured_p99_us : float;
+  under_slo : float;
+  estimated_us : float option;
+  estimated_local_us : float option;
+  estimated_remote_us : float option;
+  estimated_tput_rps : float;
+  hint_estimated_us : float option;
+  hint_tput_rps : float option;
+  hint_server_estimated_us : float option;
+  client_app_util : float;
+  server_app_util : float;
+  client_irq_util : float;
+  server_irq_util : float;
+  packets : int;
+  packets_per_request : float;
+  server_batch_mean : float;
+  server_wakeups : int;
+  nagle_toggles : int;
+  final_mode : E2e.Toggler.mode option;
+  final_batch_limit : int option;
+  server_gro_merge : float;
+  server_gro_batches : int;
+  server_acks_by_timer : int;
+  client_srtt_us : float option;
+      (* the RTT baseline the paper rules out, for comparison *)
+  client_p99_est_us : float option;  (* online P2 tail estimate *)
+  samples : estimate_sample list;
+}
+
+let slo_us = 500.0
+
+let ns_opt_to_us = Option.map (fun ns -> ns /. 1e3)
+
+type baseline = {
+  b_client_app : Sim.Time.span;
+  b_server_app : Sim.Time.span;
+  b_client_irq : Sim.Time.span;
+  b_server_irq : Sim.Time.span;
+  b_packets : int;
+  b_hints : E2e.Queue_state.share list;
+  b_server_hints : E2e.Queue_state.share option list;
+}
+
+let run cfg =
+  if cfg.n_conns < 1 then invalid_arg "Runner.run: n_conns must be at least 1";
+  let initial_nagle =
+    match cfg.batching with
+    | Static_on -> true
+    | Static_off -> false
+    | Dynamic _ -> false (* start as Redis ships: TCP_NODELAY *)
+    | Aimd_limit _ -> true (* the AIMD limit generalizes Nagle's rule *)
+  in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  let workload_rng = Sim.Rng.split rng in
+  let arrival_rng = Sim.Rng.split rng in
+  let toggler_rng = Sim.Rng.split rng in
+  let socket_cfg =
+    {
+      Tcp.Socket.mss = cfg.mss;
+      nagle = initial_nagle;
+      cork = cfg.cork;
+      tso_max = (if cfg.tso then Some (64 * 1024) else None);
+      cc_enabled = cfg.cc;
+      delack_timeout = cfg.delack_timeout;
+      delack_max_pending = 2;
+      rcv_buf = cfg.rcv_buf;
+      unit_mode = cfg.unit_mode;
+      exchange = cfg.exchange;
+    }
+  in
+  let host =
+    {
+      Tcp.Conn.socket = socket_cfg;
+      tx_cost = cfg.tx_cost;
+      rx_seg_cost = cfg.rx_seg_cost;
+      rx_batch_cost = cfg.rx_batch_cost;
+      gro =
+        {
+          (Tcp.Gro.default_config ~mss:cfg.mss) with
+          enabled = cfg.gro_enabled;
+          flush_timeout = cfg.gro_flush_timeout;
+        };
+    }
+  in
+  (* One IRQ core per host shared by every connection; one app core per
+     host (Redis and Lancet are single-threaded), one store. *)
+  let client_irq = Sim.Cpu.create engine in
+  let server_irq = Sim.Cpu.create engine in
+  let client_cpu = Sim.Cpu.create engine in
+  let server_cpu = Sim.Cpu.create engine in
+  let store = Kv.Store.create () in
+  Workload.prepopulate cfg.workload store ~now:(Sim.Engine.now engine);
+  let loss_rng = Sim.Rng.split rng in
+  let conns =
+    List.init cfg.n_conns (fun _ ->
+        let conn =
+          Tcp.Conn.create engine ~a:host ~b:host ~link_ab:cfg.link ~link_ba:cfg.link
+            ~cpu_a:client_irq ~cpu_b:server_irq ()
+        in
+        if cfg.loss_prob > 0.0 then begin
+          Tcp.Link.set_loss (Tcp.Conn.link_ab conn) ~rng:loss_rng ~prob:cfg.loss_prob;
+          Tcp.Link.set_loss (Tcp.Conn.link_ba conn) ~rng:loss_rng ~prob:cfg.loss_prob
+        end;
+        conn)
+  in
+  let client_socks = List.map Tcp.Conn.sock_a conns in
+  let server_socks = List.map Tcp.Conn.sock_b conns in
+  let servers =
+    List.map
+      (fun sock -> Kv.Server.create engine ~cpu:server_cpu ~socket:sock ~store cfg.server)
+      server_socks
+  in
+  let clients =
+    List.map
+      (fun sock -> Kv.Client.create engine ~cpu:client_cpu ~socket:sock cfg.client)
+      client_socks
+  in
+  let client_arr = Array.of_list clients in
+  let warmup_until = cfg.warmup in
+  let total = cfg.warmup + cfg.duration in
+  let recorder = Recorder.create ~warmup_until () in
+  let arrival =
+    if cfg.burst > 1 then
+      Arrival.bursty ~rng:arrival_rng ~rate_rps:cfg.rate_rps ~burst:cfg.burst
+    else Arrival.poisson ~rng:arrival_rng ~rate_rps:cfg.rate_rps
+  in
+  (* Open-loop request driver, round-robin over connections. *)
+  let on_complete ~latency reply =
+    (match reply with
+    | Kv.Resp.Error e -> failwith ("runner: server replied with error: " ^ e)
+    | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
+    Recorder.record recorder ~at:(Sim.Engine.now engine) ~latency
+  in
+  let next_client = ref 0 in
+  let issue cmd =
+    let client = client_arr.(!next_client) in
+    next_client := (!next_client + 1) mod Array.length client_arr;
+    Kv.Client.request client cmd ~on_complete
+  in
+  (match cfg.trace with
+  | Some entries ->
+    (* trace replay: the schedule is the trace, clipped to the run *)
+    List.iter
+      (fun (e : Trace.entry) ->
+        if Sim.Time.compare e.at total <= 0 then
+          ignore (Sim.Engine.schedule_at engine ~at:e.at (fun () -> issue e.cmd)))
+      entries
+  | None ->
+    let rec schedule_request () =
+      let gap = Arrival.next_gap arrival in
+      let at = Sim.Time.add (Sim.Engine.now engine) gap in
+      if Sim.Time.compare at total <= 0 then
+        ignore
+          (Sim.Engine.schedule engine ~after:gap (fun () ->
+               issue (Workload.next_command cfg.workload ~rng:workload_rng);
+               schedule_request ()))
+    in
+    schedule_request ());
+  (* Estimation: per-connection estimators (client side), aggregated
+     across connections per §3.2 when a policy spans several flows. *)
+  let estimators = List.map Tcp.Socket.estimator client_socks in
+  let aggregate_estimate ~advance at =
+    let per_flow =
+      List.filter_map
+        (fun e ->
+          if advance then E2e.Estimator.estimate e ~at
+          else E2e.Estimator.peek_estimate e ~at)
+        estimators
+    in
+    (E2e.Aggregate.of_estimates per_flow, per_flow)
+  in
+  let all_socks = client_socks @ server_socks in
+  let kick_all () = List.iter Tcp.Socket.kick all_socks in
+  let samples = ref [] in
+  let aimd =
+    match cfg.batching with
+    | Static_on | Static_off | Dynamic _ -> None
+    | Aimd_limit a ->
+      (* The AIMD variable is "latency headroom" h in [1, span+1]: the
+         batching limit is max_limit - (h - 1).  While the SLO is met,
+         h grows additively (gently probing toward less batching, hence
+         lower latency); on a violation h halves (the limit jumps back
+         toward full Nagle, recovering amortization fast) — the
+         Chiu–Jain asymmetry with SLO violation as the congestion
+         signal. *)
+      let span = a.max_limit - a.min_limit in
+      let controller =
+        E2e.Aimd.create ~initial:1 ~min_limit:1 ~max_limit:(span + 1)
+          ~increase:a.increase ~decrease:a.decrease ()
+      in
+      let limit_of_headroom h = a.max_limit - (h - 1) in
+      let set_limit limit =
+        List.iter
+          (fun sock -> Tcp.Nagle.set_min_send (Tcp.Socket.nagle sock) (Some limit))
+          all_socks;
+        kick_all ()
+      in
+      set_limit (limit_of_headroom (E2e.Aimd.limit controller));
+      let rec tick () =
+        let at = Sim.Engine.now engine in
+        let agg, _ = aggregate_estimate ~advance:true at in
+        (match agg.latency_ns with
+        | Some latency_ns when agg.throughput > 0.0 ->
+          let fb = if latency_ns <= a.slo_us *. 1e3 then `Good else `Bad in
+          set_limit (limit_of_headroom (E2e.Aimd.feedback controller fb))
+        | Some _ | None -> ());
+        if Sim.Time.compare (Sim.Time.add at a.aimd_tick) total <= 0 then
+          ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick)
+      in
+      ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick);
+      Some controller
+  in
+  let toggler =
+    match cfg.batching with
+    | Static_on | Static_off | Aimd_limit _ -> None
+    | Dynamic d ->
+      let toggler =
+        E2e.Toggler.create ~epsilon:d.epsilon ~ewma_alpha:d.ewma_alpha
+          ~min_observations:d.min_observations ~policy:d.policy ~rng:toggler_rng
+          ~initial:(if initial_nagle then E2e.Toggler.Batch_on else E2e.Toggler.Batch_off)
+          ()
+      in
+      let set_mode mode =
+        let enabled = match mode with E2e.Toggler.Batch_on -> true | Batch_off -> false in
+        List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) all_socks;
+        kick_all ()
+      in
+      let rec tick () =
+        let at = Sim.Engine.now engine in
+        let mode = E2e.Toggler.mode toggler in
+        let agg, per_flow = aggregate_estimate ~advance:true at in
+        if per_flow <> [] then begin
+          (match agg.latency_ns with
+          | Some latency_ns when agg.throughput > 0.0 ->
+            E2e.Toggler.observe toggler ~mode
+              { E2e.Policy.latency_ns; throughput = agg.throughput }
+          | Some _ | None -> ());
+          samples :=
+            {
+              at_us = Sim.Time.to_us at;
+              latency_us = ns_opt_to_us agg.latency_ns;
+              throughput_rps = agg.throughput;
+              mode;
+            }
+            :: !samples
+        end;
+        set_mode (E2e.Toggler.decide toggler);
+        if Sim.Time.compare (Sim.Time.add at d.tick) total <= 0 then
+          ignore (Sim.Engine.schedule engine ~after:d.tick tick)
+      in
+      ignore (Sim.Engine.schedule engine ~after:d.tick tick);
+      Some toggler
+  in
+  (* Warmup boundary: reset estimation windows, capture baselines. *)
+  let baseline = ref None in
+  ignore
+    (Sim.Engine.schedule_at engine ~at:warmup_until (fun () ->
+         let at = Sim.Engine.now engine in
+         List.iter (fun e -> ignore (E2e.Estimator.estimate e ~at)) estimators;
+         baseline :=
+           Some
+             {
+               b_client_app = Sim.Cpu.busy_ns client_cpu;
+               b_server_app = Sim.Cpu.busy_ns server_cpu;
+               b_client_irq = Sim.Cpu.busy_ns client_irq;
+               b_server_irq = Sim.Cpu.busy_ns server_irq;
+               b_packets =
+                 List.fold_left (fun acc c -> acc + Tcp.Conn.total_packets c) 0 conns;
+               b_hints =
+                 List.map
+                   (fun c -> E2e.Hints.share (Kv.Client.hint_tracker c) ~at)
+                   clients;
+               b_server_hints =
+                 List.map
+                   (fun sock -> Option.map snd (Tcp.Socket.remote_hint_window sock))
+                   server_socks;
+             }));
+  Sim.Engine.run_until engine total;
+  let at = Sim.Engine.now engine in
+  let base =
+    match !baseline with
+    | Some b -> b
+    | None -> failwith "runner: warmup sample never fired"
+  in
+  let duration_s = Sim.Time.to_sec cfg.duration in
+  let completed = Recorder.count recorder in
+  (* Run-level stack estimate over the measured window.  Static runs
+     kept the window open since warmup; dynamic runs advanced it every
+     tick, so aggregate the tick samples instead. *)
+  let estimated_us, estimated_local_us, estimated_remote_us, estimated_tput =
+    match cfg.batching with
+    | Static_on | Static_off | Aimd_limit _ -> (
+      let agg, per_flow = aggregate_estimate ~advance:false at in
+      match (agg.latency_ns, per_flow) with
+      | Some _, [ only ] ->
+        (* single connection: expose the per-vantage detail too *)
+        ( ns_opt_to_us agg.latency_ns,
+          ns_opt_to_us only.latency_local_ns,
+          ns_opt_to_us only.latency_remote_ns,
+          agg.throughput )
+      | Some _, _ -> (ns_opt_to_us agg.latency_ns, None, None, agg.throughput)
+      | None, _ -> (None, None, None, agg.throughput))
+    | Dynamic _ ->
+      let measured =
+        List.filter (fun s -> s.at_us > Sim.Time.to_us warmup_until) !samples
+      in
+      let weighted, count, tput_sum =
+        List.fold_left
+          (fun (acc, n, tp) s ->
+            match s.latency_us with
+            | Some us -> (acc +. us, n + 1, tp +. s.throughput_rps)
+            | None -> (acc, n, tp))
+          (0.0, 0, 0.0) measured
+      in
+      if count = 0 then (None, None, None, 0.0)
+      else
+        (Some (weighted /. float_of_int count), None, None, tput_sum /. float_of_int count)
+  in
+  (* Hint-based (§3.3) estimates: client-local and the server's view,
+     aggregated across connections. *)
+  let hint_inputs =
+    List.map2
+      (fun client prev ->
+        let cur = E2e.Hints.share (Kv.Client.hint_tracker client) ~at in
+        match E2e.Hints.avgs ~prev ~cur with
+        | Some avgs ->
+          { E2e.Aggregate.latency_ns = avgs.latency_ns; throughput = avgs.throughput }
+        | None -> { E2e.Aggregate.latency_ns = None; throughput = 0.0 })
+      clients base.b_hints
+  in
+  let hint_agg = E2e.Aggregate.combine hint_inputs in
+  let hint_estimated_us = ns_opt_to_us hint_agg.latency_ns in
+  let hint_tput =
+    if hint_agg.throughput > 0.0 then Some hint_agg.throughput else None
+  in
+  let hint_server_inputs =
+    List.map2
+      (fun sock prev ->
+        match (prev, Tcp.Socket.remote_hint_window sock) with
+        | Some prev, Some (_, cur) -> (
+          match E2e.Hints.avgs ~prev ~cur with
+          | Some avgs ->
+            { E2e.Aggregate.latency_ns = avgs.latency_ns; throughput = avgs.throughput }
+          | None -> { E2e.Aggregate.latency_ns = None; throughput = 0.0 })
+        | _ -> { E2e.Aggregate.latency_ns = None; throughput = 0.0 })
+      server_socks base.b_server_hints
+  in
+  let hint_server_estimated_us =
+    ns_opt_to_us (E2e.Aggregate.combine hint_server_inputs).latency_ns
+  in
+  let util busy base_v = float_of_int (busy - base_v) /. float_of_int cfg.duration in
+  let packets =
+    List.fold_left (fun acc c -> acc + Tcp.Conn.total_packets c) 0 conns - base.b_packets
+  in
+  let server_batches =
+    List.fold_left
+      (fun acc s -> Sim.Stats.Summary.merge acc (Kv.Server.batch_sizes s))
+      (Sim.Stats.Summary.create ()) servers
+  in
+  let gro_batches =
+    List.fold_left (fun acc c -> acc + Tcp.Gro.batches (Tcp.Conn.gro_b c)) 0 conns
+  in
+  let gro_segments =
+    List.fold_left (fun acc c -> acc + Tcp.Gro.segments (Tcp.Conn.gro_b c)) 0 conns
+  in
+  {
+    offered_rps = cfg.rate_rps;
+    achieved_rps = float_of_int completed /. duration_s;
+    completed;
+    measured_mean_us = Recorder.mean_us recorder;
+    measured_p50_us = Recorder.p50_us recorder;
+    measured_p99_us = Recorder.p99_us recorder;
+    under_slo = Recorder.under_slo_fraction recorder ~slo_us;
+    estimated_us;
+    estimated_local_us;
+    estimated_remote_us;
+    estimated_tput_rps = estimated_tput;
+    hint_estimated_us;
+    hint_tput_rps = hint_tput;
+    hint_server_estimated_us;
+    client_app_util = util (Sim.Cpu.busy_ns client_cpu) base.b_client_app;
+    server_app_util = util (Sim.Cpu.busy_ns server_cpu) base.b_server_app;
+    client_irq_util = util (Sim.Cpu.busy_ns client_irq) base.b_client_irq;
+    server_irq_util = util (Sim.Cpu.busy_ns server_irq) base.b_server_irq;
+    packets;
+    packets_per_request =
+      (if completed = 0 then 0.0 else float_of_int packets /. float_of_int completed);
+    server_batch_mean = Sim.Stats.Summary.mean server_batches;
+    server_wakeups = List.fold_left (fun acc s -> acc + Kv.Server.wakeups s) 0 servers;
+    nagle_toggles = Tcp.Nagle.toggles (Tcp.Socket.nagle (List.hd client_socks));
+    final_mode = Option.map E2e.Toggler.mode toggler;
+    final_batch_limit =
+      (match (aimd, cfg.batching) with
+      | Some c, Aimd_limit a -> Some (a.max_limit - (E2e.Aimd.limit c - 1))
+      | _ -> None);
+    server_gro_merge =
+      (if gro_batches = 0 then 0.0
+       else float_of_int gro_segments /. float_of_int gro_batches);
+    server_gro_batches = gro_batches;
+    server_acks_by_timer =
+      List.fold_left (fun acc sock -> acc + Tcp.Socket.acks_by_timer sock) 0 server_socks;
+    client_srtt_us =
+      (match Tcp.Rtt.srtt (Tcp.Socket.rtt (List.hd client_socks)) with
+      | Some ns -> Some (float_of_int ns /. 1e3)
+      | None -> None);
+    client_p99_est_us =
+      (* aggregate across connections: take the worst per-flow tail *)
+      List.fold_left
+        (fun acc c ->
+          match (Kv.Client.p99_estimate_ns c, acc) with
+          | Some ns, Some best -> Some (Float.max (ns /. 1e3) best)
+          | Some ns, None -> Some (ns /. 1e3)
+          | None, acc -> acc)
+        None clients;
+    samples = List.rev !samples;
+  }

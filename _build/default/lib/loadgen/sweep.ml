@@ -1,0 +1,60 @@
+type point = { rate_rps : float; on : Runner.result; off : Runner.result }
+
+let run_pair ~base ~rate_rps =
+  let on = Runner.run { base with rate_rps; batching = Runner.Static_on } in
+  let off = Runner.run { base with rate_rps; batching = Runner.Static_off } in
+  { rate_rps; on; off }
+
+let sweep ~base ~rates = List.map (fun rate_rps -> run_pair ~base ~rate_rps) rates
+
+(* First rate from which "on wins" holds for the rest of the sweep,
+   so a noisy early crossing does not register as the cutoff. *)
+let cutoff_of points ~value =
+  let rec suffix_wins = function
+    | [] -> true
+    | p :: rest -> (
+      match value p with
+      | Some (on_v, off_v) -> on_v <= off_v && suffix_wins rest
+      | None -> false)
+  in
+  let rec go = function
+    | [] -> None
+    | p :: rest ->
+      if suffix_wins (p :: rest) then Some p.rate_rps else go rest
+  in
+  go points
+
+let cutoff_rps points =
+  cutoff_of points ~value:(fun p -> Some (p.on.measured_mean_us, p.off.measured_mean_us))
+
+let estimated_cutoff_rps points =
+  cutoff_of points ~value:(fun p ->
+      match (p.on.estimated_us, p.off.estimated_us) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+
+let sustainable (r : Runner.result) ~slo_us =
+  r.measured_mean_us <= slo_us && r.achieved_rps >= 0.9 *. r.offered_rps
+
+let max_sustainable_rps ~which ~slo_us points =
+  List.fold_left
+    (fun acc p ->
+      let r = match which with `On -> p.on | `Off -> p.off in
+      if sustainable r ~slo_us then Some p.rate_rps else acc)
+    None points
+
+let latency_improvement_at ~rate_rps points =
+  List.find_map
+    (fun p ->
+      if Float.abs (p.rate_rps -. rate_rps) < 0.5 && p.on.measured_mean_us > 0.0 then
+        Some (p.off.measured_mean_us /. p.on.measured_mean_us)
+      else None)
+    points
+
+let range_extension ~slo_us points =
+  match
+    ( max_sustainable_rps ~which:`On ~slo_us points,
+      max_sustainable_rps ~which:`Off ~slo_us points )
+  with
+  | Some on, Some off when off > 0.0 -> Some (on /. off)
+  | _ -> None

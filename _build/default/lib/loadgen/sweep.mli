@@ -1,0 +1,40 @@
+(** Load sweeps and the paper's headline metrics.
+
+    Figure 4 sweeps offered load and compares Nagle on/off; from the
+    two latency-vs-load curves the paper reads off (i) the cutoff where
+    batching starts winning, (ii) each configuration's maximum
+    sustainable load under the 500 µs SLO, and (iii) the latency
+    improvement at a given rate. *)
+
+type point = {
+  rate_rps : float;
+  on : Runner.result;  (** Nagle enabled *)
+  off : Runner.result;  (** Nagle disabled (Redis default) *)
+}
+
+val run_pair : base:Runner.config -> rate_rps:float -> point
+(** Run both configurations at one offered load.  [base]'s [batching]
+    field is overridden. *)
+
+val sweep : base:Runner.config -> rates:float list -> point list
+
+val cutoff_rps : point list -> float option
+(** Lowest swept rate from which batching's measured mean latency stays
+    at or below no-batching's — where the on/off curves cross. *)
+
+val estimated_cutoff_rps : point list -> float option
+(** Same, from the estimator's numbers — the paper's key accuracy test
+    is that the two cutoffs coincide (Figure 4a). *)
+
+val max_sustainable_rps :
+  which:[ `On | `Off ] -> slo_us:float -> point list -> float option
+(** Highest swept rate whose mean latency meets the SLO and whose
+    achieved throughput keeps up with the offered load (within 10%). *)
+
+val latency_improvement_at : rate_rps:float -> point list -> float option
+(** off/on mean-latency ratio at the given swept rate (2.80x at
+    37.5 kRPS in the paper). *)
+
+val range_extension : slo_us:float -> point list -> float option
+(** Ratio of batched to unbatched sustainable load (1.93x in the
+    paper). *)

@@ -1,0 +1,40 @@
+(** Trace-driven workloads.
+
+    Records a request schedule — timestamp plus command — in a plain
+    text format, so benchmark runs can replay captured or synthesized
+    traces instead of drawing from an analytic arrival process.  This
+    is the substitution path for the production traces a general-
+    purpose deployment would use.
+
+    Line format (one request per line, [#] comments allowed):
+    {v <microseconds> SET <key> <value_bytes>
+       <microseconds> GET <key> v}
+    Timestamps must be non-decreasing. *)
+
+type entry = { at : Sim.Time.t; cmd : Kv.Command.t }
+
+val entry_to_line : entry -> (string, string) result
+(** [Error] for command types the format does not cover. *)
+
+val parse_line : string -> (entry option, string) result
+(** [Ok None] for blank lines and comments. *)
+
+val to_string : entry list -> string
+val of_string : string -> (entry list, string) result
+(** Checks timestamp monotonicity; errors carry the line number. *)
+
+val save_file : string -> entry list -> (unit, string) result
+val load_file : string -> (entry list, string) result
+
+val synthesize :
+  workload:Workload.t ->
+  rate_rps:float ->
+  duration:Sim.Time.span ->
+  rng:Sim.Rng.t ->
+  entry list
+(** Generate the trace an open-loop Poisson run of the given workload
+    would issue — useful for reproducible fixtures and for editing a
+    baseline trace into adversarial shapes. *)
+
+val duration : entry list -> Sim.Time.span
+val count : entry list -> int

@@ -1,0 +1,70 @@
+type t = {
+  set_ratio : float;
+  key_size : int;
+  value_size : int;
+  n_keys : int;
+  zipf_theta : float;
+}
+
+let paper_set_only =
+  { set_ratio = 1.0; key_size = 16; value_size = 16 * 1024; n_keys = 1024; zipf_theta = 0.0 }
+
+let paper_mixed = { paper_set_only with set_ratio = 0.95 }
+
+let small_requests = { paper_set_only with value_size = 64 }
+
+let validate t =
+  if t.set_ratio < 0.0 || t.set_ratio > 1.0 then Error "set_ratio must be in [0,1]"
+  else if t.key_size < 8 then Error "key_size must be at least 8"
+  else if t.value_size < 1 then Error "value_size must be positive"
+  else if t.n_keys < 1 then Error "n_keys must be positive"
+  else if t.zipf_theta < 0.0 then Error "zipf_theta must be non-negative"
+  else Ok t
+
+(* Fixed-width keys: "k:0000000042" padded to key_size. *)
+let key_of t i =
+  let base = Printf.sprintf "k:%010d" i in
+  if String.length base >= t.key_size then String.sub base 0 t.key_size
+  else base ^ String.make (t.key_size - String.length base) 'x'
+
+(* One shared value payload per spec: request contents do not matter,
+   only their size, and sharing avoids allocating 16 KiB per request. *)
+let value_cache : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let value_of t =
+  match Hashtbl.find_opt value_cache t.value_size with
+  | Some v -> v
+  | None ->
+    let v = String.make t.value_size 'v' in
+    Hashtbl.add value_cache t.value_size v;
+    v
+
+let next_command t ~rng =
+  let i = Sim.Rng.zipf rng ~n:t.n_keys ~theta:t.zipf_theta in
+  let key = key_of t i in
+  if Sim.Rng.float rng < t.set_ratio then
+    Kv.Command.Set { key; value = value_of t; ttl = None }
+  else Kv.Command.Get key
+
+let prepopulate t store ~now =
+  let value = value_of t in
+  for i = 0 to t.n_keys - 1 do
+    Kv.Store.set store ~now (key_of t i) value
+  done
+
+let request_bytes t kind =
+  let key = key_of t 0 in
+  match kind with
+  | `Set -> Kv.Command.request_bytes (Kv.Command.Set { key; value = value_of t; ttl = None })
+  | `Get -> Kv.Command.request_bytes (Kv.Command.Get key)
+
+let response_bytes t kind =
+  match kind with
+  | `Set -> Kv.Resp.encoded_length (Kv.Resp.Simple "OK")
+  | `Get -> Kv.Resp.encoded_length (Kv.Resp.Bulk (Some (value_of t)))
+
+let describe t =
+  Printf.sprintf "%.0f%% SET / %.0f%% GET, %dB keys, %dB values, %d keys (theta=%.2f)"
+    (t.set_ratio *. 100.0)
+    ((1.0 -. t.set_ratio) *. 100.0)
+    t.key_size t.value_size t.n_keys t.zipf_theta

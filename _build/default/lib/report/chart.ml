@@ -1,0 +1,112 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+type axis = Linear | Log10
+
+type config = {
+  width : int;
+  height : int;
+  y_axis : axis;
+  x_label : string;
+  y_label : string;
+  y_line : (float * char) option;
+}
+
+let default_config =
+  { width = 64; height = 16; y_axis = Log10; x_label = "x"; y_label = "y"; y_line = None }
+
+let finite (_, y) = Float.is_finite y
+
+let render ?(config = default_config) series =
+  let cfg = config in
+  if cfg.width < 8 || cfg.height < 4 then invalid_arg "Chart.render: grid too small";
+  let all_points = List.concat_map (fun s -> List.filter finite s.points) series in
+  if all_points = [] then "(no data to plot)\n"
+  else begin
+    let xs = List.map fst all_points in
+    let ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min0 = List.fold_left Float.min infinity ys in
+    let y_max0 = List.fold_left Float.max neg_infinity ys in
+    (* include the reference line in the y-range *)
+    let y_min0, y_max0 =
+      match cfg.y_line with
+      | Some (y, _) -> (Float.min y_min0 y, Float.max y_max0 y)
+      | None -> (y_min0, y_max0)
+    in
+    let transform y =
+      match cfg.y_axis with
+      | Linear -> y
+      | Log10 -> Float.log10 (Float.max y 1e-9)
+    in
+    let y_min = transform y_min0 and y_max = transform y_max0 in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let col_of x =
+      int_of_float
+        (Float.round ((x -. x_min) /. x_span *. float_of_int (cfg.width - 1)))
+    in
+    let row_of y =
+      (* row 0 is the top of the plot *)
+      let frac = (transform y -. y_min) /. y_span in
+      cfg.height - 1
+      - int_of_float (Float.round (frac *. float_of_int (cfg.height - 1)))
+    in
+    let grid = Array.make_matrix cfg.height cfg.width ' ' in
+    (* reference line first so data overwrites it *)
+    (match cfg.y_line with
+    | Some (y, ch) ->
+      let r = row_of y in
+      if r >= 0 && r < cfg.height then
+        for c = 0 to cfg.width - 1 do
+          grid.(r).(c) <- ch
+        done
+    | None -> ());
+    List.iter
+      (fun s ->
+        (* draw point markers, connecting consecutive points vertically
+           when they land in the same column region *)
+        List.iter
+          (fun (x, y) ->
+            let c = col_of x and r = row_of y in
+            if r >= 0 && r < cfg.height && c >= 0 && c < cfg.width then
+              grid.(r).(c) <- s.marker)
+          (List.filter finite s.points))
+      series;
+    let buf = Buffer.create ((cfg.width + 16) * (cfg.height + 4)) in
+    let y_tick row =
+      (* value whose transform lands on this row *)
+      let frac = float_of_int (cfg.height - 1 - row) /. float_of_int (cfg.height - 1) in
+      let v = y_min +. (frac *. y_span) in
+      match cfg.y_axis with Linear -> v | Log10 -> Float.pow 10.0 v
+    in
+    Buffer.add_string buf (Printf.sprintf "%s\n" cfg.y_label);
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 || row = cfg.height - 1 || row = cfg.height / 2 then
+            Printf.sprintf "%9.4g" (y_tick row)
+          else String.make 9 ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf " |";
+        Buffer.add_string buf (String.init cfg.width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 10 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make cfg.width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%10s%-10.4g%*s%10.4g   (%s)\n" "" x_min (cfg.width - 18) ""
+         x_max cfg.x_label);
+    List.iter
+      (fun s ->
+        if s.points <> [] then
+          Buffer.add_string buf (Printf.sprintf "          %c = %s\n" s.marker s.label))
+      series;
+    (match cfg.y_line with
+    | Some (y, ch) -> Buffer.add_string buf (Printf.sprintf "          %c = %.4g\n" ch y)
+    | None -> ());
+    Buffer.contents buf
+  end

@@ -1,0 +1,33 @@
+(** ASCII line charts for benchmark output.
+
+    Renders multiple (x, y) series on a character grid with a
+    logarithmic or linear y-axis — enough to eyeball the paper's
+    latency-vs-load curves and their crossovers directly in a
+    terminal. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;  (** (x, y); non-finite y are skipped *)
+}
+
+type axis = Linear | Log10
+
+type config = {
+  width : int;  (** plot area columns (default 64) *)
+  height : int;  (** plot area rows (default 16) *)
+  y_axis : axis;
+  x_label : string;
+  y_label : string;
+  y_line : (float * char) option;
+      (** horizontal reference rule, e.g. the 500 µs SLO *)
+}
+
+val default_config : config
+(** 64x16, log-scale y, no reference line. *)
+
+val render : ?config:config -> series list -> string
+(** Multi-line string: the grid with axes, tick labels, and a legend.
+    Series are drawn in order; later series overwrite earlier ones
+    where they collide.  Empty input yields a message rather than
+    raising. *)

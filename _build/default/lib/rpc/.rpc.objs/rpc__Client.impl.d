@@ -1,0 +1,1 @@
+lib/rpc/client.ml: E2e Frame Hashtbl Int64 Printf Sim Tcp

@@ -1,0 +1,1 @@
+lib/rpc/client.mli: E2e Sim Tcp

@@ -1,0 +1,1 @@
+lib/rpc/frame.ml: Buffer Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/rpc/frame.mli: Format

@@ -1,0 +1,1 @@
+lib/rpc/service.ml: Frame Hashtbl List Option Sim String Tcp

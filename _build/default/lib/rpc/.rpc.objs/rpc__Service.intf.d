@@ -1,0 +1,1 @@
+lib/rpc/service.mli: Sim Tcp

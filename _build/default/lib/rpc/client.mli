@@ -1,0 +1,46 @@
+(** RPC client with framework-integrated hints (§3.3).
+
+    This is the paper's adoption story made concrete: because the
+    framework owns message boundaries, it calls the hint API itself —
+    [create] when a call is issued, [complete] when its response frame
+    arrives — and installs the tracker as the socket's hint provider.
+    Applications get accurate end-to-end estimation (at both ends of
+    the connection) without writing a single instrumentation line. *)
+
+type config = {
+  send_cost : Sim.Time.span;  (** CPU cost of issuing a call *)
+  response_cost : Sim.Time.span;  (** CPU cost of handling a reply *)
+}
+
+val default_config : config
+(** 1 µs / 1 µs. *)
+
+type t
+
+val create : Sim.Engine.t -> cpu:Sim.Cpu.t -> socket:Tcp.Socket.t -> config -> t
+
+val call :
+  t ->
+  meth:string ->
+  payload:string ->
+  on_reply:(latency:Sim.Time.span -> (string, string) result -> unit) ->
+  unit
+(** Issue one call; the callback receives the response payload or the
+    server's error message, plus the end-to-end latency. *)
+
+val outstanding : t -> int
+val issued : t -> int
+val completed : t -> int
+
+val hint_tracker : t -> E2e.Hints.t
+(** The tracker the framework maintains — ready for Little's law. *)
+
+val perceived :
+  t ->
+  prev:E2e.Queue_state.share ->
+  at:Sim.Time.t ->
+  E2e.Queue_state.avgs option
+(** Client-perceived mean latency/throughput since [prev] (a share
+    previously obtained from {!hint_share}). *)
+
+val hint_share : t -> at:Sim.Time.t -> E2e.Queue_state.share

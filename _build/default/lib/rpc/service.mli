@@ -1,0 +1,34 @@
+(** RPC server: method dispatch over a simulated socket.
+
+    Event-driven and single-threaded like {!Kv.Server}, with the same
+    amortizable cost model ([beta] per wakeup, a per-call cost per
+    method), so batching economics apply to RPC traffic exactly as they
+    do to Redis traffic. *)
+
+type handler = string -> (string, string) result
+(** Request payload to response payload; [Error] becomes an
+    [Error_response] frame carrying the message. *)
+
+type config = {
+  beta : Sim.Time.span;  (** per-wakeup cost *)
+  default_call_cost : Sim.Time.span;
+      (** per-call cost for methods registered without an explicit one *)
+}
+
+val default_config : config
+(** beta = 4 µs, call cost = 5 µs. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> cpu:Sim.Cpu.t -> socket:Tcp.Socket.t -> config -> t
+
+val register : t -> ?cost:Sim.Time.span -> string -> handler -> unit
+(** Register a method.  Re-registering replaces the handler.
+    Calls to unregistered methods produce an [Error_response]. *)
+
+val methods : t -> string list
+val calls_served : t -> int
+val errors_returned : t -> int
+val wakeups : t -> int
+val batch_sizes : t -> Sim.Stats.Summary.t

@@ -1,0 +1,68 @@
+type event = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable live : int;
+  queue : event Heap.t;
+}
+
+(* Earliest deadline first; FIFO among same-instant events via [seq]. *)
+let cmp_event a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = Time.zero; next_seq = 0; live = 0; queue = Heap.create ~cmp:cmp_event }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if Time.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the simulated past";
+  let ev = { at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~after action =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(Time.add t.clock after) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev when ev.cancelled -> step t
+  | Some ev ->
+    t.clock <- ev.at;
+    t.live <- t.live - 1;
+    ev.action ();
+    true
+
+let rec run t = if step t then run t
+
+let rec run_until t deadline =
+  match Heap.peek t.queue with
+  | Some ev when ev.cancelled ->
+    ignore (Heap.pop t.queue);
+    run_until t deadline
+  | Some ev when Time.compare ev.at deadline <= 0 ->
+    ignore (step t);
+    run_until t deadline
+  | Some _ | None -> t.clock <- Time.max t.clock deadline

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    A deterministic single-threaded event loop over simulated time.
+    Events scheduled for the same instant fire in schedule order (FIFO),
+    which makes every run bit-reproducible for a given seed and
+    workload. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> after:Time.span -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after].  [after] must be
+    non-negative.  @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** Absolute-time variant.  [at] must not be in the simulated past. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events scheduled but not yet fired or cancelled. *)
+
+val step : t -> bool
+(** Fire the earliest pending event, advancing the clock to its time.
+    Returns [false] when no events remain. *)
+
+val run : t -> unit
+(** Run until no events remain. *)
+
+val run_until : t -> Time.t -> unit
+(** Fire every event scheduled strictly before or at the given time,
+    then advance the clock to exactly that time. *)

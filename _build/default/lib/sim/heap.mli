@@ -1,0 +1,30 @@
+(** Imperative binary min-heap.
+
+    The event loop's priority queue.  Elements are ordered by a
+    user-supplied comparison; ties are broken by insertion order only if
+    the comparison says so (the engine encodes a sequence number in its
+    keys to obtain deterministic FIFO tie-breaking). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp] (smallest element first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap array order); for tests. *)

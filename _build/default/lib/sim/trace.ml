@@ -1,0 +1,50 @@
+type record = { at : Time.t; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable buf : record option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let emit t ~at ~tag ~detail =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { at; tag; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let emitf t ~at ~tag fmt =
+  Format.kasprintf
+    (fun detail -> emit t ~at ~tag ~detail)
+    fmt
+
+let records t =
+  let out = ref [] in
+  let start = if t.count = t.capacity then t.next else 0 in
+  for i = t.count - 1 downto 0 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  !out
+
+let find t ~tag = List.filter (fun r -> String.equal r.tag tag) (records t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let dump t ppf =
+  List.iter
+    (fun r -> Format.fprintf ppf "[%a] %s: %s@." Time.pp r.at r.tag r.detail)
+    (records t)

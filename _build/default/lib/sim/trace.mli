@@ -1,0 +1,31 @@
+(** Lightweight structured tracing.
+
+    A bounded ring of (time, tag, detail) records that tests and
+    debugging sessions can inspect without the cost of formatting when
+    tracing is disabled. *)
+
+type record = { at : Time.t; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of at most [capacity] (default 4096) records; older
+    records are overwritten. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> at:Time.t -> tag:string -> detail:string -> unit
+(** No-op while disabled. *)
+
+val emitf :
+  t -> at:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are only evaluated when
+    tracing is enabled. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val find : t -> tag:string -> record list
+val clear : t -> unit
+val dump : t -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/tcp/conn.ml: Gro Link List Segment Sim Socket Stdlib String

@@ -1,0 +1,1 @@
+lib/tcp/delayed_ack.mli: Sim

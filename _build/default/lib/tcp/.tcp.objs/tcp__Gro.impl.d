@@ -1,0 +1,1 @@
+lib/tcp/gro.ml: List Queue Segment Sim

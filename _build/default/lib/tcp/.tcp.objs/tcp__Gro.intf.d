@@ -1,0 +1,1 @@
+lib/tcp/gro.mli: Segment Sim

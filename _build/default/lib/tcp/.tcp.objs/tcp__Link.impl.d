@@ -1,0 +1,1 @@
+lib/tcp/link.ml: Float Sim Stdlib

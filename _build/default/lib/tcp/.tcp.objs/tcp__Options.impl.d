@@ -1,0 +1,1 @@
+lib/tcp/options.ml: Buffer Char E2e List Printf String

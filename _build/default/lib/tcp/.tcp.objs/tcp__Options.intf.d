@@ -1,0 +1,1 @@
+lib/tcp/options.mli: E2e

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: E2e Format String

@@ -1,0 +1,1 @@
+lib/tcp/socket.ml: Bytebuf Delayed_ack E2e Format List Nagle Queue Rtt Segment Sim Stdlib String Unit_fifo

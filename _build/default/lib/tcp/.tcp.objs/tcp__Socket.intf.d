@@ -1,0 +1,1 @@
+lib/tcp/socket.mli: E2e Nagle Rtt Segment Sim

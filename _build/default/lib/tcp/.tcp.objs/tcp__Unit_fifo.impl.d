@@ -1,0 +1,1 @@
+lib/tcp/unit_fifo.ml: Queue Stdlib

@@ -1,0 +1,70 @@
+type t = {
+  chunks : string Queue.t;
+  mutable head_off : int;  (* consumed prefix of the front chunk *)
+  mutable len : int;
+  mutable appended : int;
+  mutable consumed : int;
+}
+
+let create () =
+  { chunks = Queue.create (); head_off = 0; len = 0; appended = 0; consumed = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let append t s =
+  if String.length s > 0 then begin
+    Queue.add s t.chunks;
+    t.len <- t.len + String.length s;
+    t.appended <- t.appended + String.length s
+  end
+
+(* Copy [n] bytes starting at the logical head into [buf]; [consume]
+   decides whether the bytes are removed. *)
+let extract t n ~consume =
+  let n = Stdlib.min n t.len in
+  let buf = Bytes.create n in
+  if consume then begin
+    let filled = ref 0 in
+    while !filled < n do
+      let chunk = Queue.peek t.chunks in
+      let avail = String.length chunk - t.head_off in
+      let take = Stdlib.min avail (n - !filled) in
+      Bytes.blit_string chunk t.head_off buf !filled take;
+      filled := !filled + take;
+      if take = avail then begin
+        ignore (Queue.pop t.chunks);
+        t.head_off <- 0
+      end
+      else t.head_off <- t.head_off + take
+    done;
+    t.len <- t.len - n;
+    t.consumed <- t.consumed + n
+  end
+  else begin
+    let filled = ref 0 in
+    let off = ref t.head_off in
+    let iter chunk =
+      if !filled < n then begin
+        let avail = String.length chunk - !off in
+        let take = Stdlib.min avail (n - !filled) in
+        Bytes.blit_string chunk !off buf !filled take;
+        filled := !filled + take;
+        off := 0
+      end
+    in
+    Queue.iter iter t.chunks
+  end;
+  Bytes.unsafe_to_string buf
+
+let read t n = extract t n ~consume:true
+let read_all t = read t t.len
+let peek t n = extract t n ~consume:false
+
+let drop t n =
+  let n = Stdlib.min n t.len in
+  ignore (read t n);
+  n
+
+let total_appended t = t.appended
+let total_consumed t = t.consumed

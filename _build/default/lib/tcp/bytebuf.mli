@@ -1,0 +1,29 @@
+(** Byte-stream FIFO carrying real payload bytes.
+
+    Send and receive socket buffers: appended strings are queued
+    without copying and sliced out on read.  Carrying actual bytes (not
+    just counts) lets the RESP protocol layer parse genuine traffic. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val append : t -> string -> unit
+
+val read : t -> int -> string
+(** [read t n] removes and returns [min n (length t)] bytes. *)
+
+val read_all : t -> string
+
+val peek : t -> int -> string
+(** Like {!read} without consuming. *)
+
+val drop : t -> int -> int
+(** [drop t n] discards up to [n] bytes; returns the number dropped. *)
+
+val total_appended : t -> int
+(** Lifetime bytes appended — conservation checks in tests. *)
+
+val total_consumed : t -> int

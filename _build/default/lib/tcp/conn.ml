@@ -1,0 +1,122 @@
+type host_params = {
+  socket : Socket.config;
+  tx_cost : Sim.Time.span;
+  rx_seg_cost : Sim.Time.span;
+  rx_batch_cost : Sim.Time.span;
+  gro : Gro.config;
+}
+
+let default_host =
+  {
+    socket = Socket.default_config;
+    tx_cost = Sim.Time.ns 300;
+    rx_seg_cost = Sim.Time.ns 150;
+    rx_batch_cost = Sim.Time.us 8;
+    gro = Gro.default_config ~mss:Socket.default_config.mss;
+  }
+
+type link_params = { prop_delay : Sim.Time.span; gbit_per_s : float }
+
+let default_link = { prop_delay = Sim.Time.us 10; gbit_per_s = 100.0 }
+
+type t = {
+  a : Socket.t;
+  b : Socket.t;
+  cpu_a : Sim.Cpu.t;
+  cpu_b : Sim.Cpu.t;
+  gro_a : Gro.t;
+  gro_b : Gro.t;
+  ab : Link.t;
+  ba : Link.t;
+}
+
+(* TSO wire split: a super-segment leaves the stack as one unit (one
+   transmit-path cost) but crosses the wire as MSS-sized packets.  The
+   metadata options ride the first packet; PSH and the message-boundary
+   count ride the last. *)
+let split_tso ~mss (seg : Segment.t) =
+  let len = Segment.len seg in
+  if len <= mss then [ seg ]
+  else begin
+    let rec go off acc =
+      if off >= len then List.rev acc
+      else begin
+        let n = Stdlib.min mss (len - off) in
+        let first = off = 0 and last = off + n >= len in
+        let sub =
+          {
+            seg with
+            Segment.seq = seg.seq + off;
+            payload = String.sub seg.payload off n;
+            push = seg.push && last;
+            msg_ends = (if last then seg.msg_ends else 0);
+            e2e = (if first then seg.e2e else None);
+            hint = (if first then seg.hint else None);
+          }
+        in
+        go (off + n) (sub :: acc)
+      end
+    in
+    go 0 []
+  end
+
+(* Transmit path: sender IRQ CPU per stack segment (one per TSO
+   super-segment) -> wire split -> link (serialization + propagation
+   per packet) -> GRO coalescing -> receiver IRQ CPU per delivery ->
+   peer socket. *)
+let wire engine ~src ~dst ~src_cpu ~dst_cpu ~(link : Link.t) ~src_params ~dst_params =
+  let gro =
+    Gro.create engine dst_params.gro ~deliver:(fun batch ->
+        (* Header-only batches (pure acks) skip the full stack
+           traversal and wakeup path; only data deliveries pay the
+           per-batch cost. *)
+        let has_payload = List.exists (fun seg -> Segment.len seg > 0) batch in
+        let cost =
+          (if has_payload then dst_params.rx_batch_cost else 0)
+          + (List.length batch * dst_params.rx_seg_cost)
+        in
+        Sim.Cpu.run dst_cpu ~cost (fun () -> Socket.receive_batch dst batch))
+  in
+  Socket.set_transmit src (fun seg ->
+      Sim.Cpu.run src_cpu ~cost:src_params.tx_cost (fun () ->
+          List.iter
+            (fun sub ->
+              Link.send link ~wire_bytes:(Segment.wire_bytes sub) (fun () ->
+                  Gro.submit gro sub))
+            (split_tso ~mss:src_params.socket.Socket.mss seg)));
+  Socket.set_cork_signal src (fun () ->
+      if Link.busy link then
+        (* Approximate the reclaim instant with a short backoff; the
+           socket re-checks on the kick. *)
+        Some (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.us 1))
+      else None);
+  gro
+
+let create engine ?(a = default_host) ?(b = default_host) ?(link_ab = default_link)
+    ?(link_ba = default_link) ?cpu_a ?cpu_b () =
+  let sock_a = Socket.create ~label:"A" engine a.socket in
+  let sock_b = Socket.create ~label:"B" engine b.socket in
+  let cpu_a = match cpu_a with Some c -> c | None -> Sim.Cpu.create engine in
+  let cpu_b = match cpu_b with Some c -> c | None -> Sim.Cpu.create engine in
+  let ab = Link.create engine ~prop_delay:link_ab.prop_delay ~gbit_per_s:link_ab.gbit_per_s in
+  let ba = Link.create engine ~prop_delay:link_ba.prop_delay ~gbit_per_s:link_ba.gbit_per_s in
+  let gro_b =
+    wire engine ~src:sock_a ~dst:sock_b ~src_cpu:cpu_a ~dst_cpu:cpu_b ~link:ab
+      ~src_params:a ~dst_params:b
+  in
+  let gro_a =
+    wire engine ~src:sock_b ~dst:sock_a ~src_cpu:cpu_b ~dst_cpu:cpu_a ~link:ba
+      ~src_params:b ~dst_params:a
+  in
+  { a = sock_a; b = sock_b; cpu_a; cpu_b; gro_a; gro_b; ab; ba }
+
+let sock_a t = t.a
+let sock_b t = t.b
+let irq_cpu_a t = t.cpu_a
+let irq_cpu_b t = t.cpu_b
+let gro_a t = t.gro_a
+let gro_b t = t.gro_b
+let link_ab t = t.ab
+let link_ba t = t.ba
+
+let total_packets t = Link.packets t.ab + Link.packets t.ba

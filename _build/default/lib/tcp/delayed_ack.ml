@@ -1,0 +1,58 @@
+type t = {
+  engine : Sim.Engine.t;
+  timeout : Sim.Time.span;
+  max_pending : int;
+  send_ack : unit -> unit;
+  mutable pending : int;
+  mutable timer : Sim.Engine.handle option;
+  mutable by_count : int;
+  mutable by_timer : int;
+}
+
+let create engine ?(timeout = Sim.Time.ms 40) ?(max_pending = 2) ~send_ack () =
+  if timeout <= 0 then invalid_arg "Delayed_ack.create: timeout must be positive";
+  if max_pending < 1 then invalid_arg "Delayed_ack.create: max_pending must be >= 1";
+  {
+    engine;
+    timeout;
+    max_pending;
+    send_ack;
+    pending = 0;
+    timer = None;
+    by_count = 0;
+    by_timer = 0;
+  }
+
+let disarm t =
+  match t.timer with
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    t.timer <- None
+  | None -> ()
+
+let on_ack_sent t =
+  t.pending <- 0;
+  disarm t
+
+let fire t =
+  t.timer <- None;
+  if t.pending > 0 then begin
+    t.by_timer <- t.by_timer + 1;
+    (* send_ack reaches the socket's transmit path, which calls
+       on_ack_sent and resets the state. *)
+    t.send_ack ()
+  end
+
+let on_data_segment t =
+  t.pending <- t.pending + 1;
+  if t.pending >= t.max_pending then begin
+    t.by_count <- t.by_count + 1;
+    t.send_ack ()
+  end
+  else if t.timer = None then
+    t.timer <- Some (Sim.Engine.schedule t.engine ~after:t.timeout (fun () -> fire t))
+
+let pending t = t.pending
+let timer_armed t = t.timer <> None
+let acks_forced_by_count t = t.by_count
+let acks_forced_by_timer t = t.by_timer

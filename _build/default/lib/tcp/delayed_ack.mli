@@ -1,0 +1,36 @@
+(** Delayed acknowledgments (RFC 1122 §4.2.3.2).
+
+    Acks are withheld hoping to piggyback on reverse-direction data: an
+    ack must go out at latest every second full-sized segment, or when
+    the delay timer (Linux default up to 40 ms) fires.  The interaction
+    of this policy with Nagle's algorithm is the classic pathology the
+    paper's motivating sources describe. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?timeout:Sim.Time.span ->
+  ?max_pending:int ->
+  send_ack:(unit -> unit) ->
+  unit ->
+  t
+(** [timeout] defaults to 40 ms, [max_pending] to 2 segments.
+    [send_ack] must emit an acknowledgment; it may be invoked
+    synchronously from {!on_data_segment} or later from the timer. *)
+
+val on_data_segment : t -> unit
+(** A payload-carrying segment arrived.  Forces an immediate ack when
+    the pending count reaches [max_pending]; otherwise arms the
+    timer. *)
+
+val on_ack_sent : t -> unit
+(** An ack left (piggybacked or pure): reset the pending count and
+    disarm the timer.  The socket must call this from its transmit
+    path. *)
+
+val pending : t -> int
+val timer_armed : t -> bool
+
+val acks_forced_by_count : t -> int
+val acks_forced_by_timer : t -> int

@@ -1,0 +1,59 @@
+type t = {
+  engine : Sim.Engine.t;
+  prop_delay : Sim.Time.span;
+  ns_per_byte : float;
+  mutable tx_free_at : Sim.Time.t;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable tx_busy : Sim.Time.span;
+  mutable loss : (Sim.Rng.t * float) option;
+  mutable dropped : int;
+}
+
+let create engine ~prop_delay ~gbit_per_s =
+  if prop_delay < 0 then invalid_arg "Link.create: negative propagation delay";
+  if gbit_per_s <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  {
+    engine;
+    prop_delay;
+    ns_per_byte = 8.0 /. gbit_per_s;
+    tx_free_at = Sim.Time.zero;
+    packets = 0;
+    bytes = 0;
+    tx_busy = 0;
+    loss = None;
+    dropped = 0;
+  }
+
+let set_loss t ~rng ~prob =
+  if prob < 0.0 || prob >= 1.0 then invalid_arg "Link.set_loss: prob must be in [0,1)";
+  t.loss <- (if prob = 0.0 then None else Some (rng, prob))
+
+let send t ~wire_bytes k =
+  if wire_bytes <= 0 then invalid_arg "Link.send: packet must have positive size";
+  let now = Sim.Engine.now t.engine in
+  let tx_time =
+    int_of_float (Float.round (float_of_int wire_bytes *. t.ns_per_byte))
+  in
+  let tx_time = Stdlib.max tx_time 1 in
+  let start = Sim.Time.max now t.tx_free_at in
+  let done_tx = Sim.Time.add start tx_time in
+  t.tx_free_at <- done_tx;
+  t.tx_busy <- t.tx_busy + tx_time;
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + wire_bytes;
+  (* Loss is decided after serialization: the sender still spent the
+     wire time, the receiver just never sees the packet. *)
+  let lost =
+    match t.loss with
+    | Some (rng, prob) -> Sim.Rng.float rng < prob
+    | None -> false
+  in
+  if lost then t.dropped <- t.dropped + 1
+  else ignore (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add done_tx t.prop_delay) k)
+
+let busy t = Sim.Time.compare t.tx_free_at (Sim.Engine.now t.engine) > 0
+let packets t = t.packets
+let bytes t = t.bytes
+let tx_busy_ns t = t.tx_busy
+let dropped t = t.dropped

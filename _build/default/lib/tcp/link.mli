@@ -1,0 +1,34 @@
+(** One-way network link.
+
+    FIFO with per-packet serialization at the configured bandwidth plus
+    fixed propagation delay — the point where packet-count overheads
+    become visible, and the resource auto-corking watches. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> prop_delay:Sim.Time.span -> gbit_per_s:float -> t
+(** @raise Invalid_argument on negative delay or non-positive rate. *)
+
+val send : t -> wire_bytes:int -> (unit -> unit) -> unit
+(** Ship a packet of [wire_bytes]; the callback fires at the receiver
+    once serialization (behind any queued packets) and propagation
+    complete. *)
+
+val busy : t -> bool
+(** Is the transmitter currently serializing (the NIC "tx ring not yet
+    reclaimed" condition auto-corking keys on)? *)
+
+val packets : t -> int
+val bytes : t -> int
+(** Lifetime counters. *)
+
+val tx_busy_ns : t -> Sim.Time.span
+(** Cumulative serialization time — link utilization. *)
+
+val set_loss : t -> rng:Sim.Rng.t -> prob:float -> unit
+(** Drop each packet independently with the given probability (after
+    serialization — the sender still pays the wire time).
+    @raise Invalid_argument for probabilities outside [0, 1). *)
+
+val dropped : t -> int

@@ -1,0 +1,30 @@
+(** Nagle's algorithm (RFC 896), runtime-toggleable.
+
+    The sender may transmit a segment when it is full-sized, when
+    nothing is in flight, or when Nagle is disabled (TCP_NODELAY);
+    otherwise sub-MSS data waits for an acknowledgment.  An optional
+    [min_send] threshold below the MSS generalizes the rule for the
+    AIMD batch-limit controller: segments at least that large may go
+    out even with data in flight. *)
+
+type t
+
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Flip at runtime — the paper's dynamic on/off toggling. *)
+
+val min_send : t -> int option
+val set_min_send : t -> int option -> unit
+(** [Some n]: treat segments of at least [n] bytes as releasable even
+    while data is in flight (AIMD-adjusted batch limit).  [None]
+    restores pure RFC 896 behaviour. *)
+
+val toggles : t -> int
+(** How many times [set_enabled] changed the state — controller
+    stability metric. *)
+
+val should_send : t -> mss:int -> chunk:int -> in_flight:int -> bool
+(** May a [chunk]-byte segment be transmitted now, given [in_flight]
+    unacknowledged bytes? *)

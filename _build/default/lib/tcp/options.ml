@@ -1,0 +1,102 @@
+type t =
+  | Nop
+  | Mss of int
+  | Window_scale of int
+  | Timestamp of { value : int; echo : int }
+  | E2e_state of E2e.Exchange.triple
+  | Unknown of { kind : int; data : string }
+
+let e2e_kind = 254
+let e2e_exid = 0xE2E0
+let max_option_space = 40
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  put_u16 buf ((v lsr 16) land 0xFFFF);
+  put_u16 buf (v land 0xFFFF)
+
+let get_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get_u32 s off = (get_u16 s off lsl 16) lor get_u16 s (off + 2)
+
+let encode_one buf = function
+  | Nop -> Buffer.add_char buf '\001'
+  | Mss v ->
+    Buffer.add_char buf '\002';
+    Buffer.add_char buf '\004';
+    put_u16 buf v
+  | Window_scale v ->
+    Buffer.add_char buf '\003';
+    Buffer.add_char buf '\003';
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  | Timestamp { value; echo } ->
+    Buffer.add_char buf '\008';
+    Buffer.add_char buf '\010';
+    put_u32 buf value;
+    put_u32 buf echo
+  | E2e_state triple ->
+    (* kind, len, 16-bit ExID, 36-byte payload: 40 bytes total. *)
+    Buffer.add_char buf (Char.chr e2e_kind);
+    Buffer.add_char buf (Char.chr (4 + E2e.Exchange.wire_size));
+    put_u16 buf e2e_exid;
+    Buffer.add_string buf (E2e.Exchange.encode triple)
+  | Unknown { kind; data } ->
+    Buffer.add_char buf (Char.chr kind);
+    Buffer.add_char buf (Char.chr (2 + String.length data));
+    Buffer.add_string buf data
+
+let encode opts =
+  let buf = Buffer.create 8 in
+  List.iter (encode_one buf) opts;
+  while Buffer.length buf mod 4 <> 0 do
+    Buffer.add_char buf '\001'
+  done;
+  let s = Buffer.contents buf in
+  if String.length s > max_option_space then
+    invalid_arg "Options.encode: block exceeds 40-byte TCP option space";
+  s
+
+let decode s =
+  let n = String.length s in
+  let rec go acc off =
+    if off >= n then Ok (List.rev acc)
+    else begin
+      match Char.code s.[off] with
+      | 0 -> Ok (List.rev acc) (* end-of-options *)
+      | 1 -> go (Nop :: acc) (off + 1)
+      | kind ->
+        if off + 1 >= n then Error "option truncated before length byte"
+        else begin
+          let len = Char.code s.[off + 1] in
+          if len < 2 || off + len > n then
+            Error (Printf.sprintf "option kind %d has bad length %d" kind len)
+          else begin
+            let body = String.sub s (off + 2) (len - 2) in
+            let item =
+              match kind with
+              | 2 when len = 4 -> Mss (get_u16 s (off + 2))
+              | 3 when len = 3 -> Window_scale (Char.code s.[off + 2])
+              | 8 when len = 10 ->
+                Timestamp { value = get_u32 s (off + 2); echo = get_u32 s (off + 6) }
+              | k
+                when k = e2e_kind
+                     && len = 4 + E2e.Exchange.wire_size
+                     && get_u16 s (off + 2) = e2e_exid -> (
+                match
+                  E2e.Exchange.decode (String.sub s (off + 4) E2e.Exchange.wire_size)
+                with
+                | Ok triple -> E2e_state triple
+                | Error _ -> Unknown { kind; data = body })
+              | _ -> Unknown { kind; data = body }
+            in
+            go (item :: acc) (off + len)
+          end
+        end
+    end
+  in
+  go [] 0
+
+let find_e2e opts =
+  List.find_map (function E2e_state t -> Some t | _ -> None) opts

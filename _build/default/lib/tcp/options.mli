@@ -1,0 +1,38 @@
+(** TCP option wire codec.
+
+    The paper proposes carrying the 36-byte queue-state exchange as a
+    standard TCP header extension (§5).  This module implements the
+    option block codec: kind/length/value items, padded to a 4-byte
+    boundary, with the E2E state under the experimental option kind
+    254 (RFC 6994 ExID discrimination). *)
+
+type t =
+  | Nop
+  | Mss of int
+  | Window_scale of int
+  | Timestamp of { value : int; echo : int }
+  | E2e_state of E2e.Exchange.triple
+  | Unknown of { kind : int; data : string }
+
+val e2e_kind : int
+(** 254, the experimental option kind. *)
+
+val e2e_exid : int
+(** The 16-bit experiment identifier distinguishing our option from
+    other kind-254 users. *)
+
+val encode : t list -> string
+(** Serialize an option list, padded with NOPs to a 4-byte multiple.
+    @raise Invalid_argument if the block exceeds the 40-byte TCP
+    option-space limit. *)
+
+val decode : string -> (t list, string) result
+(** Parse an option block.  Unrecognized kinds are preserved as
+    [Unknown]; a malformed length yields [Error]. *)
+
+val find_e2e : t list -> E2e.Exchange.triple option
+
+val max_option_space : int
+(** 40 bytes, the TCP header limit; an E2E exchange (2 + 2 + 36 = 40)
+    exactly fits, which is why the paper reduces exchange frequency
+    rather than piggybacking on segments that carry other options. *)

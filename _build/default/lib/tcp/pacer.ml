@@ -1,0 +1,50 @@
+type t = {
+  engine : Sim.Engine.t;
+  max_delay : Sim.Time.span;
+  max_batch : int;
+  forward : Segment.t -> unit;
+  held : Segment.t Queue.t;
+  mutable timer : Sim.Engine.handle option;
+  mutable batches : int;
+  mutable segments : int;
+}
+
+let create engine ~max_delay ~max_batch ~forward =
+  if max_delay < 0 then invalid_arg "Pacer.create: negative delay";
+  if max_batch < 1 then invalid_arg "Pacer.create: max_batch must be >= 1";
+  {
+    engine;
+    max_delay;
+    max_batch;
+    forward;
+    held = Queue.create ();
+    timer = None;
+    batches = 0;
+    segments = 0;
+  }
+
+let flush t =
+  (match t.timer with
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    t.timer <- None
+  | None -> ());
+  if not (Queue.is_empty t.held) then begin
+    t.batches <- t.batches + 1;
+    while not (Queue.is_empty t.held) do
+      t.forward (Queue.pop t.held)
+    done
+  end
+
+let submit t seg =
+  Queue.add seg t.held;
+  t.segments <- t.segments + 1;
+  if Queue.length t.held >= t.max_batch || t.max_delay = 0 then flush t
+  else if t.timer = None then
+    t.timer <- Some (Sim.Engine.schedule t.engine ~after:t.max_delay (fun () ->
+        t.timer <- None;
+        flush t))
+
+let pending t = Queue.length t.held
+let batches t = t.batches
+let segments t = t.segments

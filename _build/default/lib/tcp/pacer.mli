@@ -1,0 +1,26 @@
+(** Doorbell batching / transmit pacing.
+
+    Drivers may delay notifying the NIC that packets are queued
+    (xmit_more) to amortize the doorbell cost.  This wrapper holds
+    segments until either [max_batch] accumulate or [max_delay]
+    elapses, then forwards the whole run — a third batching layer for
+    the ablation benches, below Nagle and auto-corking. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  max_delay:Sim.Time.span ->
+  max_batch:int ->
+  forward:(Segment.t -> unit) ->
+  t
+(** @raise Invalid_argument when [max_delay < 0] or [max_batch < 1]. *)
+
+val submit : t -> Segment.t -> unit
+val flush : t -> unit
+
+val pending : t -> int
+val batches : t -> int
+(** Doorbell rings so far. *)
+
+val segments : t -> int

@@ -1,0 +1,35 @@
+(** Round-trip-time estimation (RFC 6298).
+
+    The paper's §2 rules RTT out as an end-to-end latency signal: it
+    misses application read delays entirely and is inflated by delayed
+    acks.  We implement the standard estimator anyway — both for stack
+    realism (the retransmission timer needs it) and so the benches can
+    demonstrate that exact failure mode against the Little's-law
+    estimates. *)
+
+type t
+
+val create : unit -> t
+
+val sample : t -> Sim.Time.span -> unit
+(** Feed one RTT measurement.  Per Karn's algorithm the caller must not
+    sample retransmitted segments.  @raise Invalid_argument on a
+    negative sample. *)
+
+val srtt : t -> Sim.Time.span option
+(** Smoothed RTT ([None] before the first sample). *)
+
+val rttvar : t -> Sim.Time.span option
+
+val rto : t -> Sim.Time.span
+(** Retransmission timeout: [srtt + 4*rttvar], clamped to
+    [min_rto, max_rto]; 1 s before any sample (RFC 6298 §2). *)
+
+val samples : t -> int
+
+val min_rto : Sim.Time.span
+(** 200 ms, the Linux floor (RFC says 1 s; every implementation
+    lowers it). *)
+
+val max_rto : Sim.Time.span
+(** 120 s. *)

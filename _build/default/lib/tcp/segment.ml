@@ -1,0 +1,34 @@
+type t = {
+  seq : int;
+  ack : int;
+  payload : string;
+  window : int;
+  push : bool;
+  msg_ends : int;
+  e2e : E2e.Exchange.triple option;
+  hint : E2e.Queue_state.share option;
+  ts_val : int option;  (* sender clock, us *)
+  ts_ecr : int option;  (* echoed peer clock, us *)
+  fin : bool;
+}
+
+let make ?(payload = "") ?(push = false) ?(msg_ends = 0) ?e2e ?hint ?ts_val ?ts_ecr
+    ?(fin = false) ~seq ~ack ~window () =
+  { seq; ack; payload; window; push; msg_ends; e2e; hint; ts_val; ts_ecr; fin }
+
+let len t = String.length t.payload
+
+let is_pure_ack t = len t = 0 && not t.fin
+
+let seq_len t = len t + if t.fin then 1 else 0
+
+let header_bytes = 78
+
+let wire_bytes t =
+  let opt = match t.e2e with None -> 0 | Some _ -> E2e.Exchange.wire_size + 4 in
+  header_bytes + len t + opt
+
+let pp ppf t =
+  Format.fprintf ppf "seq=%d ack=%d len=%d win=%d%s%s" t.seq t.ack (len t) t.window
+    (if t.push then " PSH" else "" ^ if t.fin then " FIN" else "")
+    (match t.e2e with None -> "" | Some _ -> " E2E")

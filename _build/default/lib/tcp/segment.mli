@@ -1,0 +1,57 @@
+(** TCP segments as exchanged inside the simulator.
+
+    Byte positions are full-width integers for simulator clarity; the
+    wire codec in {!Options} (and {!Seq32}) provides the genuine 32-bit
+    representation exercised by tests. *)
+
+type t = {
+  seq : int;  (** stream offset of the first payload byte *)
+  ack : int;  (** cumulative ack: next byte expected from the peer *)
+  payload : string;
+  window : int;  (** advertised receive window, bytes *)
+  push : bool;  (** PSH: carries the final byte of an app send() *)
+  msg_ends : int;
+      (** how many application send() buffers end inside this segment —
+          the receive-side message-boundary signal for syscall units *)
+  e2e : E2e.Exchange.triple option;  (** the 36-byte E2E option, §5 *)
+  hint : E2e.Queue_state.share option;
+      (** a cooperative application's in-flight-request queue state
+          (§3.3), forwarded by the sender's stack *)
+  ts_val : int option;
+      (** RFC 7323 timestamp: the sender's clock in microseconds *)
+  ts_ecr : int option;  (** echo of the most recent peer timestamp *)
+  fin : bool;  (** sender has no more data; consumes one sequence number *)
+}
+
+val make :
+  ?payload:string ->
+  ?push:bool ->
+  ?msg_ends:int ->
+  ?e2e:E2e.Exchange.triple ->
+  ?hint:E2e.Queue_state.share ->
+  ?ts_val:int ->
+  ?ts_ecr:int ->
+  ?fin:bool ->
+  seq:int ->
+  ack:int ->
+  window:int ->
+  unit ->
+  t
+
+val len : t -> int
+(** Payload length. *)
+
+val is_pure_ack : t -> bool
+
+val seq_len : t -> int
+(** Sequence space consumed: payload length plus one for FIN. *)
+
+val header_bytes : int
+(** Fixed per-segment overhead used by the link's serialization model:
+    Ethernet (14) + preamble/IFG (24 equivalent) + IPv4 (20) + TCP (20)
+    = 78 bytes. *)
+
+val wire_bytes : t -> int
+(** [header_bytes + len + option bytes]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,737 @@
+type config = {
+  mss : int;
+  nagle : bool;
+  cork : bool;
+  tso_max : int option;
+  cc_enabled : bool;
+  delack_timeout : Sim.Time.span;
+  delack_max_pending : int;
+  rcv_buf : int;
+  unit_mode : E2e.Units.t;
+  exchange : E2e.Exchange.policy;
+}
+
+let default_config =
+  {
+    mss = 1448;
+    nagle = true;
+    cork = false;
+    tso_max = None;
+    cc_enabled = false;
+    delack_timeout = Sim.Time.ms 40;
+    delack_max_pending = 2;
+    rcv_buf = 256 * 1024;
+    unit_mode = E2e.Units.Bytes;
+    exchange = E2e.Exchange.Periodic (Sim.Time.us 100);
+  }
+
+type counters = {
+  segs_out : int;
+  pure_acks_out : int;
+  bytes_out : int;
+  segs_in : int;
+  bytes_in : int;
+  sends : int;
+  nagle_holds : int;
+  cork_holds : int;
+  retransmits : int;
+  rto_fires : int;
+  fast_retransmits : int;
+}
+
+(* Connection teardown follows the RFC 793 state diagram from
+   ESTABLISHED onward (connections are created established, like a
+   socketpair). *)
+type conn_state =
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+let state_to_string = function
+  | Established -> "established"
+  | Fin_wait_1 -> "fin-wait-1"
+  | Fin_wait_2 -> "fin-wait-2"
+  | Close_wait -> "close-wait"
+  | Closing -> "closing"
+  | Last_ack -> "last-ack"
+  | Time_wait -> "time-wait"
+  | Closed -> "closed"
+
+(* A transmitted, unacknowledged extent kept for retransmission.  The
+   message-boundary metadata travels with it so a retransmitted segment
+   still tells the receiver where application messages end. *)
+type retx_entry = {
+  mutable r_seq : int;
+  mutable r_payload : string;
+  r_push : bool;
+  r_msg_ends : int;
+  r_fin : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : config;
+  label : string;
+  nagle : Nagle.t;
+  estim : E2e.Estimator.t;
+  exchange_sched : E2e.Exchange.scheduler;
+  (* sender state *)
+  sndbuf : Bytebuf.t;
+  mutable snd_una : int;  (* oldest unacknowledged byte *)
+  mutable snd_nxt : int;  (* next byte to put on the wire *)
+  mutable snd_write : int;  (* next byte position the app will write *)
+  boundaries : int Queue.t;  (* stream positions where send() buffers end *)
+  unacked_fifo : Unit_fifo.t;
+  mutable peer_window : int;
+  mutable transmit : Segment.t -> unit;
+  mutable cork_signal : unit -> Sim.Time.t option;
+  mutable cork_kick_armed : bool;
+  (* reliability *)
+  retx : retx_entry Queue.t;
+  mutable rto_timer : Sim.Engine.handle option;
+  mutable rto_backoff : int;
+  mutable dup_acks : int;
+  (* congestion control (Reno-style, optional) *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  (* teardown *)
+  mutable conn_state : conn_state;
+  mutable fin_pending : bool;  (* close() called, FIN not yet emitted *)
+  mutable fin_sent_seq : int option;
+  mutable fin_fifo_adjusted : bool;  (* FIN seq excluded from unacked fifo once *)
+  mutable peer_fin : bool;
+  (* receiver state *)
+  recvbuf : Bytebuf.t;
+  mutable rcv_nxt : int;  (* next in-order byte expected *)
+  mutable rcv_wup : int;  (* highest ack we have sent *)
+  mutable last_advertised : int;
+  mutable ooo : Segment.t list;  (* out-of-order segments, sorted by seq *)
+  unread_fifo : Unit_fifo.t;
+  ackdelay_fifo : Unit_fifo.t;
+  mutable delack : Delayed_ack.t option;
+  mutable readable_cb : unit -> unit;
+  (* RTT estimation (RFC 7323 timestamps feeding RFC 6298) *)
+  rtt : Rtt.t;
+  mutable ts_recent : int;  (* latest peer ts_val seen on data, us; -1 = none *)
+  (* diagnostics *)
+  mutable trace : Sim.Trace.t option;
+  (* hints (§3.3) *)
+  mutable hint_provider : (at:Sim.Time.t -> E2e.Queue_state.share) option;
+  mutable hint_prev : E2e.Queue_state.share option;
+  mutable hint_cur : E2e.Queue_state.share option;
+  (* counters *)
+  mutable segs_out : int;
+  mutable pure_acks_out : int;
+  mutable bytes_out : int;
+  mutable segs_in : int;
+  mutable bytes_in : int;
+  mutable sends : int;
+  mutable nagle_holds : int;
+  mutable cork_holds : int;
+  mutable retransmits : int;
+  mutable rto_fires : int;
+  mutable fast_retransmits : int;
+}
+
+let label t = t.label
+
+let initial_cwnd_segments = 10
+
+let create ?(label = "sock") engine cfg =
+  if cfg.mss <= 0 then invalid_arg "Socket.create: mss must be positive";
+  if cfg.rcv_buf < cfg.mss then invalid_arg "Socket.create: rcv_buf below one MSS";
+  {
+    engine;
+    cfg;
+    label;
+    nagle = Nagle.create ~enabled:cfg.nagle;
+    estim = E2e.Estimator.create ~at:(Sim.Engine.now engine);
+    exchange_sched = E2e.Exchange.scheduler cfg.exchange;
+    sndbuf = Bytebuf.create ();
+    snd_una = 0;
+    snd_nxt = 0;
+    snd_write = 0;
+    boundaries = Queue.create ();
+    unacked_fifo = Unit_fifo.create ();
+    peer_window = cfg.rcv_buf;
+    transmit = (fun _ -> failwith "Socket: transmit path not wired");
+    cork_signal = (fun () -> None);
+    cork_kick_armed = false;
+    retx = Queue.create ();
+    rto_timer = None;
+    rto_backoff = 0;
+    dup_acks = 0;
+    cwnd = initial_cwnd_segments * cfg.mss;
+    ssthresh = max_int;
+    conn_state = Established;
+    fin_pending = false;
+    fin_sent_seq = None;
+    fin_fifo_adjusted = false;
+    peer_fin = false;
+    recvbuf = Bytebuf.create ();
+    rcv_nxt = 0;
+    rcv_wup = 0;
+    last_advertised = cfg.rcv_buf;
+    ooo = [];
+    unread_fifo = Unit_fifo.create ();
+    ackdelay_fifo = Unit_fifo.create ();
+    delack = None;
+    readable_cb = ignore;
+    rtt = Rtt.create ();
+    ts_recent = -1;
+    trace = None;
+    hint_provider = None;
+    hint_prev = None;
+    hint_cur = None;
+    segs_out = 0;
+    pure_acks_out = 0;
+    bytes_out = 0;
+    segs_in = 0;
+    bytes_in = 0;
+    sends = 0;
+    nagle_holds = 0;
+    cork_holds = 0;
+    retransmits = 0;
+    rto_fires = 0;
+    fast_retransmits = 0;
+  }
+
+let now t = Sim.Engine.now t.engine
+
+let trace t tag fmt =
+  match t.trace with
+  | Some tr -> Sim.Trace.emitf tr ~at:(now t) ~tag fmt
+  | None -> Format.ikfprintf ignore Format.str_formatter fmt
+
+let advertised_window t = Stdlib.max 0 (t.cfg.rcv_buf - Bytebuf.length t.recvbuf)
+
+let in_flight t = t.snd_nxt - t.snd_una
+
+let send_window t =
+  if t.cfg.cc_enabled then Stdlib.min t.peer_window t.cwnd else t.peer_window
+
+(* Record that an ack for everything received is about to leave in some
+   segment: drain the ackdelay queue and reset the delayed-ack state. *)
+let note_ack_leaving t =
+  let unacked_rx = t.rcv_nxt - t.rcv_wup in
+  if unacked_rx > 0 then begin
+    (* the peer's FIN consumes a sequence number that carries no
+       payload, so clamp to the bytes actually queued *)
+    let bytes = Stdlib.min unacked_rx (Unit_fifo.pending_bytes t.ackdelay_fifo) in
+    let units = Unit_fifo.drain t.ackdelay_fifo ~bytes in
+    if units > 0 then E2e.Estimator.track_ackdelay t.estim ~at:(now t) (-units);
+    t.rcv_wup <- t.rcv_nxt
+  end;
+  match t.delack with Some d -> Delayed_ack.on_ack_sent d | None -> ()
+
+let attach_metadata t =
+  let at = now t in
+  let e2e =
+    if E2e.Exchange.should_attach t.exchange_sched ~now:at then
+      Some (E2e.Estimator.local_snapshot t.estim ~at)
+    else None
+  in
+  let hint =
+    match (e2e, t.hint_provider) with
+    | Some _, Some provider -> Some (provider ~at)
+    | _ -> None
+  in
+  (e2e, hint)
+
+(* Put one segment on the wire, piggybacking the cumulative ack and
+   whatever metadata is due.  [seq] may be below [snd_nxt] for a
+   retransmission. *)
+let put_on_wire ?(fin = false) t ~seq ~payload ~push ~msg_ends =
+  let e2e, hint = attach_metadata t in
+  let seg =
+    {
+      Segment.seq;
+      ack = t.rcv_nxt;
+      payload;
+      window = advertised_window t;
+      push;
+      msg_ends;
+      e2e;
+      hint;
+      ts_val = Some (Sim.Time.to_ns (now t) / 1_000);
+      ts_ecr = (if t.ts_recent >= 0 then Some t.ts_recent else None);
+      fin;
+    }
+  in
+  note_ack_leaving t;
+  t.last_advertised <- seg.window;
+  if String.length payload = 0 && not fin then t.pure_acks_out <- t.pure_acks_out + 1;
+  t.transmit seg
+
+(* {2 Retransmission timer} *)
+
+let current_rto t =
+  let base = Rtt.rto t.rtt in
+  let scaled = base lsl Stdlib.min t.rto_backoff 6 in
+  Stdlib.min scaled Rtt.max_rto
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  if t.rto_timer = None && in_flight t > 0 then
+    t.rto_timer <-
+      Some (Sim.Engine.schedule t.engine ~after:(current_rto t) (fun () -> on_rto t))
+
+and restart_rto t =
+  cancel_rto t;
+  arm_rto t
+
+and retransmit_head t ~counter =
+  match Queue.peek_opt t.retx with
+  | None -> ()
+  | Some entry ->
+    counter t;
+    t.retransmits <- t.retransmits + 1;
+    trace t "retx" "seq=%d len=%d" entry.r_seq (String.length entry.r_payload);
+    put_on_wire t ~fin:entry.r_fin ~seq:entry.r_seq ~payload:entry.r_payload
+      ~push:entry.r_push ~msg_ends:entry.r_msg_ends
+
+and on_rto t =
+  t.rto_timer <- None;
+  if in_flight t > 0 then begin
+    (* Loss signal: collapse the congestion window and back off. *)
+    if t.cfg.cc_enabled then begin
+      t.ssthresh <- Stdlib.max (in_flight t / 2) (2 * t.cfg.mss);
+      t.cwnd <- t.cfg.mss
+    end;
+    t.rto_backoff <- t.rto_backoff + 1;
+    retransmit_head t ~counter:(fun t -> t.rto_fires <- t.rto_fires + 1);
+    arm_rto t
+  end
+
+(* {2 Transmission} *)
+
+let emit_fresh t ~payload ~push ~msg_ends =
+  let len = String.length payload in
+  let seq = t.snd_nxt in
+  t.snd_nxt <- t.snd_nxt + len;
+  t.segs_out <- t.segs_out + 1;
+  t.bytes_out <- t.bytes_out + len;
+  Queue.add
+    { r_seq = seq; r_payload = payload; r_push = push; r_msg_ends = msg_ends;
+      r_fin = false }
+    t.retx;
+  if E2e.Units.equal t.cfg.unit_mode E2e.Units.Packets then begin
+    E2e.Estimator.track_unacked t.estim ~at:(now t) 1;
+    Unit_fifo.push t.unacked_fifo ~bytes:len ~units:1
+  end;
+  trace t "tx" "seq=%d len=%d%s" seq len (if push then " PSH" else "");
+  put_on_wire t ~seq ~payload ~push ~msg_ends;
+  arm_rto t
+
+let send_pure_ack t = put_on_wire t ~seq:t.snd_nxt ~payload:"" ~push:false ~msg_ends:0
+
+(* Count send()-buffer boundaries completed by the [chunk] bytes that
+   are about to leave, consuming them from the queue; the last one
+   landing exactly at the segment end sets PSH. *)
+let consume_boundaries t ~upto =
+  let ends = ref 0 in
+  let push = ref false in
+  let rec go () =
+    match Queue.peek_opt t.boundaries with
+    | Some b when b <= upto ->
+      ignore (Queue.pop t.boundaries);
+      incr ends;
+      if b = upto then push := true;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  (!ends, !push)
+
+let rec try_transmit t =
+  maybe_emit_fin t;
+  let pending = Bytebuf.length t.sndbuf in
+  if pending > 0 then begin
+    let window_avail = send_window t - in_flight t in
+    (* With TSO the stack hands the NIC super-segments up to tso_max;
+       they are cut to MSS on the wire by the transmit path. *)
+    let max_chunk =
+      match t.cfg.tso_max with
+      | Some m -> Stdlib.max t.cfg.mss m
+      | None -> t.cfg.mss
+    in
+    let chunk = Stdlib.min pending (Stdlib.min max_chunk window_avail) in
+    if chunk > 0 then begin
+      if not (Nagle.should_send t.nagle ~mss:t.cfg.mss ~chunk ~in_flight:(in_flight t))
+      then begin
+        t.nagle_holds <- t.nagle_holds + 1;
+        trace t "hold" "nagle holds %dB (in-flight %d)" chunk (in_flight t)
+      end
+      else begin
+        match (t.cfg.cork, chunk < t.cfg.mss, t.cork_signal ()) with
+        | true, true, Some free_at ->
+          (* Auto-cork: transmitter busy and the segment is small; hold
+             until the NIC frees and retry. *)
+          t.cork_holds <- t.cork_holds + 1;
+          if not t.cork_kick_armed then begin
+            t.cork_kick_armed <- true;
+            ignore
+              (Sim.Engine.schedule_at t.engine ~at:free_at (fun () ->
+                   t.cork_kick_armed <- false;
+                   try_transmit t))
+          end
+        | _ ->
+          let payload = Bytebuf.read t.sndbuf chunk in
+          let msg_ends, push = consume_boundaries t ~upto:(t.snd_nxt + chunk) in
+          emit_fresh t ~payload ~push ~msg_ends;
+          try_transmit t
+      end
+    end
+  end
+  else maybe_emit_fin t
+
+(* The FIN leaves once every queued byte has been handed to the wire;
+   it consumes one sequence number and is retransmittable. *)
+and maybe_emit_fin t =
+  if t.fin_pending && Bytebuf.is_empty t.sndbuf && t.fin_sent_seq = None then begin
+    let seq = t.snd_nxt in
+    t.fin_sent_seq <- Some seq;
+    t.fin_pending <- false;
+    t.snd_nxt <- t.snd_nxt + 1;
+    Queue.add
+      { r_seq = seq; r_payload = ""; r_push = false; r_msg_ends = 0; r_fin = true }
+      t.retx;
+    put_on_wire t ~fin:true ~seq ~payload:"" ~push:false ~msg_ends:0;
+    arm_rto t
+  end
+
+let kick = try_transmit
+
+let send t data =
+  (match t.conn_state with
+  | Established | Close_wait -> ()
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed ->
+    invalid_arg "Socket.send: socket is closing or closed");
+  let len = String.length data in
+  if len > 0 then begin
+    t.sends <- t.sends + 1;
+    Bytebuf.append t.sndbuf data;
+    t.snd_write <- t.snd_write + len;
+    Queue.add t.snd_write t.boundaries;
+    let at = now t in
+    (match t.cfg.unit_mode with
+    | E2e.Units.Bytes | E2e.Units.Hinted ->
+      E2e.Estimator.track_unacked t.estim ~at len;
+      Unit_fifo.push t.unacked_fifo ~bytes:len ~units:len
+    | E2e.Units.Syscalls ->
+      E2e.Estimator.track_unacked t.estim ~at 1;
+      Unit_fifo.push t.unacked_fifo ~bytes:len ~units:1
+    | E2e.Units.Packets -> (* tracked at segment transmission *) ());
+    try_transmit t
+  end
+
+let ensure_delack t =
+  match t.delack with
+  | Some d -> d
+  | None ->
+    let d =
+      Delayed_ack.create t.engine ~timeout:t.cfg.delack_timeout
+        ~max_pending:t.cfg.delack_max_pending
+        ~send_ack:(fun () -> send_pure_ack t)
+        ()
+    in
+    t.delack <- Some d;
+    d
+
+let rx_units t ~len ~msg_ends =
+  match t.cfg.unit_mode with
+  | E2e.Units.Bytes | E2e.Units.Hinted -> len
+  | E2e.Units.Packets -> 1
+  | E2e.Units.Syscalls -> msg_ends
+
+(* {2 Teardown helpers} *)
+
+let enter_time_wait t =
+  t.conn_state <- Time_wait;
+  (* 2MSL stand-in: twice the RTO floor is plenty at simulation scale *)
+  ignore
+    (Sim.Engine.schedule t.engine ~after:(2 * Rtt.min_rto) (fun () ->
+         if t.conn_state = Time_wait then t.conn_state <- Closed))
+
+(* {2 Acknowledgment processing (sender side)} *)
+
+let retx_len e = String.length e.r_payload + if e.r_fin then 1 else 0
+
+let drop_acked_retx t =
+  let rec go () =
+    match Queue.peek_opt t.retx with
+    | Some e when e.r_seq + retx_len e <= t.snd_una ->
+      ignore (Queue.pop t.retx);
+      go ()
+    | Some e when e.r_seq < t.snd_una ->
+      (* partial coverage: trim the acknowledged prefix *)
+      let cut = t.snd_una - e.r_seq in
+      e.r_payload <- String.sub e.r_payload cut (String.length e.r_payload - cut);
+      e.r_seq <- t.snd_una
+    | Some _ | None -> ()
+  in
+  go ()
+
+let process_ack t (seg : Segment.t) ~at =
+  let acked = seg.ack - t.snd_una in
+  if acked > 0 then begin
+    trace t "ack" "acked=%d una=%d" acked (t.snd_una + acked);
+    t.snd_una <- t.snd_una + acked;
+    t.dup_acks <- 0;
+    t.rto_backoff <- 0;
+    drop_acked_retx t;
+    if in_flight t = 0 then cancel_rto t else restart_rto t;
+    (* congestion window growth *)
+    if t.cfg.cc_enabled then begin
+      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + acked (* slow start *)
+      else t.cwnd <- t.cwnd + Stdlib.max 1 (t.cfg.mss * t.cfg.mss / t.cwnd);
+      t.cwnd <- Stdlib.min t.cwnd (64 * 1024 * 1024)
+    end;
+    (* the FIN consumes one sequence number that never entered the
+       byte-accounting fifo *)
+    let fifo_bytes =
+      match t.fin_sent_seq with
+      | Some fs when seg.ack > fs && not t.fin_fifo_adjusted ->
+        t.fin_fifo_adjusted <- true;
+        acked - 1
+      | _ -> acked
+    in
+    let fifo_bytes = Stdlib.min fifo_bytes (Unit_fifo.pending_bytes t.unacked_fifo) in
+    let units = Unit_fifo.drain t.unacked_fifo ~bytes:fifo_bytes in
+    if units > 0 then E2e.Estimator.track_unacked t.estim ~at (-units);
+    (* teardown progress: our FIN is acknowledged *)
+    (match t.fin_sent_seq with
+    | Some fs when seg.ack > fs -> (
+      match t.conn_state with
+      | Fin_wait_1 -> t.conn_state <- Fin_wait_2
+      | Closing -> enter_time_wait t
+      | Last_ack -> t.conn_state <- Closed
+      | Established | Fin_wait_2 | Close_wait | Time_wait | Closed -> ())
+    | _ -> ());
+    (* RTT sample from the echoed timestamp (RFC 7323 resolves Karn's
+       retransmission ambiguity because retransmits carry fresh
+       timestamps). *)
+    match seg.ts_ecr with
+    | Some ecr ->
+      let sample_ns = Sim.Time.to_ns at - (ecr * 1_000) in
+      if sample_ns >= 0 then Rtt.sample t.rtt sample_ns
+    | None -> ()
+  end
+  else if Segment.is_pure_ack seg && seg.ack = t.snd_una && in_flight t > 0 then begin
+    (* duplicate ack: the receiver is missing something *)
+    t.dup_acks <- t.dup_acks + 1;
+    if t.dup_acks = 3 then begin
+      if t.cfg.cc_enabled then begin
+        t.ssthresh <- Stdlib.max (in_flight t / 2) (2 * t.cfg.mss);
+        t.cwnd <- t.ssthresh
+      end;
+      retransmit_head t ~counter:(fun t ->
+          t.fast_retransmits <- t.fast_retransmits + 1);
+      restart_rto t
+    end
+  end;
+  t.peer_window <- seg.window
+
+(* {2 In-order delivery (receiver side)} *)
+
+let accept_payload t (seg : Segment.t) ~at =
+  (* [seg.seq <= t.rcv_nxt < seg.seq + len]: append the new suffix. *)
+  let len = Segment.len seg in
+  let skip = t.rcv_nxt - seg.seq in
+  let fresh = len - skip in
+  let payload = if skip = 0 then seg.payload else String.sub seg.payload skip fresh in
+  trace t "rx" "seq=%d fresh=%d" seg.seq fresh;
+  t.rcv_nxt <- t.rcv_nxt + fresh;
+  t.bytes_in <- t.bytes_in + fresh;
+  Bytebuf.append t.recvbuf payload;
+  let units = rx_units t ~len:fresh ~msg_ends:seg.msg_ends in
+  if units > 0 then begin
+    E2e.Estimator.track_unread t.estim ~at units;
+    E2e.Estimator.track_ackdelay t.estim ~at units
+  end;
+  Unit_fifo.push t.unread_fifo ~bytes:fresh ~units;
+  Unit_fifo.push t.ackdelay_fifo ~bytes:fresh ~units;
+  (match seg.ts_val with Some v -> t.ts_recent <- v | None -> ())
+
+let process_fin t =
+  if not t.peer_fin then begin
+    trace t "fin" "peer closed (rcv_nxt=%d)" (t.rcv_nxt + 1);
+    t.peer_fin <- true;
+    t.rcv_nxt <- t.rcv_nxt + 1;
+    (match t.conn_state with
+    | Established -> t.conn_state <- Close_wait
+    | Fin_wait_1 ->
+      (* simultaneous close: our FIN is out but unacked *)
+      t.conn_state <- Closing
+    | Fin_wait_2 -> enter_time_wait t
+    | Close_wait | Closing | Last_ack | Time_wait | Closed -> ())
+  end
+
+(* Pull any now-contiguous out-of-order segments into the stream. *)
+let rec drain_ooo t ~at =
+  match t.ooo with
+  | seg :: rest when seg.Segment.seq <= t.rcv_nxt ->
+    t.ooo <- rest;
+    if seg.Segment.seq + Segment.len seg > t.rcv_nxt then accept_payload t seg ~at;
+    if seg.Segment.fin && seg.Segment.seq + Segment.seq_len seg > t.rcv_nxt then
+      process_fin t;
+    drain_ooo t ~at
+  | _ -> ()
+
+let insert_ooo t seg =
+  let seq = seg.Segment.seq in
+  if not (List.exists (fun (s : Segment.t) -> s.seq = seq) t.ooo) then
+    t.ooo <-
+      List.sort (fun (a : Segment.t) (b : Segment.t) -> compare a.seq b.seq)
+        (seg :: t.ooo)
+
+let process_payload t (seg : Segment.t) ~at =
+  let seg_end = seg.seq + Segment.seq_len seg in
+  if seg_end <= t.rcv_nxt then
+    (* pure duplicate (a retransmission we already have): re-ack so the
+       sender can advance *)
+    send_pure_ack t
+  else if seg.seq > t.rcv_nxt then begin
+    (* a hole precedes this segment: buffer and emit an immediate
+       duplicate ack (RFC 5681) *)
+    insert_ooo t seg;
+    send_pure_ack t
+  end
+  else begin
+    accept_payload t seg ~at;
+    drain_ooo t ~at;
+    if seg.fin then process_fin t;
+    Delayed_ack.on_data_segment (ensure_delack t);
+    (* Acks must not linger behind a FIN or buffered out-of-order
+       data. *)
+    if t.ooo <> [] || seg.fin then send_pure_ack t
+  end
+
+let receive_one t ~notify (seg : Segment.t) =
+  let at = now t in
+  t.segs_in <- t.segs_in + 1;
+  (* Metadata first so estimates are fresh for any controller that runs
+     from the readable callback. *)
+  (match seg.e2e with
+  | Some triple -> E2e.Estimator.ingest_remote t.estim triple
+  | None -> ());
+  (match seg.hint with
+  | Some share ->
+    (* Keep a (baseline, latest) pair: the first share anchors the
+       window so consumers can estimate over the whole connection (or
+       re-anchor themselves from a snapshot they saved). *)
+    if t.hint_prev = None then t.hint_prev <- Some share;
+    t.hint_cur <- Some share
+  | None -> ());
+  process_ack t seg ~at;
+  let len = Segment.len seg in
+  if len > 0 || seg.fin then process_payload t seg ~at;
+  (* An ack may have freed Nagle-, window-, cwnd-held data or a
+     pending FIN. *)
+  if seg.ack > 0 || seg.window > 0 then try_transmit t;
+  (* the readable callback also signals EOF *)
+  if notify && (len > 0 || t.peer_fin) then t.readable_cb ()
+
+let receive_segment t seg = receive_one t ~notify:true seg
+
+(* A coalesced (GRO) delivery: the application is woken once, after the
+   whole batch has been appended — one epoll event per delivery. *)
+let receive_batch t segs =
+  let had_payload =
+    List.fold_left
+      (fun acc seg ->
+        receive_one t ~notify:false seg;
+        acc || Segment.len seg > 0 || seg.Segment.fin)
+      false segs
+  in
+  if had_payload then t.readable_cb ()
+
+let recv t n =
+  let data = Bytebuf.read t.recvbuf n in
+  let len = String.length data in
+  if len > 0 then begin
+    let units = Unit_fifo.drain t.unread_fifo ~bytes:len in
+    if units > 0 then E2e.Estimator.track_unread t.estim ~at:(now t) (-units);
+    (* Window-update ack when the advertised window recovers from
+       (nearly) closed, so a blocked sender resumes. *)
+    let wnd = advertised_window t in
+    if t.last_advertised < t.cfg.mss && wnd >= t.cfg.mss then send_pure_ack t
+  end;
+  data
+
+let recv_available t = Bytebuf.length t.recvbuf
+
+let on_readable t cb = t.readable_cb <- cb
+let set_transmit t f = t.transmit <- f
+let set_cork_signal t f = t.cork_signal <- f
+
+let nagle t = t.nagle
+let set_nagle_enabled t v = Nagle.set_enabled t.nagle v
+
+(* {2 Teardown API} *)
+
+let close t =
+  match t.conn_state with
+  | Established ->
+    t.conn_state <- Fin_wait_1;
+    t.fin_pending <- true;
+    try_transmit t
+  | Close_wait ->
+    t.conn_state <- Last_ack;
+    t.fin_pending <- true;
+    try_transmit t
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed ->
+    (* closing twice is a no-op *)
+    ()
+
+let state t = t.conn_state
+let state_string t = state_to_string t.conn_state
+
+let eof t = t.peer_fin && Bytebuf.is_empty t.recvbuf
+
+let estimator t = t.estim
+let rtt t = t.rtt
+let set_trace t tr = t.trace <- Some tr
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+
+let set_hint_provider t f = t.hint_provider <- Some f
+
+let remote_hint_window t =
+  match (t.hint_prev, t.hint_cur) with
+  | Some prev, Some cur -> Some (prev, cur)
+  | _ -> None
+
+let request_exchange t = E2e.Exchange.request t.exchange_sched
+
+let counters t =
+  {
+    segs_out = t.segs_out;
+    pure_acks_out = t.pure_acks_out;
+    bytes_out = t.bytes_out;
+    segs_in = t.segs_in;
+    bytes_in = t.bytes_in;
+    sends = t.sends;
+    nagle_holds = t.nagle_holds;
+    cork_holds = t.cork_holds;
+    retransmits = t.retransmits;
+    rto_fires = t.rto_fires;
+    fast_retransmits = t.fast_retransmits;
+  }
+
+let acks_by_timer t =
+  match t.delack with Some d -> Delayed_ack.acks_forced_by_timer d | None -> 0
+
+let unacked_bytes t = in_flight t
+let unsent_bytes t = Bytebuf.length t.sndbuf

@@ -1,0 +1,177 @@
+(** A simulated TCP socket endpoint.
+
+    Implements the transmit-side batching machinery the paper studies —
+    MSS segmentation, Nagle's algorithm (runtime-toggleable), auto-
+    corking — the receive side with delayed acknowledgments and flow
+    control, and the paper's instrumentation: every change to the three
+    §3.2 queues (sent-unacked, received-unread, delayed-ack) is
+    reported to a per-connection {!E2e.Estimator.t} in the configured
+    message unit, and queue-state snapshots are exchanged with the peer
+    through a TCP option on outgoing segments.
+
+    Reliability: cumulative acks with retransmission (an RFC 6298 RTO
+    with exponential backoff, plus triple-duplicate-ack fast
+    retransmit), out-of-order reassembly at the receiver, and optional
+    Reno-style congestion control ([cc_enabled]; off by default, as the
+    paper's benchmarks run on an uncongested lossless LAN — see
+    {!Link.set_loss} to inject drops).  Sequence numbers are full-width
+    integers (see {!Seq32} for the wire form). *)
+
+type config = {
+  mss : int;  (** maximum segment payload, default 1448 *)
+  nagle : bool;  (** initial Nagle state *)
+  cork : bool;  (** auto-corking: hold sub-MSS data while the NIC
+                    transmitter is busy *)
+  tso_max : int option;
+      (** TCP segmentation offload: hand the transmit path
+          super-segments up to this many bytes (split to MSS on the
+          wire by {!Conn}); [None] disables TSO *)
+  cc_enabled : bool;
+      (** Reno-style congestion control: initial window 10 MSS, slow
+          start / congestion avoidance, multiplicative decrease on loss
+          signals *)
+  delack_timeout : Sim.Time.span;  (** delayed-ack timer, default 40 ms *)
+  delack_max_pending : int;  (** ack at latest every N data segments *)
+  rcv_buf : int;  (** receive buffer / advertised window bound *)
+  unit_mode : E2e.Units.t;  (** queue accounting unit (§3.3) *)
+  exchange : E2e.Exchange.policy;  (** when to attach the E2E option *)
+}
+
+val default_config : config
+(** MSS 1448, Nagle on, cork off, TSO off, congestion control off,
+    40 ms/2-segment delayed acks, 256 KiB receive buffer, byte units,
+    periodic 100 µs exchange. *)
+
+type t
+
+val create : ?label:string -> Sim.Engine.t -> config -> t
+
+val label : t -> string
+
+(** {1 Wiring (done by {!Conn})} *)
+
+val set_transmit : t -> (Segment.t -> unit) -> unit
+(** Install the path that puts a finished segment on the wire. *)
+
+val set_cork_signal : t -> (unit -> Sim.Time.t option) -> unit
+(** Auto-corking probe: [Some t] when the transmitter is busy until
+    [t], [None] when idle. *)
+
+val receive_segment : t -> Segment.t -> unit
+(** Deliver a segment from the wire (after link + IRQ delays). *)
+
+val receive_batch : t -> Segment.t list -> unit
+(** Deliver a GRO-coalesced run of segments, firing the readable
+    callback once at the end — one epoll event per delivery. *)
+
+(** {1 Application interface} *)
+
+val send : t -> string -> unit
+(** Queue one application write (a [send(2)] call); triggers
+    transmission subject to Nagle/cork/window rules. *)
+
+val recv : t -> int -> string
+(** Read up to [n] bytes of in-order received data. *)
+
+val recv_available : t -> int
+
+val on_readable : t -> (unit -> unit) -> unit
+(** Callback fired whenever new payload is delivered. *)
+
+val kick : t -> unit
+(** Re-attempt transmission (cork release, controller changes). *)
+
+(** {1 Teardown}
+
+    Connections are created established (like a socketpair) and torn
+    down with the RFC 793 FIN handshake. *)
+
+type conn_state =
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+val close : t -> unit
+(** Half-close: queued data still drains, then a FIN goes out (it
+    consumes one sequence number and is retransmitted like data).
+    Subsequent {!send} calls raise; receiving continues until the peer
+    closes too.  Idempotent. *)
+
+val state : t -> conn_state
+val state_string : t -> string
+
+val eof : t -> bool
+(** The peer closed and every delivered byte has been read. *)
+
+(** {1 Batching controls} *)
+
+val nagle : t -> Nagle.t
+val set_nagle_enabled : t -> bool -> unit
+
+(** {1 End-to-end estimation} *)
+
+val estimator : t -> E2e.Estimator.t
+(** The estimator fed by this socket's queue instrumentation. *)
+
+val cwnd : t -> int
+(** Current congestion window in bytes (meaningful with
+    [cc_enabled]). *)
+
+val ssthresh : t -> int
+
+val rtt : t -> Rtt.t
+(** The RFC 6298 estimator fed by echoed segment timestamps — the
+    baseline signal the paper shows is insufficient for end-to-end
+    latency (it misses application read delays and is inflated by
+    delayed acks). *)
+
+val set_hint_provider : t -> (at:Sim.Time.t -> E2e.Queue_state.share) -> unit
+(** §3.3 cooperative-application mode: attach the application's
+    in-flight-request queue state to outgoing segments instead of
+    relying on stack queues alone. *)
+
+val remote_hint_window :
+  t -> (E2e.Queue_state.share * E2e.Queue_state.share) option
+(** The first and the most recent hint shares received from the peer —
+    the server-side view of client-perceived performance over the
+    connection.  For sub-windows, save the latest share as a baseline
+    and difference against a later one. *)
+
+val request_exchange : t -> unit
+(** Ask for an E2E option on the next transmission (on-demand policy). *)
+
+(** {1 Counters} *)
+
+type counters = {
+  segs_out : int;  (** data-carrying segments sent (fresh, not retx) *)
+  pure_acks_out : int;
+  bytes_out : int;  (** payload bytes sent *)
+  segs_in : int;
+  bytes_in : int;
+  sends : int;  (** application send() calls *)
+  nagle_holds : int;  (** transmission opportunities deferred by Nagle *)
+  cork_holds : int;
+  retransmits : int;  (** segments re-sent (timer or fast retransmit) *)
+  rto_fires : int;
+  fast_retransmits : int;
+}
+
+val counters : t -> counters
+
+val set_trace : t -> Sim.Trace.t -> unit
+(** Attach a trace ring: the socket emits [tx]/[retx]/[rx]/[ack]/
+    [hold]/[fin] records (only while the trace is enabled). *)
+
+val acks_by_timer : t -> int
+(** Acks this endpoint sent because the delayed-ack timer expired. *)
+
+val unacked_bytes : t -> int
+(** Bytes sent and not yet acknowledged. *)
+
+val unsent_bytes : t -> int
+(** Bytes queued but not yet segmented onto the wire. *)

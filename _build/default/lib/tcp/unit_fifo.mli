@@ -1,0 +1,27 @@
+(** Byte-range to message-unit translation.
+
+    The stack's queues drain in bytes, but the estimator may count
+    items in coarser units (send-calls, packets).  This FIFO remembers
+    how many units each contiguous byte extent represents and converts
+    a byte drain into the number of units completed: a unit is credited
+    proportionally as its extent drains, with whole units granted as
+    their final byte leaves.  For byte-units (each extent pushed with
+    [units = bytes]) the translation is the identity. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> bytes:int -> units:int -> unit
+(** Record that the next [bytes] of the stream carry [units] message
+    units.  Zero-byte pushes with positive units are credited on the
+    next drain.  @raise Invalid_argument on negative arguments. *)
+
+val drain : t -> bytes:int -> int
+(** [drain t ~bytes] consumes the oldest [bytes] of the stream and
+    returns how many whole units completed.
+    @raise Invalid_argument when draining more bytes than pushed. *)
+
+val pending_bytes : t -> int
+val pending_units : t -> int
+(** Units not yet credited by {!drain}. *)

@@ -1,0 +1,1 @@
+test/test_exchange.ml: Alcotest E2e Result Sim String

@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest E2e Float Gen List QCheck QCheck_alcotest Sim

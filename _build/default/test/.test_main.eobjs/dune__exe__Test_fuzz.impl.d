@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Char E2e Gen Hashtbl Kv List Option Printf QCheck QCheck_alcotest Sim String Tcp

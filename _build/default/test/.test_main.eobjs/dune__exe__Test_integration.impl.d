@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Char Float Kv List Loadgen Sim String Tcp

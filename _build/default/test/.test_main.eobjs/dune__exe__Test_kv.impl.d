@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Kv List QCheck QCheck_alcotest Result Sim String

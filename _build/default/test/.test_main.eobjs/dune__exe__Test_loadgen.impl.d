@@ -1,0 +1,1 @@
+test/test_loadgen.ml: Alcotest Float Kv List Loadgen Sim String

@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest E2e Float List Loadgen Option Sim String Tcp

@@ -1,0 +1,1 @@
+test/test_queue_state.ml: Alcotest E2e Float Gen List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Buffer Char E2e List Loadgen QCheck QCheck_alcotest Sim String Tcp

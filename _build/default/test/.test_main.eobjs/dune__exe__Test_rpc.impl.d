@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes E2e Float Int64 List QCheck QCheck_alcotest Rpc Sim String Tcp

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Gen Int Int64 List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_socket.ml: Alcotest Buffer Char E2e Float List Queue Sim String Tcp

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer E2e Gen List Option QCheck QCheck_alcotest Sim String Tcp

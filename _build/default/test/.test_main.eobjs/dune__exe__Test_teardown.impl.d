@@ -1,0 +1,1 @@
+test/test_teardown.ml: Alcotest Buffer Sim String Tcp

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun Kv List Loadgen Sim String Sys

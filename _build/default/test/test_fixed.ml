@@ -1,0 +1,136 @@
+(* Tests for the kernel-style integer implementations: the fixed-point
+   queue state (microsecond counters, as the prototype's ethtool export)
+   and the shift-based EWMA. *)
+
+let us = Sim.Time.us
+
+(* {1 Queue_state_fixed} *)
+
+let test_fixed_matches_reference_simple () =
+  let f = E2e.Queue_state_fixed.create ~at:0 in
+  E2e.Queue_state_fixed.track f ~at:0 1;
+  E2e.Queue_state_fixed.track f ~at:(us 10) 3;
+  (* 1 item for 10us + 4 items for 20us = 90 item-us *)
+  Alcotest.(check int) "integral at 10us" 10 (E2e.Queue_state_fixed.integral_item_us f);
+  let share = E2e.Queue_state_fixed.snapshot f ~at:(us 30) in
+  Alcotest.(check (float 1.0)) "integral widened to ns" 90e3 share.integral;
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  match E2e.Queue_state.get_avgs ~prev ~cur:share with
+  | Some avgs -> Alcotest.(check (float 1e-6)) "Q = 3 via Algorithm 2" 3.0 avgs.q_avg
+  | None -> Alcotest.fail "no window"
+
+let test_fixed_validation () =
+  let f = E2e.Queue_state_fixed.create ~at:(us 10) in
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Queue_state_fixed.track: time went backwards") (fun () ->
+      E2e.Queue_state_fixed.track f ~at:(us 5) 1);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Queue_state_fixed.track: size would become negative") (fun () ->
+      E2e.Queue_state_fixed.track f ~at:(us 20) (-1))
+
+let test_fixed_wire_footprint () =
+  Alcotest.(check int) "12 bytes per queue" 12 E2e.Queue_state_fixed.wire_triple_bytes;
+  Alcotest.(check int) "three queues = the 36-byte exchange"
+    E2e.Exchange.wire_size
+    (3 * E2e.Queue_state_fixed.wire_triple_bytes)
+
+(* Property: on microsecond-aligned schedules the integer and float
+   implementations agree exactly; on arbitrary nanosecond schedules
+   they agree within one item-µs per transition. *)
+let prop_fixed_equivalent_to_float =
+  QCheck.Test.make ~name:"fixed-point queue state tracks the float reference" ~count:200
+    QCheck.(
+      pair bool (list_of_size Gen.(1 -- 50) (pair (int_range 0 10_000) (int_range (-2) 4))))
+    (fun (aligned, steps) ->
+      let f = E2e.Queue_state_fixed.create ~at:0 in
+      let r = E2e.Queue_state.create ~at:0 in
+      let clock = ref 0 in
+      let transitions = ref 0 in
+      List.iter
+        (fun (gap_raw, n) ->
+          let gap = if aligned then gap_raw * 1_000 else gap_raw in
+          clock := !clock + gap;
+          let n =
+            if E2e.Queue_state.size r + n < 0 then 0 else n
+          in
+          E2e.Queue_state_fixed.track f ~at:!clock n;
+          E2e.Queue_state.track r ~at:!clock n;
+          incr transitions)
+        steps;
+      let end_at = !clock + 1_000 in
+      let sf = E2e.Queue_state_fixed.snapshot f ~at:end_at in
+      let sr = E2e.Queue_state.snapshot r ~at:end_at in
+      let tolerance_ns =
+        if aligned then 1.0 (* float rounding only *)
+        else float_of_int (!transitions + 1) *. 8_000.0
+        (* each transition may quantize by <1us times the queue size (<=8 here) *)
+      in
+      E2e.Queue_state_fixed.total f = E2e.Queue_state.total r
+      && E2e.Queue_state_fixed.size f = E2e.Queue_state.size r
+      && Float.abs (sf.integral -. sr.integral) <= tolerance_ns)
+
+(* {1 Ewma.Fixed} *)
+
+let test_ewma_fixed_shift1 () =
+  let e = E2e.Ewma.Fixed.create ~shift:1 in
+  Alcotest.(check (option int)) "empty" None (E2e.Ewma.Fixed.value e);
+  Alcotest.(check int) "first sample" 100 (E2e.Ewma.Fixed.update e 100);
+  (* avg += (0 - 100) >> 1 = -50 *)
+  Alcotest.(check int) "half step down" 50 (E2e.Ewma.Fixed.update e 0);
+  Alcotest.(check (float 1e-9)) "alpha" 0.5 (E2e.Ewma.Fixed.alpha e)
+
+let test_ewma_fixed_converges () =
+  let e = E2e.Ewma.Fixed.create ~shift:3 in
+  ignore (E2e.Ewma.Fixed.update e 0);
+  for _ = 1 to 200 do
+    ignore (E2e.Ewma.Fixed.update e 1_000)
+  done;
+  match E2e.Ewma.Fixed.value e with
+  | Some v ->
+    (* integer truncation leaves a small residual below the target *)
+    if v < 990 || v > 1_000 then Alcotest.failf "did not converge: %d" v
+  | None -> Alcotest.fail "no value"
+
+let test_ewma_fixed_negative_samples () =
+  let e = E2e.Ewma.Fixed.create ~shift:2 in
+  ignore (E2e.Ewma.Fixed.update e (-100));
+  let v = E2e.Ewma.Fixed.update e (-500) in
+  Alcotest.(check int) "arithmetic shift handles negatives" (-200) v
+
+let test_ewma_fixed_validation () =
+  Alcotest.check_raises "shift 0"
+    (Invalid_argument "Ewma.Fixed.create: shift must be in [1,16]") (fun () ->
+      ignore (E2e.Ewma.Fixed.create ~shift:0))
+
+let prop_ewma_fixed_tracks_float =
+  QCheck.Test.make ~name:"fixed EWMA tracks float EWMA with matching alpha" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 80) (int_range 0 1_000_000))
+    (fun xs ->
+      let shift = 3 in
+      let fixed = E2e.Ewma.Fixed.create ~shift in
+      let float_e = E2e.Ewma.create ~alpha:(1.0 /. 8.0) in
+      List.for_all
+        (fun x ->
+          let a = E2e.Ewma.Fixed.update fixed x in
+          let b = E2e.Ewma.update float_e (float_of_int x) in
+          (* truncation drift stays bounded: one unit per step times the
+             geometric series = 2^shift *)
+          Float.abs (float_of_int a -. b) <= 16.0)
+        xs)
+
+let suite =
+  [
+    ( "core.fixed_point",
+      [
+        Alcotest.test_case "paper example in integers" `Quick
+          test_fixed_matches_reference_simple;
+        Alcotest.test_case "validation" `Quick test_fixed_validation;
+        Alcotest.test_case "wire footprint" `Quick test_fixed_wire_footprint;
+        QCheck_alcotest.to_alcotest prop_fixed_equivalent_to_float;
+        Alcotest.test_case "fixed EWMA shift=1" `Quick test_ewma_fixed_shift1;
+        Alcotest.test_case "fixed EWMA converges" `Quick test_ewma_fixed_converges;
+        Alcotest.test_case "fixed EWMA negatives" `Quick test_ewma_fixed_negative_samples;
+        Alcotest.test_case "fixed EWMA validation" `Quick test_ewma_fixed_validation;
+        QCheck_alcotest.to_alcotest prop_ewma_fixed_tracks_float;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* Randomized end-to-end properties: byte-stream integrity under random
+   traffic and runtime batching changes, RESP parsing under arbitrary
+   chunking, model-based store checking, GRO conservation, and
+   failure-injection on the estimator's input discipline. *)
+
+(* {1 Socket stream integrity under random toggling} *)
+
+(* Random write sizes interleaved with random Nagle toggles, cork
+   settings, and AIMD limits must never corrupt or reorder the byte
+   stream. *)
+let prop_socket_stream_integrity =
+  QCheck.Test.make ~name:"socket stream survives random batching changes" ~count:40
+    QCheck.(
+      pair (int_range 0 1_000_000)
+        (list_of_size Gen.(1 -- 40) (pair (int_range 0 5000) (int_range 0 3))))
+    (fun (seed, ops) ->
+      let engine = Sim.Engine.create () in
+      let rng = Sim.Rng.create ~seed in
+      let host =
+        {
+          Tcp.Conn.socket = Tcp.Socket.default_config;
+          tx_cost = 100;
+          rx_seg_cost = 50;
+          rx_batch_cost = 500;
+          gro = Tcp.Gro.default_config ~mss:1448;
+        }
+      in
+      let conn = Tcp.Conn.create engine ~a:host ~b:host () in
+      let a = Tcp.Conn.sock_a conn and b = Tcp.Conn.sock_b conn in
+      let received = Buffer.create 4096 in
+      Tcp.Socket.on_readable b (fun () ->
+          Buffer.add_string received (Tcp.Socket.recv b (Tcp.Socket.recv_available b)));
+      let sent = Buffer.create 4096 in
+      let clock = ref 0 in
+      List.iter
+        (fun (len, action) ->
+          clock := !clock + Sim.Rng.int rng ~bound:50_000 + 1;
+          ignore
+            (Sim.Engine.schedule_at engine ~at:!clock (fun () ->
+                 (match action with
+                 | 0 -> Tcp.Socket.set_nagle_enabled a true
+                 | 1 -> Tcp.Socket.set_nagle_enabled a false
+                 | 2 ->
+                   Tcp.Nagle.set_min_send (Tcp.Socket.nagle a)
+                     (Some (1 + Sim.Rng.int rng ~bound:1448))
+                 | _ -> Tcp.Nagle.set_min_send (Tcp.Socket.nagle a) None);
+                 Tcp.Socket.kick a;
+                 if len > 0 then begin
+                   let chunk =
+                     String.init len (fun i -> Char.chr ((i * 7 + len) mod 256))
+                   in
+                   Buffer.add_string sent chunk;
+                   Tcp.Socket.send a chunk
+                 end)))
+        ops;
+      Sim.Engine.run engine;
+      String.equal (Buffer.contents sent) (Buffer.contents received))
+
+(* {1 RESP under arbitrary chunking} *)
+
+let prop_resp_parse_any_chunking =
+  QCheck.Test.make ~name:"RESP parser is chunking-invariant" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (string_of_size Gen.(0 -- 40)))
+        (list_of_size Gen.(1 -- 20) (int_range 1 30)))
+    (fun (payloads, cuts) ->
+      let values =
+        List.map (fun s -> Kv.Resp.Array (Some [ Kv.Resp.Bulk (Some s) ])) payloads
+      in
+      let wire = String.concat "" (List.map Kv.Resp.encode values) in
+      (* split the wire at the pseudo-random cut widths *)
+      let parser = Kv.Resp.Parser.create () in
+      let parsed = ref [] in
+      let pos = ref 0 in
+      let cuts = ref cuts in
+      while !pos < String.length wire do
+        let width =
+          match !cuts with
+          | w :: rest ->
+            cuts := rest @ [ w ];
+            w
+          | [] -> 7
+        in
+        let n = min width (String.length wire - !pos) in
+        Kv.Resp.Parser.feed parser (String.sub wire !pos n);
+        pos := !pos + n;
+        let rec drain () =
+          match Kv.Resp.Parser.next parser with
+          | Ok (Some v) ->
+            parsed := v :: !parsed;
+            drain ()
+          | Ok None -> ()
+          | Error e -> failwith e
+        in
+        drain ()
+      done;
+      List.equal Kv.Resp.equal values (List.rev !parsed))
+
+(* {1 Model-based store checking} *)
+
+(* Execute a random command sequence against the store and an
+   association-list reference model; observable replies must agree. *)
+let prop_store_matches_model =
+  let gen_op =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Set (k, v)) (int_bound 5) small_string;
+          map (fun k -> `Get k) (int_bound 5);
+          map (fun k -> `Del k) (int_bound 5);
+          map2 (fun k v -> `Append (k, v)) (int_bound 5) small_string;
+          map (fun k -> `Incr k) (int_bound 5);
+        ])
+  in
+  QCheck.Test.make ~name:"store agrees with a reference model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (1 -- 60) gen_op))
+    (fun ops ->
+      let store = Kv.Store.create () in
+      let model = Hashtbl.create 8 in
+      let key i = Printf.sprintf "k%d" i in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Set (k, v) ->
+            Kv.Store.set store ~now:0 (key k) v;
+            Hashtbl.replace model (key k) v;
+            true
+          | `Get k ->
+            Kv.Store.get store ~now:0 (key k) = Hashtbl.find_opt model (key k)
+          | `Del k ->
+            let expected = if Hashtbl.mem model (key k) then 1 else 0 in
+            Hashtbl.remove model (key k);
+            Kv.Store.delete store ~now:0 [ key k ] = expected
+          | `Append (k, v) ->
+            let prev = Option.value (Hashtbl.find_opt model (key k)) ~default:"" in
+            Hashtbl.replace model (key k) (prev ^ v);
+            Kv.Store.append store ~now:0 (key k) v = String.length prev + String.length v
+          | `Incr k -> (
+            let prev = Hashtbl.find_opt model (key k) in
+            let expected =
+              match prev with
+              | None -> Some 1
+              | Some s -> Option.map (fun n -> n + 1) (int_of_string_opt s)
+            in
+            match (Kv.Store.incr_by store ~now:0 (key k) 1, expected) with
+            | Ok n, Some m when n = m ->
+              Hashtbl.replace model (key k) (string_of_int n);
+              true
+            | Error _, None -> true
+            | _ -> false))
+        ops)
+
+(* {1 GRO conservation} *)
+
+let prop_gro_conserves_segments =
+  QCheck.Test.make ~name:"GRO delivers every segment exactly once, in order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 80) (pair (int_range 1 1448) (int_range 0 20)))
+    (fun segs ->
+      let engine = Sim.Engine.create () in
+      let delivered = ref [] in
+      let gro =
+        Tcp.Gro.create engine (Tcp.Gro.default_config ~mss:1448)
+          ~deliver:(fun batch ->
+            List.iter (fun (s : Tcp.Segment.t) -> delivered := s.seq :: !delivered) batch)
+      in
+      let clock = ref 0 in
+      let seq = ref 0 in
+      List.iter
+        (fun (len, gap_us) ->
+          clock := !clock + Sim.Time.us gap_us;
+          let this_seq = !seq in
+          seq := !seq + len;
+          ignore
+            (Sim.Engine.schedule_at engine ~at:!clock (fun () ->
+                 Tcp.Gro.submit gro
+                   (Tcp.Segment.make ~payload:(String.make len 'x') ~seq:this_seq ~ack:0
+                      ~window:65536 ()))))
+        segs;
+      Sim.Engine.run engine;
+      Tcp.Gro.flush gro;
+      let expected =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, s) (len, _) -> (s :: acc, s + len))
+                ([], 0) segs))
+      in
+      List.rev !delivered = expected)
+
+(* {1 Failure injection: estimator input discipline} *)
+
+let test_estimator_rejects_bad_input () =
+  let e = E2e.Estimator.create ~at:(Sim.Time.us 100) in
+  Alcotest.check_raises "backwards unacked"
+    (Invalid_argument "Queue_state.track: time went backwards") (fun () ->
+      E2e.Estimator.track_unacked e ~at:(Sim.Time.us 50) 1);
+  Alcotest.check_raises "negative unread"
+    (Invalid_argument "Queue_state.track: size would become negative") (fun () ->
+      E2e.Estimator.track_unread e ~at:(Sim.Time.us 200) (-1))
+
+let test_decode_garbage_options () =
+  (* Random byte strings must never crash the option parser: either a
+     parse or a clean error. *)
+  let rng = Sim.Rng.create ~seed:99 in
+  for _ = 1 to 1_000 do
+    let len = Sim.Rng.int rng ~bound:40 in
+    let s = String.init len (fun _ -> Char.chr (Sim.Rng.int rng ~bound:256)) in
+    match Tcp.Options.decode s with Ok _ | Error _ -> ()
+  done
+
+let test_decode_garbage_exchange () =
+  let rng = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 1_000 do
+    let s = String.init 36 (fun _ -> Char.chr (Sim.Rng.int rng ~bound:256)) in
+    match E2e.Exchange.decode s with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "well-sized payload rejected: %s" e
+  done
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_socket_stream_integrity;
+        QCheck_alcotest.to_alcotest prop_resp_parse_any_chunking;
+        QCheck_alcotest.to_alcotest prop_store_matches_model;
+        QCheck_alcotest.to_alcotest prop_gro_conserves_segments;
+        Alcotest.test_case "estimator input discipline" `Quick
+          test_estimator_rejects_bad_input;
+        Alcotest.test_case "option parser on garbage" `Quick test_decode_garbage_options;
+        Alcotest.test_case "exchange decode on garbage" `Quick
+          test_decode_garbage_exchange;
+      ] );
+  ]

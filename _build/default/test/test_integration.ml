@@ -1,0 +1,243 @@
+(* Full-system integration tests: Redis-like server + client over the
+   simulated stack, the Runner/Sweep harness, and the paper's headline
+   phenomena at small scale. *)
+
+let us = Sim.Time.us
+
+let quick_config ?(rate = 20e3) ?(batching = Loadgen.Runner.Static_off)
+    ?(duration = Sim.Time.ms 60) ?(warmup = Sim.Time.ms 20) () =
+  let base = Loadgen.Runner.default_config ~rate_rps:rate ~batching in
+  { base with warmup; duration }
+
+(* {1 Server/client conversation} *)
+
+let conversation_fixture () =
+  let engine = Sim.Engine.create () in
+  let host =
+    {
+      Tcp.Conn.socket = { Tcp.Socket.default_config with nagle = false };
+      tx_cost = 0;
+      rx_seg_cost = 0;
+      rx_batch_cost = 0;
+      gro = { (Tcp.Gro.default_config ~mss:1448) with enabled = false };
+    }
+  in
+  let conn = Tcp.Conn.create engine ~a:host ~b:host () in
+  let server_cpu = Sim.Cpu.create engine in
+  let client_cpu = Sim.Cpu.create engine in
+  let server =
+    Kv.Server.create engine ~cpu:server_cpu ~socket:(Tcp.Conn.sock_b conn)
+      { alpha = us 1; beta = us 1 }
+  in
+  let client =
+    Kv.Client.create engine ~cpu:client_cpu ~socket:(Tcp.Conn.sock_a conn)
+      { send_cost = 0; response_cost = 0; cpu_multiplier = 1.0 }
+  in
+  (engine, server, client)
+
+let test_set_then_get () =
+  let engine, _server, client = conversation_fixture () in
+  let got = ref None in
+  Kv.Client.request client
+    (Kv.Command.Set { key = "greeting"; value = "hello"; ttl = None })
+    ~on_complete:(fun ~latency:_ reply ->
+      Alcotest.(check bool) "set ok" true (reply = Kv.Resp.Simple "OK");
+      Kv.Client.request client (Kv.Command.Get "greeting")
+        ~on_complete:(fun ~latency:_ reply -> got := Some reply));
+  Sim.Engine.run engine;
+  match !got with
+  | Some (Kv.Resp.Bulk (Some "hello")) -> ()
+  | _ -> Alcotest.fail "GET did not return the stored value"
+
+let test_many_commands_in_order () =
+  let engine, server, client = conversation_fixture () in
+  let replies = ref [] in
+  for i = 1 to 50 do
+    Kv.Client.request client (Kv.Command.Incr "counter")
+      ~on_complete:(fun ~latency:_ reply ->
+        match reply with
+        | Kv.Resp.Integer n -> replies := n :: !replies
+        | _ -> Alcotest.failf "request %d: unexpected reply" i)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "responses in request order" (List.init 50 (fun i -> i + 1))
+    (List.rev !replies);
+  Alcotest.(check int) "server counted them" 50 (Kv.Server.requests_served server);
+  Alcotest.(check int) "client completed" 50 (Kv.Client.completed client)
+
+let test_large_values_cross_stack () =
+  let engine, _server, client = conversation_fixture () in
+  let value = String.init 100_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  let got = ref None in
+  Kv.Client.request client
+    (Kv.Command.Set { key = "big"; value; ttl = None })
+    ~on_complete:(fun ~latency:_ _ ->
+      Kv.Client.request client (Kv.Command.Get "big")
+        ~on_complete:(fun ~latency:_ reply -> got := Some reply));
+  Sim.Engine.run engine;
+  match !got with
+  | Some (Kv.Resp.Bulk (Some v)) ->
+    Alcotest.(check bool) "100KB value survives segmentation+reassembly" true
+      (String.equal v value)
+  | _ -> Alcotest.fail "GET failed"
+
+let test_latency_positive_and_ordered () =
+  let engine, _server, client = conversation_fixture () in
+  let latencies = ref [] in
+  for _ = 1 to 5 do
+    Kv.Client.request client (Kv.Command.Ping)
+      ~on_complete:(fun ~latency reply ->
+        Alcotest.(check bool) "pong" true (reply = Kv.Resp.Simple "PONG");
+        latencies := latency :: !latencies)
+  done;
+  Sim.Engine.run engine;
+  List.iter
+    (fun l -> if l <= 0 then Alcotest.failf "non-positive latency %d" l)
+    !latencies
+
+(* {1 Runner} *)
+
+let test_runner_completes_requests () =
+  let r = Loadgen.Runner.run (quick_config ()) in
+  Alcotest.(check bool) "completed requests" true (r.completed > 500);
+  Alcotest.(check bool) "achieved close to offered" true
+    (r.achieved_rps > 0.8 *. r.offered_rps);
+  Alcotest.(check bool) "latency positive" true (r.measured_mean_us > 0.0);
+  Alcotest.(check bool) "p99 >= p50" true (r.measured_p99_us >= r.measured_p50_us)
+
+let test_runner_deterministic () =
+  let r1 = Loadgen.Runner.run (quick_config ()) in
+  let r2 = Loadgen.Runner.run (quick_config ()) in
+  Alcotest.(check int) "same completions" r1.completed r2.completed;
+  Alcotest.(check (float 1e-9)) "same mean" r1.measured_mean_us r2.measured_mean_us;
+  Alcotest.(check int) "same packets" r1.packets r2.packets
+
+let test_runner_seed_changes_run () =
+  let c = quick_config () in
+  let r1 = Loadgen.Runner.run c in
+  let r2 = Loadgen.Runner.run { c with seed = 43 } in
+  Alcotest.(check bool) "different seeds differ" true
+    (r1.measured_mean_us <> r2.measured_mean_us)
+
+let test_runner_estimate_accuracy_under_load () =
+  (* At moderate load, the stack's byte-based estimate must land near
+     the measured mean (the Figure-4a accuracy claim).  The estimate
+     excludes per-request constants (server processing, client send),
+     so compare within a tolerance band. *)
+  let r = Loadgen.Runner.run (quick_config ~rate:60e3 ()) in
+  match r.estimated_us with
+  | None -> Alcotest.fail "no estimate"
+  | Some est ->
+    let err = Float.abs (est -. r.measured_mean_us) /. r.measured_mean_us in
+    if err > 0.45 then
+      Alcotest.failf "estimate %.1fus vs measured %.1fus (err %.0f%%)" est
+        r.measured_mean_us (err *. 100.0)
+
+let test_runner_hint_estimate_is_exact () =
+  (* Hint-based estimation (§3.3) measures the request queue itself,
+     so it must match the measured mean almost exactly (it includes
+     everything the recorder sees). *)
+  let r = Loadgen.Runner.run (quick_config ~rate:30e3 ()) in
+  match r.hint_estimated_us with
+  | None -> Alcotest.fail "no hint estimate"
+  | Some est ->
+    let err = Float.abs (est -. r.measured_mean_us) /. r.measured_mean_us in
+    if err > 0.10 then
+      Alcotest.failf "hint estimate %.1fus vs measured %.1fus (err %.0f%%)" est
+        r.measured_mean_us (err *. 100.0)
+
+let test_runner_nagle_low_load_penalty () =
+  (* The left side of Figure 4a: at low load Nagle hurts. *)
+  let on = Loadgen.Runner.run (quick_config ~batching:Loadgen.Runner.Static_on ()) in
+  let off = Loadgen.Runner.run (quick_config ~batching:Loadgen.Runner.Static_off ()) in
+  Alcotest.(check bool) "Nagle counterproductive at low load" true
+    (on.measured_mean_us > off.measured_mean_us)
+
+let test_runner_nagle_high_load_win () =
+  (* The right side of Figure 4a: past the cutoff Nagle wins. *)
+  let cfg b = quick_config ~rate:100e3 ~batching:b () in
+  let on = Loadgen.Runner.run (cfg Loadgen.Runner.Static_on) in
+  let off = Loadgen.Runner.run (cfg Loadgen.Runner.Static_off) in
+  Alcotest.(check bool) "Nagle wins at high load" true
+    (on.measured_mean_us < off.measured_mean_us)
+
+let test_runner_packets_reduced_by_nagle () =
+  let cfg b = quick_config ~rate:80e3 ~batching:b () in
+  let on = Loadgen.Runner.run (cfg Loadgen.Runner.Static_on) in
+  let off = Loadgen.Runner.run (cfg Loadgen.Runner.Static_off) in
+  Alcotest.(check bool) "fewer packets per request with Nagle" true
+    (on.packets_per_request < off.packets_per_request)
+
+let test_runner_dynamic_toggling_runs () =
+  let r =
+    Loadgen.Runner.run
+      (quick_config ~rate:40e3
+         ~batching:(Loadgen.Runner.Dynamic Loadgen.Runner.default_dynamic) ())
+  in
+  Alcotest.(check bool) "controller made decisions" true (List.length r.samples > 10);
+  Alcotest.(check bool) "final mode reported" true (r.final_mode <> None);
+  Alcotest.(check bool) "requests completed" true (r.completed > 1000)
+
+let test_runner_vm_multiplier_increases_client_cpu () =
+  (* Figure 2a: the VM client burns more CPU at the same offered load. *)
+  let base = quick_config ~rate:30e3 () in
+  let bare = Loadgen.Runner.run base in
+  let vm =
+    Loadgen.Runner.run
+      { base with client = { base.client with cpu_multiplier = 4.0 } }
+  in
+  Alcotest.(check bool) "client CPU up" true
+    (vm.client_app_util > 2.0 *. bare.client_app_util);
+  (* Figure 2b: the server is unaffected by the client's VM overhead. *)
+  let rel = Float.abs (vm.server_app_util -. bare.server_app_util) /. bare.server_app_util in
+  Alcotest.(check bool) "server CPU similar" true (rel < 0.15)
+
+(* {1 Sweep} *)
+
+let test_sweep_finds_cutoff () =
+  let base = quick_config ~duration:(Sim.Time.ms 50) () in
+  let points = Loadgen.Sweep.sweep ~base ~rates:[ 20e3; 60e3; 100e3; 120e3 ] in
+  Alcotest.(check int) "all points ran" 4 (List.length points);
+  match Loadgen.Sweep.cutoff_rps points with
+  | Some cutoff ->
+    Alcotest.(check bool) "cutoff is interior" true (cutoff > 20e3 && cutoff <= 120e3)
+  | None -> Alcotest.fail "no cutoff found"
+
+let test_sweep_slo_range_extension () =
+  let base = quick_config ~duration:(Sim.Time.ms 50) () in
+  let points = Loadgen.Sweep.sweep ~base ~rates:[ 40e3; 80e3; 120e3; 140e3 ] in
+  match Loadgen.Sweep.range_extension ~slo_us:500.0 points with
+  | Some ext -> Alcotest.(check bool) "batching extends the SLO range" true (ext > 1.0)
+  | None -> Alcotest.fail "could not compute extension"
+
+let suite =
+  [
+    ( "integration.conversation",
+      [
+        Alcotest.test_case "SET then GET" `Quick test_set_then_get;
+        Alcotest.test_case "50 commands in order" `Quick test_many_commands_in_order;
+        Alcotest.test_case "large values" `Quick test_large_values_cross_stack;
+        Alcotest.test_case "latencies positive" `Quick test_latency_positive_and_ordered;
+      ] );
+    ( "integration.runner",
+      [
+        Alcotest.test_case "completes requests" `Slow test_runner_completes_requests;
+        Alcotest.test_case "deterministic replay" `Slow test_runner_deterministic;
+        Alcotest.test_case "seed sensitivity" `Slow test_runner_seed_changes_run;
+        Alcotest.test_case "estimate accuracy under load" `Slow
+          test_runner_estimate_accuracy_under_load;
+        Alcotest.test_case "hint estimate is exact" `Slow
+          test_runner_hint_estimate_is_exact;
+        Alcotest.test_case "Nagle low-load penalty" `Slow test_runner_nagle_low_load_penalty;
+        Alcotest.test_case "Nagle high-load win" `Slow test_runner_nagle_high_load_win;
+        Alcotest.test_case "Nagle reduces packets" `Slow test_runner_packets_reduced_by_nagle;
+        Alcotest.test_case "dynamic toggling runs" `Slow test_runner_dynamic_toggling_runs;
+        Alcotest.test_case "VM multiplier (Figure 2)" `Slow
+          test_runner_vm_multiplier_increases_client_cpu;
+      ] );
+    ( "integration.sweep",
+      [
+        Alcotest.test_case "finds the cutoff" `Slow test_sweep_finds_cutoff;
+        Alcotest.test_case "SLO range extension" `Slow test_sweep_slo_range_extension;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the paper's Algorithms 1 and 2 (Little's-law queue
+   accounting) and their composition into latency estimates. *)
+
+let us = Sim.Time.us
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* The worked example from §3.1: one item for 10 µs, then four items
+   for 20 µs; integral 90 item·µs over 30 µs gives Q = 3. *)
+let test_paper_example () =
+  let q = E2e.Queue_state.create ~at:0 in
+  E2e.Queue_state.track q ~at:0 1;
+  E2e.Queue_state.track q ~at:(us 10) 3;
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  let cur = E2e.Queue_state.snapshot q ~at:(us 30) in
+  match E2e.Queue_state.get_avgs ~prev ~cur with
+  | None -> Alcotest.fail "expected a window"
+  | Some avgs -> check_float "Q = 3" 3.0 avgs.q_avg
+
+let test_latency_is_integral_over_total () =
+  (* One item enters at t=0 and leaves at t=50us: latency 50us. *)
+  let q = E2e.Queue_state.create ~at:0 in
+  E2e.Queue_state.track q ~at:0 1;
+  E2e.Queue_state.track q ~at:(us 50) (-1);
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  let cur = E2e.Queue_state.snapshot q ~at:(us 100) in
+  match E2e.Queue_state.get_avgs ~prev ~cur with
+  | None -> Alcotest.fail "expected a window"
+  | Some avgs -> (
+    match avgs.latency_ns with
+    | None -> Alcotest.fail "expected latency"
+    | Some l -> check_float "sojourn 50us" 50_000.0 l)
+
+let test_throughput () =
+  let q = E2e.Queue_state.create ~at:0 in
+  (* 10 items transit within 1 ms: throughput 10,000/s. *)
+  for i = 0 to 9 do
+    E2e.Queue_state.track q ~at:(us (i * 100)) 1;
+    E2e.Queue_state.track q ~at:(us ((i * 100) + 50)) (-1)
+  done;
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  let cur = E2e.Queue_state.snapshot q ~at:(Sim.Time.ms 1) in
+  match E2e.Queue_state.get_avgs ~prev ~cur with
+  | None -> Alcotest.fail "expected a window"
+  | Some avgs ->
+    check_float "throughput" 10_000.0 avgs.throughput;
+    (match avgs.latency_ns with
+    | Some l -> check_float "mean sojourn 50us" 50_000.0 l
+    | None -> Alcotest.fail "expected latency")
+
+let test_size_and_total () =
+  let q = E2e.Queue_state.create ~at:0 in
+  E2e.Queue_state.track q ~at:(us 1) 5;
+  E2e.Queue_state.track q ~at:(us 2) (-2);
+  Alcotest.(check int) "size" 3 (E2e.Queue_state.size q);
+  Alcotest.(check int) "total counts departures" 2 (E2e.Queue_state.total q)
+
+let test_track_backwards_rejected () =
+  let q = E2e.Queue_state.create ~at:(us 10) in
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Queue_state.track: time went backwards") (fun () ->
+      E2e.Queue_state.track q ~at:(us 5) 1)
+
+let test_track_negative_size_rejected () =
+  let q = E2e.Queue_state.create ~at:0 in
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Queue_state.track: size would become negative") (fun () ->
+      E2e.Queue_state.track q ~at:(us 1) (-1))
+
+let test_get_avgs_empty_window () =
+  let q = E2e.Queue_state.create ~at:0 in
+  let s = E2e.Queue_state.snapshot q ~at:(us 10) in
+  Alcotest.(check bool) "same-instant window" true
+    (E2e.Queue_state.get_avgs ~prev:s ~cur:s = None)
+
+let test_get_avgs_no_departures () =
+  let q = E2e.Queue_state.create ~at:0 in
+  E2e.Queue_state.track q ~at:0 4;
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  let cur = E2e.Queue_state.snapshot q ~at:(us 10) in
+  match E2e.Queue_state.get_avgs ~prev ~cur with
+  | None -> Alcotest.fail "expected a window"
+  | Some avgs ->
+    Alcotest.(check bool) "no latency" true (avgs.latency_ns = None);
+    check_float "Q = 4" 4.0 avgs.q_avg
+
+let test_snapshot_is_nondestructive () =
+  let q = E2e.Queue_state.create ~at:0 in
+  E2e.Queue_state.track q ~at:0 2;
+  let a = E2e.Queue_state.snapshot q ~at:(us 10) in
+  let b = E2e.Queue_state.snapshot q ~at:(us 10) in
+  check_float "snapshots agree" a.integral b.integral;
+  (* and tracking still works from the original update time *)
+  E2e.Queue_state.track q ~at:(us 20) (-1);
+  Alcotest.(check int) "size after drain" 1 (E2e.Queue_state.size q)
+
+(* Property: for any sequence of arrivals/departures with one item at a
+   time, average latency from Algorithm 2 equals the arithmetic mean of
+   the per-item sojourns — Little's law as an identity. *)
+let prop_littles_law_identity =
+  QCheck.Test.make ~name:"Little's law equals mean sojourn" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_bound 1_000) (int_bound 1_000)))
+    (fun gaps ->
+      let q = E2e.Queue_state.create ~at:0 in
+      let clock = ref 0 in
+      let sojourns = ref [] in
+      List.iter
+        (fun (gap, stay) ->
+          let arrive = !clock + gap in
+          let leave = arrive + stay + 1 in
+          E2e.Queue_state.track q ~at:arrive 1;
+          E2e.Queue_state.track q ~at:leave (-1);
+          sojourns := float_of_int (stay + 1) :: !sojourns;
+          clock := leave)
+        gaps;
+      let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+      let cur = E2e.Queue_state.snapshot q ~at:!clock in
+      match E2e.Queue_state.get_avgs ~prev ~cur with
+      | Some { latency_ns = Some l; _ } ->
+        let mean =
+          List.fold_left ( +. ) 0.0 !sojourns /. float_of_int (List.length !sojourns)
+        in
+        Float.abs (l -. mean) < 1e-6
+      | _ -> false)
+
+(* Property: integral is non-decreasing and total only grows. *)
+let prop_counters_monotone =
+  QCheck.Test.make ~name:"integral and total are monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 60) (pair (int_bound 100) (int_range (-3) 5)))
+    (fun steps ->
+      let q = E2e.Queue_state.create ~at:0 in
+      let clock = ref 0 in
+      let last_total = ref 0 in
+      let last_integral = ref 0.0 in
+      List.for_all
+        (fun (gap, n) ->
+          clock := !clock + gap;
+          let n = if E2e.Queue_state.size q + n < 0 then 0 else n in
+          E2e.Queue_state.track q ~at:!clock n;
+          let s = E2e.Queue_state.snapshot q ~at:!clock in
+          let ok = s.total >= !last_total && s.integral >= !last_integral -. 1e-9 in
+          last_total := s.total;
+          last_integral := s.integral;
+          ok)
+        steps)
+
+(* {1 Hints API (§3.3)} *)
+
+let test_hints_end_to_end_latency () =
+  let h = E2e.Hints.tracker ~at:0 in
+  E2e.Hints.create h ~at:0 1;
+  E2e.Hints.complete h ~at:(us 120) 1;
+  E2e.Hints.create h ~at:(us 200) 1;
+  E2e.Hints.complete h ~at:(us 280) 1;
+  let prev : E2e.Queue_state.share = { time = 0; total = 0; integral = 0.0 } in
+  let cur = E2e.Hints.share h ~at:(us 300) in
+  match E2e.Hints.avgs ~prev ~cur with
+  | Some { latency_ns = Some l; throughput; _ } ->
+    check_float "mean request latency" 100_000.0 l;
+    check_float "completed/s" (2.0 /. 300e-6) throughput
+  | _ -> Alcotest.fail "expected hint estimate"
+
+let test_hints_in_flight () =
+  let h = E2e.Hints.tracker ~at:0 in
+  E2e.Hints.create h ~at:0 3;
+  E2e.Hints.complete h ~at:(us 10) 2;
+  Alcotest.(check int) "in flight" 1 (E2e.Hints.in_flight h)
+
+let test_hints_overcomplete_rejected () =
+  let h = E2e.Hints.tracker ~at:0 in
+  E2e.Hints.create h ~at:0 1;
+  Alcotest.check_raises "overcomplete"
+    (Invalid_argument "Queue_state.track: size would become negative") (fun () ->
+      E2e.Hints.complete h ~at:(us 1) 2)
+
+let suite =
+  [
+    ( "core.queue_state",
+      [
+        Alcotest.test_case "paper worked example (Q=3)" `Quick test_paper_example;
+        Alcotest.test_case "latency = integral/total" `Quick
+          test_latency_is_integral_over_total;
+        Alcotest.test_case "throughput from departures" `Quick test_throughput;
+        Alcotest.test_case "size and total" `Quick test_size_and_total;
+        Alcotest.test_case "backwards time rejected" `Quick test_track_backwards_rejected;
+        Alcotest.test_case "negative size rejected" `Quick
+          test_track_negative_size_rejected;
+        Alcotest.test_case "empty window" `Quick test_get_avgs_empty_window;
+        Alcotest.test_case "no departures -> no latency" `Quick
+          test_get_avgs_no_departures;
+        Alcotest.test_case "snapshot non-destructive" `Quick
+          test_snapshot_is_nondestructive;
+        QCheck_alcotest.to_alcotest prop_littles_law_identity;
+        QCheck_alcotest.to_alcotest prop_counters_monotone;
+      ] );
+    ( "core.hints",
+      [
+        Alcotest.test_case "end-to-end latency" `Quick test_hints_end_to_end_latency;
+        Alcotest.test_case "in-flight accounting" `Quick test_hints_in_flight;
+        Alcotest.test_case "overcomplete rejected" `Quick test_hints_overcomplete_rejected;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+(* Tests for the ASCII chart renderer. *)
+
+let series label marker points : Report.Chart.series = { label; marker; points }
+
+let test_render_basic () =
+  let out =
+    Report.Chart.render
+      [ series "a" 'o' [ (0.0, 10.0); (1.0, 100.0); (2.0, 1000.0) ] ]
+  in
+  Alcotest.(check bool) "contains marker" true (String.contains out 'o');
+  Alcotest.(check bool) "contains legend" true
+    (String.length out > 0 && String.contains out 'a');
+  (* all rows of the plot area are present *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "enough lines" true
+    (List.length lines >= Report.Chart.default_config.height + 3)
+
+let test_render_empty () =
+  Alcotest.(check string) "empty message" "(no data to plot)\n" (Report.Chart.render []);
+  Alcotest.(check string) "series without points" "(no data to plot)\n"
+    (Report.Chart.render [ series "x" 'x' [] ])
+
+let test_render_reference_line () =
+  let config =
+    { Report.Chart.default_config with y_line = Some (500.0, '=') }
+  in
+  let out = Report.Chart.render ~config [ series "a" 'o' [ (0.0, 100.0); (1.0, 1000.0) ] ] in
+  Alcotest.(check bool) "rule drawn" true (String.contains out '=')
+
+let test_render_linear_axis () =
+  let config = { Report.Chart.default_config with y_axis = Report.Chart.Linear } in
+  let out = Report.Chart.render ~config [ series "a" '*' [ (0.0, 1.0); (5.0, 2.0) ] ] in
+  Alcotest.(check bool) "renders" true (String.contains out '*')
+
+let test_render_non_finite_skipped () =
+  let out =
+    Report.Chart.render
+      [ series "a" 'o' [ (0.0, Float.nan); (1.0, 50.0); (2.0, Float.infinity) ] ]
+  in
+  Alcotest.(check bool) "renders despite nan/inf" true (String.contains out 'o')
+
+let test_render_constant_series () =
+  (* zero y-span must not divide by zero *)
+  let out = Report.Chart.render [ series "flat" '-' [ (0.0, 7.0); (1.0, 7.0) ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_render_too_small_grid () =
+  let config = { Report.Chart.default_config with width = 2; height = 2 } in
+  Alcotest.check_raises "tiny grid" (Invalid_argument "Chart.render: grid too small")
+    (fun () -> ignore (Report.Chart.render ~config [ series "a" 'o' [ (0.0, 1.0) ] ]))
+
+let suite =
+  [
+    ( "report.chart",
+      [
+        Alcotest.test_case "basic render" `Quick test_render_basic;
+        Alcotest.test_case "empty input" `Quick test_render_empty;
+        Alcotest.test_case "reference line" `Quick test_render_reference_line;
+        Alcotest.test_case "linear axis" `Quick test_render_linear_axis;
+        Alcotest.test_case "non-finite skipped" `Quick test_render_non_finite_skipped;
+        Alcotest.test_case "constant series" `Quick test_render_constant_series;
+        Alcotest.test_case "grid validation" `Quick test_render_too_small_grid;
+      ] );
+  ]

@@ -1,0 +1,473 @@
+(* Tests for the simulation substrate: time, heap, engine, rng, stats,
+   cpu, trace. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Time} *)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 1_000 (Sim.Time.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Sim.Time.ms 1);
+  Alcotest.(check int) "sec" 1_000_000_000 (Sim.Time.sec 1);
+  Alcotest.(check int) "of_us_float rounds" 1_500 (Sim.Time.of_us_float 1.5);
+  check_float "to_us" 1.5 (Sim.Time.to_us 1_500);
+  check_float "to_sec" 2.0 (Sim.Time.to_sec (Sim.Time.sec 2))
+
+let test_time_arith () =
+  let t = Sim.Time.add (Sim.Time.us 5) (Sim.Time.us 3) in
+  Alcotest.(check int) "add" 8_000 t;
+  Alcotest.(check int) "diff" 3_000 (Sim.Time.diff t (Sim.Time.us 5));
+  Alcotest.(check int) "min" 5_000 (Sim.Time.min t (Sim.Time.us 5));
+  Alcotest.(check int) "max" 8_000 (Sim.Time.max t (Sim.Time.us 5))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "123ns" (Sim.Time.to_string 123);
+  Alcotest.(check string) "us" "1.50us" (Sim.Time.to_string 1_500);
+  Alcotest.(check string) "ms" "2.00ms" (Sim.Time.to_string 2_000_000);
+  Alcotest.(check string) "s" "1.000s" (Sim.Time.to_string 1_000_000_000)
+
+(* {1 Heap} *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Sim.Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek h);
+  let order = List.init 6 (fun _ -> Sim.Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted pops" [ 1; 2; 3; 5; 8; 9 ] order;
+  Alcotest.(check (option int)) "pop empty" None (Sim.Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h);
+  Sim.Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Sim.Heap.pop h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let popped = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
+      popped = List.sort Int.compare xs)
+
+(* {1 Engine} *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 30) (note "c"));
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 10) (note "a"));
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 20) (note "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" (Sim.Time.us 30) (Sim.Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule e ~after:(Sim.Time.us 10) (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO among ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~after:(Sim.Time.us 10) (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Alcotest.(check int) "pending drops" 0 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "did not fire" false !fired;
+  (* double cancel is a no-op *)
+  Sim.Engine.cancel e h
+
+let test_engine_schedule_from_callback () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~after:(Sim.Time.us 10) (fun () ->
+         log := Sim.Engine.now e :: !log;
+         ignore
+           (Sim.Engine.schedule e ~after:(Sim.Time.us 5) (fun () ->
+                log := Sim.Engine.now e :: !log))));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "chained events" [ 10_000; 15_000 ] (List.rev !log)
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 10) tick)
+  in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 10) tick);
+  Sim.Engine.run_until e (Sim.Time.us 55);
+  Alcotest.(check int) "five ticks by 55us" 5 !count;
+  Alcotest.(check int) "clock advanced to deadline" (Sim.Time.us 55) (Sim.Engine.now e)
+
+let test_engine_negative_delay () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Sim.Engine.schedule e ~after:(-1) ignore))
+
+let test_engine_past_schedule_at () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 10) ignore);
+  Sim.Engine.run e;
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule_at: time is in the simulated past") (fun () ->
+      ignore (Sim.Engine.schedule_at e ~at:(Sim.Time.us 5) ignore))
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:7 in
+  let c = Sim.Rng.split a in
+  let x = Sim.Rng.bits64 a and y = Sim.Rng.bits64 c in
+  Alcotest.(check bool) "streams differ" true (not (Int64.equal x y))
+
+let test_rng_float_range () =
+  let r = Sim.Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_rng_int_range () =
+  let r = Sim.Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.int r ~bound:17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r ~bound:0))
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create ~seed:17 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential r ~mean:250.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 250.0) > 5.0 then
+    Alcotest.failf "exponential mean off: %f" mean
+
+let test_rng_normal_moments () =
+  let r = Sim.Rng.create ~seed:19 in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.normal r ~mu:10.0 ~sigma:2.0)
+  done;
+  if Float.abs (Sim.Stats.Summary.mean s -. 10.0) > 0.1 then
+    Alcotest.failf "normal mean off: %f" (Sim.Stats.Summary.mean s);
+  if Float.abs (Sim.Stats.Summary.stddev s -. 2.0) > 0.1 then
+    Alcotest.failf "normal stddev off: %f" (Sim.Stats.Summary.stddev s)
+
+let test_rng_zipf_skew () =
+  let r = Sim.Rng.create ~seed:23 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let i = Sim.Rng.zipf r ~n:10 ~theta:1.0 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "rank 1 beats rank 9" true (counts.(1) > counts.(9))
+
+let test_rng_zipf_uniform_theta0 () =
+  let r = Sim.Rng.create ~seed:29 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 40_000 do
+    let i = Sim.Rng.zipf r ~n:4 ~theta:0.0 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 9_000 || c > 11_000 then Alcotest.failf "theta=0 not uniform: %d" c)
+    counts
+
+let test_rng_pareto_min () =
+  let r = Sim.Rng.create ~seed:31 in
+  for _ = 1 to 1_000 do
+    let x = Sim.Rng.pareto r ~scale:5.0 ~shape:2.0 in
+    if x < 5.0 then Alcotest.failf "pareto below scale: %f" x
+  done
+
+(* {1 Stats} *)
+
+let test_summary_moments () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Sim.Stats.Summary.mean s);
+  check_float "variance" (32.0 /. 7.0) (Sim.Stats.Summary.variance s);
+  check_float "min" 2.0 (Sim.Stats.Summary.min s);
+  check_float "max" 9.0 (Sim.Stats.Summary.max s);
+  check_float "total" 40.0 (Sim.Stats.Summary.total s)
+
+let test_summary_empty () =
+  let s = Sim.Stats.Summary.create () in
+  check_float "mean of empty" 0.0 (Sim.Stats.Summary.mean s);
+  check_float "variance of empty" 0.0 (Sim.Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Sim.Stats.Summary.create () and b = Sim.Stats.Summary.create () in
+  let all = Sim.Stats.Summary.create () in
+  List.iter
+    (fun x ->
+      Sim.Stats.Summary.add (if x < 5.0 then a else b) x;
+      Sim.Stats.Summary.add all x)
+    [ 1.0; 2.0; 7.0; 8.0; 3.0; 9.0 ];
+  let merged = Sim.Stats.Summary.merge a b in
+  check_float "merged mean" (Sim.Stats.Summary.mean all) (Sim.Stats.Summary.mean merged);
+  let check_close what x y =
+    if Float.abs (x -. y) > 1e-9 then Alcotest.failf "%s: %f vs %f" what x y
+  in
+  check_close "merged variance" (Sim.Stats.Summary.variance all)
+    (Sim.Stats.Summary.variance merged)
+
+let test_histogram_percentiles () =
+  let h = Sim.Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Sim.Stats.Histogram.add h (float_of_int i)
+  done;
+  let p50 = Sim.Stats.Histogram.percentile h 50.0 in
+  let p99 = Sim.Stats.Histogram.percentile h 99.0 in
+  (* log-bucketed: allow ~2/2^5 relative error *)
+  if Float.abs (p50 -. 500.0) /. 500.0 > 0.10 then Alcotest.failf "p50 off: %f" p50;
+  if Float.abs (p99 -. 990.0) /. 990.0 > 0.10 then Alcotest.failf "p99 off: %f" p99;
+  Alcotest.(check int) "count" 1000 (Sim.Stats.Histogram.count h)
+
+let test_histogram_empty_and_clamp () =
+  let h = Sim.Stats.Histogram.create () in
+  check_float "empty percentile" 0.0 (Sim.Stats.Histogram.percentile h 99.0);
+  Sim.Stats.Histogram.add h (-5.0);
+  Alcotest.(check int) "negative clamped, counted" 1 (Sim.Stats.Histogram.count h)
+
+let test_histogram_merge () =
+  let a = Sim.Stats.Histogram.create () and b = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add a 10.0;
+  Sim.Stats.Histogram.add b 1000.0;
+  let m = Sim.Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Sim.Stats.Histogram.count m)
+
+let prop_histogram_percentile_bounds =
+  QCheck.Test.make ~name:"histogram median within sample range (log-bucket error)"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let h = Sim.Stats.Histogram.create () in
+      List.iter (Sim.Stats.Histogram.add h) xs;
+      let sorted = List.sort compare xs in
+      let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+      let med = Sim.Stats.Histogram.median h in
+      (* upper-bound rounding: at most one bucket (~6%) above max *)
+      med >= Float.min lo 1.0 *. 0.9 && med <= Float.max hi 1.0 *. 1.1)
+
+(* {1 P2 quantiles} *)
+
+let test_p2_exact_for_few_samples () =
+  let p2 = Sim.Stats.P2.create ~q:0.5 in
+  Alcotest.(check (option (float 0.0))) "empty" None (Sim.Stats.P2.value p2);
+  List.iter (Sim.Stats.P2.add p2) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (option (float 1e-9))) "exact median of 3" (Some 2.0)
+    (Sim.Stats.P2.value p2)
+
+let test_p2_median_uniform () =
+  let p2 = Sim.Stats.P2.create ~q:0.5 in
+  let rng = Sim.Rng.create ~seed:21 in
+  for _ = 1 to 50_000 do
+    Sim.Stats.P2.add p2 (Sim.Rng.float rng *. 100.0)
+  done;
+  match Sim.Stats.P2.value p2 with
+  | Some v ->
+    if Float.abs (v -. 50.0) > 2.0 then Alcotest.failf "median estimate off: %f" v
+  | None -> Alcotest.fail "no value"
+
+let test_p2_p99_exponential () =
+  let p2 = Sim.Stats.P2.create ~q:0.99 in
+  let rng = Sim.Rng.create ~seed:22 in
+  for _ = 1 to 100_000 do
+    Sim.Stats.P2.add p2 (Sim.Rng.exponential rng ~mean:100.0)
+  done;
+  (* true p99 of exp(100) = 100 * ln(100) ~ 460.5 *)
+  match Sim.Stats.P2.value p2 with
+  | Some v ->
+    if Float.abs (v -. 460.5) /. 460.5 > 0.10 then
+      Alcotest.failf "p99 estimate off: %f (expected ~460.5)" v
+  | None -> Alcotest.fail "no value"
+
+let test_p2_invalid_q () =
+  Alcotest.check_raises "q=0" (Invalid_argument "P2.create: q must be in (0,1)")
+    (fun () -> ignore (Sim.Stats.P2.create ~q:0.0));
+  Alcotest.check_raises "q=1" (Invalid_argument "P2.create: q must be in (0,1)")
+    (fun () -> ignore (Sim.Stats.P2.create ~q:1.0))
+
+let prop_p2_close_to_exact =
+  QCheck.Test.make ~name:"P2 tracks the exact quantile on uniform data" ~count:30
+    QCheck.(pair (int_range 1 100000) (float_range 0.1 0.9))
+    (fun (seed, q) ->
+      let p2 = Sim.Stats.P2.create ~q in
+      let rng = Sim.Rng.create ~seed in
+      let n = 3_000 in
+      let samples = Array.init n (fun _ -> Sim.Rng.float rng *. 1000.0) in
+      Array.iter (Sim.Stats.P2.add p2) samples;
+      Array.sort compare samples;
+      let exact = samples.(int_of_float (q *. float_of_int (n - 1))) in
+      match Sim.Stats.P2.value p2 with
+      | Some v -> Float.abs (v -. exact) < 60.0 (* within ~6% of the range *)
+      | None -> false)
+
+let test_time_avg () =
+  let ta = Sim.Stats.Time_avg.create ~at:0 ~value:1.0 in
+  Sim.Stats.Time_avg.update ta ~at:(Sim.Time.us 10) ~value:4.0;
+  (* 1 for 10us then 4 for 20us: average 3 — the paper's worked example. *)
+  check_float "paper example" 3.0
+    (Sim.Stats.Time_avg.average ta ~upto:(Sim.Time.us 30))
+
+let test_time_avg_backwards () =
+  let ta = Sim.Stats.Time_avg.create ~at:(Sim.Time.us 10) ~value:1.0 in
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Time_avg.update: time went backwards") (fun () ->
+      Sim.Stats.Time_avg.update ta ~at:(Sim.Time.us 5) ~value:2.0)
+
+(* {1 Cpu} *)
+
+let test_cpu_fifo_and_busy () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  let log = ref [] in
+  Sim.Cpu.run cpu ~cost:(Sim.Time.us 10) (fun () -> log := ("a", Sim.Engine.now e) :: !log);
+  Sim.Cpu.run cpu ~cost:(Sim.Time.us 5) (fun () -> log := ("b", Sim.Engine.now e) :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "FIFO with accumulated start times"
+    [ ("a", Sim.Time.us 10); ("b", Sim.Time.us 15) ]
+    (List.rev !log);
+  Alcotest.(check int) "busy total" (Sim.Time.us 15) (Sim.Cpu.busy_ns cpu);
+  Alcotest.(check int) "completed" 2 (Sim.Cpu.completed cpu)
+
+let test_cpu_idle_gap () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  Sim.Cpu.run cpu ~cost:(Sim.Time.us 2) ignore;
+  Sim.Engine.run e;
+  ignore (Sim.Engine.schedule e ~after:(Sim.Time.us 100) (fun () ->
+      Sim.Cpu.run cpu ~cost:(Sim.Time.us 3) ignore));
+  Sim.Engine.run e;
+  (* Work after an idle gap starts immediately, not at accumulated time. *)
+  Alcotest.(check int) "finished at 105us" (Sim.Time.us 105) (Sim.Engine.now e);
+  check_float "utilization over 105us" (5.0 /. 105.0)
+    (Sim.Cpu.utilization cpu ~over:(Sim.Time.us 105))
+
+(* {1 Trace} *)
+
+let test_trace_disabled_by_default () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.emit tr ~at:0 ~tag:"x" ~detail:"y";
+  Alcotest.(check int) "no records" 0 (List.length (Sim.Trace.records tr))
+
+let test_trace_capture_and_find () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.set_enabled tr true;
+  Sim.Trace.emit tr ~at:1 ~tag:"tx" ~detail:"seg 1";
+  Sim.Trace.emitf tr ~at:2 ~tag:"rx" "seg %d" 2;
+  Alcotest.(check int) "two records" 2 (List.length (Sim.Trace.records tr));
+  match Sim.Trace.find tr ~tag:"rx" with
+  | [ r ] -> Alcotest.(check string) "formatted" "seg 2" r.Sim.Trace.detail
+  | l -> Alcotest.failf "expected one rx record, got %d" (List.length l)
+
+let test_trace_ring_overwrite () =
+  let tr = Sim.Trace.create ~capacity:4 () in
+  Sim.Trace.set_enabled tr true;
+  for i = 1 to 10 do
+    Sim.Trace.emit tr ~at:i ~tag:"t" ~detail:(string_of_int i)
+  done;
+  let records = Sim.Trace.records tr in
+  Alcotest.(check int) "capped" 4 (List.length records);
+  Alcotest.(check string) "oldest kept is 7" "7" (List.hd records).Sim.Trace.detail
+
+let suite =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "push/pop ordering" `Quick test_heap_basic;
+        Alcotest.test_case "pop_exn on empty" `Quick test_heap_pop_exn_empty;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        QCheck_alcotest.to_alcotest prop_heap_sorted;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "FIFO tie-break" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "schedule from callback" `Quick test_engine_schedule_from_callback;
+        Alcotest.test_case "run_until" `Quick test_engine_run_until;
+        Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
+        Alcotest.test_case "past schedule rejected" `Quick test_engine_past_schedule_at;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic from seed" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "float in [0,1)" `Quick test_rng_float_range;
+        Alcotest.test_case "int in bounds" `Quick test_rng_int_range;
+        Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+        Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        Alcotest.test_case "zipf uniform at theta=0" `Quick test_rng_zipf_uniform_theta0;
+        Alcotest.test_case "pareto respects scale" `Quick test_rng_pareto_min;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "summary moments" `Quick test_summary_moments;
+        Alcotest.test_case "summary empty" `Quick test_summary_empty;
+        Alcotest.test_case "summary merge" `Quick test_summary_merge;
+        Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "histogram empty/clamp" `Quick test_histogram_empty_and_clamp;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
+        Alcotest.test_case "P2 exact below 5 samples" `Quick test_p2_exact_for_few_samples;
+        Alcotest.test_case "P2 median (uniform)" `Slow test_p2_median_uniform;
+        Alcotest.test_case "P2 p99 (exponential)" `Slow test_p2_p99_exponential;
+        Alcotest.test_case "P2 rejects bad q" `Quick test_p2_invalid_q;
+        QCheck_alcotest.to_alcotest prop_p2_close_to_exact;
+        Alcotest.test_case "time-avg paper example" `Quick test_time_avg;
+        Alcotest.test_case "time-avg rejects backwards" `Quick test_time_avg_backwards;
+      ] );
+    ( "sim.cpu",
+      [
+        Alcotest.test_case "FIFO and busy accounting" `Quick test_cpu_fifo_and_busy;
+        Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+        Alcotest.test_case "capture and find" `Quick test_trace_capture_and_find;
+        Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
+      ] );
+  ]
