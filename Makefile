@@ -1,0 +1,22 @@
+# Tier-1 verification in one command: build + full test suite (the
+# parallel-vs-sequential determinism tests included) with backtraces on.
+.PHONY: all build test check bench-par clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	OCAMLRUNPARAM=b dune runtest
+
+check:
+	OCAMLRUNPARAM=b dune build
+	OCAMLRUNPARAM=b dune runtest
+
+# Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
+bench-par:
+	dune exec bench/main.exe -- par
+
+clean:
+	dune clean

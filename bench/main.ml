@@ -3,8 +3,13 @@
    called out in DESIGN.md and Bechamel microbenchmarks of the
    estimator's hot paths.
 
-   Usage: main.exe [fig1] [fig2] [fig3] [fig4a] [fig4b] [small]
-                   [dynamic] [ablate] [micro]   (default: all sections)
+   Usage: main.exe [--domains N] [fig1] [fig2] [fig3] [fig4a] [fig4b]
+                   [small] [dynamic] [ablate] [micro] [par]
+                   (default: all sections)
+
+   --domains N fans independent sweep simulations out over N OCaml
+   domains (default: cores - 1); per-seed results are bit-identical to
+   the sequential run, only wall-clock time changes.
 
    Absolute numbers come from the calibrated simulator (see DESIGN.md);
    the claims under test are the shapes: who wins where, where the
@@ -22,6 +27,10 @@ let hr title =
 let opt_us = function None -> "      -" | Some v -> Printf.sprintf "%7.1f" v
 
 let slo_us = Loadgen.Runner.slo_us
+
+(* Set from --domains before any section runs; sweep-shaped sections
+   fan their independent simulations out across this many domains. *)
+let domains = ref (Par.Pool.default_domains ())
 
 (* Shared sweep configuration: 50 ms warmup + 300 ms measured keeps the
    whole harness to a few minutes while giving >1500 samples per point
@@ -249,7 +258,7 @@ let plot_sweep points =
 let fig4a () =
   hr "Figure 4a — Redis SET-only (16B keys, 16KiB values): latency vs offered load";
   let base = base_config () in
-  let points = Loadgen.Sweep.sweep ~base ~rates:fig4a_rates in
+  let points = Loadgen.Sweep.sweep ~domains:!domains ~base ~rates:fig4a_rates () in
   print_sweep_table points;
   plot_sweep points;
   fig4a_summary points
@@ -304,7 +313,7 @@ let small () =
   let base = { (base_config ()) with workload = Loadgen.Workload.small_requests } in
   List.iter
     (fun rate ->
-      let p = Loadgen.Sweep.run_pair ~base ~rate_rps:rate in
+      let p = Loadgen.Sweep.run_pair ~domains:!domains ~base ~rate_rps:rate () in
       pf "%6.0f | %9.1f %9.1f | %9.1f %9.1f | %8.1f %8.1f\n" (k rate)
         p.off.measured_mean_us p.on.measured_mean_us p.off.packets_per_request
         p.on.packets_per_request p.off.server_batch_mean p.on.server_batch_mean)
@@ -702,9 +711,45 @@ let micro () =
     Test.make ~name:"resp.parse_small_set"
       (Staged.stage (fun () -> ignore (Kv.Resp.parse_exactly wire)))
   in
+  (* Old closure-comparator heap vs the monomorphic event heap now in
+     the engine, on the same push/pop event workload. *)
+  let heap_events =
+    Array.init 256 (fun i ->
+        {
+          Sim.Event_heap.at = Sim.Time.ns ((i * 7919) mod 4096);
+          seq = i;
+          action = ignore;
+          cancelled = false;
+        })
+  in
+  let heap_poly =
+    let cmp (a : Sim.Event_heap.event) (b : Sim.Event_heap.event) =
+      let c = Sim.Time.compare a.at b.at in
+      if c <> 0 then c else Int.compare a.seq b.seq
+    in
+    Test.make ~name:"heap.poly_push_pop_256"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create ~cmp in
+           Array.iter (Sim.Heap.push h) heap_events;
+           while not (Sim.Heap.is_empty h) do
+             ignore (Sim.Heap.pop h)
+           done))
+  in
+  let heap_mono =
+    Test.make ~name:"heap.mono_push_pop_256"
+      (Staged.stage (fun () ->
+           let h = Sim.Event_heap.create () in
+           Array.iter (Sim.Event_heap.push h) heap_events;
+           while not (Sim.Event_heap.is_empty h) do
+             ignore (Sim.Event_heap.pop h)
+           done))
+  in
   let tests =
     Test.make_grouped ~name:"e2e"
-      [ queue_state_track; get_avgs; encode; decode; option_codec; ewma; resp_parse ]
+      [
+        queue_state_track; get_avgs; encode; decode; option_codec; ewma; resp_parse;
+        heap_poly; heap_mono;
+      ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -724,6 +769,50 @@ let micro () =
   pf "queue transition, as the prototype does.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep runner: sequential vs domain-parallel wall-clock.    *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  hr "Parallel sweep runner — sequential vs domain-parallel wall-clock";
+  let rates = [ 10e3; 30e3; 50e3; 70e3; 90e3; 110e3; 130e3; 150e3 ] in
+  let base =
+    { (base_config ()) with warmup = Sim.Time.ms 20; duration = Sim.Time.ms 100 }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let n = !domains in
+  pf "%d sweep points (on+off pairs each), %d worker domain(s), %d core(s)\n"
+    (List.length rates) n
+    (Domain.recommended_domain_count ());
+  let seq_points, seq_s = time (fun () -> Loadgen.Sweep.sweep ~domains:1 ~base ~rates ()) in
+  let par_points, par_s = time (fun () -> Loadgen.Sweep.sweep ~domains:n ~base ~rates ()) in
+  let identical = seq_points = par_points in
+  let speedup = seq_s /. par_s in
+  pf "  sequential (domains=1) : %6.2f s\n" seq_s;
+  pf "  parallel   (domains=%d) : %6.2f s\n" n par_s;
+  pf "  speedup                : %5.2fx\n" speedup;
+  pf "  bit-identical results  : %s\n" (if identical then "yes" else "NO — BUG");
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"par\",\n\
+    \  \"cores\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"sweep_points\": %d,\n\
+    \  \"sequential_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"deterministic\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    n (List.length rates) seq_s par_s speedup identical;
+  close_out oc;
+  pf "  wrote BENCH_par.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -736,13 +825,29 @@ let sections =
     ("dynamic", dynamic);
     ("ablate", ablate);
     ("micro", micro);
+    ("par", par);
   ]
 
 let () =
+  let rec split_flags acc = function
+    | [] -> List.rev acc
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        domains := n;
+        split_flags acc rest
+      | Some _ | None ->
+        prerr_endline "--domains expects a positive integer";
+        exit 1)
+    | [ "--domains" ] ->
+      prerr_endline "--domains expects a positive integer";
+      exit 1
+    | arg :: rest -> split_flags (arg :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    match split_flags [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | args -> args
   in
   List.iter
     (fun name ->

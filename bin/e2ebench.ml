@@ -73,6 +73,14 @@ let loss_arg =
   let doc = "Per-packet drop probability (enables congestion control)." in
   Arg.(value & opt float 0.0 & info [ "loss" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for sweeps (1 = sequential; results are identical \
+     for any value, only wall-clock time changes).  Defaults to the \
+     machine's core count minus one."
+  in
+  Arg.(value & opt int (Par.Pool.default_domains ()) & info [ "domains" ] ~docv:"N" ~doc)
+
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
 let parse_batching nagle policy epsilon =
@@ -183,9 +191,10 @@ let rates_arg =
   Arg.(value & opt string "10,40,70,100,130" & info [ "rates" ] ~doc)
 
 let sweep_cmd =
-  let action rates seed duration warmup unit_mode value_size set_ratio vm_mult =
+  let action rates seed duration warmup unit_mode value_size set_ratio vm_mult domains =
     let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' rates) in
     if parsed = [] then fail "no valid rates in %S" rates
+    else if domains < 1 then fail "--domains must be at least 1"
     else begin
       match
         build_config ~rate:1.0 ~seed ~duration ~warmup ~nagle:"off" ~policy:"slo"
@@ -194,7 +203,9 @@ let sweep_cmd =
       | Error e -> fail "%s" e
       | Ok base ->
         let points =
-          Loadgen.Sweep.sweep ~base ~rates:(List.map (fun r -> r *. 1e3) parsed)
+          Loadgen.Sweep.sweep ~domains ~base
+            ~rates:(List.map (fun r -> r *. 1e3) parsed)
+            ()
         in
         pf "%6s | %10s %10s | %10s %10s\n" "kRPS" "off-meas" "off-est" "on-meas" "on-est";
         pf "%s\n" (String.make 58 '-');
@@ -224,7 +235,7 @@ let sweep_cmd =
     Term.(
       ret
         (const action $ rates_arg $ seed_arg $ duration_arg $ warmup_arg $ unit_arg
-       $ value_size_arg $ set_ratio_arg $ vm_mult_arg))
+       $ value_size_arg $ set_ratio_arg $ vm_mult_arg $ domains_arg))
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep offered load with Nagle on and off") term
 

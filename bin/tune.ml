@@ -19,17 +19,22 @@ let geti name default =
 
 let () =
   let n_conns = geti "CONNS" 1 in
+  let domains = geti "DOMAINS" (Par.Pool.default_domains ()) in
   let rates =
     match Sys.getenv_opt "RATES" with
     | Some r -> List.map (fun x -> float_of_string x *. 1e3) (String.split_on_char ',' r)
     | None -> [ 10e3; 40e3; 70e3; 100e3; 130e3 ]
   in
+  let base =
+    Loadgen.Runner.default_config ~rate_rps:0.0 ~batching:Loadgen.Runner.Static_off
+  in
+  let base =
+    { base with Loadgen.Runner.n_conns; warmup = Sim.Time.ms 50; duration = Sim.Time.ms 300 }
+  in
+  let points = Loadgen.Sweep.sweep ~domains ~base ~rates () in
   List.iter
-    (fun rate ->
-      let base = Loadgen.Runner.default_config ~rate_rps:rate ~batching:Loadgen.Runner.Static_off in
-      let base = { base with Loadgen.Runner.n_conns; warmup = Sim.Time.ms 50; duration = Sim.Time.ms 300 } in
-      let p = Loadgen.Sweep.run_pair ~base ~rate_rps:rate in
+    (fun (p : Loadgen.Sweep.point) ->
       show "off" p.off;
       show "on" p.on;
       pf "\n")
-    rates
+    points

@@ -1,11 +1,19 @@
 type point = { rate_rps : float; on : Runner.result; off : Runner.result }
 
-let run_pair ~base ~rate_rps =
-  let on = Runner.run { base with rate_rps; batching = Runner.Static_on } in
-  let off = Runner.run { base with rate_rps; batching = Runner.Static_off } in
-  { rate_rps; on; off }
+let run_pair ?(domains = 1) ~base ~rate_rps () =
+  match
+    Par.Pool.map ~domains:(min domains 2)
+      (fun batching -> Runner.run { base with rate_rps; batching })
+      [ Runner.Static_on; Runner.Static_off ]
+  with
+  | [ on; off ] -> { rate_rps; on; off }
+  | _ -> assert false
 
-let sweep ~base ~rates = List.map (fun rate_rps -> run_pair ~base ~rate_rps) rates
+let sweep ?(domains = 1) ~base ~rates () =
+  (* Each worker runs one rate's on/off pair; every [Runner.run] is a
+     pure function of (config, seed), so results are bit-identical to
+     the sequential path whatever the domain count. *)
+  Par.Pool.map ~domains (fun rate_rps -> run_pair ~base ~rate_rps ()) rates
 
 (* First rate from which "on wins" holds for the rest of the sweep,
    so a noisy early crossing does not register as the cutoff. *)

@@ -12,11 +12,18 @@ type point = {
   off : Runner.result;  (** Nagle disabled (Redis default) *)
 }
 
-val run_pair : base:Runner.config -> rate_rps:float -> point
+val run_pair : ?domains:int -> base:Runner.config -> rate_rps:float -> unit -> point
 (** Run both configurations at one offered load.  [base]'s [batching]
-    field is overridden. *)
+    field is overridden.  [domains] (default 1) runs the on/off pair on
+    two domains via {!Par.Pool}; results are identical either way. *)
 
-val sweep : base:Runner.config -> rates:float list -> point list
+val sweep :
+  ?domains:int -> base:Runner.config -> rates:float list -> unit -> point list
+(** Sweep every rate with Nagle on and off.  With [domains > 1] the
+    per-rate pairs are fanned out across that many OCaml domains
+    ({!Par.Pool.map}); each simulation is a pure function of its config
+    and seed, so the point list is bit-identical to [~domains:1] — only
+    wall-clock time changes. *)
 
 val cutoff_rps : point list -> float option
 (** Lowest swept rate from which batching's measured mean latency stays

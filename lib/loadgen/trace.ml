@@ -9,15 +9,19 @@ let entry_to_line e =
   | cmd ->
     Error (Printf.sprintf "trace format does not cover %s" (Kv.Command.name cmd))
 
-(* One shared value payload per size, as in Workload. *)
-let value_cache : (int, string) Hashtbl.t = Hashtbl.create 8
+(* One shared value payload per size, as in Workload: domain-local so
+   traces can be parsed from pool workers without racing on the
+   table. *)
+let value_cache : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let value_of_size n =
-  match Hashtbl.find_opt value_cache n with
+  let cache = Domain.DLS.get value_cache in
+  match Hashtbl.find_opt cache n with
   | Some v -> v
   | None ->
     let v = String.make n 'v' in
-    Hashtbl.add value_cache n v;
+    Hashtbl.add cache n v;
     v
 
 let parse_line line =

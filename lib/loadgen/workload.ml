@@ -27,16 +27,21 @@ let key_of t i =
   if String.length base >= t.key_size then String.sub base 0 t.key_size
   else base ^ String.make (t.key_size - String.length base) 'x'
 
-(* One shared value payload per spec: request contents do not matter,
-   only their size, and sharing avoids allocating 16 KiB per request. *)
-let value_cache : (int, string) Hashtbl.t = Hashtbl.create 8
+(* One shared value payload per size: request contents do not matter,
+   only their size, and sharing avoids allocating 16 KiB per request.
+   The cache is domain-local so parallel sweeps (Par.Pool) never race
+   on the table; each domain pays at most one allocation per distinct
+   size. *)
+let value_cache : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let value_of t =
-  match Hashtbl.find_opt value_cache t.value_size with
+  let cache = Domain.DLS.get value_cache in
+  match Hashtbl.find_opt cache t.value_size with
   | Some v -> v
   | None ->
     let v = String.make t.value_size 'v' in
-    Hashtbl.add value_cache t.value_size v;
+    Hashtbl.add cache t.value_size v;
     v
 
 let next_command t ~rng =

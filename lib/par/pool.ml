@@ -1,0 +1,59 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* First-failure tracking: workers race to record (index, exn, bt); the
+   lowest index wins so the caller sees the same exception the
+   sequential path would have raised first. *)
+type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let record_failure slot index exn bt =
+  let rec loop () =
+    let cur = Atomic.get slot in
+    let better = match cur with None -> true | Some f -> index < f.index in
+    if better && not (Atomic.compare_and_set slot cur (Some { index; exn; bt })) then
+      loop ()
+  in
+  loop ()
+
+let map_array ?domains f items =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if domains <= 0 then invalid_arg "Pool.map: domains must be positive";
+  let n = Array.length items in
+  if domains = 1 || n <= 1 then Array.map f items
+  else begin
+    (* [results] is written at distinct indices by distinct domains and
+       only read after every worker has been joined, so the plain array
+       is race-free under the OCaml 5 memory model. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failed = None then begin
+          (try results.(i) <- Some (f items.(i))
+           with exn ->
+             let bt = Printexc.get_raw_backtrace () in
+             record_failure failed i exn bt);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      (* the caller is worker number [domains]; never spawn more
+         workers than items *)
+      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get failed with
+    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Pool.map: item skipped (worker aborted early)")
+        results
+  end
+
+let map ?domains f items = Array.to_list (map_array ?domains f (Array.of_list items))

@@ -1,0 +1,39 @@
+(** Domain-based parallel map over independent work items.
+
+    Every figure of the reproduction is a sweep of mutually independent
+    [Runner.run] simulations; this pool fans them out across OCaml 5
+    domains.  Scheduling is dynamic (an atomic next-item counter, so a
+    slow item does not stall a whole chunk) but the output is
+    deterministic: results come back in input order regardless of which
+    domain computed what, and [map ~domains:1] is exactly [List.map].
+
+    Only stdlib primitives are used ([Domain], [Atomic]); there is no
+    dependency beyond the compiler. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1:
+    one domain per available core, keeping a core for the parent's
+    bookkeeping on big machines while degrading to the sequential path
+    on a single-core one. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f items] applies [f] to every item and returns the
+    results in input order.
+
+    [f] must be safe to call from another domain: it must not touch
+    shared mutable state without synchronization.  Work is handed out
+    one index at a time from an atomic counter (self-scheduling /
+    work-stealing), so heterogeneous item costs balance automatically.
+    The calling domain participates as a worker, so [~domains:n] uses
+    [n] domains total, not [n] extra.
+
+    [domains] defaults to {!default_domains}; values [<= 1] (or lists
+    of fewer than two items) run sequentially in the calling domain
+    with no domain spawned.  If [f] raises on any item, the first
+    (lowest-index) exception observed is re-raised in the caller with
+    its original backtrace, after every worker has stopped.
+
+    @raise Invalid_argument if [domains <= 0]. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}; same ordering and exception guarantees. *)

@@ -1,43 +1,33 @@
-type event = {
-  at : Time.t;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
-
-type handle = event
+type handle = Event_heap.event
 
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable live : int;
-  queue : event Heap.t;
+  queue : Event_heap.t;
 }
 
-(* Earliest deadline first; FIFO among same-instant events via [seq]. *)
-let cmp_event a b =
-  let c = Time.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
+(* Ordering (earliest deadline first, FIFO among same-instant events
+   via [seq]) lives inside Event_heap's inlined comparison. *)
 let create () =
-  { clock = Time.zero; next_seq = 0; live = 0; queue = Heap.create ~cmp:cmp_event }
+  { clock = Time.zero; next_seq = 0; live = 0; queue = Event_heap.create () }
 
 let now t = t.clock
 
 let schedule_at t ~at action =
   if Time.compare at t.clock < 0 then
     invalid_arg "Engine.schedule_at: time is in the simulated past";
-  let ev = { at; seq = t.next_seq; action; cancelled = false } in
+  let ev = { Event_heap.at; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  Heap.push t.queue ev;
+  Event_heap.push t.queue ev;
   ev
 
 let schedule t ~after action =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(Time.add t.clock after) action
 
-let cancel t ev =
+let cancel t (ev : handle) =
   if not ev.cancelled then begin
     ev.cancelled <- true;
     t.live <- t.live - 1
@@ -46,7 +36,7 @@ let cancel t ev =
 let pending t = t.live
 
 let rec step t =
-  match Heap.pop t.queue with
+  match Event_heap.pop t.queue with
   | None -> false
   | Some ev when ev.cancelled -> step t
   | Some ev ->
@@ -58,9 +48,9 @@ let rec step t =
 let rec run t = if step t then run t
 
 let rec run_until t deadline =
-  match Heap.peek t.queue with
+  match Event_heap.peek t.queue with
   | Some ev when ev.cancelled ->
-    ignore (Heap.pop t.queue);
+    ignore (Event_heap.pop t.queue);
     run_until t deadline
   | Some ev when Time.compare ev.at deadline <= 0 ->
     ignore (step t);

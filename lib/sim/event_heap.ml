@@ -1,19 +1,33 @@
-type 'a t = {
-  cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
-  mutable size : int;
+type event = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+type t = {
+  mutable data : event array;
+  mutable size : int;
+  sentinel : event;  (** fills vacated and never-used slots *)
+}
+
+let create () =
+  let sentinel = { at = Time.zero; seq = -1; action = ignore; cancelled = true } in
+  { data = [||]; size = 0; sentinel }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+(* Time.t and seq are plain ints, so this compiles to unboxed integer
+   compares — the whole point of the specialization. *)
+let[@inline] before (a : event) (b : event) =
+  a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap h.sentinel in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end
@@ -21,7 +35,7 @@ let grow h x =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if before h.data.(i) h.data.(parent) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -32,8 +46,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(!smallest);
@@ -41,9 +55,9 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+let push h ev =
+  grow h;
+  h.data.(h.size) <- ev;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
@@ -56,24 +70,10 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
-      (* Point the vacated slot at a still-live element so the popped
-         value can be collected; without this a drained heap retains
-         every element it ever held.  Being polymorphic we have no
-         sentinel, so when the heap empties the last slot keeps one
-         element alive — bounded, unlike the old behavior. *)
-      h.data.(h.size) <- h.data.(0);
       sift_down h 0
     end;
+    (* Clear the vacated slot so [top]'s action closure (and, after a
+       drain, every popped event's) does not linger in the array. *)
+    h.data.(h.size) <- h.sentinel;
     Some top
   end
-
-let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
-
-let clear h =
-  h.data <- [||];
-  h.size <- 0
-
-let to_list h = Array.to_list (Array.sub h.data 0 h.size)

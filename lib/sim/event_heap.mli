@@ -1,0 +1,36 @@
+(** Monomorphic binary min-heap specialized for engine events.
+
+    The generic {!Heap} orders elements through a closure comparator,
+    which costs an indirect call per comparison on the simulator's
+    hottest path and, being polymorphic, boxes nothing but also inlines
+    nothing.  This heap knows its element type: ordering is the inlined
+    [(at, seq)] integer comparison (earliest deadline first, FIFO among
+    same-instant events), with no function pointer in sight.
+
+    Vacated slots are overwritten with a per-heap sentinel on [pop] and
+    [clear], so a fired or cancelled event's action closure — which can
+    capture sockets, connections, whole simulation worlds — becomes
+    collectable as soon as it leaves the queue. *)
+
+type event = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> event -> unit
+
+val peek : t -> event option
+(** Earliest event without removing it. *)
+
+val pop : t -> event option
+(** Remove and return the earliest event.  The slot it occupied is
+    cleared. *)

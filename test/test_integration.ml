@@ -196,7 +196,7 @@ let test_runner_vm_multiplier_increases_client_cpu () =
 
 let test_sweep_finds_cutoff () =
   let base = quick_config ~duration:(Sim.Time.ms 50) () in
-  let points = Loadgen.Sweep.sweep ~base ~rates:[ 20e3; 60e3; 100e3; 120e3 ] in
+  let points = Loadgen.Sweep.sweep ~base ~rates:[ 20e3; 60e3; 100e3; 120e3 ] () in
   Alcotest.(check int) "all points ran" 4 (List.length points);
   match Loadgen.Sweep.cutoff_rps points with
   | Some cutoff ->
@@ -205,7 +205,7 @@ let test_sweep_finds_cutoff () =
 
 let test_sweep_slo_range_extension () =
   let base = quick_config ~duration:(Sim.Time.ms 50) () in
-  let points = Loadgen.Sweep.sweep ~base ~rates:[ 40e3; 80e3; 120e3; 140e3 ] in
+  let points = Loadgen.Sweep.sweep ~base ~rates:[ 40e3; 80e3; 120e3; 140e3 ] () in
   match Loadgen.Sweep.range_extension ~slo_us:500.0 points with
   | Some ext -> Alcotest.(check bool) "batching extends the SLO range" true (ext > 1.0)
   | None -> Alcotest.fail "could not compute extension"
