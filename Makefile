@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check bench-par clean
+.PHONY: all build test check smoke bench-par clean
 
 all: build
 
@@ -10,9 +10,22 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check:
+check: smoke
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
+
+# End-to-end observability smoke: a tiny observed sweep writes
+# trace/metrics JSONL, then inspect re-parses every line (it exits
+# nonzero on the first malformed one).
+smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	dune exec bin/e2ebench.exe -- sweep --rates 20,60 \
+	  --warmup-ms 5 --duration-ms 20 \
+	  --trace-out _smoke/trace.jsonl --metrics-out _smoke/metrics.jsonl
+	dune exec bin/e2ebench.exe -- inspect _smoke/trace.jsonl --limit 5
+	@test -s _smoke/metrics.jsonl || { echo "smoke: empty metrics file"; exit 1; }
+	@echo "smoke: OK"
 
 # Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
 bench-par:
@@ -20,3 +33,4 @@ bench-par:
 
 clean:
 	dune clean
+	rm -rf _smoke

@@ -3,13 +3,17 @@
    called out in DESIGN.md and Bechamel microbenchmarks of the
    estimator's hot paths.
 
-   Usage: main.exe [--domains N] [fig1] [fig2] [fig3] [fig4a] [fig4b]
-                   [small] [dynamic] [ablate] [micro] [par]
+   Usage: main.exe [--domains N] [--trace-out FILE] [--metrics-out FILE]
+                   [fig1] [fig2] [fig3] [fig4a] [fig4b]
+                   [small] [dynamic] [ablate] [observe] [micro] [par]
                    (default: all sections)
 
    --domains N fans independent sweep simulations out over N OCaml
    domains (default: cores - 1); per-seed results are bit-identical to
    the sequential run, only wall-clock time changes.
+
+   --trace-out / --metrics-out set where the observe section writes its
+   JSONL files (defaults: TRACE.jsonl and METRICS.jsonl).
 
    Absolute numbers come from the calibrated simulator (see DESIGN.md);
    the claims under test are the shapes: who wins where, where the
@@ -31,6 +35,10 @@ let slo_us = Loadgen.Runner.slo_us
 (* Set from --domains before any section runs; sweep-shaped sections
    fan their independent simulations out across this many domains. *)
 let domains = ref (Par.Pool.default_domains ())
+
+(* Set from --trace-out / --metrics-out; used by the observe section. *)
+let trace_out = ref "TRACE.jsonl"
+let metrics_out = ref "METRICS.jsonl"
 
 (* Shared sweep configuration: 50 ms warmup + 300 ms measured keeps the
    whole harness to a few minutes while giving >1500 samples per point
@@ -650,6 +658,69 @@ let ablate () =
   ablate_multiconn ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability: residuals of the estimator vs ground truth, plus the *)
+(* JSONL trace/metrics artifacts for offline inspection.               *)
+(* ------------------------------------------------------------------ *)
+
+let observe () =
+  hr "Observability — estimator residuals and JSONL trace/metrics export";
+  pf "Each run attaches the structured trace + metrics registry and pairs\n";
+  pf "every estimate with the measured latency over the same window.\n\n";
+  pf "%6s %6s | %9s %9s | residual summary\n" "kRPS" "nagle" "measured" "estimate";
+  pf "%s\n" (String.make 100 '-');
+  let observed =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (label, batching) ->
+            let base = base_config ~batching () in
+            let r =
+              Loadgen.Runner.run
+                { base with rate_rps = rate;
+                  observe = Some Loadgen.Observe.default_config }
+            in
+            let run_label = Printf.sprintf "%s@%gk" label (k rate) in
+            (match r.observability with
+            | Some o ->
+              pf "%6.0f %6s | %9.1f %s | %s\n" (k rate) label r.measured_mean_us
+                (opt_us r.estimated_us)
+                (match o.residual with
+                | Some s -> Format.asprintf "%a" E2e.Residual.pp_summary s
+                | None -> "-")
+            | None -> ());
+            (run_label, r))
+          [ ("off", Loadgen.Runner.Static_off); ("on", Loadgen.Runner.Static_on) ])
+      [ 30e3; 60e3; 90e3 ]
+  in
+  let n_records = ref 0 and n_dropped = ref 0 and n_samples = ref 0 in
+  let toc = open_out !trace_out and moc = open_out !metrics_out in
+  List.iter
+    (fun (run, (r : Loadgen.Runner.result)) ->
+      match r.observability with
+      | None -> ()
+      | Some o ->
+        List.iter
+          (fun rec_ ->
+            output_string toc (Sim.Trace.record_to_json ~run rec_);
+            output_char toc '\n';
+            incr n_records)
+          o.records;
+        n_dropped := !n_dropped + o.dropped_records;
+        List.iter
+          (fun s ->
+            output_string moc (Sim.Metrics.sample_to_json ~run s);
+            output_char moc '\n';
+            incr n_samples)
+          o.samples)
+    observed;
+  close_out toc;
+  close_out moc;
+  pf "\n  wrote %s (%d trace events, %d dropped by the ring)\n" !trace_out !n_records
+    !n_dropped;
+  pf "  wrote %s (%d metrics samples)\n" !metrics_out !n_samples;
+  pf "  inspect with: e2ebench inspect %s\n" !trace_out
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks: the per-transition costs the kernel would pay.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -744,11 +815,47 @@ let micro () =
              ignore (Sim.Event_heap.pop h)
            done))
   in
+  (* Trace overhead: the disabled paths are what every segment pays when
+     nobody is watching, so they must be branch-only.  The enabled paths
+     price the full record construction + ring store. *)
+  let trace_off = Sim.Trace.create ~capacity:256 () in
+  let trace_on = Sim.Trace.create ~capacity:256 () in
+  Sim.Trace.set_enabled trace_on true;
+  let emitf_disabled =
+    Test.make ~name:"trace.emitf_disabled"
+      (Staged.stage (fun () ->
+           Sim.Trace.emitf trace_off ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448))
+  in
+  let emitf_guarded_disabled =
+    Test.make ~name:"trace.emitf_guarded_disabled"
+      (Staged.stage (fun () ->
+           if Sim.Trace.enabled trace_off then
+             Sim.Trace.emitf trace_off ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448))
+  in
+  let emitf_enabled =
+    Test.make ~name:"trace.emitf_enabled"
+      (Staged.stage (fun () ->
+           Sim.Trace.emitf trace_on ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448))
+  in
+  let event_guarded_disabled =
+    Test.make ~name:"trace.event_guarded_disabled"
+      (Staged.stage (fun () ->
+           if Sim.Trace.enabled trace_off then
+             Sim.Trace.event trace_off ~at:0 ~id:"c0"
+               (Sim.Trace.Segment_sent { seq = 42; len = 1448; push = true; retx = false })))
+  in
+  let event_enabled =
+    Test.make ~name:"trace.event_enabled"
+      (Staged.stage (fun () ->
+           Sim.Trace.event trace_on ~at:0 ~id:"c0"
+             (Sim.Trace.Segment_sent { seq = 42; len = 1448; push = true; retx = false })))
+  in
   let tests =
     Test.make_grouped ~name:"e2e"
       [
         queue_state_track; get_avgs; encode; decode; option_codec; ewma; resp_parse;
-        heap_poly; heap_mono;
+        heap_poly; heap_mono; emitf_disabled; emitf_guarded_disabled; emitf_enabled;
+        event_guarded_disabled; event_enabled;
       ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -759,12 +866,69 @@ let micro () =
   pf "\n%-36s %12s\n" "benchmark" "ns/op";
   pf "%s\n" (String.make 50 '-');
   let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   List.iter
     (fun (name, o) ->
       match Analyze.OLS.estimates o with
       | Some (est :: _) -> pf "%-36s %12.1f\n" name est
       | Some [] | None -> pf "%-36s %12s\n" name "-")
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+    rows;
+  (* Allocation probe: the disabled trace paths must not allocate, or a
+     production build could not leave tracing compiled in.  Bechamel
+     measures time; minor_words catches the garbage. *)
+  let alloc_per_op f =
+    let iters = 100_000 in
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int iters
+  in
+  let emitf_off_alloc =
+    alloc_per_op (fun () ->
+        Sim.Trace.emitf trace_off ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448)
+  in
+  let emitf_guard_alloc =
+    alloc_per_op (fun () ->
+        if Sim.Trace.enabled trace_off then
+          Sim.Trace.emitf trace_off ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448)
+  in
+  let event_off_alloc =
+    alloc_per_op (fun () ->
+        if Sim.Trace.enabled trace_off then
+          Sim.Trace.event trace_off ~at:0 ~id:"c0"
+            (Sim.Trace.Segment_sent { seq = 42; len = 1448; push = true; retx = false }))
+  in
+  pf "\nAllocation (minor words/op, disabled trace):\n";
+  pf "  trace.emitf_disabled         : %6.3f  (format-arg consumer closures;\n"
+    emitf_off_alloc;
+  pf "                                         nothing is formatted)\n";
+  pf "  trace.emitf_guarded_disabled : %6.3f  (must be 0)\n" emitf_guard_alloc;
+  pf "  trace.event_guarded_disabled : %6.3f  (must be 0 — the hot-path pattern)\n"
+    event_off_alloc;
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc "{\n  \"section\": \"micro\",\n  \"ns_per_op\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, o) ->
+      let v =
+        match Analyze.OLS.estimates o with
+        | Some (est :: _) -> Printf.sprintf "%.2f" est
+        | Some [] | None -> "null"
+      in
+      Printf.fprintf oc "    %S: %s%s\n" name v (if i < n - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  },\n\
+    \  \"minor_words_per_op\": {\n\
+    \    \"trace.emitf_disabled\": %.4f,\n\
+    \    \"trace.emitf_guarded_disabled\": %.4f,\n\
+    \    \"trace.event_guarded_disabled\": %.4f\n\
+    \  }\n\
+     }\n"
+    emitf_off_alloc emitf_guard_alloc event_off_alloc;
+  close_out oc;
+  pf "  wrote BENCH_micro.json\n";
   pf "\nA TRACK call is a handful of nanoseconds: cheap enough to run on every\n";
   pf "queue transition, as the prototype does.\n"
 
@@ -824,6 +988,7 @@ let sections =
     ("small", small);
     ("dynamic", dynamic);
     ("ablate", ablate);
+    ("observe", observe);
     ("micro", micro);
     ("par", par);
   ]
@@ -841,6 +1006,15 @@ let () =
         exit 1)
     | [ "--domains" ] ->
       prerr_endline "--domains expects a positive integer";
+      exit 1
+    | "--trace-out" :: file :: rest ->
+      trace_out := file;
+      split_flags acc rest
+    | "--metrics-out" :: file :: rest ->
+      metrics_out := file;
+      split_flags acc rest
+    | [ ("--trace-out" | "--metrics-out") as flag ] ->
+      Printf.eprintf "%s expects a file path\n" flag;
       exit 1
     | arg :: rest -> split_flags (arg :: acc) rest
   in

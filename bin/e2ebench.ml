@@ -161,18 +161,99 @@ let print_result (r : Loadgen.Runner.result) =
   | Some l -> pf "AIMD batch limit    : %d bytes\n" l
   | None -> ()
 
+(* {1 Observability output} *)
+
+let trace_out_arg =
+  let doc = "Write the structured event trace as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the sampled metrics time series as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let sample_us_arg =
+  let doc = "Observability sampling cadence in microseconds." in
+  Arg.(value & opt int 1000 & info [ "sample-us" ] ~docv:"US" ~doc)
+
+let observe_of_flags ~trace_out ~metrics_out ~sample_us =
+  if trace_out = None && metrics_out = None then Ok None
+  else if sample_us <= 0 then Error "--sample-us must be positive"
+  else
+    Ok
+      (Some
+         {
+           Loadgen.Observe.default_config with
+           sample_interval = Sim.Time.us sample_us;
+         })
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* [tagged] pairs an optional run label (used by sweeps) with each
+   result; single runs pass [None] and get unlabelled lines. *)
+let write_observability ~trace_out ~metrics_out tagged =
+  let outputs =
+    List.filter_map
+      (fun (run, (r : Loadgen.Runner.result)) ->
+        Option.map (fun o -> (run, o)) r.observability)
+      tagged
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let total = ref 0 in
+    with_out path (fun oc ->
+        List.iter
+          (fun (run, (o : Loadgen.Observe.output)) ->
+            List.iter
+              (fun rec_ ->
+                incr total;
+                output_string oc (Sim.Trace.record_to_json ?run rec_);
+                output_char oc '\n')
+              o.records)
+          outputs);
+    pf "trace               : %d events -> %s\n" !total path);
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let total = ref 0 in
+    with_out path (fun oc ->
+        List.iter
+          (fun (run, (o : Loadgen.Observe.output)) ->
+            List.iter
+              (fun s ->
+                incr total;
+                output_string oc (Sim.Metrics.sample_to_json ?run s);
+                output_char oc '\n')
+              o.samples)
+          outputs);
+    pf "metrics             : %d samples -> %s\n" !total path
+
+let print_residual (r : Loadgen.Runner.result) =
+  match r.observability with
+  | Some { residual = Some s; _ } ->
+    pf "estimator residual  : %s\n" (Format.asprintf "%a" E2e.Residual.pp_summary s)
+  | Some { residual = None; _ } ->
+    pf "estimator residual  : no estimate/ground-truth pairs\n"
+  | None -> ()
+
 (* {1 run} *)
 
 let run_cmd =
   let action rate seed duration warmup nagle policy epsilon unit_mode value_size
-      set_ratio vm_mult exchange conns tso loss =
+      set_ratio vm_mult exchange conns tso loss trace_out metrics_out sample_us =
     match
-      build_config ~conns ~tso ~loss ~rate ~seed ~duration ~warmup ~nagle ~policy
-        ~epsilon ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange ()
+      ( build_config ~conns ~tso ~loss ~rate ~seed ~duration ~warmup ~nagle ~policy
+          ~epsilon ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange (),
+        observe_of_flags ~trace_out ~metrics_out ~sample_us )
     with
-    | Error e -> fail "%s" e
-    | Ok cfg ->
-      print_result (Loadgen.Runner.run cfg);
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok cfg, Ok observe ->
+      let r = Loadgen.Runner.run { cfg with observe } in
+      print_result r;
+      print_residual r;
+      write_observability ~trace_out ~metrics_out [ (None, r) ];
       `Ok ()
   in
   let term =
@@ -180,7 +261,8 @@ let run_cmd =
       ret
         (const action $ rate_arg $ seed_arg $ duration_arg $ warmup_arg $ nagle_arg
        $ policy_arg $ epsilon_arg $ unit_arg $ value_size_arg $ set_ratio_arg
-       $ vm_mult_arg $ exchange_arg $ conns_arg $ tso_arg $ loss_arg))
+       $ vm_mult_arg $ exchange_arg $ conns_arg $ tso_arg $ loss_arg
+       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark point and print all metrics") term
 
@@ -191,17 +273,20 @@ let rates_arg =
   Arg.(value & opt string "10,40,70,100,130" & info [ "rates" ] ~doc)
 
 let sweep_cmd =
-  let action rates seed duration warmup unit_mode value_size set_ratio vm_mult domains =
+  let action rates seed duration warmup unit_mode value_size set_ratio vm_mult domains
+      trace_out metrics_out sample_us =
     let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' rates) in
     if parsed = [] then fail "no valid rates in %S" rates
     else if domains < 1 then fail "--domains must be at least 1"
     else begin
       match
-        build_config ~rate:1.0 ~seed ~duration ~warmup ~nagle:"off" ~policy:"slo"
-          ~epsilon:0.05 ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange:"100" ()
+        ( build_config ~rate:1.0 ~seed ~duration ~warmup ~nagle:"off" ~policy:"slo"
+            ~epsilon:0.05 ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange:"100" (),
+          observe_of_flags ~trace_out ~metrics_out ~sample_us )
       with
-      | Error e -> fail "%s" e
-      | Ok base ->
+      | Error e, _ | _, Error e -> fail "%s" e
+      | Ok base, Ok observe ->
+        let base = { base with observe } in
         let points =
           Loadgen.Sweep.sweep ~domains ~base
             ~rates:(List.map (fun r -> r *. 1e3) parsed)
@@ -228,6 +313,14 @@ let sweep_cmd =
         (match Loadgen.Sweep.range_extension ~slo_us:500.0 points with
         | Some ext -> pf "SLO range ext.    : %.2fx\n" ext
         | None -> ());
+        let tagged =
+          List.concat_map
+            (fun (p : Loadgen.Sweep.point) ->
+              let label which = Printf.sprintf "%s@%gk" which (p.rate_rps /. 1e3) in
+              [ (Some (label "off"), p.off); (Some (label "on"), p.on) ])
+            points
+        in
+        write_observability ~trace_out ~metrics_out tagged;
         `Ok ()
     end
   in
@@ -235,7 +328,8 @@ let sweep_cmd =
     Term.(
       ret
         (const action $ rates_arg $ seed_arg $ duration_arg $ warmup_arg $ unit_arg
-       $ value_size_arg $ set_ratio_arg $ vm_mult_arg $ domains_arg))
+       $ value_size_arg $ set_ratio_arg $ vm_mult_arg $ domains_arg
+       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep offered load with Nagle on and off") term
 
@@ -296,6 +390,151 @@ let trace_cmd =
        ~doc:"Synthesize a workload trace, or replay one with --replay FILE")
     term
 
+(* {1 inspect} *)
+
+(* Per-connection timeline and estimator-residual summary from a JSONL
+   trace written by --trace-out.  Ground truth is reconstructed the
+   same way the in-run residual tracker computes it: each estimate
+   event is paired with the mean latency of the request events that
+   completed inside that estimate's window. *)
+
+let inspect_run ~limit run (records : Sim.Trace.record list) =
+  let n = List.length records in
+  let t0 = List.fold_left (fun a r -> Sim.Time.min a r.Sim.Trace.at) max_int records in
+  let t1 = List.fold_left (fun a r -> Sim.Time.max a r.Sim.Trace.at) 0 records in
+  pf "run %s: %d events spanning %s .. %s\n"
+    (if run = "" then "-" else run)
+    n (Sim.Time.to_string t0) (Sim.Time.to_string t1);
+  (* per-connection event tallies, in first-appearance order *)
+  let conn_order = ref [] in
+  let conn_tags : (string, (string * int ref) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (r : Sim.Trace.record) ->
+      let id = if r.id = "" then "-" else r.id in
+      let tags =
+        match Hashtbl.find_opt conn_tags id with
+        | Some tags -> tags
+        | None ->
+          let tags = ref [] in
+          Hashtbl.add conn_tags id tags;
+          conn_order := id :: !conn_order;
+          tags
+      in
+      let tag = Sim.Trace.tag r in
+      match List.assoc_opt tag !tags with
+      | Some c -> incr c
+      | None -> tags := !tags @ [ (tag, ref 1) ])
+    records;
+  List.iter
+    (fun id ->
+      let tags = !(Hashtbl.find conn_tags id) in
+      let total = List.fold_left (fun acc (_, c) -> acc + !c) 0 tags in
+      let breakdown =
+        String.concat " "
+          (List.map (fun (tag, c) -> Printf.sprintf "%s=%d" tag !c) tags)
+      in
+      pf "  %-8s %7d events | %s\n" id total breakdown)
+    (List.rev !conn_order);
+  pf "  timeline (first %d of %d):\n" (Stdlib.min limit n) n;
+  List.iteri
+    (fun i r ->
+      if i < limit then pf "    %s\n" (Format.asprintf "%a" Sim.Trace.pp_record r))
+    records;
+  let reqs =
+    List.filter_map
+      (fun (r : Sim.Trace.record) ->
+        match r.event with
+        | Sim.Trace.Request_done { latency_us } ->
+          Some (Sim.Time.to_us r.at, latency_us)
+        | _ -> None)
+      records
+  in
+  let pairs =
+    List.filter_map
+      (fun (r : Sim.Trace.record) ->
+        match r.event with
+        | Sim.Trace.Estimate_computed { latency_us = Some est_us; window_us; _ }
+          ->
+          let at_us = Sim.Time.to_us r.at in
+          let from_us = at_us -. window_us in
+          let sum, count =
+            List.fold_left
+              (fun (sum, count) (t, lat) ->
+                if t > from_us && t <= at_us then (sum +. lat, count + 1)
+                else (sum, count))
+              (0.0, 0) reqs
+          in
+          if count = 0 then None
+          else
+            Some
+              {
+                E2e.Residual.at_us;
+                window_us;
+                est_us;
+                truth_us = sum /. float_of_int count;
+              }
+        | _ -> None)
+      records
+  in
+  match E2e.Residual.summary_of_pairs pairs with
+  | Some s ->
+    pf "  estimator residual: %s\n" (Format.asprintf "%a" E2e.Residual.pp_summary s)
+  | None -> pf "  estimator residual: no estimate/request pairs\n"
+
+let inspect_cmd =
+  let file_arg =
+    let doc = "JSONL trace file produced by --trace-out." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Timeline events to print per run." in
+    Arg.(value & opt int 30 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let action file limit =
+    let ic = open_in file in
+    let parsed = ref [] in
+    let line_no = ref 0 in
+    let err = ref None in
+    (try
+       while !err = None do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then
+           match Sim.Trace.record_of_json line with
+           | Ok rr -> parsed := rr :: !parsed
+           | Error msg ->
+             err := Some (Printf.sprintf "%s: line %d: %s" file !line_no msg)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match (!err, List.rev !parsed) with
+    | Some msg, _ -> fail "%s" msg
+    | None, [] -> fail "%s: no trace records" file
+    | None, all ->
+      (* group by run label, preserving first-appearance order *)
+      let runs = ref [] in
+      List.iter
+        (fun (run, r) ->
+          let key = Option.value run ~default:"" in
+          match List.assoc_opt key !runs with
+          | Some l -> l := r :: !l
+          | None -> runs := !runs @ [ (key, ref [ r ]) ])
+        all;
+      List.iter
+        (fun (key, records_rev) -> inspect_run ~limit key (List.rev !records_rev))
+        !runs;
+      `Ok ()
+  in
+  let term = Term.(ret (const action $ file_arg $ limit_arg)) in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Print per-connection timelines and the estimator-residual summary \
+          from a JSONL trace")
+    term
+
 (* {1 model} *)
 
 let model_cmd =
@@ -329,4 +568,6 @@ let model_cmd =
 let () =
   let doc = "end-to-end-aware batching benchmarks (HotOS'25 reproduction)" in
   let info = Cmd.info "e2ebench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; model_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; model_cmd; trace_cmd; inspect_cmd ]))

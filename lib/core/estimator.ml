@@ -5,6 +5,8 @@ type t = {
   mutable local_prev : Exchange.triple;
   mutable remote_baseline : Exchange.triple option;
   mutable remote_latest : Exchange.triple option;
+  mutable trace : Sim.Trace.t option;
+  mutable trace_id : string;
 }
 
 let triple_at estim ~at : Exchange.triple =
@@ -29,7 +31,13 @@ let create ~at =
     local_prev;
     remote_baseline = None;
     remote_latest = None;
+    trace = None;
+    trace_id = "";
   }
+
+let set_trace t tr ~id =
+  t.trace <- Some tr;
+  t.trace_id <- id
 
 let track_unacked t ~at n = Queue_state.track t.unacked ~at n
 let track_unread t ~at n = Queue_state.track t.unread ~at n
@@ -41,9 +49,25 @@ let ackdelay_size t = Queue_state.size t.ackdelay
 
 let local_snapshot t ~at = triple_at t ~at
 
-let ingest_remote t triple =
+let ingest_remote t (triple : Exchange.triple) =
+  (* The first-ever share anchors the remote window, exactly as
+     [local_prev] anchors the local window at creation: until the first
+     [estimate] both windows span creation-to-now, so pinning the
+     baseline to the first share (rather than sliding it with every
+     pre-estimate ingest) is what keeps the two vantage points' windows
+     aligned.  Pinned by a regression test in test_exchange.ml. *)
   if t.remote_baseline = None then t.remote_baseline <- Some triple;
-  t.remote_latest <- Some triple
+  t.remote_latest <- Some triple;
+  match t.trace with
+  | Some tr when Sim.Trace.enabled tr ->
+      Sim.Trace.event tr ~at:triple.unacked.time ~id:t.trace_id
+        (Share_ingested
+           {
+             unacked_total = triple.unacked.total;
+             unread_total = triple.unread.total;
+             ackdelay_total = triple.ackdelay.total;
+           })
+  | _ -> ()
 
 let remote_window t =
   match (t.remote_baseline, t.remote_latest) with
@@ -110,6 +134,16 @@ let estimate t ~at =
     (match t.remote_latest with
     | Some latest -> t.remote_baseline <- Some latest
     | None -> ());
+    (match t.trace with
+    | Some tr when Sim.Trace.enabled tr ->
+        Sim.Trace.event tr ~at ~id:t.trace_id
+          (Estimate_computed
+             {
+               latency_us = Option.map (fun l -> l /. 1e3) est.latency_ns;
+               throughput = est.throughput;
+               window_us = float_of_int est.window /. 1e3;
+             })
+    | _ -> ());
     Some est
 
 let peek_estimate t ~at =

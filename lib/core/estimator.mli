@@ -39,7 +39,13 @@ val ingest_remote : t -> Exchange.triple -> unit
 (** Record a snapshot received from the peer.  The remote measurement
     window runs from the snapshot that was current at the last window
     advance (see {!estimate}) to the latest one, mirroring the local
-    window. *)
+    window.
+
+    Before the first {!estimate} the baseline stays pinned to the
+    first-ever share — intentional: [local_prev] likewise anchors at
+    creation, so both windows span creation-to-first-estimate.  Sliding
+    the baseline with every pre-estimate ingest would shrink the remote
+    window to one share interval while the local window kept growing. *)
 
 val remote_window : t -> (Exchange.triple * Exchange.triple) option
 (** The remote window bounds, oldest first. *)
@@ -67,4 +73,12 @@ val estimate : t -> at:Sim.Time.t -> estimate option
     baselines. *)
 
 val peek_estimate : t -> at:Sim.Time.t -> estimate option
-(** Same computation without advancing the window. *)
+(** Same computation without advancing the window.  Read-only: safe to
+    call from observability sampling without perturbing the run. *)
+
+(** {1 Observability} *)
+
+val set_trace : t -> Sim.Trace.t -> id:string -> unit
+(** Emit [Share_ingested] on {!ingest_remote} (timestamped with the
+    peer's snapshot time) and [Estimate_computed] on every successful
+    {!estimate} into [trace], labelled [id]. *)

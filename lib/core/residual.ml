@@ -1,0 +1,74 @@
+(* Estimator-residual tracking: pairs each estimate with the
+   trace-derived true mean latency over the same window and reports
+   error percentiles.  Percentiles are exact (sorted absolute errors,
+   nearest-rank) — residual counts are small (one per sampling tick),
+   so there is no need for a streaming sketch here. *)
+
+type pair = {
+  at_us : float;
+  window_us : float;
+  est_us : float;
+  truth_us : float;
+}
+
+type t = { mutable pairs_rev : pair list; mutable count : int }
+
+let create () = { pairs_rev = []; count = 0 }
+
+let observe t ~at_us ~window_us ~est_us ~truth_us =
+  t.pairs_rev <- { at_us; window_us; est_us; truth_us } :: t.pairs_rev;
+  t.count <- t.count + 1
+
+let count t = t.count
+let pairs t = List.rev t.pairs_rev
+
+type summary = {
+  n : int;
+  mean_abs_us : float;
+  bias_us : float;
+  p50_abs_us : float;
+  p95_abs_us : float;
+  p99_abs_us : float;
+  max_abs_us : float;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile_sorted a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let summary_of_pairs ps =
+  match ps with
+  | [] -> None
+  | _ ->
+      let abs_errs =
+        Array.of_list (List.map (fun p -> Float.abs (p.est_us -. p.truth_us)) ps)
+      in
+      Array.sort compare abs_errs;
+      let n = Array.length abs_errs in
+      let sum_abs = Array.fold_left ( +. ) 0.0 abs_errs in
+      let sum_signed =
+        List.fold_left (fun acc p -> acc +. (p.est_us -. p.truth_us)) 0.0 ps
+      in
+      Some
+        {
+          n;
+          mean_abs_us = sum_abs /. float_of_int n;
+          bias_us = sum_signed /. float_of_int n;
+          p50_abs_us = percentile_sorted abs_errs 50.0;
+          p95_abs_us = percentile_sorted abs_errs 95.0;
+          p99_abs_us = percentile_sorted abs_errs 99.0;
+          max_abs_us = abs_errs.(n - 1);
+        }
+
+let summary t = summary_of_pairs (pairs t)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean|e|=%.2fus bias=%+.2fus p50=%.2fus p95=%.2fus p99=%.2fus \
+     max=%.2fus"
+    s.n s.mean_abs_us s.bias_us s.p50_abs_us s.p95_abs_us s.p99_abs_us
+    s.max_abs_us

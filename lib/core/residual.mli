@@ -1,0 +1,45 @@
+(** Estimator-residual tracking.
+
+    In simulation we know the ground truth the paper's kernel cannot
+    see: the recorder's measured per-request latencies.  A residual
+    pairs one estimator output with the mean measured latency of the
+    requests that completed inside the same window; the summary reports
+    absolute-error percentiles of estimate vs. truth.
+
+    Definition: for an estimate produced at time [t] over window [w],
+    [truth_us] is the mean latency of requests completing in
+    [(t - w, t]], and the residual is [est_us - truth_us]. *)
+
+type pair = {
+  at_us : float;  (** when the estimate was produced *)
+  window_us : float;  (** the estimate's window length *)
+  est_us : float;
+  truth_us : float;
+}
+
+type t
+
+val create : unit -> t
+val observe : t -> at_us:float -> window_us:float -> est_us:float -> truth_us:float -> unit
+val count : t -> int
+
+val pairs : t -> pair list
+(** Observation order. *)
+
+type summary = {
+  n : int;
+  mean_abs_us : float;
+  bias_us : float;  (** mean signed error; positive = over-estimate *)
+  p50_abs_us : float;
+  p95_abs_us : float;
+  p99_abs_us : float;
+  max_abs_us : float;
+}
+
+val summary_of_pairs : pair list -> summary option
+(** Exact nearest-rank percentiles of [|est - truth|]; [None] when
+    empty.  Exposed so [e2ebench inspect] can summarise pairs
+    reconstructed from a JSONL trace. *)
+
+val summary : t -> summary option
+val pp_summary : Format.formatter -> summary -> unit

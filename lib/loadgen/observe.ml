@@ -1,0 +1,84 @@
+(* Per-run observability state: one trace ring, one metrics registry,
+   one residual tracker and the completed-request log that supplies the
+   residual's ground truth.  The runner owns the sampling tick; this
+   module only holds state and turns it into a pure [output] at the end
+   of the run, so results stay structurally comparable across runs and
+   domains. *)
+
+type config = { trace_capacity : int; sample_interval : Sim.Time.span }
+
+let default_config = { trace_capacity = 65536; sample_interval = Sim.Time.ms 1 }
+
+type output = {
+  records : Sim.Trace.record list;
+  dropped_records : int;
+  samples : Sim.Metrics.sample list;
+  residual_pairs : E2e.Residual.pair list;
+  residual : E2e.Residual.summary option;
+}
+
+type t = {
+  trace : Sim.Trace.t;
+  metrics : Sim.Metrics.t;
+  interval : Sim.Time.span;
+  residual : E2e.Residual.t;
+  mutable samples_rev : Sim.Metrics.sample list;
+  mutable reqs_rev : (float * float) list;
+      (* (completion time us, latency us), newest first *)
+}
+
+let create (cfg : config) =
+  if cfg.sample_interval <= 0 then
+    invalid_arg "Observe.create: sample_interval must be positive";
+  let trace = Sim.Trace.create ~capacity:cfg.trace_capacity () in
+  Sim.Trace.set_enabled trace true;
+  {
+    trace;
+    metrics = Sim.Metrics.create ();
+    interval = cfg.sample_interval;
+    residual = E2e.Residual.create ();
+    samples_rev = [];
+    reqs_rev = [];
+  }
+
+let trace t = t.trace
+let metrics t = t.metrics
+let interval t = t.interval
+
+let note_request t ~at ~latency =
+  let latency_us = Sim.Time.to_us latency in
+  t.reqs_rev <- (Sim.Time.to_us at, latency_us) :: t.reqs_rev;
+  Sim.Trace.event t.trace ~at ~id:"client"
+    (Sim.Trace.Request_done { latency_us })
+
+(* Mean latency of requests completing in [(from_us, upto_us]]; the log
+   is newest-first so the walk stops at the window's left edge. *)
+let truth_over t ~from_us ~upto_us =
+  let rec go sum n = function
+    | (at, lat) :: rest ->
+        if at > upto_us then go sum n rest
+        else if at > from_us then go (sum +. lat) (n + 1) rest
+        else (sum, n)
+    | [] -> (sum, n)
+  in
+  let sum, n = go 0.0 0 t.reqs_rev in
+  if n = 0 then None else Some (sum /. float_of_int n)
+
+let note_residual t ~at ~window_us ~est_us =
+  let at_us = Sim.Time.to_us at in
+  match truth_over t ~from_us:(at_us -. window_us) ~upto_us:at_us with
+  | Some truth_us ->
+      E2e.Residual.observe t.residual ~at_us ~window_us ~est_us ~truth_us;
+      Some truth_us
+  | None -> None
+
+let note_sample t s = t.samples_rev <- s :: t.samples_rev
+
+let output t =
+  {
+    records = Sim.Trace.records t.trace;
+    dropped_records = Sim.Trace.dropped t.trace;
+    samples = List.rev t.samples_rev;
+    residual_pairs = E2e.Residual.pairs t.residual;
+    residual = E2e.Residual.summary t.residual;
+  }

@@ -1,0 +1,55 @@
+(** Per-run observability: trace ring + metrics registry + estimator
+    residuals.
+
+    Created by {!Runner.run} when [config.observe] is set.  Sockets get
+    the trace attached, queue-depth gauges are registered for every
+    connection, and a read-only sampling tick (running on the
+    configured cadence) snapshots the registry and pairs peeked
+    estimates with ground-truth latency.  Everything read at sampling
+    time uses non-destructive accessors, so enabling observability
+    cannot change simulation results. *)
+
+type config = {
+  trace_capacity : int;  (** trace ring size; oldest records drop *)
+  sample_interval : Sim.Time.span;  (** metrics sampling cadence *)
+}
+
+val default_config : config
+(** 65536 records, 1 ms cadence. *)
+
+type output = {
+  records : Sim.Trace.record list;  (** oldest first *)
+  dropped_records : int;  (** overwritten by ring wraparound *)
+  samples : Sim.Metrics.sample list;  (** oldest first *)
+  residual_pairs : E2e.Residual.pair list;
+  residual : E2e.Residual.summary option;
+}
+(** Pure data: safe for structural equality and cross-domain moves. *)
+
+type t
+
+val create : config -> t
+(** The trace starts enabled. *)
+
+val trace : t -> Sim.Trace.t
+val metrics : t -> Sim.Metrics.t
+val interval : t -> Sim.Time.span
+
+val note_request : t -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
+(** Log one completed request (the residual ground-truth source) and
+    emit a [Request_done] trace event. *)
+
+val truth_over : t -> from_us:float -> upto_us:float -> float option
+(** Mean logged latency of requests completing in [(from_us, upto_us]];
+    [None] when no request completed in the window. *)
+
+val note_residual :
+  t -> at:Sim.Time.t -> window_us:float -> est_us:float -> float option
+(** Pair an estimate produced at [at] over [window_us] with the
+    ground-truth latency over the same window.  Returns the truth used,
+    or [None] (nothing recorded) when no request completed in the
+    window. *)
+
+val note_sample : t -> Sim.Metrics.sample -> unit
+
+val output : t -> output

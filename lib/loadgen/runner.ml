@@ -70,6 +70,7 @@ type config = {
   gro_enabled : bool;
   gro_flush_timeout : Sim.Time.span;
   link : Tcp.Conn.link_params;
+  observe : Observe.config option;
 }
 
 let default_config ~rate_rps ~batching =
@@ -100,6 +101,7 @@ let default_config ~rate_rps ~batching =
     gro_enabled = true;
     gro_flush_timeout = Sim.Time.us 12;
     link = Tcp.Conn.default_link;
+    observe = None;
   }
 
 type estimate_sample = {
@@ -142,6 +144,7 @@ type result = {
       (* the RTT baseline the paper rules out, for comparison *)
   client_p99_est_us : float option;  (* online P2 tail estimate *)
   samples : estimate_sample list;
+  observability : Observe.output option;
 }
 
 let slo_us = 500.0
@@ -210,10 +213,11 @@ let run cfg =
   Workload.prepopulate cfg.workload store ~now:(Sim.Engine.now engine);
   let loss_rng = Sim.Rng.split rng in
   let conns =
-    List.init cfg.n_conns (fun _ ->
+    List.init cfg.n_conns (fun i ->
         let conn =
           Tcp.Conn.create engine ~a:host ~b:host ~link_ab:cfg.link ~link_ba:cfg.link
-            ~cpu_a:client_irq ~cpu_b:server_irq ()
+            ~cpu_a:client_irq ~cpu_b:server_irq
+            ~label_a:(Printf.sprintf "c%d" i) ~label_b:(Printf.sprintf "s%d" i) ()
         in
         if cfg.loss_prob > 0.0 then begin
           Tcp.Link.set_loss (Tcp.Conn.link_ab conn) ~rng:loss_rng ~prob:cfg.loss_prob;
@@ -223,6 +227,13 @@ let run cfg =
   in
   let client_socks = List.map Tcp.Conn.sock_a conns in
   let server_socks = List.map Tcp.Conn.sock_b conns in
+  let obs = Option.map Observe.create cfg.observe in
+  (match obs with
+  | Some o ->
+    let tr = Observe.trace o in
+    List.iter (fun sock -> Tcp.Socket.set_trace sock tr)
+      (client_socks @ server_socks)
+  | None -> ());
   let servers =
     List.map
       (fun sock -> Kv.Server.create engine ~cpu:server_cpu ~socket:sock ~store cfg.server)
@@ -247,7 +258,10 @@ let run cfg =
     (match reply with
     | Kv.Resp.Error e -> failwith ("runner: server replied with error: " ^ e)
     | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
-    Recorder.record recorder ~at:(Sim.Engine.now engine) ~latency
+    Recorder.record recorder ~at:(Sim.Engine.now engine) ~latency;
+    match obs with
+    | Some o -> Observe.note_request o ~at:(Sim.Engine.now engine) ~latency
+    | None -> ()
   in
   let next_client = ref 0 in
   let issue cmd =
@@ -289,6 +303,90 @@ let run cfg =
   in
   let all_socks = client_socks @ server_socks in
   let kick_all () = List.iter Tcp.Socket.kick all_socks in
+  (* Observability sampling.  Everything read here is non-destructive
+     ([peek_estimate], queue sizes, counters), and the tick chain is
+     scheduled before the controller ticks below so that at coincident
+     instants the sample sees the window the controller is about to
+     advance — enabling observability cannot change the simulation. *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let m = Observe.metrics o in
+    let queue_gauges prefix e =
+      Sim.Metrics.gauge m (prefix ^ ".unacked") (fun () ->
+          float_of_int (E2e.Estimator.unacked_size e));
+      Sim.Metrics.gauge m (prefix ^ ".unread") (fun () ->
+          float_of_int (E2e.Estimator.unread_size e));
+      Sim.Metrics.gauge m (prefix ^ ".ackdelay") (fun () ->
+          float_of_int (E2e.Estimator.ackdelay_size e))
+    in
+    List.iteri (fun i e -> queue_gauges (Printf.sprintf "c%d" i) e) estimators;
+    List.iteri
+      (fun i sock ->
+        queue_gauges (Printf.sprintf "s%d" i) (Tcp.Socket.estimator sock))
+      server_socks;
+    Sim.Metrics.gauge m "client.nagle_toggles" (fun () ->
+        float_of_int (Tcp.Nagle.toggles (Tcp.Socket.nagle (List.hd client_socks))));
+    Sim.Metrics.gauge m "packets" (fun () ->
+        float_of_int
+          (List.fold_left (fun acc c -> acc + Tcp.Conn.total_packets c) 0 conns));
+    Sim.Metrics.gauge m "completed" (fun () ->
+        float_of_int (Recorder.count recorder));
+    let interval = Observe.interval o in
+    let rec tick () =
+      let at = Sim.Engine.now engine in
+      let per_flow =
+        List.map (fun e -> E2e.Estimator.peek_estimate e ~at) estimators
+      in
+      (* Static runs never call [estimate] mid-run, so the trace would
+         carry no estimate events without these peeked ones. *)
+      List.iteri
+        (fun i est ->
+          match est with
+          | Some (est : E2e.Estimator.estimate) ->
+            Sim.Trace.event (Observe.trace o) ~at ~id:(Printf.sprintf "c%d" i)
+              (Sim.Trace.Estimate_computed
+                 {
+                   latency_us = ns_opt_to_us est.latency_ns;
+                   throughput = est.throughput;
+                   window_us = float_of_int est.window /. 1e3;
+                 })
+          | None -> ())
+        per_flow;
+      let flows = List.filter_map Fun.id per_flow in
+      let agg = E2e.Aggregate.of_estimates flows in
+      let est_truth =
+        if Sim.Time.compare at warmup_until <= 0 then None
+        else
+          match agg.latency_ns with
+          | Some lat_ns ->
+            let window_us =
+              List.fold_left
+                (fun acc (e : E2e.Estimator.estimate) ->
+                  Float.max acc (float_of_int e.window /. 1e3))
+                0.0 flows
+            in
+            let est_us = lat_ns /. 1e3 in
+            Option.map
+              (fun truth_us -> (est_us, truth_us))
+              (Observe.note_residual o ~at ~window_us ~est_us)
+          | None -> None
+      in
+      let s = Sim.Metrics.sample m ~at in
+      let s =
+        match est_truth with
+        | Some (est_us, truth_us) ->
+          { s with
+            Sim.Metrics.values =
+              s.Sim.Metrics.values
+              @ [ ("estimate_us", est_us); ("truth_us", truth_us) ] }
+        | None -> s
+      in
+      Observe.note_sample o s;
+      if Sim.Time.compare (Sim.Time.add at interval) total <= 0 then
+        ignore (Sim.Engine.schedule engine ~after:interval tick)
+    in
+    ignore (Sim.Engine.schedule engine ~after:interval tick));
   let samples = ref [] in
   let aimd =
     match cfg.batching with
@@ -531,4 +629,5 @@ let run cfg =
           | None, acc -> acc)
         None clients;
     samples = List.rev !samples;
+    observability = Option.map Observe.output obs;
   }

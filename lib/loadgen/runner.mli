@@ -73,6 +73,10 @@ type config = {
   gro_flush_timeout : Sim.Time.span;
       (** NIC interrupt-coalescing window (rx-usecs) *)
   link : Tcp.Conn.link_params;
+  observe : Observe.config option;
+      (** attach the structured observability layer (trace + metrics +
+          residuals); [None] (the default) costs nothing and produces
+          bit-identical results to an observed run *)
 }
 
 val default_config : rate_rps:float -> batching:batching -> config
@@ -124,6 +128,8 @@ type result = {
       (** online P² p99 estimate (worst across connections) — the tail
           building block for the paper's deferred future work *)
   samples : estimate_sample list;  (** tick-by-tick trace, oldest first *)
+  observability : Observe.output option;
+      (** present iff [config.observe] was set *)
 }
 
 val run : config -> result

@@ -1,0 +1,97 @@
+(* A small registry of named instruments.  Sources are registered once
+   (counters and histograms are get-or-create; gauges replace) and read
+   out together by [sample], which flattens everything into pure
+   [(name, float)] pairs — closures never escape into samples, so
+   sampled output stays safe for structural comparison across runs. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type source =
+  | Counter of counter
+  | Gauge of (unit -> float)
+  | Hist of Stats.Histogram.t
+
+type t = { mutable sources : (string * source) list (* newest first *) }
+
+let create () = { sources = [] }
+let find_source t name = List.assoc_opt name t.sources
+
+let wrong_kind name what =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a different kind (%s)"
+       name what)
+
+let counter t name =
+  match find_source t name with
+  | Some (Counter c) -> c
+  | Some _ -> wrong_kind name "wanted counter"
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      t.sources <- (name, Counter c) :: t.sources;
+      c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_name c = c.c_name
+let counter_value c = c.c_value
+
+let gauge t name f =
+  if List.mem_assoc name t.sources then
+    t.sources <-
+      List.map
+        (fun (n, src) ->
+          if String.equal n name then
+            match src with
+            | Gauge _ -> (n, Gauge f)
+            | _ -> wrong_kind name "wanted gauge"
+          else (n, src))
+        t.sources
+  else t.sources <- (name, Gauge f) :: t.sources
+
+let histogram t name =
+  match find_source t name with
+  | Some (Hist h) -> h
+  | Some _ -> wrong_kind name "wanted histogram"
+  | None ->
+      let h = Stats.Histogram.create () in
+      t.sources <- (name, Hist h) :: t.sources;
+      h
+
+let names t = List.rev_map fst t.sources
+
+type sample = { s_at : Time.t; values : (string * float) list }
+
+let sample t ~at =
+  let values =
+    List.fold_left
+      (fun acc (name, src) ->
+        match src with
+        | Counter c -> (name, float_of_int c.c_value) :: acc
+        | Gauge f -> (name, f ()) :: acc
+        | Hist h ->
+            (name ^ ".count", float_of_int (Stats.Histogram.count h))
+            :: (name ^ ".mean", Stats.Histogram.mean h)
+            :: (name ^ ".p99", Stats.Histogram.percentile h 99.0)
+            :: acc)
+      [] t.sources
+  in
+  { s_at = at; values }
+
+let sample_to_json ?run s =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "{\"at_ns\":%d" (Time.to_ns s.s_at));
+  (match run with
+  | Some run ->
+      Buffer.add_string b ",\"run\":\"";
+      Buffer.add_string b run;
+      Buffer.add_char b '"'
+  | None -> ());
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b ",\"";
+      Buffer.add_string b name;
+      Buffer.add_string b "\":";
+      if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+      else Buffer.add_string b "null")
+    s.values;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** Lightweight metrics registry.
+
+    Named counters, gauges and histograms (reusing {!Stats.Histogram})
+    that sockets, links and the estimator register into; a periodic
+    [sample] flattens every instrument into pure [(name, float)] pairs
+    for per-run time series.
+
+    Lifecycle: a registry is created per run, instruments are
+    registered during setup (counters/histograms are get-or-create,
+    gauges replace any previous gauge under the same name), and the
+    run's sampling loop calls {!sample} on a fixed cadence.  Samples
+    contain no closures, so they can be compared structurally and
+    shipped across domains. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create.  @raise Invalid_argument if the name is already
+    registered as a gauge or histogram. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_name : counter -> string
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register (or replace) a gauge read on every sample.
+    @raise Invalid_argument if the name names a counter/histogram. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> Stats.Histogram.t
+(** Get or create.  Sampled as [name.count], [name.mean], [name.p99].
+    @raise Invalid_argument if the name names a counter/gauge. *)
+
+val names : t -> string list
+(** Registration order. *)
+
+(** {1 Sampling} *)
+
+type sample = { s_at : Time.t; values : (string * float) list }
+(** Pure data: safe for structural equality and cross-domain moves. *)
+
+val sample : t -> at:Time.t -> sample
+(** Read every instrument.  [values] is in registration order. *)
+
+val sample_to_json : ?run:string -> sample -> string
+(** One flat JSON object per sample, keys are instrument names;
+    non-finite values are emitted as [null]. *)

@@ -1,4 +1,32 @@
-type record = { at : Time.t; tag : string; detail : string }
+(* Typed structured tracing: a bounded ring of (time, id, event) records
+   with JSONL export/import.  The enabled check must come before any
+   allocation so that call sites guarded by [enabled] (or going through
+   [emitf]) pay nothing when tracing is off. *)
+
+type event =
+  | Segment_sent of { seq : int; len : int; push : bool; retx : bool }
+  | Segment_received of { seq : int; fresh : int }
+  | Ack_received of { acked : int; una : int }
+  | Nagle_hold of { chunk : int; in_flight : int }
+  | Nagle_toggle of { enabled : bool }
+  | Cork_hold of { chunk : int }
+  | Delack_fire of { pending : int }
+  | Delack_cancel of { pending : int }
+  | Fin_received of { rcv_nxt : int }
+  | Share_ingested of {
+      unacked_total : int;
+      unread_total : int;
+      ackdelay_total : int;
+    }
+  | Estimate_computed of {
+      latency_us : float option;
+      throughput : float;
+      window_us : float;
+    }
+  | Request_done of { latency_us : float }
+  | Message of { tag : string; detail : string }
+
+type record = { at : Time.t; id : string; event : event }
 
 type t = {
   capacity : int;
@@ -6,45 +34,437 @@ type t = {
   mutable buf : record option array;
   mutable next : int;
   mutable count : int;
+  mutable emitted : int;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+  {
+    capacity;
+    enabled = false;
+    buf = Array.make capacity None;
+    next = 0;
+    count = 0;
+    emitted = 0;
+  }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
+let capacity t = t.capacity
+let emitted t = t.emitted
+let dropped t = t.emitted - t.count
 
-let emit t ~at ~tag ~detail =
+let event t ~at ~id ev =
   if t.enabled then begin
-    t.buf.(t.next) <- Some { at; tag; detail };
+    t.buf.(t.next) <- Some { at; id; event = ev };
     t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1
+    if t.count < t.capacity then t.count <- t.count + 1;
+    t.emitted <- t.emitted + 1
   end
 
+let emit t ~at ~tag ~detail =
+  if t.enabled then event t ~at ~id:"" (Message { tag; detail })
+
 let emitf t ~at ~tag fmt =
-  Format.kasprintf
-    (fun detail -> emit t ~at ~tag ~detail)
-    fmt
+  if t.enabled then
+    Format.kasprintf (fun detail -> emit t ~at ~tag ~detail) fmt
+  else
+    (* Consume the format arguments without evaluating them. *)
+    Format.ikfprintf ignore Format.str_formatter fmt
 
-let records t =
-  let out = ref [] in
+let iter t f =
   let start = if t.count = t.capacity then t.next else 0 in
-  for i = t.count - 1 downto 0 do
+  for i = 0 to t.count - 1 do
     match t.buf.((start + i) mod t.capacity) with
-    | Some r -> out := r :: !out
+    | Some r -> f r
     | None -> ()
-  done;
-  !out
+  done
 
-let find t ~tag = List.filter (fun r -> String.equal r.tag tag) (records t)
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun r -> acc := f !acc r);
+  !acc
+
+let records t = List.rev (fold t ~init:[] ~f:(fun acc r -> r :: acc))
+
+let tag r =
+  match r.event with
+  | Segment_sent { retx = true; _ } -> "retx"
+  | Segment_sent _ -> "tx"
+  | Segment_received _ -> "rx"
+  | Ack_received _ -> "ack"
+  | Nagle_hold _ -> "hold"
+  | Nagle_toggle _ -> "toggle"
+  | Cork_hold _ -> "cork"
+  | Delack_fire _ -> "delack_fire"
+  | Delack_cancel _ -> "delack_cancel"
+  | Fin_received _ -> "fin"
+  | Share_ingested _ -> "share"
+  | Estimate_computed _ -> "estimate"
+  | Request_done _ -> "request"
+  | Message { tag; _ } -> tag
+
+let detail r =
+  match r.event with
+  | Segment_sent { seq; len; push; retx } ->
+      Printf.sprintf "seq=%d len=%d%s%s" seq len
+        (if push then " PSH" else "")
+        (if retx then " RETX" else "")
+  | Segment_received { seq; fresh } -> Printf.sprintf "seq=%d fresh=%d" seq fresh
+  | Ack_received { acked; una } -> Printf.sprintf "acked=%d una=%d" acked una
+  | Nagle_hold { chunk; in_flight } ->
+      Printf.sprintf "chunk=%d in_flight=%d" chunk in_flight
+  | Nagle_toggle { enabled } -> Printf.sprintf "enabled=%b" enabled
+  | Cork_hold { chunk } -> Printf.sprintf "chunk=%d" chunk
+  | Delack_fire { pending } | Delack_cancel { pending } ->
+      Printf.sprintf "pending=%d" pending
+  | Fin_received { rcv_nxt } -> Printf.sprintf "rcv_nxt=%d" rcv_nxt
+  | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
+      Printf.sprintf "unacked=%d unread=%d ackdelay=%d" unacked_total
+        unread_total ackdelay_total
+  | Estimate_computed { latency_us; throughput; window_us } ->
+      Printf.sprintf "latency_us=%s tput=%.1f window_us=%.1f"
+        (match latency_us with Some l -> Printf.sprintf "%.2f" l | None -> "-")
+        throughput window_us
+  | Request_done { latency_us } -> Printf.sprintf "latency_us=%.2f" latency_us
+  | Message { detail; _ } -> detail
+
+let find t ~tag:wanted =
+  List.rev
+    (fold t ~init:[] ~f:(fun acc r ->
+         if String.equal (tag r) wanted then r :: acc else acc))
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.emitted <- 0
 
-let dump t ppf =
-  List.iter
-    (fun r -> Format.fprintf ppf "[%a] %s: %s@." Time.pp r.at r.tag r.detail)
-    (records t)
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %s %s: %s" Time.pp r.at
+    (if r.id = "" then "-" else r.id)
+    (tag r) (detail r)
+
+let dump t ppf = iter t (fun r -> Format.fprintf ppf "%a@." pp_record r)
+
+(* {1 JSONL export} *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b "\":\"";
+  json_escape b v;
+  Buffer.add_char b '"'
+
+let add_int b key v =
+  Buffer.add_string b (Printf.sprintf ",\"%s\":%d" key v)
+
+let add_bool b key v =
+  Buffer.add_string b (Printf.sprintf ",\"%s\":%b" key v)
+
+(* %.17g round-trips every finite float through [float_of_string]. *)
+let add_float b key v =
+  if Float.is_finite v then
+    Buffer.add_string b (Printf.sprintf ",\"%s\":%.17g" key v)
+  else Buffer.add_string b (Printf.sprintf ",\"%s\":null" key)
+
+let record_to_json ?run r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "{\"at_ns\":%d" (Time.to_ns r.at));
+  (match run with Some run -> add_str b "run" run | None -> ());
+  add_str b "conn" r.id;
+  (match r.event with
+  | Segment_sent { seq; len; push; retx } ->
+      add_str b "ev" (if retx then "retx" else "tx");
+      add_int b "seq" seq;
+      add_int b "len" len;
+      add_bool b "push" push
+  | Segment_received { seq; fresh } ->
+      add_str b "ev" "rx";
+      add_int b "seq" seq;
+      add_int b "fresh" fresh
+  | Ack_received { acked; una } ->
+      add_str b "ev" "ack";
+      add_int b "acked" acked;
+      add_int b "una" una
+  | Nagle_hold { chunk; in_flight } ->
+      add_str b "ev" "hold";
+      add_int b "chunk" chunk;
+      add_int b "in_flight" in_flight
+  | Nagle_toggle { enabled } ->
+      add_str b "ev" "toggle";
+      add_bool b "enabled" enabled
+  | Cork_hold { chunk } ->
+      add_str b "ev" "cork";
+      add_int b "chunk" chunk
+  | Delack_fire { pending } ->
+      add_str b "ev" "delack_fire";
+      add_int b "pending" pending
+  | Delack_cancel { pending } ->
+      add_str b "ev" "delack_cancel";
+      add_int b "pending" pending
+  | Fin_received { rcv_nxt } ->
+      add_str b "ev" "fin";
+      add_int b "rcv_nxt" rcv_nxt
+  | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
+      add_str b "ev" "share";
+      add_int b "unacked" unacked_total;
+      add_int b "unread" unread_total;
+      add_int b "ackdelay" ackdelay_total
+  | Estimate_computed { latency_us; throughput; window_us } ->
+      add_str b "ev" "estimate";
+      (match latency_us with
+      | Some l -> add_float b "latency_us" l
+      | None -> Buffer.add_string b ",\"latency_us\":null");
+      add_float b "throughput" throughput;
+      add_float b "window_us" window_us
+  | Request_done { latency_us } ->
+      add_str b "ev" "request";
+      add_float b "latency_us" latency_us
+  | Message { tag; detail } ->
+      add_str b "ev" "msg";
+      add_str b "tag" tag;
+      add_str b "detail" detail);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* {1 Minimal flat-JSON-object parser}
+
+   Only what the exporter above (and [Metrics.sample_to_json]) produces:
+   one object per line, scalar values (string / number / bool / null),
+   no nesting.  Hand-rolled because the repo deliberately has no JSON
+   dependency. *)
+
+type json_value = Jstr of string | Jnum of float | Jbool of bool | Jnull
+
+exception Parse_error of string
+
+let parse_flat_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let err msg = raise (Parse_error msg) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && line.[!pos] = c then incr pos
+    else err (Printf.sprintf "expected '%c' at offset %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then err "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then err "truncated escape";
+            (match line.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then err "truncated \\u escape";
+                let hex = String.sub line (!pos + 1) 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> err "bad \\u escape"
+                in
+                pos := !pos + 4;
+                (* Only BMP codepoints below 0x80 are emitted by our
+                   exporter; decode others as '?' rather than UTF-8. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_char b '?'
+            | c -> err (Printf.sprintf "bad escape '\\%c'" c));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Jbool true
+        end
+        else err "bad literal"
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Jbool false
+        end
+        else err "bad literal"
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Jnull
+        end
+        else err "bad literal"
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match line.[!pos] with
+          | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        let s = String.sub line start (!pos - start) in
+        (try Jnum (float_of_string s)
+         with _ -> err (Printf.sprintf "bad number %S" s))
+    | Some c -> err (Printf.sprintf "unexpected '%c' at offset %d" c !pos)
+    | None -> err "unexpected end of input"
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    (if peek () = Some '}' then incr pos
+     else
+       let rec members () =
+         skip_ws ();
+         let key = parse_string () in
+         skip_ws ();
+         expect ':';
+         let v = parse_value () in
+         fields := (key, v) :: !fields;
+         skip_ws ();
+         match peek () with
+         | Some ',' ->
+             incr pos;
+             members ()
+         | Some '}' -> incr pos
+         | _ -> err (Printf.sprintf "expected ',' or '}' at offset %d" !pos)
+       in
+       members ());
+    skip_ws ();
+    if !pos <> n then err "trailing garbage after object";
+    Ok (List.rev !fields)
+  with Parse_error msg -> Error msg
+
+let field fields key = List.assoc_opt key fields
+
+let num fields key =
+  match field fields key with
+  | Some (Jnum v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not a number" key)
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let int_field fields key = Result.map int_of_float (num fields key)
+
+let str fields key =
+  match field fields key with
+  | Some (Jstr v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" key)
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let bool_field fields key =
+  match field fields key with
+  | Some (Jbool v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not a bool" key)
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let ( let* ) = Result.bind
+
+let record_of_json line =
+  let* fields = parse_flat_object line in
+  let* at_ns = int_field fields "at_ns" in
+  let* ev = str fields "ev" in
+  let run = match field fields "run" with Some (Jstr r) -> Some r | _ -> None in
+  let id = match field fields "conn" with Some (Jstr c) -> c | _ -> "" in
+  let* event =
+    match ev with
+    | "tx" | "retx" ->
+        let* seq = int_field fields "seq" in
+        let* len = int_field fields "len" in
+        let* push = bool_field fields "push" in
+        Ok (Segment_sent { seq; len; push; retx = ev = "retx" })
+    | "rx" ->
+        let* seq = int_field fields "seq" in
+        let* fresh = int_field fields "fresh" in
+        Ok (Segment_received { seq; fresh })
+    | "ack" ->
+        let* acked = int_field fields "acked" in
+        let* una = int_field fields "una" in
+        Ok (Ack_received { acked; una })
+    | "hold" ->
+        let* chunk = int_field fields "chunk" in
+        let* in_flight = int_field fields "in_flight" in
+        Ok (Nagle_hold { chunk; in_flight })
+    | "toggle" ->
+        let* enabled = bool_field fields "enabled" in
+        Ok (Nagle_toggle { enabled })
+    | "cork" ->
+        let* chunk = int_field fields "chunk" in
+        Ok (Cork_hold { chunk })
+    | "delack_fire" ->
+        let* pending = int_field fields "pending" in
+        Ok (Delack_fire { pending })
+    | "delack_cancel" ->
+        let* pending = int_field fields "pending" in
+        Ok (Delack_cancel { pending })
+    | "fin" ->
+        let* rcv_nxt = int_field fields "rcv_nxt" in
+        Ok (Fin_received { rcv_nxt })
+    | "share" ->
+        let* unacked_total = int_field fields "unacked" in
+        let* unread_total = int_field fields "unread" in
+        let* ackdelay_total = int_field fields "ackdelay" in
+        Ok (Share_ingested { unacked_total; unread_total; ackdelay_total })
+    | "estimate" ->
+        let latency_us =
+          match field fields "latency_us" with
+          | Some (Jnum v) -> Some v
+          | _ -> None
+        in
+        let* throughput = num fields "throughput" in
+        let* window_us = num fields "window_us" in
+        Ok (Estimate_computed { latency_us; throughput; window_us })
+    | "request" ->
+        let* latency_us = num fields "latency_us" in
+        Ok (Request_done { latency_us })
+    | "msg" ->
+        let* tag = str fields "tag" in
+        let* detail = str fields "detail" in
+        Ok (Message { tag; detail })
+    | other -> Error (Printf.sprintf "unknown event type %S" other)
+  in
+  Ok (run, { at = at_ns; id; event })

@@ -1,10 +1,45 @@
-(** Lightweight structured tracing.
+(** Typed structured tracing.
 
-    A bounded ring of (time, tag, detail) records that tests and
-    debugging sessions can inspect without the cost of formatting when
-    tracing is disabled. *)
+    A bounded ring of [(time, id, event)] records with a JSONL
+    export/import round-trip.  The event taxonomy covers the transport
+    and estimator behaviour that the paper's batching decisions hinge
+    on: segment lifecycle, Nagle/cork holds and toggles, delayed-ACK
+    timers, exchange shares and estimator outputs.
 
-type record = { at : Time.t; tag : string; detail : string }
+    Overhead when disabled: [event] returns before allocating the
+    record, and call sites are expected to guard payload construction
+    with [enabled] so the whole emission is branch-only.  [emitf]
+    likewise consumes its format arguments without evaluating them. *)
+
+type event =
+  | Segment_sent of { seq : int; len : int; push : bool; retx : bool }
+  | Segment_received of { seq : int; fresh : int }
+      (** [fresh] is the number of not-yet-seen payload bytes. *)
+  | Ack_received of { acked : int; una : int }
+  | Nagle_hold of { chunk : int; in_flight : int }
+  | Nagle_toggle of { enabled : bool }
+  | Cork_hold of { chunk : int }
+  | Delack_fire of { pending : int }
+      (** Delayed-ACK timer expired with [pending] unacked segments. *)
+  | Delack_cancel of { pending : int }
+      (** Armed delayed-ACK timer disarmed by an outgoing ACK. *)
+  | Fin_received of { rcv_nxt : int }
+  | Share_ingested of {
+      unacked_total : int;
+      unread_total : int;
+      ackdelay_total : int;
+    }  (** A 36-byte exchange triple arrived from the peer. *)
+  | Estimate_computed of {
+      latency_us : float option;
+      throughput : float;
+      window_us : float;
+    }
+  | Request_done of { latency_us : float }
+  | Message of { tag : string; detail : string }
+      (** Escape hatch for ad-hoc string traces ([emit]/[emitf]). *)
+
+type record = { at : Time.t; id : string; event : event }
+(** [id] names the emitting connection/socket (e.g. ["c0"]). *)
 
 type t
 
@@ -14,18 +49,58 @@ val create : ?capacity:int -> unit -> t
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+val capacity : t -> int
+
+val emitted : t -> int
+(** Total records emitted since creation/[clear], including those the
+    ring has since overwritten. *)
+
+val dropped : t -> int
+(** [emitted t - ] number currently retained. *)
+
+val event : t -> at:Time.t -> id:string -> event -> unit
+(** No-op while disabled; the check precedes any allocation.  Callers
+    should still guard event-payload construction with [enabled]. *)
 
 val emit : t -> at:Time.t -> tag:string -> detail:string -> unit
-(** No-op while disabled. *)
+(** [Message] sugar with an empty [id].  No-op while disabled. *)
 
 val emitf :
   t -> at:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the format arguments are only evaluated when
-    tracing is enabled. *)
+(** Formatted [Message] variant; the format arguments are only
+    evaluated when tracing is enabled. *)
+
+val iter : t -> (record -> unit) -> unit
+(** Oldest first; no intermediate list. *)
+
+val fold : t -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** Oldest first; no intermediate list. *)
 
 val records : t -> record list
 (** Oldest first. *)
 
+val tag : record -> string
+(** Short stable tag for the record's event ("tx", "rx", "ack", "hold",
+    "toggle", "cork", "delack_fire", "delack_cancel", "fin", "retx",
+    "share", "estimate", "request", or the [Message] tag). *)
+
+val detail : record -> string
+(** Human-readable rendering of the event payload. *)
+
 val find : t -> tag:string -> record list
 val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
 val dump : t -> Format.formatter -> unit
+
+(** {1 JSONL}
+
+    One flat JSON object per record.  [record_to_json] and
+    [record_of_json] round-trip exactly (floats use ["%.17g"]). *)
+
+val record_to_json : ?run:string -> record -> string
+(** Single-line JSON object; [run] labels multi-run files (sweeps). *)
+
+val record_of_json : string -> (string option * record, string) result
+(** Parse one line back into an optional run label and a record.
+    Returns [Error msg] on malformed input. *)

@@ -93,9 +93,9 @@ let wire engine ~src ~dst ~src_cpu ~dst_cpu ~(link : Link.t) ~src_params ~dst_pa
   gro
 
 let create engine ?(a = default_host) ?(b = default_host) ?(link_ab = default_link)
-    ?(link_ba = default_link) ?cpu_a ?cpu_b () =
-  let sock_a = Socket.create ~label:"A" engine a.socket in
-  let sock_b = Socket.create ~label:"B" engine b.socket in
+    ?(link_ba = default_link) ?cpu_a ?cpu_b ?(label_a = "A") ?(label_b = "B") () =
+  let sock_a = Socket.create ~label:label_a engine a.socket in
+  let sock_b = Socket.create ~label:label_b engine b.socket in
   let cpu_a = match cpu_a with Some c -> c | None -> Sim.Cpu.create engine in
   let cpu_b = match cpu_b with Some c -> c | None -> Sim.Cpu.create engine in
   let ab = Link.create engine ~prop_delay:link_ab.prop_delay ~gbit_per_s:link_ab.gbit_per_s in

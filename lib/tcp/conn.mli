@@ -41,10 +41,14 @@ val create :
   ?link_ba:link_params ->
   ?cpu_a:Sim.Cpu.t ->
   ?cpu_b:Sim.Cpu.t ->
+  ?label_a:string ->
+  ?label_b:string ->
   unit ->
   t
 (** [cpu_a]/[cpu_b] let several connections share one IRQ core per
-    host, as multiple flows through one NIC queue would. *)
+    host, as multiple flows through one NIC queue would.
+    [label_a]/[label_b] (default ["A"]/["B"]) name the sockets in trace
+    records. *)
 
 val sock_a : t -> Socket.t
 (** By convention the client side. *)

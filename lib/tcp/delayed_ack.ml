@@ -7,6 +7,7 @@ type t = {
   mutable timer : Sim.Engine.handle option;
   mutable by_count : int;
   mutable by_timer : int;
+  mutable trace : (Sim.Trace.t * string) option;
 }
 
 let create engine ?(timeout = Sim.Time.ms 40) ?(max_pending = 2) ~send_ack () =
@@ -21,7 +22,16 @@ let create engine ?(timeout = Sim.Time.ms 40) ?(max_pending = 2) ~send_ack () =
     timer = None;
     by_count = 0;
     by_timer = 0;
+    trace = None;
   }
+
+let set_trace t tr ~id = t.trace <- Some (tr, id)
+
+let emit t ev =
+  match t.trace with
+  | Some (tr, id) when Sim.Trace.enabled tr ->
+      Sim.Trace.event tr ~at:(Sim.Engine.now t.engine) ~id ev
+  | _ -> ()
 
 let disarm t =
   match t.timer with
@@ -31,6 +41,9 @@ let disarm t =
   | None -> ()
 
 let on_ack_sent t =
+  (* An armed timer that never fires: the ack went out another way. *)
+  if t.timer <> None && t.pending > 0 then
+    emit t (Sim.Trace.Delack_cancel { pending = t.pending });
   t.pending <- 0;
   disarm t
 
@@ -38,6 +51,7 @@ let fire t =
   t.timer <- None;
   if t.pending > 0 then begin
     t.by_timer <- t.by_timer + 1;
+    emit t (Sim.Trace.Delack_fire { pending = t.pending });
     (* send_ack reaches the socket's transmit path, which calls
        on_ack_sent and resets the state. *)
     t.send_ack ()

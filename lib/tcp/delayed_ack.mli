@@ -32,5 +32,10 @@ val on_ack_sent : t -> unit
 val pending : t -> int
 val timer_armed : t -> bool
 
+val set_trace : t -> Sim.Trace.t -> id:string -> unit
+(** Emit [Delack_fire] when the timer expires with pending segments and
+    [Delack_cancel] when an armed timer is disarmed by an outgoing ack,
+    labelled [id]. *)
+
 val acks_forced_by_count : t -> int
 val acks_forced_by_timer : t -> int

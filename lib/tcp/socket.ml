@@ -203,10 +203,14 @@ let create ?(label = "sock") engine cfg =
 
 let now t = Sim.Engine.now t.engine
 
-let trace t tag fmt =
+(* Call sites guard event-payload construction behind [tracing] so the
+   disabled path is a branch and nothing more. *)
+let tracing t = match t.trace with Some tr -> Sim.Trace.enabled tr | None -> false
+
+let event t ev =
   match t.trace with
-  | Some tr -> Sim.Trace.emitf tr ~at:(now t) ~tag fmt
-  | None -> Format.ikfprintf ignore Format.str_formatter fmt
+  | Some tr -> Sim.Trace.event tr ~at:(now t) ~id:t.label ev
+  | None -> ()
 
 let advertised_window t = Stdlib.max 0 (t.cfg.rcv_buf - Bytebuf.length t.recvbuf)
 
@@ -297,7 +301,11 @@ and retransmit_head t ~counter =
   | Some entry ->
     counter t;
     t.retransmits <- t.retransmits + 1;
-    trace t "retx" "seq=%d len=%d" entry.r_seq (String.length entry.r_payload);
+    if tracing t then
+      event t
+        (Sim.Trace.Segment_sent
+           { seq = entry.r_seq; len = String.length entry.r_payload;
+             push = entry.r_push; retx = true });
     put_on_wire t ~fin:entry.r_fin ~seq:entry.r_seq ~payload:entry.r_payload
       ~push:entry.r_push ~msg_ends:entry.r_msg_ends
 
@@ -330,7 +338,8 @@ let emit_fresh t ~payload ~push ~msg_ends =
     E2e.Estimator.track_unacked t.estim ~at:(now t) 1;
     Unit_fifo.push t.unacked_fifo ~bytes:len ~units:1
   end;
-  trace t "tx" "seq=%d len=%d%s" seq len (if push then " PSH" else "");
+  if tracing t then
+    event t (Sim.Trace.Segment_sent { seq; len; push; retx = false });
   put_on_wire t ~seq ~payload ~push ~msg_ends;
   arm_rto t
 
@@ -371,7 +380,8 @@ let rec try_transmit t =
       if not (Nagle.should_send t.nagle ~mss:t.cfg.mss ~chunk ~in_flight:(in_flight t))
       then begin
         t.nagle_holds <- t.nagle_holds + 1;
-        trace t "hold" "nagle holds %dB (in-flight %d)" chunk (in_flight t)
+        if tracing t then
+          event t (Sim.Trace.Nagle_hold { chunk; in_flight = in_flight t })
       end
       else begin
         match (t.cfg.cork, chunk < t.cfg.mss, t.cork_signal ()) with
@@ -379,6 +389,7 @@ let rec try_transmit t =
           (* Auto-cork: transmitter busy and the segment is small; hold
              until the NIC frees and retry. *)
           t.cork_holds <- t.cork_holds + 1;
+          if tracing t then event t (Sim.Trace.Cork_hold { chunk });
           if not t.cork_kick_armed then begin
             t.cork_kick_armed <- true;
             ignore
@@ -446,6 +457,9 @@ let ensure_delack t =
         ~send_ack:(fun () -> send_pure_ack t)
         ()
     in
+    (match t.trace with
+    | Some tr -> Delayed_ack.set_trace d tr ~id:t.label
+    | None -> ());
     t.delack <- Some d;
     d
 
@@ -486,7 +500,8 @@ let drop_acked_retx t =
 let process_ack t (seg : Segment.t) ~at =
   let acked = seg.ack - t.snd_una in
   if acked > 0 then begin
-    trace t "ack" "acked=%d una=%d" acked (t.snd_una + acked);
+    if tracing t then
+      event t (Sim.Trace.Ack_received { acked; una = t.snd_una + acked });
     t.snd_una <- t.snd_una + acked;
     t.dup_acks <- 0;
     t.rto_backoff <- 0;
@@ -551,7 +566,8 @@ let accept_payload t (seg : Segment.t) ~at =
   let skip = t.rcv_nxt - seg.seq in
   let fresh = len - skip in
   let payload = if skip = 0 then seg.payload else String.sub seg.payload skip fresh in
-  trace t "rx" "seq=%d fresh=%d" seg.seq fresh;
+  if tracing t then
+    event t (Sim.Trace.Segment_received { seq = seg.seq; fresh });
   t.rcv_nxt <- t.rcv_nxt + fresh;
   t.bytes_in <- t.bytes_in + fresh;
   Bytebuf.append t.recvbuf payload;
@@ -566,7 +582,8 @@ let accept_payload t (seg : Segment.t) ~at =
 
 let process_fin t =
   if not t.peer_fin then begin
-    trace t "fin" "peer closed (rcv_nxt=%d)" (t.rcv_nxt + 1);
+    if tracing t then
+      event t (Sim.Trace.Fin_received { rcv_nxt = t.rcv_nxt + 1 });
     t.peer_fin <- true;
     t.rcv_nxt <- t.rcv_nxt + 1;
     (match t.conn_state with
@@ -677,7 +694,11 @@ let set_transmit t f = t.transmit <- f
 let set_cork_signal t f = t.cork_signal <- f
 
 let nagle t = t.nagle
-let set_nagle_enabled t v = Nagle.set_enabled t.nagle v
+
+let set_nagle_enabled t v =
+  if Nagle.enabled t.nagle <> v && tracing t then
+    event t (Sim.Trace.Nagle_toggle { enabled = v });
+  Nagle.set_enabled t.nagle v
 
 (* {2 Teardown API} *)
 
@@ -702,7 +723,13 @@ let eof t = t.peer_fin && Bytebuf.is_empty t.recvbuf
 
 let estimator t = t.estim
 let rtt t = t.rtt
-let set_trace t tr = t.trace <- Some tr
+
+let set_trace t tr =
+  t.trace <- Some tr;
+  E2e.Estimator.set_trace t.estim tr ~id:t.label;
+  match t.delack with
+  | Some d -> Delayed_ack.set_trace d tr ~id:t.label
+  | None -> ()
 let cwnd t = t.cwnd
 let ssthresh t = t.ssthresh
 

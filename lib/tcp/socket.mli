@@ -164,8 +164,11 @@ type counters = {
 val counters : t -> counters
 
 val set_trace : t -> Sim.Trace.t -> unit
-(** Attach a trace ring: the socket emits [tx]/[retx]/[rx]/[ack]/
-    [hold]/[fin] records (only while the trace is enabled). *)
+(** Attach a trace ring: the socket emits typed segment/Nagle/cork/FIN
+    events labelled with its [label], and propagates the trace to its
+    estimator (share/estimate events) and delayed-ACK state
+    (fire/cancel events).  Emission only happens while the trace is
+    enabled, and costs one branch when it is not. *)
 
 val acks_by_timer : t -> int
 (** Acks this endpoint sent because the delayed-ack timer expired. *)

@@ -184,6 +184,37 @@ let test_estimator_peek_does_not_advance () =
   | Some est -> Alcotest.(check bool) "still has latency" true (est.latency_ns <> None)
   | None -> Alcotest.fail "expected estimate"
 
+(* Regression (baseline pinning): shares ingested before the first
+   [estimate] must NOT slide the remote baseline.  The first share
+   anchors the remote window exactly as [local_prev] anchors the local
+   one at creation, so both vantage points cover creation-to-now until
+   the first estimate; after an [estimate] the baseline advances to the
+   latest share. *)
+let test_estimator_remote_baseline_pinned () =
+  let e = E2e.Estimator.create ~at:0 in
+  let mk at total =
+    triple (share at total (float_of_int (total * 100))) (share at 0 0.0)
+      (share at 0 0.0)
+  in
+  let s1 = mk 0 1 and s2 = mk (us 10) 2 and s3 = mk (us 20) 3 in
+  E2e.Estimator.ingest_remote e s1;
+  E2e.Estimator.ingest_remote e s2;
+  E2e.Estimator.ingest_remote e s3;
+  (match E2e.Estimator.remote_window e with
+  | Some (prev, cur) ->
+    Alcotest.(check bool) "baseline pinned to first share" true (prev = s1);
+    Alcotest.(check bool) "latest is third share" true (cur = s3)
+  | None -> Alcotest.fail "expected a remote window");
+  E2e.Estimator.track_unacked e ~at:0 1;
+  E2e.Estimator.track_unacked e ~at:(us 10) (-1);
+  (match E2e.Estimator.estimate e ~at:(us 30) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an estimate");
+  match E2e.Estimator.remote_window e with
+  | Some (prev, _) ->
+    Alcotest.(check bool) "baseline advances to latest after estimate" true (prev = s3)
+  | None -> Alcotest.fail "expected a remote window after estimate"
+
 let test_estimator_queue_sizes () =
   let e = E2e.Estimator.create ~at:0 in
   E2e.Estimator.track_unacked e ~at:0 3;
@@ -234,6 +265,8 @@ let suite =
         Alcotest.test_case "window advances" `Quick test_estimator_window_advances;
         Alcotest.test_case "peek does not advance" `Quick
           test_estimator_peek_does_not_advance;
+        Alcotest.test_case "remote baseline pinned until estimate" `Quick
+          test_estimator_remote_baseline_pinned;
         Alcotest.test_case "queue sizes" `Quick test_estimator_queue_sizes;
         Alcotest.test_case "throughput" `Quick test_estimator_throughput;
       ] );

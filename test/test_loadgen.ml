@@ -172,6 +172,7 @@ let fake_result ~rate ~mean ~achieved : Loadgen.Runner.result =
     client_srtt_us = Some 40.0;
     client_p99_est_us = Some (mean *. 2.0);
     samples = [];
+    observability = None;
   }
 
 let fake_point rate ~on_mean ~off_mean : Loadgen.Sweep.point =

@@ -1,0 +1,227 @@
+(* Tests for the structured observability layer: the metrics registry,
+   the residual tracker, the observed-run output, and the headline
+   guarantee that attaching observability does not change simulation
+   results (bit-identical, like PR-1's parallel-sweep determinism). *)
+
+(* {1 Metrics registry} *)
+
+let test_metrics_counter () =
+  let m = Sim.Metrics.create () in
+  let c = Sim.Metrics.counter m "packets" in
+  Sim.Metrics.incr c;
+  Sim.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Sim.Metrics.counter_value c);
+  Alcotest.(check string) "name" "packets" (Sim.Metrics.counter_name c);
+  (* get-or-create returns the same instrument *)
+  let c' = Sim.Metrics.counter m "packets" in
+  Sim.Metrics.incr c';
+  Alcotest.(check int) "shared" 6 (Sim.Metrics.counter_value c)
+
+let test_metrics_sample_order () =
+  let m = Sim.Metrics.create () in
+  ignore (Sim.Metrics.counter m "a");
+  Sim.Metrics.gauge m "b" (fun () -> 2.5);
+  let h = Sim.Metrics.histogram m "c" in
+  Sim.Stats.Histogram.add h 10.0;
+  Sim.Stats.Histogram.add h 20.0;
+  Alcotest.(check (list string)) "registration order" [ "a"; "b"; "c" ]
+    (Sim.Metrics.names m);
+  let s = Sim.Metrics.sample m ~at:(Sim.Time.us 7) in
+  Alcotest.(check (list string)) "sample keys in order"
+    [ "a"; "b"; "c.count"; "c.mean"; "c.p99" ]
+    (List.map fst s.values);
+  Alcotest.(check (float 1e-9)) "gauge read" 2.5 (List.assoc "b" s.values);
+  Alcotest.(check (float 1e-9)) "hist count" 2.0 (List.assoc "c.count" s.values)
+
+let test_metrics_kind_mismatch () =
+  let m = Sim.Metrics.create () in
+  ignore (Sim.Metrics.counter m "x");
+  (match Sim.Metrics.histogram m "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for counter->histogram");
+  match Sim.Metrics.gauge m "x" (fun () -> 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for counter->gauge"
+
+let test_metrics_sample_json () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.gauge m "good" (fun () -> 1.5);
+  Sim.Metrics.gauge m "bad" (fun () -> Float.nan);
+  let line = Sim.Metrics.sample_to_json (Sim.Metrics.sample m ~at:(Sim.Time.us 3)) in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "flat object" true
+    (String.length line > 1 && line.[0] = '{' && line.[String.length line - 1] = '}');
+  Alcotest.(check bool) "finite gauge present" true (contains "\"good\":1.5");
+  Alcotest.(check bool) "non-finite becomes null" true (contains "\"bad\":null")
+
+(* {1 Residuals} *)
+
+let test_residual_percentiles_exact () =
+  let r = E2e.Residual.create () in
+  (* |e| = 1..100; nearest-rank: p50=50, p95=95, p99=99, max=100 *)
+  for i = 1 to 100 do
+    let sign = if i mod 2 = 0 then 1.0 else -1.0 in
+    E2e.Residual.observe r ~at_us:(float_of_int i) ~window_us:1000.0
+      ~est_us:(100.0 +. (sign *. float_of_int i))
+      ~truth_us:100.0
+  done;
+  Alcotest.(check int) "count" 100 (E2e.Residual.count r);
+  match E2e.Residual.summary r with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "p50" 50.0 s.p50_abs_us;
+    Alcotest.(check (float 1e-9)) "p95" 95.0 s.p95_abs_us;
+    Alcotest.(check (float 1e-9)) "p99" 99.0 s.p99_abs_us;
+    Alcotest.(check (float 1e-9)) "max" 100.0 s.max_abs_us;
+    Alcotest.(check (float 1e-9)) "mean |e|" 50.5 s.mean_abs_us;
+    (* signs alternate over 1..100: sum = +2+4+... - (1+3+...) = 50 *)
+    Alcotest.(check (float 1e-9)) "bias" 0.5 s.bias_us
+
+let test_residual_empty () =
+  Alcotest.(check bool) "no pairs, no summary" true
+    (E2e.Residual.summary (E2e.Residual.create ()) = None);
+  Alcotest.(check bool) "summary_of_pairs []" true
+    (E2e.Residual.summary_of_pairs [] = None)
+
+(* {1 Observed runs} *)
+
+let small_base () =
+  let base =
+    Loadgen.Runner.default_config ~rate_rps:0.0 ~batching:Loadgen.Runner.Static_off
+  in
+  { base with warmup = Sim.Time.ms 5; duration = Sim.Time.ms 25 }
+
+let observed_run ?(batching = Loadgen.Runner.Static_off) ?(rate = 60e3) () =
+  let base = small_base () in
+  Loadgen.Runner.run
+    {
+      base with
+      rate_rps = rate;
+      batching;
+      (* large enough that the ring keeps every event of a 30 ms run:
+         the drop-accounting and truth-reconstruction checks need the
+         full record *)
+      observe =
+        Some { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 };
+    }
+
+let test_observed_run_output () =
+  let r = observed_run () in
+  match r.observability with
+  | None -> Alcotest.fail "expected observability output"
+  | Some o ->
+    Alcotest.(check bool) "has records" true (o.records <> []);
+    let tags tag =
+      List.length (List.filter (fun rc -> Sim.Trace.tag rc = tag) o.records)
+    in
+    Alcotest.(check bool) "tx events" true (tags "tx" > 0);
+    Alcotest.(check bool) "request events" true (tags "request" > 0);
+    Alcotest.(check bool) "estimate events" true (tags "estimate" > 0);
+    Alcotest.(check bool) "share events" true (tags "share" > 0);
+    Alcotest.(check int) "nothing dropped at this size" 0 o.dropped_records;
+    (* 30 ms total at 1 ms cadence: first tick at 1 ms, last at 30 ms *)
+    Alcotest.(check int) "sample count = total/interval" 30 (List.length o.samples);
+    (match o.samples with
+    | s :: _ ->
+      Alcotest.(check bool) "per-conn queue gauges sampled" true
+        (List.mem_assoc "c0.unacked" s.values && List.mem_assoc "s0.unread" s.values)
+    | [] -> Alcotest.fail "expected samples");
+    (match o.residual with
+    | Some s -> Alcotest.(check bool) "residual has pairs" true (s.n > 0)
+    | None -> Alcotest.fail "expected a residual summary");
+    Alcotest.(check int) "pairs match summary n"
+      (match o.residual with Some s -> s.n | None -> -1)
+      (List.length o.residual_pairs)
+
+(* The headline guarantee: observability is read-only.  Stripping the
+   observability field from an observed run must leave a result
+   bit-identical to the unobserved run — structural equality over every
+   float, list and option in the record. *)
+let strip (r : Loadgen.Runner.result) = { r with observability = None }
+
+let test_observe_deterministic_static () =
+  let base = { (small_base ()) with rate_rps = 60e3 } in
+  let plain = Loadgen.Runner.run base in
+  let observed =
+    Loadgen.Runner.run { base with observe = Some Loadgen.Observe.default_config }
+  in
+  Alcotest.(check bool) "observe on = off (static)" true (strip observed = plain)
+
+let test_observe_deterministic_dynamic () =
+  let base =
+    {
+      (small_base ()) with
+      rate_rps = 80e3;
+      batching = Loadgen.Runner.Dynamic Loadgen.Runner.default_dynamic;
+    }
+  in
+  let plain = Loadgen.Runner.run base in
+  let observed =
+    Loadgen.Runner.run { base with observe = Some Loadgen.Observe.default_config }
+  in
+  Alcotest.(check bool) "observe on = off (dynamic)" true (strip observed = plain)
+
+(* Residual ground truth must equal what the trace itself implies: the
+   mean of Request_done latencies in (at - window, at], reconstructed
+   from the output's records. *)
+let prop_residual_truth_matches_trace =
+  QCheck.Test.make ~count:4 ~name:"residual truth = mean Request_done over window"
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let rate = 40e3 +. float_of_int salt in
+      let r = observed_run ~rate () in
+      match r.observability with
+      | None -> false
+      | Some o ->
+        let reqs =
+          List.filter_map
+            (fun (rc : Sim.Trace.record) ->
+              match rc.event with
+              | Sim.Trace.Request_done { latency_us } ->
+                Some (Sim.Time.to_us rc.at, latency_us)
+              | _ -> None)
+            o.records
+        in
+        List.for_all
+          (fun (p : E2e.Residual.pair) ->
+            let inside =
+              List.filter_map
+                (fun (at, lat) ->
+                  if at > p.at_us -. p.window_us && at <= p.at_us then Some lat
+                  else None)
+                reqs
+            in
+            match inside with
+            | [] -> false (* a pair was recorded without ground truth *)
+            | _ ->
+              let mean =
+                List.fold_left ( +. ) 0.0 inside /. float_of_int (List.length inside)
+              in
+              Float.abs (mean -. p.truth_us) <= 1e-6 *. Float.max 1.0 mean)
+          o.residual_pairs)
+
+let suite =
+  [
+    ( "observe",
+      [
+        Alcotest.test_case "metrics: counter" `Quick test_metrics_counter;
+        Alcotest.test_case "metrics: sample order" `Quick test_metrics_sample_order;
+        Alcotest.test_case "metrics: kind mismatch" `Quick test_metrics_kind_mismatch;
+        Alcotest.test_case "metrics: sample JSON" `Quick test_metrics_sample_json;
+        Alcotest.test_case "residual: exact percentiles" `Quick
+          test_residual_percentiles_exact;
+        Alcotest.test_case "residual: empty" `Quick test_residual_empty;
+        Alcotest.test_case "observed run output" `Slow test_observed_run_output;
+        Alcotest.test_case "observe on = off (static)" `Slow
+          test_observe_deterministic_static;
+        Alcotest.test_case "observe on = off (dynamic)" `Slow
+          test_observe_deterministic_dynamic;
+        QCheck_alcotest.to_alcotest ~long:true prop_residual_truth_matches_trace;
+      ] );
+  ]

@@ -392,7 +392,7 @@ let test_trace_capture_and_find () =
   Sim.Trace.emitf tr ~at:2 ~tag:"rx" "seg %d" 2;
   Alcotest.(check int) "two records" 2 (List.length (Sim.Trace.records tr));
   match Sim.Trace.find tr ~tag:"rx" with
-  | [ r ] -> Alcotest.(check string) "formatted" "seg 2" r.Sim.Trace.detail
+  | [ r ] -> Alcotest.(check string) "formatted" "seg 2" (Sim.Trace.detail r)
   | l -> Alcotest.failf "expected one rx record, got %d" (List.length l)
 
 let test_trace_ring_overwrite () =
@@ -403,7 +403,165 @@ let test_trace_ring_overwrite () =
   done;
   let records = Sim.Trace.records tr in
   Alcotest.(check int) "capped" 4 (List.length records);
-  Alcotest.(check string) "oldest kept is 7" "7" (List.hd records).Sim.Trace.detail
+  Alcotest.(check string) "oldest kept is 7" "7" (Sim.Trace.detail (List.hd records));
+  Alcotest.(check int) "emitted counts overwrites" 10 (Sim.Trace.emitted tr);
+  Alcotest.(check int) "dropped = emitted - capacity" 6 (Sim.Trace.dropped tr)
+
+(* Satellite: a disabled trace must not evaluate emitf's format
+   arguments, including %t printers whose side effects would otherwise
+   leak into the simulation. *)
+let test_trace_emitf_disabled_no_side_effects () =
+  let tr = Sim.Trace.create () in
+  let fired = ref 0 in
+  let printer ppf =
+    incr fired;
+    Format.pp_print_string ppf "boom"
+  in
+  Sim.Trace.emitf tr ~at:1 ~tag:"x" "%t and %d" printer 7;
+  Alcotest.(check int) "printer not invoked while disabled" 0 !fired;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Sim.Trace.records tr));
+  Sim.Trace.set_enabled tr true;
+  Sim.Trace.emitf tr ~at:2 ~tag:"x" "%t and %d" printer 7;
+  Alcotest.(check int) "printer invoked when enabled" 1 !fired;
+  match Sim.Trace.records tr with
+  | [ r ] -> Alcotest.(check string) "formatted" "boom and 7" (Sim.Trace.detail r)
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+let test_trace_typed_events () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.set_enabled tr true;
+  Sim.Trace.event tr ~at:10 ~id:"c0"
+    (Sim.Trace.Segment_sent { seq = 0; len = 100; push = true; retx = false });
+  Sim.Trace.event tr ~at:20 ~id:"c0"
+    (Sim.Trace.Segment_sent { seq = 100; len = 50; push = false; retx = true });
+  Sim.Trace.event tr ~at:30 ~id:"s0" (Sim.Trace.Ack_received { acked = 100; una = 100 });
+  Sim.Trace.event tr ~at:40 ~id:"c0" (Sim.Trace.Nagle_toggle { enabled = false });
+  Alcotest.(check int) "tx" 1 (List.length (Sim.Trace.find tr ~tag:"tx"));
+  Alcotest.(check int) "retx" 1 (List.length (Sim.Trace.find tr ~tag:"retx"));
+  Alcotest.(check int) "ack" 1 (List.length (Sim.Trace.find tr ~tag:"ack"));
+  Alcotest.(check int) "toggle" 1 (List.length (Sim.Trace.find tr ~tag:"toggle"));
+  match Sim.Trace.find tr ~tag:"ack" with
+  | [ r ] -> Alcotest.(check string) "id carried" "s0" r.Sim.Trace.id
+  | l -> Alcotest.failf "expected one ack record, got %d" (List.length l)
+
+let test_trace_iter_fold_match_records () =
+  let tr = Sim.Trace.create ~capacity:8 () in
+  Sim.Trace.set_enabled tr true;
+  for i = 1 to 13 do
+    Sim.Trace.event tr ~at:i ~id:"c0" (Sim.Trace.Request_done { latency_us = float i })
+  done;
+  let records = Sim.Trace.records tr in
+  let via_iter = ref [] in
+  Sim.Trace.iter tr (fun r -> via_iter := r :: !via_iter);
+  Alcotest.(check bool) "iter = records" true (List.rev !via_iter = records);
+  let via_fold = Sim.Trace.fold tr ~init:[] ~f:(fun acc r -> r :: acc) in
+  Alcotest.(check bool) "fold = records" true (List.rev via_fold = records);
+  Alcotest.(check int) "ring capped" 8 (List.length records)
+
+let trace_sample_events : Sim.Trace.event list =
+  [
+    Sim.Trace.Segment_sent { seq = 12; len = 1448; push = true; retx = false };
+    Sim.Trace.Segment_sent { seq = 0; len = 1; push = false; retx = true };
+    Sim.Trace.Segment_received { seq = 12; fresh = 1448 };
+    Sim.Trace.Ack_received { acked = 1448; una = 1460 };
+    Sim.Trace.Nagle_hold { chunk = 64; in_flight = 1448 };
+    Sim.Trace.Nagle_toggle { enabled = true };
+    Sim.Trace.Cork_hold { chunk = 256 };
+    Sim.Trace.Delack_fire { pending = 2 };
+    Sim.Trace.Delack_cancel { pending = 1 };
+    Sim.Trace.Fin_received { rcv_nxt = 4242 };
+    Sim.Trace.Share_ingested { unacked_total = 3; unread_total = 7; ackdelay_total = 1 };
+    Sim.Trace.Estimate_computed
+      { latency_us = Some 123.456; throughput = 60000.25; window_us = 1000.0 };
+    Sim.Trace.Estimate_computed { latency_us = None; throughput = 0.0; window_us = 0.5 };
+    Sim.Trace.Request_done { latency_us = 88.25 };
+    Sim.Trace.Message { tag = "note"; detail = "hello \"quoted\" \\ world" };
+  ]
+
+let test_trace_json_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let r = { Sim.Trace.at = Sim.Time.us (i + 1); id = Printf.sprintf "c%d" i; event = ev } in
+      List.iter
+        (fun run ->
+          let line = Sim.Trace.record_to_json ?run r in
+          match Sim.Trace.record_of_json line with
+          | Ok (run', r') ->
+            Alcotest.(check bool)
+              (Printf.sprintf "run label %d" i)
+              true (run = run');
+            Alcotest.(check bool) (Printf.sprintf "record %d" i) true (r = r')
+          | Error e -> Alcotest.failf "roundtrip %d failed on %s: %s" i line e)
+        [ None; Some "off@60k" ])
+    trace_sample_events
+
+let test_trace_json_malformed () =
+  List.iter
+    (fun line ->
+      match Sim.Trace.record_of_json line with
+      | Ok _ -> Alcotest.failf "expected parse error for %s" line
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      "[1,2]";
+      "{\"at_ns\":1}";
+      "{\"at_ns\":1,\"conn\":\"c0\",\"ev\":\"warp\"}";
+      "{\"at_ns\":1,\"conn\":\"c0\",\"ev\":\"tx\",\"seq\":0,\"len\":1,\"push\":true,\"retx\":false} trailing";
+      "{\"at_ns\":true,\"conn\":\"c0\",\"ev\":\"fin\",\"rcv_nxt\":1}";
+    ]
+
+(* The guarded call-site pattern used on every hot path must not
+   allocate while tracing is disabled: the whole point of leaving the
+   instrumentation compiled in. *)
+let test_trace_disabled_guard_no_alloc () =
+  let tr = Sim.Trace.create () in
+  let probe () =
+    if Sim.Trace.enabled tr then
+      Sim.Trace.event tr ~at:7 ~id:"c0"
+        (Sim.Trace.Segment_sent { seq = 1; len = 2; push = true; retx = false })
+  in
+  probe ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    probe ()
+  done;
+  let per_op = (Gc.minor_words () -. before) /. 10_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "guarded disabled event allocates nothing (%.4f words/op)" per_op)
+    true (per_op < 0.01)
+
+let prop_trace_json_roundtrip =
+  let open QCheck in
+  let fin = float_range (-1e9) 1e9 in
+  let gen =
+    Gen.(
+      let* at = 0 -- 1_000_000_000 in
+      let* id = string_size ~gen:(char_range 'a' 'z') (0 -- 8) in
+      let* ev =
+        oneof
+          [
+            (* ints ride a float-backed JSON number: exact below 2^53 *)
+            (let* seq = 0 -- 1_000_000_000 and* len = 0 -- 100_000 and* push = bool
+             and* retx = bool in
+             return (Sim.Trace.Segment_sent { seq; len; push; retx }));
+            (let* latency = opt fin.gen and* tp = fin.gen and* w = fin.gen in
+             return
+               (Sim.Trace.Estimate_computed
+                  { latency_us = latency; throughput = tp; window_us = w }));
+            (let* tag = string_size ~gen:Gen.printable (0 -- 12)
+             and* detail = string_size ~gen:Gen.printable (0 -- 20) in
+             return (Sim.Trace.Message { tag; detail }));
+            (let* l = fin.gen in
+             return (Sim.Trace.Request_done { latency_us = l }));
+          ]
+      in
+      return { Sim.Trace.at; id; event = ev })
+  in
+  Test.make ~count:300 ~name:"trace JSONL roundtrips exactly" (make gen) (fun r ->
+      match Sim.Trace.record_of_json (Sim.Trace.record_to_json r) with
+      | Ok (None, r') -> r = r'
+      | Ok (Some _, _) | Error _ -> false)
 
 let suite =
   [
@@ -469,5 +627,15 @@ let suite =
         Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
         Alcotest.test_case "capture and find" `Quick test_trace_capture_and_find;
         Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
+        Alcotest.test_case "emitf disabled: no side effects" `Quick
+          test_trace_emitf_disabled_no_side_effects;
+        Alcotest.test_case "typed events and tags" `Quick test_trace_typed_events;
+        Alcotest.test_case "iter/fold match records" `Quick
+          test_trace_iter_fold_match_records;
+        Alcotest.test_case "JSONL roundtrip" `Quick test_trace_json_roundtrip;
+        Alcotest.test_case "JSONL malformed input" `Quick test_trace_json_malformed;
+        Alcotest.test_case "guarded disabled path: no alloc" `Quick
+          test_trace_disabled_guard_no_alloc;
+        QCheck_alcotest.to_alcotest prop_trace_json_roundtrip;
       ] );
   ]
