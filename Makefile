@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke bench-par clean
+.PHONY: all build test check smoke report-smoke bench-par clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke
+check: smoke report-smoke
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -26,6 +26,25 @@ smoke:
 	dune exec bin/e2ebench.exe -- inspect _smoke/trace.jsonl --limit 5
 	@test -s _smoke/metrics.jsonl || { echo "smoke: empty metrics file"; exit 1; }
 	@echo "smoke: OK"
+
+# Report smoke: trace two short runs (Nagle on/off), build the HTML
+# comparison report from them, and validate the result is a complete
+# self-contained document (the report command itself also runs a
+# tag-balance check and exits nonzero if its output is malformed).
+report-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	dune exec bin/e2ebench.exe -- run --rate 40 --nagle off \
+	  --warmup-ms 5 --duration-ms 20 --trace-out _smoke/report-off.jsonl > /dev/null
+	dune exec bin/e2ebench.exe -- run --rate 40 --nagle on \
+	  --warmup-ms 5 --duration-ms 20 --trace-out _smoke/report-on.jsonl > /dev/null
+	dune exec bin/e2ebench.exe -- report _smoke/report-off.jsonl \
+	  --compare _smoke/report-on.jsonl --out _smoke/report.html
+	dune exec bin/e2ebench.exe -- report _smoke/report-off.jsonl --ascii
+	@test -s _smoke/report.html || { echo "report-smoke: empty report"; exit 1; }
+	@grep -q "</html>" _smoke/report.html || { echo "report-smoke: truncated HTML"; exit 1; }
+	@grep -q "<svg" _smoke/report.html || { echo "report-smoke: no chart in report"; exit 1; }
+	@echo "report-smoke: OK"
 
 # Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
 bench-par:

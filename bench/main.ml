@@ -850,12 +850,58 @@ let micro () =
            Sim.Trace.event trace_on ~at:0 ~id:"c0"
              (Sim.Trace.Segment_sent { seq = 42; len = 1448; push = true; retx = false })))
   in
+  (* Span milestones: the client/server emission sites first check the
+     socket's trace (an option) and its enabled flag, so with tracing
+     off the per-request cost is two branches and zero allocation. *)
+  let span_trace_opt : Sim.Trace.t option = Some trace_off in
+  let span_guarded f =
+    match span_trace_opt with
+    | Some tr when Sim.Trace.enabled tr -> f tr
+    | Some _ | None -> ()
+  in
+  let span_req_guarded_disabled =
+    Test.make ~name:"span.req_event_guarded_disabled"
+      (Staged.stage (fun () ->
+           span_guarded (fun tr ->
+               Sim.Trace.event tr ~at:0 ~id:"c0"
+                 (Sim.Trace.Req_issued { req = 42; off = 60_000; len = 72 }))))
+  in
+  let span_build_records =
+    List.concat
+      (List.init 256 (fun i ->
+           let t = i * 1_000 in
+           let off = i * 72 and roff = i * 12 in
+           [
+             { Sim.Trace.at = t; id = "c0";
+               event = Sim.Trace.Req_issued { req = i; off; len = 72 } };
+             { Sim.Trace.at = t + 100; id = "c0";
+               event = Sim.Trace.Req_sent { req = i } };
+             { Sim.Trace.at = t + 200; id = "c0";
+               event = Sim.Trace.Segment_sent { seq = off; len = 72; push = true; retx = false } };
+             { Sim.Trace.at = t + 300; id = "s0";
+               event = Sim.Trace.Segment_received { seq = off; fresh = 72 } };
+             { Sim.Trace.at = t + 400; id = "s0";
+               event = Sim.Trace.Srv_start { req = i } };
+             { Sim.Trace.at = t + 500; id = "s0";
+               event = Sim.Trace.Srv_reply { req = i; off = roff; len = 12 } };
+             { Sim.Trace.at = t + 600; id = "s0";
+               event = Sim.Trace.Segment_sent { seq = roff; len = 12; push = true; retx = false } };
+             { Sim.Trace.at = t + 700; id = "c0";
+               event = Sim.Trace.Segment_received { seq = roff; fresh = 12 } };
+             { Sim.Trace.at = t + 800; id = "c0";
+               event = Sim.Trace.Req_complete { req = i } };
+           ]))
+  in
+  let span_build =
+    Test.make ~name:"span.build_256req"
+      (Staged.stage (fun () -> ignore (Sim.Span.build span_build_records)))
+  in
   let tests =
     Test.make_grouped ~name:"e2e"
       [
         queue_state_track; get_avgs; encode; decode; option_codec; ewma; resp_parse;
         heap_poly; heap_mono; emitf_disabled; emitf_guarded_disabled; emitf_enabled;
-        event_guarded_disabled; event_enabled;
+        event_guarded_disabled; event_enabled; span_req_guarded_disabled; span_build;
       ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -899,6 +945,12 @@ let micro () =
           Sim.Trace.event trace_off ~at:0 ~id:"c0"
             (Sim.Trace.Segment_sent { seq = 42; len = 1448; push = true; retx = false }))
   in
+  let span_req_off_alloc =
+    alloc_per_op (fun () ->
+        span_guarded (fun tr ->
+            Sim.Trace.event tr ~at:0 ~id:"c0"
+              (Sim.Trace.Req_issued { req = 42; off = 60_000; len = 72 })))
+  in
   pf "\nAllocation (minor words/op, disabled trace):\n";
   pf "  trace.emitf_disabled         : %6.3f  (format-arg consumer closures;\n"
     emitf_off_alloc;
@@ -906,6 +958,8 @@ let micro () =
   pf "  trace.emitf_guarded_disabled : %6.3f  (must be 0)\n" emitf_guard_alloc;
   pf "  trace.event_guarded_disabled : %6.3f  (must be 0 — the hot-path pattern)\n"
     event_off_alloc;
+  pf "  span.req_event_guarded_disabled : %.3f  (must be 0 — per-request milestone)\n"
+    span_req_off_alloc;
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"section\": \"micro\",\n  \"ns_per_op\": {\n";
   let n = List.length rows in
@@ -923,10 +977,11 @@ let micro () =
     \  \"minor_words_per_op\": {\n\
     \    \"trace.emitf_disabled\": %.4f,\n\
     \    \"trace.emitf_guarded_disabled\": %.4f,\n\
-    \    \"trace.event_guarded_disabled\": %.4f\n\
+    \    \"trace.event_guarded_disabled\": %.4f,\n\
+    \    \"span.req_event_guarded_disabled\": %.4f\n\
     \  }\n\
      }\n"
-    emitf_off_alloc emitf_guard_alloc event_off_alloc;
+    emitf_off_alloc emitf_guard_alloc event_off_alloc span_req_off_alloc;
   close_out oc;
   pf "  wrote BENCH_micro.json\n";
   pf "\nA TRACK call is a handful of nanoseconds: cheap enough to run on every\n";

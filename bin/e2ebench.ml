@@ -238,6 +238,20 @@ let print_residual (r : Loadgen.Runner.result) =
     pf "estimator residual  : no estimate/ground-truth pairs\n"
   | None -> ()
 
+let print_audit (r : Loadgen.Runner.result) =
+  match r.observability with
+  | Some { audits = _ :: _ as audits; _ } ->
+    pf "little's-law audit  : worst |L-lW| rel err %.2f%% over %d queues\n"
+      (100.0
+      *. List.fold_left (fun m (a : Sim.Audit.report) -> Float.max m a.rel_err)
+           0.0 audits)
+      (List.length audits);
+    List.iter
+      (fun (a : Sim.Audit.report) ->
+        pf "  %s\n" (Format.asprintf "%a" Sim.Audit.pp_report a))
+      audits
+  | Some { audits = []; _ } | None -> ()
+
 (* {1 run} *)
 
 let run_cmd =
@@ -253,6 +267,7 @@ let run_cmd =
       let r = Loadgen.Runner.run { cfg with observe } in
       print_result r;
       print_residual r;
+      print_audit r;
       write_observability ~trace_out ~metrics_out [ (None, r) ];
       `Ok ()
   in
@@ -478,61 +493,309 @@ let inspect_run ~limit run (records : Sim.Trace.record list) =
         | _ -> None)
       records
   in
-  match E2e.Residual.summary_of_pairs pairs with
+  (match E2e.Residual.summary_of_pairs pairs with
   | Some s ->
     pf "  estimator residual: %s\n" (Format.asprintf "%a" E2e.Residual.pp_summary s)
-  | None -> pf "  estimator residual: no estimate/request pairs\n"
+  | None -> pf "  estimator residual: no estimate/request pairs\n");
+  (* causal spans: per-phase latency decomposition *)
+  let built = Sim.Span.build records in
+  pf "  spans: %d complete, %d incomplete\n" (List.length built.spans)
+    built.incomplete;
+  if built.spans <> [] then begin
+    pf "  %-14s %10s %10s %10s %10s\n" "phase" "p50" "p95" "p99" "mean";
+    List.iter
+      (fun (row : Sim.Span.row) ->
+        pf "  %-14s %8.2fus %8.2fus %8.2fus %8.2fus\n"
+          (Sim.Span.phase_name row.phase)
+          row.p50_us row.p95_us row.p99_us row.mean_us)
+      (Sim.Span.breakdown built.spans)
+  end;
+  List.iter
+    (fun (r : Sim.Trace.record) ->
+      match r.event with
+      | Sim.Trace.Audit_window _ ->
+        pf "  audit: %s\n" (Sim.Trace.detail r)
+      | _ -> ())
+    records;
+  built
+
+(* Group parsed (run label, record) pairs by run, first-appearance
+   order; the empty key stands for unlabelled single-run files. *)
+let group_runs all =
+  let runs = ref [] in
+  List.iter
+    (fun (run, r) ->
+      let key = Option.value run ~default:"" in
+      match List.assoc_opt key !runs with
+      | Some l -> l := r :: !l
+      | None -> runs := !runs @ [ (key, ref [ r ]) ])
+    all;
+  List.map (fun (key, l) -> (key, List.rev !l)) !runs
 
 let inspect_cmd =
   let file_arg =
     let doc = "JSONL trace file produced by --trace-out." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let limit_arg =
     let doc = "Timeline events to print per run." in
     Arg.(value & opt int 30 & info [ "limit" ] ~docv:"N" ~doc)
   in
-  let action file limit =
-    let ic = open_in file in
-    let parsed = ref [] in
-    let line_no = ref 0 in
-    let err = ref None in
-    (try
-       while !err = None do
-         let line = input_line ic in
-         incr line_no;
-         if String.trim line <> "" then
-           match Sim.Trace.record_of_json line with
-           | Ok rr -> parsed := rr :: !parsed
-           | Error msg ->
-             err := Some (Printf.sprintf "%s: line %d: %s" file !line_no msg)
-       done
-     with End_of_file -> ());
-    close_in ic;
-    match (!err, List.rev !parsed) with
-    | Some msg, _ -> fail "%s" msg
-    | None, [] -> fail "%s: no trace records" file
-    | None, all ->
-      (* group by run label, preserving first-appearance order *)
-      let runs = ref [] in
-      List.iter
-        (fun (run, r) ->
-          let key = Option.value run ~default:"" in
-          match List.assoc_opt key !runs with
-          | Some l -> l := r :: !l
-          | None -> runs := !runs @ [ (key, ref [ r ]) ])
-        all;
-      List.iter
-        (fun (key, records_rev) -> inspect_run ~limit key (List.rev !records_rev))
-        !runs;
-      `Ok ()
+  let request_arg =
+    let doc = "Print the critical path of request $(docv) (see --conn)." in
+    Arg.(value & opt (some int) None & info [ "request" ] ~docv:"N" ~doc)
   in
-  let term = Term.(ret (const action $ file_arg $ limit_arg)) in
+  let conn_arg =
+    let doc = "Connection the --request index refers to." in
+    Arg.(value & opt string "c0" & info [ "conn" ] ~docv:"ID" ~doc)
+  in
+  let action file limit request conn =
+    match Sim.Trace.load_jsonl file with
+    | Error msg -> fail "%s" msg
+    | Ok all ->
+      let runs = group_runs all in
+      let builts =
+        List.map
+          (fun (key, records) -> inspect_run ~limit key records)
+          runs
+      in
+      (match request with
+      | None -> `Ok ()
+      | Some req ->
+        let found =
+          List.concat_map (fun (b : Sim.Span.built) -> b.spans) builts
+          |> List.find_opt (fun (s : Sim.Span.span) ->
+                 s.req = req && String.equal s.conn conn)
+        in
+        (match found with
+        | Some span ->
+          pf "%s\n" (Format.asprintf "%a" Sim.Span.pp span);
+          `Ok ()
+        | None ->
+          fail "no complete span for request %d on %s (incomplete, or not in trace)"
+            req conn))
+  in
+  let term = Term.(ret (const action $ file_arg $ limit_arg $ request_arg $ conn_arg)) in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:
-         "Print per-connection timelines and the estimator-residual summary \
-          from a JSONL trace")
+         "Print per-connection timelines, the span latency decomposition and \
+          the estimator-residual summary from a JSONL trace")
+    term
+
+(* {1 report} *)
+
+(* One dataset per (file, run label): spans + audit verdicts + request
+   count, everything the report renders. *)
+type dataset = {
+  ds_label : string;
+  ds_built : Sim.Span.built;
+  ds_audits : Sim.Trace.record list;
+  ds_requests : int;
+}
+
+let datasets_of_file path =
+  match Sim.Trace.load_jsonl path with
+  | Error e -> Error e
+  | Ok all ->
+    Ok
+      (List.map
+         (fun (key, records) ->
+           let label =
+             if key = "" then Filename.basename path
+             else Printf.sprintf "%s:%s" (Filename.basename path) key
+           in
+           {
+             ds_label = label;
+             ds_built = Sim.Span.build records;
+             ds_audits =
+               List.filter
+                 (fun (r : Sim.Trace.record) ->
+                   match r.event with
+                   | Sim.Trace.Audit_window _ -> true
+                   | _ -> false)
+                 records;
+             ds_requests =
+               List.length
+                 (List.filter
+                    (fun (r : Sim.Trace.record) ->
+                      match r.event with
+                      | Sim.Trace.Request_done _ -> true
+                      | _ -> false)
+                    records);
+           })
+         (group_runs all))
+
+(* Stacked bars for a dataset: one bar per percentile, one segment per
+   phase.  Interleaved across datasets by [bars_for_all] so same
+   percentiles of the two runs sit next to each other. *)
+let bars_for ds =
+  let rows = Sim.Span.breakdown ds.ds_built.spans in
+  List.map
+    (fun (pct, pick) ->
+      {
+        Report.Stacked.label = Printf.sprintf "%s %s" ds.ds_label pct;
+        segs =
+          List.map
+            (fun (row : Sim.Span.row) ->
+              { Report.Stacked.name = Sim.Span.phase_name row.phase;
+                value = pick row })
+            rows;
+      })
+    [ ("p50", fun (r : Sim.Span.row) -> r.p50_us);
+      ("p95", fun r -> r.p95_us);
+      ("p99", fun r -> r.p99_us) ]
+
+let bars_for_all datasets =
+  match List.map bars_for datasets with
+  | [] -> []
+  | first :: rest ->
+    (* transpose: [A p50; B p50; A p95; B p95; ...] *)
+    List.concat
+      (List.mapi
+         (fun i bar -> bar :: List.map (fun bars -> List.nth bars i) rest)
+         first)
+
+let audit_table_rows ds =
+  List.filter_map
+    (fun (r : Sim.Trace.record) ->
+      match r.event with
+      | Sim.Trace.Audit_window { queue; l_avg; lambda_per_s; w_us; rel_err } ->
+        Some
+          [ queue; Printf.sprintf "%.4f" l_avg;
+            Printf.sprintf "%.1f" lambda_per_s; Printf.sprintf "%.2f" w_us;
+            Printf.sprintf "%.2f%%" (100.0 *. rel_err) ]
+      | _ -> None)
+    ds.ds_audits
+
+let summary_table datasets =
+  let pct spans q =
+    let a = Array.of_list (List.map Sim.Span.latency_us spans) in
+    Array.sort Stdlib.compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(Stdlib.max 0 (Stdlib.min (n - 1)
+                            (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+  in
+  Report.Html.table
+    ~header:[ "run"; "requests"; "spans"; "incomplete"; "e2e p50"; "e2e p95"; "e2e p99" ]
+    (List.map
+       (fun ds ->
+         let spans = ds.ds_built.Sim.Span.spans in
+         [ ds.ds_label;
+           string_of_int ds.ds_requests;
+           string_of_int (List.length spans);
+           string_of_int ds.ds_built.Sim.Span.incomplete;
+           Printf.sprintf "%.1fus" (pct spans 0.50);
+           Printf.sprintf "%.1fus" (pct spans 0.95);
+           Printf.sprintf "%.1fus" (pct spans 0.99) ])
+       datasets)
+
+let report_html datasets =
+  let bars = bars_for_all datasets in
+  let body =
+    Report.Html.section ~title:"Runs" (summary_table datasets)
+    ^ Report.Html.section ~title:"Per-phase latency breakdown"
+        (Report.Html.paragraph
+           "Each bar decomposes the given percentile of end-to-end request \
+            latency into its causal phases; all bars share one scale."
+        ^ Report.Html.figure
+            ~caption:
+              "Stacked per-phase p50/p95/p99; hover a segment for its value."
+            (Report.Stacked.render_svg bars))
+    ^ String.concat ""
+        (List.map
+           (fun ds ->
+             match audit_table_rows ds with
+             | [] -> ""
+             | rows ->
+               Report.Html.section
+                 ~title:(Printf.sprintf "Little's-law audit — %s" ds.ds_label)
+                 (Report.Html.table
+                    ~header:[ "queue"; "L (avg occupancy)"; "lambda (/s)";
+                              "W (us)"; "|L-lW| rel err" ]
+                    rows))
+           datasets)
+  in
+  Report.Html.page ~title:"e2ebench report" ~body
+
+let report_ascii datasets =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Report.Stacked.render_ascii (bars_for_all datasets));
+  List.iter
+    (fun ds ->
+      Buffer.add_string b
+        (Printf.sprintf "\n%s: %d spans (%d incomplete)\n" ds.ds_label
+           (List.length ds.ds_built.Sim.Span.spans)
+           ds.ds_built.Sim.Span.incomplete);
+      List.iter
+        (fun (r : Sim.Trace.record) ->
+          Buffer.add_string b
+            (Printf.sprintf "  audit %s\n" (Sim.Trace.detail r)))
+        ds.ds_audits)
+    datasets;
+  Buffer.contents b
+
+let report_cmd =
+  let file_arg =
+    let doc = "JSONL trace file produced by --trace-out." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let compare_arg =
+    let doc = "Second trace to compare side by side." in
+    Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output HTML path." in
+    Arg.(value & opt string "report.html" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let ascii_arg =
+    let doc = "Print an ASCII rendering to stdout instead of writing HTML." in
+    Arg.(value & flag & info [ "ascii" ] ~doc)
+  in
+  let action file compare out ascii =
+    let ( let* ) = Result.bind in
+    let datasets =
+      let* a = datasets_of_file file in
+      match compare with
+      | None -> Ok a
+      | Some b ->
+        let* b = datasets_of_file b in
+        Ok (a @ b)
+    in
+    match datasets with
+    | Error e -> fail "%s" e
+    | Ok [] -> fail "no datasets"
+    | Ok datasets ->
+      if List.for_all (fun ds -> ds.ds_built.Sim.Span.spans = []) datasets then
+        fail
+          "no complete spans in input (trace ring too small, or written by an \
+           older version?)"
+      else if ascii then begin
+        print_string (report_ascii datasets);
+        `Ok ()
+      end
+      else begin
+        let html = report_html datasets in
+        if not (Report.Html.well_formed html) then
+          fail "internal error: generated HTML is not well-formed"
+        else begin
+          with_out out (fun oc -> output_string oc html);
+          pf "report              : %d datasets, %d bytes -> %s\n"
+            (List.length datasets) (String.length html) out;
+          `Ok ()
+        end
+      end
+  in
+  let term =
+    Term.(ret (const action $ file_arg $ compare_arg $ out_arg $ ascii_arg))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render per-phase latency breakdowns and Little's-law audits from \
+          trace files as a self-contained HTML page (or ASCII with --ascii)")
     term
 
 (* {1 model} *)
@@ -570,4 +833,5 @@ let () =
   let info = Cmd.info "e2ebench" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; sweep_cmd; model_cmd; trace_cmd; inspect_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; model_cmd; trace_cmd; inspect_cmd; report_cmd ]))

@@ -7,6 +7,8 @@ type t = {
   mutable remote_latest : Exchange.triple option;
   mutable trace : Sim.Trace.t option;
   mutable trace_id : string;
+  mutable audit : (Sim.Audit.queue * Sim.Audit.queue * Sim.Audit.queue) option;
+      (* (unacked, unread, ackdelay) Little's-law audit mirrors *)
 }
 
 let triple_at estim ~at : Exchange.triple =
@@ -33,15 +35,39 @@ let create ~at =
     remote_latest = None;
     trace = None;
     trace_id = "";
+    audit = None;
   }
 
 let set_trace t tr ~id =
   t.trace <- Some tr;
   t.trace_id <- id
 
-let track_unacked t ~at n = Queue_state.track t.unacked ~at n
-let track_unread t ~at n = Queue_state.track t.unread ~at n
-let track_ackdelay t ~at n = Queue_state.track t.ackdelay ~at n
+let set_audit t au ~prefix =
+  t.audit <-
+    Some
+      ( Sim.Audit.queue au (prefix ^ ".unacked"),
+        Sim.Audit.queue au (prefix ^ ".unread"),
+        Sim.Audit.queue au (prefix ^ ".ackdelay") )
+
+(* The audit mirrors are passive bookkeeping (no engine interaction),
+   so attaching them cannot perturb the run. *)
+let track_unacked t ~at n =
+  Queue_state.track t.unacked ~at n;
+  match t.audit with
+  | Some (q, _, _) -> Sim.Audit.track q ~at n
+  | None -> ()
+
+let track_unread t ~at n =
+  Queue_state.track t.unread ~at n;
+  match t.audit with
+  | Some (_, q, _) -> Sim.Audit.track q ~at n
+  | None -> ()
+
+let track_ackdelay t ~at n =
+  Queue_state.track t.ackdelay ~at n;
+  match t.audit with
+  | Some (_, _, q) -> Sim.Audit.track q ~at n
+  | None -> ()
 
 let unacked_size t = Queue_state.size t.unacked
 let unread_size t = Queue_state.size t.unread

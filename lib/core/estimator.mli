@@ -82,3 +82,9 @@ val set_trace : t -> Sim.Trace.t -> id:string -> unit
 (** Emit [Share_ingested] on {!ingest_remote} (timestamped with the
     peer's snapshot time) and [Estimate_computed] on every successful
     {!estimate} into [trace], labelled [id]. *)
+
+val set_audit : t -> Sim.Audit.t -> prefix:string -> unit
+(** Mirror every {!track_unacked}/{!track_unread}/{!track_ackdelay}
+    delta into Little's-law audit queues named [prefix ^ ".unacked"],
+    [".unread"], [".ackdelay"].  Pure bookkeeping: auditing a run
+    cannot change its results. *)

@@ -24,7 +24,22 @@ type t = {
   mutable busy : bool;
   mutable issued : int;
   mutable completed : int;
+  mutable next_off : int;  (* stream offset of the next command byte *)
 }
+
+(* Request-lifecycle trace events ride on the socket's trace ring under
+   the socket's label, so `Sim.Span` can correlate them with segment
+   events by connection.  Payload construction is guarded on
+   [span_tracing] — emission is branch-only when tracing is off. *)
+let span_tracing t =
+  match Tcp.Socket.trace t.socket with
+  | Some tr -> Sim.Trace.enabled tr
+  | None -> false
+
+let span_event t ~at ev =
+  match Tcp.Socket.trace t.socket with
+  | Some tr -> Sim.Trace.event tr ~at ~id:(Tcp.Socket.label t.socket) ev
+  | None -> ()
 
 let scale mult span =
   int_of_float (Float.round (float_of_int span *. mult))
@@ -46,6 +61,7 @@ let rec create engine ~cpu ~socket cfg =
       busy = false;
       issued = 0;
       completed = 0;
+      next_off = 0;
     }
   in
   Tcp.Socket.set_hint_provider socket (fun ~at -> E2e.Hints.share t.hints ~at);
@@ -72,6 +88,8 @@ and process t =
     in
     let latency = Sim.Time.diff now rec_.issued_at in
     t.completed <- t.completed + 1;
+    if span_tracing t then
+      span_event t ~at:now (Sim.Trace.Req_complete { req = t.completed - 1 });
     Sim.Stats.P2.add t.tail (float_of_int latency);
     E2e.Hints.complete t.hints ~at:now 1;
     rec_.on_complete ~latency reply;
@@ -82,11 +100,19 @@ and process t =
 
 let request t cmd ~on_complete =
   let now = Sim.Engine.now t.engine in
+  let req = t.issued in
   t.issued <- t.issued + 1;
   E2e.Hints.create t.hints ~at:now 1;
   Queue.add { issued_at = now; on_complete } t.pending;
   let wire = Resp.encode (Command.to_resp cmd) in
-  Sim.Cpu.run t.cpu ~cost:t.send_cost (fun () -> Tcp.Socket.send t.socket wire)
+  if span_tracing t then
+    span_event t ~at:now
+      (Sim.Trace.Req_issued { req; off = t.next_off; len = String.length wire });
+  t.next_off <- t.next_off + String.length wire;
+  Sim.Cpu.run t.cpu ~cost:t.send_cost (fun () ->
+      if span_tracing t then
+        span_event t ~at:(Sim.Engine.now t.engine) (Sim.Trace.Req_sent { req });
+      Tcp.Socket.send t.socket wire)
 
 let outstanding t = Queue.length t.pending
 let issued t = t.issued

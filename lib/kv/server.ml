@@ -13,8 +13,23 @@ type t = {
   mutable served : int;
   mutable wakeups : int;
   mutable empty_wakeups : int;
+  mutable req_seq : int;  (* next request index to dequeue (FIFO) *)
+  mutable reply_off : int;  (* stream offset of the next reply byte *)
   batch_sizes : Sim.Stats.Summary.t;
 }
+
+(* Request-lifecycle trace events, labelled with the server socket's
+   label so `Sim.Span` can pair them with the client side (c<i> ↔ s<i>).
+   Payload construction is guarded on [span_tracing]. *)
+let span_tracing t =
+  match Tcp.Socket.trace t.socket with
+  | Some tr -> Sim.Trace.enabled tr
+  | None -> false
+
+let span_event t ~at ev =
+  match Tcp.Socket.trace t.socket with
+  | Some tr -> Sim.Trace.event tr ~at ~id:(Tcp.Socket.label t.socket) ev
+  | None -> ()
 
 let drain_requests t =
   let rec go acc =
@@ -39,14 +54,28 @@ and process t =
   let k = List.length requests in
   if k = 0 then t.empty_wakeups <- t.empty_wakeups + 1
   else Sim.Stats.Summary.add t.batch_sizes (float_of_int k);
+  let first_req = t.req_seq in
+  t.req_seq <- t.req_seq + k;
+  if k > 0 && span_tracing t then begin
+    let at = Sim.Engine.now t.engine in
+    for j = 0 to k - 1 do
+      span_event t ~at (Sim.Trace.Srv_start { req = first_req + j })
+    done
+  end;
   let cost = t.cfg.beta + (k * t.cfg.alpha) in
   Sim.Cpu.run t.cpu ~cost (fun () ->
       let now = Sim.Engine.now t.engine in
-      List.iter
-        (fun cmd ->
+      List.iteri
+        (fun j cmd ->
           let reply = Command.execute t.store ~now cmd in
           t.served <- t.served + 1;
-          Tcp.Socket.send t.socket (Resp.encode reply))
+          let wire = Resp.encode reply in
+          if span_tracing t then
+            span_event t ~at:now
+              (Sim.Trace.Srv_reply
+                 { req = first_req + j; off = t.reply_off; len = String.length wire });
+          t.reply_off <- t.reply_off + String.length wire;
+          Tcp.Socket.send t.socket wire)
         requests;
       t.busy <- false;
       (* Data may have accumulated while we were processing. *)
@@ -66,6 +95,8 @@ let create engine ~cpu ~socket ?(store = Store.create ()) cfg =
       served = 0;
       wakeups = 0;
       empty_wakeups = 0;
+      req_seq = 0;
+      reply_off = 0;
       batch_sizes = Sim.Stats.Summary.create ();
     }
   in

@@ -15,6 +15,7 @@ type output = {
   samples : Sim.Metrics.sample list;
   residual_pairs : E2e.Residual.pair list;
   residual : E2e.Residual.summary option;
+  audits : Sim.Audit.report list;
 }
 
 type t = {
@@ -22,6 +23,8 @@ type t = {
   metrics : Sim.Metrics.t;
   interval : Sim.Time.span;
   residual : E2e.Residual.t;
+  audit : Sim.Audit.t;
+  mutable audits : Sim.Audit.report list;
   mutable samples_rev : Sim.Metrics.sample list;
   mutable reqs_rev : (float * float) list;
       (* (completion time us, latency us), newest first *)
@@ -37,6 +40,8 @@ let create (cfg : config) =
     metrics = Sim.Metrics.create ();
     interval = cfg.sample_interval;
     residual = E2e.Residual.create ();
+    audit = Sim.Audit.create ();
+    audits = [];
     samples_rev = [];
     reqs_rev = [];
   }
@@ -44,6 +49,12 @@ let create (cfg : config) =
 let trace t = t.trace
 let metrics t = t.metrics
 let interval t = t.interval
+let audit t = t.audit
+
+let finalize_audit t ~at =
+  let reports = Sim.Audit.report t.audit ~at in
+  t.audits <- reports;
+  reports
 
 let note_request t ~at ~latency =
   let latency_us = Sim.Time.to_us latency in
@@ -81,4 +92,5 @@ let output t =
     samples = List.rev t.samples_rev;
     residual_pairs = E2e.Residual.pairs t.residual;
     residual = E2e.Residual.summary t.residual;
+    audits = t.audits;
   }

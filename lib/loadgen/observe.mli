@@ -23,6 +23,9 @@ type output = {
   samples : Sim.Metrics.sample list;  (** oldest first *)
   residual_pairs : E2e.Residual.pair list;
   residual : E2e.Residual.summary option;
+  audits : Sim.Audit.report list;
+      (** Little's-law audit per queue over the measured window
+          (registration order); empty until {!finalize_audit}. *)
 }
 (** Pure data: safe for structural equality and cross-domain moves. *)
 
@@ -34,6 +37,14 @@ val create : config -> t
 val trace : t -> Sim.Trace.t
 val metrics : t -> Sim.Metrics.t
 val interval : t -> Sim.Time.span
+
+val audit : t -> Sim.Audit.t
+(** The Little's-law audit registry; {!Runner.run} attaches it to every
+    socket's estimator and resets its window at warmup end. *)
+
+val finalize_audit : t -> at:Sim.Time.t -> Sim.Audit.report list
+(** Close the audit window at [at], store the per-queue reports so
+    {!output} carries them, and return them. *)
 
 val note_request : t -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
 (** Log one completed request (the residual ground-truth source) and

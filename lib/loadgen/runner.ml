@@ -231,7 +231,12 @@ let run cfg =
   (match obs with
   | Some o ->
     let tr = Observe.trace o in
-    List.iter (fun sock -> Tcp.Socket.set_trace sock tr)
+    let au = Observe.audit o in
+    List.iter
+      (fun sock ->
+        Tcp.Socket.set_trace sock tr;
+        E2e.Estimator.set_audit (Tcp.Socket.estimator sock) au
+          ~prefix:(Tcp.Socket.label sock))
       (client_socks @ server_socks)
   | None -> ());
   let servers =
@@ -473,6 +478,9 @@ let run cfg =
     (Sim.Engine.schedule_at engine ~at:warmup_until (fun () ->
          let at = Sim.Engine.now engine in
          List.iter (fun e -> ignore (E2e.Estimator.estimate e ~at)) estimators;
+         (match obs with
+         | Some o -> Sim.Audit.reset_window (Observe.audit o) ~at
+         | None -> ());
          baseline :=
            Some
              {
@@ -493,6 +501,24 @@ let run cfg =
              }));
   Sim.Engine.run_until engine total;
   let at = Sim.Engine.now engine in
+  (* Close the Little's-law audit window and put each queue's verdict
+     on the trace before [Observe.output] snapshots the ring. *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reports = Observe.finalize_audit o ~at in
+    List.iter
+      (fun (r : Sim.Audit.report) ->
+        Sim.Trace.event (Observe.trace o) ~at ~id:""
+          (Sim.Trace.Audit_window
+             {
+               queue = r.queue;
+               l_avg = r.l_avg;
+               lambda_per_s = r.lambda_per_s;
+               w_us = r.w_us;
+               rel_err = r.rel_err;
+             }))
+      reports);
   let base =
     match !baseline with
     | Some b -> b

@@ -1,0 +1,129 @@
+(* Minimal self-contained HTML emission: no external assets, no
+   dependencies — everything (style included) is inlined so a report
+   file can be mailed around or opened from CI artifacts as-is. *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#39;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let style =
+  {css|
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #1a1a2e; padding-bottom: .4rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .85rem;
+        font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid #c8c8d0; padding: .3rem .6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead th { background: #eceff4; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #555; margin-top: .3rem; }
+.note { font-size: .85rem; color: #555; }
+|css}
+
+let section ~title body =
+  Printf.sprintf "<section>\n<h2>%s</h2>\n%s\n</section>" (escape title) body
+
+let table ~header rows =
+  let cells tag row =
+    String.concat ""
+      (List.map (fun c -> Printf.sprintf "<%s>%s</%s>" tag (escape c) tag) row)
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "<table>\n<thead><tr>";
+  Buffer.add_string b (cells "th" header);
+  Buffer.add_string b "</tr></thead>\n<tbody>\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string b "<tr>";
+      Buffer.add_string b (cells "td" row);
+      Buffer.add_string b "</tr>\n")
+    rows;
+  Buffer.add_string b "</tbody>\n</table>";
+  Buffer.contents b
+
+let paragraph ?(cls = "") text =
+  if cls = "" then Printf.sprintf "<p>%s</p>" (escape text)
+  else Printf.sprintf "<p class=\"%s\">%s</p>" cls (escape text)
+
+let figure ~caption svg =
+  Printf.sprintf "<figure>\n%s\n<figcaption>%s</figcaption>\n</figure>" svg
+    (escape caption)
+
+let page ~title ~body =
+  Printf.sprintf
+    {|<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%s</title>
+<style>%s</style>
+</head>
+<body>
+<h1>%s</h1>
+%s
+</body>
+</html>
+|}
+    (escape title) style (escape title) body
+
+(* Crude well-formedness check used by tests and `make report-smoke`:
+   every opened tag must be closed in LIFO order (void elements and
+   self-closing tags skipped).  Not a full parser — enough to catch
+   truncated output and unbalanced string concatenation. *)
+let void_tags = [ "meta"; "br"; "hr"; "img"; "link"; "input" ]
+
+let well_formed html =
+  let n = String.length html in
+  let stack = ref [] in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    (match String.index_from_opt html !i '<' with
+    | None -> i := n
+    | Some lt -> (
+      match String.index_from_opt html lt '>' with
+      | None ->
+        ok := false;
+        i := n
+      | Some gt ->
+        let inner = String.sub html (lt + 1) (gt - lt - 1) in
+        i := gt + 1;
+        if inner = "" || inner.[0] = '!' || inner.[0] = '?' then ()
+        else if inner.[String.length inner - 1] = '/' then ()
+        else begin
+          let closing = inner.[0] = '/' in
+          let name_part =
+            if closing then String.sub inner 1 (String.length inner - 1)
+            else inner
+          in
+          let name =
+            match String.index_opt name_part ' ' with
+            | Some sp -> String.sub name_part 0 sp
+            | None -> (
+              match String.index_opt name_part '\n' with
+              | Some nl -> String.sub name_part 0 nl
+              | None -> name_part)
+          in
+          let name = String.lowercase_ascii name in
+          if List.mem name void_tags then ()
+          else if closing then
+            match !stack with
+            | top :: rest when String.equal top name -> stack := rest
+            | _ -> ok := false
+          else stack := name :: !stack
+        end));
+    ()
+  done;
+  !ok && !stack = []

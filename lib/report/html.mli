@@ -1,0 +1,27 @@
+(** Self-contained HTML emission for `e2ebench report`.
+
+    No external assets: style is inlined and charts are inline SVG, so
+    the emitted file renders anywhere as-is. *)
+
+val escape : string -> string
+(** HTML-escape ampersand, angle brackets and both quote characters. *)
+
+val section : title:string -> string -> string
+(** [<section><h2>title</h2>body</section>]; [title] is escaped, the
+    body is raw HTML. *)
+
+val table : header:string list -> string list list -> string
+(** All cells are escaped; first column is left-aligned. *)
+
+val paragraph : ?cls:string -> string -> string
+(** Escaped paragraph, optionally with a CSS class. *)
+
+val figure : caption:string -> string -> string
+(** Wrap raw SVG in [<figure>] with an escaped caption. *)
+
+val page : title:string -> body:string -> string
+(** Full document: doctype, inline style, [<h1>], then the raw body. *)
+
+val well_formed : string -> bool
+(** Crude tag-balance check (LIFO open/close, void elements skipped).
+    Catches truncated or unbalanced output; not a full parser. *)

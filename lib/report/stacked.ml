@@ -1,0 +1,151 @@
+(* Horizontal stacked bar charts — one bar per (run, percentile), one
+   segment per latency phase — emitted as inline SVG for the HTML
+   report and as fixed-width text for terminals.  Rendering is fully
+   deterministic: colors are assigned by first appearance of a segment
+   name, geometry is derived from the data only. *)
+
+type seg = { name : string; value : float }
+type bar = { label : string; segs : seg list }
+
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948";
+     "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+
+(* Segment name -> color, stable across bars and runs: first
+   appearance order over the whole bar list decides. *)
+let color_map bars =
+  let order = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if not (List.mem_assoc s.name !order) then begin
+            order := !order @ [ (s.name, palette.(!n mod Array.length palette)) ];
+            incr n
+          end)
+        b.segs)
+    bars;
+  !order
+
+let total b = List.fold_left (fun acc s -> acc +. s.value) 0.0 b.segs
+
+let fmt_val v =
+  if v >= 100.0 then Printf.sprintf "%.0f" v
+  else if v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let render_svg ?(width = 840) ?(unit = "us") bars =
+  let colors = color_map bars in
+  let label_w = 190 in
+  let value_w = 80 in
+  let bar_h = 22 in
+  let gap = 8 in
+  let legend_h = 28 in
+  let plot_w = width - label_w - value_w in
+  let scale = List.fold_left (fun acc b -> Float.max acc (total b)) 0.0 bars in
+  let scale = if scale <= 0.0 then 1.0 else scale in
+  let n = List.length bars in
+  let height = legend_h + (n * (bar_h + gap)) + gap in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+       width height width height);
+  (* legend *)
+  let lx = ref label_w in
+  List.iter
+    (fun (name, color) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"6\" width=\"12\" height=\"12\" fill=\"%s\"/>\n"
+           !lx color);
+      Buffer.add_string b
+        (Printf.sprintf "<text x=\"%d\" y=\"16\">%s</text>\n" (!lx + 16)
+           (Html.escape name));
+      lx := !lx + 16 + (8 * String.length name) + 18)
+    colors;
+  (* bars *)
+  List.iteri
+    (fun i bar ->
+      let y = legend_h + (i * (bar_h + gap)) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n"
+           (label_w - 8)
+           (y + (bar_h / 2) + 4)
+           (Html.escape bar.label));
+      let x = ref (float_of_int label_w) in
+      List.iter
+        (fun s ->
+          let w = s.value /. scale *. float_of_int plot_w in
+          if w > 0.0 then begin
+            let color =
+              match List.assoc_opt s.name colors with
+              | Some c -> c
+              | None -> "#888888"
+            in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" \
+                  fill=\"%s\"><title>%s: %s%s</title></rect>\n"
+                 !x y w bar_h color
+                 (Html.escape s.name)
+                 (fmt_val s.value) unit);
+            x := !x +. w
+          end)
+        bar.segs;
+      Buffer.add_string b
+        (Printf.sprintf "<text x=\"%.2f\" y=\"%d\">%s%s</text>\n" (!x +. 6.0)
+           (y + (bar_h / 2) + 4)
+           (fmt_val (total bar))
+           unit))
+    bars;
+  Buffer.add_string b "</svg>";
+  Buffer.contents b
+
+let render_ascii ?(width = 60) ?(unit = "us") bars =
+  let colors = color_map bars in
+  let letters = "abcdefghijklmnopqrstuvwxyz" in
+  let letter_of =
+    List.mapi (fun i (name, _) -> (name, letters.[i mod String.length letters]))
+      colors
+  in
+  let scale = List.fold_left (fun acc b -> Float.max acc (total b)) 0.0 bars in
+  let scale = if scale <= 0.0 then 1.0 else scale in
+  let label_w =
+    List.fold_left (fun acc b -> Stdlib.max acc (String.length b.label)) 0 bars
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun bar ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |" label_w bar.label);
+      (* Largest-remainder apportionment of [width] cells so the drawn
+         length matches the bar's share of the scale. *)
+      let cells = total bar /. scale *. float_of_int width in
+      let drawn = ref 0 in
+      let acc = ref 0.0 in
+      List.iter
+        (fun s ->
+          acc := !acc +. (s.value /. total bar *. cells);
+          let upto = int_of_float (Float.round !acc) in
+          let n = Stdlib.max 0 (upto - !drawn) in
+          let c =
+            match List.assoc_opt s.name letter_of with
+            | Some c -> c
+            | None -> '?'
+          in
+          Buffer.add_string buf (String.make n c);
+          drawn := !drawn + n)
+        (if total bar > 0.0 then bar.segs else []);
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%s\n" (fmt_val (total bar)) unit))
+    bars;
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun (name, c) ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" c name))
+    letter_of;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Horizontal stacked bar charts (SVG + ASCII) for per-phase latency
+    breakdowns.
+
+    Deterministic rendering: segment colors/letters are assigned by
+    first appearance of the segment name across the whole bar list, so
+    the same phase gets the same color in every bar and both charts of
+    a two-run comparison. *)
+
+type seg = { name : string; value : float }
+
+type bar = { label : string; segs : seg list }
+(** One horizontal bar, e.g. ["run A p95"], left-to-right segments. *)
+
+val total : bar -> float
+
+val render_svg : ?width:int -> ?unit:string -> bar list -> string
+(** Inline [<svg>] element: legend on top, one labelled bar per entry,
+    totals on the right, hover titles per segment.  All bars share one
+    scale (the largest total). *)
+
+val render_ascii : ?width:int -> ?unit:string -> bar list -> string
+(** Fixed-width text rendering with one letter per phase and a legend
+    underneath; cells are apportioned by largest remainder so drawn
+    lengths track the shared scale. *)

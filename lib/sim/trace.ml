@@ -24,6 +24,18 @@ type event =
       window_us : float;
     }
   | Request_done of { latency_us : float }
+  | Req_issued of { req : int; off : int; len : int }
+  | Req_sent of { req : int }
+  | Req_complete of { req : int }
+  | Srv_start of { req : int }
+  | Srv_reply of { req : int; off : int; len : int }
+  | Audit_window of {
+      queue : string;
+      l_avg : float;
+      lambda_per_s : float;
+      w_us : float;
+      rel_err : float;
+    }
   | Message of { tag : string; detail : string }
 
 type record = { at : Time.t; id : string; event : event }
@@ -102,6 +114,12 @@ let tag r =
   | Share_ingested _ -> "share"
   | Estimate_computed _ -> "estimate"
   | Request_done _ -> "request"
+  | Req_issued _ -> "req_issued"
+  | Req_sent _ -> "req_sent"
+  | Req_complete _ -> "req_complete"
+  | Srv_start _ -> "srv_start"
+  | Srv_reply _ -> "srv_reply"
+  | Audit_window _ -> "audit"
   | Message { tag; _ } -> tag
 
 let detail r =
@@ -127,6 +145,14 @@ let detail r =
         (match latency_us with Some l -> Printf.sprintf "%.2f" l | None -> "-")
         throughput window_us
   | Request_done { latency_us } -> Printf.sprintf "latency_us=%.2f" latency_us
+  | Req_issued { req; off; len } -> Printf.sprintf "req=%d off=%d len=%d" req off len
+  | Req_sent { req } -> Printf.sprintf "req=%d" req
+  | Req_complete { req } -> Printf.sprintf "req=%d" req
+  | Srv_start { req } -> Printf.sprintf "req=%d" req
+  | Srv_reply { req; off; len } -> Printf.sprintf "req=%d off=%d len=%d" req off len
+  | Audit_window { queue; l_avg; lambda_per_s; w_us; rel_err } ->
+      Printf.sprintf "queue=%s L=%.3f lambda=%.1f/s W=%.2fus err=%.4f" queue l_avg
+        lambda_per_s w_us rel_err
   | Message { detail; _ } -> detail
 
 let find t ~tag:wanted =
@@ -235,6 +261,32 @@ let record_to_json ?run r =
   | Request_done { latency_us } ->
       add_str b "ev" "request";
       add_float b "latency_us" latency_us
+  | Req_issued { req; off; len } ->
+      add_str b "ev" "req_issued";
+      add_int b "req" req;
+      add_int b "off" off;
+      add_int b "len" len
+  | Req_sent { req } ->
+      add_str b "ev" "req_sent";
+      add_int b "req" req
+  | Req_complete { req } ->
+      add_str b "ev" "req_complete";
+      add_int b "req" req
+  | Srv_start { req } ->
+      add_str b "ev" "srv_start";
+      add_int b "req" req
+  | Srv_reply { req; off; len } ->
+      add_str b "ev" "srv_reply";
+      add_int b "req" req;
+      add_int b "off" off;
+      add_int b "len" len
+  | Audit_window { queue; l_avg; lambda_per_s; w_us; rel_err } ->
+      add_str b "ev" "audit";
+      add_str b "queue" queue;
+      add_float b "l" l_avg;
+      add_float b "lambda" lambda_per_s;
+      add_float b "w_us" w_us;
+      add_float b "rel_err" rel_err
   | Message { tag; detail } ->
       add_str b "ev" "msg";
       add_str b "tag" tag;
@@ -461,6 +513,32 @@ let record_of_json line =
     | "request" ->
         let* latency_us = num fields "latency_us" in
         Ok (Request_done { latency_us })
+    | "req_issued" ->
+        let* req = int_field fields "req" in
+        let* off = int_field fields "off" in
+        let* len = int_field fields "len" in
+        Ok (Req_issued { req; off; len })
+    | "req_sent" ->
+        let* req = int_field fields "req" in
+        Ok (Req_sent { req })
+    | "req_complete" ->
+        let* req = int_field fields "req" in
+        Ok (Req_complete { req })
+    | "srv_start" ->
+        let* req = int_field fields "req" in
+        Ok (Srv_start { req })
+    | "srv_reply" ->
+        let* req = int_field fields "req" in
+        let* off = int_field fields "off" in
+        let* len = int_field fields "len" in
+        Ok (Srv_reply { req; off; len })
+    | "audit" ->
+        let* queue = str fields "queue" in
+        let* l_avg = num fields "l" in
+        let* lambda_per_s = num fields "lambda" in
+        let* w_us = num fields "w_us" in
+        let* rel_err = num fields "rel_err" in
+        Ok (Audit_window { queue; l_avg; lambda_per_s; w_us; rel_err })
     | "msg" ->
         let* tag = str fields "tag" in
         let* detail = str fields "detail" in
@@ -468,3 +546,31 @@ let record_of_json line =
     | other -> Error (Printf.sprintf "unknown event type %S" other)
   in
   Ok (run, { at = at_ns; id; event })
+
+(* Load a whole JSONL trace file.  Missing/unreadable files, malformed
+   lines and files with no records at all are reported as [Error] so
+   callers (the inspect/report CLIs) can exit non-zero with one clear
+   message instead of silently doing nothing. *)
+let load_jsonl path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let parsed = ref [] in
+      let line_no = ref 0 in
+      let err = ref None in
+      (try
+         while !err = None do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then
+             match record_of_json line with
+             | Ok rr -> parsed := rr :: !parsed
+             | Error msg ->
+                 err := Some (Printf.sprintf "%s: line %d: %s" path !line_no msg)
+         done
+       with End_of_file -> ());
+      close_in ic;
+      match (!err, List.rev !parsed) with
+      | Some msg, _ -> Error msg
+      | None, [] -> Error (Printf.sprintf "%s: no trace records" path)
+      | None, records -> Ok records

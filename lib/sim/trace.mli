@@ -35,6 +35,27 @@ type event =
       window_us : float;
     }
   | Request_done of { latency_us : float }
+  | Req_issued of { req : int; off : int; len : int }
+      (** Application issued request [req] (0-based, FIFO per
+          connection); its command occupies stream bytes
+          [\[off, off+len)] of the client-to-server direction. *)
+  | Req_sent of { req : int }
+      (** The client app's write for [req] reached the socket (the
+          send-CPU cost has been paid). *)
+  | Req_complete of { req : int }
+      (** The client parsed the full reply for [req]. *)
+  | Srv_start of { req : int }
+      (** The server application dequeued [req] into a batch. *)
+  | Srv_reply of { req : int; off : int; len : int }
+      (** The server wrote the reply for [req]; it occupies stream
+          bytes [\[off, off+len)] of the server-to-client direction. *)
+  | Audit_window of {
+      queue : string;
+      l_avg : float;  (** time-averaged occupancy L over the window *)
+      lambda_per_s : float;  (** arrival rate λ, units per second *)
+      w_us : float;  (** measured mean wait W, microseconds *)
+      rel_err : float;  (** |L − λW| / max(L, λW); Little's-law check *)
+    }  (** One Little's-law audit window result (see {!Audit}). *)
   | Message of { tag : string; detail : string }
       (** Escape hatch for ad-hoc string traces ([emit]/[emitf]). *)
 
@@ -104,3 +125,9 @@ val record_to_json : ?run:string -> record -> string
 val record_of_json : string -> (string option * record, string) result
 (** Parse one line back into an optional run label and a record.
     Returns [Error msg] on malformed input. *)
+
+val load_jsonl : string -> ((string option * record) list, string) result
+(** Load every record of a JSONL trace file, in file order.  Returns
+    [Error] with a human-readable message when the file is missing or
+    unreadable, when any line fails to parse (with its line number),
+    or when the file contains no records at all. *)

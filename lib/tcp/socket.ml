@@ -724,6 +724,8 @@ let eof t = t.peer_fin && Bytebuf.is_empty t.recvbuf
 let estimator t = t.estim
 let rtt t = t.rtt
 
+let trace t = t.trace
+
 let set_trace t tr =
   t.trace <- Some tr;
   E2e.Estimator.set_trace t.estim tr ~id:t.label;

@@ -170,6 +170,10 @@ val set_trace : t -> Sim.Trace.t -> unit
     (fire/cancel events).  Emission only happens while the trace is
     enabled, and costs one branch when it is not. *)
 
+val trace : t -> Sim.Trace.t option
+(** The attached trace ring, if any — lets the application layer emit
+    request-lifecycle events labelled with this socket's [label]. *)
+
 val acks_by_timer : t -> int
 (** Acks this endpoint sent because the delayed-ack timer expired. *)
 

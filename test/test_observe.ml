@@ -60,6 +60,25 @@ let test_metrics_sample_json () =
   Alcotest.(check bool) "finite gauge present" true (contains "\"good\":1.5");
   Alcotest.(check bool) "non-finite becomes null" true (contains "\"bad\":null")
 
+let test_metrics_duplicate_registration () =
+  let m = Sim.Metrics.create () in
+  let c = Sim.Metrics.counter m "dup.counter" in
+  let h = Sim.Metrics.histogram m "dup.hist" in
+  Sim.Metrics.gauge m "dup.gauge" (fun () -> 1.0);
+  (* re-registration must not create a second series *)
+  Alcotest.(check bool) "counter re-registered is the same" true
+    (Sim.Metrics.counter m "dup.counter" == c);
+  Alcotest.(check bool) "histogram re-registered is the same" true
+    (Sim.Metrics.histogram m "dup.hist" == h);
+  Sim.Metrics.gauge m "dup.gauge" (fun () -> 2.0);
+  Alcotest.(check (list string)) "no duplicate names"
+    [ "dup.counter"; "dup.hist"; "dup.gauge" ]
+    (Sim.Metrics.names m);
+  (* a replaced gauge reads through to the new closure *)
+  let s = Sim.Metrics.sample m ~at:Sim.Time.zero in
+  Alcotest.(check (float 1e-9)) "gauge replaced" 2.0
+    (List.assoc "dup.gauge" s.values)
+
 (* {1 Residuals} *)
 
 let test_residual_percentiles_exact () =
@@ -167,6 +186,62 @@ let test_observe_deterministic_dynamic () =
   in
   Alcotest.(check bool) "observe on = off (dynamic)" true (strip observed = plain)
 
+(* {1 Little's-law audit on real runs} *)
+
+(* A deterministic observed run must close its own books: for every
+   audited queue with meaningful traffic, the independently measured
+   L, lambda and W satisfy L = lambda * W within 5% (the residue is
+   boundary terms from units in flight at the window edges). *)
+let test_audit_sanity () =
+  let r = observed_run ~rate:60e3 () in
+  match r.observability with
+  | None -> Alcotest.fail "expected observability output"
+  | Some o ->
+    Alcotest.(check int) "six audited queues" 6 (List.length o.audits);
+    let names = List.map (fun (a : Sim.Audit.report) -> a.queue) o.audits in
+    Alcotest.(check bool) "client and server queues present" true
+      (List.mem "c0.unacked" names && List.mem "s0.unread" names);
+    List.iter
+      (fun (a : Sim.Audit.report) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: window covers the measured run" a.queue)
+          true
+          (a.window_us > 0.0);
+        if a.departures >= 100 then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: |L - lW| rel err %.4f <= 0.05" a.queue a.rel_err)
+            true (a.rel_err <= 0.05))
+      o.audits;
+    (* the busy direction actually saw traffic, so the bound is not
+       vacuously true *)
+    let unacked =
+      List.find (fun (a : Sim.Audit.report) -> a.queue = "c0.unacked") o.audits
+    in
+    Alcotest.(check bool) "c0.unacked saw departures" true
+      (unacked.departures >= 100)
+
+(* Observability (including the audit) must not perturb the domain
+   fan-out: an observed on/off pair run on one domain and on two must
+   agree structurally on everything, audits included. *)
+let test_audit_domains_identical () =
+  let base =
+    {
+      (small_base ()) with
+      observe =
+        Some { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 };
+    }
+  in
+  let p1 = Loadgen.Sweep.run_pair ~domains:1 ~base ~rate_rps:60e3 () in
+  let p2 = Loadgen.Sweep.run_pair ~domains:2 ~base ~rate_rps:60e3 () in
+  let audits (r : Loadgen.Runner.result) =
+    match r.observability with Some o -> o.audits | None -> []
+  in
+  Alcotest.(check bool) "audits present" true (audits p1.on <> []);
+  Alcotest.(check bool) "audit reports identical" true
+    (audits p1.on = audits p2.on && audits p1.off = audits p2.off);
+  Alcotest.(check bool) "full results identical" true
+    (Stdlib.compare p1 p2 = 0)
+
 (* Residual ground truth must equal what the trace itself implies: the
    mean of Request_done latencies in (at - window, at], reconstructed
    from the output's records. *)
@@ -214,6 +289,8 @@ let suite =
         Alcotest.test_case "metrics: sample order" `Quick test_metrics_sample_order;
         Alcotest.test_case "metrics: kind mismatch" `Quick test_metrics_kind_mismatch;
         Alcotest.test_case "metrics: sample JSON" `Quick test_metrics_sample_json;
+        Alcotest.test_case "metrics: duplicate registration" `Quick
+          test_metrics_duplicate_registration;
         Alcotest.test_case "residual: exact percentiles" `Quick
           test_residual_percentiles_exact;
         Alcotest.test_case "residual: empty" `Quick test_residual_empty;
@@ -222,6 +299,9 @@ let suite =
           test_observe_deterministic_static;
         Alcotest.test_case "observe on = off (dynamic)" `Slow
           test_observe_deterministic_dynamic;
+        Alcotest.test_case "little's-law audit closes" `Slow test_audit_sanity;
+        Alcotest.test_case "audit identical across domains" `Slow
+          test_audit_domains_identical;
         QCheck_alcotest.to_alcotest ~long:true prop_residual_truth_matches_trace;
       ] );
   ]

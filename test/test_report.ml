@@ -1,4 +1,5 @@
-(* Tests for the ASCII chart renderer. *)
+(* Tests for the ASCII chart renderer, the HTML emitter and the stacked
+   bar charts backing `e2ebench report`. *)
 
 let series label marker points : Report.Chart.series = { label; marker; points }
 
@@ -49,6 +50,89 @@ let test_render_too_small_grid () =
   Alcotest.check_raises "tiny grid" (Invalid_argument "Chart.render: grid too small")
     (fun () -> ignore (Report.Chart.render ~config [ series "a" 'o' [ (0.0, 1.0) ] ]))
 
+(* {1 HTML emission} *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_html_escape () =
+  Alcotest.(check string) "special chars"
+    "&lt;a href=&quot;x&amp;y&quot;&gt;&#39;q&#39;&lt;/a&gt;"
+    (Report.Html.escape {|<a href="x&y">'q'</a>|});
+  Alcotest.(check string) "plain untouched" "p50 latency"
+    (Report.Html.escape "p50 latency")
+
+let test_html_table_escapes_cells () =
+  let t = Report.Html.table ~header:[ "run"; "p99 <us>" ] [ [ "A&B"; "1.5" ] ] in
+  Alcotest.(check bool) "header escaped" true (contains t "p99 &lt;us&gt;");
+  Alcotest.(check bool) "cell escaped" true (contains t "A&amp;B");
+  Alcotest.(check bool) "no raw angle" false (contains t "p99 <us>")
+
+let test_html_page_well_formed () =
+  let body =
+    Report.Html.section ~title:"Runs"
+      (Report.Html.table ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ]
+      ^ Report.Html.paragraph ~cls:"note" "two rows"
+      ^ Report.Html.figure ~caption:"fig" "<svg viewBox=\"0 0 1 1\"></svg>")
+  in
+  let page = Report.Html.page ~title:"t" ~body in
+  Alcotest.(check bool) "doctype" true (contains page "<!DOCTYPE html>");
+  Alcotest.(check bool) "closes html" true (contains page "</html>");
+  Alcotest.(check bool) "well-formed" true (Report.Html.well_formed page);
+  (* truncation must be caught *)
+  let cut = String.sub page 0 (String.length page - 20) in
+  Alcotest.(check bool) "truncated rejected" false (Report.Html.well_formed cut)
+
+let test_html_well_formed_rejects_misnesting () =
+  Alcotest.(check bool) "crossed tags" false
+    (Report.Html.well_formed "<section><p></section></p>");
+  Alcotest.(check bool) "stray close" false (Report.Html.well_formed "</div>");
+  Alcotest.(check bool) "void + self-closing ok" true
+    (Report.Html.well_formed "<p><br><img src=\"x\"><rect y=\"0\"/></p>")
+
+(* {1 Stacked bars} *)
+
+let bar label segs : Report.Stacked.bar =
+  { label; segs = List.map (fun (name, value) -> { Report.Stacked.name; value }) segs }
+
+let sample_bars =
+  [
+    bar "A p50" [ ("send", 10.0); ("net", 30.0); ("srv", 20.0) ];
+    bar "B p50" [ ("send", 25.0); ("net", 30.0); ("srv", 45.0) ];
+  ]
+
+let test_stacked_total () =
+  Alcotest.(check (float 1e-9)) "sum of segments" 60.0
+    (Report.Stacked.total (List.hd sample_bars))
+
+let test_stacked_svg () =
+  let svg = Report.Stacked.render_svg ~unit:"us" sample_bars in
+  Alcotest.(check bool) "opens svg" true (contains svg "<svg");
+  Alcotest.(check bool) "closes svg" true (contains svg "</svg>");
+  Alcotest.(check bool) "labels present" true (contains svg "A p50");
+  Alcotest.(check bool) "hover titles" true (contains svg "<title>");
+  Alcotest.(check bool) "well-formed on its own" true (Report.Html.well_formed svg);
+  Alcotest.(check bool) "well-formed inside a page" true
+    (Report.Html.well_formed
+       (Report.Html.page ~title:"x" ~body:(Report.Html.figure ~caption:"c" svg)))
+
+let test_stacked_ascii () =
+  let out = Report.Stacked.render_ascii ~width:40 ~unit:"us" sample_bars in
+  Alcotest.(check bool) "labels present" true (contains out "B p50");
+  Alcotest.(check bool) "legend maps letters" true
+    (contains out "a = send" && contains out "b = net" && contains out "c = srv");
+  Alcotest.(check bool) "totals printed" true (contains out "60")
+
+let test_stacked_empty () =
+  Alcotest.(check bool) "svg renders with no bars" true
+    (contains (Report.Stacked.render_svg []) "<svg");
+  Alcotest.(check bool) "ascii renders with no bars" true
+    (String.length (Report.Stacked.render_ascii []) >= 0)
+
 let suite =
   [
     ( "report.chart",
@@ -60,5 +144,20 @@ let suite =
         Alcotest.test_case "non-finite skipped" `Quick test_render_non_finite_skipped;
         Alcotest.test_case "constant series" `Quick test_render_constant_series;
         Alcotest.test_case "grid validation" `Quick test_render_too_small_grid;
+      ] );
+    ( "report.html",
+      [
+        Alcotest.test_case "escape" `Quick test_html_escape;
+        Alcotest.test_case "table escapes cells" `Quick test_html_table_escapes_cells;
+        Alcotest.test_case "page is well-formed" `Quick test_html_page_well_formed;
+        Alcotest.test_case "well_formed rejects misnesting" `Quick
+          test_html_well_formed_rejects_misnesting;
+      ] );
+    ( "report.stacked",
+      [
+        Alcotest.test_case "total" `Quick test_stacked_total;
+        Alcotest.test_case "svg render" `Quick test_stacked_svg;
+        Alcotest.test_case "ascii render" `Quick test_stacked_ascii;
+        Alcotest.test_case "empty input" `Quick test_stacked_empty;
       ] );
   ]

@@ -475,6 +475,14 @@ let trace_sample_events : Sim.Trace.event list =
       { latency_us = Some 123.456; throughput = 60000.25; window_us = 1000.0 };
     Sim.Trace.Estimate_computed { latency_us = None; throughput = 0.0; window_us = 0.5 };
     Sim.Trace.Request_done { latency_us = 88.25 };
+    Sim.Trace.Req_issued { req = 17; off = 1234; len = 56 };
+    Sim.Trace.Req_sent { req = 17 };
+    Sim.Trace.Req_complete { req = 17 };
+    Sim.Trace.Srv_start { req = 17 };
+    Sim.Trace.Srv_reply { req = 17; off = 4321; len = 7 };
+    Sim.Trace.Audit_window
+      { queue = "c0.unacked"; l_avg = 3.25; lambda_per_s = 60000.5;
+        w_us = 54.125; rel_err = 0.015625 };
     Sim.Trace.Message { tag = "note"; detail = "hello \"quoted\" \\ world" };
   ]
 
@@ -510,6 +518,124 @@ let test_trace_json_malformed () =
       "{\"at_ns\":1,\"conn\":\"c0\",\"ev\":\"tx\",\"seq\":0,\"len\":1,\"push\":true,\"retx\":false} trailing";
       "{\"at_ns\":true,\"conn\":\"c0\",\"ev\":\"fin\",\"rcv_nxt\":1}";
     ]
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  close_out oc
+
+let test_trace_load_jsonl () =
+  let dir = Filename.temp_file "e2e_trace" "" in
+  Sys.remove dir;
+  (* happy path: two labelled records round-trip through a file *)
+  let r1 = { Sim.Trace.at = Sim.Time.us 1; id = "c0";
+             event = Sim.Trace.Req_sent { req = 0 } } in
+  let r2 = { Sim.Trace.at = Sim.Time.us 2; id = "c0";
+             event = Sim.Trace.Req_complete { req = 0 } } in
+  let path = dir ^ ".jsonl" in
+  write_lines path
+    [ Sim.Trace.record_to_json ~run:"a" r1; Sim.Trace.record_to_json r2 ];
+  (match Sim.Trace.load_jsonl path with
+  | Ok [ (Some "a", r1'); (None, r2') ] ->
+    Alcotest.(check bool) "records preserved" true (r1 = r1' && r2 = r2')
+  | Ok l -> Alcotest.failf "unexpected load result (%d records)" (List.length l)
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  (* missing file *)
+  (match Sim.Trace.load_jsonl (dir ^ ".does-not-exist") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing file");
+  (* empty file *)
+  let empty = dir ^ ".empty" in
+  write_lines empty [];
+  (match Sim.Trace.load_jsonl empty with
+  | Error msg ->
+    Alcotest.(check bool) "message names the file" true
+      (String.length msg >= String.length empty
+      && String.sub msg 0 (String.length empty) = empty)
+  | Ok _ -> Alcotest.fail "expected an error for an empty file");
+  (* malformed line reported with its number *)
+  let bad = dir ^ ".bad" in
+  write_lines bad [ Sim.Trace.record_to_json r1; "not json" ];
+  (match Sim.Trace.load_jsonl bad with
+  | Error msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "line number in message" true (contains "line 2")
+  | Ok _ -> Alcotest.fail "expected an error for a malformed line");
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; empty; bad ]
+
+(* {1 Audit} *)
+
+(* Hand-driven queue where L, lambda and W are computable on paper:
+   window [0, 1000 ns]; 1 unit waits 100 ns, then 2 units wait 500 ns
+   each.  Occupancy integral = 1*100 + 2*500 = 1100 unit-ns, so
+   L = 1.1; lambda = 3 units / 1000 ns; W = 1100/3 ns; lambda*W = 1.1
+   exactly — Little's law holds with zero error. *)
+let test_audit_exact () =
+  let au = Sim.Audit.create () in
+  let q = Sim.Audit.queue au "q" in
+  Sim.Audit.arrival q ~at:0 1;
+  Sim.Audit.departure q ~at:100 1;
+  Sim.Audit.arrival q ~at:200 2;
+  Sim.Audit.departure q ~at:700 2;
+  match Sim.Audit.report au ~at:1000 with
+  | [ r ] ->
+    Alcotest.(check (float 1e-9)) "L" 1.1 r.l_avg;
+    Alcotest.(check (float 1e-3)) "lambda" 3e6 r.lambda_per_s;
+    Alcotest.(check (float 1e-9)) "W" (1100.0 /. 3.0 /. 1e3) r.w_us;
+    Alcotest.(check int) "arrivals" 3 r.arrivals;
+    Alcotest.(check int) "departures" 3 r.departures;
+    Alcotest.(check (float 1e-9)) "rel err" 0.0 r.rel_err
+  | l -> Alcotest.failf "expected one report, got %d" (List.length l)
+
+let test_audit_fifo_wait () =
+  (* FIFO pairing: departures match oldest arrivals, so the first
+     departure carries the first arrival's wait even when a later
+     arrival is outstanding. *)
+  let au = Sim.Audit.create () in
+  let q = Sim.Audit.queue au "q" in
+  Sim.Audit.track q ~at:0 1;
+  Sim.Audit.track q ~at:400 1;
+  Sim.Audit.track q ~at:500 (-1);  (* waited 500, not 100 *)
+  Sim.Audit.track q ~at:600 (-1);  (* waited 200 *)
+  match Sim.Audit.report au ~at:1000 with
+  | [ r ] -> Alcotest.(check (float 1e-9)) "W" (350.0 /. 1e3) r.w_us
+  | _ -> Alcotest.fail "expected one report"
+
+let test_audit_reset_window () =
+  let au = Sim.Audit.create () in
+  let q = Sim.Audit.queue au "q" in
+  Sim.Audit.arrival q ~at:0 4;
+  Sim.Audit.reset_window au ~at:1000;
+  (* Carried-over units count toward L but not lambda. *)
+  (match Sim.Audit.report au ~at:2000 with
+  | [ r ] ->
+    Alcotest.(check (float 1e-9)) "L carries occupancy" 4.0 r.l_avg;
+    Alcotest.(check int) "arrivals reset" 0 r.arrivals;
+    Alcotest.(check int) "occupancy preserved" 4 (Sim.Audit.occupancy q)
+  | _ -> Alcotest.fail "expected one report");
+  (* get-or-create: same name is the same queue *)
+  Alcotest.(check bool) "queue is get-or-create" true
+    (Sim.Audit.queue au "q" == q);
+  match Sim.Audit.arrival q ~at:0 (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative arrival must raise"
+
+let test_audit_report_order () =
+  let au = Sim.Audit.create () in
+  ignore (Sim.Audit.queue au "b");
+  ignore (Sim.Audit.queue au "a");
+  ignore (Sim.Audit.queue au "b");
+  Alcotest.(check (list string)) "registration order, no duplicates"
+    [ "b"; "a" ]
+    (List.map (fun (r : Sim.Audit.report) -> r.queue)
+       (Sim.Audit.report au ~at:100))
 
 (* The guarded call-site pattern used on every hot path must not
    allocate while tracing is disabled: the whole point of leaving the
@@ -634,8 +760,17 @@ let suite =
           test_trace_iter_fold_match_records;
         Alcotest.test_case "JSONL roundtrip" `Quick test_trace_json_roundtrip;
         Alcotest.test_case "JSONL malformed input" `Quick test_trace_json_malformed;
+        Alcotest.test_case "load_jsonl file handling" `Quick test_trace_load_jsonl;
         Alcotest.test_case "guarded disabled path: no alloc" `Quick
           test_trace_disabled_guard_no_alloc;
         QCheck_alcotest.to_alcotest prop_trace_json_roundtrip;
+      ] );
+    ( "sim.audit",
+      [
+        Alcotest.test_case "little's law exact" `Quick test_audit_exact;
+        Alcotest.test_case "FIFO wait pairing" `Quick test_audit_fifo_wait;
+        Alcotest.test_case "window reset carries occupancy" `Quick
+          test_audit_reset_window;
+        Alcotest.test_case "report order and dedup" `Quick test_audit_report_order;
       ] );
   ]

@@ -1,0 +1,177 @@
+(* Tests for the span layer: milestone reconstruction from hand-built
+   traces, and the partition property on real simulated runs — phase
+   durations tile [issue, complete] exactly and reproduce the latency
+   that Request_done records carry. *)
+
+let rec_ at id event = { Sim.Trace.at; id; event }
+
+(* One request, one segment each way, distinct timestamps for all nine
+   milestones. *)
+let one_request_records =
+  [
+    rec_ 100 "c0" (Sim.Trace.Req_issued { req = 0; off = 0; len = 10 });
+    rec_ 200 "c0" (Sim.Trace.Req_sent { req = 0 });
+    rec_ 300 "c0" (Sim.Trace.Segment_sent { seq = 0; len = 10; push = true; retx = false });
+    rec_ 400 "s0" (Sim.Trace.Segment_received { seq = 0; fresh = 10 });
+    rec_ 500 "s0" (Sim.Trace.Srv_start { req = 0 });
+    rec_ 600 "s0" (Sim.Trace.Srv_reply { req = 0; off = 0; len = 5 });
+    rec_ 700 "s0" (Sim.Trace.Segment_sent { seq = 0; len = 5; push = true; retx = false });
+    rec_ 800 "c0" (Sim.Trace.Segment_received { seq = 0; fresh = 5 });
+    rec_ 900 "c0" (Sim.Trace.Req_complete { req = 0 });
+  ]
+
+let test_build_one_request () =
+  let b = Sim.Span.build one_request_records in
+  Alcotest.(check int) "complete" 1 (List.length b.spans);
+  Alcotest.(check int) "incomplete" 0 b.incomplete;
+  let s = List.hd b.spans in
+  Alcotest.(check string) "conn" "c0" s.conn;
+  Alcotest.(check int) "req" 0 s.req;
+  Alcotest.(check (array int)) "milestones"
+    [| 100; 200; 300; 400; 500; 600; 700; 800; 900 |]
+    s.milestones;
+  Alcotest.(check int) "total" 800 (Sim.Span.total s);
+  List.iter
+    (fun (ph, d) ->
+      Alcotest.(check int) (Sim.Span.phase_name ph) 100 d)
+    (Sim.Span.phases s)
+
+let test_build_incomplete () =
+  (* Drop the server reply: the request is seen but unresolvable. *)
+  let records =
+    List.filter
+      (fun (r : Sim.Trace.record) ->
+        match r.event with Sim.Trace.Srv_reply _ -> false | _ -> true)
+      one_request_records
+  in
+  let b = Sim.Span.build records in
+  Alcotest.(check int) "no spans" 0 (List.length b.spans);
+  Alcotest.(check int) "incomplete" 1 b.incomplete
+
+let test_build_batched_segment () =
+  (* Two requests coalesced into one segment each way (Nagle-style):
+     both share the same wire milestones but keep their own issue,
+     dequeue and completion times. *)
+  let records =
+    [
+      rec_ 100 "c0" (Sim.Trace.Req_issued { req = 0; off = 0; len = 10 });
+      rec_ 110 "c0" (Sim.Trace.Req_issued { req = 1; off = 10; len = 10 });
+      rec_ 120 "c0" (Sim.Trace.Req_sent { req = 0 });
+      rec_ 130 "c0" (Sim.Trace.Req_sent { req = 1 });
+      rec_ 200 "c0" (Sim.Trace.Segment_sent { seq = 0; len = 20; push = true; retx = false });
+      rec_ 300 "s0" (Sim.Trace.Segment_received { seq = 0; fresh = 20 });
+      rec_ 310 "s0" (Sim.Trace.Srv_start { req = 0 });
+      rec_ 310 "s0" (Sim.Trace.Srv_start { req = 1 });
+      rec_ 400 "s0" (Sim.Trace.Srv_reply { req = 0; off = 0; len = 5 });
+      rec_ 400 "s0" (Sim.Trace.Srv_reply { req = 1; off = 5; len = 5 });
+      rec_ 450 "s0" (Sim.Trace.Segment_sent { seq = 0; len = 10; push = true; retx = false });
+      rec_ 500 "c0" (Sim.Trace.Segment_received { seq = 0; fresh = 10 });
+      rec_ 510 "c0" (Sim.Trace.Req_complete { req = 0 });
+      rec_ 520 "c0" (Sim.Trace.Req_complete { req = 1 });
+    ]
+  in
+  let b = Sim.Span.build records in
+  Alcotest.(check int) "both complete" 2 (List.length b.spans);
+  match b.spans with
+  | [ s0; s1 ] ->
+    Alcotest.(check int) "shared tx milestone" 200 s0.milestones.(2);
+    Alcotest.(check int) "shared tx milestone (b)" 200 s1.milestones.(2);
+    Alcotest.(check int) "own issue" 110 s1.milestones.(0);
+    Alcotest.(check int) "own completion" 520 s1.milestones.(8)
+  | _ -> Alcotest.fail "expected two spans"
+
+let test_breakdown_empty () =
+  Alcotest.(check int) "no rows on empty" 0
+    (List.length (Sim.Span.breakdown []))
+
+(* {1 The partition property on real runs} *)
+
+let observed_run ~batching ~rate =
+  let base =
+    Loadgen.Runner.default_config ~rate_rps:rate ~batching
+  in
+  Loadgen.Runner.run
+    {
+      base with
+      warmup = Sim.Time.ms 5;
+      duration = Sim.Time.ms 25;
+      observe =
+        Some { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 };
+    }
+
+(* For every completed request: the eight phases partition the span
+   (non-negative durations, milestones monotone, durations telescoping
+   to the total), and the multiset of span latencies equals the
+   multiset of latencies carried by Request_done records — the span
+   reconstruction invents or loses nothing. *)
+let prop_spans_partition_latency =
+  QCheck.Test.make ~count:4 ~name:"span phases partition Request_done latency"
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let batching =
+        if salt mod 2 = 0 then Loadgen.Runner.Static_on
+        else Loadgen.Runner.Static_off
+      in
+      let r = observed_run ~batching ~rate:(40e3 +. float_of_int salt) in
+      match r.observability with
+      | None -> false
+      | Some o ->
+        if o.dropped_records > 0 then false
+        else begin
+          let b = Sim.Span.build o.records in
+          let partition_ok =
+            List.for_all
+              (fun (s : Sim.Span.span) ->
+                let ms = s.milestones in
+                let monotone = ref true in
+                for i = 0 to 7 do
+                  if ms.(i + 1) < ms.(i) then monotone := false
+                done;
+                let sum =
+                  List.fold_left (fun acc (_, d) -> acc + d) 0
+                    (Sim.Span.phases s)
+                in
+                !monotone && sum = Sim.Span.total s)
+              b.spans
+          in
+          let done_lats =
+            List.filter_map
+              (fun (rc : Sim.Trace.record) ->
+                match rc.event with
+                | Sim.Trace.Request_done { latency_us } -> Some latency_us
+                | _ -> None)
+              o.records
+            |> List.sort Stdlib.compare
+          in
+          let span_lats =
+            List.map Sim.Span.latency_us b.spans |> List.sort Stdlib.compare
+          in
+          (* Spans also cover requests completed during warmup (no
+             Request_done is logged for those) and miss requests still
+             in flight at the end, so compare the common core: every
+             Request_done latency must appear among span latencies. *)
+          let rec covered = function
+            | [], _ -> true
+            | _ :: _, [] -> false
+            | (d : float) :: ds, s :: ss ->
+              if s < d then covered (d :: ds, ss)
+              else if s = d then covered (ds, ss)
+              else false
+          in
+          partition_ok
+          && List.length b.spans > 100
+          && covered (done_lats, span_lats)
+        end)
+
+let suite =
+  [
+    ( "span",
+      [
+        Alcotest.test_case "build: one request" `Quick test_build_one_request;
+        Alcotest.test_case "build: incomplete request" `Quick test_build_incomplete;
+        Alcotest.test_case "build: batched segments shared" `Quick
+          test_build_batched_segment;
+        Alcotest.test_case "breakdown: empty" `Quick test_breakdown_empty;
+        QCheck_alcotest.to_alcotest ~long:true prop_spans_partition_latency;
+      ] );
+  ]
