@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke bench-par clean
+.PHONY: all build test check smoke report-smoke chaos-smoke bench-par clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke
+check: smoke report-smoke chaos-smoke
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -45,6 +45,19 @@ report-smoke:
 	@grep -q "</html>" _smoke/report.html || { echo "report-smoke: truncated HTML"; exit 1; }
 	@grep -q "<svg" _smoke/report.html || { echo "report-smoke: no chart in report"; exit 1; }
 	@echo "report-smoke: OK"
+
+# Chaos smoke: a small loss x blackout fault grid with liveness
+# invariants checked on every cell (exits nonzero on any violation),
+# plus a fault-plan run exercising the --fault-plan path end to end.
+chaos-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	printf 'loss dir=both prob=0.002\ncorrupt dir=both prob=0.1\n' > _smoke/chaos.fault
+	dune exec bin/e2ebench.exe -- run --rate 10 --nagle dynamic \
+	  --warmup-ms 5 --duration-ms 40 --fault-plan _smoke/chaos.fault > /dev/null
+	dune exec bin/e2ebench.exe -- chaos --losses 0,0.02 --reorders 0 \
+	  --blackouts-ms 0,20
+	@echo "chaos-smoke: OK"
 
 # Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
 bench-par:

@@ -1032,6 +1032,69 @@ let par () =
   pf "  wrote BENCH_par.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: degradation curves under bursty loss / blackouts.  *)
+(* ------------------------------------------------------------------ *)
+
+let fault () =
+  hr "Fault injection — degradation curves under bursty loss and blackouts";
+  (* Chaos-grid physics: recovery is gated on the 200ms minimum RTO, so
+     cells run a 400ms window at a rate the congestion-controlled path
+     can absorb while draining a post-outage backlog. *)
+  let base =
+    {
+      (base_config ~batching:(Loadgen.Runner.Dynamic Loadgen.Runner.default_dynamic) ())
+      with
+      rate_rps = 10e3;
+      warmup = Sim.Time.ms 20;
+      duration = Sim.Time.ms 400;
+    }
+  in
+  let curve ~losses ~blackouts_ms =
+    Loadgen.Chaos.run_grid ~domains:!domains ~base ~losses ~reorders:[ 0.0 ]
+      ~blackouts_ms ()
+  in
+  let loss_curve = curve ~losses:[ 0.0; 0.005; 0.01; 0.02; 0.05 ] ~blackouts_ms:[ 0.0 ] in
+  let blackout_curve = curve ~losses:[ 0.0 ] ~blackouts_ms:[ 10.0; 20.0; 40.0 ] in
+  let row (v : Loadgen.Chaos.verdict) =
+    let r = v.result in
+    pf "  %-32s  %6.1f kRPS  p99 %9.1f us  drops %5d  freezes %s  %s\n"
+      (Loadgen.Chaos.cell_label v.cell)
+      (k r.achieved_rps) r.measured_p99_us r.link_dropped
+      (match r.degrade_freezes with None -> "-" | Some n -> string_of_int n)
+      (if Loadgen.Chaos.ok v then "ok" else String.concat "; " v.failures)
+  in
+  pf "loss curve (Gilbert-Elliott bursts, no blackout):\n";
+  List.iter row loss_curve;
+  pf "blackout curve (no loss):\n";
+  List.iter row blackout_curve;
+  let cell_json (v : Loadgen.Chaos.verdict) =
+    let r = v.result in
+    Printf.sprintf
+      "    {\"loss\": %g, \"blackout_ms\": %g, \"krps\": %.3f, \"p99_us\": %.1f, \
+       \"drops\": %d, \"completed\": %d, \"issued\": %d, \"freezes\": %s, \
+       \"thaws\": %s, \"frozen_end\": %s, \"ok\": %b}"
+      v.cell.loss v.cell.blackout_ms (k r.achieved_rps) r.measured_p99_us
+      r.link_dropped r.completed_total r.issued
+      (match r.degrade_freezes with None -> "null" | Some n -> string_of_int n)
+      (match r.degrade_thaws with None -> "null" | Some n -> string_of_int n)
+      (match r.degrade_frozen_end with
+      | None -> "null"
+      | Some b -> string_of_bool b)
+      (Loadgen.Chaos.ok v)
+  in
+  let oc = open_out "BENCH_fault.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"fault\",\n\
+    \  \"loss_curve\": [\n%s\n  ],\n\
+    \  \"blackout_curve\": [\n%s\n  ]\n\
+     }\n"
+    (String.concat ",\n" (List.map cell_json loss_curve))
+    (String.concat ",\n" (List.map cell_json blackout_curve));
+  close_out oc;
+  pf "  wrote BENCH_fault.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1046,6 +1109,7 @@ let sections =
     ("observe", observe);
     ("micro", micro);
     ("par", par);
+    ("fault", fault);
   ]
 
 let () =

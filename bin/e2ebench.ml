@@ -81,7 +81,23 @@ let domains_arg =
   in
   Arg.(value & opt int (Par.Pool.default_domains ()) & info [ "domains" ] ~docv:"N" ~doc)
 
+let fault_plan_arg =
+  let doc =
+    "Fault-injection plan file (loss/reorder/dup/corrupt/blackout/rate/delay \
+     directives, one per line; see DESIGN.md)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"FILE" ~doc)
+
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let load_fault_plan = function
+  | None -> Ok None
+  | Some path -> (
+    match Fault.Plan.of_file path with
+    | Ok plan when Fault.Plan.is_empty plan ->
+      Error (Printf.sprintf "fault plan %s has no directives" path)
+    | Ok plan -> Ok (Some plan)
+    | Error e -> Error e)
 
 let parse_batching nagle policy epsilon =
   match nagle with
@@ -160,6 +176,20 @@ let print_result (r : Loadgen.Runner.result) =
   match r.final_batch_limit with
   | Some l -> pf "AIMD batch limit    : %d bytes\n" l
   | None -> ()
+
+(* Printed only when a fault plan is active: what the injector actually
+   did, and whether the degradation state machine tripped. *)
+let print_fault (r : Loadgen.Runner.result) =
+  pf "fault injection     : %d segments dropped, %d shares corrupted, %d shares rejected\n"
+    r.link_dropped r.shares_corrupted r.shares_rejected;
+  pf "accounting          : issued %d = completed %d + outstanding %d%s\n" r.issued
+    r.completed_total r.outstanding_end
+    (if r.issued = r.completed_total + r.outstanding_end then "" else "  (VIOLATED)");
+  match (r.degrade_freezes, r.degrade_thaws, r.degrade_frozen_end) with
+  | Some fr, Some th, Some frozen ->
+    pf "degradation         : %d freezes, %d thaws, %s at end\n" fr th
+      (if frozen then "FROZEN" else "active")
+  | _ -> ()
 
 (* {1 Observability output} *)
 
@@ -256,16 +286,21 @@ let print_audit (r : Loadgen.Runner.result) =
 
 let run_cmd =
   let action rate seed duration warmup nagle policy epsilon unit_mode value_size
-      set_ratio vm_mult exchange conns tso loss trace_out metrics_out sample_us =
+      set_ratio vm_mult exchange conns tso loss fault_plan trace_out metrics_out
+      sample_us =
     match
       ( build_config ~conns ~tso ~loss ~rate ~seed ~duration ~warmup ~nagle ~policy
           ~epsilon ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange (),
-        observe_of_flags ~trace_out ~metrics_out ~sample_us )
+        observe_of_flags ~trace_out ~metrics_out ~sample_us,
+        load_fault_plan fault_plan )
     with
-    | Error e, _ | _, Error e -> fail "%s" e
-    | Ok cfg, Ok observe ->
-      let r = Loadgen.Runner.run { cfg with observe } in
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> fail "%s" e
+    | Ok cfg, Ok observe, Ok fault ->
+      (* Retransmission needs congestion control once segments can drop. *)
+      let cc = cfg.cc || fault <> None in
+      let r = Loadgen.Runner.run { cfg with observe; fault; cc } in
       print_result r;
+      if fault <> None then print_fault r;
       print_residual r;
       print_audit r;
       write_observability ~trace_out ~metrics_out [ (None, r) ];
@@ -277,7 +312,7 @@ let run_cmd =
         (const action $ rate_arg $ seed_arg $ duration_arg $ warmup_arg $ nagle_arg
        $ policy_arg $ epsilon_arg $ unit_arg $ value_size_arg $ set_ratio_arg
        $ vm_mult_arg $ exchange_arg $ conns_arg $ tso_arg $ loss_arg
-       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
+       $ fault_plan_arg $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark point and print all metrics") term
 
@@ -289,7 +324,7 @@ let rates_arg =
 
 let sweep_cmd =
   let action rates seed duration warmup unit_mode value_size set_ratio vm_mult domains
-      trace_out metrics_out sample_us =
+      fault_plan trace_out metrics_out sample_us =
     let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' rates) in
     if parsed = [] then fail "no valid rates in %S" rates
     else if domains < 1 then fail "--domains must be at least 1"
@@ -297,11 +332,12 @@ let sweep_cmd =
       match
         ( build_config ~rate:1.0 ~seed ~duration ~warmup ~nagle:"off" ~policy:"slo"
             ~epsilon:0.05 ~unit_mode ~value_size ~set_ratio ~vm_mult ~exchange:"100" (),
-          observe_of_flags ~trace_out ~metrics_out ~sample_us )
+          observe_of_flags ~trace_out ~metrics_out ~sample_us,
+          load_fault_plan fault_plan )
       with
-      | Error e, _ | _, Error e -> fail "%s" e
-      | Ok base, Ok observe ->
-        let base = { base with observe } in
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> fail "%s" e
+      | Ok base, Ok observe, Ok fault ->
+        let base = { base with observe; fault; cc = (base.cc || fault <> None) } in
         let points =
           Loadgen.Sweep.sweep ~domains ~base
             ~rates:(List.map (fun r -> r *. 1e3) parsed)
@@ -344,9 +380,111 @@ let sweep_cmd =
       ret
         (const action $ rates_arg $ seed_arg $ duration_arg $ warmup_arg $ unit_arg
        $ value_size_arg $ set_ratio_arg $ vm_mult_arg $ domains_arg
-       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
+       $ fault_plan_arg $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep offered load with Nagle on and off") term
+
+(* {1 chaos} *)
+
+let chaos_cmd =
+  (* Chaos defaults differ from run/sweep: recovery from a blackout or a
+     window-wiping loss burst is gated on the 200ms minimum RTO, so cells
+     need a measured window comfortably past it, and an offered rate the
+     congestion-controlled path can absorb while draining the backlog. *)
+  let chaos_rate_arg =
+    let doc = "Offered load in kRPS for every cell." in
+    Arg.(value & opt float 10.0 & info [ "rate" ] ~docv:"KRPS" ~doc)
+  in
+  let chaos_duration_arg =
+    let doc =
+      "Measured duration in milliseconds (after warmup); keep well above the \
+       200ms minimum RTO or blackout cells cannot recover in time."
+    in
+    Arg.(value & opt int 400 & info [ "duration-ms" ] ~doc)
+  in
+  let chaos_warmup_arg =
+    let doc = "Warmup in milliseconds (excluded from statistics)." in
+    Arg.(value & opt int 20 & info [ "warmup-ms" ] ~doc)
+  in
+  let losses_arg =
+    let doc = "Comma-separated long-run loss rates for the grid." in
+    Arg.(value & opt string "0,0.01,0.05" & info [ "losses" ] ~doc)
+  in
+  let reorders_arg =
+    let doc = "Comma-separated reordering probabilities for the grid." in
+    Arg.(value & opt string "0,0.05" & info [ "reorders" ] ~doc)
+  in
+  let blackouts_arg =
+    let doc = "Comma-separated blackout durations in milliseconds (0 = none)." in
+    Arg.(value & opt string "0,20" & info [ "blackouts-ms" ] ~doc)
+  in
+  let parse_floats name s =
+    let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' s) in
+    if parsed = [] then Error (Printf.sprintf "no valid values in --%s %S" name s)
+    else Ok parsed
+  in
+  let action rate seed duration warmup losses reorders blackouts domains trace_out
+      metrics_out sample_us =
+    let ( let* ) = Result.bind in
+    let checked =
+      let* losses = parse_floats "losses" losses in
+      let* reorders = parse_floats "reorders" reorders in
+      let* blackouts_ms = parse_floats "blackouts-ms" blackouts in
+      let* base =
+        build_config ~rate ~seed ~duration ~warmup ~nagle:"dynamic" ~policy:"slo"
+          ~epsilon:0.05 ~unit_mode:"bytes" ~value_size:16384 ~set_ratio:1.0
+          ~vm_mult:1.0 ~exchange:"100" ()
+      in
+      let* observe = observe_of_flags ~trace_out ~metrics_out ~sample_us in
+      if domains < 1 then Error "--domains must be at least 1"
+      else Ok (losses, reorders, blackouts_ms, { base with observe })
+    in
+    match checked with
+    | Error e -> fail "%s" e
+    | Ok (losses, reorders, blackouts_ms, base) ->
+      let verdicts =
+        Loadgen.Chaos.run_grid ~domains ~base ~losses ~reorders ~blackouts_ms ()
+      in
+      pf "%-40s | %8s %8s %8s | %s\n" "cell" "kRPS" "p99us" "drops" "verdict";
+      pf "%s\n" (String.make 84 '-');
+      List.iter
+        (fun (v : Loadgen.Chaos.verdict) ->
+          let r = v.result in
+          pf "%-40s | %8.1f %8.1f %8d | %s\n"
+            (Loadgen.Chaos.cell_label v.cell)
+            (r.achieved_rps /. 1e3) r.measured_p99_us r.link_dropped
+            (if Loadgen.Chaos.ok v then "ok" else String.concat "; " v.failures))
+        verdicts;
+      let bad = List.filter (fun v -> not (Loadgen.Chaos.ok v)) verdicts in
+      let tagged =
+        List.map
+          (fun (v : Loadgen.Chaos.verdict) ->
+            (Some (Loadgen.Chaos.cell_label v.cell), v.result))
+          verdicts
+      in
+      write_observability ~trace_out ~metrics_out tagged;
+      if bad = [] then begin
+        pf "chaos               : all %d cells passed\n" (List.length verdicts);
+        `Ok ()
+      end
+      else fail "chaos: %d of %d cells failed invariants" (List.length bad)
+             (List.length verdicts)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ chaos_rate_arg $ seed_arg $ chaos_duration_arg
+       $ chaos_warmup_arg $ losses_arg
+       $ reorders_arg $ blackouts_arg $ domains_arg $ trace_out_arg
+       $ metrics_out_arg $ sample_us_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak a loss x reorder x blackout fault grid and assert liveness \
+          invariants (accounting closure, audit closure, degrade/recover) on \
+          every cell")
+    term
 
 (* {1 trace} *)
 
@@ -834,4 +972,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; model_cmd; trace_cmd; inspect_cmd; report_cmd ]))
+          [ run_cmd; sweep_cmd; chaos_cmd; model_cmd; trace_cmd; inspect_cmd;
+            report_cmd ]))

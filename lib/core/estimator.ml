@@ -2,9 +2,15 @@ type t = {
   unacked : Queue_state.t;
   unread : Queue_state.t;
   ackdelay : Queue_state.t;
+  created_at : Sim.Time.t;
   mutable local_prev : Exchange.triple;
   mutable remote_baseline : Exchange.triple option;
   mutable remote_latest : Exchange.triple option;
+  mutable last_share_at : Sim.Time.t option;
+      (* arrival time of the last *accepted* remote share *)
+  mutable staleness : Sim.Time.span option;
+      (* no accepted share within this span -> estimates are stale *)
+  mutable rejected : int;
   mutable trace : Sim.Trace.t option;
   mutable trace_id : string;
   mutable audit : (Sim.Audit.queue * Sim.Audit.queue * Sim.Audit.queue) option;
@@ -30,9 +36,13 @@ let create ~at =
     unacked;
     unread;
     ackdelay;
+    created_at = at;
     local_prev;
     remote_baseline = None;
     remote_latest = None;
+    last_share_at = None;
+    staleness = None;
+    rejected = 0;
     trace = None;
     trace_id = "";
     audit = None;
@@ -75,25 +85,49 @@ let ackdelay_size t = Queue_state.size t.ackdelay
 
 let local_snapshot t ~at = triple_at t ~at
 
-let ingest_remote t (triple : Exchange.triple) =
-  (* The first-ever share anchors the remote window, exactly as
-     [local_prev] anchors the local window at creation: until the first
-     [estimate] both windows span creation-to-now, so pinning the
-     baseline to the first share (rather than sliding it with every
-     pre-estimate ingest) is what keeps the two vantage points' windows
-     aligned.  Pinned by a regression test in test_exchange.ml. *)
-  if t.remote_baseline = None then t.remote_baseline <- Some triple;
-  t.remote_latest <- Some triple;
-  match t.trace with
-  | Some tr when Sim.Trace.enabled tr ->
-      Sim.Trace.event tr ~at:triple.unacked.time ~id:t.trace_id
-        (Share_ingested
-           {
-             unacked_total = triple.unacked.total;
-             unread_total = triple.unread.total;
-             ackdelay_total = triple.ackdelay.total;
-           })
-  | _ -> ()
+let ingest_remote t ~at (triple : Exchange.triple) =
+  match Exchange.check_plausible ?prev:t.remote_latest ~now:at triple with
+  | Error reason ->
+    (* Corrupted or implausible shares must never poison the monotone
+       counters: count, trace, and leave every window untouched. *)
+    t.rejected <- t.rejected + 1;
+    (match t.trace with
+    | Some tr when Sim.Trace.enabled tr ->
+      Sim.Trace.event tr ~at ~id:t.trace_id (Share_rejected { reason })
+    | _ -> ())
+  | Ok () -> (
+    (* The first-ever share anchors the remote window, exactly as
+       [local_prev] anchors the local window at creation: until the first
+       [estimate] both windows span creation-to-now, so pinning the
+       baseline to the first share (rather than sliding it with every
+       pre-estimate ingest) is what keeps the two vantage points' windows
+       aligned.  Pinned by a regression test in test_exchange.ml. *)
+    if t.remote_baseline = None then t.remote_baseline <- Some triple;
+    t.remote_latest <- Some triple;
+    t.last_share_at <- Some at;
+    match t.trace with
+    | Some tr when Sim.Trace.enabled tr ->
+        Sim.Trace.event tr ~at:triple.unacked.time ~id:t.trace_id
+          (Share_ingested
+             {
+               unacked_total = triple.unacked.total;
+               unread_total = triple.unread.total;
+               ackdelay_total = triple.ackdelay.total;
+             })
+    | _ -> ())
+
+let rejected_shares t = t.rejected
+let last_share_at t = t.last_share_at
+
+let set_staleness t ~timeout = t.staleness <- timeout
+let staleness t = t.staleness
+
+let is_stale t ~at =
+  match t.staleness with
+  | None -> false
+  | Some timeout ->
+    let anchor = Option.value t.last_share_at ~default:t.created_at in
+    Sim.Time.diff at anchor > timeout
 
 let remote_window t =
   match (t.remote_baseline, t.remote_latest) with
@@ -106,6 +140,7 @@ type estimate = {
   latency_remote_ns : float option;
   throughput : float;
   window : Sim.Time.span;
+  stale : bool;
 }
 
 let compute t ~at =
@@ -144,9 +179,10 @@ let compute t ~at =
       | None -> 0.0
     in
     let latency_ns = Latency.reconcile latency_local_ns latency_remote_ns in
+    let stale = is_stale t ~at in
     Some
-      ({ latency_ns; latency_local_ns; latency_remote_ns; throughput; window },
-       local_cur)
+      ( { latency_ns; latency_local_ns; latency_remote_ns; throughput; window; stale },
+        local_cur )
   end
 
 let estimate t ~at =

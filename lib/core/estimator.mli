@@ -35,17 +35,49 @@ val ackdelay_size : t -> int
 val local_snapshot : t -> at:Sim.Time.t -> Exchange.triple
 (** The three 3-tuples to put on the wire. *)
 
-val ingest_remote : t -> Exchange.triple -> unit
-(** Record a snapshot received from the peer.  The remote measurement
-    window runs from the snapshot that was current at the last window
-    advance (see {!estimate}) to the latest one, mirroring the local
-    window.
+val ingest_remote : t -> at:Sim.Time.t -> Exchange.triple -> unit
+(** Record a snapshot received from the peer at local time [at].  The
+    remote measurement window runs from the snapshot that was current
+    at the last window advance (see {!estimate}) to the latest one,
+    mirroring the local window.
+
+    The triple first passes {!Exchange.check_plausible} against the
+    last accepted share: implausible ones (corruption that survived
+    decode, counters running backwards, future timestamps) are
+    dropped without touching any window, counted in
+    {!rejected_shares}, and traced as [Share_rejected].
 
     Before the first {!estimate} the baseline stays pinned to the
     first-ever share — intentional: [local_prev] likewise anchors at
     creation, so both windows span creation-to-first-estimate.  Sliding
     the baseline with every pre-estimate ingest would shrink the remote
     window to one share interval while the local window kept growing. *)
+
+val rejected_shares : t -> int
+(** Shares {!ingest_remote} refused since creation. *)
+
+(** {1 Staleness}
+
+    Under adverse networks the peer's shares can stop arriving (loss
+    bursts, blackouts); estimates computed from an old remote window
+    silently decay.  With a staleness timeout configured, estimates are
+    flagged [stale] once no share has been {e accepted} within the
+    timeout — controllers should widen their confidence and fall back
+    to a static policy ({!Degrade} supplies the hysteresis). *)
+
+val set_staleness : t -> timeout:Sim.Time.span option -> unit
+(** Configure (or clear, with [None] — the default) the staleness
+    timeout.  Callers typically derive it from k·RTT, refreshed as the
+    RTT estimate moves. *)
+
+val staleness : t -> Sim.Time.span option
+
+val is_stale : t -> at:Sim.Time.t -> bool
+(** No accepted share within the timeout (anchored at creation until
+    the first share)?  Always [false] with no timeout configured. *)
+
+val last_share_at : t -> Sim.Time.t option
+(** Arrival time of the last accepted remote share. *)
 
 val remote_window : t -> (Exchange.triple * Exchange.triple) option
 (** The remote window bounds, oldest first. *)
@@ -61,6 +93,9 @@ type estimate = {
       (** departures/s from the local unacked queue — messages this
           side successfully pushed through in the window *)
   window : Sim.Time.span;  (** local window length *)
+  stale : bool;
+      (** no fresh remote share within the staleness timeout — treat
+          the estimate as low-confidence (see {!set_staleness}) *)
 }
 
 val estimate : t -> at:Sim.Time.t -> estimate option

@@ -48,13 +48,56 @@ let decode s =
     Error
       (Printf.sprintf "Exchange.decode: expected %d bytes, got %d" wire_size
          (String.length s))
-  else
-    Ok
+  else begin
+    let t =
       {
         unacked = decode_share s 0;
         unread = decode_share s 12;
         ackdelay = decode_share s 24;
       }
+    in
+    (* All three shares of a triple are snapshotted at the same instant
+       (Queue_state.snapshot stamps the caller's [at]), so their wire
+       times must agree.  Random or corrupted payloads pass this with
+       probability 2^-64 — it is the codec's integrity check, at zero
+       wire cost. *)
+    if
+      Sim.Time.compare t.unacked.time t.unread.time <> 0
+      || Sim.Time.compare t.unread.time t.ackdelay.time <> 0
+    then Error "Exchange.decode: snapshot times disagree across shares"
+    else Ok t
+  end
+
+(* Plausibility clamps for a reconstructed triple (after {!decode} /
+   {!unwrap}, or a triple arriving by value in the simulator): callers
+   reject shares that could poison monotone counters. *)
+let check_plausible ?prev ~now (cur : triple) =
+  let skewed =
+    Sim.Time.compare cur.unacked.time cur.unread.time <> 0
+    || Sim.Time.compare cur.unread.time cur.ackdelay.time <> 0
+  in
+  let bad_range (s : Queue_state.share) =
+    s.total < 0 || Sim.Time.compare s.time Sim.Time.zero < 0
+    || not (Float.is_finite s.integral)
+    || s.integral < 0.0
+  in
+  let regressed (prev : Queue_state.share) (cur : Queue_state.share) =
+    Sim.Time.compare cur.time prev.time < 0
+    || cur.total < prev.total
+    || cur.integral < prev.integral
+  in
+  if skewed then Error "skew"
+  else if bad_range cur.unacked || bad_range cur.unread || bad_range cur.ackdelay
+  then Error "range"
+  else if Sim.Time.compare cur.unacked.time now > 0 then Error "future"
+  else
+    match prev with
+    | Some (p : triple)
+      when regressed p.unacked cur.unacked
+           || regressed p.unread cur.unread
+           || regressed p.ackdelay cur.ackdelay ->
+      Error "regress"
+    | _ -> Ok ()
 
 (* Reconstruct a monotone counter from its wrapped 32-bit value, given
    the previous full-width value: advance by the wrapped delta. *)

@@ -28,7 +28,23 @@ val encode : triple -> string
 val decode : string -> (triple, string) result
 (** Decode a payload in isolation.  Counters are the raw (possibly
     wrapped) 32-bit values; use {!unwrap} to reconstruct monotone
-    counters across successive payloads. *)
+    counters across successive payloads.
+
+    Corrupted payloads surface as [Error], never an exception and
+    never a silently-poisoned triple: besides the length check, the
+    three shares' snapshot times must agree (they are taken at one
+    instant), which random 36-byte garbage survives with probability
+    2{^-64}. *)
+
+val check_plausible :
+  ?prev:triple -> now:Sim.Time.t -> triple -> (unit, string) result
+(** Sanity clamps on a reconstructed triple before it may touch
+    estimator state.  Rejects (with a short reason usable as a trace
+    tag): shares whose snapshot times disagree (["skew"]), negative or
+    non-finite counters (["range"]), snapshots from the future
+    relative to [now] (["future"]), and — given [prev], the last
+    accepted triple — any counter running backwards (["regress"];
+    times, totals and integrals are all monotone by construction). *)
 
 val unwrap : prev:triple -> cur:triple -> triple
 (** Reconstruct full-width monotone counters for [cur] given the

@@ -14,6 +14,7 @@ type t = {
   on_arm : arm;
   off_arm : arm;
   mutable current : mode;
+  mutable forced : mode option;
 }
 
 let make_arm alpha = { latency = Ewma.create ~alpha; throughput = Ewma.create ~alpha; samples = 0 }
@@ -32,6 +33,7 @@ let create ?(epsilon = 0.05) ?(ewma_alpha = 0.3) ?(min_observations = 3) ~policy
     on_arm = make_arm ewma_alpha;
     off_arm = make_arm ewma_alpha;
     current = initial;
+    forced = None;
   }
 
 let arm t = function Batch_on -> t.on_arm | Batch_off -> t.off_arm
@@ -52,7 +54,10 @@ let smoothed t m : Policy.outcome option =
   | Some latency_ns, Some throughput -> Some { latency_ns; throughput }
   | _ -> None
 
-let decide t =
+let force t m = t.forced <- m
+let forced t = t.forced
+
+let decide_free t =
   let other = flip t.current in
   let next =
     if (arm t other).samples < t.min_observations then
@@ -70,3 +75,12 @@ let decide t =
   in
   t.current <- next;
   next
+
+let decide t =
+  match t.forced with
+  | Some m ->
+    (* Degraded mode: pin the forced mode without consuming the rng, so
+       exploration resumes exactly where it left off once released. *)
+    t.current <- m;
+    m
+  | None -> decide_free t

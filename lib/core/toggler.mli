@@ -44,4 +44,15 @@ val smoothed : t -> mode -> Policy.outcome option
 val decide : t -> mode
 (** Pick the mode for the next window: explore with probability ε (or
     when the other arm is unexplored), otherwise exploit the better
-    smoothed outcome.  Updates {!mode}. *)
+    smoothed outcome.  Updates {!mode}.  While a mode is {!force}d,
+    returns it unconditionally without consuming the rng. *)
+
+val force : t -> mode option -> unit
+(** Pin {!decide} to a fixed mode ([Some m]) or release it ([None]).
+    Used for graceful degradation: when estimates go stale the
+    controller falls back to the static default instead of exploring
+    on garbage input.  Forcing consumes no randomness and leaves both
+    arms untouched, so a released toggler resumes exactly where it
+    stopped. *)
+
+val forced : t -> mode option

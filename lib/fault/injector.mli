@@ -1,0 +1,47 @@
+(** Per-link-direction fault injection state.
+
+    One injector owns one {!Plan.side} plus a dedicated {!Sim.Rng}
+    stream and the Gilbert–Elliott channel state.  {!Tcp.Link} asks it
+    for a {!decision} per packet; {!Tcp.Conn} asks {!corrupt_triple}
+    per exchange-carrying wire segment.  The per-packet draw order is
+    fixed (loss, reorder, duplication — each only when configured), so
+    seeded runs replay bit-identically. *)
+
+type action =
+  | Deliver
+  | Drop of string  (** drop with this trace reason (["loss"], ["blackout"]) *)
+
+type decision = {
+  action : action;
+  extra_delay_us : float;
+      (** > 0: hold the packet back this long after its normal arrival
+          instant, letting later packets overtake it (reordering) *)
+  duplicate : bool;  (** deliver the packet a second time *)
+}
+
+type t
+
+val create : side:Plan.side -> rng:Sim.Rng.t -> t
+
+val decide : t -> now_us:float -> decision
+(** Decide the fate of one packet entering the link at [now_us]. *)
+
+val corrupt_triple :
+  t -> E2e.Exchange.triple -> E2e.Exchange.triple option option
+(** Corruption targeted at the 36-byte exchange option: [None] when
+    corruption does not fire; [Some None] when the mangled bytes no
+    longer decode (the receiver drops the option); [Some (Some g)]
+    when they decode to a garbage triple (the estimator's ingest
+    clamps must reject it).  Implemented as encode → random byte
+    flips → decode, so the corruption model matches the wire codec. *)
+
+(** {1 Counters} *)
+
+val packets : t -> int
+val drops : t -> int
+val reorders : t -> int
+val duplicates : t -> int
+val corruptions : t -> int
+
+val bursting : t -> bool
+(** Is the Gilbert–Elliott channel currently in its Bad state? *)

@@ -1,0 +1,286 @@
+type dir = C2s | S2c | Both
+
+let dir_to_string = function C2s -> "c2s" | S2c -> "s2c" | Both -> "both"
+
+let dir_of_string = function
+  | "c2s" -> Ok C2s
+  | "s2c" -> Ok S2c
+  | "both" -> Ok Both
+  | s -> Error (Printf.sprintf "unknown direction %S (want c2s|s2c|both)" s)
+
+type gilbert = {
+  p_gb : float;
+  p_bg : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+let bernoulli ~prob =
+  if prob < 0.0 || prob >= 1.0 then
+    invalid_arg "Fault.Plan.bernoulli: prob must be in [0,1)";
+  { p_gb = 0.0; p_bg = 1.0; loss_good = prob; loss_bad = prob }
+
+type reorder = { reorder_prob : float; max_displacement : int; quantum_us : float }
+
+type blackout = { from_us : float; until_us : float }
+
+type step = { at_us : float; gbit_per_s : float option; delay_us : float option }
+
+type side = {
+  loss : gilbert option;
+  reorder : reorder option;
+  duplicate : float;
+  corrupt : float;
+  blackouts : blackout list;
+}
+
+let empty_side =
+  { loss = None; reorder = None; duplicate = 0.0; corrupt = 0.0; blackouts = [] }
+
+type t = { c2s : side; s2c : side; steps : step list }
+
+let empty = { c2s = empty_side; s2c = empty_side; steps = [] }
+
+let side_is_empty s =
+  s.loss = None && s.reorder = None && s.duplicate = 0.0 && s.corrupt = 0.0
+  && s.blackouts = []
+
+let is_empty t = side_is_empty t.c2s && side_is_empty t.s2c && t.steps = []
+
+let side t = function C2s -> t.c2s | S2c -> t.s2c | Both -> invalid_arg "Plan.side"
+
+(* {2 Directive grammar}
+
+   One directive per line, [#] starts a comment:
+
+     loss dir=both prob=0.02              # Bernoulli shorthand
+     loss dir=c2s p_gb=0.05 p_bg=0.4 good=0.001 bad=0.3
+     reorder dir=both prob=0.05 disp=3 quantum_us=20
+     dup dir=s2c prob=0.01
+     corrupt dir=both prob=0.02
+     blackout dir=both from_ms=150 until_ms=170
+     rate at_ms=200 gbps=0.5
+     delay at_ms=200 us=100
+
+   Time keys accept both [_us] and [_ms] suffixes. *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (strip_comment line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let kv tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Ok (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+
+let ( let* ) = Result.bind
+
+let assoc_all toks =
+  List.fold_left
+    (fun acc tok ->
+      let* acc = acc in
+      let* pair = kv tok in
+      Ok (pair :: acc))
+    (Ok []) toks
+  |> Result.map List.rev
+
+let known keys pairs =
+  match List.find_opt (fun (k, _) -> not (List.mem k keys)) pairs with
+  | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
+  | None -> Ok pairs
+
+let float_of pairs key ~default =
+  match List.assoc_opt key pairs with
+  | None -> Ok default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s: not a number: %S" key v))
+
+let require pairs key =
+  match List.assoc_opt key pairs with
+  | Some _ -> float_of pairs key ~default:nan
+  | None -> Error (Printf.sprintf "missing required key %S" key)
+
+let prob_of pairs key ~default =
+  let* p = float_of pairs key ~default in
+  if p < 0.0 || p >= 1.0 then
+    Error (Printf.sprintf "%s=%g out of range [0,1)" key p)
+  else Ok p
+
+(* Gilbert–Elliott parameters admit 1.0: [bad=1] (drop everything while
+   Bad) and [p_bg=1] (leave Bad immediately) are both meaningful. *)
+let prob_incl_of pairs key ~default =
+  let* p = float_of pairs key ~default in
+  if p < 0.0 || p > 1.0 then
+    Error (Printf.sprintf "%s=%g out of range [0,1]" key p)
+  else Ok p
+
+(* A time-valued key: [key_us] or [key_ms], whichever is present. *)
+let time_us_of pairs key =
+  match (List.assoc_opt (key ^ "_us") pairs, List.assoc_opt (key ^ "_ms") pairs) with
+  | None, None -> Error (Printf.sprintf "missing %s_us or %s_ms" key key)
+  | Some _, Some _ -> Error (Printf.sprintf "both %s_us and %s_ms given" key key)
+  | Some _, None -> require pairs (key ^ "_us")
+  | None, Some _ ->
+    let* ms = require pairs (key ^ "_ms") in
+    Ok (ms *. 1e3)
+
+let dir_of pairs =
+  match List.assoc_opt "dir" pairs with
+  | None -> Ok Both
+  | Some v -> dir_of_string v
+
+let update plan dir f =
+  match dir with
+  | C2s -> { plan with c2s = f plan.c2s }
+  | S2c -> { plan with s2c = f plan.s2c }
+  | Both -> { plan with c2s = f plan.c2s; s2c = f plan.s2c }
+
+let parse_directive plan toks =
+  match toks with
+  | [] -> Ok plan
+  | verb :: rest -> (
+    let* pairs = assoc_all rest in
+    match verb with
+    | "loss" ->
+      let* pairs =
+        known [ "dir"; "prob"; "p_gb"; "p_bg"; "good"; "bad" ] pairs
+      in
+      let* dir = dir_of pairs in
+      let* ge =
+        if List.mem_assoc "prob" pairs then
+          let* prob = prob_of pairs "prob" ~default:0.0 in
+          Ok (bernoulli ~prob)
+        else
+          let* p_gb = prob_incl_of pairs "p_gb" ~default:0.0 in
+          let* p_bg = prob_incl_of pairs "p_bg" ~default:0.0 in
+          let* loss_good = prob_incl_of pairs "good" ~default:0.0 in
+          let* loss_bad = prob_incl_of pairs "bad" ~default:0.0 in
+          Ok { p_gb; p_bg; loss_good; loss_bad }
+      in
+      Ok (update plan dir (fun s -> { s with loss = Some ge }))
+    | "reorder" ->
+      let* pairs = known [ "dir"; "prob"; "disp"; "quantum_us" ] pairs in
+      let* dir = dir_of pairs in
+      let* reorder_prob = prob_of pairs "prob" ~default:0.0 in
+      let* disp = float_of pairs "disp" ~default:3.0 in
+      let* quantum_us = float_of pairs "quantum_us" ~default:20.0 in
+      if disp < 1.0 || quantum_us <= 0.0 then
+        Error "reorder: disp must be >= 1 and quantum_us > 0"
+      else
+        Ok
+          (update plan dir (fun s ->
+               {
+                 s with
+                 reorder =
+                   Some
+                     {
+                       reorder_prob;
+                       max_displacement = int_of_float disp;
+                       quantum_us;
+                     };
+               }))
+    | "dup" ->
+      let* pairs = known [ "dir"; "prob" ] pairs in
+      let* dir = dir_of pairs in
+      let* prob = prob_of pairs "prob" ~default:0.0 in
+      Ok (update plan dir (fun s -> { s with duplicate = prob }))
+    | "corrupt" ->
+      let* pairs = known [ "dir"; "prob" ] pairs in
+      let* dir = dir_of pairs in
+      let* prob = prob_of pairs "prob" ~default:0.0 in
+      Ok (update plan dir (fun s -> { s with corrupt = prob }))
+    | "blackout" ->
+      let* pairs =
+        known [ "dir"; "from_us"; "from_ms"; "until_us"; "until_ms" ] pairs
+      in
+      let* dir = dir_of pairs in
+      let* from_us = time_us_of pairs "from" in
+      let* until_us = time_us_of pairs "until" in
+      if until_us <= from_us then Error "blackout: until must be after from"
+      else
+        Ok
+          (update plan dir (fun s ->
+               { s with blackouts = s.blackouts @ [ { from_us; until_us } ] }))
+    | "rate" ->
+      let* pairs = known [ "at_us"; "at_ms"; "gbps" ] pairs in
+      let* at_us = time_us_of pairs "at" in
+      let* gbps = require pairs "gbps" in
+      if gbps <= 0.0 then Error "rate: gbps must be positive"
+      else
+        Ok
+          {
+            plan with
+            steps =
+              plan.steps @ [ { at_us; gbit_per_s = Some gbps; delay_us = None } ];
+          }
+    | "delay" ->
+      let* pairs = known [ "at_us"; "at_ms"; "us" ] pairs in
+      let* at_us = time_us_of pairs "at" in
+      let* us = require pairs "us" in
+      if us < 0.0 then Error "delay: us must be non-negative"
+      else
+        Ok
+          {
+            plan with
+            steps = plan.steps @ [ { at_us; gbit_per_s = None; delay_us = Some us } ];
+          }
+    | verb -> Error (Printf.sprintf "unknown directive %S" verb))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go plan n = function
+    | [] -> Ok plan
+    | line :: rest -> (
+      match parse_directive plan (tokens line) with
+      | Ok plan -> go plan (n + 1) rest
+      | Error msg -> Error (Printf.sprintf "fault plan line %d: %s" n msg))
+  in
+  go empty 1 lines
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let pp_side ppf (name, s) =
+  Option.iter
+    (fun g ->
+      Format.fprintf ppf "loss dir=%s p_gb=%g p_bg=%g good=%g bad=%g@\n" name
+        g.p_gb g.p_bg g.loss_good g.loss_bad)
+    s.loss;
+  Option.iter
+    (fun r ->
+      Format.fprintf ppf "reorder dir=%s prob=%g disp=%d quantum_us=%g@\n" name
+        r.reorder_prob r.max_displacement r.quantum_us)
+    s.reorder;
+  if s.duplicate > 0.0 then
+    Format.fprintf ppf "dup dir=%s prob=%g@\n" name s.duplicate;
+  if s.corrupt > 0.0 then
+    Format.fprintf ppf "corrupt dir=%s prob=%g@\n" name s.corrupt;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "blackout dir=%s from_us=%g until_us=%g@\n" name
+        b.from_us b.until_us)
+    s.blackouts
+
+let pp ppf t =
+  pp_side ppf ("c2s", t.c2s);
+  pp_side ppf ("s2c", t.s2c);
+  List.iter
+    (fun st ->
+      match (st.gbit_per_s, st.delay_us) with
+      | Some g, _ -> Format.fprintf ppf "rate at_us=%g gbps=%g@\n" st.at_us g
+      | None, Some d -> Format.fprintf ppf "delay at_us=%g us=%g@\n" st.at_us d
+      | None, None -> ())
+    t.steps
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,117 @@
+type cell = { loss : float; reorder : float; blackout_ms : float }
+
+let cell_label c =
+  Printf.sprintf "loss=%g reorder=%g blackout=%gms" c.loss c.reorder c.blackout_ms
+
+let grid ~losses ~reorders ~blackouts_ms =
+  List.concat_map
+    (fun loss ->
+      List.concat_map
+        (fun reorder ->
+          List.map (fun blackout_ms -> { loss; reorder; blackout_ms }) blackouts_ms)
+        reorders)
+    losses
+
+(* Bursty loss calibrated so the long-run loss rate matches [cell.loss]
+   but drops cluster in bursts of ~4 packets (mean Bad-state dwell
+   1/p_bg with everything dropped while Bad): the regime where loss
+   actually stresses estimators, per the TCP-variants analysis.  The
+   stationary Bad probability p_gb/(p_gb + p_bg) is set to [loss]. *)
+let gilbert_of_loss loss =
+  if loss <= 0.0 then None
+  else
+    let p_bg = 0.25 in
+    Some
+      {
+        Fault.Plan.p_gb = p_bg *. loss /. Stdlib.max 1e-6 (1.0 -. loss);
+        p_bg;
+        loss_good = 0.0;
+        loss_bad = 1.0;
+      }
+
+let plan_of_cell (base : Runner.config) c =
+  let side =
+    {
+      Fault.Plan.empty_side with
+      loss = gilbert_of_loss c.loss;
+      reorder =
+        (if c.reorder > 0.0 then
+           Some
+             { Fault.Plan.reorder_prob = c.reorder; max_displacement = 3; quantum_us = 20.0 }
+         else None);
+    }
+  in
+  (* The blackout starts a quarter into the measured window, so the
+     estimator has settled before the lights go out and has most of the
+     window to recover afterwards. *)
+  let side =
+    if c.blackout_ms <= 0.0 then side
+    else begin
+      let from_us =
+        Sim.Time.to_us base.Runner.warmup
+        +. (Sim.Time.to_us base.Runner.duration /. 4.0)
+      in
+      {
+        side with
+        Fault.Plan.blackouts =
+          [ { Fault.Plan.from_us; until_us = from_us +. (c.blackout_ms *. 1e3) } ];
+      }
+    end
+  in
+  { Fault.Plan.c2s = side; s2c = side; steps = [] }
+
+type verdict = { cell : cell; result : Runner.result; failures : string list }
+
+let ok v = v.failures = []
+
+let audit_bound = 0.15
+
+let check (r : Runner.result) ~cell =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* Liveness: every issued request completed or is still accounted as
+     outstanding — anything else means the stack silently lost one. *)
+  if r.issued <> r.completed_total + r.outstanding_end then
+    fail "accounting: issued=%d <> completed=%d + outstanding=%d" r.issued
+      r.completed_total r.outstanding_end;
+  if r.completed_total = 0 then fail "liveness: no request ever completed";
+  (* Little's-law audit closure must stay bounded even under faults:
+     the audit mirrors locally-observed queue transitions, so loss or
+     reordering is no excuse for the books not balancing. *)
+  (match r.observability with
+  | Some o ->
+    List.iter
+      (fun (a : Sim.Audit.report) ->
+        if Float.is_finite a.rel_err && a.rel_err > audit_bound then
+          fail "audit: %s rel_err %.3f > %.2f" a.queue a.rel_err audit_bound)
+      o.Observe.audits
+  | None -> ());
+  (* A blackout must trip the degradation machinery.  Release by run
+     end is only owed when the blackout is the *sole* fault: it clears,
+     so shares must flow again.  Under ongoing random loss, bursts can
+     wipe the whole in-flight window arbitrarily close to run end
+     (every such wipe costs a >=200ms RTO stall), so a toggler still
+     frozen then is the fallback working as designed, not a failure. *)
+  let transient_only = cell.blackout_ms > 0.0 && cell.loss = 0.0 in
+  (match (cell.blackout_ms > 0.0, r.degrade_freezes) with
+  | true, Some 0 -> fail "degrade: blackout never froze the toggler"
+  | _ -> ());
+  (match (transient_only, r.degrade_frozen_end) with
+  | true, Some true -> fail "degrade: still frozen at run end (no recovery)"
+  | _ -> ());
+  List.rev !failures
+
+let run_cell ~base cell =
+  let cfg =
+    {
+      base with
+      Runner.fault = Some (plan_of_cell base cell);
+      (* Retransmission needs congestion control under real loss. *)
+      cc = base.Runner.cc || cell.loss > 0.0 || cell.blackout_ms > 0.0;
+    }
+  in
+  let result = Runner.run cfg in
+  { cell; result; failures = check result ~cell }
+
+let run_grid ?(domains = 1) ~base ~losses ~reorders ~blackouts_ms () =
+  Par.Pool.map ~domains (run_cell ~base) (grid ~losses ~reorders ~blackouts_ms)

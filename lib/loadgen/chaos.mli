@@ -1,0 +1,63 @@
+(** Chaos soak harness: sweep a loss × reorder × blackout grid and
+    assert liveness invariants on every cell.
+
+    Each cell builds a deterministic {!Fault.Plan} (bursty loss
+    calibrated to the cell's long-run rate, bounded-displacement
+    reordering, a blackout starting a quarter into the measured
+    window), runs it through {!Runner.run}, and checks:
+
+    - accounting closure — [issued = completed + outstanding]: no
+      request silently lost, whatever the network did;
+    - progress — at least one request completed;
+    - Little's-law audit closure stays bounded (observed runs);
+    - blackout cells froze the toggler and thawed it again before the
+      run ended (the estimator recovered).
+
+    Cells are independent seeded simulations, so grids parallelize
+    across domains with bit-identical verdicts. *)
+
+type cell = { loss : float; reorder : float; blackout_ms : float }
+
+val cell_label : cell -> string
+
+val grid :
+  losses:float list ->
+  reorders:float list ->
+  blackouts_ms:float list ->
+  cell list
+(** Cross product, in row-major order. *)
+
+val gilbert_of_loss : float -> Fault.Plan.gilbert option
+(** Bursty channel whose stationary loss rate is the argument (mean
+    burst ~4 packets); [None] for rates [<= 0]. *)
+
+val plan_of_cell : Runner.config -> cell -> Fault.Plan.t
+(** The cell's fault plan, applied to both directions; the blackout is
+    placed a quarter into [base]'s measured window. *)
+
+type verdict = { cell : cell; result : Runner.result; failures : string list }
+
+val ok : verdict -> bool
+(** No failed invariant. *)
+
+val audit_bound : float
+(** Worst tolerated Little's-law relative error (0.15). *)
+
+val check : Runner.result -> cell:cell -> string list
+(** The invariant list above; empty when all hold.  Recovery (unfrozen
+    at run end) is demanded only of blackout-only cells — a blackout
+    clears, ongoing loss does not. *)
+
+val run_cell : base:Runner.config -> cell -> verdict
+(** Run one cell ([base] with the cell's plan; congestion control is
+    forced on for lossy cells, since retransmission needs it). *)
+
+val run_grid :
+  ?domains:int ->
+  base:Runner.config ->
+  losses:float list ->
+  reorders:float list ->
+  blackouts_ms:float list ->
+  unit ->
+  verdict list
+(** The whole grid, fanned out over [domains] (default 1). *)

@@ -4,6 +4,10 @@ type dynamic = {
   tick : Sim.Time.span;
   ewma_alpha : float;
   min_observations : int;
+  stale_after_rtts : float;
+  stale_floor : Sim.Time.span;
+  degrade : E2e.Degrade.config;
+  fallback : E2e.Toggler.mode;
 }
 
 let default_dynamic =
@@ -13,6 +17,10 @@ let default_dynamic =
     tick = Sim.Time.ms 1;
     ewma_alpha = 0.3;
     min_observations = 3;
+    stale_after_rtts = 8.0;
+    stale_floor = Sim.Time.ms 2;
+    degrade = E2e.Degrade.default_config;
+    fallback = E2e.Toggler.Batch_off;
   }
 
 type aimd_cfg = {
@@ -63,6 +71,7 @@ type config = {
   tso : bool;
   cc : bool;
   loss_prob : float;  (* per-packet drop probability, both directions *)
+  fault : Fault.Plan.t option;  (* deterministic fault-injection plan *)
   delack_timeout : Sim.Time.span;
   tx_cost : Sim.Time.span;
   rx_seg_cost : Sim.Time.span;
@@ -94,6 +103,7 @@ let default_config ~rate_rps ~batching =
     tso = false;
     cc = false;
     loss_prob = 0.0;
+    fault = None;
     delack_timeout = Sim.Time.ms 40;
     tx_cost = Sim.Time.ns 300;
     rx_seg_cost = Sim.Time.ns 150;
@@ -115,6 +125,15 @@ type result = {
   offered_rps : float;
   achieved_rps : float;
   completed : int;
+  issued : int;
+  completed_total : int;
+  outstanding_end : int;
+  link_dropped : int;
+  shares_corrupted : int;
+  shares_rejected : int;
+  degrade_freezes : int option;
+  degrade_thaws : int option;
+  degrade_frozen_end : bool option;
   measured_mean_us : float;
   measured_p50_us : float;
   measured_p99_us : float;
@@ -212,6 +231,12 @@ let run cfg =
   let store = Kv.Store.create () in
   Workload.prepopulate cfg.workload store ~now:(Sim.Engine.now engine);
   let loss_rng = Sim.Rng.split rng in
+  (* The fault stream is split only when a plan is present: a faultless
+     config draws exactly the same rng sequence as before the fault
+     subsystem existed, keeping plan-disabled runs bit-identical. *)
+  let fault_rng =
+    match cfg.fault with None -> None | Some _ -> Some (Sim.Rng.split rng)
+  in
   let conns =
     List.init cfg.n_conns (fun i ->
         let conn =
@@ -223,8 +248,41 @@ let run cfg =
           Tcp.Link.set_loss (Tcp.Conn.link_ab conn) ~rng:loss_rng ~prob:cfg.loss_prob;
           Tcp.Link.set_loss (Tcp.Conn.link_ba conn) ~rng:loss_rng ~prob:cfg.loss_prob
         end;
+        (match (cfg.fault, fault_rng) with
+        | Some plan, Some frng ->
+          (* Per-link injector rngs are split in a fixed order (c2s
+             then s2c, connection by connection), so fault sequences
+             are identical across repeats and across [--domains]. *)
+          let inj side = Fault.Injector.create ~side ~rng:(Sim.Rng.split frng) in
+          Tcp.Link.set_fault (Tcp.Conn.link_ab conn) (inj plan.Fault.Plan.c2s);
+          Tcp.Link.set_fault (Tcp.Conn.link_ba conn) (inj plan.Fault.Plan.s2c)
+        | _ -> ());
         conn)
   in
+  (* Mid-run bandwidth/propagation-delay steps apply to every link of
+     the affected run at the planned instant. *)
+  (match cfg.fault with
+  | Some plan ->
+    List.iter
+      (fun (s : Fault.Plan.step) ->
+        ignore
+          (Sim.Engine.schedule_at engine
+             ~at:(Sim.Time.ns (int_of_float (s.at_us *. 1e3)))
+             (fun () ->
+               List.iter
+                 (fun conn ->
+                   List.iter
+                     (fun link ->
+                       Option.iter (Tcp.Link.set_gbit_per_s link) s.gbit_per_s;
+                       Option.iter
+                         (fun us ->
+                           Tcp.Link.set_prop_delay link
+                             (Sim.Time.ns (int_of_float (us *. 1e3))))
+                         s.delay_us)
+                     [ Tcp.Conn.link_ab conn; Tcp.Conn.link_ba conn ])
+                 conns)))
+      plan.Fault.Plan.steps
+  | None -> ());
   let client_socks = List.map Tcp.Conn.sock_a conns in
   let server_socks = List.map Tcp.Conn.sock_b conns in
   let obs = Option.map Observe.create cfg.observe in
@@ -237,7 +295,14 @@ let run cfg =
         Tcp.Socket.set_trace sock tr;
         E2e.Estimator.set_audit (Tcp.Socket.estimator sock) au
           ~prefix:(Tcp.Socket.label sock))
-      (client_socks @ server_socks)
+      (client_socks @ server_socks);
+    (* Fault visibility: each direction's drops/reorders/duplicates
+       are labelled with the sending side's id. *)
+    List.iteri
+      (fun i conn ->
+        Tcp.Link.set_trace (Tcp.Conn.link_ab conn) tr ~id:(Printf.sprintf "c%d" i);
+        Tcp.Link.set_trace (Tcp.Conn.link_ba conn) tr ~id:(Printf.sprintf "s%d" i))
+      conns
   | None -> ());
   let servers =
     List.map
@@ -431,6 +496,7 @@ let run cfg =
       ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick);
       Some controller
   in
+  let degrade = ref None in
   let toggler =
     match cfg.batching with
     | Static_on | Static_off | Aimd_limit _ -> None
@@ -441,18 +507,58 @@ let run cfg =
           ~initial:(if initial_nagle then E2e.Toggler.Batch_on else E2e.Toggler.Batch_off)
           ()
       in
+      (* Graceful degradation is armed only under a fault plan: clean
+         runs must stay bit-identical to pre-fault behaviour, and a
+         low-rate clean run can legitimately go shares-quiet for longer
+         than any reasonable staleness timeout. *)
+      (match cfg.fault with
+      | Some _ -> degrade := Some (E2e.Degrade.create ~config:d.degrade ())
+      | None -> ());
       let set_mode mode =
         let enabled = match mode with E2e.Toggler.Batch_on -> true | Batch_off -> false in
         List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) all_socks;
         kick_all ()
       in
+      let step_degrade at =
+        match !degrade with
+        | None -> false
+        | Some dg ->
+          (* Stale once no flow has accepted a share within
+             max(k · srtt, floor); the timeout tracks the live RTT
+             estimate. *)
+          let stale =
+            List.for_all2
+              (fun e sock ->
+                let srtt =
+                  Option.value (Tcp.Rtt.srtt (Tcp.Socket.rtt sock)) ~default:0
+                in
+                let timeout =
+                  Stdlib.max
+                    (int_of_float (d.stale_after_rtts *. float_of_int srtt))
+                    d.stale_floor
+                in
+                E2e.Estimator.set_staleness e ~timeout:(Some timeout);
+                E2e.Estimator.is_stale e ~at)
+              estimators client_socks
+          in
+          let state = E2e.Degrade.step dg ~stale in
+          E2e.Toggler.force toggler
+            (match state with
+            | E2e.Degrade.Frozen -> Some d.fallback
+            | E2e.Degrade.Active -> None);
+          state = E2e.Degrade.Frozen
+      in
       let rec tick () =
         let at = Sim.Engine.now engine in
         let mode = E2e.Toggler.mode toggler in
+        let frozen = step_degrade at in
         let agg, per_flow = aggregate_estimate ~advance:true at in
         if per_flow <> [] then begin
+          (* While frozen the estimates are known-garbage (stale remote
+             windows): keep them out of the arms so the bandit resumes
+             from trustworthy scores after the fault clears. *)
           (match agg.latency_ns with
-          | Some latency_ns when agg.throughput > 0.0 ->
+          | Some latency_ns when agg.throughput > 0.0 && not frozen ->
             E2e.Toggler.observe toggler ~mode
               { E2e.Policy.latency_ns; throughput = agg.throughput }
           | Some _ | None -> ());
@@ -609,6 +715,33 @@ let run cfg =
     offered_rps = cfg.rate_rps;
     achieved_rps = float_of_int completed /. duration_s;
     completed;
+    issued = List.fold_left (fun acc c -> acc + Kv.Client.issued c) 0 clients;
+    completed_total =
+      List.fold_left (fun acc c -> acc + Kv.Client.completed c) 0 clients;
+    outstanding_end =
+      List.fold_left (fun acc c -> acc + Kv.Client.outstanding c) 0 clients;
+    link_dropped =
+      List.fold_left
+        (fun acc c ->
+          acc + Tcp.Link.dropped (Tcp.Conn.link_ab c)
+          + Tcp.Link.dropped (Tcp.Conn.link_ba c))
+        0 conns;
+    shares_corrupted =
+      List.fold_left
+        (fun acc c ->
+          acc
+          + Tcp.Link.corrupted_shares (Tcp.Conn.link_ab c)
+          + Tcp.Link.corrupted_shares (Tcp.Conn.link_ba c))
+        0 conns;
+    shares_rejected =
+      List.fold_left
+        (fun acc sock ->
+          acc + E2e.Estimator.rejected_shares (Tcp.Socket.estimator sock))
+        0 (client_socks @ server_socks);
+    degrade_freezes = Option.map E2e.Degrade.freezes !degrade;
+    degrade_thaws = Option.map E2e.Degrade.thaws !degrade;
+    degrade_frozen_end =
+      Option.map (fun d -> E2e.Degrade.state d = E2e.Degrade.Frozen) !degrade;
     measured_mean_us = Recorder.mean_us recorder;
     measured_p50_us = Recorder.p50_us recorder;
     measured_p99_us = Recorder.p99_us recorder;

@@ -14,10 +14,22 @@ type dynamic = {
   tick : Sim.Time.span;  (** decision/observation granularity *)
   ewma_alpha : float;
   min_observations : int;
+  stale_after_rtts : float;
+      (** k: shares older than k·srtt mark estimates stale (armed only
+          under a fault plan) *)
+  stale_floor : Sim.Time.span;
+      (** lower bound on the staleness timeout, so low-rate runs with
+          naturally sparse shares are not declared stale *)
+  degrade : E2e.Degrade.config;  (** freeze/thaw hysteresis *)
+  fallback : E2e.Toggler.mode;
+      (** static mode pinned while estimates are stale *)
 }
 
 val default_dynamic : dynamic
-(** SLO policy at 500 µs, ε = 0.05, 1 ms tick, EWMA α = 0.3. *)
+(** SLO policy at 500 µs, ε = 0.05, 1 ms tick, EWMA α = 0.3; staleness
+    at max(8 RTTs, 2 ms) with 2-tick freeze/thaw hysteresis, falling
+    back to [Batch_off] (the TCP_NODELAY default dynamic runs start
+    from). *)
 
 type aimd_cfg = {
   slo_us : float;
@@ -65,6 +77,13 @@ type config = {
   tso : bool;  (** enable 64 KiB TCP segmentation offload (ablation) *)
   cc : bool;  (** enable Reno congestion control (needed under loss) *)
   loss_prob : float;  (** per-packet drop probability on both links *)
+  fault : Fault.Plan.t option;
+      (** deterministic fault-injection plan ([None], the default, adds
+          no rng draws: plan-disabled runs are bit-identical to runs of
+          the pre-fault codebase).  Arms per-link {!Fault.Injector}s,
+          schedules the plan's bandwidth/delay steps, and enables the
+          estimator staleness → toggler fallback machinery on dynamic
+          runs. *)
   delack_timeout : Sim.Time.span;
   tx_cost : Sim.Time.span;  (** per-segment transmit IRQ cost, both hosts *)
   rx_seg_cost : Sim.Time.span;  (** per-wire-segment receive cost *)
@@ -93,7 +112,22 @@ type estimate_sample = {
 type result = {
   offered_rps : float;
   achieved_rps : float;
-  completed : int;
+  completed : int;  (** completions inside the measured window *)
+  issued : int;  (** lifetime requests issued, warmup included *)
+  completed_total : int;  (** lifetime completions, warmup included *)
+  outstanding_end : int;
+      (** still in flight at run end; liveness closure is
+          [issued = completed_total + outstanding_end] — anything else
+          means a request was silently lost *)
+  link_dropped : int;  (** packets dropped across all links *)
+  shares_corrupted : int;  (** exchange options mangled by fault injection *)
+  shares_rejected : int;
+      (** shares refused by the estimators' plausibility clamps *)
+  degrade_freezes : int option;  (** dynamic runs under a fault plan *)
+  degrade_thaws : int option;
+  degrade_frozen_end : bool option;
+      (** still degraded when the run ended (estimator never
+          recovered)? *)
   measured_mean_us : float;
   measured_p50_us : float;
   measured_p99_us : float;

@@ -13,6 +13,11 @@ type event =
   | Delack_fire of { pending : int }
   | Delack_cancel of { pending : int }
   | Fin_received of { rcv_nxt : int }
+  | Segment_dropped of { seq : int; len : int; reason : string }
+  | Segment_reordered of { seq : int; delay_us : float }
+  | Segment_duplicated of { seq : int }
+  | Share_corrupted of { seq : int }
+  | Share_rejected of { reason : string }
   | Share_ingested of {
       unacked_total : int;
       unread_total : int;
@@ -111,6 +116,11 @@ let tag r =
   | Delack_fire _ -> "delack_fire"
   | Delack_cancel _ -> "delack_cancel"
   | Fin_received _ -> "fin"
+  | Segment_dropped _ -> "drop"
+  | Segment_reordered _ -> "reorder"
+  | Segment_duplicated _ -> "dup"
+  | Share_corrupted _ -> "share_corrupt"
+  | Share_rejected _ -> "share_reject"
   | Share_ingested _ -> "share"
   | Estimate_computed _ -> "estimate"
   | Request_done _ -> "request"
@@ -137,6 +147,13 @@ let detail r =
   | Delack_fire { pending } | Delack_cancel { pending } ->
       Printf.sprintf "pending=%d" pending
   | Fin_received { rcv_nxt } -> Printf.sprintf "rcv_nxt=%d" rcv_nxt
+  | Segment_dropped { seq; len; reason } ->
+      Printf.sprintf "seq=%d len=%d reason=%s" seq len reason
+  | Segment_reordered { seq; delay_us } ->
+      Printf.sprintf "seq=%d delay_us=%.1f" seq delay_us
+  | Segment_duplicated { seq } -> Printf.sprintf "seq=%d" seq
+  | Share_corrupted { seq } -> Printf.sprintf "seq=%d" seq
+  | Share_rejected { reason } -> Printf.sprintf "reason=%s" reason
   | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
       Printf.sprintf "unacked=%d unread=%d ackdelay=%d" unacked_total
         unread_total ackdelay_total
@@ -246,6 +263,24 @@ let record_to_json ?run r =
   | Fin_received { rcv_nxt } ->
       add_str b "ev" "fin";
       add_int b "rcv_nxt" rcv_nxt
+  | Segment_dropped { seq; len; reason } ->
+      add_str b "ev" "drop";
+      add_int b "seq" seq;
+      add_int b "len" len;
+      add_str b "reason" reason
+  | Segment_reordered { seq; delay_us } ->
+      add_str b "ev" "reorder";
+      add_int b "seq" seq;
+      add_float b "delay_us" delay_us
+  | Segment_duplicated { seq } ->
+      add_str b "ev" "dup";
+      add_int b "seq" seq
+  | Share_corrupted { seq } ->
+      add_str b "ev" "share_corrupt";
+      add_int b "seq" seq
+  | Share_rejected { reason } ->
+      add_str b "ev" "share_reject";
+      add_str b "reason" reason
   | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
       add_str b "ev" "share";
       add_int b "unacked" unacked_total;
@@ -496,6 +531,24 @@ let record_of_json line =
     | "fin" ->
         let* rcv_nxt = int_field fields "rcv_nxt" in
         Ok (Fin_received { rcv_nxt })
+    | "drop" ->
+        let* seq = int_field fields "seq" in
+        let* len = int_field fields "len" in
+        let* reason = str fields "reason" in
+        Ok (Segment_dropped { seq; len; reason })
+    | "reorder" ->
+        let* seq = int_field fields "seq" in
+        let* delay_us = num fields "delay_us" in
+        Ok (Segment_reordered { seq; delay_us })
+    | "dup" ->
+        let* seq = int_field fields "seq" in
+        Ok (Segment_duplicated { seq })
+    | "share_corrupt" ->
+        let* seq = int_field fields "seq" in
+        Ok (Share_corrupted { seq })
+    | "share_reject" ->
+        let* reason = str fields "reason" in
+        Ok (Share_rejected { reason })
     | "share" ->
         let* unacked_total = int_field fields "unacked" in
         let* unread_total = int_field fields "unread" in

@@ -24,6 +24,18 @@ type event =
   | Delack_cancel of { pending : int }
       (** Armed delayed-ACK timer disarmed by an outgoing ACK. *)
   | Fin_received of { rcv_nxt : int }
+  | Segment_dropped of { seq : int; len : int; reason : string }
+      (** The link discarded a packet ([reason]: ["loss"], ["blackout"],
+          ...); [len] is its wire size. *)
+  | Segment_reordered of { seq : int; delay_us : float }
+      (** Fault injection delayed a packet past later traffic. *)
+  | Segment_duplicated of { seq : int }
+      (** Fault injection delivered a packet twice. *)
+  | Share_corrupted of { seq : int }
+      (** Fault injection mangled the 36-byte exchange option riding the
+          segment at [seq]. *)
+  | Share_rejected of { reason : string }
+      (** The estimator's ingest sanity clamps discarded a share. *)
   | Share_ingested of {
       unacked_total : int;
       unread_total : int;

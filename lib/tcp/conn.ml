@@ -81,7 +81,26 @@ let wire engine ~src ~dst ~src_cpu ~dst_cpu ~(link : Link.t) ~src_params ~dst_pa
       Sim.Cpu.run src_cpu ~cost:src_params.tx_cost (fun () ->
           List.iter
             (fun sub ->
-              Link.send link ~wire_bytes:(Segment.wire_bytes sub) (fun () ->
+              (* Corruption targets the exchange option bytes, so it
+                 has to happen here where the option still rides the
+                 segment; the wire size is unchanged (same 36 bytes,
+                 different contents — or none, when the mangled payload
+                 no longer decodes). *)
+              let wire_bytes = Segment.wire_bytes sub in
+              let sub =
+                match (Link.fault link, sub.Segment.e2e) with
+                | Some inj, Some triple -> (
+                  match Fault.Injector.corrupt_triple inj triple with
+                  | None -> sub
+                  | Some garbled ->
+                    (* An undecodable option ([garbled = None]) still
+                       crossed the wire: bill [wire_bytes] from the
+                       original segment. *)
+                    Link.note_share_corrupted link ~seq:sub.Segment.seq;
+                    { sub with Segment.e2e = garbled })
+                | _ -> sub
+              in
+              Link.send link ~seq:sub.Segment.seq ~wire_bytes (fun () ->
                   Gro.submit gro sub))
             (split_tso ~mss:src_params.socket.Socket.mss seg)));
   Socket.set_cork_signal src (fun () ->

@@ -1,13 +1,16 @@
 type t = {
   engine : Sim.Engine.t;
-  prop_delay : Sim.Time.span;
-  ns_per_byte : float;
+  mutable prop_delay : Sim.Time.span;
+  mutable ns_per_byte : float;
   mutable tx_free_at : Sim.Time.t;
   mutable packets : int;
   mutable bytes : int;
   mutable tx_busy : Sim.Time.span;
   mutable loss : (Sim.Rng.t * float) option;
   mutable dropped : int;
+  mutable fault : Fault.Injector.t option;
+  mutable corrupted_shares : int;
+  mutable trace : (Sim.Trace.t * string) option;
 }
 
 let create engine ~prop_delay ~gbit_per_s =
@@ -23,13 +26,38 @@ let create engine ~prop_delay ~gbit_per_s =
     tx_busy = 0;
     loss = None;
     dropped = 0;
+    fault = None;
+    corrupted_shares = 0;
+    trace = None;
   }
 
 let set_loss t ~rng ~prob =
   if prob < 0.0 || prob >= 1.0 then invalid_arg "Link.set_loss: prob must be in [0,1)";
   t.loss <- (if prob = 0.0 then None else Some (rng, prob))
 
-let send t ~wire_bytes k =
+let set_fault t inj = t.fault <- Some inj
+let fault t = t.fault
+
+let set_trace t tr ~id = t.trace <- Some (tr, id)
+
+let set_gbit_per_s t gbit_per_s =
+  if gbit_per_s <= 0.0 then invalid_arg "Link.set_gbit_per_s: rate must be positive";
+  t.ns_per_byte <- 8.0 /. gbit_per_s
+
+let set_prop_delay t prop_delay =
+  if prop_delay < 0 then invalid_arg "Link.set_prop_delay: negative propagation delay";
+  t.prop_delay <- prop_delay
+
+let emit t ~at ev =
+  match t.trace with
+  | Some (tr, id) when Sim.Trace.enabled tr -> Sim.Trace.event tr ~at ~id ev
+  | _ -> ()
+
+let note_share_corrupted t ~seq =
+  t.corrupted_shares <- t.corrupted_shares + 1;
+  emit t ~at:(Sim.Engine.now t.engine) (Sim.Trace.Share_corrupted { seq })
+
+let send ?(seq = -1) t ~wire_bytes k =
   if wire_bytes <= 0 then invalid_arg "Link.send: packet must have positive size";
   let now = Sim.Engine.now t.engine in
   let tx_time =
@@ -49,11 +77,42 @@ let send t ~wire_bytes k =
     | Some (rng, prob) -> Sim.Rng.float rng < prob
     | None -> false
   in
-  if lost then t.dropped <- t.dropped + 1
-  else ignore (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add done_tx t.prop_delay) k)
+  if lost then begin
+    t.dropped <- t.dropped + 1;
+    emit t ~at:now (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason = "loss" })
+  end
+  else begin
+    match t.fault with
+    | None ->
+      ignore (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add done_tx t.prop_delay) k)
+    | Some inj -> (
+      match Fault.Injector.decide inj ~now_us:(Sim.Time.to_us now) with
+      | { action = Drop reason; _ } ->
+        t.dropped <- t.dropped + 1;
+        emit t ~at:now (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason })
+      | { action = Deliver; extra_delay_us; duplicate } ->
+        let arrival = Sim.Time.add done_tx t.prop_delay in
+        let arrival =
+          if extra_delay_us > 0.0 then begin
+            emit t ~at:now (Sim.Trace.Segment_reordered { seq; delay_us = extra_delay_us });
+            Sim.Time.add arrival (Sim.Time.ns (int_of_float (extra_delay_us *. 1e3)))
+          end
+          else arrival
+        in
+        ignore (Sim.Engine.schedule_at t.engine ~at:arrival k);
+        if duplicate then begin
+          emit t ~at:now (Sim.Trace.Segment_duplicated { seq });
+          (* The copy trails by a microsecond — far enough apart to be
+             two deliveries, close enough to stress duplicate
+             detection. *)
+          ignore
+            (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add arrival (Sim.Time.us 1)) k)
+        end)
+  end
 
 let busy t = Sim.Time.compare t.tx_free_at (Sim.Engine.now t.engine) > 0
 let packets t = t.packets
 let bytes t = t.bytes
 let tx_busy_ns t = t.tx_busy
 let dropped t = t.dropped
+let corrupted_shares t = t.corrupted_shares

@@ -95,6 +95,8 @@ type t = {
   retx : retx_entry Queue.t;
   mutable rto_timer : Sim.Engine.handle option;
   mutable rto_backoff : int;
+  mutable recover : int;  (* go-back-N: snd_nxt at the last RTO *)
+  mutable retx_next : int;  (* go-back-N: next sequence to resend *)
   mutable dup_acks : int;
   (* congestion control (Reno-style, optional) *)
   mutable cwnd : int;
@@ -165,6 +167,8 @@ let create ?(label = "sock") engine cfg =
     retx = Queue.create ();
     rto_timer = None;
     rto_backoff = 0;
+    recover = 0;
+    retx_next = 0;
     dup_acks = 0;
     cwnd = initial_cwnd_segments * cfg.mss;
     ssthresh = max_int;
@@ -274,6 +278,8 @@ let put_on_wire ?(fin = false) t ~seq ~payload ~push ~msg_ends =
 
 (* {2 Retransmission timer} *)
 
+let retx_len e = String.length e.r_payload + if e.r_fin then 1 else 0
+
 let current_rto t =
   let base = Rtt.rto t.rtt in
   let scaled = base lsl Stdlib.min t.rto_backoff 6 in
@@ -318,7 +324,15 @@ and on_rto t =
       t.cwnd <- t.cfg.mss
     end;
     t.rto_backoff <- t.rto_backoff + 1;
+    (* Everything below [snd_nxt] is suspect after a timeout; partial
+       acks drive go-back-N retransmission up to this mark, restarting
+       from the front of the hole. *)
+    t.recover <- Stdlib.max t.recover t.snd_nxt;
+    t.retx_next <- t.snd_una;
     retransmit_head t ~counter:(fun t -> t.rto_fires <- t.rto_fires + 1);
+    (match Queue.peek_opt t.retx with
+    | Some e -> t.retx_next <- e.r_seq + retx_len e
+    | None -> ());
     arm_rto t
   end
 
@@ -480,8 +494,6 @@ let enter_time_wait t =
 
 (* {2 Acknowledgment processing (sender side)} *)
 
-let retx_len e = String.length e.r_payload + if e.r_fin then 1 else 0
-
 let drop_acked_retx t =
   let rec go () =
     match Queue.peek_opt t.retx with
@@ -496,6 +508,46 @@ let drop_acked_retx t =
     | Some _ | None -> ()
   in
   go ()
+
+(* Go-back-N after a timeout.  A burst loss (blackout, outage) empties
+   the pipe: nothing else is in flight, so no duplicate acks arrive and
+   fast retransmit never fires.  Without this, each RTO retransmits one
+   segment and the ack for it releases nothing — the hole heals at one
+   segment per RTO (200ms+), which on any real backlog is a stall.
+   Instead, every ack that lands while [snd_una] is still below the
+   pre-RTO [recover] mark retransmits the next cwnd's worth of the
+   queue, so recovery slow-starts like a fresh connection. *)
+let retransmit_hole t =
+  if t.snd_una < t.recover && not (Queue.is_empty t.retx) then begin
+    (* [retx_next .. recover) is the unsent remainder of the hole;
+       [snd_una .. retx_next) is already back in flight, so the budget
+       is whatever cwnd has left over it.  Each resend advances
+       [retx_next] — no segment is retransmitted twice per episode
+       (another RTO resets the pointer if resends are lost too). *)
+    let from = Stdlib.max t.retx_next t.snd_una in
+    let in_flight_retx = from - t.snd_una in
+    let budget = ref (Stdlib.max (t.cwnd - in_flight_retx) 0) in
+    (try
+       Queue.iter
+         (fun e ->
+           if e.r_seq >= t.recover then raise Exit;
+           if e.r_seq + retx_len e > from then begin
+             if !budget <= 0 then raise Exit;
+             budget := !budget - String.length e.r_payload;
+             t.retransmits <- t.retransmits + 1;
+             if tracing t then
+               event t
+                 (Sim.Trace.Segment_sent
+                    { seq = e.r_seq; len = String.length e.r_payload;
+                      push = e.r_push; retx = true });
+             put_on_wire t ~fin:e.r_fin ~seq:e.r_seq ~payload:e.r_payload
+               ~push:e.r_push ~msg_ends:e.r_msg_ends;
+             t.retx_next <- e.r_seq + retx_len e
+           end)
+         t.retx
+     with Exit -> ());
+    restart_rto t
+  end
 
 let process_ack t (seg : Segment.t) ~at =
   let acked = seg.ack - t.snd_una in
@@ -513,6 +565,7 @@ let process_ack t (seg : Segment.t) ~at =
       else t.cwnd <- t.cwnd + Stdlib.max 1 (t.cfg.mss * t.cfg.mss / t.cwnd);
       t.cwnd <- Stdlib.min t.cwnd (64 * 1024 * 1024)
     end;
+    retransmit_hole t;
     (* the FIN consumes one sequence number that never entered the
        byte-accounting fifo *)
     let fifo_bytes =
@@ -641,7 +694,7 @@ let receive_one t ~notify (seg : Segment.t) =
   (* Metadata first so estimates are fresh for any controller that runs
      from the readable callback. *)
   (match seg.e2e with
-  | Some triple -> E2e.Estimator.ingest_remote t.estim triple
+  | Some triple -> E2e.Estimator.ingest_remote t.estim ~at:(now t) triple
   | None -> ());
   (match seg.hint with
   | Some share ->

@@ -156,8 +156,8 @@ let test_estimator_basic_flow () =
   in
   (* integral units: item-ns; one item for 10us = 10_000 item-ns *)
   let r1 = { r1 with unread = share (us 100) 1 10_000.0 } in
-  E2e.Estimator.ingest_remote e r0;
-  E2e.Estimator.ingest_remote e r1;
+  E2e.Estimator.ingest_remote e ~at:(us 100) r0;
+  E2e.Estimator.ingest_remote e ~at:(us 100) r1;
   match E2e.Estimator.estimate e ~at:(us 100) with
   | None -> Alcotest.fail "expected estimate"
   | Some est -> (
@@ -197,9 +197,9 @@ let test_estimator_remote_baseline_pinned () =
       (share at 0 0.0)
   in
   let s1 = mk 0 1 and s2 = mk (us 10) 2 and s3 = mk (us 20) 3 in
-  E2e.Estimator.ingest_remote e s1;
-  E2e.Estimator.ingest_remote e s2;
-  E2e.Estimator.ingest_remote e s3;
+  E2e.Estimator.ingest_remote e ~at:0 s1;
+  E2e.Estimator.ingest_remote e ~at:(us 10) s2;
+  E2e.Estimator.ingest_remote e ~at:(us 20) s3;
   (match E2e.Estimator.remote_window e with
   | Some (prev, cur) ->
     Alcotest.(check bool) "baseline pinned to first share" true (prev = s1);

@@ -210,18 +210,60 @@ let test_decode_garbage_options () =
   done
 
 let test_decode_garbage_exchange () =
+  (* Corruption discipline: random 36-byte payloads must never raise,
+     and (equal snapshot times being a 2^-64 coincidence) must decode
+     to [Error] rather than a counter-poisoning garbage triple.  Any
+     that slipped through would then have to be refused by the
+     estimator's ingest clamps without touching its state. *)
   let rng = Sim.Rng.create ~seed:7 in
+  let e = E2e.Estimator.create ~at:0 in
   for _ = 1 to 1_000 do
     let s = String.init 36 (fun _ -> Char.chr (Sim.Rng.int rng ~bound:256)) in
     match E2e.Exchange.decode s with
-    | Ok _ -> ()
-    | Error e -> Alcotest.failf "well-sized payload rejected: %s" e
-  done
+    | Error _ -> ()
+    | Ok garbage ->
+      E2e.Estimator.ingest_remote e ~at:(Sim.Time.us 1) garbage;
+      Alcotest.(check bool)
+        "estimator ignored the lucky garbage triple" true
+        (E2e.Estimator.remote_window e = None)
+  done;
+  Alcotest.(check int) "no garbage accepted" 0
+    (match E2e.Estimator.remote_window e with None -> 0 | Some _ -> 1)
+
+(* The 36-byte wire format truncates every counter to 32 bits; unwrap
+   must reconstruct the true full-width deltas no matter where the
+   counters sit relative to the 2^32 boundary. *)
+let prop_unwrap_across_wraparound =
+  QCheck.Test.make ~count:200 ~name:"exchange unwrap survives 2^32 wraparound"
+    QCheck.(
+      triple (int_range 0 2_000_000) (int_range 1 1_000_000) (int_range 0 1_000_000))
+    (fun (offset, d_time, d_total) ->
+      (* Base counters within +/-1M of the wrap point, so successive
+         snapshots straddle it for roughly half the generated cases. *)
+      let base = (1 lsl 32) - 1_000_000 + offset in
+      let mk v total : E2e.Exchange.triple =
+        let share : E2e.Queue_state.share =
+          { time = Sim.Time.us v; total; integral = float_of_int total *. 1e3 }
+        in
+        { unacked = share; unread = share; ackdelay = share }
+      in
+      let t0 = mk base base in
+      let t1 = mk (base + d_time) (base + d_total) in
+      let w0 = Result.get_ok (E2e.Exchange.decode (E2e.Exchange.encode t0)) in
+      let w1 = Result.get_ok (E2e.Exchange.decode (E2e.Exchange.encode t1)) in
+      let u0 = E2e.Exchange.unwrap ~prev:t0 ~cur:w0 in
+      let u1 = E2e.Exchange.unwrap ~prev:u0 ~cur:w1 in
+      u1.unacked.total - u0.unacked.total = d_total
+      && (Sim.Time.to_ns u1.unacked.time - Sim.Time.to_ns u0.unacked.time) / 1_000
+         = d_time
+      && Float.abs (u1.unread.integral -. u0.unread.integral -. (float_of_int d_total *. 1e3))
+         <= 2e3)
 
 let suite =
   [
     ( "fuzz",
       [
+        QCheck_alcotest.to_alcotest prop_unwrap_across_wraparound;
         QCheck_alcotest.to_alcotest prop_socket_stream_integrity;
         QCheck_alcotest.to_alcotest prop_resp_parse_any_chunking;
         QCheck_alcotest.to_alcotest prop_store_matches_model;

@@ -144,6 +144,15 @@ let fake_result ~rate ~mean ~achieved : Loadgen.Runner.result =
     offered_rps = rate;
     achieved_rps = achieved;
     completed = 1000;
+    issued = 1000;
+    completed_total = 1000;
+    outstanding_end = 0;
+    link_dropped = 0;
+    shares_corrupted = 0;
+    shares_rejected = 0;
+    degrade_freezes = None;
+    degrade_thaws = None;
+    degrade_frozen_end = None;
     measured_mean_us = mean;
     measured_p50_us = mean;
     measured_p99_us = mean *. 2.0;

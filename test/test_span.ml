@@ -163,6 +163,74 @@ let prop_spans_partition_latency =
           && covered (done_lats, span_lats)
         end)
 
+(* The partition property must survive retransmission: on a lossy run
+   every completed request's phases still tile [issue, complete] and
+   reproduce the Request_done latencies — a retransmitted segment must
+   not invent time or detach a request from its wire milestones. *)
+let test_spans_partition_on_lossy_run () =
+  let base =
+    Loadgen.Runner.default_config ~rate_rps:20e3
+      ~batching:Loadgen.Runner.Static_off
+  in
+  let plan =
+    Result.get_ok (Fault.Plan.of_string "loss dir=both prob=0.003\n")
+  in
+  let r =
+    Loadgen.Runner.run
+      {
+        base with
+        warmup = Sim.Time.ms 5;
+        duration = Sim.Time.ms 60;
+        cc = true;
+        fault = Some plan;
+        observe =
+          Some { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 };
+      }
+  in
+  Alcotest.(check bool) "the plan dropped something" true (r.link_dropped > 0);
+  match r.observability with
+  | None -> Alcotest.fail "no observability output"
+  | Some o ->
+    Alcotest.(check int) "ring did not overflow" 0 o.dropped_records;
+    let b = Sim.Span.build o.records in
+    Alcotest.(check bool) "spans reconstructed" true (List.length b.spans > 100);
+    List.iter
+      (fun (s : Sim.Span.span) ->
+        let ms = s.milestones in
+        for i = 0 to 7 do
+          if ms.(i + 1) < ms.(i) then
+            Alcotest.failf "milestones not monotone for req %d" s.req
+        done;
+        let sum =
+          List.fold_left (fun acc (_, d) -> acc + d) 0 (Sim.Span.phases s)
+        in
+        if sum <> Sim.Span.total s then
+          Alcotest.failf "phases do not partition req %d: %d <> %d" s.req sum
+            (Sim.Span.total s))
+      b.spans;
+    let done_lats =
+      List.filter_map
+        (fun (rc : Sim.Trace.record) ->
+          match rc.event with
+          | Sim.Trace.Request_done { latency_us } -> Some latency_us
+          | _ -> None)
+        o.records
+      |> List.sort Stdlib.compare
+    in
+    let span_lats =
+      List.map Sim.Span.latency_us b.spans |> List.sort Stdlib.compare
+    in
+    let rec covered = function
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | (d : float) :: ds, s :: ss ->
+        if s < d then covered (d :: ds, ss)
+        else if s = d then covered (ds, ss)
+        else false
+    in
+    Alcotest.(check bool) "span latencies cover Request_done" true
+      (covered (done_lats, span_lats))
+
 let suite =
   [
     ( "span",
@@ -173,5 +241,7 @@ let suite =
           test_build_batched_segment;
         Alcotest.test_case "breakdown: empty" `Quick test_breakdown_empty;
         QCheck_alcotest.to_alcotest ~long:true prop_spans_partition_latency;
+        Alcotest.test_case "partition survives lossy retransmission" `Quick
+          test_spans_partition_on_lossy_run;
       ] );
   ]
