@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke chaos-smoke bench-par clean
+.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke bench-par clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke chaos-smoke
+check: smoke report-smoke chaos-smoke scenario-smoke
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -58,6 +58,32 @@ chaos-smoke:
 	dune exec bin/e2ebench.exe -- chaos --losses 0,0.02 --reorders 0 \
 	  --blackouts-ms 0,20
 	@echo "chaos-smoke: OK"
+
+# Scenario smoke: a two-tenant heterogeneous fleet parsed from the
+# declarative grammar, run end to end with a tenant-tagged trace, then
+# re-inspected.  Asserts that both tenants appear in the per-tenant
+# table and in the trace's tenant breakdown.
+scenario-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	printf '%s\n' \
+	  'fleet seed=11 warmup_ms=10 duration_ms=40 scope=per_conn batching=dynamic' \
+	  'tenant name=bare conns=2 rate_rps=4000 batching=dynamic' \
+	  'tenant name=vm rate_rps=2000 mix=small cpu_mult=4 batching=dynamic' \
+	  > _smoke/fleet.scn
+	dune exec bin/e2ebench.exe -- scenario _smoke/fleet.scn --print \
+	  --trace-out _smoke/fleet-trace.jsonl --json _smoke/fleet.json \
+	  | tee _smoke/fleet.out
+	@grep -q '^bare ' _smoke/fleet.out || { echo "scenario-smoke: no bare tenant row"; exit 1; }
+	@grep -q '^vm ' _smoke/fleet.out || { echo "scenario-smoke: no vm tenant row"; exit 1; }
+	@grep -q 'fairness: goodput' _smoke/fleet.out || { echo "scenario-smoke: no fairness line"; exit 1; }
+	@grep -q 'final modes: .*bare/c0=' _smoke/fleet.out || { echo "scenario-smoke: no per-conn modes"; exit 1; }
+	dune exec bin/e2ebench.exe -- inspect _smoke/fleet-trace.jsonl --limit 0 \
+	  | tee _smoke/fleet-inspect.out
+	@grep -q 'tenant bare:' _smoke/fleet-inspect.out || { echo "scenario-smoke: trace lost bare tag"; exit 1; }
+	@grep -q 'tenant vm:' _smoke/fleet-inspect.out || { echo "scenario-smoke: trace lost vm tag"; exit 1; }
+	@test -s _smoke/fleet.json || { echo "scenario-smoke: empty json"; exit 1; }
+	@echo "scenario-smoke: OK"
 
 # Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
 bench-par:

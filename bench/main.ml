@@ -6,6 +6,7 @@
    Usage: main.exe [--domains N] [--trace-out FILE] [--metrics-out FILE]
                    [fig1] [fig2] [fig3] [fig4a] [fig4b]
                    [small] [dynamic] [ablate] [observe] [micro] [par]
+                   [fault] [fleet]
                    (default: all sections)
 
    --domains N fans independent sweep simulations out over N OCaml
@@ -1095,6 +1096,128 @@ let fault () =
   pf "  wrote BENCH_fault.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: heterogeneous multi-tenant headline experiment.              *)
+(* ------------------------------------------------------------------ *)
+
+(* The mixed fleet where no global static batching mode serves every
+   tenant: a bare-metal tenant pushing big SETs at a rate where Nagle
+   amortization is required, sharing the server with a VM-priced
+   tenant whose small requests are exactly what Nagle+delayed-ack
+   punishes.  Per-connection dynamic toggling should settle each
+   tenant's connection on its own best mode. *)
+let fleet_scenario =
+  "fleet seed=42 warmup_ms=100 duration_ms=400 scope=per_conn batching=off\n\
+   tenant name=bare conns=1 rate_rps=70000 mix=set_only cpu_mult=1 slo_us=500 \
+   batching=dynamic epsilon=0.02\n\
+   tenant name=vm conns=1 rate_rps=15000 mix=small cpu_mult=4 slo_us=2000 \
+   batching=dynamic epsilon=0.02\n"
+
+let fleet () =
+  hr "Fleet — heterogeneous tenants, per-connection batching control";
+  let spec =
+    match Scenario.Spec.of_string fleet_scenario with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  pf "%s\n" (String.trim (Scenario.Spec.to_string spec));
+  let c =
+    Scenario.Exec.compare_static ~tol:0.10
+      ~map:(fun f l -> Par.Pool.map ~domains:!domains f l)
+      spec
+  in
+  let show label (r : Loadgen.Fleet.result) =
+    pf "\n%s:\n" label;
+    List.iter
+      (fun (t : Loadgen.Fleet.tenant_result) ->
+        pf "  %-6s %6.1f kRPS  mean %8.1f us  p99 %8.1f us  under-slo %5.1f%%\n"
+          t.t_name (k t.t_achieved_rps) t.t_mean_us t.t_p99_us
+          (100.0 *. t.t_under_slo))
+      r.tenants;
+    pf "  server app %.2f irq %.2f | goodput max/min %s\n" r.server_app_util
+      r.server_irq_util
+      (match r.goodput_max_min_ratio with
+      | Some v -> Printf.sprintf "%.3f" v
+      | None -> "-")
+  in
+  show "scenario as written (per-conn dynamic)" c.candidate;
+  show "global static on" c.static_on;
+  show "global static off" c.static_off;
+  pf "\nverdicts (tol %.0f%%):\n" (100.0 *. c.tol);
+  List.iter
+    (fun (v : Scenario.Exec.tenant_verdict) ->
+      pf "  %-6s dynamic %8.1f us | on %8.1f off %9.1f | best %8.1f | %s\n"
+        v.v_name v.v_candidate_us v.v_on_us v.v_off_us v.v_best_us
+        (if v.v_candidate_fits then "fits" else "MISSES"))
+    c.verdicts;
+  pf "no global static fits all tenants: %b\n" c.no_global_static_fits;
+  pf "per-conn dynamic fits all tenants: %b\n" c.candidate_fits_all;
+  let mode_label = function
+    | E2e.Toggler.Batch_on -> "on"
+    | E2e.Toggler.Batch_off -> "off"
+  in
+  let tenant_json (t : Loadgen.Fleet.tenant_result) =
+    Report.Json.(
+      Obj
+        [
+          ("name", String t.t_name);
+          ("offered_rps", Float t.t_offered_rps);
+          ("achieved_rps", Float t.t_achieved_rps);
+          ("mean_us", Float t.t_mean_us);
+          ("p50_us", Float t.t_p50_us);
+          ("p99_us", Float t.t_p99_us);
+          ("under_slo", Float t.t_under_slo);
+          ("estimated_us", opt (fun v -> Float v) t.t_estimated_us);
+        ])
+  in
+  let result_json (r : Loadgen.Fleet.result) =
+    Report.Json.(
+      Obj
+        [
+          ("tenants", List (List.map tenant_json r.tenants));
+          ("fleet_achieved_rps", Float r.fleet_achieved_rps);
+          ("fleet_mean_us", Float r.fleet_mean_us);
+          ("fleet_p99_us", Float r.fleet_p99_us);
+          ( "goodput_max_min_ratio",
+            opt (fun v -> Float v) r.goodput_max_min_ratio );
+          ("goodput_jain", opt (fun v -> Float v) r.goodput_jain);
+          ("server_app_util", Float r.server_app_util);
+          ("server_irq_util", Float r.server_irq_util);
+          ( "final_modes",
+            Obj
+              (List.map (fun (gid, m) -> (gid, String (mode_label m))) r.final_modes)
+          );
+        ])
+  in
+  Report.Json.to_file "BENCH_fleet.json"
+    Report.Json.(
+      Obj
+        [
+          ("section", String "fleet");
+          ("scenario", String (Scenario.Spec.to_string spec));
+          ("tol", Float c.tol);
+          ("candidate", result_json c.candidate);
+          ("static_on", result_json c.static_on);
+          ("static_off", result_json c.static_off);
+          ( "verdicts",
+            List
+              (List.map
+                 (fun (v : Scenario.Exec.tenant_verdict) ->
+                   Obj
+                     [
+                       ("name", String v.v_name);
+                       ("candidate_us", Float v.v_candidate_us);
+                       ("static_on_us", Float v.v_on_us);
+                       ("static_off_us", Float v.v_off_us);
+                       ("best_us", Float v.v_best_us);
+                       ("candidate_fits", Bool v.v_candidate_fits);
+                     ])
+                 c.verdicts) );
+          ("no_global_static_fits", Bool c.no_global_static_fits);
+          ("candidate_fits_all", Bool c.candidate_fits_all);
+        ]);
+  pf "  wrote BENCH_fleet.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1110,6 +1233,7 @@ let sections =
     ("micro", micro);
     ("par", par);
     ("fault", fault);
+    ("fleet", fleet);
   ]
 
 let () =

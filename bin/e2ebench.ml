@@ -222,13 +222,8 @@ let with_out path f =
 
 (* [tagged] pairs an optional run label (used by sweeps) with each
    result; single runs pass [None] and get unlabelled lines. *)
-let write_observability ~trace_out ~metrics_out tagged =
-  let outputs =
-    List.filter_map
-      (fun (run, (r : Loadgen.Runner.result)) ->
-        Option.map (fun o -> (run, o)) r.observability)
-      tagged
-  in
+let write_outputs ~trace_out ~metrics_out
+    (outputs : (string option * Loadgen.Observe.output) list) =
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -259,6 +254,13 @@ let write_observability ~trace_out ~metrics_out tagged =
               o.samples)
           outputs);
     pf "metrics             : %d samples -> %s\n" !total path
+
+let write_observability ~trace_out ~metrics_out tagged =
+  write_outputs ~trace_out ~metrics_out
+    (List.filter_map
+       (fun (run, (r : Loadgen.Runner.result)) ->
+         Option.map (fun o -> (run, o)) r.observability)
+       tagged)
 
 let print_residual (r : Loadgen.Runner.result) =
   match r.observability with
@@ -551,6 +553,78 @@ let trace_cmd =
    event is paired with the mean latency of the request events that
    completed inside that estimate's window. *)
 
+(* Estimate/ground-truth pairs recoverable from a record stream. *)
+let residual_pairs (records : Sim.Trace.record list) =
+  let reqs =
+    List.filter_map
+      (fun (r : Sim.Trace.record) ->
+        match r.event with
+        | Sim.Trace.Request_done { latency_us } ->
+          Some (Sim.Time.to_us r.at, latency_us)
+        | _ -> None)
+      records
+  in
+  List.filter_map
+    (fun (r : Sim.Trace.record) ->
+      match r.event with
+      | Sim.Trace.Estimate_computed { latency_us = Some est_us; window_us; _ }
+        ->
+        let at_us = Sim.Time.to_us r.at in
+        let from_us = at_us -. window_us in
+        let sum, count =
+          List.fold_left
+            (fun (sum, count) (t, lat) ->
+              if t > from_us && t <= at_us then (sum +. lat, count + 1)
+              else (sum, count))
+            (0.0, 0) reqs
+        in
+        if count = 0 then None
+        else
+          Some
+            {
+              E2e.Residual.at_us;
+              window_us;
+              est_us;
+              truth_us = sum /. float_of_int count;
+            }
+      | _ -> None)
+    records
+
+let print_breakdown ~indent spans =
+  if spans <> [] then begin
+    pf "%s%-14s %10s %10s %10s %10s\n" indent "phase" "p50" "p95" "p99" "mean";
+    List.iter
+      (fun (row : Sim.Span.row) ->
+        pf "%s%-14s %8.2fus %8.2fus %8.2fus %8.2fus\n" indent
+          (Sim.Span.phase_name row.phase)
+          row.p50_us row.p95_us row.p99_us row.mean_us)
+      (Sim.Span.breakdown spans)
+  end
+
+(* Group records by the tenant tag of their emitter id
+   ("<tenant>/c0"-style ids from fleet runs), first-appearance order.
+   Untagged records — every single-run trace — yield the empty list, so
+   tenant sections degrade to a no-op on pre-fleet traces. *)
+let tenant_partition (records : Sim.Trace.record list) =
+  let order = ref [] in
+  let by_tenant : (string, Sim.Trace.record list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun (r : Sim.Trace.record) ->
+      match Sim.Trace.tenant_of_id r.Sim.Trace.id with
+      | None -> ()
+      | Some tenant -> (
+        match Hashtbl.find_opt by_tenant tenant with
+        | Some l -> l := r :: !l
+        | None ->
+          Hashtbl.add by_tenant tenant (ref [ r ]);
+          order := tenant :: !order))
+    records;
+  List.rev_map
+    (fun tenant -> (tenant, List.rev !(Hashtbl.find by_tenant tenant)))
+    !order
+
 let inspect_run ~limit run (records : Sim.Trace.record list) =
   let n = List.length records in
   let t0 = List.fold_left (fun a r -> Sim.Time.min a r.Sim.Trace.at) max_int records in
@@ -595,43 +669,7 @@ let inspect_run ~limit run (records : Sim.Trace.record list) =
     (fun i r ->
       if i < limit then pf "    %s\n" (Format.asprintf "%a" Sim.Trace.pp_record r))
     records;
-  let reqs =
-    List.filter_map
-      (fun (r : Sim.Trace.record) ->
-        match r.event with
-        | Sim.Trace.Request_done { latency_us } ->
-          Some (Sim.Time.to_us r.at, latency_us)
-        | _ -> None)
-      records
-  in
-  let pairs =
-    List.filter_map
-      (fun (r : Sim.Trace.record) ->
-        match r.event with
-        | Sim.Trace.Estimate_computed { latency_us = Some est_us; window_us; _ }
-          ->
-          let at_us = Sim.Time.to_us r.at in
-          let from_us = at_us -. window_us in
-          let sum, count =
-            List.fold_left
-              (fun (sum, count) (t, lat) ->
-                if t > from_us && t <= at_us then (sum +. lat, count + 1)
-                else (sum, count))
-              (0.0, 0) reqs
-          in
-          if count = 0 then None
-          else
-            Some
-              {
-                E2e.Residual.at_us;
-                window_us;
-                est_us;
-                truth_us = sum /. float_of_int count;
-              }
-        | _ -> None)
-      records
-  in
-  (match E2e.Residual.summary_of_pairs pairs with
+  (match E2e.Residual.summary_of_pairs (residual_pairs records) with
   | Some s ->
     pf "  estimator residual: %s\n" (Format.asprintf "%a" E2e.Residual.pp_summary s)
   | None -> pf "  estimator residual: no estimate/request pairs\n");
@@ -639,15 +677,7 @@ let inspect_run ~limit run (records : Sim.Trace.record list) =
   let built = Sim.Span.build records in
   pf "  spans: %d complete, %d incomplete\n" (List.length built.spans)
     built.incomplete;
-  if built.spans <> [] then begin
-    pf "  %-14s %10s %10s %10s %10s\n" "phase" "p50" "p95" "p99" "mean";
-    List.iter
-      (fun (row : Sim.Span.row) ->
-        pf "  %-14s %8.2fus %8.2fus %8.2fus %8.2fus\n"
-          (Sim.Span.phase_name row.phase)
-          row.p50_us row.p95_us row.p99_us row.mean_us)
-      (Sim.Span.breakdown built.spans)
-  end;
+  print_breakdown ~indent:"  " built.spans;
   List.iter
     (fun (r : Sim.Trace.record) ->
       match r.event with
@@ -655,6 +685,22 @@ let inspect_run ~limit run (records : Sim.Trace.record list) =
         pf "  audit: %s\n" (Sim.Trace.detail r)
       | _ -> ())
     records;
+  (* fleet traces tag ids "<tenant>/..."; break the run down per tenant *)
+  (match tenant_partition records with
+  | [] -> ()
+  | tenants ->
+    List.iter
+      (fun (tenant, trecs) ->
+        let tb = Sim.Span.build trecs in
+        pf "  tenant %s: %d events, %d spans (%d incomplete)\n" tenant
+          (List.length trecs) (List.length tb.spans) tb.incomplete;
+        (match E2e.Residual.summary_of_pairs (residual_pairs trecs) with
+        | Some s ->
+          pf "    estimator residual: %s\n"
+            (Format.asprintf "%a" E2e.Residual.pp_summary s)
+        | None -> ());
+        print_breakdown ~indent:"    " tb.spans)
+      tenants);
   built
 
 (* Group parsed (run label, record) pairs by run, first-appearance
@@ -732,36 +778,50 @@ type dataset = {
   ds_requests : int;
 }
 
+let dataset_of_records ~label ~audits records =
+  {
+    ds_label = label;
+    ds_built = Sim.Span.build records;
+    ds_audits =
+      (if not audits then []
+       else
+         List.filter
+           (fun (r : Sim.Trace.record) ->
+             match r.event with
+             | Sim.Trace.Audit_window _ -> true
+             | _ -> false)
+           records);
+    ds_requests =
+      List.length
+        (List.filter
+           (fun (r : Sim.Trace.record) ->
+             match r.event with
+             | Sim.Trace.Request_done _ -> true
+             | _ -> false)
+           records);
+  }
+
 let datasets_of_file path =
   match Sim.Trace.load_jsonl path with
   | Error e -> Error e
   | Ok all ->
     Ok
-      (List.map
+      (List.concat_map
          (fun (key, records) ->
            let label =
              if key = "" then Filename.basename path
              else Printf.sprintf "%s:%s" (Filename.basename path) key
            in
-           {
-             ds_label = label;
-             ds_built = Sim.Span.build records;
-             ds_audits =
-               List.filter
-                 (fun (r : Sim.Trace.record) ->
-                   match r.event with
-                   | Sim.Trace.Audit_window _ -> true
-                   | _ -> false)
-                 records;
-             ds_requests =
-               List.length
-                 (List.filter
-                    (fun (r : Sim.Trace.record) ->
-                      match r.event with
-                      | Sim.Trace.Request_done _ -> true
-                      | _ -> false)
-                    records);
-           })
+           (* fleet traces additionally get one dataset per tenant tag
+              (untagged traces contribute none); audits stay on the
+              whole-run dataset so they are not repeated per tenant *)
+           dataset_of_records ~label ~audits:true records
+           :: List.map
+                (fun (tenant, trecs) ->
+                  dataset_of_records
+                    ~label:(Printf.sprintf "%s %s" label tenant)
+                    ~audits:false trecs)
+                (tenant_partition records))
          (group_runs all))
 
 (* Stacked bars for a dataset: one bar per percentile, one segment per
@@ -966,6 +1026,197 @@ let model_cmd =
   let term = Term.(ret (const action $ alpha $ beta $ cost $ n)) in
   Cmd.v (Cmd.info "model" ~doc:"Evaluate the Figure-1 analytic batching model") term
 
+(* {1 scenario} *)
+
+let mode_label = function
+  | E2e.Toggler.Batch_on -> "on"
+  | E2e.Toggler.Batch_off -> "off"
+
+let print_fleet_result (r : Loadgen.Fleet.result) =
+  pf "%-10s %10s %10s %9s %9s %9s %6s %9s\n" "tenant" "offered" "achieved"
+    "mean" "p50" "p99" "<slo" "est";
+  List.iter
+    (fun (t : Loadgen.Fleet.tenant_result) ->
+      pf "%-10s %10.0f %10.0f %7.1fus %7.1fus %7.1fus %5.1f%% %s\n" t.t_name
+        t.t_offered_rps t.t_achieved_rps t.t_mean_us t.t_p50_us t.t_p99_us
+        (100.0 *. t.t_under_slo)
+        (match t.t_estimated_us with
+        | Some us -> Printf.sprintf "%7.1fus" us
+        | None -> "        -"))
+    r.tenants;
+  pf "fleet: %.0f rps, mean %.1fus, p99 %.1fus | server app %.2f irq %.2f\n"
+    r.fleet_achieved_rps r.fleet_mean_us r.fleet_p99_us r.server_app_util
+    r.server_irq_util;
+  (match (r.goodput_max_min_ratio, r.goodput_jain) with
+  | Some ratio, Some jain ->
+    pf "fairness: goodput max/min %.3f, Jain %.3f\n" ratio jain
+  | _ -> ());
+  match r.final_modes with
+  | [] -> ()
+  | modes ->
+    pf "final modes: %s\n"
+      (String.concat " "
+         (List.map (fun (gid, m) -> Printf.sprintf "%s=%s" gid (mode_label m)) modes))
+
+let tenant_json (t : Loadgen.Fleet.tenant_result) =
+  Report.Json.(
+    Obj
+      [
+        ("name", String t.t_name);
+        ("offered_rps", Float t.t_offered_rps);
+        ("achieved_rps", Float t.t_achieved_rps);
+        ("mean_us", Float t.t_mean_us);
+        ("p50_us", Float t.t_p50_us);
+        ("p99_us", Float t.t_p99_us);
+        ("under_slo", Float t.t_under_slo);
+        ("estimated_us", opt (fun v -> Float v) t.t_estimated_us);
+        ("client_app_util", Float t.t_client_app_util);
+        ("nagle_toggles", Int t.t_nagle_toggles);
+      ])
+
+let fleet_json (r : Loadgen.Fleet.result) =
+  Report.Json.(
+    Obj
+      [
+        ("tenants", List (List.map tenant_json r.tenants));
+        ("fleet_achieved_rps", Float r.fleet_achieved_rps);
+        ("fleet_mean_us", Float r.fleet_mean_us);
+        ("fleet_p99_us", Float r.fleet_p99_us);
+        ("goodput_max_min_ratio", opt (fun v -> Float v) r.goodput_max_min_ratio);
+        ("goodput_jain", opt (fun v -> Float v) r.goodput_jain);
+        ("server_app_util", Float r.server_app_util);
+        ("server_irq_util", Float r.server_irq_util);
+        ( "final_modes",
+          Obj (List.map (fun (gid, m) -> (gid, String (mode_label m))) r.final_modes)
+        );
+      ])
+
+let comparison_json (c : Scenario.Exec.comparison) =
+  Report.Json.(
+    Obj
+      [
+        ("tol", Float c.tol);
+        ("candidate", fleet_json c.candidate);
+        ("static_on", fleet_json c.static_on);
+        ("static_off", fleet_json c.static_off);
+        ( "verdicts",
+          List
+            (List.map
+               (fun (v : Scenario.Exec.tenant_verdict) ->
+                 Obj
+                   [
+                     ("name", String v.v_name);
+                     ("candidate_us", Float v.v_candidate_us);
+                     ("static_on_us", Float v.v_on_us);
+                     ("static_off_us", Float v.v_off_us);
+                     ("best_static_us", Float v.v_best_us);
+                     ("candidate_fits", Bool v.v_candidate_fits);
+                   ])
+               c.verdicts) );
+        ("on_fits_all", Bool c.on_fits_all);
+        ("off_fits_all", Bool c.off_fits_all);
+        ("no_global_static_fits", Bool c.no_global_static_fits);
+        ("candidate_fits_all", Bool c.candidate_fits_all);
+      ])
+
+let scenario_cmd =
+  let file_arg =
+    let doc = "Scenario file (fleet/tenant directives; see lib/scenario)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let compare_arg =
+    let doc =
+      "Also run the two global-static variants and judge, per tenant, whether \
+       the scenario as written stays within --tol of its best static latency."
+    in
+    Arg.(value & flag & info [ "compare-static" ] ~doc)
+  in
+  let tol_arg =
+    let doc = "Relative tolerance for --compare-static verdicts." in
+    Arg.(value & opt float 0.10 & info [ "tol" ] ~doc)
+  in
+  let print_arg =
+    let doc = "Echo the canonical form of the parsed scenario before running." in
+    Arg.(value & flag & info [ "print" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write results as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let action file compare tol print json trace_out metrics_out sample_us =
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* spec =
+        Scenario.Spec.of_file file
+      in
+      let* observe = observe_of_flags ~trace_out ~metrics_out ~sample_us in
+      Ok (spec, observe)
+    in
+    match outcome with
+    | Error msg -> fail "%s" msg
+    | Ok (_, Some _) when compare ->
+      fail "--trace-out/--metrics-out apply to plain runs, not --compare-static"
+    | Ok (spec, observe) ->
+      if print then pf "%s" (Scenario.Spec.to_string spec);
+      pf "scope=%s tenants=%d seed=%d\n"
+        (Loadgen.Fleet.scope_label spec.Scenario.Spec.scope)
+        (List.length spec.Scenario.Spec.tenants)
+        spec.Scenario.Spec.seed;
+      let payload =
+        if compare then begin
+          let c = Scenario.Exec.compare_static ~tol spec in
+          pf "\n== scenario as written ==\n";
+          print_fleet_result c.candidate;
+          pf "\n== global static on ==\n";
+          print_fleet_result c.static_on;
+          pf "\n== global static off ==\n";
+          print_fleet_result c.static_off;
+          pf "\nverdicts (tol %.0f%%):\n" (100.0 *. tol);
+          List.iter
+            (fun (v : Scenario.Exec.tenant_verdict) ->
+              pf
+                "  %-10s candidate %7.1fus | on %7.1fus off %7.1fus best %7.1fus | %s\n"
+                v.v_name v.v_candidate_us v.v_on_us v.v_off_us v.v_best_us
+                (if v.v_candidate_fits then "fits" else "MISSES"))
+            c.verdicts;
+          pf "no global static fits all: %b | scenario fits all: %b\n"
+            c.no_global_static_fits c.candidate_fits_all;
+          comparison_json c
+        end
+        else begin
+          let r = Scenario.Exec.run ?observe spec in
+          print_fleet_result r;
+          (match r.Loadgen.Fleet.observability with
+          | Some o -> write_outputs ~trace_out ~metrics_out [ (None, o) ]
+          | None -> ());
+          fleet_json r
+        end
+      in
+      (match json with
+      | Some path ->
+        Report.Json.to_file path
+          (Report.Json.Obj
+             [
+               ("scenario", Report.Json.String (Scenario.Spec.to_string spec));
+               ("result", payload);
+             ]);
+        pf "wrote %s\n" path
+      | None -> ());
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ file_arg $ compare_arg $ tol_arg $ print_arg $ json_arg
+       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run a declarative multi-tenant fleet scenario, optionally comparing \
+          it against the global static batching modes")
+    term
+
 let () =
   let doc = "end-to-end-aware batching benchmarks (HotOS'25 reproduction)" in
   let info = Cmd.info "e2ebench" ~version:"1.0.0" ~doc in
@@ -973,4 +1224,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; sweep_cmd; chaos_cmd; model_cmd; trace_cmd; inspect_cmd;
-            report_cmd ]))
+            report_cmd; scenario_cmd ]))

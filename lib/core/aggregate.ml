@@ -19,6 +19,22 @@ let combine (inputs : input list) =
     flows;
   }
 
+let max_min_ratio xs =
+  match xs with
+  | [] -> None
+  | x :: rest ->
+    let lo, hi = List.fold_left (fun (lo, hi) x -> (Float.min lo x, Float.max hi x)) (x, x) rest in
+    if lo > 0.0 then Some (hi /. lo) else None
+
+let jain xs =
+  let n = List.length xs in
+  if n = 0 then None
+  else
+    let sum = List.fold_left ( +. ) 0.0 xs in
+    let sumsq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sumsq <= 0.0 then None
+    else Some (sum *. sum /. (float_of_int n *. sumsq))
+
 let of_estimates estimates =
   combine
     (List.map

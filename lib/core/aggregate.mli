@@ -16,5 +16,21 @@ type t = {
 
 val combine : input list -> t
 
+(** {1 Fairness across flows/tenants}
+
+    Multi-tenant fleets report how evenly the shared server treats
+    tenants; both helpers take a list of non-negative per-tenant
+    figures (e.g. goodput fractions, achieved/offered). *)
+
+val max_min_ratio : float list -> float option
+(** [max/min] of the inputs; 1.0 is perfectly fair.  [None] on an empty
+    list or when the minimum is not positive (a starved tenant makes
+    the ratio meaningless — report the starvation itself instead). *)
+
+val jain : float list -> float option
+(** Jain's fairness index [(Σx)² / (n·Σx²)], in [(0, 1]]; 1.0 is
+    perfectly fair, [1/n] is maximally unfair.  [None] on an empty
+    list or when every input is zero. *)
+
 val of_estimates : Estimator.estimate list -> t
 (** Convenience over {!Estimator.estimate} results. *)

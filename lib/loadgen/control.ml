@@ -1,0 +1,249 @@
+(* The batching-control plane, factored out of [Runner.run] so that a
+   multi-tenant fleet can instantiate one controller per scope unit
+   (whole fleet, tenant, or single connection) instead of exactly one
+   per run.  A control group owns the sockets it switches, the client
+   estimators it reads, and — for dynamic groups — its own toggler rng,
+   degrade state machine and tick-by-tick sample log, so groups are
+   fully independent of each other. *)
+
+type dynamic = {
+  policy : E2e.Policy.t;
+  epsilon : float;
+  tick : Sim.Time.span;
+  ewma_alpha : float;
+  min_observations : int;
+  stale_after_rtts : float;
+  stale_floor : Sim.Time.span;
+  degrade : E2e.Degrade.config;
+  fallback : E2e.Toggler.mode;
+}
+
+let default_dynamic =
+  {
+    policy = E2e.Policy.Throughput_under_slo { slo_ns = E2e.Policy.default_slo_ns };
+    epsilon = 0.05;
+    tick = Sim.Time.ms 1;
+    ewma_alpha = 0.3;
+    min_observations = 3;
+    stale_after_rtts = 8.0;
+    stale_floor = Sim.Time.ms 2;
+    degrade = E2e.Degrade.default_config;
+    fallback = E2e.Toggler.Batch_off;
+  }
+
+type aimd_cfg = {
+  slo_us : float;
+  aimd_tick : Sim.Time.span;
+  min_limit : int;
+  max_limit : int;
+  increase : int;
+  decrease : float;
+}
+
+let default_aimd =
+  {
+    slo_us = 500.0;
+    aimd_tick = Sim.Time.ms 1;
+    min_limit = 64;
+    max_limit = 1448;
+    increase = 128;
+    decrease = 0.5;
+  }
+
+type batching = Static_on | Static_off | Dynamic of dynamic | Aimd_limit of aimd_cfg
+
+let batching_label = function
+  | Static_on -> "nagle-on"
+  | Static_off -> "nagle-off"
+  | Dynamic _ -> "dynamic"
+  | Aimd_limit _ -> "aimd"
+
+let initial_nagle = function
+  | Static_on -> true
+  | Static_off -> false
+  | Dynamic _ -> false (* start as Redis ships: TCP_NODELAY *)
+  | Aimd_limit _ -> true (* the AIMD limit generalizes Nagle's rule *)
+
+type estimate_sample = {
+  at_us : float;
+  latency_us : float option;
+  throughput_rps : float;
+  mode : E2e.Toggler.mode;
+}
+
+let ns_opt_to_us = Option.map (fun ns -> ns /. 1e3)
+
+(* Aggregate the current estimates of [socks]' client-side estimators
+   per §3.2.  [advance] closes each estimator's window (the controller
+   tick does this); the default peeks without consuming it. *)
+let estimate_socks ?(advance = false) socks ~at =
+  let per_flow =
+    List.filter_map
+      (fun sock ->
+        let e = Tcp.Socket.estimator sock in
+        if advance then E2e.Estimator.estimate e ~at
+        else E2e.Estimator.peek_estimate e ~at)
+      socks
+  in
+  (E2e.Aggregate.of_estimates per_flow, per_flow)
+
+type t = {
+  batching : batching;
+  toggler : E2e.Toggler.t option;
+  aimd : E2e.Aimd.t option;
+  degrade : E2e.Degrade.t option;
+  samples_rev : estimate_sample list ref;
+}
+
+let attach ~engine ~until ~rng ~fault_armed ~batching ~client_socks ~all_socks () =
+  let estimators = List.map Tcp.Socket.estimator client_socks in
+  let aggregate_estimate ~advance at = estimate_socks ~advance client_socks ~at in
+  let kick_all () = List.iter Tcp.Socket.kick all_socks in
+  let samples_rev = ref [] in
+  let none = { batching; toggler = None; aimd = None; degrade = None; samples_rev } in
+  match batching with
+  | Static_on | Static_off -> none
+  | Aimd_limit a ->
+    (* The AIMD variable is "latency headroom" h in [1, span+1]: the
+       batching limit is max_limit - (h - 1).  While the SLO is met,
+       h grows additively (gently probing toward less batching, hence
+       lower latency); on a violation h halves (the limit jumps back
+       toward full Nagle, recovering amortization fast) — the
+       Chiu–Jain asymmetry with SLO violation as the congestion
+       signal. *)
+    let span = a.max_limit - a.min_limit in
+    let controller =
+      E2e.Aimd.create ~initial:1 ~min_limit:1 ~max_limit:(span + 1)
+        ~increase:a.increase ~decrease:a.decrease ()
+    in
+    let limit_of_headroom h = a.max_limit - (h - 1) in
+    let set_limit limit =
+      List.iter
+        (fun sock -> Tcp.Nagle.set_min_send (Tcp.Socket.nagle sock) (Some limit))
+        all_socks;
+      kick_all ()
+    in
+    set_limit (limit_of_headroom (E2e.Aimd.limit controller));
+    let rec tick () =
+      let at = Sim.Engine.now engine in
+      let agg, _ = aggregate_estimate ~advance:true at in
+      (match agg.latency_ns with
+      | Some latency_ns when agg.throughput > 0.0 ->
+        let fb = if latency_ns <= a.slo_us *. 1e3 then `Good else `Bad in
+        set_limit (limit_of_headroom (E2e.Aimd.feedback controller fb))
+      | Some _ | None -> ());
+      if Sim.Time.compare (Sim.Time.add at a.aimd_tick) until <= 0 then
+        ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick)
+    in
+    ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick);
+    { none with aimd = Some controller }
+  | Dynamic d ->
+    let toggler =
+      E2e.Toggler.create ~epsilon:d.epsilon ~ewma_alpha:d.ewma_alpha
+        ~min_observations:d.min_observations ~policy:d.policy ~rng
+        ~initial:
+          (if initial_nagle batching then E2e.Toggler.Batch_on
+           else E2e.Toggler.Batch_off)
+        ()
+    in
+    (* Graceful degradation is armed only under a fault plan: clean
+       runs must stay bit-identical to pre-fault behaviour, and a
+       low-rate clean run can legitimately go shares-quiet for longer
+       than any reasonable staleness timeout. *)
+    let degrade = if fault_armed then Some (E2e.Degrade.create ~config:d.degrade ()) else None in
+    let set_mode mode =
+      let enabled = match mode with E2e.Toggler.Batch_on -> true | Batch_off -> false in
+      List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) all_socks;
+      kick_all ()
+    in
+    let step_degrade at =
+      match degrade with
+      | None -> false
+      | Some dg ->
+        (* Stale once no flow has accepted a share within
+           max(k · srtt, floor); the timeout tracks the live RTT
+           estimate. *)
+        let stale =
+          List.for_all2
+            (fun e sock ->
+              let srtt =
+                Option.value (Tcp.Rtt.srtt (Tcp.Socket.rtt sock)) ~default:0
+              in
+              let timeout =
+                Stdlib.max
+                  (int_of_float (d.stale_after_rtts *. float_of_int srtt))
+                  d.stale_floor
+              in
+              E2e.Estimator.set_staleness e ~timeout:(Some timeout);
+              E2e.Estimator.is_stale e ~at)
+            estimators client_socks
+        in
+        let state = E2e.Degrade.step dg ~stale in
+        E2e.Toggler.force toggler
+          (match state with
+          | E2e.Degrade.Frozen -> Some d.fallback
+          | E2e.Degrade.Active -> None);
+        state = E2e.Degrade.Frozen
+    in
+    let rec tick () =
+      let at = Sim.Engine.now engine in
+      let mode = E2e.Toggler.mode toggler in
+      let frozen = step_degrade at in
+      let agg, per_flow = aggregate_estimate ~advance:true at in
+      if per_flow <> [] then begin
+        (* While frozen the estimates are known-garbage (stale remote
+           windows): keep them out of the arms so the bandit resumes
+           from trustworthy scores after the fault clears. *)
+        (match agg.latency_ns with
+        | Some latency_ns when agg.throughput > 0.0 && not frozen ->
+          E2e.Toggler.observe toggler ~mode
+            { E2e.Policy.latency_ns; throughput = agg.throughput }
+        | Some _ | None -> ());
+        samples_rev :=
+          {
+            at_us = Sim.Time.to_us at;
+            latency_us = ns_opt_to_us agg.latency_ns;
+            throughput_rps = agg.throughput;
+            mode;
+          }
+          :: !samples_rev
+      end;
+      set_mode (E2e.Toggler.decide toggler);
+      if Sim.Time.compare (Sim.Time.add at d.tick) until <= 0 then
+        ignore (Sim.Engine.schedule engine ~after:d.tick tick)
+    in
+    ignore (Sim.Engine.schedule engine ~after:d.tick tick);
+    { none with toggler = Some toggler; degrade }
+
+let samples t = List.rev !(t.samples_rev)
+let final_mode t = Option.map E2e.Toggler.mode t.toggler
+
+let final_batch_limit t =
+  match (t.aimd, t.batching) with
+  | Some c, Aimd_limit a -> Some (a.max_limit - (E2e.Aimd.limit c - 1))
+  | _ -> None
+
+let degrade_freezes t = Option.map E2e.Degrade.freezes t.degrade
+let degrade_thaws t = Option.map E2e.Degrade.thaws t.degrade
+
+let degrade_frozen_end t =
+  Option.map (fun d -> E2e.Degrade.state d = E2e.Degrade.Frozen) t.degrade
+
+(* Mean of the estimate samples inside the measured window — how
+   dynamic runs summarize their advancing estimation windows. *)
+let sample_summary t ~warmup_until =
+  let measured =
+    List.filter (fun s -> s.at_us > Sim.Time.to_us warmup_until) (samples t)
+  in
+  let weighted, count, tput_sum =
+    List.fold_left
+      (fun (acc, n, tp) s ->
+        match s.latency_us with
+        | Some us -> (acc +. us, n + 1, tp +. s.throughput_rps)
+        | None -> (acc, n, tp))
+      (0.0, 0, 0.0) measured
+  in
+  if count = 0 then (None, 0.0)
+  else
+    ( Some (weighted /. float_of_int count),
+      tput_sum /. float_of_int count )

@@ -1,0 +1,103 @@
+(** Batching control groups.
+
+    One control group drives the batching decision for a set of
+    connections: the two static modes are a socket flag, while
+    [Dynamic] (the §5 ε-greedy toggler) and [Aimd_limit] (§5's
+    better-heuristics variant) schedule a per-group decision tick that
+    reads the group's client-side estimators, scores the active arm and
+    switches every socket of the group together.
+
+    {!Runner.run} attaches exactly one group spanning the whole run
+    (the pre-fleet behaviour, re-exported there so its API is
+    unchanged); {!Fleet.run} attaches one per scope unit — fleet,
+    tenant, or single connection — each with an independently split
+    rng, so a per-connection group can settle on Nagle-on while its
+    neighbour settles on Nagle-off. *)
+
+type dynamic = {
+  policy : E2e.Policy.t;
+  epsilon : float;
+  tick : Sim.Time.span;  (** decision/observation granularity *)
+  ewma_alpha : float;
+  min_observations : int;
+  stale_after_rtts : float;
+      (** k: shares older than k·srtt mark estimates stale (armed only
+          when [fault_armed]) *)
+  stale_floor : Sim.Time.span;
+  degrade : E2e.Degrade.config;  (** freeze/thaw hysteresis *)
+  fallback : E2e.Toggler.mode;  (** static mode pinned while stale *)
+}
+
+val default_dynamic : dynamic
+(** SLO policy at 500 µs, ε = 0.05, 1 ms tick, EWMA α = 0.3; staleness
+    at max(8 RTTs, 2 ms) with 2-tick freeze/thaw hysteresis, falling
+    back to [Batch_off]. *)
+
+type aimd_cfg = {
+  slo_us : float;
+  aimd_tick : Sim.Time.span;
+  min_limit : int;  (** bytes; the floor approximates TCP_NODELAY *)
+  max_limit : int;  (** bytes; the MSS recovers full Nagle behaviour *)
+  increase : int;
+  decrease : float;
+}
+
+val default_aimd : aimd_cfg
+(** SLO 500 µs, 1 ms tick, limit in 64–1448 B, +128 B / x0.5. *)
+
+type batching = Static_on | Static_off | Dynamic of dynamic | Aimd_limit of aimd_cfg
+
+val batching_label : batching -> string
+
+val initial_nagle : batching -> bool
+(** The socket's Nagle flag at connection setup for this mode. *)
+
+type estimate_sample = {
+  at_us : float;
+  latency_us : float option;
+  throughput_rps : float;
+  mode : E2e.Toggler.mode;
+}
+
+val estimate_socks :
+  ?advance:bool ->
+  Tcp.Socket.t list ->
+  at:Sim.Time.t ->
+  E2e.Aggregate.t * E2e.Estimator.estimate list
+(** §3.2 aggregate over the sockets' client-side estimators.
+    [advance] (default false) closes each estimation window instead of
+    peeking. *)
+
+type t
+
+val attach :
+  engine:Sim.Engine.t ->
+  until:Sim.Time.t ->
+  rng:Sim.Rng.t ->
+  fault_armed:bool ->
+  batching:batching ->
+  client_socks:Tcp.Socket.t list ->
+  all_socks:Tcp.Socket.t list ->
+  unit ->
+  t
+(** Create the group and (for [Dynamic]/[Aimd_limit]) schedule its
+    decision tick until [until].  [client_socks] supply the estimates;
+    mode switches apply to [all_socks] (both ends of every connection
+    in the group).  [rng] feeds the ε-greedy exploration draws only —
+    static and AIMD groups never consume it.  [fault_armed] arms the
+    staleness → degrade → fallback machinery (dynamic groups only). *)
+
+val samples : t -> estimate_sample list
+(** Tick-by-tick estimate log, oldest first (dynamic groups; empty
+    otherwise). *)
+
+val final_mode : t -> E2e.Toggler.mode option
+val final_batch_limit : t -> int option
+val degrade_freezes : t -> int option
+val degrade_thaws : t -> int option
+val degrade_frozen_end : t -> bool option
+
+val sample_summary :
+  t -> warmup_until:Sim.Time.t -> float option * float
+(** Mean estimated latency (µs) and mean estimated throughput over the
+    group's post-warmup samples; [(None, 0.)] when there are none. *)

@@ -1,0 +1,505 @@
+(* Heterogeneous multi-tenant fleet: N tenants, each with its own
+   client host (app CPU + IRQ CPU, optionally VM-priced), arrival
+   process, workload, link and SLO, all driving one shared server (one
+   app core, one IRQ core — Redis is single-threaded).  Batching is
+   controlled by {!Control} groups whose granularity is the [scope]
+   knob: one group spanning the fleet, one per tenant, or one per
+   connection with its own toggler/estimator/degrade state. *)
+
+type scope = Global | Per_tenant | Per_conn
+
+let scope_label = function
+  | Global -> "global"
+  | Per_tenant -> "per_tenant"
+  | Per_conn -> "per_conn"
+
+type tenant = {
+  name : string;
+  n_conns : int;
+  rate_rps : float;
+  burst : int;
+  workload : Workload.t;
+  cpu_multiplier : float;
+  link : Tcp.Conn.link_params;
+  slo_us : float;
+  batching : Control.batching;
+}
+
+let default_tenant ~name ~rate_rps =
+  {
+    name;
+    n_conns = 1;
+    rate_rps;
+    burst = 1;
+    workload = Workload.paper_set_only;
+    cpu_multiplier = 1.0;
+    link = Tcp.Conn.default_link;
+    slo_us = Runner.slo_us;
+    batching = Control.Static_off;
+  }
+
+type config = {
+  seed : int;
+  warmup : Sim.Time.span;
+  duration : Sim.Time.span;
+  scope : scope;
+  batching : Control.batching;
+  server : Kv.Server.config;
+  client : Kv.Client.config;
+  observe : Observe.config option;
+  tenants : tenant list;
+}
+
+let default_config ~tenants =
+  {
+    seed = 42;
+    warmup = Sim.Time.ms 100;
+    duration = Sim.Time.ms 400;
+    scope = Global;
+    batching = Control.Static_off;
+    server = Kv.Server.default_config;
+    client = Kv.Client.default_config;
+    observe = None;
+    tenants;
+  }
+
+type tenant_result = {
+  t_name : string;
+  t_offered_rps : float;
+  t_achieved_rps : float;
+  t_completed : int;
+  t_issued : int;
+  t_completed_total : int;
+  t_outstanding_end : int;
+  t_mean_us : float;
+  t_p50_us : float;
+  t_p99_us : float;
+  t_under_slo : float;
+  t_estimated_us : float option;
+  t_estimated_tput_rps : float;
+  t_client_app_util : float;
+  t_nagle_toggles : int;
+}
+
+type result = {
+  tenants : tenant_result list;
+  fleet_achieved_rps : float;
+  fleet_mean_us : float;
+  fleet_p99_us : float;
+  goodput_max_min_ratio : float option;
+  goodput_jain : float option;
+  server_app_util : float;
+  server_irq_util : float;
+  final_modes : (string * E2e.Toggler.mode) list;
+  observability : Observe.output option;
+}
+
+let validate_tenant t =
+  if t.name = "" then invalid_arg "Fleet.run: tenant name must be non-empty";
+  String.iter
+    (fun c ->
+      if c = '/' || c = ' ' || c = '\t' then
+        invalid_arg
+          (Printf.sprintf "Fleet.run: tenant name %S may not contain '/' or whitespace"
+             t.name))
+    t.name;
+  if t.n_conns < 1 then
+    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: n_conns must be at least 1" t.name);
+  if (not (Float.is_finite t.rate_rps)) || t.rate_rps <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.run: tenant %s: rate_rps must be positive and finite" t.name);
+  if t.burst < 1 then
+    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: burst must be at least 1" t.name);
+  if (not (Float.is_finite t.cpu_multiplier)) || t.cpu_multiplier <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.run: tenant %s: cpu_multiplier must be positive" t.name);
+  if (not (Float.is_finite t.slo_us)) || t.slo_us <= 0.0 then
+    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: slo_us must be positive" t.name)
+
+(* Everything one tenant owns at runtime.  [socket_pairs] keeps the
+   (client, server) association so per-connection control groups can
+   switch both ends of exactly their connection. *)
+type tenant_state = {
+  spec : tenant;
+  mode : Control.batching;  (* after applying the scope *)
+  clients : Kv.Client.t list;
+  client_socks : Tcp.Socket.t list;
+  server_socks : Tcp.Socket.t list;
+  conns : Tcp.Conn.t list;
+  client_cpu : Sim.Cpu.t;
+  recorder : Recorder.t;
+  workload_rng : Sim.Rng.t;
+  arrival : Arrival.t;
+}
+
+let ns_opt_to_us = Option.map (fun ns -> ns /. 1e3)
+
+let run (cfg : config) =
+  if cfg.tenants = [] then invalid_arg "Fleet.run: at least one tenant required";
+  List.iter validate_tenant cfg.tenants;
+  let names = List.map (fun t -> t.name) cfg.tenants in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Fleet.run: tenant names must be unique";
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  let warmup_until = cfg.warmup in
+  let total = cfg.warmup + cfg.duration in
+  (* Shared server host: one app core, one IRQ core, fed by every
+     tenant.  Contention for these cores is the coupling that makes
+     global batching decisions unfair. *)
+  let server_cpu = Sim.Cpu.create engine in
+  let server_irq = Sim.Cpu.create engine in
+  let fleet_recorder = Recorder.create ~warmup_until () in
+  let obs = Option.map Observe.create cfg.observe in
+  let host ~nagle =
+    {
+      Tcp.Conn.socket =
+        {
+          Tcp.Socket.mss = 1448;
+          nagle;
+          cork = false;
+          tso_max = None;
+          cc_enabled = false;
+          delack_timeout = Sim.Time.ms 40;
+          delack_max_pending = 2;
+          rcv_buf = 1024 * 1024;
+          unit_mode = E2e.Units.Bytes;
+          exchange = E2e.Exchange.Periodic (Sim.Time.us 100);
+        };
+      tx_cost = Sim.Time.ns 300;
+      rx_seg_cost = Sim.Time.ns 150;
+      rx_batch_cost = Sim.Time.us 8;
+      gro = Tcp.Gro.default_config ~mss:1448;
+    }
+  in
+  (* Rng split order is fixed and documented: two streams per tenant in
+     declaration order (workload, arrival), then one per control group
+     in group order.  Identical configs therefore replay identical draw
+     sequences regardless of host parallelism. *)
+  let states =
+    List.map
+      (fun (t : tenant) ->
+        let workload_rng = Sim.Rng.split rng in
+        let arrival_rng = Sim.Rng.split rng in
+        let mode = match cfg.scope with Global -> cfg.batching | _ -> t.batching in
+        let h = host ~nagle:(Control.initial_nagle mode) in
+        let client_irq = Sim.Cpu.create engine in
+        let client_cpu = Sim.Cpu.create engine in
+        (* One store per tenant: workloads may disagree on value sizes
+           and the key space is shared ("k:<n>"), so a shared store
+           would let one tenant resize another's GET responses. *)
+        let store = Kv.Store.create () in
+        Workload.prepopulate t.workload store ~now:(Sim.Engine.now engine);
+        let conns =
+          List.init t.n_conns (fun i ->
+              Tcp.Conn.create engine ~a:h ~b:h ~link_ab:t.link ~link_ba:t.link
+                ~cpu_a:client_irq ~cpu_b:server_irq
+                ~label_a:(Printf.sprintf "%s/c%d" t.name i)
+                ~label_b:(Printf.sprintf "%s/s%d" t.name i)
+                ())
+        in
+        let client_socks = List.map Tcp.Conn.sock_a conns in
+        let server_socks = List.map Tcp.Conn.sock_b conns in
+        List.iter
+          (fun sock ->
+            ignore (Kv.Server.create engine ~cpu:server_cpu ~socket:sock ~store cfg.server))
+          server_socks;
+        let client_cfg =
+          { cfg.client with
+            Kv.Client.cpu_multiplier = cfg.client.Kv.Client.cpu_multiplier *. t.cpu_multiplier
+          }
+        in
+        let clients =
+          List.map
+            (fun sock -> Kv.Client.create engine ~cpu:client_cpu ~socket:sock client_cfg)
+            client_socks
+        in
+        let arrival =
+          if t.burst > 1 then
+            Arrival.bursty ~rng:arrival_rng ~rate_rps:t.rate_rps ~burst:t.burst
+          else Arrival.poisson ~rng:arrival_rng ~rate_rps:t.rate_rps
+        in
+        {
+          spec = t;
+          mode;
+          clients;
+          client_socks;
+          server_socks;
+          conns;
+          client_cpu;
+          recorder = Recorder.create ~warmup_until ();
+          workload_rng;
+          arrival;
+        })
+      cfg.tenants
+  in
+  let all_client_socks = List.concat_map (fun s -> s.client_socks) states in
+  let all_server_socks = List.concat_map (fun s -> s.server_socks) states in
+  (match obs with
+  | Some o ->
+    let tr = Observe.trace o in
+    let au = Observe.audit o in
+    List.iter
+      (fun sock ->
+        Tcp.Socket.set_trace sock tr;
+        E2e.Estimator.set_audit (Tcp.Socket.estimator sock) au
+          ~prefix:(Tcp.Socket.label sock))
+      (all_client_socks @ all_server_socks);
+    List.iter
+      (fun s ->
+        List.iter2
+          (fun conn sock ->
+            Tcp.Link.set_trace (Tcp.Conn.link_ab conn) tr ~id:(Tcp.Socket.label sock))
+          s.conns s.client_socks)
+      states
+  | None -> ());
+  (* Open-loop drivers: one independent arrival process per tenant,
+     round-robin over that tenant's connections. *)
+  List.iter
+    (fun s ->
+      let client_arr = Array.of_list s.clients in
+      let next_client = ref 0 in
+      let tenant_req_id = s.spec.name ^ "/client" in
+      let on_complete ~latency reply =
+        (match reply with
+        | Kv.Resp.Error e -> failwith ("fleet: server replied with error: " ^ e)
+        | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
+        let at = Sim.Engine.now engine in
+        Recorder.record s.recorder ~at ~latency;
+        Recorder.record fleet_recorder ~at ~latency;
+        match obs with
+        | Some o -> Observe.note_request o ~id:tenant_req_id ~at ~latency
+        | None -> ()
+      in
+      let issue cmd =
+        let client = client_arr.(!next_client) in
+        next_client := (!next_client + 1) mod Array.length client_arr;
+        Kv.Client.request client cmd ~on_complete
+      in
+      let rec schedule_request () =
+        let gap = Arrival.next_gap s.arrival in
+        let at = Sim.Time.add (Sim.Engine.now engine) gap in
+        if Sim.Time.compare at total <= 0 then
+          ignore
+            (Sim.Engine.schedule engine ~after:gap (fun () ->
+                 issue (Workload.next_command s.spec.workload ~rng:s.workload_rng);
+                 schedule_request ()))
+      in
+      schedule_request ())
+    states;
+  let all_estimators = List.map Tcp.Socket.estimator all_client_socks in
+  (* Observability sampling, scheduled before the control groups so a
+     coincident-instant sample sees the window the controller is about
+     to advance (same invariant as {!Runner.run}). *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let m = Observe.metrics o in
+    List.iter
+      (fun sock ->
+        let e = Tcp.Socket.estimator sock in
+        let prefix = Tcp.Socket.label sock in
+        Sim.Metrics.gauge m (prefix ^ ".unacked") (fun () ->
+            float_of_int (E2e.Estimator.unacked_size e));
+        Sim.Metrics.gauge m (prefix ^ ".unread") (fun () ->
+            float_of_int (E2e.Estimator.unread_size e)))
+      all_client_socks;
+    Sim.Metrics.gauge m "completed" (fun () ->
+        float_of_int (Recorder.count fleet_recorder));
+    let interval = Observe.interval o in
+    let rec tick () =
+      let at = Sim.Engine.now engine in
+      let per_flow =
+        List.map2
+          (fun sock e ->
+            let est = E2e.Estimator.peek_estimate e ~at in
+            (match est with
+            | Some (est : E2e.Estimator.estimate) ->
+              Sim.Trace.event (Observe.trace o) ~at ~id:(Tcp.Socket.label sock)
+                (Sim.Trace.Estimate_computed
+                   {
+                     latency_us = ns_opt_to_us est.latency_ns;
+                     throughput = est.throughput;
+                     window_us = float_of_int est.window /. 1e3;
+                   })
+            | None -> ());
+            est)
+          all_client_socks all_estimators
+      in
+      let flows = List.filter_map Fun.id per_flow in
+      let agg = E2e.Aggregate.of_estimates flows in
+      (match agg.latency_ns with
+      | Some lat_ns when Sim.Time.compare at warmup_until > 0 ->
+        let window_us =
+          List.fold_left
+            (fun acc (e : E2e.Estimator.estimate) ->
+              Float.max acc (float_of_int e.window /. 1e3))
+            0.0 flows
+        in
+        ignore (Observe.note_residual o ~at ~window_us ~est_us:(lat_ns /. 1e3))
+      | Some _ | None -> ());
+      Observe.note_sample o (Sim.Metrics.sample m ~at);
+      if Sim.Time.compare (Sim.Time.add at interval) total <= 0 then
+        ignore (Sim.Engine.schedule engine ~after:interval tick)
+    in
+    ignore (Sim.Engine.schedule engine ~after:interval tick));
+  (* Control groups, one per scope unit, each with its own rng split in
+     a fixed order so per-connection togglers explore independently. *)
+  let groups =
+    match cfg.scope with
+    | Global ->
+      [
+        ( "fleet",
+          None,
+          Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
+            ~fault_armed:false ~batching:cfg.batching
+            ~client_socks:all_client_socks
+            ~all_socks:(all_client_socks @ all_server_socks)
+            () );
+      ]
+    | Per_tenant ->
+      List.mapi
+        (fun i s ->
+          ( s.spec.name,
+            Some i,
+            Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
+              ~fault_armed:false ~batching:s.mode ~client_socks:s.client_socks
+              ~all_socks:(s.client_socks @ s.server_socks)
+              () ))
+        states
+    | Per_conn ->
+      List.concat
+        (List.mapi
+           (fun i s ->
+             List.map2
+               (fun csock ssock ->
+                 ( Tcp.Socket.label csock,
+                   Some i,
+                   Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
+                     ~fault_armed:false ~batching:s.mode ~client_socks:[ csock ]
+                     ~all_socks:[ csock; ssock ]
+                     () ))
+               s.client_socks s.server_socks)
+           states)
+  in
+  (* Warmup boundary: close every estimation window, reset the audit,
+     capture CPU baselines. *)
+  let baseline = ref None in
+  ignore
+    (Sim.Engine.schedule_at engine ~at:warmup_until (fun () ->
+         let at = Sim.Engine.now engine in
+         List.iter (fun e -> ignore (E2e.Estimator.estimate e ~at)) all_estimators;
+         (match obs with
+         | Some o -> Sim.Audit.reset_window (Observe.audit o) ~at
+         | None -> ());
+         baseline :=
+           Some
+             ( Sim.Cpu.busy_ns server_cpu,
+               Sim.Cpu.busy_ns server_irq,
+               List.map (fun s -> Sim.Cpu.busy_ns s.client_cpu) states )));
+  Sim.Engine.run_until engine total;
+  let at = Sim.Engine.now engine in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reports = Observe.finalize_audit o ~at in
+    List.iter
+      (fun (r : Sim.Audit.report) ->
+        Sim.Trace.event (Observe.trace o) ~at ~id:""
+          (Sim.Trace.Audit_window
+             {
+               queue = r.queue;
+               l_avg = r.l_avg;
+               lambda_per_s = r.lambda_per_s;
+               w_us = r.w_us;
+               rel_err = r.rel_err;
+             }))
+      reports);
+  let b_server_app, b_server_irq, b_clients =
+    match !baseline with
+    | Some b -> b
+    | None -> failwith "fleet: warmup sample never fired"
+  in
+  let duration_s = Sim.Time.to_sec cfg.duration in
+  let util busy base_v = float_of_int (busy - base_v) /. float_of_int cfg.duration in
+  (* Per-tenant stack estimate: dynamic groups advance their windows on
+     every tick, so aggregate their tick samples; static/AIMD groups
+     (and any tenant under a global group) kept windows open since
+     warmup, so a final peek covers the whole measured period. *)
+  let tenant_estimate i s =
+    let own_groups =
+      List.filter_map
+        (fun (_, ti, ctrl) -> if ti = Some i then Some ctrl else None)
+        groups
+    in
+    let dynamic = match s.mode with Control.Dynamic _ -> true | _ -> false in
+    if cfg.scope <> Global && dynamic then
+      let summaries = List.map (Control.sample_summary ~warmup_until) own_groups in
+      let weighted, weight =
+        List.fold_left
+          (fun (acc, w) (lat, tput) ->
+            match lat with
+            | Some us when tput > 0.0 -> (acc +. (us *. tput), w +. tput)
+            | Some _ | None -> (acc, w))
+          (0.0, 0.0) summaries
+      in
+      let tput = List.fold_left (fun acc (_, tp) -> acc +. tp) 0.0 summaries in
+      ((if weight > 0.0 then Some (weighted /. weight) else None), tput)
+    else
+      let agg, _ = Control.estimate_socks s.client_socks ~at in
+      (ns_opt_to_us agg.latency_ns, agg.throughput)
+  in
+  let tenant_results =
+    List.mapi
+      (fun i s ->
+        let completed = Recorder.count s.recorder in
+        let est_us, est_tput = tenant_estimate i s in
+        let issued = List.fold_left (fun acc c -> acc + Kv.Client.issued c) 0 s.clients in
+        let outstanding =
+          List.fold_left (fun acc c -> acc + Kv.Client.outstanding c) 0 s.clients
+        in
+        {
+          t_name = s.spec.name;
+          t_offered_rps = s.spec.rate_rps;
+          t_achieved_rps = float_of_int completed /. duration_s;
+          t_completed = completed;
+          t_issued = issued;
+          t_completed_total =
+            List.fold_left (fun acc c -> acc + Kv.Client.completed c) 0 s.clients;
+          t_outstanding_end = outstanding;
+          t_mean_us = Recorder.mean_us s.recorder;
+          t_p50_us = Recorder.p50_us s.recorder;
+          t_p99_us = Recorder.p99_us s.recorder;
+          t_under_slo = Recorder.under_slo_fraction s.recorder ~slo_us:s.spec.slo_us;
+          t_estimated_us = est_us;
+          t_estimated_tput_rps = est_tput;
+          t_client_app_util =
+            util (Sim.Cpu.busy_ns s.client_cpu) (List.nth b_clients i);
+          t_nagle_toggles =
+            List.fold_left
+              (fun acc sock -> acc + Tcp.Nagle.toggles (Tcp.Socket.nagle sock))
+              0 s.client_socks;
+        })
+      states
+  in
+  (* Fairness over goodput fractions (achieved/offered) so tenants with
+     very different offered loads are comparable. *)
+  let goodput =
+    List.map (fun r -> r.t_achieved_rps /. r.t_offered_rps) tenant_results
+  in
+  {
+    tenants = tenant_results;
+    fleet_achieved_rps = float_of_int (Recorder.count fleet_recorder) /. duration_s;
+    fleet_mean_us = Recorder.mean_us fleet_recorder;
+    fleet_p99_us = Recorder.p99_us fleet_recorder;
+    goodput_max_min_ratio = E2e.Aggregate.max_min_ratio goodput;
+    goodput_jain = E2e.Aggregate.jain goodput;
+    server_app_util = util (Sim.Cpu.busy_ns server_cpu) b_server_app;
+    server_irq_util = util (Sim.Cpu.busy_ns server_irq) b_server_irq;
+    final_modes =
+      List.filter_map
+        (fun (gid, _, ctrl) ->
+          Option.map (fun m -> (gid, m)) (Control.final_mode ctrl))
+        groups;
+    observability = Option.map Observe.output obs;
+  }

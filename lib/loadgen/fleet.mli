@@ -1,0 +1,111 @@
+(** Heterogeneous multi-tenant fleet against one shared server.
+
+    Each tenant models one client deployment — its own host (app core +
+    IRQ core), connection count, arrival process, workload, CPU price
+    ([cpu_multiplier] > 1 is the paper's Figure-2 VM client), link
+    delay and SLO — and every tenant's connections terminate at the
+    same single-threaded server (one app core, one IRQ core).  The
+    shared server couples the tenants: batching decisions made for one
+    change the CPU headroom left for the others.
+
+    The [scope] knob sets the granularity of batching control: one
+    {!Control} group spanning the fleet, one per tenant, or one per
+    connection.  Per-connection dynamic groups each own their toggler,
+    estimator windows and exploration rng, so a bare-metal tenant's
+    connections can settle on Nagle-on while a VM tenant's settle on
+    Nagle-off — the headline heterogeneous-fleet experiment where no
+    global static choice serves both.
+
+    Determinism: identical configs produce identical results across
+    repeats and across worker-domain counts; rng streams are split in a
+    fixed, documented order (two per tenant, then one per control
+    group). *)
+
+type scope =
+  | Global  (** one control group spans every connection of the fleet *)
+  | Per_tenant  (** one group per tenant *)
+  | Per_conn  (** one group — toggler, estimators, rng — per connection *)
+
+val scope_label : scope -> string
+
+type tenant = {
+  name : string;
+      (** unique, non-empty, no '/' or whitespace; trace/span ids are
+          tagged ["<name>/c<i>"] / ["<name>/s<i>"] *)
+  n_conns : int;
+  rate_rps : float;
+  burst : int;  (** 1 = plain Poisson arrivals *)
+  workload : Workload.t;
+  cpu_multiplier : float;
+      (** scales the client's per-request CPU costs; 1.0 bare metal,
+          4.0 the paper's VM client *)
+  link : Tcp.Conn.link_params;
+  slo_us : float;  (** per-tenant SLO used for [t_under_slo] *)
+  batching : Control.batching;
+      (** this tenant's mode under [Per_tenant]/[Per_conn] scopes;
+          ignored under [Global] *)
+}
+
+val default_tenant : name:string -> rate_rps:float -> tenant
+(** 1 connection, Poisson, paper SET-only workload, bare-metal CPU,
+    default link, 500 µs SLO, [Static_off]. *)
+
+type config = {
+  seed : int;
+  warmup : Sim.Time.span;
+  duration : Sim.Time.span;  (** measured period, after warmup *)
+  scope : scope;
+  batching : Control.batching;
+      (** the fleet-wide group's mode under [Global]; ignored otherwise *)
+  server : Kv.Server.config;
+  client : Kv.Client.config;
+      (** base costs; each tenant's [cpu_multiplier] stacks on top *)
+  observe : Observe.config option;
+  tenants : tenant list;
+}
+
+val default_config : tenants:tenant list -> config
+(** Seed 42, 100 ms warmup + 400 ms measured, [Global] scope with
+    [Static_off], default server/client costs, no observability. *)
+
+type tenant_result = {
+  t_name : string;
+  t_offered_rps : float;
+  t_achieved_rps : float;
+  t_completed : int;  (** completions inside the measured window *)
+  t_issued : int;  (** lifetime, warmup included *)
+  t_completed_total : int;  (** lifetime completions, warmup included *)
+  t_outstanding_end : int;
+      (** liveness closure:
+          [t_issued = t_completed_total + t_outstanding_end] *)
+  t_mean_us : float;
+  t_p50_us : float;
+  t_p99_us : float;
+  t_under_slo : float;  (** fraction within this tenant's [slo_us] *)
+  t_estimated_us : float option;
+      (** §3.2 stack estimate aggregated over the tenant's connections *)
+  t_estimated_tput_rps : float;
+  t_client_app_util : float;
+  t_nagle_toggles : int;  (** summed over the tenant's client sockets *)
+}
+
+type result = {
+  tenants : tenant_result list;  (** in [config.tenants] order *)
+  fleet_achieved_rps : float;
+  fleet_mean_us : float;
+  fleet_p99_us : float;
+  goodput_max_min_ratio : float option;
+      (** max/min of per-tenant achieved/offered; 1.0 is perfectly fair *)
+  goodput_jain : float option;  (** Jain's index over the same fractions *)
+  server_app_util : float;
+  server_irq_util : float;
+  final_modes : (string * E2e.Toggler.mode) list;
+      (** final mode per dynamic control group: group ids are ["fleet"],
+          tenant names, or connection labels depending on [scope] *)
+  observability : Observe.output option;
+}
+
+val run : config -> result
+(** Raises [Invalid_argument] on an empty tenant list, duplicate or
+    malformed tenant names, or non-positive per-tenant rates, bursts,
+    connection counts, CPU multipliers or SLOs. *)

@@ -56,11 +56,10 @@ let finalize_audit t ~at =
   t.audits <- reports;
   reports
 
-let note_request t ~at ~latency =
+let note_request ?(id = "client") t ~at ~latency =
   let latency_us = Sim.Time.to_us latency in
   t.reqs_rev <- (Sim.Time.to_us at, latency_us) :: t.reqs_rev;
-  Sim.Trace.event t.trace ~at ~id:"client"
-    (Sim.Trace.Request_done { latency_us })
+  Sim.Trace.event t.trace ~at ~id (Sim.Trace.Request_done { latency_us })
 
 (* Mean latency of requests completing in [(from_us, upto_us]]; the log
    is newest-first so the walk stops at the window's left edge. *)

@@ -46,9 +46,12 @@ val finalize_audit : t -> at:Sim.Time.t -> Sim.Audit.report list
 (** Close the audit window at [at], store the per-queue reports so
     {!output} carries them, and return them. *)
 
-val note_request : t -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
+val note_request :
+  ?id:string -> t -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
 (** Log one completed request (the residual ground-truth source) and
-    emit a [Request_done] trace event. *)
+    emit a [Request_done] trace event under [id] (default ["client"]).
+    Fleet runs pass tenant-tagged ids like ["bare/c0"] so reports can
+    group request events by tenant. *)
 
 val truth_over : t -> from_us:float -> upto_us:float -> float option
 (** Mean logged latency of requests completing in [(from_us, upto_us]];

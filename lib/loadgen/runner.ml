@@ -1,4 +1,8 @@
-type dynamic = {
+(* The batching types and the controller itself live in {!Control} so
+   the fleet engine can instantiate one group per scope unit; they are
+   re-exported here verbatim to keep the single-run API unchanged. *)
+
+type dynamic = Control.dynamic = {
   policy : E2e.Policy.t;
   epsilon : float;
   tick : Sim.Time.span;
@@ -10,20 +14,9 @@ type dynamic = {
   fallback : E2e.Toggler.mode;
 }
 
-let default_dynamic =
-  {
-    policy = E2e.Policy.Throughput_under_slo { slo_ns = E2e.Policy.default_slo_ns };
-    epsilon = 0.05;
-    tick = Sim.Time.ms 1;
-    ewma_alpha = 0.3;
-    min_observations = 3;
-    stale_after_rtts = 8.0;
-    stale_floor = Sim.Time.ms 2;
-    degrade = E2e.Degrade.default_config;
-    fallback = E2e.Toggler.Batch_off;
-  }
+let default_dynamic = Control.default_dynamic
 
-type aimd_cfg = {
+type aimd_cfg = Control.aimd_cfg = {
   slo_us : float;
   aimd_tick : Sim.Time.span;
   min_limit : int;
@@ -32,23 +25,15 @@ type aimd_cfg = {
   decrease : float;
 }
 
-let default_aimd =
-  {
-    slo_us = 500.0;
-    aimd_tick = Sim.Time.ms 1;
-    min_limit = 64;
-    max_limit = 1448;
-    increase = 128;
-    decrease = 0.5;
-  }
+let default_aimd = Control.default_aimd
 
-type batching = Static_on | Static_off | Dynamic of dynamic | Aimd_limit of aimd_cfg
+type batching = Control.batching =
+  | Static_on
+  | Static_off
+  | Dynamic of dynamic
+  | Aimd_limit of aimd_cfg
 
-let batching_label = function
-  | Static_on -> "nagle-on"
-  | Static_off -> "nagle-off"
-  | Dynamic _ -> "dynamic"
-  | Aimd_limit _ -> "aimd"
+let batching_label = Control.batching_label
 
 type config = {
   seed : int;
@@ -114,7 +99,7 @@ let default_config ~rate_rps ~batching =
     observe = None;
   }
 
-type estimate_sample = {
+type estimate_sample = Control.estimate_sample = {
   at_us : float;
   latency_us : float option;
   throughput_rps : float;
@@ -182,13 +167,10 @@ type baseline = {
 
 let run cfg =
   if cfg.n_conns < 1 then invalid_arg "Runner.run: n_conns must be at least 1";
-  let initial_nagle =
-    match cfg.batching with
-    | Static_on -> true
-    | Static_off -> false
-    | Dynamic _ -> false (* start as Redis ships: TCP_NODELAY *)
-    | Aimd_limit _ -> true (* the AIMD limit generalizes Nagle's rule *)
-  in
+  if (not (Float.is_finite cfg.rate_rps)) || cfg.rate_rps <= 0.0 then
+    invalid_arg "Runner.run: rate_rps must be positive and finite";
+  if cfg.burst < 1 then invalid_arg "Runner.run: burst must be at least 1";
+  let initial_nagle = Control.initial_nagle cfg.batching in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create ~seed:cfg.seed in
   let workload_rng = Sim.Rng.split rng in
@@ -372,7 +354,6 @@ let run cfg =
     (E2e.Aggregate.of_estimates per_flow, per_flow)
   in
   let all_socks = client_socks @ server_socks in
-  let kick_all () = List.iter Tcp.Socket.kick all_socks in
   (* Observability sampling.  Everything read here is non-destructive
      ([peek_estimate], queue sizes, counters), and the tick chain is
      scheduled before the controller ticks below so that at coincident
@@ -457,126 +438,14 @@ let run cfg =
         ignore (Sim.Engine.schedule engine ~after:interval tick)
     in
     ignore (Sim.Engine.schedule engine ~after:interval tick));
-  let samples = ref [] in
-  let aimd =
-    match cfg.batching with
-    | Static_on | Static_off | Dynamic _ -> None
-    | Aimd_limit a ->
-      (* The AIMD variable is "latency headroom" h in [1, span+1]: the
-         batching limit is max_limit - (h - 1).  While the SLO is met,
-         h grows additively (gently probing toward less batching, hence
-         lower latency); on a violation h halves (the limit jumps back
-         toward full Nagle, recovering amortization fast) — the
-         Chiu–Jain asymmetry with SLO violation as the congestion
-         signal. *)
-      let span = a.max_limit - a.min_limit in
-      let controller =
-        E2e.Aimd.create ~initial:1 ~min_limit:1 ~max_limit:(span + 1)
-          ~increase:a.increase ~decrease:a.decrease ()
-      in
-      let limit_of_headroom h = a.max_limit - (h - 1) in
-      let set_limit limit =
-        List.iter
-          (fun sock -> Tcp.Nagle.set_min_send (Tcp.Socket.nagle sock) (Some limit))
-          all_socks;
-        kick_all ()
-      in
-      set_limit (limit_of_headroom (E2e.Aimd.limit controller));
-      let rec tick () =
-        let at = Sim.Engine.now engine in
-        let agg, _ = aggregate_estimate ~advance:true at in
-        (match agg.latency_ns with
-        | Some latency_ns when agg.throughput > 0.0 ->
-          let fb = if latency_ns <= a.slo_us *. 1e3 then `Good else `Bad in
-          set_limit (limit_of_headroom (E2e.Aimd.feedback controller fb))
-        | Some _ | None -> ());
-        if Sim.Time.compare (Sim.Time.add at a.aimd_tick) total <= 0 then
-          ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick)
-      in
-      ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick);
-      Some controller
-  in
-  let degrade = ref None in
-  let toggler =
-    match cfg.batching with
-    | Static_on | Static_off | Aimd_limit _ -> None
-    | Dynamic d ->
-      let toggler =
-        E2e.Toggler.create ~epsilon:d.epsilon ~ewma_alpha:d.ewma_alpha
-          ~min_observations:d.min_observations ~policy:d.policy ~rng:toggler_rng
-          ~initial:(if initial_nagle then E2e.Toggler.Batch_on else E2e.Toggler.Batch_off)
-          ()
-      in
-      (* Graceful degradation is armed only under a fault plan: clean
-         runs must stay bit-identical to pre-fault behaviour, and a
-         low-rate clean run can legitimately go shares-quiet for longer
-         than any reasonable staleness timeout. *)
-      (match cfg.fault with
-      | Some _ -> degrade := Some (E2e.Degrade.create ~config:d.degrade ())
-      | None -> ());
-      let set_mode mode =
-        let enabled = match mode with E2e.Toggler.Batch_on -> true | Batch_off -> false in
-        List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) all_socks;
-        kick_all ()
-      in
-      let step_degrade at =
-        match !degrade with
-        | None -> false
-        | Some dg ->
-          (* Stale once no flow has accepted a share within
-             max(k · srtt, floor); the timeout tracks the live RTT
-             estimate. *)
-          let stale =
-            List.for_all2
-              (fun e sock ->
-                let srtt =
-                  Option.value (Tcp.Rtt.srtt (Tcp.Socket.rtt sock)) ~default:0
-                in
-                let timeout =
-                  Stdlib.max
-                    (int_of_float (d.stale_after_rtts *. float_of_int srtt))
-                    d.stale_floor
-                in
-                E2e.Estimator.set_staleness e ~timeout:(Some timeout);
-                E2e.Estimator.is_stale e ~at)
-              estimators client_socks
-          in
-          let state = E2e.Degrade.step dg ~stale in
-          E2e.Toggler.force toggler
-            (match state with
-            | E2e.Degrade.Frozen -> Some d.fallback
-            | E2e.Degrade.Active -> None);
-          state = E2e.Degrade.Frozen
-      in
-      let rec tick () =
-        let at = Sim.Engine.now engine in
-        let mode = E2e.Toggler.mode toggler in
-        let frozen = step_degrade at in
-        let agg, per_flow = aggregate_estimate ~advance:true at in
-        if per_flow <> [] then begin
-          (* While frozen the estimates are known-garbage (stale remote
-             windows): keep them out of the arms so the bandit resumes
-             from trustworthy scores after the fault clears. *)
-          (match agg.latency_ns with
-          | Some latency_ns when agg.throughput > 0.0 && not frozen ->
-            E2e.Toggler.observe toggler ~mode
-              { E2e.Policy.latency_ns; throughput = agg.throughput }
-          | Some _ | None -> ());
-          samples :=
-            {
-              at_us = Sim.Time.to_us at;
-              latency_us = ns_opt_to_us agg.latency_ns;
-              throughput_rps = agg.throughput;
-              mode;
-            }
-            :: !samples
-        end;
-        set_mode (E2e.Toggler.decide toggler);
-        if Sim.Time.compare (Sim.Time.add at d.tick) total <= 0 then
-          ignore (Sim.Engine.schedule engine ~after:d.tick tick)
-      in
-      ignore (Sim.Engine.schedule engine ~after:d.tick tick);
-      Some toggler
+  (* One control group spanning the whole run — the pre-fleet
+     behaviour.  The attach point matters: the observability tick chain
+     above is scheduled first, so at coincident instants the sample
+     still sees the window the controller is about to advance. *)
+  let ctrl =
+    Control.attach ~engine ~until:total ~rng:toggler_rng
+      ~fault_armed:(cfg.fault <> None) ~batching:cfg.batching ~client_socks
+      ~all_socks ()
   in
   (* Warmup boundary: reset estimation windows, capture baselines. *)
   let baseline = ref None in
@@ -649,20 +518,8 @@ let run cfg =
       | Some _, _ -> (ns_opt_to_us agg.latency_ns, None, None, agg.throughput)
       | None, _ -> (None, None, None, agg.throughput))
     | Dynamic _ ->
-      let measured =
-        List.filter (fun s -> s.at_us > Sim.Time.to_us warmup_until) !samples
-      in
-      let weighted, count, tput_sum =
-        List.fold_left
-          (fun (acc, n, tp) s ->
-            match s.latency_us with
-            | Some us -> (acc +. us, n + 1, tp +. s.throughput_rps)
-            | None -> (acc, n, tp))
-          (0.0, 0, 0.0) measured
-      in
-      if count = 0 then (None, None, None, 0.0)
-      else
-        (Some (weighted /. float_of_int count), None, None, tput_sum /. float_of_int count)
+      let lat, tput = Control.sample_summary ctrl ~warmup_until in
+      (lat, None, None, tput)
   in
   (* Hint-based (§3.3) estimates: client-local and the server's view,
      aggregated across connections. *)
@@ -738,10 +595,9 @@ let run cfg =
         (fun acc sock ->
           acc + E2e.Estimator.rejected_shares (Tcp.Socket.estimator sock))
         0 (client_socks @ server_socks);
-    degrade_freezes = Option.map E2e.Degrade.freezes !degrade;
-    degrade_thaws = Option.map E2e.Degrade.thaws !degrade;
-    degrade_frozen_end =
-      Option.map (fun d -> E2e.Degrade.state d = E2e.Degrade.Frozen) !degrade;
+    degrade_freezes = Control.degrade_freezes ctrl;
+    degrade_thaws = Control.degrade_thaws ctrl;
+    degrade_frozen_end = Control.degrade_frozen_end ctrl;
     measured_mean_us = Recorder.mean_us recorder;
     measured_p50_us = Recorder.p50_us recorder;
     measured_p99_us = Recorder.p99_us recorder;
@@ -763,11 +619,8 @@ let run cfg =
     server_batch_mean = Sim.Stats.Summary.mean server_batches;
     server_wakeups = List.fold_left (fun acc s -> acc + Kv.Server.wakeups s) 0 servers;
     nagle_toggles = Tcp.Nagle.toggles (Tcp.Socket.nagle (List.hd client_socks));
-    final_mode = Option.map E2e.Toggler.mode toggler;
-    final_batch_limit =
-      (match (aimd, cfg.batching) with
-      | Some c, Aimd_limit a -> Some (a.max_limit - (E2e.Aimd.limit c - 1))
-      | _ -> None);
+    final_mode = Control.final_mode ctrl;
+    final_batch_limit = Control.final_batch_limit ctrl;
     server_gro_merge =
       (if gro_batches = 0 then 0.0
        else float_of_int gro_segments /. float_of_int gro_batches);
@@ -787,6 +640,6 @@ let run cfg =
           | Some ns, None -> Some (ns /. 1e3)
           | None, acc -> acc)
         None clients;
-    samples = List.rev !samples;
+    samples = Control.samples ctrl;
     observability = Option.map Observe.output obs;
   }

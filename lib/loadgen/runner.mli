@@ -6,9 +6,12 @@
     timestamps at the client, while estimated latency comes from the
     §3.2 queue states exchanged through the stack.  Batching is either
     static (Nagle on / off — the two configurations of Figure 4) or
-    dynamic (the ε-greedy toggler of §5 driven by the estimates). *)
+    dynamic (the ε-greedy toggler of §5 driven by the estimates).
 
-type dynamic = {
+    The batching types are re-exports of {!Control}'s — the controller
+    itself lives there so {!Fleet} can attach one per scope unit. *)
+
+type dynamic = Control.dynamic = {
   policy : E2e.Policy.t;
   epsilon : float;
   tick : Sim.Time.span;  (** decision/observation granularity *)
@@ -31,7 +34,7 @@ val default_dynamic : dynamic
     back to [Batch_off] (the TCP_NODELAY default dynamic runs start
     from). *)
 
-type aimd_cfg = {
+type aimd_cfg = Control.aimd_cfg = {
   slo_us : float;
   aimd_tick : Sim.Time.span;
   min_limit : int;  (** bytes; the floor approximates TCP_NODELAY *)
@@ -43,7 +46,7 @@ type aimd_cfg = {
 val default_aimd : aimd_cfg
 (** SLO 500 µs, 1 ms tick, limit in 64–1448 B, +128 B / x0.5. *)
 
-type batching =
+type batching = Control.batching =
   | Static_on
   | Static_off
   | Dynamic of dynamic
@@ -102,7 +105,7 @@ val default_config : rate_rps:float -> batching:batching -> config
 (** 100 ms warmup + 400 ms measured, paper SET-only workload, byte
     units, periodic 100 µs exchange, default server/client costs. *)
 
-type estimate_sample = {
+type estimate_sample = Control.estimate_sample = {
   at_us : float;
   latency_us : float option;
   throughput_rps : float;

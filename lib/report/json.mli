@@ -1,0 +1,25 @@
+(** Minimal JSON construction (no parsing) for BENCH_*.json artifacts
+    and CLI output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val opt : ('a -> t) -> 'a option -> t
+(** [opt f None = Null]. *)
+
+val to_string : t -> string
+(** Compact, no whitespace.  Floats print as [%.6g] (integral values as
+    [%.1f] so they stay floats on re-read); non-finite floats print as
+    [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indentation, field order preserved. *)
+
+val to_file : string -> t -> unit
+(** Pretty output plus a trailing newline. *)

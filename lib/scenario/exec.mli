@@ -1,0 +1,61 @@
+(** Compile and run {!Spec} scenarios.
+
+    The compiled fleet inherits {!Loadgen.Fleet.default_config} for
+    everything the grammar does not express (server/client base costs,
+    observability off). *)
+
+val to_batching : Spec.batching -> Loadgen.Control.batching
+(** [Dynamic eps] becomes {!Loadgen.Control.default_dynamic} with the
+    spec's epsilon; [Aimd] is {!Loadgen.Control.default_aimd}. *)
+
+val to_workload : Spec.mix -> Loadgen.Workload.t
+val to_tenant : Spec.tenant -> Loadgen.Fleet.tenant
+val to_fleet : Spec.t -> Loadgen.Fleet.config
+
+val run :
+  ?observe:Loadgen.Observe.config -> Spec.t -> Loadgen.Fleet.result
+
+type tenant_verdict = {
+  v_name : string;
+  v_candidate_us : float;  (** tenant mean under the scenario as written *)
+  v_on_us : float;  (** … under global [Static_on] *)
+  v_off_us : float;  (** … under global [Static_off] *)
+  v_best_us : float;
+      (** best mean any of the three configurations achieved for this
+          tenant — the bar every configuration is judged against *)
+  v_candidate_fits : bool;
+      (** candidate within [(1+tol)] of this tenant's best *)
+}
+
+type comparison = {
+  tol : float;
+  candidate : Loadgen.Fleet.result;
+  static_on : Loadgen.Fleet.result;
+  static_off : Loadgen.Fleet.result;
+  verdicts : tenant_verdict list;  (** in tenant declaration order *)
+  on_fits_all : bool;
+      (** global [Static_on] within [(1+tol)] of every tenant's best *)
+  off_fits_all : bool;
+  no_global_static_fits : bool;
+      (** neither static mode serves every tenant — the situation that
+          motivates finer-grained control *)
+  candidate_fits_all : bool;
+}
+
+val compare_static :
+  ?tol:float ->
+  ?map:
+    ((Loadgen.Fleet.config -> Loadgen.Fleet.result) ->
+    Loadgen.Fleet.config list ->
+    Loadgen.Fleet.result list) ->
+  Spec.t ->
+  comparison
+(** Run the scenario as written plus the two global-static variants of
+    the same fleet (same seed, tenants and durations; only
+    [scope]/[batching] replaced) and judge per-tenant mean latency with
+    tolerance [tol] (default 0.10).  The headline claim holds when
+    [no_global_static_fits && candidate_fits_all].
+
+    [map] (default [List.map]) runs the three independent simulations;
+    pass [Par.Pool.map] to fan them out over domains — it must return
+    results in input order. *)

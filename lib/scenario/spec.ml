@@ -1,0 +1,278 @@
+(* Declarative fleet scenarios, one directive per line in the style of
+   [Fault.Plan]: a [fleet] line sets run-wide knobs and each [tenant]
+   line adds one tenant.  The spec is symbolic — batching modes and
+   workload mixes are names, times are numbers — so that [to_string]
+   prints a canonical form and [of_string (to_string s) = Ok s]. *)
+
+type batching = On | Off | Dynamic of float  (* exploration epsilon *) | Aimd
+
+let batching_to_string = function
+  | On -> "on"
+  | Off -> "off"
+  | Dynamic _ -> "dynamic"
+  | Aimd -> "aimd"
+
+type mix = Set_only | Mixed | Small
+
+let mix_to_string = function
+  | Set_only -> "set_only"
+  | Mixed -> "mixed"
+  | Small -> "small"
+
+let mix_of_string = function
+  | "set_only" -> Ok Set_only
+  | "mixed" -> Ok Mixed
+  | "small" -> Ok Small
+  | s -> Error (Printf.sprintf "unknown mix %S (want set_only|mixed|small)" s)
+
+type scope = Loadgen.Fleet.scope = Global | Per_tenant | Per_conn
+
+let scope_of_string = function
+  | "global" -> Ok Global
+  | "per_tenant" -> Ok Per_tenant
+  | "per_conn" -> Ok Per_conn
+  | s -> Error (Printf.sprintf "unknown scope %S (want global|per_tenant|per_conn)" s)
+
+type tenant = {
+  name : string;
+  conns : int;
+  rate_rps : float;
+  burst : int;
+  mix : mix;
+  cpu_mult : float;
+  link_us : float;
+  slo_us : float;
+  batching : batching;
+}
+
+let default_epsilon = Loadgen.Control.default_dynamic.Loadgen.Control.epsilon
+
+let default_tenant ~name ~rate_rps =
+  {
+    name;
+    conns = 1;
+    rate_rps;
+    burst = 1;
+    mix = Set_only;
+    cpu_mult = 1.0;
+    link_us = 10.0;
+    slo_us = 500.0;
+    batching = Off;
+  }
+
+type t = {
+  seed : int;
+  warmup_ms : float;
+  duration_ms : float;
+  scope : scope;
+  batching : batching;
+  tenants : tenant list;
+}
+
+let default =
+  {
+    seed = 42;
+    warmup_ms = 100.0;
+    duration_ms = 400.0;
+    scope = Global;
+    batching = Off;
+    tenants = [];
+  }
+
+(* {2 Parsing} *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (strip_comment line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let kv tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Ok (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+
+let ( let* ) = Result.bind
+
+let assoc_all toks =
+  List.fold_left
+    (fun acc tok ->
+      let* acc = acc in
+      let* pair = kv tok in
+      Ok (pair :: acc))
+    (Ok []) toks
+  |> Result.map List.rev
+
+let known keys pairs =
+  match List.find_opt (fun (k, _) -> not (List.mem k keys)) pairs with
+  | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
+  | None -> Ok pairs
+
+let float_of pairs key ~default =
+  match List.assoc_opt key pairs with
+  | None -> Ok default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ | None -> Error (Printf.sprintf "%s: not a finite number: %S" key v))
+
+let int_of pairs key ~default =
+  match List.assoc_opt key pairs with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s: not an integer: %S" key v))
+
+let positive key v =
+  if v > 0.0 then Ok v else Error (Printf.sprintf "%s=%g must be positive" key v)
+
+(* The batching mode plus its (optional) dynamic-only epsilon key. *)
+let batching_of pairs ~default =
+  let* name =
+    match List.assoc_opt "batching" pairs with
+    | None -> Ok (batching_to_string default)
+    | Some v -> Ok v
+  in
+  let eps_given = List.mem_assoc "epsilon" pairs in
+  match name with
+  | "on" | "off" | "aimd" when eps_given ->
+    Error (Printf.sprintf "epsilon only applies to batching=dynamic (got %s)" name)
+  | "on" -> Ok On
+  | "off" -> Ok Off
+  | "aimd" -> Ok Aimd
+  | "dynamic" ->
+    let inherited = match default with Dynamic e -> e | _ -> default_epsilon in
+    let* eps = float_of pairs "epsilon" ~default:inherited in
+    if eps < 0.0 || eps >= 1.0 then
+      Error (Printf.sprintf "epsilon=%g out of range [0,1)" eps)
+    else Ok (Dynamic eps)
+  | s -> Error (Printf.sprintf "unknown batching %S (want on|off|dynamic|aimd)" s)
+
+let parse_fleet spec pairs =
+  let* pairs =
+    known [ "seed"; "warmup_ms"; "duration_ms"; "scope"; "batching"; "epsilon" ] pairs
+  in
+  let* seed = int_of pairs "seed" ~default:spec.seed in
+  let* warmup_ms = float_of pairs "warmup_ms" ~default:spec.warmup_ms in
+  let* duration_ms = float_of pairs "duration_ms" ~default:spec.duration_ms in
+  let* duration_ms = positive "duration_ms" duration_ms in
+  let* scope =
+    match List.assoc_opt "scope" pairs with
+    | None -> Ok spec.scope
+    | Some v -> scope_of_string v
+  in
+  let* batching = batching_of pairs ~default:spec.batching in
+  if warmup_ms < 0.0 then Error (Printf.sprintf "warmup_ms=%g must be >= 0" warmup_ms)
+  else Ok { spec with seed; warmup_ms; duration_ms; scope; batching }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       name
+
+let parse_tenant spec pairs =
+  let* pairs =
+    known
+      [
+        "name"; "conns"; "rate_rps"; "burst"; "mix"; "cpu_mult"; "link_us";
+        "slo_us"; "batching"; "epsilon";
+      ]
+      pairs
+  in
+  let* name =
+    match List.assoc_opt "name" pairs with
+    | Some n when valid_name n -> Ok n
+    | Some n -> Error (Printf.sprintf "bad tenant name %S (want [A-Za-z0-9_-]+)" n)
+    | None -> Error "missing required key \"name\""
+  in
+  if List.exists (fun t -> t.name = name) spec.tenants then
+    Error (Printf.sprintf "duplicate tenant name %S" name)
+  else
+    let* rate_rps =
+      match List.assoc_opt "rate_rps" pairs with
+      | None -> Error "missing required key \"rate_rps\""
+      | Some _ -> float_of pairs "rate_rps" ~default:nan
+    in
+    let* rate_rps = positive "rate_rps" rate_rps in
+    let d = default_tenant ~name ~rate_rps in
+    let* conns = int_of pairs "conns" ~default:d.conns in
+    let* burst = int_of pairs "burst" ~default:d.burst in
+    let* mix =
+      match List.assoc_opt "mix" pairs with
+      | None -> Ok d.mix
+      | Some v -> mix_of_string v
+    in
+    let* cpu_mult = float_of pairs "cpu_mult" ~default:d.cpu_mult in
+    let* cpu_mult = positive "cpu_mult" cpu_mult in
+    let* link_us = float_of pairs "link_us" ~default:d.link_us in
+    let* slo_us = float_of pairs "slo_us" ~default:d.slo_us in
+    let* slo_us = positive "slo_us" slo_us in
+    let* batching = batching_of pairs ~default:d.batching in
+    if conns < 1 then Error (Printf.sprintf "conns=%d must be >= 1" conns)
+    else if burst < 1 then Error (Printf.sprintf "burst=%d must be >= 1" burst)
+    else if link_us < 0.0 then Error (Printf.sprintf "link_us=%g must be >= 0" link_us)
+    else
+      let tenant =
+        { name; conns; rate_rps; burst; mix; cpu_mult; link_us; slo_us; batching }
+      in
+      Ok { spec with tenants = spec.tenants @ [ tenant ] }
+
+let parse_directive spec toks =
+  match toks with
+  | [] -> Ok spec
+  | verb :: rest -> (
+    let* pairs = assoc_all rest in
+    match verb with
+    | "fleet" -> parse_fleet spec pairs
+    | "tenant" -> parse_tenant spec pairs
+    | verb -> Error (Printf.sprintf "unknown directive %S (want fleet|tenant)" verb))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go spec n = function
+    | [] ->
+      if spec.tenants = [] then Error "scenario: at least one tenant line required"
+      else Ok spec
+    | line :: rest -> (
+      match parse_directive spec (tokens line) with
+      | Ok spec -> go spec (n + 1) rest
+      | Error msg -> Error (Printf.sprintf "scenario line %d: %s" n msg))
+  in
+  go default 1 lines
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+(* {2 Printing} *)
+
+let pp_batching ppf = function
+  | Dynamic eps -> Format.fprintf ppf "batching=dynamic epsilon=%g" eps
+  | b -> Format.fprintf ppf "batching=%s" (batching_to_string b)
+
+let pp ppf t =
+  Format.fprintf ppf "fleet seed=%d warmup_ms=%g duration_ms=%g scope=%s %a@\n"
+    t.seed t.warmup_ms t.duration_ms
+    (Loadgen.Fleet.scope_label t.scope)
+    pp_batching t.batching;
+  List.iter
+    (fun tn ->
+      Format.fprintf ppf
+        "tenant name=%s conns=%d rate_rps=%g burst=%d mix=%s cpu_mult=%g link_us=%g slo_us=%g %a@\n"
+        tn.name tn.conns tn.rate_rps tn.burst (mix_to_string tn.mix) tn.cpu_mult
+        tn.link_us tn.slo_us pp_batching tn.batching)
+    t.tenants
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,81 @@
+(** Declarative fleet scenarios.
+
+    Line-oriented grammar in the style of {!Fault.Plan}: one directive
+    per line, [#] starts a comment, keys are [key=value] tokens.
+
+    {v
+    # mixed bare-metal + VM fleet, one toggler per connection
+    fleet seed=42 warmup_ms=100 duration_ms=400 scope=per_conn batching=off
+    tenant name=bare conns=2 rate_rps=90000 cpu_mult=1 batching=dynamic
+    tenant name=vm   conns=2 rate_rps=20000 cpu_mult=4 batching=dynamic
+    v}
+
+    [fleet] (optional, any position, later lines override) sets the
+    run-wide knobs; each [tenant] line (at least one required) appends
+    a tenant.  [batching] is one of [on|off|dynamic|aimd]; [epsilon]
+    is only legal next to [batching=dynamic].  [scope] is one of
+    [global|per_tenant|per_conn] and decides whether one batching
+    controller spans the fleet, one per tenant, or one per connection
+    (see {!Loadgen.Fleet.scope}).
+
+    Parsing is total: errors come back as [Error "scenario line N: …"]
+    with the 1-based line number.  {!to_string} prints a canonical form
+    and round-trips: [of_string (to_string s) = Ok s]. *)
+
+type batching =
+  | On
+  | Off
+  | Dynamic of float  (** exploration epsilon, in [[0,1)] *)
+  | Aimd
+
+val batching_to_string : batching -> string
+(** ["on"], ["off"], ["dynamic"], ["aimd"] — without the epsilon. *)
+
+type mix = Set_only | Mixed | Small
+(** {!Loadgen.Workload.paper_set_only} / [paper_mixed] /
+    [small_requests]. *)
+
+val mix_to_string : mix -> string
+val mix_of_string : string -> (mix, string) result
+
+type scope = Loadgen.Fleet.scope = Global | Per_tenant | Per_conn
+
+val scope_of_string : string -> (scope, string) result
+
+type tenant = {
+  name : string;  (** [[A-Za-z0-9_-]+], unique within the scenario *)
+  conns : int;
+  rate_rps : float;
+  burst : int;
+  mix : mix;
+  cpu_mult : float;  (** 1 = bare metal, 4 = the paper's VM client *)
+  link_us : float;  (** one-way propagation delay *)
+  slo_us : float;
+  batching : batching;  (** used under [per_tenant]/[per_conn] scopes *)
+}
+
+val default_tenant : name:string -> rate_rps:float -> tenant
+(** 1 connection, Poisson, [set_only] mix, bare metal, 10 µs link,
+    500 µs SLO, [Off]. *)
+
+val default_epsilon : float
+
+type t = {
+  seed : int;
+  warmup_ms : float;
+  duration_ms : float;
+  scope : scope;
+  batching : batching;  (** the fleet-wide group's mode under [Global] *)
+  tenants : tenant list;  (** in declaration order *)
+}
+
+val default : t
+(** Seed 42, 100 ms warmup, 400 ms measured, [Global] scope, [Off] —
+    and no tenants, so it does not parse back until one is added. *)
+
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Canonical print; [of_string (to_string s) = Ok s]. *)

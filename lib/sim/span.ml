@@ -134,9 +134,13 @@ let byte_time edges b =
   in
   go 0 n
 
+(* "c0" -> "s0", and tenant-tagged fleet ids "bare/c0" -> "bare/s0". *)
 let default_peer id =
-  if String.length id > 0 && id.[0] = 'c' then
-    Some ("s" ^ String.sub id 1 (String.length id - 1))
+  let base = match String.rindex_opt id '/' with Some i -> i + 1 | None -> 0 in
+  if String.length id > base && id.[base] = 'c' then
+    Some
+      (String.sub id 0 base ^ "s"
+      ^ String.sub id (base + 1) (String.length id - base - 1))
   else None
 
 type built = { spans : span list; incomplete : int }

@@ -65,8 +65,10 @@ type built = {
 
 val build : ?peer:(string -> string option) -> Trace.record list -> built
 (** [peer] maps a client id to its server-side id; the default maps
-    ["cN"] to ["sN"] (the {!Loadgen.Runner} convention).  Records must
-    be in emission order (as [Trace.records] and JSONL files are). *)
+    ["cN"] to ["sN"] (the {!Loadgen.Runner} convention) and the
+    tenant-tagged ["<tenant>/cN"] to ["<tenant>/sN"] (the fleet
+    convention).  Records must be in emission order (as
+    [Trace.records] and JSONL files are). *)
 
 type row = {
   phase : phase;

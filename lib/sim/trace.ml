@@ -104,6 +104,14 @@ let fold t ~init ~f =
 
 let records t = List.rev (fold t ~init:[] ~f:(fun acc r -> r :: acc))
 
+(* Fleet runs tag every emitter id with its tenant: ["bare/c0"].  The
+   slash cannot appear in the single-run "c0"/"s0" labels, so pre-fleet
+   traces simply have no tenant. *)
+let tenant_of_id id =
+  match String.index_opt id '/' with
+  | Some i when i > 0 -> Some (String.sub id 0 i)
+  | Some _ | None -> None
+
 let tag r =
   match r.event with
   | Segment_sent { retx = true; _ } -> "retx"

@@ -112,6 +112,11 @@ val fold : t -> init:'a -> f:('a -> record -> 'a) -> 'a
 val records : t -> record list
 (** Oldest first. *)
 
+val tenant_of_id : string -> string option
+(** Tenant tag of an emitter id: multi-tenant fleet runs label
+    connections ["<tenant>/c0"], so ["bare/c0"] maps to [Some "bare"]
+    while the single-run ["c0"] convention maps to [None]. *)
+
 val tag : record -> string
 (** Short stable tag for the record's event ("tx", "rx", "ack", "hold",
     "toggle", "cork", "delack_fire", "delack_cancel", "fin", "retx",

@@ -131,6 +131,74 @@ let test_aggregate_empty () =
   Alcotest.(check bool) "no latency" true (agg.latency_ns = None);
   Alcotest.(check (float 1e-9)) "zero throughput" 0.0 agg.throughput
 
+(* Randomized §3.2 combine properties.  Latencies and throughputs are
+   drawn from ranges wide enough to cover idle and overloaded flows,
+   including latency-free ([None]) and zero-throughput inputs. *)
+let gen_inputs =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (fun (i : E2e.Aggregate.input) ->
+             Printf.sprintf "(%s,%g)"
+               (match i.latency_ns with None -> "-" | Some l -> Printf.sprintf "%g" l)
+               i.throughput)
+           l))
+    QCheck.Gen.(
+      list_size (0 -- 12)
+        (map2
+           (fun lat tput : E2e.Aggregate.input ->
+             { latency_ns = lat; throughput = tput })
+           (opt (float_range 1.0 1e9))
+           (oneof [ return 0.0; float_range 0.0 1e6 ])))
+
+let contributing (inputs : E2e.Aggregate.input list) =
+  List.filter
+    (fun (i : E2e.Aggregate.input) -> i.latency_ns <> None && i.throughput > 0.0)
+    inputs
+
+let prop_aggregate_throughput_sums =
+  QCheck.Test.make ~name:"aggregate: throughput sums over all inputs" ~count:300
+    gen_inputs (fun inputs ->
+      let agg = E2e.Aggregate.combine inputs in
+      let sum = List.fold_left (fun a (i : E2e.Aggregate.input) -> a +. i.throughput) 0.0 inputs in
+      Float.abs (agg.throughput -. sum) <= 1e-6 *. Float.max 1.0 sum)
+
+let prop_aggregate_mean_bounded =
+  QCheck.Test.make
+    ~name:"aggregate: weighted mean bounded by contributing latencies" ~count:300
+    gen_inputs (fun inputs ->
+      let agg = E2e.Aggregate.combine inputs in
+      match (agg.latency_ns, contributing inputs) with
+      | None, [] -> true
+      | None, _ :: _ | Some _, [] -> false
+      | Some l, contrib ->
+        let lats = List.filter_map (fun (i : E2e.Aggregate.input) -> i.latency_ns) contrib in
+        let lo = List.fold_left Float.min Float.infinity lats in
+        let hi = List.fold_left Float.max Float.neg_infinity lats in
+        l >= lo -. 1e-6 && l <= hi +. 1e-6)
+
+let prop_aggregate_flows_counts_contributors =
+  QCheck.Test.make
+    ~name:"aggregate: flows counts latency-contributing inputs" ~count:300
+    gen_inputs (fun inputs ->
+      (E2e.Aggregate.combine inputs).flows = List.length (contributing inputs))
+
+let test_fairness_helpers () =
+  Alcotest.(check (option (float 1e-9))) "ratio" (Some 2.0)
+    (E2e.Aggregate.max_min_ratio [ 1.0; 2.0 ]);
+  Alcotest.(check (option (float 1e-9))) "ratio of empty" None
+    (E2e.Aggregate.max_min_ratio []);
+  Alcotest.(check (option (float 1e-9))) "starved tenant" None
+    (E2e.Aggregate.max_min_ratio [ 0.0; 1.0 ]);
+  Alcotest.(check (option (float 1e-9))) "jain of equals" (Some 1.0)
+    (E2e.Aggregate.jain [ 3.0; 3.0; 3.0 ]);
+  Alcotest.(check (option (float 1e-9))) "jain maximally unfair" (Some 0.25)
+    (E2e.Aggregate.jain [ 1.0; 0.0; 0.0; 0.0 ]);
+  Alcotest.(check (option (float 1e-9))) "jain of empty" None (E2e.Aggregate.jain []);
+  Alcotest.(check (option (float 1e-9))) "jain of zeros" None
+    (E2e.Aggregate.jain [ 0.0; 0.0 ])
+
 (* {1 Multi-connection runner} *)
 
 let quick_config n_conns =
@@ -180,6 +248,19 @@ let test_multiconn_invalid () =
     (Invalid_argument "Runner.run: n_conns must be at least 1") (fun () ->
       ignore (Loadgen.Runner.run (quick_config 0)))
 
+let test_runner_rejects_bad_rate_and_burst () =
+  let expect msg cfg =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Loadgen.Runner.run cfg))
+  in
+  let base = quick_config 1 in
+  let rate_msg = "Runner.run: rate_rps must be positive and finite" in
+  expect rate_msg { base with rate_rps = 0.0 };
+  expect rate_msg { base with rate_rps = -5.0 };
+  expect rate_msg { base with rate_rps = Float.nan };
+  expect rate_msg { base with rate_rps = Float.infinity };
+  expect "Runner.run: burst must be at least 1" { base with burst = 0 }
+
 let suite =
   [
     ( "core.counter_log",
@@ -195,6 +276,10 @@ let suite =
         Alcotest.test_case "throughput-weighted mean" `Quick test_aggregate_weighted_mean;
         Alcotest.test_case "skips empty flows" `Quick test_aggregate_skips_empty;
         Alcotest.test_case "empty input" `Quick test_aggregate_empty;
+        Alcotest.test_case "fairness helpers" `Quick test_fairness_helpers;
+        QCheck_alcotest.to_alcotest prop_aggregate_throughput_sums;
+        QCheck_alcotest.to_alcotest prop_aggregate_mean_bounded;
+        QCheck_alcotest.to_alcotest prop_aggregate_flows_counts_contributors;
       ] );
     ( "integration.multiconn",
       [
@@ -205,5 +290,7 @@ let suite =
         Alcotest.test_case "dynamic controller aggregates" `Slow
           test_multiconn_dynamic_controller;
         Alcotest.test_case "invalid n_conns" `Quick test_multiconn_invalid;
+        Alcotest.test_case "invalid rate and burst" `Quick
+          test_runner_rejects_bad_rate_and_burst;
       ] );
   ]

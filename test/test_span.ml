@@ -36,6 +36,35 @@ let test_build_one_request () =
       Alcotest.(check int) (Sim.Span.phase_name ph) 100 d)
     (Sim.Span.phases s)
 
+let test_build_tenant_tagged () =
+  (* Fleet runs tag ids "<tenant>/c0" / "<tenant>/s0"; the default peer
+     map must pair them tenant-by-tenant, never across tenants. *)
+  let retag tenant (r : Sim.Trace.record) =
+    { r with Sim.Trace.id = tenant ^ "/" ^ r.id }
+  in
+  let records =
+    List.map (retag "bare") one_request_records
+    @ List.map (retag "vm") one_request_records
+  in
+  let b = Sim.Span.build records in
+  Alcotest.(check int) "one span per tenant" 2 (List.length b.spans);
+  Alcotest.(check int) "none incomplete" 0 b.incomplete;
+  let conns = List.map (fun (s : Sim.Span.span) -> s.conn) b.spans in
+  Alcotest.(check (list string)) "spans keep tagged conn ids"
+    [ "bare/c0"; "vm/c0" ]
+    (List.sort compare conns)
+
+let test_tenant_of_id () =
+  let check id expect =
+    Alcotest.(check (option string)) id expect (Sim.Trace.tenant_of_id id)
+  in
+  check "bare/c0" (Some "bare");
+  check "vm/s3" (Some "vm");
+  check "a/b/c" (Some "a");
+  check "c0" None;
+  check "/c0" None;
+  check "" None
+
 let test_build_incomplete () =
   (* Drop the server reply: the request is seen but unresolvable. *)
   let records =
@@ -239,6 +268,9 @@ let suite =
         Alcotest.test_case "build: incomplete request" `Quick test_build_incomplete;
         Alcotest.test_case "build: batched segments shared" `Quick
           test_build_batched_segment;
+        Alcotest.test_case "build: tenant-tagged ids pair per tenant" `Quick
+          test_build_tenant_tagged;
+        Alcotest.test_case "tenant_of_id" `Quick test_tenant_of_id;
         Alcotest.test_case "breakdown: empty" `Quick test_breakdown_empty;
         QCheck_alcotest.to_alcotest ~long:true prop_spans_partition_latency;
         Alcotest.test_case "partition survives lossy retransmission" `Quick
