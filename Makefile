@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke bench-par clean
+.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke alloc-gate bench-par bench-rawspeed clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke chaos-smoke scenario-smoke
+check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke alloc-gate
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -85,9 +85,43 @@ scenario-smoke:
 	@test -s _smoke/fleet.json || { echo "scenario-smoke: empty json"; exit 1; }
 	@echo "scenario-smoke: OK"
 
+# Binary trace smoke: the same run traced as .bin and as .jsonl must
+# inspect identically, and convert must round-trip the binary file
+# through JSONL byte-for-byte.
+convert-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	dune exec bin/e2ebench.exe -- run --rate 40 --nagle dynamic \
+	  --warmup-ms 5 --duration-ms 20 --trace-out _smoke/conv.bin > /dev/null
+	dune exec bin/e2ebench.exe -- run --rate 40 --nagle dynamic \
+	  --warmup-ms 5 --duration-ms 20 --trace-out _smoke/conv.jsonl > /dev/null
+	dune exec bin/e2ebench.exe -- inspect _smoke/conv.bin --limit 5 > _smoke/conv-bin.out
+	dune exec bin/e2ebench.exe -- inspect _smoke/conv.jsonl --limit 5 > _smoke/conv-jsonl.out
+	@diff -u _smoke/conv-jsonl.out _smoke/conv-bin.out \
+	  || { echo "convert-smoke: binary and JSONL traces inspect differently"; exit 1; }
+	dune exec bin/e2ebench.exe -- convert _smoke/conv.bin _smoke/conv-rt.jsonl
+	dune exec bin/e2ebench.exe -- convert _smoke/conv-rt.jsonl _smoke/conv-rt.bin
+	@cmp -s _smoke/conv.bin _smoke/conv-rt.bin \
+	  || { echo "convert-smoke: binary did not survive the JSONL round-trip"; exit 1; }
+	@echo "convert-smoke: OK"
+
+# Zero-allocation gate: every guarded hot-path probe (disabled trace
+# emission, event-heap push/take, idle engine polling, delayed-ACK
+# bookkeeping) must measure 0.000 minor words per op.  Writes
+# BENCH_alloc.json; exits nonzero on any regression.
+alloc-gate:
+	dune exec bench/main.exe -- alloc
+
 # Sequential-vs-parallel sweep wall-clock; writes BENCH_par.json.
 bench-par:
 	dune exec bench/main.exe -- par
+
+# Headline raw-speed bench: a 1M-request traced run comparing JSONL vs
+# binary trace output and batch vs streaming span memory; writes
+# BENCH_rawspeed.json.  Use REQUESTS=n for a quicker shakeout.
+REQUESTS ?= 1000000
+bench-rawspeed:
+	dune exec bench/main.exe -- rawspeed --requests $(REQUESTS)
 
 clean:
 	dune clean

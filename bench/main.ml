@@ -4,9 +4,10 @@
    estimator's hot paths.
 
    Usage: main.exe [--domains N] [--trace-out FILE] [--metrics-out FILE]
+                   [--requests N]
                    [fig1] [fig2] [fig3] [fig4a] [fig4b]
-                   [small] [dynamic] [ablate] [observe] [micro] [par]
-                   [fault] [fleet]
+                   [small] [dynamic] [ablate] [observe] [micro] [alloc]
+                   [rawspeed] [par] [fault] [fleet]
                    (default: all sections)
 
    --domains N fans independent sweep simulations out over N OCaml
@@ -816,6 +817,17 @@ let micro () =
              ignore (Sim.Event_heap.pop h)
            done))
   in
+  (* Same drain through the option-free accessor the engine's run loop
+     now uses: no Some box per event. *)
+  let heap_mono_take =
+    Test.make ~name:"heap.mono_take_256"
+      (Staged.stage (fun () ->
+           let h = Sim.Event_heap.create () in
+           Array.iter (Sim.Event_heap.push h) heap_events;
+           while not (Sim.Event_heap.is_empty h) do
+             ignore (Sim.Event_heap.take h)
+           done))
+  in
   (* Trace overhead: the disabled paths are what every segment pays when
      nobody is watching, so they must be branch-only.  The enabled paths
      price the full record construction + ring store. *)
@@ -901,8 +913,9 @@ let micro () =
     Test.make_grouped ~name:"e2e"
       [
         queue_state_track; get_avgs; encode; decode; option_codec; ewma; resp_parse;
-        heap_poly; heap_mono; emitf_disabled; emitf_guarded_disabled; emitf_enabled;
-        event_guarded_disabled; event_enabled; span_req_guarded_disabled; span_build;
+        heap_poly; heap_mono; heap_mono_take; emitf_disabled; emitf_guarded_disabled;
+        emitf_enabled; event_guarded_disabled; event_enabled;
+        span_req_guarded_disabled; span_build;
       ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -987,6 +1000,331 @@ let micro () =
   pf "  wrote BENCH_micro.json\n";
   pf "\nA TRACK call is a handful of nanoseconds: cheap enough to run on every\n";
   pf "queue transition, as the prototype does.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Allocation gate: guarded hot paths must run at exactly 0 words/op.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same probe as micro's: minor-heap words allocated per call, averaged
+   over enough iterations that a single boxed value shows up as a hard
+   failure.  Each thunk is warmed first so one-time growth (heap
+   arrays, lazy state) is not billed to the steady state. *)
+let alloc_per_op f =
+  for _ = 1 to 100 do
+    f ()
+  done;
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int iters
+
+let alloc () =
+  hr "Allocation gate — guarded hot paths at 0.000 minor words/op (else exit 1)";
+  pf "Every probe is a per-event or per-segment path that production runs\n";
+  pf "execute with tracing disabled; any allocation here is a regression.\n\n";
+  let trace_off = Sim.Trace.create ~capacity:256 () in
+  let span_trace_opt : Sim.Trace.t option = Some trace_off in
+  let span_guarded f =
+    match span_trace_opt with
+    | Some tr when Sim.Trace.enabled tr -> f tr
+    | Some _ | None -> ()
+  in
+  let heap = Sim.Event_heap.create () in
+  let heap_ev =
+    { Sim.Event_heap.at = 0; seq = 0; action = ignore; cancelled = false }
+  in
+  let idle_engine = Sim.Engine.create () in
+  let delack_engine = Sim.Engine.create () in
+  let delack = Tcp.Delayed_ack.create delack_engine ~send_ack:ignore () in
+  let probes =
+    [
+      ( "trace.emitf_guarded_disabled",
+        fun () ->
+          if Sim.Trace.enabled trace_off then
+            Sim.Trace.emitf trace_off ~at:0 ~tag:"bench" "seq=%d len=%d" 42 1448 );
+      ( "trace.event_guarded_disabled",
+        fun () ->
+          if Sim.Trace.enabled trace_off then
+            Sim.Trace.event trace_off ~at:0 ~id:"c0"
+              (Sim.Trace.Segment_sent
+                 { seq = 42; len = 1448; push = true; retx = false }) );
+      ( "span.req_event_guarded_disabled",
+        fun () ->
+          span_guarded (fun tr ->
+              Sim.Trace.event tr ~at:0 ~id:"c0"
+                (Sim.Trace.Req_issued { req = 42; off = 60_000; len = 72 })) );
+      ( "event_heap.push_take",
+        fun () ->
+          Sim.Event_heap.push heap heap_ev;
+          ignore (Sim.Event_heap.take heap) );
+      ("engine.run_until_idle", fun () -> Sim.Engine.run_until idle_engine 0);
+      ("delack.on_ack_sent_idle", fun () -> Tcp.Delayed_ack.on_ack_sent delack);
+    ]
+  in
+  let results = List.map (fun (name, f) -> (name, alloc_per_op f)) probes in
+  pf "%-34s %14s\n" "probe" "words/op";
+  pf "%s\n" (String.make 50 '-');
+  List.iter (fun (name, w) -> pf "%-34s %14.4f\n" name w) results;
+  let oc = open_out "BENCH_alloc.json" in
+  Printf.fprintf oc "{\n  \"section\": \"alloc\",\n  \"minor_words_per_op\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, w) ->
+      Printf.fprintf oc "    %S: %.4f%s\n" name w (if i < n - 1 then "," else ""))
+    results;
+  Printf.fprintf oc "  },\n  \"pass\": %b\n}\n"
+    (List.for_all (fun (_, w) -> w = 0.0) results);
+  close_out oc;
+  pf "  wrote BENCH_alloc.json\n";
+  match List.filter (fun (_, w) -> w > 0.0) results with
+  | [] -> pf "alloc-gate          : all %d probes at 0.000 words/op\n" n
+  | bad ->
+    List.iter
+      (fun (name, w) -> pf "alloc-gate FAILURE  : %s allocates %.4f words/op\n" name w)
+      bad;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Raw speed: 1M-request traced run, binary vs JSONL, streaming spans. *)
+(* ------------------------------------------------------------------ *)
+
+(* Set from --requests; the headline run completes about this many
+   requests (100 kRPS of small requests for requests/1e5 seconds). *)
+let rawspeed_requests = ref 1_000_000
+
+let rawspeed () =
+  hr "Raw speed — traced 1M-request run: binary vs JSONL, batch vs streaming spans";
+  let n_req = !rawspeed_requests in
+  let rate = 100e3 in
+  let dir = "_rawspeed.tmp" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let bin_path = Filename.concat dir "trace.bin" in
+  let jsonl_path = Filename.concat dir "trace.jsonl" in
+  let small_path = Filename.concat dir "small.bin" in
+  let cfg ~requests ~observe =
+    let c =
+      Loadgen.Runner.default_config ~rate_rps:rate
+        ~batching:Loadgen.Runner.Static_on
+    in
+    {
+      c with
+      warmup = Sim.Time.ms 20;
+      duration = int_of_float (Float.ceil (float_of_int requests /. rate *. 1e9));
+      workload = Loadgen.Workload.small_requests;
+      observe;
+    }
+  in
+  let observe_with sink =
+    Some
+      {
+        Loadgen.Observe.default_config with
+        trace_capacity = 1024;
+        trace_sink = Some sink;
+      }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* The traced runs must not change simulation results: compare every
+     scalar the run reports. *)
+  let scalars (r : Loadgen.Runner.result) =
+    ( r.completed, r.achieved_rps, r.measured_mean_us, r.measured_p50_us,
+      r.measured_p99_us, r.packets, r.server_wakeups )
+  in
+  pf "run: %d requests of 64B at %.0f kRPS (batching on), traced via sink\n\n"
+    n_req (rate /. 1e3);
+  let base_r, base_s = time (fun () -> Loadgen.Runner.run (cfg ~requests:n_req ~observe:None)) in
+  pf "  untraced baseline      : %6.2f s  (%d requests completed)\n%!" base_s
+    base_r.completed;
+  (* A traced run that discards every record prices the emission
+     machinery itself (guarded payload construction, record allocation,
+     sink dispatch, sampling ticks) — the part common to both formats —
+     so subtracting it from the sinked runs isolates pure
+     serialization. *)
+  let null_r, null_s =
+    time (fun () ->
+        Loadgen.Runner.run (cfg ~requests:n_req ~observe:(observe_with ignore)))
+  in
+  pf "  traced, null sink      : %6.2f s  (emission overhead %.2f s)\n%!" null_s
+    (null_s -. base_s);
+  let traced_run path make_sink finish =
+    let oc = open_out_bin path in
+    let sink, st = make_sink oc in
+    let r, s =
+      time (fun () ->
+          Loadgen.Runner.run (cfg ~requests:n_req ~observe:(observe_with sink)))
+    in
+    let n = finish st in
+    close_out oc;
+    (r, s, n, (Unix.stat path).Unix.st_size)
+  in
+  let bin_r, bin_s, bin_records, bin_bytes =
+    traced_run bin_path
+      (fun oc ->
+        let w = Sim.Trace.Binary.writer oc in
+        ((fun rec_ -> Sim.Trace.Binary.write w rec_), w))
+      (fun w ->
+        Sim.Trace.Binary.finish w;
+        Sim.Trace.Binary.written w)
+  in
+  pf "  traced, binary sink    : %6.2f s  (%d records, %d bytes)\n%!" bin_s
+    bin_records bin_bytes;
+  let jsonl_r, jsonl_s, jsonl_records, jsonl_bytes =
+    traced_run jsonl_path
+      (fun oc ->
+        let n = ref 0 in
+        ( (fun rec_ ->
+            incr n;
+            output_string oc (Sim.Trace.record_to_json rec_);
+            output_char oc '\n'),
+          n ))
+      (fun n -> !n)
+  in
+  pf "  traced, JSONL sink     : %6.2f s  (%d records, %d bytes)\n%!" jsonl_s
+    jsonl_records jsonl_bytes;
+  let identical =
+    scalars base_r = scalars null_r
+    && scalars base_r = scalars bin_r
+    && scalars base_r = scalars jsonl_r
+  in
+  let bin_write_s = Float.max 1e-9 (bin_s -. null_s) in
+  let jsonl_write_s = Float.max 1e-9 (jsonl_s -. null_s) in
+  let bytes_ratio = float_of_int jsonl_bytes /. float_of_int bin_bytes in
+  let write_speedup = jsonl_write_s /. bin_write_s in
+  pf "  trace write overhead   : binary %.2f s, JSONL %.2f s -> %.2fx faster\n"
+    bin_write_s jsonl_write_s write_speedup;
+  pf "  trace size             : binary %.1f MB, JSONL %.1f MB -> %.2fx smaller\n"
+    (float_of_int bin_bytes /. 1e6)
+    (float_of_int jsonl_bytes /. 1e6)
+    bytes_ratio;
+  pf "  results bit-identical  : %s (untraced vs binary vs JSONL)\n"
+    (if identical then "yes" else "NO — BUG");
+  (* Streaming span fold: peak live heap while folding the full trace
+     vs a 10x smaller one.  Streaming state is bounded by in-flight
+     requests, so the peaks must be about the same. *)
+  let small_req = Stdlib.max 1_000 (n_req / 10) in
+  let small_oc = open_out_bin small_path in
+  let small_w = Sim.Trace.Binary.writer small_oc in
+  let _small_r, _ =
+    time (fun () ->
+        Loadgen.Runner.run
+          (cfg ~requests:small_req
+             ~observe:(observe_with (fun rec_ -> Sim.Trace.Binary.write small_w rec_))))
+  in
+  Sim.Trace.Binary.finish small_w;
+  close_out small_oc;
+  let stream_fold path =
+    Gc.compact ();
+    let s = Sim.Span.Streaming.create () in
+    let n = ref 0 and spans = ref 0 and peak = ref 0 in
+    let sample () =
+      Gc.full_major ();
+      peak := Stdlib.max !peak (Gc.stat ()).live_words
+    in
+    (match
+       Sim.Trace.fold_file path ~init:() ~f:(fun () _run r ->
+           incr n;
+           (match Sim.Span.Streaming.feed s r with
+           | Some _ -> incr spans
+           | None -> ());
+           if !n land 0xFFFFF = 0 then sample ())
+     with
+    | Error e -> failwith e
+    | Ok () -> sample ());
+    (!n, !spans, Sim.Span.Streaming.incomplete s, !peak)
+  in
+  let full_n, full_spans, full_incomplete, full_peak = stream_fold bin_path in
+  let small_n, small_spans, small_incomplete, small_peak = stream_fold small_path in
+  let peak_ratio = float_of_int full_peak /. float_of_int small_peak in
+  pf "\n  streaming span fold    : %d spans from %d records, peak %.1f MW live\n"
+    full_spans full_n
+    (float_of_int full_peak /. 1e6);
+  pf "  streaming on 1/10 run  : %d spans from %d records, peak %.1f MW live\n"
+    small_spans small_n
+    (float_of_int small_peak /. 1e6);
+  pf "  peak ratio (10x data)  : %.2fx  (independent of trace length: %s)\n"
+    peak_ratio
+    (if peak_ratio < 2.0 then "yes" else "NO — BUG");
+  (* Batch comparison on the small file only (materializing the full
+     run's records is exactly what streaming exists to avoid): the
+     whole-trace record list plus Span.build, and a bit-equality check
+     of the two reconstructions. *)
+  let batch_built, batch_live =
+    Gc.compact ();
+    match Sim.Trace.Binary.load_file small_path with
+    | Error e -> failwith e
+    | Ok all ->
+      let records = List.map snd all in
+      let built = Sim.Span.build records in
+      Gc.full_major ();
+      let live = (Gc.stat ()).live_words in
+      ignore (List.length records);  (* keep the list live across the stat *)
+      (built, live)
+  in
+  let stream_small_spans =
+    let s = Sim.Span.Streaming.create () in
+    let spans = ref [] in
+    (match
+       Sim.Trace.fold_file small_path ~init:() ~f:(fun () _run r ->
+           match Sim.Span.Streaming.feed s r with
+           | Some sp -> spans := sp :: !spans
+           | None -> ())
+     with
+    | Error e -> failwith e
+    | Ok () -> ());
+    List.rev !spans
+  in
+  let by_key (a : Sim.Span.span) (b : Sim.Span.span) =
+    match String.compare a.conn b.conn with
+    | 0 -> Int.compare a.req b.req
+    | c -> c
+  in
+  let equals_batch =
+    List.sort by_key stream_small_spans = List.sort by_key batch_built.spans
+    && small_incomplete = batch_built.incomplete
+  in
+  pf "  batch build, 1/10 run  : %d spans, %.1f MW live (records + spans)\n"
+    (List.length batch_built.spans)
+    (float_of_int batch_live /. 1e6);
+  pf "  streaming == batch     : %s\n"
+    (if equals_batch then "yes" else "NO — BUG");
+  let oc = open_out "BENCH_rawspeed.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"rawspeed\",\n\
+    \  \"requests\": %d,\n\
+    \  \"completed\": %d,\n\
+    \  \"records\": %d,\n\
+    \  \"base_run_s\": %.3f,\n\
+    \  \"null_sink_run_s\": %.3f,\n\
+    \  \"binary\": {\"run_s\": %.3f, \"write_s\": %.3f, \"bytes\": %d},\n\
+    \  \"jsonl\": {\"run_s\": %.3f, \"write_s\": %.3f, \"bytes\": %d},\n\
+    \  \"bytes_ratio\": %.3f,\n\
+    \  \"write_speedup\": %.3f,\n\
+    \  \"identical_scalars\": %b,\n\
+    \  \"streaming_spans\": {\n\
+    \    \"full\": {\"records\": %d, \"spans\": %d, \"incomplete\": %d, \"peak_live_words\": %d},\n\
+    \    \"small\": {\"records\": %d, \"spans\": %d, \"incomplete\": %d, \"peak_live_words\": %d},\n\
+    \    \"peak_ratio\": %.3f,\n\
+    \    \"independent_of_n\": %b,\n\
+    \    \"batch_small_live_words\": %d,\n\
+    \    \"equals_batch_on_small\": %b\n\
+    \  }\n\
+     }\n"
+    n_req base_r.completed bin_records base_s null_s bin_s bin_write_s bin_bytes jsonl_s
+    jsonl_write_s jsonl_bytes bytes_ratio write_speedup identical full_n
+    full_spans full_incomplete full_peak small_n small_spans small_incomplete
+    small_peak peak_ratio (peak_ratio < 2.0) batch_live equals_batch;
+  close_out oc;
+  pf "  wrote BENCH_rawspeed.json\n";
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ bin_path; jsonl_path; small_path ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Parallel sweep runner: sequential vs domain-parallel wall-clock.    *)
@@ -1231,6 +1569,8 @@ let sections =
     ("ablate", ablate);
     ("observe", observe);
     ("micro", micro);
+    ("alloc", alloc);
+    ("rawspeed", rawspeed);
     ("par", par);
     ("fault", fault);
     ("fleet", fleet);
@@ -1249,6 +1589,17 @@ let () =
         exit 1)
     | [ "--domains" ] ->
       prerr_endline "--domains expects a positive integer";
+      exit 1
+    | "--requests" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1_000 ->
+        rawspeed_requests := n;
+        split_flags acc rest
+      | Some _ | None ->
+        prerr_endline "--requests expects an integer >= 1000";
+        exit 1)
+    | [ "--requests" ] ->
+      prerr_endline "--requests expects an integer >= 1000";
       exit 1
     | "--trace-out" :: file :: rest ->
       trace_out := file;

@@ -194,7 +194,10 @@ let print_fault (r : Loadgen.Runner.result) =
 (* {1 Observability output} *)
 
 let trace_out_arg =
-  let doc = "Write the structured event trace as JSONL to $(docv)." in
+  let doc =
+    "Write the structured event trace to $(docv): JSONL by default, or the \
+     compact binary format when $(docv) ends in .bin (see $(b,convert))."
+  in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let metrics_out_arg =
@@ -217,8 +220,10 @@ let observe_of_flags ~trace_out ~metrics_out ~sample_us =
          })
 
 let with_out path f =
-  let oc = open_out path in
+  let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let binary_trace_path path = Filename.check_suffix path ".bin"
 
 (* [tagged] pairs an optional run label (used by sweeps) with each
    result; single runs pass [None] and get unlabelled lines. *)
@@ -229,15 +234,28 @@ let write_outputs ~trace_out ~metrics_out
   | Some path ->
     let total = ref 0 in
     with_out path (fun oc ->
-        List.iter
-          (fun (run, (o : Loadgen.Observe.output)) ->
-            List.iter
-              (fun rec_ ->
-                incr total;
-                output_string oc (Sim.Trace.record_to_json ?run rec_);
-                output_char oc '\n')
-              o.records)
-          outputs);
+        if binary_trace_path path then begin
+          let w = Sim.Trace.Binary.writer oc in
+          List.iter
+            (fun (run, (o : Loadgen.Observe.output)) ->
+              List.iter
+                (fun rec_ ->
+                  incr total;
+                  Sim.Trace.Binary.write w ?run rec_)
+                o.records)
+            outputs;
+          Sim.Trace.Binary.finish w
+        end
+        else
+          List.iter
+            (fun (run, (o : Loadgen.Observe.output)) ->
+              List.iter
+                (fun rec_ ->
+                  incr total;
+                  output_string oc (Sim.Trace.record_to_json ?run rec_);
+                  output_char oc '\n')
+                o.records)
+            outputs);
     pf "trace               : %d events -> %s\n" !total path);
   match metrics_out with
   | None -> ()
@@ -547,48 +565,76 @@ let trace_cmd =
 
 (* {1 inspect} *)
 
-(* Per-connection timeline and estimator-residual summary from a JSONL
-   trace written by --trace-out.  Ground truth is reconstructed the
-   same way the in-run residual tracker computes it: each estimate
-   event is paired with the mean latency of the request events that
-   completed inside that estimate's window. *)
+(* Per-connection timeline and estimator-residual summary from a trace
+   file written by --trace-out (JSONL or binary; the reader sniffs the
+   magic).  The file is folded as a stream — records are never
+   materialized as a list — with spans reconstructed incrementally by
+   [Span.Streaming], so memory is bounded by in-flight requests plus
+   the retained spans rather than by trace length.  Ground truth is
+   reconstructed the same way the in-run residual tracker computes it:
+   each estimate event is paired with the mean latency of the request
+   events that completed inside that estimate's window. *)
 
-(* Estimate/ground-truth pairs recoverable from a record stream. *)
-let residual_pairs (records : Sim.Trace.record list) =
-  let reqs =
-    List.filter_map
-      (fun (r : Sim.Trace.record) ->
-        match r.event with
-        | Sim.Trace.Request_done { latency_us } ->
-          Some (Sim.Time.to_us r.at, latency_us)
-        | _ -> None)
-      records
-  in
+(* Span + residual accumulator shared by whole-run and per-tenant
+   aggregation: feeds every record to the streaming span fold and keeps
+   only the compact (time, latency) and estimate tuples the residual
+   summary needs. *)
+type span_agg = {
+  sa_stream : Sim.Span.Streaming.t;
+  mutable sa_events : int;
+  mutable sa_spans_rev : Sim.Span.span list;
+  mutable sa_reqs_rev : (float * float) list;  (* completion us, latency us *)
+  mutable sa_ests_rev : (float * float * float) list;  (* at, window, est us *)
+}
+
+let span_agg () =
+  {
+    sa_stream = Sim.Span.Streaming.create ();
+    sa_events = 0;
+    sa_spans_rev = [];
+    sa_reqs_rev = [];
+    sa_ests_rev = [];
+  }
+
+let span_agg_feed sa (r : Sim.Trace.record) =
+  sa.sa_events <- sa.sa_events + 1;
+  (match r.event with
+  | Sim.Trace.Request_done { latency_us } ->
+    sa.sa_reqs_rev <- (Sim.Time.to_us r.at, latency_us) :: sa.sa_reqs_rev
+  | Sim.Trace.Estimate_computed { latency_us = Some est_us; window_us; _ } ->
+    sa.sa_ests_rev <- (Sim.Time.to_us r.at, window_us, est_us) :: sa.sa_ests_rev
+  | _ -> ());
+  match Sim.Span.Streaming.feed sa.sa_stream r with
+  | Some s -> sa.sa_spans_rev <- s :: sa.sa_spans_rev
+  | None -> ()
+
+let span_agg_spans sa = List.rev sa.sa_spans_rev
+let span_agg_incomplete sa = Sim.Span.Streaming.incomplete sa.sa_stream
+
+(* Estimate/ground-truth pairs recoverable from the accumulated
+   tuples, in estimate emission order. *)
+let span_agg_residual_pairs sa =
+  let reqs = List.rev sa.sa_reqs_rev in
   List.filter_map
-    (fun (r : Sim.Trace.record) ->
-      match r.event with
-      | Sim.Trace.Estimate_computed { latency_us = Some est_us; window_us; _ }
-        ->
-        let at_us = Sim.Time.to_us r.at in
-        let from_us = at_us -. window_us in
-        let sum, count =
-          List.fold_left
-            (fun (sum, count) (t, lat) ->
-              if t > from_us && t <= at_us then (sum +. lat, count + 1)
-              else (sum, count))
-            (0.0, 0) reqs
-        in
-        if count = 0 then None
-        else
-          Some
-            {
-              E2e.Residual.at_us;
-              window_us;
-              est_us;
-              truth_us = sum /. float_of_int count;
-            }
-      | _ -> None)
-    records
+    (fun (at_us, window_us, est_us) ->
+      let from_us = at_us -. window_us in
+      let sum, count =
+        List.fold_left
+          (fun (sum, count) (t, lat) ->
+            if t > from_us && t <= at_us then (sum +. lat, count + 1)
+            else (sum, count))
+          (0.0, 0) reqs
+      in
+      if count = 0 then None
+      else
+        Some
+          {
+            E2e.Residual.at_us;
+            window_us;
+            est_us;
+            truth_us = sum /. float_of_int count;
+          })
+    (List.rev sa.sa_ests_rev)
 
 let print_breakdown ~indent spans =
   if spans <> [] then begin
@@ -601,124 +647,160 @@ let print_breakdown ~indent spans =
       (Sim.Span.breakdown spans)
   end
 
-(* Group records by the tenant tag of their emitter id
-   ("<tenant>/c0"-style ids from fleet runs), first-appearance order.
-   Untagged records — every single-run trace — yield the empty list, so
-   tenant sections degrade to a no-op on pre-fleet traces. *)
-let tenant_partition (records : Sim.Trace.record list) =
-  let order = ref [] in
-  let by_tenant : (string, Sim.Trace.record list ref) Hashtbl.t =
-    Hashtbl.create 4
-  in
-  List.iter
-    (fun (r : Sim.Trace.record) ->
-      match Sim.Trace.tenant_of_id r.Sim.Trace.id with
-      | None -> ()
-      | Some tenant -> (
-        match Hashtbl.find_opt by_tenant tenant with
-        | Some l -> l := r :: !l
-        | None ->
-          Hashtbl.add by_tenant tenant (ref [ r ]);
-          order := tenant :: !order))
-    records;
-  List.rev_map
-    (fun tenant -> (tenant, List.rev !(Hashtbl.find by_tenant tenant)))
-    !order
+(* Everything [inspect] prints about one run, accumulated in one
+   streaming pass: time range, per-connection tallies, the first
+   [limit] timeline records, audits, spans and residuals for the whole
+   run and per tenant ("<tenant>/c0"-style ids from fleet runs;
+   untagged traces accumulate no tenant entries, so tenant sections
+   degrade to a no-op on pre-fleet traces). *)
+type run_agg = {
+  ra_run : string;
+  ra_limit : int;
+  mutable ra_t0 : Sim.Time.t;
+  mutable ra_t1 : Sim.Time.t;
+  mutable ra_conn_order_rev : string list;
+  ra_conn_tags : (string, (string * int ref) list ref) Hashtbl.t;
+  mutable ra_timeline_rev : Sim.Trace.record list;  (* first ra_limit *)
+  mutable ra_kept : int;
+  mutable ra_audits_rev : Sim.Trace.record list;
+  ra_all : span_agg;
+  mutable ra_tenant_order_rev : string list;
+  ra_tenants : (string, span_agg) Hashtbl.t;
+}
 
-let inspect_run ~limit run (records : Sim.Trace.record list) =
-  let n = List.length records in
-  let t0 = List.fold_left (fun a r -> Sim.Time.min a r.Sim.Trace.at) max_int records in
-  let t1 = List.fold_left (fun a r -> Sim.Time.max a r.Sim.Trace.at) 0 records in
-  pf "run %s: %d events spanning %s .. %s\n"
-    (if run = "" then "-" else run)
-    n (Sim.Time.to_string t0) (Sim.Time.to_string t1);
+let run_agg ~limit run =
+  {
+    ra_run = run;
+    ra_limit = limit;
+    ra_t0 = max_int;
+    ra_t1 = 0;
+    ra_conn_order_rev = [];
+    ra_conn_tags = Hashtbl.create 8;
+    ra_timeline_rev = [];
+    ra_kept = 0;
+    ra_audits_rev = [];
+    ra_all = span_agg ();
+    ra_tenant_order_rev = [];
+    ra_tenants = Hashtbl.create 4;
+  }
+
+let run_agg_feed ra (r : Sim.Trace.record) =
+  ra.ra_t0 <- Sim.Time.min ra.ra_t0 r.at;
+  ra.ra_t1 <- Sim.Time.max ra.ra_t1 r.at;
   (* per-connection event tallies, in first-appearance order *)
-  let conn_order = ref [] in
-  let conn_tags : (string, (string * int ref) list ref) Hashtbl.t =
-    Hashtbl.create 8
+  let id = if r.id = "" then "-" else r.id in
+  let tags =
+    match Hashtbl.find_opt ra.ra_conn_tags id with
+    | Some tags -> tags
+    | None ->
+      let tags = ref [] in
+      Hashtbl.add ra.ra_conn_tags id tags;
+      ra.ra_conn_order_rev <- id :: ra.ra_conn_order_rev;
+      tags
   in
-  List.iter
-    (fun (r : Sim.Trace.record) ->
-      let id = if r.id = "" then "-" else r.id in
-      let tags =
-        match Hashtbl.find_opt conn_tags id with
-        | Some tags -> tags
-        | None ->
-          let tags = ref [] in
-          Hashtbl.add conn_tags id tags;
-          conn_order := id :: !conn_order;
-          tags
-      in
-      let tag = Sim.Trace.tag r in
-      match List.assoc_opt tag !tags with
-      | Some c -> incr c
-      | None -> tags := !tags @ [ (tag, ref 1) ])
-    records;
+  let tag = Sim.Trace.tag r in
+  (match List.assoc_opt tag !tags with
+  | Some c -> incr c
+  | None -> tags := !tags @ [ (tag, ref 1) ]);
+  if ra.ra_kept < ra.ra_limit then begin
+    ra.ra_timeline_rev <- r :: ra.ra_timeline_rev;
+    ra.ra_kept <- ra.ra_kept + 1
+  end;
+  (match r.event with
+  | Sim.Trace.Audit_window _ -> ra.ra_audits_rev <- r :: ra.ra_audits_rev
+  | _ -> ());
+  span_agg_feed ra.ra_all r;
+  match Sim.Trace.tenant_of_id r.Sim.Trace.id with
+  | None -> ()
+  | Some tenant ->
+    let sa =
+      match Hashtbl.find_opt ra.ra_tenants tenant with
+      | Some sa -> sa
+      | None ->
+        let sa = span_agg () in
+        Hashtbl.add ra.ra_tenants tenant sa;
+        ra.ra_tenant_order_rev <- tenant :: ra.ra_tenant_order_rev;
+        sa
+    in
+    span_agg_feed sa r
+
+(* Print one run's inspection; returns its complete spans for the
+   --request critical-path lookup. *)
+let print_run_agg ra =
+  let n = ra.ra_all.sa_events in
+  pf "run %s: %d events spanning %s .. %s\n"
+    (if ra.ra_run = "" then "-" else ra.ra_run)
+    n (Sim.Time.to_string ra.ra_t0) (Sim.Time.to_string ra.ra_t1);
   List.iter
     (fun id ->
-      let tags = !(Hashtbl.find conn_tags id) in
+      let tags = !(Hashtbl.find ra.ra_conn_tags id) in
       let total = List.fold_left (fun acc (_, c) -> acc + !c) 0 tags in
       let breakdown =
         String.concat " "
           (List.map (fun (tag, c) -> Printf.sprintf "%s=%d" tag !c) tags)
       in
       pf "  %-8s %7d events | %s\n" id total breakdown)
-    (List.rev !conn_order);
-  pf "  timeline (first %d of %d):\n" (Stdlib.min limit n) n;
-  List.iteri
-    (fun i r ->
-      if i < limit then pf "    %s\n" (Format.asprintf "%a" Sim.Trace.pp_record r))
-    records;
-  (match E2e.Residual.summary_of_pairs (residual_pairs records) with
+    (List.rev ra.ra_conn_order_rev);
+  pf "  timeline (first %d of %d):\n" ra.ra_kept n;
+  List.iter
+    (fun r -> pf "    %s\n" (Format.asprintf "%a" Sim.Trace.pp_record r))
+    (List.rev ra.ra_timeline_rev);
+  (match E2e.Residual.summary_of_pairs (span_agg_residual_pairs ra.ra_all) with
   | Some s ->
     pf "  estimator residual: %s\n" (Format.asprintf "%a" E2e.Residual.pp_summary s)
   | None -> pf "  estimator residual: no estimate/request pairs\n");
   (* causal spans: per-phase latency decomposition *)
-  let built = Sim.Span.build records in
-  pf "  spans: %d complete, %d incomplete\n" (List.length built.spans)
-    built.incomplete;
-  print_breakdown ~indent:"  " built.spans;
+  let spans = span_agg_spans ra.ra_all in
+  pf "  spans: %d complete, %d incomplete\n" (List.length spans)
+    (span_agg_incomplete ra.ra_all);
+  print_breakdown ~indent:"  " spans;
   List.iter
-    (fun (r : Sim.Trace.record) ->
-      match r.event with
-      | Sim.Trace.Audit_window _ ->
-        pf "  audit: %s\n" (Sim.Trace.detail r)
-      | _ -> ())
-    records;
+    (fun r -> pf "  audit: %s\n" (Sim.Trace.detail r))
+    (List.rev ra.ra_audits_rev);
   (* fleet traces tag ids "<tenant>/..."; break the run down per tenant *)
-  (match tenant_partition records with
-  | [] -> ()
-  | tenants ->
-    List.iter
-      (fun (tenant, trecs) ->
-        let tb = Sim.Span.build trecs in
-        pf "  tenant %s: %d events, %d spans (%d incomplete)\n" tenant
-          (List.length trecs) (List.length tb.spans) tb.incomplete;
-        (match E2e.Residual.summary_of_pairs (residual_pairs trecs) with
-        | Some s ->
-          pf "    estimator residual: %s\n"
-            (Format.asprintf "%a" E2e.Residual.pp_summary s)
-        | None -> ());
-        print_breakdown ~indent:"    " tb.spans)
-      tenants);
-  built
-
-(* Group parsed (run label, record) pairs by run, first-appearance
-   order; the empty key stands for unlabelled single-run files. *)
-let group_runs all =
-  let runs = ref [] in
   List.iter
-    (fun (run, r) ->
-      let key = Option.value run ~default:"" in
-      match List.assoc_opt key !runs with
-      | Some l -> l := r :: !l
-      | None -> runs := !runs @ [ (key, ref [ r ]) ])
-    all;
-  List.map (fun (key, l) -> (key, List.rev !l)) !runs
+    (fun tenant ->
+      let sa = Hashtbl.find ra.ra_tenants tenant in
+      let tspans = span_agg_spans sa in
+      pf "  tenant %s: %d events, %d spans (%d incomplete)\n" tenant
+        sa.sa_events (List.length tspans) (span_agg_incomplete sa);
+      (match E2e.Residual.summary_of_pairs (span_agg_residual_pairs sa) with
+      | Some s ->
+        pf "    estimator residual: %s\n"
+          (Format.asprintf "%a" E2e.Residual.pp_summary s)
+      | None -> ());
+      print_breakdown ~indent:"    " tspans)
+    (List.rev ra.ra_tenant_order_rev);
+  spans
+
+(* Stream a trace file into per-run aggregates, first-appearance
+   order; the empty key stands for unlabelled single-run files. *)
+let fold_runs ~limit path =
+  let order_rev = ref [] in
+  let runs : (string, run_agg) Hashtbl.t = Hashtbl.create 4 in
+  match
+    Sim.Trace.fold_file path ~init:() ~f:(fun () run r ->
+        let key = Option.value run ~default:"" in
+        let ra =
+          match Hashtbl.find_opt runs key with
+          | Some ra -> ra
+          | None ->
+            let ra = run_agg ~limit key in
+            Hashtbl.add runs key ra;
+            order_rev := key :: !order_rev;
+            ra
+        in
+        run_agg_feed ra r)
+  with
+  | Error _ as e -> e
+  | Ok () when !order_rev = [] ->
+    Error (Printf.sprintf "%s: no trace records" path)
+  | Ok () ->
+    Ok (List.rev_map (fun key -> Hashtbl.find runs key) !order_rev)
 
 let inspect_cmd =
   let file_arg =
-    let doc = "JSONL trace file produced by --trace-out." in
+    let doc = "Trace file produced by --trace-out (JSONL or binary)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let limit_arg =
@@ -734,20 +816,15 @@ let inspect_cmd =
     Arg.(value & opt string "c0" & info [ "conn" ] ~docv:"ID" ~doc)
   in
   let action file limit request conn =
-    match Sim.Trace.load_jsonl file with
+    match fold_runs ~limit file with
     | Error msg -> fail "%s" msg
-    | Ok all ->
-      let runs = group_runs all in
-      let builts =
-        List.map
-          (fun (key, records) -> inspect_run ~limit key records)
-          runs
-      in
+    | Ok runs ->
+      let spans_by_run = List.map print_run_agg runs in
       (match request with
       | None -> `Ok ()
       | Some req ->
         let found =
-          List.concat_map (fun (b : Sim.Span.built) -> b.spans) builts
+          List.concat spans_by_run
           |> List.find_opt (fun (s : Sim.Span.span) ->
                  s.req = req && String.equal s.conn conn)
         in
@@ -764,71 +841,61 @@ let inspect_cmd =
     (Cmd.info "inspect"
        ~doc:
          "Print per-connection timelines, the span latency decomposition and \
-          the estimator-residual summary from a JSONL trace")
+          the estimator-residual summary from a trace file (JSONL or binary)")
     term
 
 (* {1 report} *)
 
 (* One dataset per (file, run label): spans + audit verdicts + request
-   count, everything the report renders. *)
+   count, everything the report renders.  Built by re-using inspect's
+   streaming per-run aggregation, so report also reads both trace
+   formats without materializing records. *)
 type dataset = {
   ds_label : string;
-  ds_built : Sim.Span.built;
+  ds_spans : Sim.Span.span list;
+  ds_incomplete : int;
   ds_audits : Sim.Trace.record list;
   ds_requests : int;
 }
 
-let dataset_of_records ~label ~audits records =
+let dataset_of_agg ~label ~audits sa =
   {
     ds_label = label;
-    ds_built = Sim.Span.build records;
-    ds_audits =
-      (if not audits then []
-       else
-         List.filter
-           (fun (r : Sim.Trace.record) ->
-             match r.event with
-             | Sim.Trace.Audit_window _ -> true
-             | _ -> false)
-           records);
-    ds_requests =
-      List.length
-        (List.filter
-           (fun (r : Sim.Trace.record) ->
-             match r.event with
-             | Sim.Trace.Request_done _ -> true
-             | _ -> false)
-           records);
+    ds_spans = span_agg_spans sa;
+    ds_incomplete = span_agg_incomplete sa;
+    ds_audits = audits;
+    ds_requests = List.length sa.sa_reqs_rev;
   }
 
 let datasets_of_file path =
-  match Sim.Trace.load_jsonl path with
+  match fold_runs ~limit:0 path with
   | Error e -> Error e
-  | Ok all ->
+  | Ok runs ->
     Ok
       (List.concat_map
-         (fun (key, records) ->
+         (fun ra ->
            let label =
-             if key = "" then Filename.basename path
-             else Printf.sprintf "%s:%s" (Filename.basename path) key
+             if ra.ra_run = "" then Filename.basename path
+             else Printf.sprintf "%s:%s" (Filename.basename path) ra.ra_run
            in
            (* fleet traces additionally get one dataset per tenant tag
               (untagged traces contribute none); audits stay on the
               whole-run dataset so they are not repeated per tenant *)
-           dataset_of_records ~label ~audits:true records
+           dataset_of_agg ~label ~audits:(List.rev ra.ra_audits_rev) ra.ra_all
            :: List.map
-                (fun (tenant, trecs) ->
-                  dataset_of_records
+                (fun tenant ->
+                  dataset_of_agg
                     ~label:(Printf.sprintf "%s %s" label tenant)
-                    ~audits:false trecs)
-                (tenant_partition records))
-         (group_runs all))
+                    ~audits:[]
+                    (Hashtbl.find ra.ra_tenants tenant))
+                (List.rev ra.ra_tenant_order_rev))
+         runs)
 
 (* Stacked bars for a dataset: one bar per percentile, one segment per
    phase.  Interleaved across datasets by [bars_for_all] so same
    percentiles of the two runs sit next to each other. *)
 let bars_for ds =
-  let rows = Sim.Span.breakdown ds.ds_built.spans in
+  let rows = Sim.Span.breakdown ds.ds_spans in
   List.map
     (fun (pct, pick) ->
       {
@@ -879,11 +946,11 @@ let summary_table datasets =
     ~header:[ "run"; "requests"; "spans"; "incomplete"; "e2e p50"; "e2e p95"; "e2e p99" ]
     (List.map
        (fun ds ->
-         let spans = ds.ds_built.Sim.Span.spans in
+         let spans = ds.ds_spans in
          [ ds.ds_label;
            string_of_int ds.ds_requests;
            string_of_int (List.length spans);
-           string_of_int ds.ds_built.Sim.Span.incomplete;
+           string_of_int ds.ds_incomplete;
            Printf.sprintf "%.1fus" (pct spans 0.50);
            Printf.sprintf "%.1fus" (pct spans 0.95);
            Printf.sprintf "%.1fus" (pct spans 0.99) ])
@@ -925,8 +992,7 @@ let report_ascii datasets =
     (fun ds ->
       Buffer.add_string b
         (Printf.sprintf "\n%s: %d spans (%d incomplete)\n" ds.ds_label
-           (List.length ds.ds_built.Sim.Span.spans)
-           ds.ds_built.Sim.Span.incomplete);
+           (List.length ds.ds_spans) ds.ds_incomplete);
       List.iter
         (fun (r : Sim.Trace.record) ->
           Buffer.add_string b
@@ -937,7 +1003,7 @@ let report_ascii datasets =
 
 let report_cmd =
   let file_arg =
-    let doc = "JSONL trace file produced by --trace-out." in
+    let doc = "Trace file produced by --trace-out (JSONL or binary)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let compare_arg =
@@ -966,7 +1032,7 @@ let report_cmd =
     | Error e -> fail "%s" e
     | Ok [] -> fail "no datasets"
     | Ok datasets ->
-      if List.for_all (fun ds -> ds.ds_built.Sim.Span.spans = []) datasets then
+      if List.for_all (fun ds -> ds.ds_spans = []) datasets then
         fail
           "no complete spans in input (trace ring too small, or written by an \
            older version?)"
@@ -994,6 +1060,67 @@ let report_cmd =
        ~doc:
          "Render per-phase latency breakdowns and Little's-law audits from \
           trace files as a self-contained HTML page (or ASCII with --ascii)")
+    term
+
+(* {1 convert} *)
+
+(* Lossless JSONL <-> binary trace conversion.  The direction is
+   decided by sniffing the input's magic: binary input converts to
+   JSONL, anything else is parsed as JSONL and converts to binary.
+   Both directions stream record by record and preserve run labels, so
+   converting there and back reproduces the original file's records
+   exactly. *)
+let convert_cmd =
+  let in_arg =
+    let doc = "Input trace file (JSONL or binary; the magic decides)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"IN" ~doc)
+  in
+  let out_arg =
+    let doc = "Output trace file (the opposite format of $(i,IN))." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let action input output =
+    if String.equal input output then
+      fail "input and output are the same file"
+    else begin
+      let from_binary = Sim.Trace.Binary.is_binary input in
+      let result =
+        with_out output (fun oc ->
+            if from_binary then
+              Sim.Trace.fold_file input ~init:0 ~f:(fun n run r ->
+                  output_string oc (Sim.Trace.record_to_json ?run r);
+                  output_char oc '\n';
+                  n + 1)
+            else begin
+              let w = Sim.Trace.Binary.writer oc in
+              match
+                Sim.Trace.fold_jsonl input ~init:0 ~f:(fun n run r ->
+                    Sim.Trace.Binary.write w ?run r;
+                    n + 1)
+              with
+              | Ok n ->
+                Sim.Trace.Binary.finish w;
+                Ok n
+              | Error _ as e -> e
+            end)
+      in
+      match result with
+      | Error e ->
+        (try Sys.remove output with Sys_error _ -> ());
+        fail "%s" e
+      | Ok n ->
+        pf "converted           : %d records %s -> %s (%s)\n" n input output
+          (if from_binary then "jsonl" else "binary");
+        `Ok ()
+    end
+  in
+  let term = Term.(ret (const action $ in_arg $ out_arg)) in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace file between JSONL and the compact binary format \
+          (direction inferred from the input's magic), preserving every \
+          record and run label exactly")
     term
 
 (* {1 model} *)
@@ -1224,4 +1351,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; sweep_cmd; chaos_cmd; model_cmd; trace_cmd; inspect_cmd;
-            report_cmd; scenario_cmd ]))
+            report_cmd; convert_cmd; scenario_cmd ]))

@@ -5,9 +5,14 @@
    of the run, so results stay structurally comparable across runs and
    domains. *)
 
-type config = { trace_capacity : int; sample_interval : Sim.Time.span }
+type config = {
+  trace_capacity : int;
+  sample_interval : Sim.Time.span;
+  trace_sink : (Sim.Trace.record -> unit) option;
+}
 
-let default_config = { trace_capacity = 65536; sample_interval = Sim.Time.ms 1 }
+let default_config =
+  { trace_capacity = 65536; sample_interval = Sim.Time.ms 1; trace_sink = None }
 
 type output = {
   records : Sim.Trace.record list;
@@ -26,8 +31,16 @@ type t = {
   audit : Sim.Audit.t;
   mutable audits : Sim.Audit.report list;
   mutable samples_rev : Sim.Metrics.sample list;
-  mutable reqs_rev : (float * float) list;
-      (* (completion time us, latency us), newest first *)
+  (* Completed-request log as parallel growable arrays: completion
+     times (nondecreasing — requests are logged at sim-now) and the
+     prefix sums of their latencies, so [truth_over] answers any
+     window in O(log n).  A linear newest-first walk here was
+     quadratic over a whole run on static-batching configs, whose
+     estimator window grows to span the entire run: every sampling
+     tick re-walked every request completed so far. *)
+  mutable req_at : float array;  (* completion time us, oldest first *)
+  mutable req_prefix : float array;  (* length n+1; (i+1) = (i) + latency_us i *)
+  mutable n_reqs : int;
 }
 
 let create (cfg : config) =
@@ -35,6 +48,7 @@ let create (cfg : config) =
     invalid_arg "Observe.create: sample_interval must be positive";
   let trace = Sim.Trace.create ~capacity:cfg.trace_capacity () in
   Sim.Trace.set_enabled trace true;
+  Sim.Trace.set_sink trace cfg.trace_sink;
   {
     trace;
     metrics = Sim.Metrics.create ();
@@ -43,7 +57,9 @@ let create (cfg : config) =
     audit = Sim.Audit.create ();
     audits = [];
     samples_rev = [];
-    reqs_rev = [];
+    req_at = [||];
+    req_prefix = [| 0.0 |];
+    n_reqs = 0;
   }
 
 let trace t = t.trace
@@ -58,21 +74,37 @@ let finalize_audit t ~at =
 
 let note_request ?(id = "client") t ~at ~latency =
   let latency_us = Sim.Time.to_us latency in
-  t.reqs_rev <- (Sim.Time.to_us at, latency_us) :: t.reqs_rev;
+  let n = t.n_reqs in
+  if n = Array.length t.req_at then begin
+    let cap = Stdlib.max 1024 (2 * n) in
+    let at' = Array.make cap 0.0 in
+    Array.blit t.req_at 0 at' 0 n;
+    t.req_at <- at';
+    let pf' = Array.make (cap + 1) 0.0 in
+    Array.blit t.req_prefix 0 pf' 0 (n + 1);
+    t.req_prefix <- pf'
+  end;
+  t.req_at.(n) <- Sim.Time.to_us at;
+  t.req_prefix.(n + 1) <- t.req_prefix.(n) +. latency_us;
+  t.n_reqs <- n + 1;
   Sim.Trace.event t.trace ~at ~id (Sim.Trace.Request_done { latency_us })
 
-(* Mean latency of requests completing in [(from_us, upto_us]]; the log
-   is newest-first so the walk stops at the window's left edge. *)
+(* First index whose completion time exceeds [bound] — the log is
+   sorted, so a window's edges are two binary searches. *)
+let first_after t bound =
+  let lo = ref 0 and hi = ref t.n_reqs in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.req_at.(mid) > bound then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Mean latency of requests completing in [(from_us, upto_us]]. *)
 let truth_over t ~from_us ~upto_us =
-  let rec go sum n = function
-    | (at, lat) :: rest ->
-        if at > upto_us then go sum n rest
-        else if at > from_us then go (sum +. lat) (n + 1) rest
-        else (sum, n)
-    | [] -> (sum, n)
-  in
-  let sum, n = go 0.0 0 t.reqs_rev in
-  if n = 0 then None else Some (sum /. float_of_int n)
+  let i = first_after t from_us in
+  let j = first_after t upto_us in
+  if j <= i then None
+  else Some ((t.req_prefix.(j) -. t.req_prefix.(i)) /. float_of_int (j - i))
 
 let note_residual t ~at ~window_us ~est_us =
   let at_us = Sim.Time.to_us at in

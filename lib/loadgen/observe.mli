@@ -12,10 +12,16 @@
 type config = {
   trace_capacity : int;  (** trace ring size; oldest records drop *)
   sample_interval : Sim.Time.span;  (** metrics sampling cadence *)
+  trace_sink : (Sim.Trace.record -> unit) option;
+      (** When set, trace records stream to this callback (e.g. a
+          {!Sim.Trace.Binary} writer) instead of filling the ring, so a
+          run of any length traces in constant memory; [output.records]
+          is then empty.  Single-run use only — do not share a sinked
+          config across parallel sweep workers. *)
 }
 
 val default_config : config
-(** 65536 records, 1 ms cadence. *)
+(** 65536 records, 1 ms cadence, no sink. *)
 
 type output = {
   records : Sim.Trace.record list;  (** oldest first *)

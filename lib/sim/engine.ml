@@ -35,24 +35,36 @@ let cancel t (ev : handle) =
 
 let pending t = t.live
 
+(* The event loop uses Event_heap's option-free [take]/[top] so that
+   dispatching an event allocates nothing at all — the per-event [Some]
+   boxes of peek/pop were the loop's last allocations, and they are
+   paid once per simulated event. *)
 let rec step t =
-  match Event_heap.pop t.queue with
-  | None -> false
-  | Some ev when ev.cancelled -> step t
-  | Some ev ->
-    t.clock <- ev.at;
-    t.live <- t.live - 1;
-    ev.action ();
-    true
+  if Event_heap.is_empty t.queue then false
+  else begin
+    let ev = Event_heap.take t.queue in
+    if ev.cancelled then step t
+    else begin
+      t.clock <- ev.at;
+      t.live <- t.live - 1;
+      ev.action ();
+      true
+    end
+  end
 
 let rec run t = if step t then run t
 
 let rec run_until t deadline =
-  match Event_heap.peek t.queue with
-  | Some ev when ev.cancelled ->
-    ignore (Event_heap.pop t.queue);
-    run_until t deadline
-  | Some ev when Time.compare ev.at deadline <= 0 ->
-    ignore (step t);
-    run_until t deadline
-  | Some _ | None -> t.clock <- Time.max t.clock deadline
+  if Event_heap.is_empty t.queue then t.clock <- Time.max t.clock deadline
+  else begin
+    let ev = Event_heap.top t.queue in
+    if ev.cancelled then begin
+      ignore (Event_heap.take t.queue);
+      run_until t deadline
+    end
+    else if Time.compare ev.at deadline <= 0 then begin
+      ignore (step t);
+      run_until t deadline
+    end
+    else t.clock <- Time.max t.clock deadline
+  end

@@ -63,8 +63,15 @@ let push h ev =
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let pop h =
-  if h.size = 0 then None
+(* Option-free accessors for the engine's event loop: with Time.t a
+   plain int, [top]/[take] allocate nothing, where [peek]/[pop] box a
+   [Some] per call — which was the engine's last per-event allocation.
+   Callers must check [is_empty] first; on an empty heap both return
+   the (cancelled) sentinel. *)
+let top h = if h.size = 0 then h.sentinel else h.data.(0)
+
+let take h =
+  if h.size = 0 then h.sentinel
   else begin
     let top = h.data.(0) in
     h.size <- h.size - 1;
@@ -75,5 +82,11 @@ let pop h =
     (* Clear the vacated slot so [top]'s action closure (and, after a
        drain, every popped event's) does not linger in the array. *)
     h.data.(h.size) <- h.sentinel;
-    Some top
+    top
   end
+
+let pop h = if h.size = 0 then None else Some (take h)
+
+let clear h =
+  Array.fill h.data 0 h.size h.sentinel;
+  h.size <- 0

@@ -34,3 +34,17 @@ val peek : t -> event option
 val pop : t -> event option
 (** Remove and return the earliest event.  The slot it occupied is
     cleared. *)
+
+val top : t -> event
+(** Option-free [peek] for the engine's hot loop: no allocation.
+    Returns the heap's (cancelled) sentinel when empty — callers must
+    check {!is_empty} first to distinguish. *)
+
+val take : t -> event
+(** Option-free [pop]: removes and returns the earliest event without
+    boxing it, clearing the vacated slot.  Returns the sentinel when
+    empty — check {!is_empty} first. *)
+
+val clear : t -> unit
+(** Drop every queued event, overwriting all live slots with the
+    sentinel so their action closures are immediately collectable. *)

@@ -59,11 +59,15 @@ let pop h =
       (* Point the vacated slot at a still-live element so the popped
          value can be collected; without this a drained heap retains
          every element it ever held.  Being polymorphic we have no
-         sentinel, so when the heap empties the last slot keeps one
-         element alive — bounded, unlike the old behavior. *)
+         sentinel to park in dead slots. *)
       h.data.(h.size) <- h.data.(0);
       sift_down h 0
-    end;
+    end
+    else
+      (* Fully drained: slot 0 still pins the popped element (and any
+         spare capacity from [grow] may alias older ones), so drop the
+         backing array outright — the next push re-grows from scratch. *)
+      h.data <- [||];
     Some top
   end
 

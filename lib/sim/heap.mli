@@ -19,7 +19,10 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element.  Vacated slots are
+    re-pointed at live elements (and the backing array is dropped when
+    the heap fully drains), so popped values never linger in the
+    heap's storage. *)
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)

@@ -245,6 +245,247 @@ let build ?(peer = default_peer) records =
   let spans = List.rev !spans in
   { spans; incomplete = !seen - List.length spans }
 
+(* {2 Streaming fold}
+
+   Same reconstruction as [build], but incremental: requests are
+   resolved (or written off) the moment their [Req_complete] record is
+   fed, and their per-request state plus any wire edges no later
+   requests can reference are retired on the spot.  Because requests
+   on a connection are FIFO and every milestone source record of a
+   request causally precedes its [Req_complete], a complete trace fed
+   in order produces exactly the spans and incomplete count of the
+   batch builder — while holding memory proportional to the number of
+   in-flight requests rather than to trace length.  (Only when ring
+   wraparound has dropped a request's wire edges can the two differ:
+   the batch builder may then match a later retransmission edge that
+   the streaming fold has already given up on.) *)
+
+module Streaming = struct
+  (* A deque of (edge_end, first-cross time) pairs in two int arrays:
+     push at the back, prune retired stream bytes from the front,
+     binary-search the live window.  Pruned edges all precede every
+     byte a future request can ask about, so lookups agree with the
+     batch builder's search over the full edge array. *)
+  type edges = {
+    mutable ee : int array;
+    mutable et : int array;
+    mutable start : int;
+    mutable len : int;
+  }
+
+  let edges_create () =
+    { ee = Array.make 16 0; et = Array.make 16 0; start = 0; len = 0 }
+
+  let edges_push es edge at =
+    let cap = Array.length es.ee in
+    if es.start + es.len = cap then begin
+      let newcap = if 2 * es.len <= cap then cap else 2 * cap in
+      let ne = Array.make newcap 0 and nt = Array.make newcap 0 in
+      Array.blit es.ee es.start ne 0 es.len;
+      Array.blit es.et es.start nt 0 es.len;
+      es.ee <- ne;
+      es.et <- nt;
+      es.start <- 0
+    end;
+    es.ee.(es.start + es.len) <- edge;
+    es.et.(es.start + es.len) <- at;
+    es.len <- es.len + 1
+
+  let edges_prune es threshold =
+    while es.len > 0 && es.ee.(es.start) <= threshold do
+      es.start <- es.start + 1;
+      es.len <- es.len - 1
+    done
+
+  (* Time the stream byte [b] first crossed the live window: the [at]
+     of the first retained (edge, at) with [edge > b]. *)
+  let edges_byte_time es b =
+    let lo = ref es.start and hi = ref (es.start + es.len) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if es.ee.(mid) > b then hi := mid else lo := mid + 1
+    done;
+    if !lo < es.start + es.len then Some es.et.(!lo) else None
+
+  type sconn = {
+    sreqs : (int, per_req) Hashtbl.t;
+    mutable s_has_issued : bool;
+    mutable s_send_edge : int;
+    send : edges;
+    mutable s_recv_cum : int;
+    recv : edges;
+    mutable retired : int;  (* 1 + highest retired req index (FIFO) *)
+    mutable failed : int;  (* retired without a resolvable span *)
+  }
+
+  type t = {
+    peer : string -> string option;
+    conns : (string, sconn) Hashtbl.t;
+    mutable resolved : int;
+  }
+
+  let create ?(peer = default_peer) () =
+    { peer; conns = Hashtbl.create 16; resolved = 0 }
+
+  let sconn t id =
+    match Hashtbl.find_opt t.conns id with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            sreqs = Hashtbl.create 64;
+            s_has_issued = false;
+            s_send_edge = 0;
+            send = edges_create ();
+            s_recv_cum = 0;
+            recv = edges_create ();
+            retired = 0;
+            failed = 0;
+          }
+        in
+        Hashtbl.add t.conns id c;
+        c
+
+  let sper_req c req =
+    match Hashtbl.find_opt c.sreqs req with
+    | Some r -> r
+    | None ->
+        let r =
+          { r_issued = None; r_sent = None; r_complete = None; r_start = None;
+            r_reply = None }
+        in
+        Hashtbl.add c.sreqs req r;
+        r
+
+  (* Resolve request [req] on client [c] at its completion time [t8],
+     retire its state from both endpoints, and prune wire edges no
+     later request can reference (FIFO stream offsets only grow). *)
+  let complete_req t c id req t8 =
+    let srv =
+      match t.peer id with
+      | Some sid -> Hashtbl.find_opt t.conns sid
+      | None -> None
+    in
+    let pr = sper_req c req in
+    let srv_pr = Option.bind srv (fun s -> Hashtbl.find_opt s.sreqs req) in
+    let span =
+      match (pr.r_issued, pr.r_sent, srv, srv_pr) with
+      | ( Some (off, len, t0),
+          Some t1,
+          Some s,
+          Some { r_start = Some t4; r_reply = Some (roff, rlen, t5); _ } ) -> (
+          let last_cmd = off + len - 1 and last_rep = roff + rlen - 1 in
+          match
+            ( edges_byte_time c.send last_cmd,
+              edges_byte_time s.recv last_cmd,
+              edges_byte_time s.send last_rep,
+              edges_byte_time c.recv last_rep )
+          with
+          | Some t2, Some t3, Some t6, Some t7 ->
+              Some
+                {
+                  conn = id;
+                  req;
+                  milestones = [| t0; t1; t2; t3; t4; t5; t6; t7; t8 |];
+                }
+          | _ -> None)
+      | _ -> None
+    in
+    (match pr.r_issued with
+    | Some (off, len, _) ->
+        edges_prune c.send (off + len);
+        (match srv with Some s -> edges_prune s.recv (off + len) | None -> ())
+    | None -> ());
+    (match srv_pr with
+    | Some { r_reply = Some (roff, rlen, _); _ } ->
+        edges_prune c.recv (roff + rlen);
+        (match srv with Some s -> edges_prune s.send (roff + rlen) | None -> ())
+    | None | Some _ -> ());
+    Hashtbl.remove c.sreqs req;
+    if req + 1 > c.retired then c.retired <- req + 1;
+    (match srv with
+    | Some s ->
+        Hashtbl.remove s.sreqs req;
+        if req + 1 > s.retired then s.retired <- req + 1
+    | None -> ());
+    (match span with
+    | Some _ -> t.resolved <- t.resolved + 1
+    | None -> c.failed <- c.failed + 1);
+    span
+
+  let feed t (r : Trace.record) =
+    match r.event with
+    | Trace.Req_issued { req; off; len } ->
+        let c = sconn t r.id in
+        c.s_has_issued <- true;
+        if req >= c.retired then begin
+          let pr = sper_req c req in
+          set_once (fun () -> pr.r_issued) (fun v -> pr.r_issued <- v)
+            (off, len, r.at)
+        end;
+        None
+    | Trace.Req_sent { req } ->
+        let c = sconn t r.id in
+        if req >= c.retired then begin
+          let pr = sper_req c req in
+          set_once (fun () -> pr.r_sent) (fun v -> pr.r_sent <- v) r.at
+        end;
+        None
+    | Trace.Req_complete { req } ->
+        let c = sconn t r.id in
+        if req >= c.retired then complete_req t c r.id req r.at else None
+    | Trace.Srv_start { req } ->
+        let c = sconn t r.id in
+        if req >= c.retired then begin
+          let pr = sper_req c req in
+          set_once (fun () -> pr.r_start) (fun v -> pr.r_start <- v) r.at
+        end;
+        None
+    | Trace.Srv_reply { req; off; len } ->
+        let c = sconn t r.id in
+        if req >= c.retired then begin
+          let pr = sper_req c req in
+          set_once (fun () -> pr.r_reply) (fun v -> pr.r_reply <- v)
+            (off, len, r.at)
+        end;
+        None
+    | Trace.Segment_sent { seq; len; retx = _; push = _ } ->
+        let c = sconn t r.id in
+        if seq + len > c.s_send_edge then begin
+          c.s_send_edge <- seq + len;
+          edges_push c.send (seq + len) r.at
+        end;
+        None
+    | Trace.Segment_received { fresh; seq } ->
+        if fresh > 0 then begin
+          let c = sconn t r.id in
+          c.s_recv_cum <- Stdlib.max c.s_recv_cum seq + fresh;
+          edges_push c.recv c.s_recv_cum r.at
+        end;
+        None
+    | _ -> None
+
+  let resolved t = t.resolved
+
+  let pending t =
+    Hashtbl.fold
+      (fun _ c acc -> if c.s_has_issued then acc + Hashtbl.length c.sreqs else acc)
+      t.conns 0
+
+  let incomplete t =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if c.s_has_issued then acc + c.failed + Hashtbl.length c.sreqs else acc)
+      t.conns 0
+
+  (* Peak footprint probe for benches: live edge-window and pending
+     request state across all connections. *)
+  let live_state t =
+    Hashtbl.fold
+      (fun _ c acc -> acc + c.send.len + c.recv.len + Hashtbl.length c.sreqs)
+      t.conns 0
+end
+
 (* {2 Aggregation} *)
 
 type row = {

@@ -70,6 +70,43 @@ val build : ?peer:(string -> string option) -> Trace.record list -> built
     convention).  Records must be in emission order (as
     [Trace.records] and JSONL files are). *)
 
+(** {1 Streaming reconstruction}
+
+    The same span reconstruction as {!build}, as an incremental fold:
+    feed records in emission order and each request resolves (or is
+    written off) at its [Req_complete], retiring its state and any
+    wire edges no later request can reference.  Memory is proportional
+    to in-flight requests, not trace length, so multi-gigabyte
+    file-backed traces fold in constant space.  On a trace with no
+    ring-wraparound loss the resolved spans and the incomplete count
+    are identical to [build]'s (spans arrive in completion order
+    rather than sorted by connection). *)
+module Streaming : sig
+  type t
+
+  val create : ?peer:(string -> string option) -> unit -> t
+  (** Same [peer] convention as {!build}. *)
+
+  val feed : t -> Trace.record -> span option
+  (** Feed one record, in emission order; returns the span resolved by
+      a [Req_complete] record, if any. *)
+
+  val resolved : t -> int
+  (** Spans returned so far. *)
+
+  val pending : t -> int
+  (** Client-side requests currently tracked (in flight). *)
+
+  val incomplete : t -> int
+  (** Requests retired unresolvable plus those still pending on client
+      connections; once the whole trace has been fed this equals the
+      batch builder's [incomplete]. *)
+
+  val live_state : t -> int
+  (** Footprint probe: retained edge-window entries plus pending
+      request records across all connections. *)
+end
+
 type row = {
   phase : phase;
   p50_us : float;

@@ -52,6 +52,8 @@ type t = {
   mutable next : int;
   mutable count : int;
   mutable emitted : int;
+  mutable sink : (record -> unit) option;
+  mutable sunk : int;
 }
 
 let create ?(capacity = 4096) () =
@@ -63,19 +65,28 @@ let create ?(capacity = 4096) () =
     next = 0;
     count = 0;
     emitted = 0;
+    sink = None;
+    sunk = 0;
   }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
 let capacity t = t.capacity
 let emitted t = t.emitted
-let dropped t = t.emitted - t.count
+let dropped t = t.emitted - t.count - t.sunk
+let set_sink t sink = t.sink <- sink
+let sunk t = t.sunk
 
 let event t ~at ~id ev =
   if t.enabled then begin
-    t.buf.(t.next) <- Some { at; id; event = ev };
-    t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1;
+    (match t.sink with
+    | None ->
+        t.buf.(t.next) <- Some { at; id; event = ev };
+        t.next <- (t.next + 1) mod t.capacity;
+        if t.count < t.capacity then t.count <- t.count + 1
+    | Some f ->
+        t.sunk <- t.sunk + 1;
+        f { at; id; event = ev });
     t.emitted <- t.emitted + 1
   end
 
@@ -189,7 +200,8 @@ let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
   t.count <- 0;
-  t.emitted <- 0
+  t.emitted <- 0;
+  t.sunk <- 0
 
 let pp_record ppf r =
   Format.fprintf ppf "[%a] %s %s: %s" Time.pp r.at
@@ -608,15 +620,15 @@ let record_of_json line =
   in
   Ok (run, { at = at_ns; id; event })
 
-(* Load a whole JSONL trace file.  Missing/unreadable files, malformed
-   lines and files with no records at all are reported as [Error] so
-   callers (the inspect/report CLIs) can exit non-zero with one clear
-   message instead of silently doing nothing. *)
-let load_jsonl path =
+(* Stream a JSONL trace file without materializing it.  Missing or
+   unreadable files and malformed lines are reported as [Error] (with
+   the offending line number) so callers can exit non-zero with one
+   clear message instead of silently doing nothing. *)
+let fold_jsonl path ~init ~f =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
-      let parsed = ref [] in
+      let acc = ref init in
       let line_no = ref 0 in
       let err = ref None in
       (try
@@ -625,13 +637,490 @@ let load_jsonl path =
            incr line_no;
            if String.trim line <> "" then
              match record_of_json line with
-             | Ok rr -> parsed := rr :: !parsed
+             | Ok (run, r) -> acc := f !acc run r
              | Error msg ->
                  err := Some (Printf.sprintf "%s: line %d: %s" path !line_no msg)
          done
        with End_of_file -> ());
       close_in ic;
-      match (!err, List.rev !parsed) with
-      | Some msg, _ -> Error msg
-      | None, [] -> Error (Printf.sprintf "%s: no trace records" path)
-      | None, records -> Ok records
+      match !err with Some msg -> Error msg | None -> Ok !acc
+
+let load_jsonl path =
+  match
+    fold_jsonl path ~init:[] ~f:(fun acc run r -> (run, r) :: acc)
+  with
+  | Error _ as e -> e
+  | Ok [] -> Error (Printf.sprintf "%s: no trace records" path)
+  | Ok rev -> Ok (List.rev rev)
+
+(* {1 Binary trace format}
+
+   A compact fixed-width encoding of the same records.  Layout (all
+   integers little-endian):
+
+     header   magic "e2ebtrc1" (8B) | version u16 | header_len u16
+              | reserved u32                                   = 16 B
+     records  kind u8 | flags u8 | id_ref u16 | at_ns i64
+              | payload (fixed width per kind, see below)
+              | run_ref u16 when flags bit 7
+     trailer  name table then string table, each entry
+              u32 byte length + raw bytes
+     footer   trailer_off i64 | n_records i64 | n_names u32
+              | n_strs u32 | magic "e2ebtrcF" (8B)             = 32 B
+
+   Connection ids and run labels are interned into the u16-indexed
+   name table (at most 65536 distinct values); free-form strings
+   (drop reasons, audit queue names, message tags/details) go into the
+   u32-indexed string table.  Both tables are buffered in memory and
+   written after the records, so the writer streams records with
+   memory proportional to the number of distinct strings only, and a
+   reader loads the tables from the footer before scanning records.
+
+   Flags: bit 0 and bit 1 carry kind-specific booleans (PSH / retx /
+   Nagle-enabled / latency-present), bit 6 ("wide") widens every
+   u32-slot payload field of the record to i64 when any value
+   overflows 32 bits, bit 7 marks a trailing run-label reference.
+   i64 fields (stream offsets, cumulative totals, timestamps) and f64
+   fields (IEEE bits) always round-trip OCaml ints and floats
+   exactly. *)
+
+module Binary = struct
+  let magic = "e2ebtrc1"
+  let footer_magic = "e2ebtrcF"
+  let version = 1
+  let header_len = 16
+  let footer_len = 32
+
+  let flag_b0 = 0x01
+  let flag_b1 = 0x02
+  let flag_wide = 0x40
+  let flag_run = 0x80
+
+  let kind_of_event = function
+    | Segment_sent _ -> 0
+    | Segment_received _ -> 1
+    | Ack_received _ -> 2
+    | Nagle_hold _ -> 3
+    | Nagle_toggle _ -> 4
+    | Cork_hold _ -> 5
+    | Delack_fire _ -> 6
+    | Delack_cancel _ -> 7
+    | Fin_received _ -> 8
+    | Segment_dropped _ -> 9
+    | Segment_reordered _ -> 10
+    | Segment_duplicated _ -> 11
+    | Share_corrupted _ -> 12
+    | Share_rejected _ -> 13
+    | Share_ingested _ -> 14
+    | Estimate_computed _ -> 15
+    | Request_done _ -> 16
+    | Req_issued _ -> 17
+    | Req_sent _ -> 18
+    | Req_complete _ -> 19
+    | Srv_start _ -> 20
+    | Srv_reply _ -> 21
+    | Audit_window _ -> 22
+    | Message _ -> 23
+
+  (* Payload size in bytes for a (kind, wide) pair; the prefix (4B) and
+     the optional run ref (2B) are accounted for separately.  [num] is
+     the width of a u32-slot field under the record's wide flag. *)
+  let payload_len kind ~wide =
+    let num = if wide then 8 else 4 in
+    match kind with
+    | 0 | 1 | 2 -> 8 + num (* seq/una i64 + len/fresh/acked *)
+    | 3 -> 2 * num (* chunk + in_flight *)
+    | 4 -> 0 (* toggle: flags only *)
+    | 5 | 6 | 7 -> num (* chunk / pending *)
+    | 8 -> 8 (* rcv_nxt i64 *)
+    | 9 -> 8 + num + 4 (* seq + len + reason ref *)
+    | 10 -> 16 (* seq + delay f64 *)
+    | 11 | 12 -> 8 (* seq i64 *)
+    | 13 -> 4 (* reason ref *)
+    | 14 -> 3 * num (* share totals *)
+    | 15 -> 24 (* latency + throughput + window f64 *)
+    | 16 -> 8 (* latency f64 *)
+    | 17 | 21 -> num + 8 + num (* req + off i64 + len *)
+    | 18 | 19 | 20 -> num (* req *)
+    | 22 -> 4 + 32 (* queue ref + 4 f64 *)
+    | 23 -> 8 (* tag ref + detail ref *)
+    | k -> invalid_arg (Printf.sprintf "Trace.Binary: unknown kind %d" k)
+
+  let u32_ok v = v >= 0 && v <= 0xFFFF_FFFF
+
+  type writer = {
+    oc : out_channel;
+    names : (string, int) Hashtbl.t;
+    mutable names_rev : string list;
+    mutable n_names : int;
+    strs : (string, int) Hashtbl.t;
+    mutable strs_rev : string list;
+    mutable n_strs : int;
+    buf : Buffer.t;
+    mutable n_records : int;
+    mutable finished : bool;
+  }
+
+  let writer oc =
+    let b = Buffer.create 64 in
+    Buffer.add_string b magic;
+    Buffer.add_uint16_le b version;
+    Buffer.add_uint16_le b header_len;
+    Buffer.add_int32_le b 0l;
+    Buffer.output_buffer oc b;
+    {
+      oc;
+      names = Hashtbl.create 64;
+      names_rev = [];
+      n_names = 0;
+      strs = Hashtbl.create 64;
+      strs_rev = [];
+      n_strs = 0;
+      buf = b;
+      n_records = 0;
+      finished = false;
+    }
+
+  let intern_name w s =
+    match Hashtbl.find_opt w.names s with
+    | Some i -> i
+    | None ->
+        if w.n_names > 0xFFFF then
+          failwith "Trace.Binary: more than 65536 distinct ids/run labels";
+        let i = w.n_names in
+        Hashtbl.add w.names s i;
+        w.names_rev <- s :: w.names_rev;
+        w.n_names <- i + 1;
+        i
+
+  let intern_str w s =
+    match Hashtbl.find_opt w.strs s with
+    | Some i -> i
+    | None ->
+        let i = w.n_strs in
+        Hashtbl.add w.strs s i;
+        w.strs_rev <- s :: w.strs_rev;
+        w.n_strs <- i + 1;
+        i
+
+  let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+  let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+  let add_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+  (* A u32-slot field: 4 bytes normally, widened to i64 when the
+     record's wide flag is set. *)
+  let add_num b ~wide v = if wide then add_i64 b v else add_u32 b v
+
+  let write w ?run r =
+    if w.finished then invalid_arg "Trace.Binary.write: writer is finished";
+    let b = w.buf in
+    Buffer.clear b;
+    let kind = kind_of_event r.event in
+    let bools, narrow =
+      match r.event with
+      | Segment_sent { len; push; retx; _ } ->
+          ( (if push then flag_b0 else 0) lor (if retx then flag_b1 else 0),
+            u32_ok len )
+      | Segment_received { fresh; _ } -> (0, u32_ok fresh)
+      | Ack_received { acked; _ } -> (0, u32_ok acked)
+      | Nagle_hold { chunk; in_flight } -> (0, u32_ok chunk && u32_ok in_flight)
+      | Nagle_toggle { enabled } -> ((if enabled then flag_b0 else 0), true)
+      | Cork_hold { chunk } -> (0, u32_ok chunk)
+      | Delack_fire { pending } | Delack_cancel { pending } ->
+          (0, u32_ok pending)
+      | Segment_dropped { len; _ } -> (0, u32_ok len)
+      | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
+          (0, u32_ok unacked_total && u32_ok unread_total && u32_ok ackdelay_total)
+      | Estimate_computed { latency_us; _ } ->
+          ((if latency_us <> None then flag_b0 else 0), true)
+      | Req_issued { req; len; _ } | Srv_reply { req; len; _ } ->
+          (0, u32_ok req && u32_ok len)
+      | Req_sent { req } | Req_complete { req } | Srv_start { req } ->
+          (0, u32_ok req)
+      | Fin_received _ | Segment_reordered _ | Segment_duplicated _
+      | Share_corrupted _ | Share_rejected _ | Request_done _ | Audit_window _
+      | Message _ ->
+          (0, true)
+    in
+    let wide = not narrow in
+    let flags =
+      bools
+      lor (if wide then flag_wide else 0)
+      lor match run with Some _ -> flag_run | None -> 0
+    in
+    let id_ref = intern_name w r.id in
+    Buffer.add_uint8 b kind;
+    Buffer.add_uint8 b flags;
+    Buffer.add_uint16_le b id_ref;
+    add_i64 b (Time.to_ns r.at);
+    (match r.event with
+    | Segment_sent { seq; len; _ } ->
+        add_i64 b seq;
+        add_num b ~wide len
+    | Segment_received { seq; fresh } ->
+        add_i64 b seq;
+        add_num b ~wide fresh
+    | Ack_received { acked; una } ->
+        add_i64 b una;
+        add_num b ~wide acked
+    | Nagle_hold { chunk; in_flight } ->
+        add_num b ~wide chunk;
+        add_num b ~wide in_flight
+    | Nagle_toggle _ -> ()
+    | Cork_hold { chunk } -> add_num b ~wide chunk
+    | Delack_fire { pending } | Delack_cancel { pending } ->
+        add_num b ~wide pending
+    | Fin_received { rcv_nxt } -> add_i64 b rcv_nxt
+    | Segment_dropped { seq; len; reason } ->
+        add_i64 b seq;
+        add_num b ~wide len;
+        add_u32 b (intern_str w reason)
+    | Segment_reordered { seq; delay_us } ->
+        add_i64 b seq;
+        add_f64 b delay_us
+    | Segment_duplicated { seq } | Share_corrupted { seq } -> add_i64 b seq
+    | Share_rejected { reason } -> add_u32 b (intern_str w reason)
+    | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
+        add_num b ~wide unacked_total;
+        add_num b ~wide unread_total;
+        add_num b ~wide ackdelay_total
+    | Estimate_computed { latency_us; throughput; window_us } ->
+        add_f64 b (match latency_us with Some l -> l | None -> 0.0);
+        add_f64 b throughput;
+        add_f64 b window_us
+    | Request_done { latency_us } -> add_f64 b latency_us
+    | Req_issued { req; off; len } | Srv_reply { req; off; len } ->
+        add_num b ~wide req;
+        add_i64 b off;
+        add_num b ~wide len
+    | Req_sent { req } | Req_complete { req } | Srv_start { req } ->
+        add_num b ~wide req
+    | Audit_window { queue; l_avg; lambda_per_s; w_us; rel_err } ->
+        add_u32 b (intern_str w queue);
+        add_f64 b l_avg;
+        add_f64 b lambda_per_s;
+        add_f64 b w_us;
+        add_f64 b rel_err
+    | Message { tag; detail } ->
+        add_u32 b (intern_str w (tag : string));
+        add_u32 b (intern_str w detail));
+    (match run with
+    | Some label -> Buffer.add_uint16_le b (intern_name w label)
+    | None -> ());
+    Buffer.output_buffer w.oc b;
+    w.n_records <- w.n_records + 1
+
+  let written w = w.n_records
+
+  let finish w =
+    if not w.finished then begin
+      w.finished <- true;
+      let trailer_off = LargeFile.pos_out w.oc in
+      let b = w.buf in
+      let emit_table rev =
+        List.iter
+          (fun s ->
+            Buffer.clear b;
+            add_u32 b (String.length s);
+            Buffer.output_buffer w.oc b;
+            output_string w.oc s)
+          (List.rev rev)
+      in
+      emit_table w.names_rev;
+      emit_table w.strs_rev;
+      Buffer.clear b;
+      Buffer.add_int64_le b trailer_off;
+      add_i64 b w.n_records;
+      add_u32 b w.n_names;
+      add_u32 b w.n_strs;
+      Buffer.add_string b footer_magic;
+      Buffer.output_buffer w.oc b;
+      flush w.oc
+    end
+
+  (* {2 Reading} *)
+
+  exception Corrupt of string
+
+  let get_u32 by off = Int32.to_int (Bytes.get_int32_le by off) land 0xFFFF_FFFF
+  let get_i64 by off = Int64.to_int (Bytes.get_int64_le by off)
+  let get_f64 by off = Int64.float_of_bits (Bytes.get_int64_le by off)
+
+  let is_binary path =
+    match open_in_bin path with
+    | exception Sys_error _ -> false
+    | ic ->
+        let by = Bytes.create 8 in
+        let ok =
+          try
+            really_input ic by 0 8;
+            Bytes.to_string by = magic
+          with End_of_file -> false
+        in
+        close_in ic;
+        ok
+
+  let fold_file path ~init ~f =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic -> (
+        let corrupt fmt =
+          Printf.ksprintf (fun m -> raise (Corrupt (path ^ ": " ^ m))) fmt
+        in
+        let scratch = Bytes.create 64 in
+        let read n =
+          (try really_input ic scratch 0 n
+           with End_of_file -> corrupt "truncated file");
+          scratch
+        in
+        let result =
+          try
+            let size = in_channel_length ic in
+            if size < header_len + footer_len then corrupt "file too short";
+            let by = read 8 in
+            if Bytes.sub_string by 0 8 <> magic then corrupt "bad magic";
+            let by = read 8 in
+            let v = Bytes.get_uint16_le by 0 in
+            if v <> version then corrupt "unsupported version %d" v;
+            let hlen = Bytes.get_uint16_le by 2 in
+            seek_in ic (size - footer_len);
+            let by = read footer_len in
+            if Bytes.sub_string by 24 8 <> footer_magic then
+              corrupt "bad footer magic";
+            let trailer_off = get_i64 by 0 in
+            let n_records = get_i64 by 8 in
+            let n_names = get_u32 by 16 in
+            let n_strs = get_u32 by 20 in
+            if trailer_off < hlen || trailer_off > size - footer_len then
+              corrupt "trailer offset out of bounds";
+            seek_in ic trailer_off;
+            let read_table n =
+              let a = Array.make n "" in
+              for i = 0 to n - 1 do
+                let len = get_u32 (read 4) 0 in
+                if len > size then corrupt "bad table entry";
+                let s = Bytes.create len in
+                (try really_input ic s 0 len
+                 with End_of_file -> corrupt "truncated table");
+                a.(i) <- Bytes.unsafe_to_string s
+              done;
+              a
+            in
+            let names = read_table n_names in
+            let strs = read_table n_strs in
+            let name i =
+              if i < Array.length names then names.(i)
+              else corrupt "name ref %d out of range" i
+            in
+            let str i =
+              if i < Array.length strs then strs.(i)
+              else corrupt "string ref %d out of range" i
+            in
+            seek_in ic hlen;
+            let acc = ref init in
+            for rec_no = 0 to n_records - 1 do
+              let by = read 12 in
+              let kind = Bytes.get_uint8 by 0 in
+              let flags = Bytes.get_uint8 by 1 in
+              let id_ref = Bytes.get_uint16_le by 2 in
+              let at = get_i64 by 4 in
+              let wide = flags land flag_wide <> 0 in
+              let plen =
+                try payload_len kind ~wide
+                with Invalid_argument _ ->
+                  corrupt "record %d: unknown kind %d" rec_no kind
+              in
+              let by = read plen in
+              let num off = if wide then get_i64 by off else get_u32 by off in
+              let nsz = if wide then 8 else 4 in
+              let b0 = flags land flag_b0 <> 0 in
+              let b1 = flags land flag_b1 <> 0 in
+              let event =
+                match kind with
+                | 0 ->
+                    Segment_sent
+                      { seq = get_i64 by 0; len = num 8; push = b0; retx = b1 }
+                | 1 -> Segment_received { seq = get_i64 by 0; fresh = num 8 }
+                | 2 -> Ack_received { una = get_i64 by 0; acked = num 8 }
+                | 3 -> Nagle_hold { chunk = num 0; in_flight = num nsz }
+                | 4 -> Nagle_toggle { enabled = b0 }
+                | 5 -> Cork_hold { chunk = num 0 }
+                | 6 -> Delack_fire { pending = num 0 }
+                | 7 -> Delack_cancel { pending = num 0 }
+                | 8 -> Fin_received { rcv_nxt = get_i64 by 0 }
+                | 9 ->
+                    Segment_dropped
+                      {
+                        seq = get_i64 by 0;
+                        len = num 8;
+                        reason = str (get_u32 by (8 + nsz));
+                      }
+                | 10 ->
+                    Segment_reordered
+                      { seq = get_i64 by 0; delay_us = get_f64 by 8 }
+                | 11 -> Segment_duplicated { seq = get_i64 by 0 }
+                | 12 -> Share_corrupted { seq = get_i64 by 0 }
+                | 13 -> Share_rejected { reason = str (get_u32 by 0) }
+                | 14 ->
+                    Share_ingested
+                      {
+                        unacked_total = num 0;
+                        unread_total = num nsz;
+                        ackdelay_total = num (2 * nsz);
+                      }
+                | 15 ->
+                    Estimate_computed
+                      {
+                        latency_us = (if b0 then Some (get_f64 by 0) else None);
+                        throughput = get_f64 by 8;
+                        window_us = get_f64 by 16;
+                      }
+                | 16 -> Request_done { latency_us = get_f64 by 0 }
+                | 17 ->
+                    Req_issued
+                      { req = num 0; off = get_i64 by nsz; len = num (nsz + 8) }
+                | 18 -> Req_sent { req = num 0 }
+                | 19 -> Req_complete { req = num 0 }
+                | 20 -> Srv_start { req = num 0 }
+                | 21 ->
+                    Srv_reply
+                      { req = num 0; off = get_i64 by nsz; len = num (nsz + 8) }
+                | 22 ->
+                    Audit_window
+                      {
+                        queue = str (get_u32 by 0);
+                        l_avg = get_f64 by 4;
+                        lambda_per_s = get_f64 by 12;
+                        w_us = get_f64 by 20;
+                        rel_err = get_f64 by 28;
+                      }
+                | 23 ->
+                    Message
+                      { tag = str (get_u32 by 0); detail = str (get_u32 by 4) }
+                | k -> corrupt "record %d: unknown kind %d" rec_no k
+              in
+              let run =
+                if flags land flag_run <> 0 then
+                  Some (name (Bytes.get_uint16_le (read 2) 0))
+                else None
+              in
+              acc := f !acc run { at; id = name id_ref; event }
+            done;
+            Ok !acc
+          with
+          | Corrupt msg -> Error msg
+          | Sys_error msg -> Error msg
+        in
+        close_in ic;
+        result)
+
+  let load_file path =
+    match fold_file path ~init:[] ~f:(fun acc run r -> (run, r) :: acc) with
+    | Error _ as e -> e
+    | Ok rev -> Ok (List.rev rev)
+end
+
+(* Fold over a trace file in either format, sniffing the binary magic. *)
+let fold_file path ~init ~f =
+  if Binary.is_binary path then Binary.fold_file path ~init ~f
+  else fold_jsonl path ~init ~f

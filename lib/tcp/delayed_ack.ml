@@ -27,11 +27,17 @@ let create engine ?(timeout = Sim.Time.ms 40) ?(max_pending = 2) ~send_ack () =
 
 let set_trace t tr ~id = t.trace <- Some (tr, id)
 
+(* Call sites construct event payloads only behind [tracing]: this
+   module runs once per data segment / outgoing ACK, so an unguarded
+   record literal would allocate on the hot path even with tracing
+   off. *)
+let tracing t =
+  match t.trace with Some (tr, _) -> Sim.Trace.enabled tr | None -> false
+
 let emit t ev =
   match t.trace with
-  | Some (tr, id) when Sim.Trace.enabled tr ->
-      Sim.Trace.event tr ~at:(Sim.Engine.now t.engine) ~id ev
-  | _ -> ()
+  | Some (tr, id) -> Sim.Trace.event tr ~at:(Sim.Engine.now t.engine) ~id ev
+  | None -> ()
 
 let disarm t =
   match t.timer with
@@ -42,7 +48,7 @@ let disarm t =
 
 let on_ack_sent t =
   (* An armed timer that never fires: the ack went out another way. *)
-  if t.timer <> None && t.pending > 0 then
+  if t.timer <> None && t.pending > 0 && tracing t then
     emit t (Sim.Trace.Delack_cancel { pending = t.pending });
   t.pending <- 0;
   disarm t
@@ -51,7 +57,7 @@ let fire t =
   t.timer <- None;
   if t.pending > 0 then begin
     t.by_timer <- t.by_timer + 1;
-    emit t (Sim.Trace.Delack_fire { pending = t.pending });
+    if tracing t then emit t (Sim.Trace.Delack_fire { pending = t.pending });
     (* send_ack reaches the socket's transmit path, which calls
        on_ack_sent and resets the state. *)
     t.send_ack ()

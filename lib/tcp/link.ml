@@ -48,14 +48,20 @@ let set_prop_delay t prop_delay =
   if prop_delay < 0 then invalid_arg "Link.set_prop_delay: negative propagation delay";
   t.prop_delay <- prop_delay
 
+(* Call sites construct event payloads only behind [tracing], so the
+   fault/loss paths allocate nothing when tracing is off. *)
+let tracing t =
+  match t.trace with Some (tr, _) -> Sim.Trace.enabled tr | None -> false
+
 let emit t ~at ev =
   match t.trace with
-  | Some (tr, id) when Sim.Trace.enabled tr -> Sim.Trace.event tr ~at ~id ev
-  | _ -> ()
+  | Some (tr, id) -> Sim.Trace.event tr ~at ~id ev
+  | None -> ()
 
 let note_share_corrupted t ~seq =
   t.corrupted_shares <- t.corrupted_shares + 1;
-  emit t ~at:(Sim.Engine.now t.engine) (Sim.Trace.Share_corrupted { seq })
+  if tracing t then
+    emit t ~at:(Sim.Engine.now t.engine) (Sim.Trace.Share_corrupted { seq })
 
 let send ?(seq = -1) t ~wire_bytes k =
   if wire_bytes <= 0 then invalid_arg "Link.send: packet must have positive size";
@@ -79,7 +85,9 @@ let send ?(seq = -1) t ~wire_bytes k =
   in
   if lost then begin
     t.dropped <- t.dropped + 1;
-    emit t ~at:now (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason = "loss" })
+    if tracing t then
+      emit t ~at:now
+        (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason = "loss" })
   end
   else begin
     match t.fault with
@@ -89,19 +97,23 @@ let send ?(seq = -1) t ~wire_bytes k =
       match Fault.Injector.decide inj ~now_us:(Sim.Time.to_us now) with
       | { action = Drop reason; _ } ->
         t.dropped <- t.dropped + 1;
-        emit t ~at:now (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason })
+        if tracing t then
+          emit t ~at:now
+            (Sim.Trace.Segment_dropped { seq; len = wire_bytes; reason })
       | { action = Deliver; extra_delay_us; duplicate } ->
         let arrival = Sim.Time.add done_tx t.prop_delay in
         let arrival =
           if extra_delay_us > 0.0 then begin
-            emit t ~at:now (Sim.Trace.Segment_reordered { seq; delay_us = extra_delay_us });
+            if tracing t then
+              emit t ~at:now
+                (Sim.Trace.Segment_reordered { seq; delay_us = extra_delay_us });
             Sim.Time.add arrival (Sim.Time.ns (int_of_float (extra_delay_us *. 1e3)))
           end
           else arrival
         in
         ignore (Sim.Engine.schedule_at t.engine ~at:arrival k);
         if duplicate then begin
-          emit t ~at:now (Sim.Trace.Segment_duplicated { seq });
+          if tracing t then emit t ~at:now (Sim.Trace.Segment_duplicated { seq });
           (* The copy trails by a microsecond — far enough apart to be
              two deliveries, close enough to stress duplicate
              detection. *)

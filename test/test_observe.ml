@@ -186,6 +186,42 @@ let test_observe_deterministic_dynamic () =
   in
   Alcotest.(check bool) "observe on = off (dynamic)" true (strip observed = plain)
 
+(* A sinked run must stream to the callback what a big-ring run would
+   have stored, in the same order, leave the ring empty, drop nothing —
+   and change no simulation result (the sink is invoked synchronously
+   from the run but only observes). *)
+let test_observe_trace_sink () =
+  let base = { (small_base ()) with rate_rps = 50e3 } in
+  let ring_cfg =
+    { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 }
+  in
+  let ring = Loadgen.Runner.run { base with observe = Some ring_cfg } in
+  let sunk_rev = ref [] in
+  let sink_cfg =
+    {
+      ring_cfg with
+      (* tiny ring: with a sink installed its size must not matter *)
+      trace_capacity = 64;
+      trace_sink = Some (fun r -> sunk_rev := r :: !sunk_rev);
+    }
+  in
+  let sinked = Loadgen.Runner.run { base with observe = Some sink_cfg } in
+  Alcotest.(check bool) "sink does not perturb the run" true
+    (strip sinked = strip ring);
+  (match sinked.observability with
+  | None -> Alcotest.fail "no observability output (sink run)"
+  | Some o ->
+    Alcotest.(check int) "ring stays empty with a sink" 0 (List.length o.records);
+    Alcotest.(check int) "nothing dropped with a sink" 0 o.dropped_records);
+  match ring.observability with
+  | None -> Alcotest.fail "no observability output (ring run)"
+  | Some o ->
+    Alcotest.(check int) "sink saw as many records as the ring stored"
+      (List.length o.records)
+      (List.length !sunk_rev);
+    Alcotest.(check bool) "sink saw the same records in the same order" true
+      (List.rev !sunk_rev = o.records)
+
 (* {1 Little's-law audit on real runs} *)
 
 (* A deterministic observed run must close its own books: for every
@@ -299,6 +335,8 @@ let suite =
           test_observe_deterministic_static;
         Alcotest.test_case "observe on = off (dynamic)" `Slow
           test_observe_deterministic_dynamic;
+        Alcotest.test_case "trace sink streams the ring's records" `Slow
+          test_observe_trace_sink;
         Alcotest.test_case "little's-law audit closes" `Slow test_audit_sanity;
         Alcotest.test_case "audit identical across domains" `Slow
           test_audit_domains_identical;

@@ -60,6 +60,86 @@ let prop_heap_sorted =
       let popped = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
       popped = List.sort Int.compare xs)
 
+(* [pop] must overwrite the vacated slot: a popped element may be the
+   only reference keeping a large closure graph alive.  The weak pointer
+   sees through the heap's backing array — if the slot were retained the
+   element would survive a full major collection. *)
+let test_heap_pop_releases_slot () =
+  let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let w = Weak.create 2 in
+  (* build, push and pop inside a closure so no stack slot pins them *)
+  (fun () ->
+    let p0 = ref 0 and p1 = ref 1 in
+    Weak.set w 0 (Some p0);
+    Weak.set w 1 (Some p1);
+    Sim.Heap.push h (1, p0);
+    Sim.Heap.push h (2, p1);
+    ignore (Sim.Heap.pop h);
+    ignore (Sim.Heap.pop h))
+    ();
+  Alcotest.(check bool) "drained" true (Sim.Heap.is_empty h);
+  Gc.full_major ();
+  Alcotest.(check bool) "first popped element collectable" false (Weak.check w 0);
+  (* the full-drain case: popping the last element must not leave it in
+     the shrunk-to-empty backing array *)
+  Alcotest.(check bool) "last popped element collectable" false (Weak.check w 1)
+
+(* {1 Event heap} *)
+
+let ev_at at action = { Sim.Event_heap.at; seq = at; action; cancelled = false }
+
+let test_event_heap_order_and_sentinel () =
+  let h = Sim.Event_heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Event_heap.is_empty h);
+  List.iter (fun at -> Sim.Event_heap.push h (ev_at at ignore)) [ 5; 3; 8; 1 ];
+  Alcotest.(check int) "length" 4 (Sim.Event_heap.length h);
+  Alcotest.(check int) "top is earliest" 1 (Sim.Event_heap.top h).Sim.Event_heap.at;
+  let order = List.init 4 (fun _ -> (Sim.Event_heap.take h).Sim.Event_heap.at) in
+  Alcotest.(check (list int)) "take drains in order" [ 1; 3; 5; 8 ] order;
+  Alcotest.(check bool) "drained" true (Sim.Event_heap.is_empty h);
+  (* past empty, top/take return the per-heap cancelled sentinel instead
+     of raising or boxing an option *)
+  Alcotest.(check bool) "sentinel is cancelled" true
+    (Sim.Event_heap.top h).Sim.Event_heap.cancelled;
+  Alcotest.(check bool) "take past empty is sentinel" true
+    (Sim.Event_heap.take h).Sim.Event_heap.cancelled
+
+let test_event_heap_take_releases_action () =
+  let h = Sim.Event_heap.create () in
+  let w = Weak.create 1 in
+  (fun () ->
+    let big = Array.make 256 0 in
+    Weak.set w 0 (Some big);
+    Sim.Event_heap.push h (ev_at 5 (fun () -> ignore (Array.length big)));
+    Sim.Event_heap.push h (ev_at 9 ignore);
+    Alcotest.(check int) "taken earliest" 5 (Sim.Event_heap.take h).Sim.Event_heap.at)
+    ();
+  Gc.full_major ();
+  Alcotest.(check bool) "taken event's closure collectable" false (Weak.check w 0);
+  Alcotest.(check int) "later event still queued" 1 (Sim.Event_heap.length h)
+
+let test_event_heap_clear_releases_actions () =
+  let h = Sim.Event_heap.create () in
+  let w = Weak.create 3 in
+  (fun () ->
+    for i = 0 to 2 do
+      let big = Array.make 256 i in
+      Weak.set w i (Some big);
+      Sim.Event_heap.push h (ev_at (i * 10) (fun () -> ignore (Array.length big)))
+    done)
+    ();
+  Sim.Event_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Event_heap.is_empty h);
+  Gc.full_major ();
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "cleared event %d collectable" i)
+      false (Weak.check w i)
+  done;
+  (* heap stays usable after clear *)
+  Sim.Event_heap.push h (ev_at 7 ignore);
+  Alcotest.(check int) "usable after clear" 7 (Sim.Event_heap.take h).Sim.Event_heap.at
+
 (* {1 Engine} *)
 
 let test_engine_ordering () =
@@ -570,6 +650,232 @@ let test_trace_load_jsonl () =
   List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
     [ path; empty; bad ]
 
+let test_trace_fold_jsonl () =
+  let dir = Filename.temp_file "e2e_foldj" "" in
+  Sys.remove dir;
+  let r1 = { Sim.Trace.at = Sim.Time.us 1; id = "c0";
+             event = Sim.Trace.Req_sent { req = 0 } } in
+  let r2 = { Sim.Trace.at = Sim.Time.us 2; id = "c0";
+             event = Sim.Trace.Req_complete { req = 0 } } in
+  let path = dir ^ ".jsonl" in
+  write_lines path
+    [ Sim.Trace.record_to_json ~run:"a" r1; Sim.Trace.record_to_json r2 ];
+  (match
+     Sim.Trace.fold_jsonl path ~init:[] ~f:(fun acc run r -> (run, r) :: acc)
+   with
+  | Ok [ (None, r2'); (Some "a", r1') ] ->
+    Alcotest.(check bool) "records streamed in order" true (r1 = r1' && r2 = r2')
+  | Ok l -> Alcotest.failf "unexpected fold result (%d records)" (List.length l)
+  | Error e -> Alcotest.failf "fold failed: %s" e);
+  (* unlike [load_jsonl], an empty file folds to the initial accumulator *)
+  let empty = dir ^ ".empty" in
+  write_lines empty [];
+  (match Sim.Trace.fold_jsonl empty ~init:42 ~f:(fun acc _ _ -> acc + 1) with
+  | Ok n -> Alcotest.(check int) "empty file folds to init" 42 n
+  | Error e -> Alcotest.failf "empty fold failed: %s" e);
+  (match Sim.Trace.fold_jsonl (dir ^ ".does-not-exist") ~init:() ~f:(fun () _ _ -> ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected an error for a missing file");
+  let contains msg sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let bad = dir ^ ".bad" in
+  write_lines bad
+    [ Sim.Trace.record_to_json r1; Sim.Trace.record_to_json r2; "{broken" ];
+  (match Sim.Trace.fold_jsonl bad ~init:0 ~f:(fun acc _ _ -> acc + 1) with
+  | Error msg ->
+    Alcotest.(check bool) "line number in message" true (contains msg "line 3");
+    Alcotest.(check bool) "file name in message" true (contains msg bad)
+  | Ok _ -> Alcotest.fail "expected an error for a malformed line");
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; empty; bad ]
+
+(* {1 Binary trace format} *)
+
+(* One value of every [Trace.event] constructor, with payloads chosen to
+   exercise both encodings: u32-slot values past 2^32 and a negative seq
+   force the wide flag; [None] latency and false booleans exercise the
+   flag bits. *)
+let trace_every_event : Sim.Trace.event list =
+  [
+    Sim.Trace.Segment_sent { seq = 12; len = 1448; push = true; retx = false };
+    Sim.Trace.Segment_sent
+      { seq = 0x1_0000_0001; len = 0x1_0000_0002; push = false; retx = true };
+    Sim.Trace.Segment_received { seq = 12; fresh = 1448 };
+    Sim.Trace.Ack_received { acked = 1448; una = 1460 };
+    Sim.Trace.Nagle_hold { chunk = 64; in_flight = 1448 };
+    Sim.Trace.Nagle_toggle { enabled = true };
+    Sim.Trace.Nagle_toggle { enabled = false };
+    Sim.Trace.Cork_hold { chunk = 256 };
+    Sim.Trace.Delack_fire { pending = 2 };
+    Sim.Trace.Delack_cancel { pending = 1 };
+    Sim.Trace.Fin_received { rcv_nxt = 4242 };
+    Sim.Trace.Segment_dropped { seq = -1; len = 1500; reason = "loss" };
+    Sim.Trace.Segment_dropped { seq = 88; len = 64; reason = "blackout" };
+    Sim.Trace.Segment_reordered { seq = 7; delay_us = 123.456 };
+    Sim.Trace.Segment_duplicated { seq = 9 };
+    Sim.Trace.Share_corrupted { seq = 11 };
+    Sim.Trace.Share_rejected { reason = "w_us out of range" };
+    Sim.Trace.Share_ingested { unacked_total = 3; unread_total = 7; ackdelay_total = 1 };
+    Sim.Trace.Estimate_computed
+      { latency_us = Some 123.456; throughput = 60000.25; window_us = 1000.0 };
+    Sim.Trace.Estimate_computed { latency_us = None; throughput = 0.0; window_us = 0.5 };
+    Sim.Trace.Request_done { latency_us = 88.25 };
+    Sim.Trace.Req_issued { req = 17; off = 1234; len = 56 };
+    Sim.Trace.Req_sent { req = 17 };
+    Sim.Trace.Req_complete { req = 17 };
+    Sim.Trace.Srv_start { req = 17 };
+    Sim.Trace.Srv_reply { req = 17; off = 4321; len = 7 };
+    Sim.Trace.Audit_window
+      { queue = "c0.unacked"; l_avg = 3.25; lambda_per_s = 60000.5;
+        w_us = 54.125; rel_err = 0.015625 };
+    Sim.Trace.Message { tag = "note"; detail = "hello \"quoted\" \\ world" };
+    Sim.Trace.Message { tag = ""; detail = "" };
+  ]
+
+let trace_binary_sample : (string option * Sim.Trace.record) list =
+  List.mapi
+    (fun i ev ->
+      let run = match i mod 3 with 0 -> None | 1 -> Some "off@60k" | _ -> Some "on" in
+      ( run,
+        { Sim.Trace.at = Sim.Time.us (i + 1);
+          id = Printf.sprintf "c%d" (i mod 4);
+          event = ev } ))
+    trace_every_event
+
+let test_trace_binary_roundtrip () =
+  let path = Filename.temp_file "e2e_bin" ".bin" in
+  let oc = open_out_bin path in
+  let w = Sim.Trace.Binary.writer oc in
+  List.iter (fun (run, r) -> Sim.Trace.Binary.write w ?run r) trace_binary_sample;
+  Alcotest.(check int) "written count"
+    (List.length trace_binary_sample)
+    (Sim.Trace.Binary.written w);
+  Sim.Trace.Binary.finish w;
+  Sim.Trace.Binary.finish w; (* idempotent *)
+  close_out oc;
+  Alcotest.(check bool) "sniffs as binary" true (Sim.Trace.Binary.is_binary path);
+  (match Sim.Trace.Binary.load_file path with
+  | Ok loaded ->
+    Alcotest.(check bool) "every constructor round-trips exactly" true
+      (loaded = trace_binary_sample)
+  | Error e -> Alcotest.failf "load_file failed: %s" e);
+  (* the format-dispatching fold must pick the binary reader *)
+  (match
+     Sim.Trace.fold_file path ~init:[] ~f:(fun acc run r -> (run, r) :: acc)
+   with
+  | Ok folded ->
+    Alcotest.(check bool) "fold_file dispatches on magic" true
+      (List.rev folded = trace_binary_sample)
+  | Error e -> Alcotest.failf "fold_file failed: %s" e);
+  Sys.remove path
+
+let test_trace_binary_sniff_negative () =
+  (* a JSONL file and a missing file are both not-binary, without raising *)
+  let path = Filename.temp_file "e2e_sniff" ".jsonl" in
+  let r = { Sim.Trace.at = 1; id = "c0"; event = Sim.Trace.Req_sent { req = 0 } } in
+  write_lines path [ Sim.Trace.record_to_json r ];
+  Alcotest.(check bool) "jsonl is not binary" false (Sim.Trace.Binary.is_binary path);
+  Alcotest.(check bool) "missing file is not binary" false
+    (Sim.Trace.Binary.is_binary (path ^ ".does-not-exist"));
+  (* short file: fewer bytes than the magic *)
+  let short = path ^ ".short" in
+  let oc = open_out_bin short in
+  output_string oc "e2e";
+  close_out oc;
+  Alcotest.(check bool) "short file is not binary" false
+    (Sim.Trace.Binary.is_binary short);
+  (* truncated binary file: valid header, missing footer *)
+  let trunc = path ^ ".trunc" in
+  let oc = open_out_bin trunc in
+  let w = Sim.Trace.Binary.writer oc in
+  Sim.Trace.Binary.write w r;
+  close_out oc; (* no finish: tables and footer never written *)
+  (match Sim.Trace.Binary.load_file trunc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a truncated binary file");
+  List.iter Sys.remove [ path; short; trunc ]
+
+let prop_trace_binary_roundtrip =
+  let open QCheck in
+  let fin = float_range (-1e12) 1e12 in
+  let gen =
+    Gen.(
+      let small_string = string_size ~gen:printable (0 -- 16) in
+      (* u32-slot values: mostly narrow, sometimes past 2^32 to force
+         the wide encoding, and -1 where call sites use it *)
+      let slot = oneofl [ 0; 1; 1448; 0xFFFF_FFFF; 0x1_0000_0000; 0x7F_FFFF_FFFF ] in
+      let seq = oneof [ slot; return (-1) ] in
+      let* at = 0 -- 2_000_000_000 in
+      let* id = oneofl [ "c0"; "s0"; "bare/c0"; "vm/s3"; "" ] in
+      let* run = oneofl [ None; Some "off@60k"; Some "r" ] in
+      let* ev =
+        oneof
+          [
+            (let* s = seq and* len = slot and* push = bool and* retx = bool in
+             return (Sim.Trace.Segment_sent { seq = s; len; push; retx }));
+            (let* s = slot and* fresh = slot in
+             return (Sim.Trace.Segment_received { seq = s; fresh }));
+            (let* acked = slot and* una = slot in
+             return (Sim.Trace.Ack_received { acked; una }));
+            (let* chunk = slot and* in_flight = slot in
+             return (Sim.Trace.Nagle_hold { chunk; in_flight }));
+            (let* enabled = bool in return (Sim.Trace.Nagle_toggle { enabled }));
+            (let* chunk = slot in return (Sim.Trace.Cork_hold { chunk }));
+            (let* pending = slot in return (Sim.Trace.Delack_fire { pending }));
+            (let* pending = slot in return (Sim.Trace.Delack_cancel { pending }));
+            (let* rcv_nxt = slot in return (Sim.Trace.Fin_received { rcv_nxt }));
+            (let* s = seq and* len = slot and* reason = small_string in
+             return (Sim.Trace.Segment_dropped { seq = s; len; reason }));
+            (let* s = seq and* delay_us = fin.gen in
+             return (Sim.Trace.Segment_reordered { seq = s; delay_us }));
+            (let* s = seq in return (Sim.Trace.Segment_duplicated { seq = s }));
+            (let* s = seq in return (Sim.Trace.Share_corrupted { seq = s }));
+            (let* reason = small_string in
+             return (Sim.Trace.Share_rejected { reason }));
+            (let* a = slot and* b = slot and* c = slot in
+             return
+               (Sim.Trace.Share_ingested
+                  { unacked_total = a; unread_total = b; ackdelay_total = c }));
+            (let* latency = opt fin.gen and* tp = fin.gen and* w = fin.gen in
+             return
+               (Sim.Trace.Estimate_computed
+                  { latency_us = latency; throughput = tp; window_us = w }));
+            (let* l = fin.gen in return (Sim.Trace.Request_done { latency_us = l }));
+            (let* req = slot and* off = slot and* len = slot in
+             return (Sim.Trace.Req_issued { req; off; len }));
+            (let* req = slot in return (Sim.Trace.Req_sent { req }));
+            (let* req = slot in return (Sim.Trace.Req_complete { req }));
+            (let* req = slot in return (Sim.Trace.Srv_start { req }));
+            (let* req = slot and* off = slot and* len = slot in
+             return (Sim.Trace.Srv_reply { req; off; len }));
+            (let* queue = small_string and* l = fin.gen and* lam = fin.gen
+             and* w = fin.gen and* e = fin.gen in
+             return
+               (Sim.Trace.Audit_window
+                  { queue; l_avg = l; lambda_per_s = lam; w_us = w; rel_err = e }));
+            (let* tag = small_string and* detail = small_string in
+             return (Sim.Trace.Message { tag; detail }));
+          ]
+      in
+      return (run, { Sim.Trace.at; id; event = ev }))
+  in
+  Test.make ~count:100 ~name:"binary trace roundtrips every constructor"
+    (make (Gen.list_size Gen.(1 -- 20) gen))
+    (fun records ->
+      let path = Filename.temp_file "e2e_binprop" ".bin" in
+      let oc = open_out_bin path in
+      let w = Sim.Trace.Binary.writer oc in
+      List.iter (fun (run, r) -> Sim.Trace.Binary.write w ?run r) records;
+      Sim.Trace.Binary.finish w;
+      close_out oc;
+      let result = Sim.Trace.Binary.load_file path in
+      Sys.remove path;
+      match result with Ok loaded -> loaded = records | Error _ -> false)
+
 (* {1 Audit} *)
 
 (* Hand-driven queue where L, lambda and W are computable on paper:
@@ -702,7 +1008,17 @@ let suite =
         Alcotest.test_case "push/pop ordering" `Quick test_heap_basic;
         Alcotest.test_case "pop_exn on empty" `Quick test_heap_pop_exn_empty;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "pop releases slot" `Quick test_heap_pop_releases_slot;
         QCheck_alcotest.to_alcotest prop_heap_sorted;
+      ] );
+    ( "sim.event_heap",
+      [
+        Alcotest.test_case "order and sentinel" `Quick
+          test_event_heap_order_and_sentinel;
+        Alcotest.test_case "take releases action" `Quick
+          test_event_heap_take_releases_action;
+        Alcotest.test_case "clear releases actions" `Quick
+          test_event_heap_clear_releases_actions;
       ] );
     ( "sim.engine",
       [
@@ -761,9 +1077,16 @@ let suite =
         Alcotest.test_case "JSONL roundtrip" `Quick test_trace_json_roundtrip;
         Alcotest.test_case "JSONL malformed input" `Quick test_trace_json_malformed;
         Alcotest.test_case "load_jsonl file handling" `Quick test_trace_load_jsonl;
+        Alcotest.test_case "fold_jsonl streams with line numbers" `Quick
+          test_trace_fold_jsonl;
+        Alcotest.test_case "binary roundtrip (every constructor)" `Quick
+          test_trace_binary_roundtrip;
+        Alcotest.test_case "binary sniff negatives" `Quick
+          test_trace_binary_sniff_negative;
         Alcotest.test_case "guarded disabled path: no alloc" `Quick
           test_trace_disabled_guard_no_alloc;
         QCheck_alcotest.to_alcotest prop_trace_json_roundtrip;
+        QCheck_alcotest.to_alcotest prop_trace_binary_roundtrip;
       ] );
     ( "sim.audit",
       [

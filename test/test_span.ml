@@ -260,6 +260,137 @@ let test_spans_partition_on_lossy_run () =
     Alcotest.(check bool) "span latencies cover Request_done" true
       (covered (done_lats, span_lats))
 
+(* {1 Streaming reconstruction} *)
+
+let spans_sorted spans =
+  List.sort
+    (fun (a : Sim.Span.span) (b : Sim.Span.span) ->
+      match compare a.conn b.conn with 0 -> compare a.req b.req | c -> c)
+    spans
+
+(* Feed every record through the incremental fold and compare against
+   the batch builder: same spans (up to completion-vs-connection order),
+   same incomplete count, milestone-for-milestone. *)
+let check_streaming_equals_build ~msg records =
+  let batch = Sim.Span.build records in
+  let st = Sim.Span.Streaming.create () in
+  let streamed =
+    List.filter_map (fun r -> Sim.Span.Streaming.feed st r) records
+  in
+  Alcotest.(check int)
+    (msg ^ ": resolved count")
+    (List.length batch.spans) (List.length streamed);
+  Alcotest.(check int)
+    (msg ^ ": resolved counter")
+    (List.length streamed)
+    (Sim.Span.Streaming.resolved st);
+  Alcotest.(check int)
+    (msg ^ ": incomplete")
+    batch.incomplete
+    (Sim.Span.Streaming.incomplete st);
+  List.iter2
+    (fun (a : Sim.Span.span) (b : Sim.Span.span) ->
+      if not (a.conn = b.conn && a.req = b.req && a.milestones = b.milestones)
+      then
+        Alcotest.failf "%s: span %s/%d differs between batch and streaming" msg
+          a.conn a.req)
+    (spans_sorted batch.spans) (spans_sorted streamed);
+  streamed
+
+let test_streaming_one_request () =
+  let streamed =
+    check_streaming_equals_build ~msg:"one request" one_request_records
+  in
+  (match streamed with
+  | [ s ] ->
+    Alcotest.(check (array int)) "milestones"
+      [| 100; 200; 300; 400; 500; 600; 700; 800; 900 |]
+      s.milestones
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l));
+  (* an unresolvable request (reply dropped) counts as incomplete *)
+  let no_reply =
+    List.filter
+      (fun (r : Sim.Trace.record) ->
+        match r.event with Sim.Trace.Srv_reply _ -> false | _ -> true)
+      one_request_records
+  in
+  ignore (check_streaming_equals_build ~msg:"missing reply" no_reply)
+
+(* The records of the i-th back-to-back request on c0/s0: each command
+   extends the client-to-server stream by 10 bytes and each reply the
+   return stream by 5, one segment each way, all milestones distinct. *)
+let nth_request_records i =
+  let t k = (i * 1000) + k in
+  [
+    rec_ (t 100) "c0" (Sim.Trace.Req_issued { req = i; off = i * 10; len = 10 });
+    rec_ (t 200) "c0" (Sim.Trace.Req_sent { req = i });
+    rec_ (t 300) "c0"
+      (Sim.Trace.Segment_sent { seq = i * 10; len = 10; push = true; retx = false });
+    rec_ (t 400) "s0" (Sim.Trace.Segment_received { seq = i * 10; fresh = 10 });
+    rec_ (t 500) "s0" (Sim.Trace.Srv_start { req = i });
+    rec_ (t 600) "s0" (Sim.Trace.Srv_reply { req = i; off = i * 5; len = 5 });
+    rec_ (t 700) "s0"
+      (Sim.Trace.Segment_sent { seq = i * 5; len = 5; push = true; retx = false });
+    rec_ (t 800) "c0" (Sim.Trace.Segment_received { seq = i * 5; fresh = 5 });
+    rec_ (t 900) "c0" (Sim.Trace.Req_complete { req = i });
+  ]
+
+let test_streaming_retires_state () =
+  (* After a resolved request nothing about it should remain tracked:
+     the whole point of the streaming fold is that memory follows
+     in-flight requests, not trace length. *)
+  let st = Sim.Span.Streaming.create () in
+  List.iter (fun r -> ignore (Sim.Span.Streaming.feed st r)) (nth_request_records 0);
+  Alcotest.(check int) "no pending requests" 0 (Sim.Span.Streaming.pending st);
+  let after_one = Sim.Span.Streaming.live_state st in
+  for i = 1 to 50 do
+    List.iter (fun r -> ignore (Sim.Span.Streaming.feed st r)) (nth_request_records i)
+  done;
+  Alcotest.(check int) "all resolved" 51 (Sim.Span.Streaming.resolved st);
+  Alcotest.(check int) "none pending" 0 (Sim.Span.Streaming.pending st);
+  Alcotest.(check bool)
+    (Printf.sprintf "live state flat across 50 more requests (%d vs %d)"
+       (Sim.Span.Streaming.live_state st) after_one)
+    true
+    (Sim.Span.Streaming.live_state st <= after_one)
+
+let test_streaming_matches_build_on_run () =
+  let r = observed_run ~batching:Loadgen.Runner.Static_on ~rate:40e3 in
+  match r.observability with
+  | None -> Alcotest.fail "no observability output"
+  | Some o ->
+    Alcotest.(check int) "ring did not overflow" 0 o.dropped_records;
+    let streamed = check_streaming_equals_build ~msg:"clean run" o.records in
+    Alcotest.(check bool) "spans reconstructed" true (List.length streamed > 100)
+
+let test_streaming_matches_build_on_lossy_run () =
+  let base =
+    Loadgen.Runner.default_config ~rate_rps:20e3
+      ~batching:Loadgen.Runner.Static_off
+  in
+  let plan =
+    Result.get_ok (Fault.Plan.of_string "loss dir=both prob=0.003\n")
+  in
+  let r =
+    Loadgen.Runner.run
+      {
+        base with
+        warmup = Sim.Time.ms 5;
+        duration = Sim.Time.ms 60;
+        cc = true;
+        fault = Some plan;
+        observe =
+          Some { Loadgen.Observe.default_config with trace_capacity = 1 lsl 19 };
+      }
+  in
+  Alcotest.(check bool) "the plan dropped something" true (r.link_dropped > 0);
+  match r.observability with
+  | None -> Alcotest.fail "no observability output"
+  | Some o ->
+    Alcotest.(check int) "ring did not overflow" 0 o.dropped_records;
+    let streamed = check_streaming_equals_build ~msg:"lossy run" o.records in
+    Alcotest.(check bool) "spans reconstructed" true (List.length streamed > 100)
+
 let suite =
   [
     ( "span",
@@ -275,5 +406,16 @@ let suite =
         QCheck_alcotest.to_alcotest ~long:true prop_spans_partition_latency;
         Alcotest.test_case "partition survives lossy retransmission" `Quick
           test_spans_partition_on_lossy_run;
+      ] );
+    ( "span.streaming",
+      [
+        Alcotest.test_case "matches build: one request" `Quick
+          test_streaming_one_request;
+        Alcotest.test_case "retires state at completion" `Quick
+          test_streaming_retires_state;
+        Alcotest.test_case "matches build: clean run" `Quick
+          test_streaming_matches_build_on_run;
+        Alcotest.test_case "matches build: lossy run" `Quick
+          test_streaming_matches_build_on_lossy_run;
       ] );
   ]
