@@ -57,6 +57,13 @@ chaos-smoke:
 	  --warmup-ms 5 --duration-ms 40 --fault-plan _smoke/chaos.fault > /dev/null
 	dune exec bin/e2ebench.exe -- chaos --losses 0,0.02 --reorders 0 \
 	  --blackouts-ms 0,20
+	# Zero-window cells: the receive window genuinely closes, and the
+	# blackout eats the lone window-update ack — the regime that
+	# deadlocked permanently before the persist timer existed.  The
+	# bursty-loss column additionally soaks probe recovery under a
+	# Gilbert channel (closure/progress invariants).
+	dune exec bin/e2ebench.exe -- chaos --losses 0,0.02 --reorders 0 \
+	  --blackouts-ms 0,20 --zero-window
 	@echo "chaos-smoke: OK"
 
 # Scenario smoke: a two-tenant heterogeneous fleet parsed from the

@@ -1406,6 +1406,49 @@ let fault () =
   List.iter row loss_curve;
   pf "blackout curve (no loss):\n";
   List.iter row blackout_curve;
+  (* Loss recovery head-to-head: the same bursty-loss curve with the
+     SACK scoreboard (default) against the historical go-back-N fast
+     retransmit.  Burst losses punch multiple holes into one window;
+     go-back-N repairs one hole per round trip (or RTO) while SACK
+     retransmits exactly the holes, so its tail should strictly
+     dominate at every positive loss rate. *)
+  let recovery_losses = [ 0.0; 0.005; 0.01; 0.02; 0.05 ] in
+  let gbn_curve =
+    Loadgen.Chaos.run_grid ~domains:!domains
+      ~base:{ base with Loadgen.Runner.sack = false }
+      ~losses:recovery_losses ~reorders:[ 0.0 ] ~blackouts_ms:[ 0.0 ] ()
+  in
+  pf "recovery comparison (SACK scoreboard vs go-back-N, same bursty loss):\n";
+  (* A run that completed nothing inside the measured window reports a
+     p99 of 0 — that is starvation, the worst possible tail, so rank it
+     as infinite rather than letting 0 "win" the comparison. *)
+  let eff_p99 (r : Loadgen.Runner.result) =
+    if r.completed = 0 then infinity else r.measured_p99_us
+  in
+  let dominated = ref true in
+  let comparison =
+    List.map2
+      (fun (s : Loadgen.Chaos.verdict) (g : Loadgen.Chaos.verdict) ->
+        let sp = eff_p99 s.result and gp = eff_p99 g.result in
+        if s.cell.loss > 0.0 && sp >= gp then dominated := false;
+        pf "  loss=%-6g  sack p99 %9s  gbn p99 %9s  %s\n" s.cell.loss
+          (if sp = infinity then "starved" else Printf.sprintf "%.1f us" sp)
+          (if gp = infinity then "starved" else Printf.sprintf "%.1f us" gp)
+          (if s.cell.loss = 0.0 then "(lossless: identical recovery path)"
+           else if sp < gp then "sack wins"
+           else "gbn wins");
+        Printf.sprintf
+          "    {\"loss\": %g, \"sack_p99_us\": %s, \"gbn_p99_us\": %s, \
+           \"sack_krps\": %.3f, \"gbn_krps\": %.3f, \"sack_wins\": %b}"
+          s.cell.loss
+          (if sp = infinity then "null" else Printf.sprintf "%.1f" sp)
+          (if gp = infinity then "null" else Printf.sprintf "%.1f" gp)
+          (k s.result.achieved_rps)
+          (k g.result.achieved_rps)
+          (s.cell.loss = 0.0 || sp < gp))
+      loss_curve gbn_curve
+  in
+  pf "  SACK strictly dominates go-back-N at positive loss: %b\n" !dominated;
   let cell_json (v : Loadgen.Chaos.verdict) =
     let r = v.result in
     Printf.sprintf
@@ -1426,10 +1469,14 @@ let fault () =
     "{\n\
     \  \"section\": \"fault\",\n\
     \  \"loss_curve\": [\n%s\n  ],\n\
-    \  \"blackout_curve\": [\n%s\n  ]\n\
+    \  \"blackout_curve\": [\n%s\n  ],\n\
+    \  \"recovery_comparison\": [\n%s\n  ],\n\
+    \  \"sack_dominates\": %b\n\
      }\n"
     (String.concat ",\n" (List.map cell_json loss_curve))
-    (String.concat ",\n" (List.map cell_json blackout_curve));
+    (String.concat ",\n" (List.map cell_json blackout_curve))
+    (String.concat ",\n" comparison)
+    !dominated;
   close_out oc;
   pf "  wrote BENCH_fault.json\n"
 

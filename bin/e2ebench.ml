@@ -438,13 +438,22 @@ let chaos_cmd =
     let doc = "Comma-separated blackout durations in milliseconds (0 = none)." in
     Arg.(value & opt string "0,20" & info [ "blackouts-ms" ] ~doc)
   in
+  let zero_window_arg =
+    let doc =
+      "Also run every cell in a zero-window variant (receive buffer squeezed \
+       to 4 MSS, rate divided by 5) and assert the connection never stalls — \
+       the regime where a lost window-update ack deadlocks a stack without \
+       persist probing."
+    in
+    Arg.(value & flag & info [ "zero-window" ] ~doc)
+  in
   let parse_floats name s =
     let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' s) in
     if parsed = [] then Error (Printf.sprintf "no valid values in --%s %S" name s)
     else Ok parsed
   in
-  let action rate seed duration warmup losses reorders blackouts domains trace_out
-      metrics_out sample_us =
+  let action rate seed duration warmup losses reorders blackouts zero_window
+      domains trace_out metrics_out sample_us =
     let ( let* ) = Result.bind in
     let checked =
       let* losses = parse_floats "losses" losses in
@@ -462,8 +471,10 @@ let chaos_cmd =
     match checked with
     | Error e -> fail "%s" e
     | Ok (losses, reorders, blackouts_ms, base) ->
+      let zero_windows = if zero_window then [ false; true ] else [ false ] in
       let verdicts =
-        Loadgen.Chaos.run_grid ~domains ~base ~losses ~reorders ~blackouts_ms ()
+        Loadgen.Chaos.run_grid ~domains ~zero_windows ~base ~losses ~reorders
+          ~blackouts_ms ()
       in
       pf "%-40s | %8s %8s %8s | %s\n" "cell" "kRPS" "p99us" "drops" "verdict";
       pf "%s\n" (String.make 84 '-');
@@ -495,8 +506,8 @@ let chaos_cmd =
       ret
         (const action $ chaos_rate_arg $ seed_arg $ chaos_duration_arg
        $ chaos_warmup_arg $ losses_arg
-       $ reorders_arg $ blackouts_arg $ domains_arg $ trace_out_arg
-       $ metrics_out_arg $ sample_us_arg))
+       $ reorders_arg $ blackouts_arg $ zero_window_arg $ domains_arg
+       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -1,6 +1,11 @@
-type config = { alpha : Sim.Time.span; beta : Sim.Time.span }
+type config = {
+  alpha : Sim.Time.span;
+  beta : Sim.Time.span;
+  wake_delay : Sim.Time.span;
+}
 
-let default_config = { alpha = Sim.Time.us 6; beta = Sim.Time.us 4 }
+let default_config =
+  { alpha = Sim.Time.us 6; beta = Sim.Time.us 4; wake_delay = Sim.Time.zero }
 
 type t = {
   engine : Sim.Engine.t;
@@ -10,6 +15,7 @@ type t = {
   cfg : config;
   parser : Resp.Parser.t;
   mutable busy : bool;
+  mutable wake_pending : bool;  (* a delayed wake is already scheduled *)
   mutable served : int;
   mutable wakeups : int;
   mutable empty_wakeups : int;
@@ -43,7 +49,24 @@ let drain_requests t =
   in
   go []
 
-let rec wake t = if not t.busy then process t
+(* A slow consumer: [wake_delay > 0] models an application that takes a
+   scheduling delay to get around to reading, so received data sits in
+   the socket buffer and the advertised window stays closed for real
+   intervals — the regime where the peer's zero-window persist timer is
+   load-bearing.  The default (zero) calls [process] synchronously, not
+   via a zero-delay engine event, so event ordering — and therefore
+   every existing run — is bit-identical. *)
+let rec wake t =
+  if t.cfg.wake_delay > Sim.Time.zero then begin
+    if not t.wake_pending then begin
+      t.wake_pending <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~after:t.cfg.wake_delay (fun () ->
+             t.wake_pending <- false;
+             if not t.busy then process t))
+    end
+  end
+  else if not t.busy then process t
 
 and process t =
   t.busy <- true;
@@ -92,6 +115,7 @@ let create engine ~cpu ~socket ?(store = Store.create ()) cfg =
       cfg;
       parser = Resp.Parser.create ();
       busy = false;
+      wake_pending = false;
       served = 0;
       wakeups = 0;
       empty_wakeups = 0;

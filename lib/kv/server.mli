@@ -13,10 +13,17 @@
 type config = {
   alpha : Sim.Time.span;  (** per-request processing cost *)
   beta : Sim.Time.span;  (** per-wakeup (amortizable) cost *)
+  wake_delay : Sim.Time.span;
+      (** scheduling delay between the socket becoming readable and the
+          application actually reading — a slow consumer.  With a small
+          receive buffer this keeps the advertised window closed for
+          real intervals, making the peer's persist machinery
+          load-bearing.  Zero (the default) reads synchronously on
+          delivery, exactly the pre-knob behaviour. *)
 }
 
 val default_config : config
-(** alpha = 6 µs, beta = 4 µs — calibrated so a single pinned core
+(** alpha = 6 µs, beta = 4 µs, wake_delay = 0 — calibrated so a single pinned core
     serving 16 KiB SETs (RESP parse, 16 KiB copy, hashtable insert per
     request; epoll_wait + read dispatch per wakeup) saturates in the
     regime where the receive path, not raw compute, decides capacity —

@@ -1,14 +1,25 @@
-type cell = { loss : float; reorder : float; blackout_ms : float }
+type cell = {
+  loss : float;
+  reorder : float;
+  blackout_ms : float;
+  zero_window : bool;
+}
 
 let cell_label c =
-  Printf.sprintf "loss=%g reorder=%g blackout=%gms" c.loss c.reorder c.blackout_ms
+  Printf.sprintf "loss=%g reorder=%g blackout=%gms%s" c.loss c.reorder c.blackout_ms
+    (if c.zero_window then " zw" else "")
 
-let grid ~losses ~reorders ~blackouts_ms =
+let grid ?(zero_windows = [ false ]) ~losses ~reorders ~blackouts_ms () =
   List.concat_map
     (fun loss ->
       List.concat_map
         (fun reorder ->
-          List.map (fun blackout_ms -> { loss; reorder; blackout_ms }) blackouts_ms)
+          List.concat_map
+            (fun blackout_ms ->
+              List.map
+                (fun zero_window -> { loss; reorder; blackout_ms; zero_window })
+                zero_windows)
+            blackouts_ms)
         reorders)
     losses
 
@@ -43,13 +54,19 @@ let plan_of_cell (base : Runner.config) c =
   in
   (* The blackout starts a quarter into the measured window, so the
      estimator has settled before the lights go out and has most of the
-     window to recover afterwards. *)
+     window to recover afterwards.  Zero-window cells place it earlier
+     (an eighth in): recovery from a deadlocked zero-window stall is
+     paced by the persist timer's RTO floor (>= 200 ms to the first
+     probe), and the slow-consumer pipeline then needs the rest of the
+     run to drain the stranded backlog — a quarter-way blackout leaves
+     too little room to tell recovery from deadlock. *)
   let side =
     if c.blackout_ms <= 0.0 then side
     else begin
       let from_us =
         Sim.Time.to_us base.Runner.warmup
-        +. (Sim.Time.to_us base.Runner.duration /. 4.0)
+        +. Sim.Time.to_us base.Runner.duration
+           /. (if c.zero_window then 8.0 else 4.0)
       in
       {
         side with
@@ -75,6 +92,25 @@ let check (r : Runner.result) ~cell =
     fail "accounting: issued=%d <> completed=%d + outstanding=%d" r.issued
       r.completed_total r.outstanding_end;
   if r.completed_total = 0 then fail "liveness: no request ever completed";
+  (* Zero-window cells squeeze the receive buffer down to a few MSS, so
+     the window genuinely closes under batching; a lost window-update
+     ack then deadlocks a stack without persist probing and every
+     request issued after the stall is stranded.  A live connection
+     keeps [outstanding_end] down at pipeline depth; a stall strands
+     the majority of the open-loop arrivals.  The bound is only owed
+     when the cell has no ongoing random loss (clean or blackout
+     cells): there the one dropped update ack is repaired by the first
+     persist probe, deterministically.  Under Gilbert bursts the chain
+     advances per packet, and during a stall the probe replies are the
+     only packets on the return path, so a Bad dwell can eat several
+     RTO-spaced probes back to back — slow recovery is the channel's
+     physics, not a deadlock, and only closure/progress are owed. *)
+  if
+    cell.zero_window && cell.loss = 0.0 && r.issued > 0
+    && 2 * r.outstanding_end > r.issued
+  then
+    fail "stall: %d of %d issued requests still outstanding at run end"
+      r.outstanding_end r.issued;
   (* Little's-law audit closure must stay bounded even under faults:
      the audit mirrors locally-observed queue transitions, so loss or
      reordering is no excuse for the books not balancing. *)
@@ -110,8 +146,32 @@ let run_cell ~base cell =
       cc = base.Runner.cc || cell.loss > 0.0 || cell.blackout_ms > 0.0;
     }
   in
+  let cfg =
+    if not cell.zero_window then cfg
+    else
+      {
+        cfg with
+        (* A few-MSS receive buffer plus a slow consumer (the server
+           takes 1 ms to get around to reading) makes the advertised
+           window genuinely close and *stay* closed most of the time:
+           the connection spends ~85% of each window-fill cycle in the
+           critical state where all sent data is acked, the window is
+           zero, and liveness hangs on one window-update ack.  A
+           blackout starting inside such a closure eats that update,
+           and with nothing in flight the RTO backstop never arms: only
+           the persist timer can revive the connection.  The reduced
+           rate keeps the offered load under the slow consumer's
+           capacity, so the stall invariant discriminates deadlock from
+           saturation and a revived run can actually drain its
+           backlog. *)
+        Runner.rcv_buf = 4 * cfg.Runner.mss;
+        rate_rps = cfg.Runner.rate_rps /. 40.0;
+        server = { cfg.Runner.server with Kv.Server.wake_delay = Sim.Time.ms 1 };
+      }
+  in
   let result = Runner.run cfg in
   { cell; result; failures = check result ~cell }
 
-let run_grid ?(domains = 1) ~base ~losses ~reorders ~blackouts_ms () =
-  Par.Pool.map ~domains (run_cell ~base) (grid ~losses ~reorders ~blackouts_ms)
+let run_grid ?(domains = 1) ?zero_windows ~base ~losses ~reorders ~blackouts_ms () =
+  Par.Pool.map ~domains (run_cell ~base)
+    (grid ?zero_windows ~losses ~reorders ~blackouts_ms ())

@@ -4,11 +4,18 @@
     Each cell builds a deterministic {!Fault.Plan} (bursty loss
     calibrated to the cell's long-run rate, bounded-displacement
     reordering, a blackout starting a quarter into the measured
-    window), runs it through {!Runner.run}, and checks:
+    window — an eighth in for zero-window cells, whose persist-paced
+    recovery needs more drain room), runs it through {!Runner.run},
+    and checks:
 
     - accounting closure — [issued = completed + outstanding]: no
       request silently lost, whatever the network did;
     - progress — at least one request completed;
+    - zero-window cells without random loss stayed live: a majority of
+      issued requests completed (a zero-window deadlock strands
+      everything issued after the stall; under ongoing bursty loss
+      RTO-paced probe recovery is legitimately slow, so only
+      closure/progress are demanded there);
     - Little's-law audit closure stays bounded (observed runs);
     - blackout cells froze the toggler and thawed it again before the
       run ended (the estimator recovered).
@@ -16,16 +23,30 @@
     Cells are independent seeded simulations, so grids parallelize
     across domains with bit-identical verdicts. *)
 
-type cell = { loss : float; reorder : float; blackout_ms : float }
+type cell = {
+  loss : float;
+  reorder : float;
+  blackout_ms : float;
+  zero_window : bool;
+      (** squeeze the receive buffer to 4 MSS, slow the server's read
+          loop down (1 ms {!Kv.Server.config.wake_delay}) and cut the
+          offered rate to a fortieth of [base]'s, so advertised windows
+          genuinely close and stay closed for most of each window-fill
+          cycle — the regime where a lost window-update ack deadlocks a
+          stack without persist probing *)
+}
 
 val cell_label : cell -> string
 
 val grid :
+  ?zero_windows:bool list ->
   losses:float list ->
   reorders:float list ->
   blackouts_ms:float list ->
+  unit ->
   cell list
-(** Cross product, in row-major order. *)
+(** Cross product, in row-major order; [zero_windows] defaults to
+    [[false]]. *)
 
 val gilbert_of_loss : float -> Fault.Plan.gilbert option
 (** Bursty channel whose stationary loss rate is the argument (mean
@@ -33,7 +54,8 @@ val gilbert_of_loss : float -> Fault.Plan.gilbert option
 
 val plan_of_cell : Runner.config -> cell -> Fault.Plan.t
 (** The cell's fault plan, applied to both directions; the blackout is
-    placed a quarter into [base]'s measured window. *)
+    placed a quarter into [base]'s measured window (an eighth for
+    zero-window cells). *)
 
 type verdict = { cell : cell; result : Runner.result; failures : string list }
 
@@ -50,10 +72,13 @@ val check : Runner.result -> cell:cell -> string list
 
 val run_cell : base:Runner.config -> cell -> verdict
 (** Run one cell ([base] with the cell's plan; congestion control is
-    forced on for lossy cells, since retransmission needs it). *)
+    forced on for lossy cells, since retransmission needs it;
+    zero-window cells also shrink [rcv_buf], slow the server and cut
+    the rate as above). *)
 
 val run_grid :
   ?domains:int ->
+  ?zero_windows:bool list ->
   base:Runner.config ->
   losses:float list ->
   reorders:float list ->

@@ -165,6 +165,9 @@ let run (cfg : config) =
           rcv_buf = 1024 * 1024;
           unit_mode = E2e.Units.Bytes;
           exchange = E2e.Exchange.Periodic (Sim.Time.us 100);
+          sack = true;
+          wscale = `Exact;
+          persist = true;
         };
       tx_cost = Sim.Time.ns 300;
       rx_seg_cost = Sim.Time.ns 150;

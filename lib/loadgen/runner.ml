@@ -57,6 +57,9 @@ type config = {
   cc : bool;
   loss_prob : float;  (* per-packet drop probability, both directions *)
   fault : Fault.Plan.t option;  (* deterministic fault-injection plan *)
+  sack : bool;  (* SACK scoreboard loss recovery (go-back-N when off) *)
+  wscale : Tcp.Socket.wscale;  (* window carriage: exact or RFC 7323 *)
+  persist : bool;  (* zero-window persist probing *)
   delack_timeout : Sim.Time.span;
   tx_cost : Sim.Time.span;
   rx_seg_cost : Sim.Time.span;
@@ -89,6 +92,9 @@ let default_config ~rate_rps ~batching =
     cc = false;
     loss_prob = 0.0;
     fault = None;
+    sack = true;
+    wscale = `Exact;
+    persist = true;
     delack_timeout = Sim.Time.ms 40;
     tx_cost = Sim.Time.ns 300;
     rx_seg_cost = Sim.Time.ns 150;
@@ -188,6 +194,9 @@ let run cfg =
       rcv_buf = cfg.rcv_buf;
       unit_mode = cfg.unit_mode;
       exchange = cfg.exchange;
+      sack = cfg.sack;
+      wscale = cfg.wscale;
+      persist = cfg.persist;
     }
   in
   let host =

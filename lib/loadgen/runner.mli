@@ -87,6 +87,17 @@ type config = {
           schedules the plan's bandwidth/delay steps, and enables the
           estimator staleness → toggler fallback machinery on dynamic
           runs. *)
+  sack : bool;
+      (** SACK scoreboard loss recovery on both endpoints (default
+          [true]); [false] falls back to the historical go-back-N fast
+          retransmit, the baseline for the BENCH_fault recovery
+          comparison *)
+  wscale : Tcp.Socket.wscale;
+      (** window carriage, default [`Exact] (idealized full-width
+          windows, bit-identical to the pre-wscale codebase) *)
+  persist : bool;
+      (** zero-window persist probing (default [true]); [false]
+          reproduces the lost-window-update deadlock *)
   delack_timeout : Sim.Time.span;
   tx_cost : Sim.Time.span;  (** per-segment transmit IRQ cost, both hosts *)
   rx_seg_cost : Sim.Time.span;  (** per-wire-segment receive cost *)

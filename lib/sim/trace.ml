@@ -16,6 +16,8 @@ type event =
   | Segment_dropped of { seq : int; len : int; reason : string }
   | Segment_reordered of { seq : int; delay_us : float }
   | Segment_duplicated of { seq : int }
+  | Segment_challenged of { seq : int; kind : string }
+  | Probe_sent of { seq : int; backoff : int }
   | Share_corrupted of { seq : int }
   | Share_rejected of { reason : string }
   | Share_ingested of {
@@ -138,6 +140,8 @@ let tag r =
   | Segment_dropped _ -> "drop"
   | Segment_reordered _ -> "reorder"
   | Segment_duplicated _ -> "dup"
+  | Segment_challenged _ -> "challenge"
+  | Probe_sent _ -> "probe"
   | Share_corrupted _ -> "share_corrupt"
   | Share_rejected _ -> "share_reject"
   | Share_ingested _ -> "share"
@@ -171,6 +175,8 @@ let detail r =
   | Segment_reordered { seq; delay_us } ->
       Printf.sprintf "seq=%d delay_us=%.1f" seq delay_us
   | Segment_duplicated { seq } -> Printf.sprintf "seq=%d" seq
+  | Segment_challenged { seq; kind } -> Printf.sprintf "seq=%d kind=%s" seq kind
+  | Probe_sent { seq; backoff } -> Printf.sprintf "seq=%d backoff=%d" seq backoff
   | Share_corrupted { seq } -> Printf.sprintf "seq=%d" seq
   | Share_rejected { reason } -> Printf.sprintf "reason=%s" reason
   | Share_ingested { unacked_total; unread_total; ackdelay_total } ->
@@ -295,6 +301,14 @@ let record_to_json ?run r =
   | Segment_duplicated { seq } ->
       add_str b "ev" "dup";
       add_int b "seq" seq
+  | Segment_challenged { seq; kind } ->
+      add_str b "ev" "challenge";
+      add_int b "seq" seq;
+      add_str b "kind" kind
+  | Probe_sent { seq; backoff } ->
+      add_str b "ev" "probe";
+      add_int b "seq" seq;
+      add_int b "backoff" backoff
   | Share_corrupted { seq } ->
       add_str b "ev" "share_corrupt";
       add_int b "seq" seq
@@ -563,6 +577,14 @@ let record_of_json line =
     | "dup" ->
         let* seq = int_field fields "seq" in
         Ok (Segment_duplicated { seq })
+    | "challenge" ->
+        let* seq = int_field fields "seq" in
+        let* kind = str fields "kind" in
+        Ok (Segment_challenged { seq; kind })
+    | "probe" ->
+        let* seq = int_field fields "seq" in
+        let* backoff = int_field fields "backoff" in
+        Ok (Probe_sent { seq; backoff })
     | "share_corrupt" ->
         let* seq = int_field fields "seq" in
         Ok (Share_corrupted { seq })
@@ -721,6 +743,8 @@ module Binary = struct
     | Srv_reply _ -> 21
     | Audit_window _ -> 22
     | Message _ -> 23
+    | Segment_challenged _ -> 24
+    | Probe_sent _ -> 25
 
   (* Payload size in bytes for a (kind, wide) pair; the prefix (4B) and
      the optional run ref (2B) are accounted for separately.  [num] is
@@ -744,6 +768,8 @@ module Binary = struct
     | 18 | 19 | 20 -> num (* req *)
     | 22 -> 4 + 32 (* queue ref + 4 f64 *)
     | 23 -> 8 (* tag ref + detail ref *)
+    | 24 -> 8 + 4 (* seq i64 + kind ref *)
+    | 25 -> 8 + num (* seq i64 + backoff *)
     | k -> invalid_arg (Printf.sprintf "Trace.Binary: unknown kind %d" k)
 
   let u32_ok v = v >= 0 && v <= 0xFFFF_FFFF
@@ -837,9 +863,10 @@ module Binary = struct
           (0, u32_ok req && u32_ok len)
       | Req_sent { req } | Req_complete { req } | Srv_start { req } ->
           (0, u32_ok req)
+      | Probe_sent { backoff; _ } -> (0, u32_ok backoff)
       | Fin_received _ | Segment_reordered _ | Segment_duplicated _
-      | Share_corrupted _ | Share_rejected _ | Request_done _ | Audit_window _
-      | Message _ ->
+      | Segment_challenged _ | Share_corrupted _ | Share_rejected _
+      | Request_done _ | Audit_window _ | Message _ ->
           (0, true)
     in
     let wide = not narrow in
@@ -903,7 +930,13 @@ module Binary = struct
         add_f64 b rel_err
     | Message { tag; detail } ->
         add_u32 b (intern_str w (tag : string));
-        add_u32 b (intern_str w detail));
+        add_u32 b (intern_str w detail)
+    | Segment_challenged { seq; kind } ->
+        add_i64 b seq;
+        add_u32 b (intern_str w kind)
+    | Probe_sent { seq; backoff } ->
+        add_i64 b seq;
+        add_num b ~wide backoff);
     (match run with
     | Some label -> Buffer.add_uint16_le b (intern_name w label)
     | None -> ());
@@ -1097,6 +1130,10 @@ module Binary = struct
                 | 23 ->
                     Message
                       { tag = str (get_u32 by 0); detail = str (get_u32 by 4) }
+                | 24 ->
+                    Segment_challenged
+                      { seq = get_i64 by 0; kind = str (get_u32 by 8) }
+                | 25 -> Probe_sent { seq = get_i64 by 0; backoff = num 8 }
                 | k -> corrupt "record %d: unknown kind %d" rec_no k
               in
               let run =

@@ -31,6 +31,16 @@ type event =
       (** Fault injection delayed a packet past later traffic. *)
   | Segment_duplicated of { seq : int }
       (** Fault injection delivered a packet twice. *)
+  | Segment_challenged of { seq : int; kind : string }
+      (** RFC 5961 validation answered a suspicious segment with a
+          challenge ACK instead of acting on it ([kind]: ["rst"],
+          ["syn"] or ["ack"]; [seq] is the offending sequence or ack
+          number). *)
+  | Probe_sent of { seq : int; backoff : int }
+      (** The persist timer probed a zero-window peer with one garbage
+          byte below the window ([seq] = [snd_una - 1]); [backoff] is
+          the probe count this episode (the interval doubles up to the
+          RTO cap). *)
   | Share_corrupted of { seq : int }
       (** Fault injection mangled the 36-byte exchange option riding the
           segment at [seq]. *)
@@ -133,7 +143,8 @@ val tenant_of_id : string -> string option
 val tag : record -> string
 (** Short stable tag for the record's event ("tx", "rx", "ack", "hold",
     "toggle", "cork", "delack_fire", "delack_cancel", "fin", "retx",
-    "share", "estimate", "request", or the [Message] tag). *)
+    "challenge", "probe", "share", "estimate", "request", or the
+    [Message] tag). *)
 
 val detail : record -> string
 (** Human-readable rendering of the event payload. *)

@@ -52,6 +52,10 @@ let split_tso ~mss (seg : Segment.t) =
             msg_ends = (if last then seg.msg_ends else 0);
             e2e = (if first then seg.e2e else None);
             hint = (if first then seg.hint else None);
+            (* SACK blocks, like the other option metadata, ride the
+               first wire packet only (RST/SYN never carry payload, so
+               they are never split). *)
+            sack = (if first then seg.sack else []);
           }
         in
         go (off + n) (sub :: acc)
@@ -115,6 +119,7 @@ let create engine ?(a = default_host) ?(b = default_host) ?(link_ab = default_li
     ?(link_ba = default_link) ?cpu_a ?cpu_b ?(label_a = "A") ?(label_b = "B") () =
   let sock_a = Socket.create ~label:label_a engine a.socket in
   let sock_b = Socket.create ~label:label_b engine b.socket in
+  Socket.negotiate_window_scaling sock_a sock_b;
   let cpu_a = match cpu_a with Some c -> c | None -> Sim.Cpu.create engine in
   let cpu_b = match cpu_b with Some c -> c | None -> Sim.Cpu.create engine in
   let ab = Link.create engine ~prop_delay:link_ab.prop_delay ~gbit_per_s:link_ab.gbit_per_s in

@@ -47,8 +47,10 @@ let disarm t =
   | None -> ()
 
 let on_ack_sent t =
-  (* An armed timer that never fires: the ack went out another way. *)
-  if t.timer <> None && t.pending > 0 && tracing t then
+  (* An armed timer that never fires: the ack went out another way.
+     [Sim.Engine.handle] carries a closure, so only [Option.is_some]
+     may touch it — structural comparison would be a trap. *)
+  if Option.is_some t.timer && t.pending > 0 && tracing t then
     emit t (Sim.Trace.Delack_cancel { pending = t.pending });
   t.pending <- 0;
   disarm t
@@ -69,10 +71,10 @@ let on_data_segment t =
     t.by_count <- t.by_count + 1;
     t.send_ack ()
   end
-  else if t.timer = None then
+  else if Option.is_none t.timer then
     t.timer <- Some (Sim.Engine.schedule t.engine ~after:t.timeout (fun () -> fire t))
 
 let pending t = t.pending
-let timer_armed t = t.timer <> None
+let timer_armed t = Option.is_some t.timer
 let acks_forced_by_count t = t.by_count
 let acks_forced_by_timer t = t.by_timer

@@ -51,7 +51,8 @@ let flush t =
   end
 
 let arm t =
-  if t.timer = None then
+  (* handle options hold closures: [Option.is_none], never [= None] *)
+  if Option.is_none t.timer then
     t.timer <-
       Some
         (Sim.Engine.schedule t.engine ~after:t.cfg.flush_timeout (fun () ->

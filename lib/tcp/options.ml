@@ -2,6 +2,8 @@ type t =
   | Nop
   | Mss of int
   | Window_scale of int
+  | Sack_permitted
+  | Sack of (int * int) list
   | Timestamp of { value : int; echo : int }
   | E2e_state of E2e.Exchange.triple
   | Unknown of { kind : int; data : string }
@@ -9,6 +11,23 @@ type t =
 let e2e_kind = 254
 let e2e_exid = 0xE2E0
 let max_option_space = 40
+let max_sack_blocks = 4
+
+(* RFC 7323 window scaling: the smallest shift under which [rcv_buf]
+   fits in a shifted 16-bit field, capped at the protocol maximum 14. *)
+let wscale_for ~rcv_buf =
+  let rec go s = if s >= 14 || rcv_buf <= 0xFFFF lsl s then s else go (s + 1) in
+  go 0
+
+(* Byte window -> 16-bit wire field under [shift] (saturating). *)
+let scale_window ~shift w =
+  if shift < 0 || shift > 14 then invalid_arg "Options.scale_window: bad shift";
+  Stdlib.min (w lsr shift) 0xFFFF
+
+(* 16-bit wire field -> byte window under [shift]. *)
+let unscale_window ~shift w16 =
+  if shift < 0 || shift > 14 then invalid_arg "Options.unscale_window: bad shift";
+  (w16 land 0xFFFF) lsl shift
 
 let put_u16 buf v =
   Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
@@ -31,6 +50,20 @@ let encode_one buf = function
     Buffer.add_char buf '\003';
     Buffer.add_char buf '\003';
     Buffer.add_char buf (Char.chr (v land 0xFF))
+  | Sack_permitted ->
+    Buffer.add_char buf '\004';
+    Buffer.add_char buf '\002'
+  | Sack blocks ->
+    let n = List.length blocks in
+    if n < 1 || n > max_sack_blocks then
+      invalid_arg "Options.encode: SACK carries 1-4 blocks";
+    Buffer.add_char buf '\005';
+    Buffer.add_char buf (Char.chr (2 + (8 * n)));
+    List.iter
+      (fun (l, r) ->
+        put_u32 buf (l land 0xFFFFFFFF);
+        put_u32 buf (r land 0xFFFFFFFF))
+      blocks
   | Timestamp { value; echo } ->
     Buffer.add_char buf '\008';
     Buffer.add_char buf '\010';
@@ -78,6 +111,14 @@ let decode s =
               match kind with
               | 2 when len = 4 -> Mss (get_u16 s (off + 2))
               | 3 when len = 3 -> Window_scale (Char.code s.[off + 2])
+              | 4 when len = 2 -> Sack_permitted
+              | 5 when len >= 10 && (len - 2) mod 8 = 0 && len <= 2 + (8 * max_sack_blocks)
+                ->
+                let n = (len - 2) / 8 in
+                Sack
+                  (List.init n (fun i ->
+                       ( get_u32 s (off + 2 + (8 * i)),
+                         get_u32 s (off + 6 + (8 * i)) )))
               | 8 when len = 10 ->
                 Timestamp { value = get_u32 s (off + 2); echo = get_u32 s (off + 6) }
               | k

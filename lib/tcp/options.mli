@@ -10,6 +10,10 @@ type t =
   | Nop
   | Mss of int
   | Window_scale of int
+  | Sack_permitted
+  | Sack of (int * int) list
+      (** Up to four [left, right) received byte ranges, carried as
+          32-bit sequence numbers on the wire (RFC 2018). *)
   | Timestamp of { value : int; echo : int }
   | E2e_state of E2e.Exchange.triple
   | Unknown of { kind : int; data : string }
@@ -36,3 +40,23 @@ val max_option_space : int
 (** 40 bytes, the TCP header limit; an E2E exchange (2 + 2 + 36 = 40)
     exactly fits, which is why the paper reduces exchange frequency
     rather than piggybacking on segments that carry other options. *)
+
+val max_sack_blocks : int
+(** 4 — the most SACK blocks a 40-byte option space can carry
+    alongside nothing else (2 + 4×8 = 34 bytes). *)
+
+val wscale_for : rcv_buf:int -> int
+(** RFC 7323 negotiation helper: the smallest shift [s] (capped at 14)
+    such that [rcv_buf <= 65535 lsl s], i.e. the receive buffer is
+    fully advertisable through a shifted 16-bit window field. *)
+
+val scale_window : shift:int -> int -> int
+(** Byte window to 16-bit wire field: [min (w lsr shift) 0xFFFF].
+    @raise Invalid_argument if [shift] is outside 0-14. *)
+
+val unscale_window : shift:int -> int -> int
+(** 16-bit wire field back to a byte window: [w16 lsl shift].
+    [unscale_window ~shift (scale_window ~shift w)] quantizes [w] down
+    to a multiple of [2^shift], saturating at [65535 lsl shift] — the
+    exact information loss a real scaled window experiences.
+    @raise Invalid_argument if [shift] is outside 0-14. *)

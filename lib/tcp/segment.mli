@@ -20,6 +20,16 @@ type t = {
   ts_val : int option;
       (** RFC 7323 timestamp: the sender's clock in microseconds *)
   ts_ecr : int option;  (** echo of the most recent peer timestamp *)
+  sack : (int * int) list;
+      (** RFC 2018 selective-ack blocks: [left, right) byte ranges the
+          receiver holds above the cumulative ack.  Empty on every
+          segment of a loss-free flow, so loss-free runs pay no wire or
+          allocation cost for SACK support. *)
+  rst : bool;  (** connection reset (validated per RFC 5961 §3) *)
+  syn : bool;
+      (** a SYN arriving on an established connection (challenged per
+          RFC 5961 §4; the simulator has no handshake, so SYN appears
+          only as an attack/fault vector) *)
   fin : bool;  (** sender has no more data; consumes one sequence number *)
 }
 
@@ -31,6 +41,9 @@ val make :
   ?hint:E2e.Queue_state.share ->
   ?ts_val:int ->
   ?ts_ecr:int ->
+  ?sack:(int * int) list ->
+  ?rst:bool ->
+  ?syn:bool ->
   ?fin:bool ->
   seq:int ->
   ack:int ->
@@ -42,6 +55,8 @@ val len : t -> int
 (** Payload length. *)
 
 val is_pure_ack : t -> bool
+(** No payload and no RST/SYN/FIN flag — possibly still carrying SACK
+    blocks or a window update. *)
 
 val seq_len : t -> int
 (** Sequence space consumed: payload length plus one for FIN. *)
@@ -52,6 +67,7 @@ val header_bytes : int
     = 78 bytes. *)
 
 val wire_bytes : t -> int
-(** [header_bytes + len + option bytes]. *)
+(** [header_bytes + len + option bytes] — E2E exchange and SACK blocks
+    both count toward option bytes. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,10 @@
+(* How the advertised window is carried.  [`Exact] keeps the
+   simulator's idealized full-width windows (the pre-scaling
+   behaviour); [`Fixed s] and [`Auto] opt into wire-faithful RFC 7323
+   carriage, where the window is quantized through a shifted 16-bit
+   field — [`Auto] picks the smallest shift that covers [rcv_buf]. *)
+type wscale = [ `Exact | `Fixed of int | `Auto ]
+
 type config = {
   mss : int;
   nagle : bool;
@@ -9,6 +16,9 @@ type config = {
   rcv_buf : int;
   unit_mode : E2e.Units.t;
   exchange : E2e.Exchange.policy;
+  sack : bool;
+  wscale : wscale;
+  persist : bool;
 }
 
 let default_config =
@@ -23,6 +33,9 @@ let default_config =
     rcv_buf = 256 * 1024;
     unit_mode = E2e.Units.Bytes;
     exchange = E2e.Exchange.Periodic (Sim.Time.us 100);
+    sack = true;
+    wscale = `Exact;
+    persist = true;
   }
 
 type counters = {
@@ -37,6 +50,9 @@ type counters = {
   retransmits : int;
   rto_fires : int;
   fast_retransmits : int;
+  sack_retransmits : int;
+  probes_sent : int;
+  challenges_sent : int;
 }
 
 (* Connection teardown follows the RFC 793 state diagram from
@@ -71,6 +87,7 @@ type retx_entry = {
   r_push : bool;
   r_msg_ends : int;
   r_fin : bool;
+  mutable r_sacked : bool;  (* the peer selectively acknowledged this extent *)
 }
 
 type t = {
@@ -95,9 +112,17 @@ type t = {
   retx : retx_entry Queue.t;
   mutable rto_timer : Sim.Engine.handle option;
   mutable rto_backoff : int;
-  mutable recover : int;  (* go-back-N: snd_nxt at the last RTO *)
-  mutable retx_next : int;  (* go-back-N: next sequence to resend *)
+  mutable recover : int;  (* recovery episode: snd_nxt at episode entry *)
+  mutable retx_next : int;  (* hole recovery: next sequence to resend *)
   mutable dup_acks : int;
+  (* zero-window persist probing *)
+  mutable persist_timer : Sim.Engine.handle option;
+  mutable persist_backoff : int;
+  (* window scaling: [None] = idealized full-width windows; [Some s] =
+     every advertised window is quantized through a 16-bit field
+     shifted left by [s] (RFC 7323) *)
+  mutable snd_wscale : int option;
+  mutable max_snd_wnd : int;  (* largest peer window seen (RFC 5961 §5) *)
   (* congestion control (Reno-style, optional) *)
   mutable cwnd : int;
   mutable ssthresh : int;
@@ -138,11 +163,24 @@ type t = {
   mutable retransmits : int;
   mutable rto_fires : int;
   mutable fast_retransmits : int;
+  mutable sack_retransmits : int;
+  mutable probes_sent : int;
+  mutable challenges_sent : int;
 }
 
 let label t = t.label
 
 let initial_cwnd_segments = 10
+
+(* What shift this side would offer in a handshake; [None] = not
+   offering (idealized full-width windows). *)
+let offered_wscale cfg =
+  match cfg.wscale with
+  | `Exact -> None
+  | `Fixed s ->
+    if s < 0 || s > 14 then invalid_arg "Socket: window scale shift outside 0-14";
+    Some s
+  | `Auto -> Some (Options.wscale_for ~rcv_buf:cfg.rcv_buf)
 
 let create ?(label = "sock") engine cfg =
   if cfg.mss <= 0 then invalid_arg "Socket.create: mss must be positive";
@@ -170,6 +208,10 @@ let create ?(label = "sock") engine cfg =
     recover = 0;
     retx_next = 0;
     dup_acks = 0;
+    persist_timer = None;
+    persist_backoff = 0;
+    snd_wscale = offered_wscale cfg;
+    max_snd_wnd = cfg.rcv_buf;
     cwnd = initial_cwnd_segments * cfg.mss;
     ssthresh = max_int;
     conn_state = Established;
@@ -203,7 +245,22 @@ let create ?(label = "sock") engine cfg =
     retransmits = 0;
     rto_fires = 0;
     fast_retransmits = 0;
+    sack_retransmits = 0;
+    probes_sent = 0;
+    challenges_sent = 0;
   }
+
+(* RFC 7323 §2: scaling binds only when both sides offer it.  A
+   [Conn] calls this after creating the pair; a realist socket whose
+   peer stays idealized falls back to an unshifted (16-bit capped)
+   window, while two idealized sockets keep full-width windows. *)
+let negotiate_window_scaling a b =
+  match (a.snd_wscale, b.snd_wscale) with
+  | Some _, Some _ | None, None -> ()
+  | Some _, None -> a.snd_wscale <- Some 0
+  | None, Some _ -> b.snd_wscale <- Some 0
+
+let window_shift t = t.snd_wscale
 
 let now t = Sim.Engine.now t.engine
 
@@ -217,6 +274,36 @@ let event t ev =
   | None -> ()
 
 let advertised_window t = Stdlib.max 0 (t.cfg.rcv_buf - Bytebuf.length t.recvbuf)
+
+(* The window as it survives the wire: exact in idealized mode,
+   quantized through a shifted 16-bit field when scaling is on.  The
+   quantization (round down to a multiple of 2^shift, saturate at
+   65535 << shift) is the whole realism point — an unscaled peer caps
+   at 64 KiB regardless of buffer. *)
+let wire_window t =
+  let w = advertised_window t in
+  match t.snd_wscale with
+  | None -> w
+  | Some s -> Options.unscale_window ~shift:s (Options.scale_window ~shift:s w)
+
+(* Merge the sorted out-of-order queue into at most
+   [Options.max_sack_blocks] disjoint [left, right) ranges, lowest
+   first.  Only called when [t.ooo] is non-empty, so loss-free flows
+   never allocate here. *)
+let sack_blocks ooo =
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (seg : Segment.t) :: rest ->
+      let s = seg.seq and e = seg.seq + Segment.seq_len seg in
+      (match acc with
+      | (l, r) :: tl when s <= r -> merge ((l, Stdlib.max r e) :: tl) rest
+      | _ -> merge ((s, e) :: acc) rest)
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+  in
+  take Options.max_sack_blocks (merge [] ooo)
 
 let in_flight t = t.snd_nxt - t.snd_una
 
@@ -254,26 +341,30 @@ let attach_metadata t =
 (* Put one segment on the wire, piggybacking the cumulative ack and
    whatever metadata is due.  [seq] may be below [snd_nxt] for a
    retransmission. *)
-let put_on_wire ?(fin = false) t ~seq ~payload ~push ~msg_ends =
+let put_on_wire ?(fin = false) ?(rst = false) t ~seq ~payload ~push ~msg_ends =
   let e2e, hint = attach_metadata t in
   let seg =
     {
       Segment.seq;
       ack = t.rcv_nxt;
       payload;
-      window = advertised_window t;
+      window = wire_window t;
       push;
       msg_ends;
       e2e;
       hint;
       ts_val = Some (Sim.Time.to_ns (now t) / 1_000);
       ts_ecr = (if t.ts_recent >= 0 then Some t.ts_recent else None);
+      sack = (if t.cfg.sack && t.ooo <> [] then sack_blocks t.ooo else []);
+      rst;
+      syn = false;
       fin;
     }
   in
   note_ack_leaving t;
   t.last_advertised <- seg.window;
-  if String.length payload = 0 && not fin then t.pure_acks_out <- t.pure_acks_out + 1;
+  if String.length payload = 0 && not fin && not rst then
+    t.pure_acks_out <- t.pure_acks_out + 1;
   t.transmit seg
 
 (* {2 Retransmission timer} *)
@@ -292,8 +383,12 @@ let cancel_rto t =
     t.rto_timer <- None
   | None -> ()
 
+(* [Sim.Engine.handle] values carry closures, so they must only ever
+   meet [Option.is_none]/[is_some] — structural [= None] would raise
+   [Invalid_argument] the day the compiler stops short-circuiting on
+   the constructor. *)
 let rec arm_rto t =
-  if t.rto_timer = None && in_flight t > 0 then
+  if Option.is_none t.rto_timer && in_flight t > 0 then
     t.rto_timer <-
       Some (Sim.Engine.schedule t.engine ~after:(current_rto t) (fun () -> on_rto t))
 
@@ -324,6 +419,10 @@ and on_rto t =
       t.cwnd <- t.cfg.mss
     end;
     t.rto_backoff <- t.rto_backoff + 1;
+    (* A timeout invalidates the SACK scoreboard (conservative RFC 2018
+       reneging posture): recovery restarts from go-back-N and fresh
+       SACK blocks re-mark whatever the receiver still holds. *)
+    Queue.iter (fun e -> e.r_sacked <- false) t.retx;
     (* Everything below [snd_nxt] is suspect after a timeout; partial
        acks drive go-back-N retransmission up to this mark, restarting
        from the front of the hole. *)
@@ -336,6 +435,38 @@ and on_rto t =
     arm_rto t
   end
 
+(* {2 Zero-window persist timer} *)
+
+let cancel_persist t =
+  match t.persist_timer with
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    t.persist_timer <- None
+  | None -> ()
+
+(* The persist timer runs exactly when the connection would otherwise
+   be deaf: data queued, nothing in flight (so no RTO), and the peer's
+   last word was a closed window.  If the peer's window-update ack was
+   lost, nothing but this timer ever speaks again. *)
+let persist_due t =
+  t.cfg.persist
+  && t.peer_window <= 0
+  && in_flight t = 0
+  && Bytebuf.length t.sndbuf > 0
+  && (match t.conn_state with Time_wait | Closed -> false | _ -> true)
+
+let current_persist_timeout t =
+  let base = Rtt.rto t.rtt in
+  let scaled = base lsl Stdlib.min t.persist_backoff 6 in
+  Stdlib.min scaled Rtt.max_rto
+
+(* Probes per zero-window episode.  Real stacks probe indefinitely; a
+   simulator must quiesce when the peer application never reads, so the
+   budget bounds the episode.  It is far above what any recoverable
+   stall needs (a lost window update is repaired by the first probe
+   that gets through) and resets whenever the window reopens. *)
+let max_persist_probes = 10
+
 (* {2 Transmission} *)
 
 let emit_fresh t ~payload ~push ~msg_ends =
@@ -346,7 +477,7 @@ let emit_fresh t ~payload ~push ~msg_ends =
   t.bytes_out <- t.bytes_out + len;
   Queue.add
     { r_seq = seq; r_payload = payload; r_push = push; r_msg_ends = msg_ends;
-      r_fin = false }
+      r_fin = false; r_sacked = false }
     t.retx;
   if E2e.Units.equal t.cfg.unit_mode E2e.Units.Packets then begin
     E2e.Estimator.track_unacked t.estim ~at:(now t) 1;
@@ -377,7 +508,34 @@ let consume_boundaries t ~upto =
   go ();
   (!ends, !push)
 
-let rec try_transmit t =
+let rec arm_persist t =
+  if Option.is_none t.persist_timer && persist_due t then
+    t.persist_timer <-
+      Some
+        (Sim.Engine.schedule t.engine ~after:(current_persist_timeout t)
+           (fun () -> on_persist t))
+
+and on_persist t =
+  t.persist_timer <- None;
+  if persist_due t && t.persist_backoff < max_persist_probes then begin
+    t.persist_backoff <- t.persist_backoff + 1;
+    t.probes_sent <- t.probes_sent + 1;
+    (* The classic BSD window probe: one garbage byte just below the
+       window ([snd_una - 1]).  The receiver's duplicate-segment path
+       discards the payload wholesale and answers with an immediate ack
+       carrying its current window — exactly the response a pure ack
+       would never elicit — while no sequence space is consumed and no
+       retransmission state is created.  If the window has reopened
+       (the lost-update deadlock), that ack revives transmission; if it
+       is still shut, we re-arm ourselves with doubled backoff. *)
+    let seq = t.snd_una - 1 in
+    if tracing t then
+      event t (Sim.Trace.Probe_sent { seq; backoff = t.persist_backoff });
+    put_on_wire t ~seq ~payload:"?" ~push:false ~msg_ends:0;
+    arm_persist t
+  end
+
+and try_transmit t =
   maybe_emit_fin t;
   let pending = Bytebuf.length t.sndbuf in
   if pending > 0 then begin
@@ -418,6 +576,11 @@ let rec try_transmit t =
           try_transmit t
       end
     end
+    else
+      (* Data queued but the send window is shut.  If nothing is in
+         flight either, no ack or timer is coming: start (or keep) the
+         persist timer so a lost window update cannot strand us. *)
+      arm_persist t
   end
   else maybe_emit_fin t
 
@@ -430,7 +593,8 @@ and maybe_emit_fin t =
     t.fin_pending <- false;
     t.snd_nxt <- t.snd_nxt + 1;
     Queue.add
-      { r_seq = seq; r_payload = ""; r_push = false; r_msg_ends = 0; r_fin = true }
+      { r_seq = seq; r_payload = ""; r_push = false; r_msg_ends = 0; r_fin = true;
+        r_sacked = false }
       t.retx;
     put_on_wire t ~fin:true ~seq ~payload:"" ~push:false ~msg_ends:0;
     arm_rto t
@@ -523,7 +687,14 @@ let retransmit_hole t =
        [snd_una .. retx_next) is already back in flight, so the budget
        is whatever cwnd has left over it.  Each resend advances
        [retx_next] — no segment is retransmitted twice per episode
-       (another RTO resets the pointer if resends are lost too). *)
+       (another RTO resets the pointer if resends are lost too).
+       Cwnd-collapsed edge case, pinned by a unit test: right after an
+       RTO with cc enabled, cwnd = 1 MSS and the head retransmission
+       already consumed it, so the budget here is 0 even though
+       [retx_next < recover].  The chosen behaviour is to resend
+       nothing now but still [restart_rto] below — the episode can
+       never stall, because either the next ack frees budget or the
+       timer re-fires. *)
     let from = Stdlib.max t.retx_next t.snd_una in
     let in_flight_retx = from - t.snd_una in
     let budget = ref (Stdlib.max (t.cwnd - in_flight_retx) 0) in
@@ -531,7 +702,9 @@ let retransmit_hole t =
        Queue.iter
          (fun e ->
            if e.r_seq >= t.recover then raise Exit;
-           if e.r_seq + retx_len e > from then begin
+           (* A sacked extent is sitting in the peer's reassembly
+              queue; resending it would be pure waste. *)
+           if e.r_seq + retx_len e > from && not e.r_sacked then begin
              if !budget <= 0 then raise Exit;
              budget := !budget - String.length e.r_payload;
              t.retransmits <- t.retransmits + 1;
@@ -549,7 +722,77 @@ let retransmit_hole t =
     restart_rto t
   end
 
+(* {2 SACK scoreboard (sender side)} *)
+
+(* Mark every retransmission-queue extent fully covered by one of the
+   peer's SACK blocks.  Only called with non-empty [blocks], which only
+   ever exist under loss — the loss-free ack path never walks the
+   queue. *)
+let ingest_sack t blocks =
+  Queue.iter
+    (fun e ->
+      if not e.r_sacked then begin
+        let s = e.r_seq and en = e.r_seq + retx_len e in
+        if List.exists (fun (l, r) -> l <= s && en <= r) blocks then
+          e.r_sacked <- true
+      end)
+    t.retx
+
+let has_sack_info t = Queue.fold (fun acc e -> acc || e.r_sacked) false t.retx
+
+let highest_sacked t =
+  Queue.fold
+    (fun acc e -> if e.r_sacked then Stdlib.max acc (e.r_seq + retx_len e) else acc)
+    (-1) t.retx
+
+(* SACK-driven hole recovery (RFC 6675 in spirit): everything unsacked
+   strictly below the highest SACKed byte is deemed lost and resent
+   once per episode within the cwnd budget.  Unlike the go-back-N
+   sweep this never touches data above the last SACK block — that data
+   is still in flight and probably fine, which is exactly why SACK
+   beats go-back-N under partial bursty loss. *)
+let sack_retransmit_holes t =
+  let hs = highest_sacked t in
+  if hs >= 0 then begin
+    let from = Stdlib.max t.retx_next t.snd_una in
+    let in_flight_retx = Stdlib.max 0 (from - t.snd_una) in
+    let budget = ref (Stdlib.max (t.cwnd - in_flight_retx) 0) in
+    (try
+       Queue.iter
+         (fun e ->
+           if e.r_seq >= hs then raise Exit;
+           if e.r_seq + retx_len e > from && not e.r_sacked then begin
+             if !budget <= 0 then raise Exit;
+             budget := !budget - String.length e.r_payload;
+             t.retransmits <- t.retransmits + 1;
+             t.sack_retransmits <- t.sack_retransmits + 1;
+             if tracing t then
+               event t
+                 (Sim.Trace.Segment_sent
+                    { seq = e.r_seq; len = String.length e.r_payload;
+                      push = e.r_push; retx = true });
+             put_on_wire t ~fin:e.r_fin ~seq:e.r_seq ~payload:e.r_payload
+               ~push:e.r_push ~msg_ends:e.r_msg_ends;
+             t.retx_next <- e.r_seq + retx_len e
+           end)
+         t.retx
+     with Exit -> ());
+    restart_rto t
+  end
+
+(* Keep an open recovery episode moving on every ack: scoreboard-led
+   when SACK information exists, go-back-N otherwise.  The scoreboard
+   drains naturally as [snd_una] passes it, so a blackout recovery
+   falls back to the sweep for the sackless tail. *)
+let continue_recovery t =
+  if t.snd_una < t.recover && not (Queue.is_empty t.retx) then
+    if t.cfg.sack && has_sack_info t then sack_retransmit_holes t
+    else retransmit_hole t
+
 let process_ack t (seg : Segment.t) ~at =
+  (* Fresh SACK blocks first, so both the fast-retransmit decision and
+     any recovery sweep below see the up-to-date scoreboard. *)
+  if t.cfg.sack && seg.sack <> [] then ingest_sack t seg.sack;
   let acked = seg.ack - t.snd_una in
   if acked > 0 then begin
     if tracing t then
@@ -565,7 +808,7 @@ let process_ack t (seg : Segment.t) ~at =
       else t.cwnd <- t.cwnd + Stdlib.max 1 (t.cfg.mss * t.cfg.mss / t.cwnd);
       t.cwnd <- Stdlib.min t.cwnd (64 * 1024 * 1024)
     end;
-    retransmit_hole t;
+    continue_recovery t;
     (* the FIN consumes one sequence number that never entered the
        byte-accounting fifo *)
     let fifo_bytes =
@@ -604,12 +847,33 @@ let process_ack t (seg : Segment.t) ~at =
         t.ssthresh <- Stdlib.max (in_flight t / 2) (2 * t.cfg.mss);
         t.cwnd <- t.ssthresh
       end;
-      retransmit_head t ~counter:(fun t ->
-          t.fast_retransmits <- t.fast_retransmits + 1);
-      restart_rto t
+      if t.cfg.sack && has_sack_info t then begin
+        (* Scoreboard-led fast recovery: open an episode up to the
+           current [snd_nxt] and resend only the holes below the
+           highest SACKed byte.  Each later duplicate or partial ack
+           continues the episode — no waiting three more dup acks per
+           lost segment, and no RTO unless the resends are lost too. *)
+        t.fast_retransmits <- t.fast_retransmits + 1;
+        t.recover <- Stdlib.max t.recover t.snd_nxt;
+        t.retx_next <- t.snd_una;
+        sack_retransmit_holes t
+      end
+      else begin
+        retransmit_head t ~counter:(fun t ->
+            t.fast_retransmits <- t.fast_retransmits + 1);
+        restart_rto t
+      end
     end
+    else if t.dup_acks > 3 && t.cfg.sack then continue_recovery t
   end;
-  t.peer_window <- seg.window
+  t.peer_window <- seg.window;
+  if seg.window > t.max_snd_wnd then t.max_snd_wnd <- seg.window;
+  if seg.window > 0 then begin
+    (* the peer's window opened (or was never shut): any persist
+       episode is over *)
+    if Option.is_some t.persist_timer then cancel_persist t;
+    t.persist_backoff <- 0
+  end
 
 (* {2 In-order delivery (receiver side)} *)
 
@@ -688,9 +952,49 @@ let process_payload t (seg : Segment.t) ~at =
     if t.ooo <> [] || seg.fin then send_pure_ack t
   end
 
-let receive_one t ~notify (seg : Segment.t) =
+(* Answer a suspicious segment with a challenge ack (RFC 5961): it
+   confirms our current state to a genuine peer without acting on a
+   possibly-forged segment. *)
+let challenge t ~kind ~seq =
+  t.challenges_sent <- t.challenges_sent + 1;
+  if tracing t then event t (Sim.Trace.Segment_challenged { seq; kind });
+  send_pure_ack t
+
+let rec receive_one t ~notify (seg : Segment.t) =
   let at = now t in
   t.segs_in <- t.segs_in + 1;
+  if seg.syn then
+    (* §4: a SYN while synchronized is never acted on, only challenged. *)
+    (match Rfc5961.check_syn () with
+    | Rfc5961.Challenge -> challenge t ~kind:"syn" ~seq:seg.seq
+    | Rfc5961.Accept | Rfc5961.Discard -> ())
+  else if seg.rst then (
+    match
+      Rfc5961.check_rst
+        ~rcv_nxt:(Seq32.of_int t.rcv_nxt)
+        ~rcv_wnd:(advertised_window t)
+        ~seq:(Seq32.of_int seg.seq)
+    with
+    | Rfc5961.Accept ->
+      cancel_rto t;
+      cancel_persist t;
+      t.conn_state <- Closed
+    | Rfc5961.Challenge -> challenge t ~kind:"rst" ~seq:seg.seq
+    | Rfc5961.Discard -> ())
+  else if
+    not
+      (Rfc5961.ack_acceptable
+         ~snd_una:(Seq32.of_int t.snd_una)
+         ~snd_nxt:(Seq32.of_int t.snd_nxt)
+         ~max_wnd:t.max_snd_wnd
+         ~ack:(Seq32.of_int seg.ack))
+  then
+    (* §5: an ack from far outside anything we ever sent — a blind
+       injection attempt, not a stale ack.  Challenge and drop. *)
+    challenge t ~kind:"ack" ~seq:seg.ack
+  else receive_valid t ~notify seg ~at
+
+and receive_valid t ~notify (seg : Segment.t) ~at =
   (* Metadata first so estimates are fresh for any controller that runs
      from the readable callback. *)
   (match seg.e2e with
@@ -733,10 +1037,26 @@ let recv t n =
   if len > 0 then begin
     let units = Unit_fifo.drain t.unread_fifo ~bytes:len in
     if units > 0 then E2e.Estimator.track_unread t.estim ~at:(now t) (-units);
-    (* Window-update ack when the advertised window recovers from
-       (nearly) closed, so a blocked sender resumes. *)
-    let wnd = advertised_window t in
-    if t.last_advertised < t.cfg.mss && wnd >= t.cfg.mss then send_pure_ack t
+    (* Window-update ack when a pinched advertised window reopens, so a
+       blocked sender resumes.  The receiver half of silly-window
+       avoidance (RFC 1122 4.2.3.3): only announce an opening worth at
+       least 2 MSS, and only when the last advertisement was small
+       enough (< 2 MSS) that the sender could actually have run out of
+       window — a wide-buffer flow whose window merely breathes never
+       emits extra acks here.  Without the 2-MSS edge a sender that
+       filled an exactly-one-MSS window parks until the delayed-ack
+       timer fires: the lone segment stays below the delack pending
+       threshold, so the window update rides a 40 ms timer and the
+       whole pipeline stalls in lockstep.  [last_advertised] is
+       refreshed by the update ack itself, so each reopening announces
+       exactly once; the window compared is the one the peer will
+       actually see ([wire_window]), so scaling quantization cannot
+       fake an opening.  This single ack is also the classic
+       zero-window deadlock: if it is lost, only the sender's persist
+       timer can revive the connection. *)
+    let wnd = wire_window t in
+    if t.last_advertised < 2 * t.cfg.mss && wnd - t.last_advertised >= 2 * t.cfg.mss
+    then send_pure_ack t
   end;
   data
 
@@ -768,6 +1088,20 @@ let close t =
   | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed ->
     (* closing twice is a no-op *)
     ()
+
+(* Hard reset: emit a RST at [snd_nxt] and drop to [Closed].  The peer
+   validates it per RFC 5961 — since our [seq] equals its [rcv_nxt]
+   whenever the streams are quiescent, a genuine abort is honoured on
+   first contact, while an attacker guessing inside the window only
+   triggers a challenge. *)
+let abort t =
+  match t.conn_state with
+  | Closed -> ()
+  | _ ->
+    put_on_wire t ~rst:true ~seq:t.snd_nxt ~payload:"" ~push:false ~msg_ends:0;
+    cancel_rto t;
+    cancel_persist t;
+    t.conn_state <- Closed
 
 let state t = t.conn_state
 let state_string t = state_to_string t.conn_state
@@ -810,6 +1144,9 @@ let counters t =
     retransmits = t.retransmits;
     rto_fires = t.rto_fires;
     fast_retransmits = t.fast_retransmits;
+    sack_retransmits = t.sack_retransmits;
+    probes_sent = t.probes_sent;
+    challenges_sent = t.challenges_sent;
   }
 
 let acks_by_timer t =

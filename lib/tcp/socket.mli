@@ -11,11 +11,28 @@
 
     Reliability: cumulative acks with retransmission (an RFC 6298 RTO
     with exponential backoff, plus triple-duplicate-ack fast
-    retransmit), out-of-order reassembly at the receiver, and optional
-    Reno-style congestion control ([cc_enabled]; off by default, as the
-    paper's benchmarks run on an uncongested lossless LAN — see
-    {!Link.set_loss} to inject drops).  Sequence numbers are full-width
-    integers (see {!Seq32} for the wire form). *)
+    retransmit), SACK-based scoreboard recovery (RFC 2018/6675 in
+    spirit; on by default, the RTO sweep remains the backstop),
+    out-of-order reassembly at the receiver, zero-window persist
+    probing (RFC 9293 §3.8.6.1), RFC 5961 in-window RST/SYN/ACK
+    validation, and optional Reno-style congestion control
+    ([cc_enabled]; off by default, as the paper's benchmarks run on an
+    uncongested lossless LAN — see {!Link.set_loss} to inject drops).
+    Sequence numbers are full-width integers (see {!Seq32} for the
+    wire form). *)
+
+type wscale = [ `Exact | `Fixed of int | `Auto ]
+(** How the advertised window is carried.  [`Exact] keeps the
+    simulator's idealized full-width windows (the historical
+    behaviour, and the default — loss-free runs stay bit-identical).
+    [`Fixed s] and [`Auto] opt into wire-faithful RFC 7323 carriage:
+    the window is quantized through a 16-bit field shifted left by
+    [s], so it rounds down to a multiple of [2^s] and saturates at
+    [65535 lsl s] ([`Fixed 0] is an unscaled classic TCP window,
+    capped at 64 KiB).  [`Auto] offers {!Options.wscale_for} of
+    [rcv_buf].  Scaling binds only if both sides of a {!Conn} opt in
+    (RFC 7323 negotiation); a realist socket facing an idealized peer
+    falls back to [`Fixed 0]. *)
 
 type config = {
   mss : int;  (** maximum segment payload, default 1448 *)
@@ -35,12 +52,26 @@ type config = {
   rcv_buf : int;  (** receive buffer / advertised window bound *)
   unit_mode : E2e.Units.t;  (** queue accounting unit (§3.3) *)
   exchange : E2e.Exchange.policy;  (** when to attach the E2E option *)
+  sack : bool;
+      (** selective acknowledgments: the receiver reports out-of-order
+          ranges on its acks and the sender retransmits only the holes.
+          On by default — SACK blocks only exist under loss, so
+          loss-free runs are unaffected *)
+  wscale : wscale;  (** window carriage mode, default [`Exact] *)
+  persist : bool;
+      (** zero-window persist timer: probe a peer advertising window 0
+          with a one-garbage-byte segment below the window at
+          exponentially backed-off intervals, so a lost window-update
+          ack cannot deadlock the connection.  On by default; the timer
+          only arms when the peer window is closed with nothing in
+          flight, and each episode's probe budget is bounded so runs
+          against a never-reading peer still quiesce *)
 }
 
 val default_config : config
 (** MSS 1448, Nagle on, cork off, TSO off, congestion control off,
     40 ms/2-segment delayed acks, 256 KiB receive buffer, byte units,
-    periodic 100 µs exchange. *)
+    periodic 100 µs exchange, SACK on, exact windows, persist on. *)
 
 type t
 
@@ -105,6 +136,23 @@ val close : t -> unit
 val state : t -> conn_state
 val state_string : t -> string
 
+val abort : t -> unit
+(** Hard reset: send a RST at [snd_nxt] and drop straight to [Closed],
+    cancelling every timer.  The peer validates the RST per RFC 5961
+    (§3.2): it is accepted only if its sequence number is exactly the
+    peer's [rcv_nxt], challenged if merely in-window, and silently
+    discarded otherwise.  Idempotent once closed. *)
+
+val negotiate_window_scaling : t -> t -> unit
+(** RFC 7323 handshake for a freshly created pair (called by {!Conn}
+    before any traffic): scaling binds only if both endpoints offered a
+    shift ([`Fixed]/[`Auto]); a realist side facing an [`Exact] peer
+    falls back to shift 0 (classic 64 KiB-capped windows). *)
+
+val window_shift : t -> int option
+(** The negotiated send-direction window shift; [None] means exact
+    full-width windows. *)
+
 val eof : t -> bool
 (** The peer closed and every delivered byte has been read. *)
 
@@ -159,6 +207,11 @@ type counters = {
   retransmits : int;  (** segments re-sent (timer or fast retransmit) *)
   rto_fires : int;
   fast_retransmits : int;
+  sack_retransmits : int;
+      (** hole retransmissions driven by the SACK scoreboard (a subset
+          of [retransmits]) *)
+  probes_sent : int;  (** zero-window persist probes *)
+  challenges_sent : int;  (** RFC 5961 challenge ACKs *)
 }
 
 val counters : t -> counters

@@ -27,7 +27,7 @@ let conversation_fixture () =
   let client_cpu = Sim.Cpu.create engine in
   let server =
     Kv.Server.create engine ~cpu:server_cpu ~socket:(Tcp.Conn.sock_b conn)
-      { alpha = us 1; beta = us 1 }
+      { alpha = us 1; beta = us 1; wake_delay = Sim.Time.zero }
   in
   let client =
     Kv.Client.create engine ~cpu:client_cpu ~socket:(Tcp.Conn.sock_a conn)

@@ -1,0 +1,417 @@
+(* TCP realism pack: SACK recovery, window-scaling negotiation,
+   zero-window persist probing, and RFC 5961 validation.
+
+   The structural tests pin wire-codec and decision-procedure
+   behaviour; the connection-level tests run deterministic fault plans
+   through a real socket pair and assert the recovery semantics the
+   chaos grid relies on. *)
+
+let ms = Sim.Time.ms
+
+(* {1 Fixtures} *)
+
+let host ?(rcv_buf = 256 * 1024) ?(sack = true) ?(wscale = `Exact) ?(persist = true)
+    ?(cc = false) () =
+  {
+    Tcp.Conn.default_host with
+    socket =
+      {
+        Tcp.Socket.default_config with
+        nagle = false;
+        rcv_buf;
+        sack;
+        wscale;
+        persist;
+        cc_enabled = cc;
+      };
+  }
+
+let conn engine ?a ?b () =
+  let d = host () in
+  Tcp.Conn.create engine
+    ~a:(Option.value ~default:d a)
+    ~b:(Option.value ~default:d b)
+    ()
+
+(* Eat every packet entering [link] during [from_us, until_us) — a
+   deterministic one-way blackout. *)
+let blackout link ~from_us ~until_us =
+  let side =
+    {
+      Fault.Plan.empty_side with
+      blackouts = [ { Fault.Plan.from_us; until_us } ];
+    }
+  in
+  Tcp.Link.set_fault link
+    (Fault.Injector.create ~side ~rng:(Sim.Rng.create ~seed:7))
+
+let payload n = String.init n (fun i -> Char.chr (33 + (i mod 90)))
+
+(* Sink everything b receives into a buffer. *)
+let attach_sink sock =
+  let buf = Buffer.create 1024 in
+  Tcp.Socket.on_readable sock (fun () ->
+      let n = Tcp.Socket.recv_available sock in
+      if n > 0 then Buffer.add_string buf (Tcp.Socket.recv sock n));
+  buf
+
+(* {1 SACK option codec} *)
+
+let test_sack_option_roundtrip () =
+  let blocks = [ (1448, 2896); (5792, 8688); (11584, 13032); (20000, 21448) ] in
+  Alcotest.(check int) "fixture is max blocks" (Tcp.Options.max_sack_blocks)
+    (List.length blocks);
+  let opts = [ Tcp.Options.Sack_permitted; Tcp.Options.Sack blocks ] in
+  match Tcp.Options.decode (Tcp.Options.encode opts) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+    let sacks =
+      List.filter_map
+        (function Tcp.Options.Sack b -> Some b | _ -> None)
+        decoded
+    in
+    Alcotest.(check (list (list (pair int int)))) "blocks survive the wire"
+      [ blocks ] sacks;
+    Alcotest.(check bool) "permitted flag survives" true
+      (List.mem Tcp.Options.Sack_permitted decoded)
+
+let test_sack_option_wraps_32bit () =
+  (* Blocks ride as 32-bit wire sequence numbers; a block near the wrap
+     must come back truncated modulo 2^32, like any sequence field. *)
+  let near_wrap = (1 lsl 32) - 1448 in
+  let opts = [ Tcp.Options.Sack [ (near_wrap, near_wrap + 1000) ] ] in
+  match Tcp.Options.decode (Tcp.Options.encode opts) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded -> (
+    (* encode pads to a 4-byte boundary with Nops, so filter. *)
+    match List.filter_map (function Tcp.Options.Sack b -> Some b | _ -> None) decoded with
+    | [ [ (l, r) ] ] ->
+      Alcotest.(check int) "left edge" near_wrap l;
+      Alcotest.(check int) "right edge wraps" ((near_wrap + 1000) land 0xFFFFFFFF) r
+    | _ -> Alcotest.fail "unexpected decode shape")
+
+(* {1 Window-scaling negotiation} *)
+
+let shift_of = Tcp.Socket.window_shift
+
+let test_wscale_exact_peers_stay_exact () =
+  let engine = Sim.Engine.create () in
+  let c = conn engine () in
+  Alcotest.(check (option int)) "a exact" None (shift_of (Tcp.Conn.sock_a c));
+  Alcotest.(check (option int)) "b exact" None (shift_of (Tcp.Conn.sock_b c))
+
+let test_wscale_auto_binds_buffer_shift () =
+  let engine = Sim.Engine.create () in
+  let rcv_buf = 1 lsl 20 in
+  let c =
+    conn engine
+      ~a:(host ~rcv_buf ~wscale:`Auto ())
+      ~b:(host ~rcv_buf:8192 ~wscale:(`Fixed 2) ())
+      ()
+  in
+  Alcotest.(check (option int)) "a offers wscale_for(rcv_buf)"
+    (Some (Tcp.Options.wscale_for ~rcv_buf))
+    (shift_of (Tcp.Conn.sock_a c));
+  Alcotest.(check (option int)) "b keeps its fixed shift" (Some 2)
+    (shift_of (Tcp.Conn.sock_b c))
+
+let test_wscale_mixed_falls_back_to_zero () =
+  (* A realist socket facing an idealized `Exact peer cannot assume the
+     peer understands shifted windows: RFC 7323 negotiation falls back
+     to an unscaled classic window (shift 0, 64 KiB cap). *)
+  let engine = Sim.Engine.create () in
+  let c = conn engine ~a:(host ~wscale:(`Fixed 7) ()) ~b:(host ()) () in
+  Alcotest.(check (option int)) "realist side falls back" (Some 0)
+    (shift_of (Tcp.Conn.sock_a c));
+  Alcotest.(check (option int)) "exact side unchanged" None
+    (shift_of (Tcp.Conn.sock_b c))
+
+let test_wscale_transfer_integrity () =
+  (* A large transfer survives every carriage mode, including the
+     unscaled 64 KiB-capped classic window. *)
+  List.iter
+    (fun wscale ->
+      let engine = Sim.Engine.create () in
+      let h = host ~wscale () in
+      let c = conn engine ~a:h ~b:h () in
+      let data = payload 200_000 in
+      let sink = attach_sink (Tcp.Conn.sock_b c) in
+      Tcp.Socket.send (Tcp.Conn.sock_a c) data;
+      Sim.Engine.run engine;
+      Alcotest.(check bool) "bytes identical" true
+        (String.equal data (Buffer.contents sink)))
+    [ `Exact; `Fixed 0; `Auto ]
+
+let test_scale_window_props () =
+  let shift = 3 in
+  List.iter
+    (fun w ->
+      let q = Tcp.Options.(unscale_window ~shift (scale_window ~shift w)) in
+      Alcotest.(check bool) "quantized down" true (q <= w);
+      if w <= 65535 lsl shift then
+        Alcotest.(check bool) "within one quantum" true (w - q < 1 lsl shift)
+      else Alcotest.(check int) "saturates" (65535 lsl shift) q)
+    [ 0; 1; 7; 4096; 65535; 65536; 524280; 524281; 10_000_000 ];
+  List.iter
+    (fun rcv_buf ->
+      let s = Tcp.Options.wscale_for ~rcv_buf in
+      (* RFC 7323 caps the shift at 14; beyond 65535 lsl 14 the buffer
+         is legitimately not fully advertisable. *)
+      if rcv_buf <= 65535 lsl 14 then begin
+        Alcotest.(check bool) "buffer advertisable" true (rcv_buf <= 65535 lsl s);
+        if s > 0 then
+          Alcotest.(check bool) "minimal shift" true (rcv_buf > 65535 lsl (s - 1))
+      end
+      else Alcotest.(check int) "shift capped at 14" 14 s)
+    [ 1; 65535; 65536; 262144; 1 lsl 20; 1 lsl 30 ]
+
+(* {1 SACK recovery vs go-back-N} *)
+
+(* Deterministic seeded drops scattered through the transfer leave
+   holes with later segments delivered — exactly the state SACK blocks
+   describe.  The SACK sender resends only the holes; the go-back-N
+   sweep resends the hole plus everything after it, and falls back to
+   the RTO when duplicate acks run dry.  Both must deliver identical
+   bytes; both runs see the identical drop pattern (same seed, same
+   per-packet Bernoulli draw). *)
+let recovery_run ~sack =
+  let engine = Sim.Engine.create () in
+  let h = host ~sack ~cc:true () in
+  let c = conn engine ~a:h ~b:h () in
+  Tcp.Link.set_loss (Tcp.Conn.link_ab c) ~rng:(Sim.Rng.create ~seed:5) ~prob:0.03;
+  let data = payload 131_072 in
+  let sink = attach_sink (Tcp.Conn.sock_b c) in
+  Tcp.Socket.send (Tcp.Conn.sock_a c) data;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "bytes identical" true
+    (String.equal data (Buffer.contents sink));
+  Tcp.Socket.counters (Tcp.Conn.sock_a c)
+
+let test_sack_retransmits_only_holes () =
+  let s = recovery_run ~sack:true in
+  let g = recovery_run ~sack:false in
+  Alcotest.(check bool) "loss forced recovery" true (g.retransmits > 0);
+  Alcotest.(check bool) "scoreboard drove the sack run" true
+    (s.sack_retransmits > 0);
+  Alcotest.(check int) "go-back-N never consults the scoreboard" 0
+    g.sack_retransmits;
+  Alcotest.(check int) "scoreboard keeps the RTO quiet" 0 s.rto_fires;
+  if s.retransmits >= g.retransmits then
+    Alcotest.failf "SACK resent %d segments, go-back-N %d — no win" s.retransmits
+      g.retransmits
+
+let test_retransmit_budget_zero_makes_progress () =
+  (* The cwnd-collapsed edge: right after an RTO with cc enabled,
+     cwnd = 1 MSS and the head retransmission consumes it, so the
+     recovery sweep's budget is 0 while retx_next < recover.  Pinned
+     behaviour: resend nothing then, but keep the RTO armed — the
+     episode may be slow, never stuck.  A long blackout puts the
+     connection exactly there (every first retransmission also dies);
+     the run must still deliver everything once the link heals. *)
+  List.iter
+    (fun sack ->
+      let engine = Sim.Engine.create () in
+      let h = host ~sack ~cc:true () in
+      let c = conn engine ~a:h ~b:h () in
+      blackout (Tcp.Conn.link_ab c) ~from_us:50.0 ~until_us:300_000.0;
+      let data = payload 65_536 in
+      let sink = attach_sink (Tcp.Conn.sock_b c) in
+      Tcp.Socket.send (Tcp.Conn.sock_a c) data;
+      Sim.Engine.run engine;
+      let ctr = Tcp.Socket.counters (Tcp.Conn.sock_a c) in
+      Alcotest.(check bool) "RTO fired with backoff" true (ctr.rto_fires >= 2);
+      Alcotest.(check bool) "all bytes delivered after healing" true
+        (String.equal data (Buffer.contents sink));
+      Alcotest.(check int) "nothing left unsent" 0
+        (Tcp.Socket.unsent_bytes (Tcp.Conn.sock_a c)))
+    [ true; false ]
+
+(* {1 Zero-window persist probing} *)
+
+(* The regression from the issue: a receiver with a small buffer and a
+   slow application closes its window; the application then drains the
+   buffer, but the lone window-update ack dies in a blackout on the
+   server-to-client direction.  Without the persist timer the sender
+   waits forever for a window that already opened — the classic
+   deadlock.  With it, a garbage-byte probe below the window draws a
+   fresh ack carrying the open window. *)
+let zero_window_run ~persist =
+  let engine = Sim.Engine.create () in
+  let h = host ~rcv_buf:8192 ~persist () in
+  let c = conn engine ~a:h ~b:h () in
+  let a = Tcp.Conn.sock_a c and b = Tcp.Conn.sock_b c in
+  let data = payload 65_536 in
+  let drained = Buffer.create 65_536 in
+  let drain () =
+    let n = Tcp.Socket.recv_available b in
+    if n > 0 then Buffer.add_string drained (Tcp.Socket.recv b n)
+  in
+  (* Phase 1: the application never reads, so the 8 KiB window fills
+     and the sender blocks with a closed peer window and nothing in
+     flight. *)
+  Tcp.Socket.send a data;
+  Sim.Engine.run_until engine (ms 50);
+  Alcotest.(check bool) "sender blocked on zero window" true
+    (Tcp.Socket.unsent_bytes a > 0);
+  (* Phase 2: blackout b->a, then let the app drain the buffer — the
+     window-update ack is eaten by the blackout. *)
+  blackout (Tcp.Conn.link_ba c)
+    ~from_us:(Sim.Time.to_us (Sim.Engine.now engine))
+    ~until_us:(Sim.Time.to_us (Sim.Engine.now engine) +. 10_000.0);
+  drain ();
+  Sim.Engine.run_until engine (ms 80);
+  (* Phase 3: keep draining as data arrives and run to quiescence. *)
+  Tcp.Socket.on_readable b (fun () -> drain ());
+  drain ();
+  Sim.Engine.run engine;
+  (data, Buffer.contents drained, a)
+
+let test_zero_window_deadlocks_without_persist () =
+  let _, drained, a = zero_window_run ~persist:false in
+  Alcotest.(check bool) "sender still stuck: the deadlock" true
+    (Tcp.Socket.unsent_bytes a > 0);
+  Alcotest.(check bool) "transfer incomplete" true
+    (String.length drained < 65_536);
+  Alcotest.(check int) "no probes without the timer" 0
+    (Tcp.Socket.counters a).probes_sent
+
+let test_zero_window_recovers_with_persist () =
+  let data, drained, a = zero_window_run ~persist:true in
+  Alcotest.(check int) "everything sent" 0 (Tcp.Socket.unsent_bytes a);
+  Alcotest.(check bool) "bytes identical" true (String.equal data drained);
+  Alcotest.(check bool) "a persist probe did the reviving" true
+    ((Tcp.Socket.counters a).probes_sent >= 1)
+
+let test_persist_probe_consumes_no_sequence_space () =
+  (* Probes carry one garbage byte *below* the window (snd_una - 1):
+     the receiver treats it as a duplicate and replies with a pure ack,
+     so the delivered stream must be byte-identical despite probing. *)
+  let data, drained, a = zero_window_run ~persist:true in
+  Alcotest.(check int) "stream length exact" (String.length data)
+    (String.length drained);
+  Alcotest.(check bool) "no stray probe bytes in the stream" true
+    (String.equal data drained);
+  let ctr = Tcp.Socket.counters a in
+  Alcotest.(check bool) "probe count bounded by the episode budget" true
+    (ctr.probes_sent >= 1 && ctr.probes_sent <= 10)
+
+(* {1 RFC 5961 validation} *)
+
+let s32 = Tcp.Seq32.of_int
+
+let test_rst_validation () =
+  let open Tcp.Rfc5961 in
+  let rcv_nxt = s32 1_000_000 and rcv_wnd = 8192 in
+  let check seq = check_rst ~rcv_nxt ~rcv_wnd ~seq:(s32 seq) in
+  Alcotest.(check bool) "exact match accepted" true (check 1_000_000 = Accept);
+  Alcotest.(check bool) "in-window challenged" true (check 1_004_000 = Challenge);
+  Alcotest.(check bool) "last in-window byte challenged" true
+    (check (1_000_000 + 8191) = Challenge);
+  Alcotest.(check bool) "right edge discarded" true
+    (check (1_000_000 + 8192) = Discard);
+  Alcotest.(check bool) "behind window discarded" true (check 999_999 = Discard);
+  (* Zero window: only the exact match is meaningful. *)
+  let z seq = check_rst ~rcv_nxt ~rcv_wnd:0 ~seq:(s32 seq) in
+  Alcotest.(check bool) "zero window exact" true (z 1_000_000 = Accept);
+  Alcotest.(check bool) "zero window other" true (z 1_000_001 = Discard)
+
+let test_syn_always_challenged () =
+  Alcotest.(check bool) "synchronized SYN challenged" true
+    (Tcp.Rfc5961.check_syn () = Tcp.Rfc5961.Challenge)
+
+let test_ack_acceptability () =
+  let snd_una = s32 50_000 and snd_nxt = s32 60_000 and max_wnd = 10_000 in
+  let ok ack = Tcp.Rfc5961.ack_acceptable ~snd_una ~snd_nxt ~max_wnd ~ack:(s32 ack) in
+  Alcotest.(check bool) "current una" true (ok 50_000);
+  Alcotest.(check bool) "up to snd_nxt" true (ok 60_000);
+  Alcotest.(check bool) "old but within max_wnd" true (ok 40_000);
+  Alcotest.(check bool) "too old" false (ok 39_999);
+  Alcotest.(check bool) "from the future" false (ok 60_001)
+
+let test_abort_rst_is_validated () =
+  (* End-to-end: abort sends a RST at snd_nxt = rcv_nxt of the peer,
+     which the peer accepts; the challenge path is counted when the
+     sequence is merely in-window (exercised via the chaos fault layer
+     elsewhere, so here we pin the accept path + state transition). *)
+  let engine = Sim.Engine.create () in
+  let c = conn engine () in
+  let a = Tcp.Conn.sock_a c and b = Tcp.Conn.sock_b c in
+  Tcp.Socket.send a (payload 1000);
+  Sim.Engine.run engine;
+  Tcp.Socket.abort a;
+  Sim.Engine.run engine;
+  Alcotest.(check string) "aborter closed" "closed" (Tcp.Socket.state_string a);
+  Alcotest.(check string) "peer closed by valid RST" "closed"
+    (Tcp.Socket.state_string b)
+
+(* QCheck: all three decision procedures are invariant under a uniform
+   2^32 sequence shift — serial arithmetic has no origin. *)
+let prop_rfc5961_shift_invariant =
+  QCheck.Test.make ~count:500 ~name:"rfc5961 decisions shift-invariant"
+    QCheck.(
+      quad (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF) (int_bound 65535)
+        (int_bound 0xFFFFFFFF))
+    (fun (base, delta, wnd, shift) ->
+      let s x = s32 x and sh x = s32 (x + shift) in
+      let rst_eq =
+        Tcp.Rfc5961.check_rst ~rcv_nxt:(s base) ~rcv_wnd:wnd ~seq:(s (base + delta))
+        = Tcp.Rfc5961.check_rst ~rcv_nxt:(sh base) ~rcv_wnd:wnd
+            ~seq:(sh (base + delta))
+      in
+      let nxt = base + (delta land 0xFFFF) in
+      let ack_eq =
+        Tcp.Rfc5961.ack_acceptable ~snd_una:(s base) ~snd_nxt:(s nxt) ~max_wnd:wnd
+          ~ack:(s (base + delta))
+        = Tcp.Rfc5961.ack_acceptable ~snd_una:(sh base) ~snd_nxt:(sh nxt)
+            ~max_wnd:wnd
+            ~ack:(sh (base + delta))
+      in
+      rst_eq && ack_eq)
+
+let suite =
+  [
+    ( "realism.options",
+      [
+        Alcotest.test_case "SACK block round-trip" `Quick test_sack_option_roundtrip;
+        Alcotest.test_case "SACK blocks wrap at 2^32" `Quick
+          test_sack_option_wraps_32bit;
+        Alcotest.test_case "scale/unscale quantization" `Quick
+          test_scale_window_props;
+      ] );
+    ( "realism.wscale",
+      [
+        Alcotest.test_case "exact peers stay exact" `Quick
+          test_wscale_exact_peers_stay_exact;
+        Alcotest.test_case "auto binds buffer shift" `Quick
+          test_wscale_auto_binds_buffer_shift;
+        Alcotest.test_case "mixed falls back to shift 0" `Quick
+          test_wscale_mixed_falls_back_to_zero;
+        Alcotest.test_case "transfer integrity across modes" `Quick
+          test_wscale_transfer_integrity;
+      ] );
+    ( "realism.sack",
+      [
+        Alcotest.test_case "SACK retransmits only holes" `Quick
+          test_sack_retransmits_only_holes;
+        Alcotest.test_case "budget-0 recovery still progresses" `Quick
+          test_retransmit_budget_zero_makes_progress;
+      ] );
+    ( "realism.persist",
+      [
+        Alcotest.test_case "deadlock without persist" `Quick
+          test_zero_window_deadlocks_without_persist;
+        Alcotest.test_case "persist probe revives the stall" `Quick
+          test_zero_window_recovers_with_persist;
+        Alcotest.test_case "probes consume no sequence space" `Quick
+          test_persist_probe_consumes_no_sequence_space;
+      ] );
+    ( "realism.rfc5961",
+      [
+        Alcotest.test_case "RST window validation" `Quick test_rst_validation;
+        Alcotest.test_case "SYN always challenged" `Quick test_syn_always_challenged;
+        Alcotest.test_case "ACK acceptability" `Quick test_ack_acceptability;
+        Alcotest.test_case "abort RST accepted by peer" `Quick
+          test_abort_rst_is_validated;
+        QCheck_alcotest.to_alcotest prop_rfc5961_shift_invariant;
+      ] );
+  ]

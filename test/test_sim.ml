@@ -550,6 +550,8 @@ let trace_sample_events : Sim.Trace.event list =
     Sim.Trace.Delack_fire { pending = 2 };
     Sim.Trace.Delack_cancel { pending = 1 };
     Sim.Trace.Fin_received { rcv_nxt = 4242 };
+    Sim.Trace.Segment_challenged { seq = 9999; kind = "rst" };
+    Sim.Trace.Probe_sent { seq = 1447; backoff = 3 };
     Sim.Trace.Share_ingested { unacked_total = 3; unread_total = 7; ackdelay_total = 1 };
     Sim.Trace.Estimate_computed
       { latency_us = Some 123.456; throughput = 60000.25; window_us = 1000.0 };
@@ -717,6 +719,10 @@ let trace_every_event : Sim.Trace.event list =
     Sim.Trace.Segment_dropped { seq = 88; len = 64; reason = "blackout" };
     Sim.Trace.Segment_reordered { seq = 7; delay_us = 123.456 };
     Sim.Trace.Segment_duplicated { seq = 9 };
+    Sim.Trace.Segment_challenged { seq = 9999; kind = "rst" };
+    Sim.Trace.Segment_challenged { seq = -1; kind = "syn" };
+    Sim.Trace.Probe_sent { seq = 1447; backoff = 1 };
+    Sim.Trace.Probe_sent { seq = 0x1_0000_0003; backoff = 10 };
     Sim.Trace.Share_corrupted { seq = 11 };
     Sim.Trace.Share_rejected { reason = "w_us out of range" };
     Sim.Trace.Share_ingested { unacked_total = 3; unread_total = 7; ackdelay_total = 1 };
@@ -833,6 +839,10 @@ let prop_trace_binary_roundtrip =
             (let* s = seq and* delay_us = fin.gen in
              return (Sim.Trace.Segment_reordered { seq = s; delay_us }));
             (let* s = seq in return (Sim.Trace.Segment_duplicated { seq = s }));
+            (let* s = seq and* kind = oneofl [ "rst"; "syn"; "ack" ] in
+             return (Sim.Trace.Segment_challenged { seq = s; kind }));
+            (let* s = seq and* backoff = slot in
+             return (Sim.Trace.Probe_sent { seq = s; backoff }));
             (let* s = seq in return (Sim.Trace.Share_corrupted { seq = s }));
             (let* reason = small_string in
              return (Sim.Trace.Share_rejected { reason }));
