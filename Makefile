@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke alloc-gate bench-par bench-rawspeed clean
+.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke alloc-gate bench-par bench-rawspeed clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke alloc-gate
+check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke alloc-gate
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -111,6 +111,43 @@ convert-smoke:
 	@cmp -s _smoke/conv.bin _smoke/conv-rt.bin \
 	  || { echo "convert-smoke: binary did not survive the JSONL round-trip"; exit 1; }
 	@echo "convert-smoke: OK"
+
+# Decision-ledger / SLO-observatory smoke: trace a per-conn dynamic
+# fleet, rebuild the per-tenant SLO tables and the causal chain of the
+# first mode flip from the file alone, render the SLO-panel report,
+# and confirm the no-decisions / no-SLO error paths exit nonzero.
+explain-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	printf '%s\n' \
+	  'fleet seed=11 warmup_ms=10 duration_ms=40 scope=per_conn batching=dynamic' \
+	  'tenant name=bare conns=2 rate_rps=4000 batching=dynamic' \
+	  'tenant name=vm rate_rps=2000 mix=small cpu_mult=4 batching=dynamic' \
+	  > _smoke/explain.scn
+	dune exec bin/e2ebench.exe -- scenario _smoke/explain.scn \
+	  --trace-out _smoke/explain-trace.bin > /dev/null
+	dune exec bin/e2ebench.exe -- slo _smoke/explain-trace.bin \
+	  | tee _smoke/explain-slo.out
+	@grep -q 'bare/client' _smoke/explain-slo.out || { echo "explain-smoke: no bare SLO row"; exit 1; }
+	@grep -q 'vm/client' _smoke/explain-slo.out || { echo "explain-smoke: no vm SLO row"; exit 1; }
+	dune exec bin/e2ebench.exe -- explain _smoke/explain-trace.bin --flip 0 \
+	  | tee _smoke/explain-flip.out
+	@grep -q 'estimates :' _smoke/explain-flip.out || { echo "explain-smoke: no estimates in chain"; exit 1; }
+	@grep -q 'action    :' _smoke/explain-flip.out || { echo "explain-smoke: no action in chain"; exit 1; }
+	dune exec bin/e2ebench.exe -- explain _smoke/explain-trace.bin --tenant vm \
+	  > /dev/null
+	dune exec bin/e2ebench.exe -- report _smoke/explain-trace.bin \
+	  --out _smoke/slo-report.html
+	@grep -q 'SLO attainment' _smoke/slo-report.html || { echo "explain-smoke: report lacks SLO panel"; exit 1; }
+	# error paths: a decision-free trace must fail explain, and a
+	# trace without declared SLOs must fail slo — both with exit 1
+	dune exec bin/e2ebench.exe -- run --rate 20 --nagle off \
+	  --warmup-ms 5 --duration-ms 10 --trace-out _smoke/explain-static.jsonl > /dev/null
+	@if dune exec bin/e2ebench.exe -- explain _smoke/explain-static.jsonl \
+	  > /dev/null 2>&1; then echo "explain-smoke: explain accepted a decision-free trace"; exit 1; fi
+	@if dune exec bin/e2ebench.exe -- slo /dev/null > /dev/null 2>&1; \
+	  then echo "explain-smoke: slo accepted an empty trace"; exit 1; fi
+	@echo "explain-smoke: OK"
 
 # Zero-allocation gate: every guarded hot-path probe (disabled trace
 # emission, event-heap push/take, idle engine polling, delayed-ACK

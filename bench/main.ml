@@ -1038,6 +1038,8 @@ let alloc () =
   let idle_engine = Sim.Engine.create () in
   let delack_engine = Sim.Engine.create () in
   let delack = Tcp.Delayed_ack.create delack_engine ~send_ack:ignore () in
+  let histo = Sim.Histo.create () in
+  let ledger_off = E2e.Ledger.create ~trace:trace_off ~group:"bench" in
   let probes =
     [
       ( "trace.emitf_guarded_disabled",
@@ -1061,6 +1063,9 @@ let alloc () =
           ignore (Sim.Event_heap.take heap) );
       ("engine.run_until_idle", fun () -> Sim.Engine.run_until idle_engine 0);
       ("delack.on_ack_sent_idle", fun () -> Tcp.Delayed_ack.on_ack_sent delack);
+      ("histo.add", fun () -> Sim.Histo.add histo 123.456);
+      ( "ledger.completion_disabled",
+        fun () -> E2e.Ledger.completion ledger_off ~latency:123_456 );
     ]
   in
   let results = List.map (fun (name, f) -> (name, alloc_per_op f)) probes in

@@ -855,6 +855,435 @@ let inspect_cmd =
           the estimator-residual summary from a trace file (JSONL or binary)")
     term
 
+(* {1 SLO observatory (offline)} *)
+
+(* Rebuild per-id SLO attainment and burn series from a trace file:
+   [slo_declared] breadcrumbs carry each id's target, [Request_done]
+   events its completions.  Mirrors the in-run tracker in
+   [Loadgen.Observe] — same log-bucketed histogram, same 1% error
+   budget, same sliding window — so offline tables agree with the
+   live observatory.  Per-connection trackers in per-tenant fleet
+   scopes are fed in-run without trace events, so offline rows exist
+   only for ids whose completions are traced. *)
+
+let slo_budget = 0.01
+
+type slo_agg = {
+  g_id : string;
+  mutable g_slo_us : float option;
+  g_histo : Sim.Histo.t;
+  mutable g_done_rev : (float * float) list;  (* completion us, latency us *)
+  mutable g_total : int;
+}
+
+type slo_run = {
+  sr_run : string;
+  mutable sr_order_rev : string list;
+  sr_tbl : (string, slo_agg) Hashtbl.t;
+}
+
+let slo_agg_of sr id =
+  match Hashtbl.find_opt sr.sr_tbl id with
+  | Some g -> g
+  | None ->
+    let g =
+      { g_id = id; g_slo_us = None; g_histo = Sim.Histo.create ();
+        g_done_rev = []; g_total = 0 }
+    in
+    Hashtbl.add sr.sr_tbl id g;
+    sr.sr_order_rev <- id :: sr.sr_order_rev;
+    g
+
+let slo_run_feed sr (r : Sim.Trace.record) =
+  match r.event with
+  | Sim.Trace.Message { tag = "slo_declared"; detail } -> (
+    match float_of_string_opt detail with
+    | Some slo_us when slo_us > 0.0 ->
+      (slo_agg_of sr r.id).g_slo_us <- Some slo_us
+    | Some _ | None -> ())
+  | Sim.Trace.Request_done { latency_us } ->
+    let g = slo_agg_of sr r.id in
+    Sim.Histo.add g.g_histo latency_us;
+    g.g_done_rev <- (Sim.Time.to_us r.at, latency_us) :: g.g_done_rev;
+    g.g_total <- g.g_total + 1
+  | _ -> ()
+
+(* Stream a trace into per-run SLO aggregates (first-appearance run
+   order, like [fold_runs]). *)
+let fold_slo_runs path =
+  let order_rev = ref [] in
+  let runs : (string, slo_run) Hashtbl.t = Hashtbl.create 4 in
+  match
+    Sim.Trace.fold_file path ~init:() ~f:(fun () run r ->
+        let key = Option.value run ~default:"" in
+        let sr =
+          match Hashtbl.find_opt runs key with
+          | Some sr -> sr
+          | None ->
+            let sr =
+              { sr_run = key; sr_order_rev = []; sr_tbl = Hashtbl.create 8 }
+            in
+            Hashtbl.add runs key sr;
+            order_rev := key :: !order_rev;
+            sr
+        in
+        slo_run_feed sr r)
+  with
+  | Error _ as e -> e
+  | Ok () when !order_rev = [] ->
+    Error (Printf.sprintf "%s: no trace records" path)
+  | Ok () -> Ok (List.rev_map (fun key -> Hashtbl.find runs key) !order_rev)
+
+type slo_row = {
+  sl_id : string;
+  sl_slo_us : float;
+  sl_total : int;
+  sl_violations : int;
+  sl_attainment : float;
+  sl_p50_us : float option;
+  sl_p95_us : float option;
+  sl_p99_us : float option;
+  sl_max_burn : float;
+  sl_final_burn : float;
+  sl_first_burn_us : float option;
+}
+
+(* Index of the first element of [a.(0..n-1)] strictly after [bound]
+   (same binary search the in-run tracker uses). *)
+let first_after_arr a n bound =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > bound then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Replay the burn series over the completion stream: at each
+   completion time t, burn = (violation fraction of the window
+   (t - w, t]) / budget. *)
+let slo_row_of ~burn_window_us (g : slo_agg) slo_us =
+  let pairs = Array.of_list (List.rev g.g_done_rev) in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) pairs;
+  let n = Array.length pairs in
+  let at = Array.map fst pairs in
+  (* viol.(i) = violations among the first i completions *)
+  let viol = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    viol.(i + 1) <- viol.(i) + (if snd pairs.(i) > slo_us then 1 else 0)
+  done;
+  let max_burn = ref 0.0 and final_burn = ref 0.0 and first = ref None in
+  for i = 0 to n - 1 do
+    let upto = at.(i) in
+    let lo = first_after_arr at n (upto -. burn_window_us) in
+    let total = i + 1 - lo in
+    let burn =
+      if total = 0 then 0.0
+      else
+        float_of_int (viol.(i + 1) - viol.(lo))
+        /. float_of_int total /. slo_budget
+    in
+    if burn > !max_burn then max_burn := burn;
+    final_burn := burn;
+    if burn > 1.0 && !first = None then first := Some upto
+  done;
+  {
+    sl_id = g.g_id;
+    sl_slo_us = slo_us;
+    sl_total = n;
+    sl_violations = viol.(n);
+    sl_attainment =
+      (if n = 0 then 1.0
+       else 1.0 -. (float_of_int viol.(n) /. float_of_int n));
+    sl_p50_us = Sim.Histo.quantile g.g_histo 50.0;
+    sl_p95_us = Sim.Histo.quantile g.g_histo 95.0;
+    sl_p99_us = Sim.Histo.quantile g.g_histo 99.0;
+    sl_max_burn = !max_burn;
+    sl_final_burn = !final_burn;
+    sl_first_burn_us = !first;
+  }
+
+(* Rows for the ids that both declared an SLO and traced completions,
+   plus the count of declared-only ids (in-run per-connection
+   trackers). *)
+let slo_rows ~burn_window_us sr =
+  let ids = List.rev sr.sr_order_rev in
+  let rows =
+    List.filter_map
+      (fun id ->
+        let g = Hashtbl.find sr.sr_tbl id in
+        match g.g_slo_us with
+        | Some slo_us when g.g_total > 0 ->
+          Some (slo_row_of ~burn_window_us g slo_us)
+        | Some _ | None -> None)
+      ids
+  in
+  let declared_only =
+    List.length
+      (List.filter
+         (fun id ->
+           let g = Hashtbl.find sr.sr_tbl id in
+           g.g_slo_us <> None && g.g_total = 0)
+         ids)
+  in
+  (rows, declared_only)
+
+let fopt = function Some v -> Printf.sprintf "%8.1fus" v | None -> "         -"
+
+let print_slo_run ~burn_window_us sr =
+  let rows, declared_only = slo_rows ~burn_window_us sr in
+  pf "run %s: SLO attainment (burn window %.0fus, budget %.0f%%)\n"
+    (if sr.sr_run = "" then "-" else sr.sr_run)
+    burn_window_us (100.0 *. slo_budget);
+  pf "  %-16s %10s %8s %6s %8s %10s %10s %10s %9s %9s %12s\n" "id" "slo" "n"
+    "viol" "attain" "p50" "p95" "p99" "max-burn" "end-burn" "first-burn";
+  List.iter
+    (fun r ->
+      pf "  %-16s %8.1fus %8d %6d %7.2f%% %s %s %s %9.2f %9.2f %s\n" r.sl_id
+        r.sl_slo_us r.sl_total r.sl_violations
+        (100.0 *. r.sl_attainment)
+        (fopt r.sl_p50_us) (fopt r.sl_p95_us) (fopt r.sl_p99_us) r.sl_max_burn
+        r.sl_final_burn
+        (match r.sl_first_burn_us with
+        | Some us -> Printf.sprintf "%10.1fus" us
+        | None -> "           -"))
+    rows;
+  if declared_only > 0 then
+    pf "  (%d declared id%s without traced completions: per-connection \
+        trackers report in-run only)\n"
+      declared_only
+      (if declared_only = 1 then "" else "s");
+  rows
+
+let burn_window_us_arg =
+  let doc =
+    "Sliding burn-rate window in microseconds (matches the in-run \
+     observatory default)."
+  in
+  Arg.(value & opt float 10_000.0 & info [ "burn-window-us" ] ~docv:"US" ~doc)
+
+let slo_cmd =
+  let file_arg =
+    let doc = "Trace file produced by --trace-out (JSONL or binary)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let action file burn_window_us =
+    if burn_window_us <= 0.0 then fail "--burn-window-us must be positive"
+    else
+      match fold_slo_runs file with
+      | Error msg -> fail "%s" msg
+      | Ok runs ->
+        let printed =
+          List.concat_map (print_slo_run ~burn_window_us) runs
+        in
+        let declared =
+          List.exists
+            (fun sr ->
+              Hashtbl.fold (fun _ g acc -> acc || g.g_slo_us <> None)
+                sr.sr_tbl false)
+            runs
+        in
+        if not declared then
+          fail
+            "%s declares no SLOs (trace written without observability, or \
+             by an older version?)"
+            file
+        else if printed = [] then
+          fail "%s has no traced completions for any declared SLO" file
+        else `Ok ()
+  in
+  let term = Term.(ret (const action $ file_arg $ burn_window_us_arg)) in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Print per-tenant SLO attainment, tail percentiles and error-budget \
+          burn rates rebuilt from a trace file (JSONL or binary)")
+    term
+
+(* {1 explain} *)
+
+(* Reconstruct the control plane's decision ledger from a trace:
+   [Decision_made] records carry both arms' estimates and the chosen
+   action, [Decision_outcome] the realized latency of each tenure.
+   A $(b,flip) is a decision whose action differs from the mode in
+   force; [explain] prints its full causal chain. *)
+
+type exp_group = {
+  x_id : string;
+  mutable x_decisions_rev : Sim.Trace.record list;
+  x_outcomes : (int, Sim.Trace.record) Hashtbl.t;
+}
+
+let fold_decisions path =
+  let order_rev = ref [] in
+  let groups : (string, exp_group) Hashtbl.t = Hashtbl.create 8 in
+  let group id =
+    match Hashtbl.find_opt groups id with
+    | Some g -> g
+    | None ->
+      let g =
+        { x_id = id; x_decisions_rev = []; x_outcomes = Hashtbl.create 16 }
+      in
+      Hashtbl.add groups id g;
+      order_rev := id :: !order_rev;
+      g
+  in
+  match
+    Sim.Trace.fold_file path ~init:() ~f:(fun () _run r ->
+        match r.event with
+        | Sim.Trace.Decision_made _ ->
+          let g = group r.id in
+          g.x_decisions_rev <- r :: g.x_decisions_rev
+        | Sim.Trace.Decision_outcome { decision; _ } ->
+          Hashtbl.replace (group r.id).x_outcomes decision r
+        | _ -> ())
+  with
+  | Error _ as e -> e
+  | Ok () -> Ok (List.rev_map (fun id -> Hashtbl.find groups id) !order_rev)
+
+let arm_str = function
+  | Some us -> Printf.sprintf "%.1fus" us
+  | None -> "unsampled"
+
+let print_flip ~flip_no (g : exp_group) (r : Sim.Trace.record) =
+  match r.event with
+  | Sim.Trace.Decision_made
+      { decision; on_us; off_us; mode; action; reason; frozen; stale_us } ->
+    pf "flip #%d at %s on %s (decision #%d)\n" flip_no
+      (Sim.Time.to_string r.at) g.x_id decision;
+    pf "  estimates : on %s | off %s\n" (arm_str on_us) (arm_str off_us);
+    pf "  reason    : %s%s%s\n" reason
+      (if frozen then " [FROZEN]" else "")
+      (if stale_us < 0.0 then " (no remote share yet)"
+       else Printf.sprintf " (freshest share %.1fus old)" stale_us);
+    pf "  action    : %s -> %s\n" mode action;
+    let outcome_of seq =
+      match Hashtbl.find_opt g.x_outcomes seq with
+      | Some { event = Sim.Trace.Decision_outcome { mean_us; p99_us; n; _ }; _ }
+        when n > 0 ->
+        Some (mean_us, p99_us, n)
+      | _ -> None
+    in
+    let this = outcome_of decision and prev = outcome_of (decision - 1) in
+    (match this with
+    | Some (mean, p99, n) ->
+      pf "  outcome   : mean %.1fus p99 %.1fus over %d requests\n" mean p99 n
+    | None ->
+      if Hashtbl.mem g.x_outcomes decision then
+        pf "  outcome   : tenure saw no completions\n"
+      else pf "  outcome   : open (run ended before the next decision)\n");
+    (match prev with
+    | Some (mean, p99, n) ->
+      pf "  previous  : mean %.1fus p99 %.1fus over %d requests (decision \
+          #%d's tenure)\n"
+        mean p99 n (decision - 1)
+    | None -> ());
+    (match (this, prev) with
+    | Some (mean, _, _), Some (pmean, _, _) ->
+      let d = mean -. pmean in
+      pf "  verdict   : %s mean by %.1fus (%+.1f%%)\n"
+        (if d < 0.0 then "improved" else "regressed")
+        (Float.abs d)
+        (if pmean > 0.0 then 100.0 *. d /. pmean else 0.0)
+    | _ -> pf "  verdict   : no before/after pair to judge\n")
+  | _ -> assert false
+
+let explain_cmd =
+  let file_arg =
+    let doc = "Trace file produced by --trace-out (JSONL or binary)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let conn_arg =
+    let doc =
+      "Restrict to the control group $(docv) (a group id as traced: \
+       \"run\", \"fleet\", a tenant name, or a \"tenant/c0\" connection \
+       label)."
+    in
+    Arg.(value & opt (some string) None & info [ "conn" ] ~docv:"ID" ~doc)
+  in
+  let tenant_arg =
+    let doc = "Restrict to tenant $(docv)'s control groups." in
+    Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"T" ~doc)
+  in
+  let flip_arg =
+    let doc = "Explain only flip number $(docv) (0-based, in trace order)." in
+    Arg.(value & opt (some int) None & info [ "flip" ] ~docv:"N" ~doc)
+  in
+  let action file conn tenant flip =
+    match (conn, tenant) with
+    | Some _, Some _ -> fail "--conn and --tenant are mutually exclusive"
+    | _ -> (
+      match fold_decisions file with
+      | Error msg -> fail "%s" msg
+      | Ok [] ->
+        fail
+          "%s records no control decisions (trace a dynamic or aimd run \
+           with --trace-out, or was the file written by an older version?)"
+          file
+      | Ok groups ->
+        let keep (g : exp_group) =
+          match (conn, tenant) with
+          | Some id, _ -> String.equal g.x_id id
+          | _, Some t ->
+            String.equal g.x_id t
+            || Sim.Trace.tenant_of_id g.x_id = Some t
+          | None, None -> true
+        in
+        let kept = List.filter keep groups in
+        if kept = [] then
+          fail "no control group matches (groups in this trace: %s)"
+            (String.concat ", " (List.map (fun g -> g.x_id) groups))
+        else begin
+          let decisions =
+            List.concat_map
+              (fun g -> List.rev_map (fun r -> (g, r)) g.x_decisions_rev)
+              kept
+          in
+          let flips =
+            List.filter
+              (fun ((_, r) : exp_group * Sim.Trace.record) ->
+                match r.event with
+                | Sim.Trace.Decision_made { mode; action; _ } ->
+                  not (String.equal mode action)
+                | _ -> false)
+              decisions
+          in
+          pf "%s: %d control group%s, %d decisions, %d flips\n" file
+            (List.length kept)
+            (if List.length kept = 1 then "" else "s")
+            (List.length decisions) (List.length flips);
+          match flip with
+          | None ->
+            if flips = [] then
+              pf "no mode flips: every decision kept the mode in force\n";
+            List.iteri
+              (fun i (g, r) ->
+                if i > 0 then pf "\n";
+                print_flip ~flip_no:i g r)
+              flips;
+            `Ok ()
+          | Some n ->
+            if n < 0 || n >= List.length flips then
+              fail "flip %d out of range (%d flip%s in selection)" n
+                (List.length flips)
+                (if List.length flips = 1 then "" else "s")
+            else begin
+              let g, r = List.nth flips n in
+              print_flip ~flip_no:n g r;
+              `Ok ()
+            end
+        end)
+  in
+  let term =
+    Term.(ret (const action $ file_arg $ conn_arg $ tenant_arg $ flip_arg))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct the causal chain of control-plane mode flips from a \
+          trace file: per-arm estimates, the chosen action and why, and the \
+          realized outcome of each tenure versus its predecessor")
+    term
+
 (* {1 report} *)
 
 (* One dataset per (file, run label): spans + audit verdicts + request
@@ -944,15 +1373,18 @@ let audit_table_rows ds =
       | _ -> None)
     ds.ds_audits
 
+(* Nearest-rank end-to-end percentile over a dataset's spans (0.0 when
+   empty), shared by the summary table and the --gate check. *)
+let e2e_percentile spans q =
+  let a = Array.of_list (List.map Sim.Span.latency_us spans) in
+  Array.sort Stdlib.compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else a.(Stdlib.max 0 (Stdlib.min (n - 1)
+                          (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
 let summary_table datasets =
-  let pct spans q =
-    let a = Array.of_list (List.map Sim.Span.latency_us spans) in
-    Array.sort Stdlib.compare a;
-    let n = Array.length a in
-    if n = 0 then 0.0
-    else a.(Stdlib.max 0 (Stdlib.min (n - 1)
-                            (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
-  in
+  let pct = e2e_percentile in
   Report.Html.table
     ~header:[ "run"; "requests"; "spans"; "incomplete"; "e2e p50"; "e2e p95"; "e2e p99" ]
     (List.map
@@ -967,10 +1399,60 @@ let summary_table datasets =
            Printf.sprintf "%.1fus" (pct spans 0.99) ])
        datasets)
 
-let report_html datasets =
+(* Per-file SLO panel: one table per run that declared SLOs, rebuilt
+   from the same trace the datasets came from. *)
+let slo_panel_sections slo_tables =
+  String.concat ""
+    (List.concat_map
+       (fun (file, runs) ->
+         List.filter_map
+           (fun (sr : slo_run) ->
+             let rows, _ = slo_rows ~burn_window_us:10_000.0 sr in
+             if rows = [] then None
+             else
+               let label =
+                 if sr.sr_run = "" then Filename.basename file
+                 else
+                   Printf.sprintf "%s:%s" (Filename.basename file) sr.sr_run
+               in
+               let cell = function
+                 | Some v -> Printf.sprintf "%.1fus" v
+                 | None -> "-"
+               in
+               Some
+                 (Report.Html.section
+                    ~title:(Printf.sprintf "SLO attainment — %s" label)
+                    (Report.Html.paragraph
+                       "Histogram-derived tail percentiles against each \
+                        tenant's declared SLO; burn is the sliding-window \
+                        violation rate over a 1% error budget (window \
+                        10000us)."
+                    ^ Report.Html.table
+                        ~header:
+                          [ "id"; "slo"; "requests"; "violations"; "attainment";
+                            "p50"; "p95"; "p99"; "max burn"; "first burn" ]
+                        (List.map
+                           (fun r ->
+                             [ r.sl_id;
+                               Printf.sprintf "%.1fus" r.sl_slo_us;
+                               string_of_int r.sl_total;
+                               string_of_int r.sl_violations;
+                               Printf.sprintf "%.2f%%" (100.0 *. r.sl_attainment);
+                               cell r.sl_p50_us; cell r.sl_p95_us;
+                               cell r.sl_p99_us;
+                               Printf.sprintf "%.2f" r.sl_max_burn;
+                               (match r.sl_first_burn_us with
+                               | Some us -> Printf.sprintf "%.1fus" us
+                               | None -> "-") ])
+                           rows))))
+           runs)
+       slo_tables)
+
+let report_html ~slo_tables datasets =
   let bars = bars_for_all datasets in
   let body =
     Report.Html.section ~title:"Runs" (summary_table datasets)
+    ^ slo_panel_sections slo_tables
     ^ Report.Html.section ~title:"Per-phase latency breakdown"
         (Report.Html.paragraph
            "Each bar decomposes the given percentile of end-to-end request \
@@ -1012,13 +1494,61 @@ let report_ascii datasets =
     datasets;
   Buffer.contents b
 
+(* --gate PHASE:P:TOL_US regression check: PHASE is a span phase name
+   or "e2e", P one of p50/p95/p99.  The positional FILE is the
+   candidate, --compare the baseline; the gate trips when the
+   candidate's percentile exceeds the baseline's by more than TOL_US. *)
+type gate = { gt_phase : string; gt_pct : string; gt_tol_us : float }
+
+let parse_gate spec =
+  match String.split_on_char ':' spec with
+  | [ phase; pct; tol ] -> (
+    let phase = String.lowercase_ascii phase in
+    let pct = String.lowercase_ascii pct in
+    let phase_ok =
+      String.equal phase "e2e"
+      || List.exists
+           (fun ph -> String.equal (Sim.Span.phase_name ph) phase)
+           Sim.Span.all_phases
+    in
+    if not phase_ok then
+      Error
+        (Printf.sprintf "unknown gate phase %S (e2e or one of: %s)" phase
+           (String.concat ", "
+              (List.map Sim.Span.phase_name Sim.Span.all_phases)))
+    else if not (List.mem pct [ "p50"; "p95"; "p99" ]) then
+      Error (Printf.sprintf "gate percentile must be p50/p95/p99, not %S" pct)
+    else
+      match float_of_string_opt tol with
+      | Some t when t >= 0.0 -> Ok { gt_phase = phase; gt_pct = pct; gt_tol_us = t }
+      | Some _ | None ->
+        Error (Printf.sprintf "gate tolerance must be a non-negative float, not %S" tol))
+  | _ -> Error (Printf.sprintf "bad gate spec %S (want PHASE:P:TOL_US)" spec)
+
+let gate_value g ds =
+  let q = match g.gt_pct with "p50" -> 0.50 | "p95" -> 0.95 | _ -> 0.99 in
+  if String.equal g.gt_phase "e2e" then Some (e2e_percentile ds.ds_spans q)
+  else
+    let pick (r : Sim.Span.row) =
+      match g.gt_pct with
+      | "p50" -> r.p50_us
+      | "p95" -> r.p95_us
+      | _ -> r.p99_us
+    in
+    List.find_map
+      (fun (r : Sim.Span.row) ->
+        if String.equal (Sim.Span.phase_name r.phase) g.gt_phase then
+          Some (pick r)
+        else None)
+      (Sim.Span.breakdown ds.ds_spans)
+
 let report_cmd =
   let file_arg =
     let doc = "Trace file produced by --trace-out (JSONL or binary)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let compare_arg =
-    let doc = "Second trace to compare side by side." in
+    let doc = "Second trace to compare side by side (the --gate baseline)." in
     Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
   in
   let out_arg =
@@ -1029,48 +1559,112 @@ let report_cmd =
     let doc = "Print an ASCII rendering to stdout instead of writing HTML." in
     Arg.(value & flag & info [ "ascii" ] ~doc)
   in
-  let action file compare out ascii =
-    let ( let* ) = Result.bind in
-    let datasets =
-      let* a = datasets_of_file file in
-      match compare with
-      | None -> Ok a
-      | Some b ->
-        let* b = datasets_of_file b in
-        Ok (a @ b)
+  let gate_arg =
+    let doc =
+      "Regression gate $(i,PHASE):$(i,P):$(i,TOL_US) (requires --compare): \
+       exit nonzero when $(i,FILE)'s percentile $(i,P) of $(i,PHASE) \
+       (\"e2e\" or a span phase) exceeds the --compare baseline's by more \
+       than $(i,TOL_US) microseconds."
     in
-    match datasets with
+    Arg.(value & opt (some string) None & info [ "gate" ] ~docv:"SPEC" ~doc)
+  in
+  let action file compare out ascii gate =
+    let ( let* ) = Result.bind in
+    let inputs =
+      let* a = datasets_of_file file in
+      let* b =
+        match compare with
+        | None -> Ok None
+        | Some bf ->
+          let* db = datasets_of_file bf in
+          Ok (Some (bf, db))
+      in
+      let* gate =
+        match gate with
+        | None -> Ok None
+        | Some spec -> Result.map Option.some (parse_gate spec)
+      in
+      Ok (a, b, gate)
+    in
+    match inputs with
     | Error e -> fail "%s" e
-    | Ok [] -> fail "no datasets"
-    | Ok datasets ->
+    | Ok ([], _, _) -> fail "no datasets"
+    | Ok ((a_ds :: _ as a), b, gate) -> (
+      let datasets = a @ (match b with None -> [] | Some (_, db) -> db) in
       if List.for_all (fun ds -> ds.ds_spans = []) datasets then
         fail
           "no complete spans in input (trace ring too small, or written by an \
            older version?)"
-      else if ascii then begin
-        print_string (report_ascii datasets);
-        `Ok ()
-      end
-      else begin
-        let html = report_html datasets in
-        if not (Report.Html.well_formed html) then
-          fail "internal error: generated HTML is not well-formed"
-        else begin
-          with_out out (fun oc -> output_string oc html);
-          pf "report              : %d datasets, %d bytes -> %s\n"
-            (List.length datasets) (String.length html) out;
-          `Ok ()
-        end
-      end
+      else
+        let gated =
+          match gate with
+          | None -> Ok ()
+          | Some g -> (
+            match b with
+            | None -> Error "--gate requires --compare"
+            | Some (_, []) | Some (_, { ds_spans = []; _ } :: _) ->
+              Error "--gate baseline has no complete spans"
+            | Some (bfile, b_ds :: _) -> (
+              match (gate_value g a_ds, gate_value g b_ds) with
+              | Some cand, Some base ->
+                let delta = cand -. base in
+                let verdict = delta <= g.gt_tol_us in
+                pf "gate %s:%s       : candidate %.1fus baseline %.1fus \
+                    delta %+.1fus tol %.1fus -> %s\n"
+                  g.gt_phase g.gt_pct cand base delta g.gt_tol_us
+                  (if verdict then "PASS" else "FAIL");
+                if verdict then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "gate %s:%s failed: %s regressed %.1fus over %s \
+                        (tolerance %.1fus)"
+                       g.gt_phase g.gt_pct file delta bfile g.gt_tol_us)
+              | _ ->
+                Error
+                  (Printf.sprintf "gate phase %s has no spans to judge"
+                     g.gt_phase)))
+        in
+        match gated with
+        | Error e -> fail "%s" e
+        | Ok () ->
+          if ascii then begin
+            print_string (report_ascii datasets);
+            `Ok ()
+          end
+          else begin
+            let slo_tables =
+              List.filter_map
+                (fun f ->
+                  match fold_slo_runs f with
+                  | Ok runs -> Some (f, runs)
+                  | Error _ -> None)
+                (file :: (match b with None -> [] | Some (bf, _) -> [ bf ]))
+            in
+            let html = report_html ~slo_tables datasets in
+            if not (Report.Html.well_formed html) then
+              fail "internal error: generated HTML is not well-formed"
+            else begin
+              with_out out (fun oc -> output_string oc html);
+              pf "report              : %d datasets, %d bytes -> %s\n"
+                (List.length datasets) (String.length html) out;
+              `Ok ()
+            end
+          end)
   in
   let term =
-    Term.(ret (const action $ file_arg $ compare_arg $ out_arg $ ascii_arg))
+    Term.(
+      ret
+        (const action $ file_arg $ compare_arg $ out_arg $ ascii_arg
+       $ gate_arg))
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Render per-phase latency breakdowns and Little's-law audits from \
-          trace files as a self-contained HTML page (or ASCII with --ascii)")
+         "Render per-phase latency breakdowns, per-tenant SLO attainment and \
+          Little's-law audits from trace files as a self-contained HTML page \
+          (or ASCII with --ascii), optionally gating on a phase-percentile \
+          regression with --gate")
     term
 
 (* {1 convert} *)
@@ -1362,4 +1956,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; sweep_cmd; chaos_cmd; model_cmd; trace_cmd; inspect_cmd;
-            report_cmd; convert_cmd; scenario_cmd ]))
+            explain_cmd; slo_cmd; report_cmd; convert_cmd; scenario_cmd ]))

@@ -37,9 +37,11 @@ type summary = {
 }
 
 val summary_of_pairs : pair list -> summary option
-(** Exact nearest-rank percentiles of [|est - truth|]; [None] when
-    empty.  Exposed so [e2ebench inspect] can summarise pairs
-    reconstructed from a JSONL trace. *)
+(** Percentiles of [|est - truth|]; [None] when empty (never NaN).
+    Exact nearest-rank up to 4096 pairs; beyond that a log-bucketed
+    {!Sim.Histo} keeps the cost O(n) with each percentile within one
+    bucket width (~2%).  Exposed so [e2ebench inspect] can summarise
+    pairs reconstructed from a JSONL trace. *)
 
 val summary : t -> summary option
 val pp_summary : Format.formatter -> summary -> unit

@@ -57,30 +57,67 @@ let smoothed t m : Policy.outcome option =
 let force t m = t.forced <- m
 let forced t = t.forced
 
-let decide_free t =
-  let other = flip t.current in
-  let next =
-    if (arm t other).samples < t.min_observations then
-      (* The other arm is under-sampled: explore it so exploitation has
-         something to compare against. *)
-      other
-    else if Sim.Rng.float t.rng < t.epsilon then other
-    else begin
-      match (smoothed t t.current, smoothed t other) with
-      | Some cur, Some oth -> if Policy.better t.policy oth cur then other else t.current
-      | Some _, None -> t.current
-      | None, Some _ -> other
-      | None, None -> t.current
-    end
-  in
-  t.current <- next;
-  next
+type reason = Explore | Exploit | Undersampled | Forced
 
-let decide t =
+let reason_to_string = function
+  | Explore -> "explore"
+  | Exploit -> "exploit"
+  | Undersampled -> "undersampled"
+  | Forced -> "forced"
+
+type explanation = {
+  before : mode;
+  chosen : mode;
+  on_us : float option;
+  off_us : float option;
+  why : reason;
+}
+
+(* Must consume the rng byte-identically to the pre-explanation
+   [decide_free]: one [Rng.float] draw iff the other arm has enough
+   samples, and none at all on the forced path. *)
+let decide_explained t =
+  let before = t.current in
+  let smoothed_us m =
+    match smoothed t m with
+    | Some (o : Policy.outcome) -> Some (o.latency_ns /. 1e3)
+    | None -> None
+  in
+  let explain chosen why =
+    {
+      before;
+      chosen;
+      on_us = smoothed_us Batch_on;
+      off_us = smoothed_us Batch_off;
+      why;
+    }
+  in
   match t.forced with
   | Some m ->
-    (* Degraded mode: pin the forced mode without consuming the rng, so
-       exploration resumes exactly where it left off once released. *)
-    t.current <- m;
-    m
-  | None -> decide_free t
+      (* Degraded mode: pin the forced mode without consuming the rng,
+         so exploration resumes exactly where it left off once
+         released. *)
+      t.current <- m;
+      explain m Forced
+  | None ->
+      let other = flip t.current in
+      let next, why =
+        if (arm t other).samples < t.min_observations then
+          (* The other arm is under-sampled: explore it so exploitation
+             has something to compare against. *)
+          (other, Undersampled)
+        else if Sim.Rng.float t.rng < t.epsilon then (other, Explore)
+        else begin
+          match (smoothed t t.current, smoothed t other) with
+          | Some cur, Some oth ->
+              if Policy.better t.policy oth cur then (other, Exploit)
+              else (t.current, Exploit)
+          | Some _, None -> (t.current, Exploit)
+          | None, Some _ -> (other, Exploit)
+          | None, None -> (t.current, Exploit)
+        end
+      in
+      t.current <- next;
+      explain next why
+
+let decide t = (decide_explained t).chosen

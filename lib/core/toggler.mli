@@ -47,6 +47,25 @@ val decide : t -> mode
     smoothed outcome.  Updates {!mode}.  While a mode is {!force}d,
     returns it unconditionally without consuming the rng. *)
 
+type reason = Explore | Exploit | Undersampled | Forced
+
+val reason_to_string : reason -> string
+
+type explanation = {
+  before : mode;  (** mode in force when the decision was taken *)
+  chosen : mode;
+  on_us : float option;
+      (** smoothed Batch_on latency (µs) at decision time *)
+  off_us : float option;
+  why : reason;
+}
+
+val decide_explained : t -> explanation
+(** Exactly {!decide}, additionally reporting the decision's inputs
+    and which branch chose the mode.  Consumes the rng identically to
+    [decide] (which is implemented on top of it), so swapping one for
+    the other cannot perturb a seeded run. *)
+
 val force : t -> mode option -> unit
 (** Pin {!decide} to a fixed mode ([Some m]) or release it ([None]).
     Used for graceful degradation: when estimates go stale the

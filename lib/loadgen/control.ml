@@ -95,10 +95,27 @@ type t = {
   samples_rev : estimate_sample list ref;
 }
 
-let attach ~engine ~until ~rng ~fault_armed ~batching ~client_socks ~all_socks () =
+let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
+    ~all_socks () =
   let estimators = List.map Tcp.Socket.estimator client_socks in
   let aggregate_estimate ~advance at = estimate_socks ~advance client_socks ~at in
   let kick_all () = List.iter Tcp.Socket.kick all_socks in
+  (* Age (µs) of the freshest accepted remote share across the group's
+     estimators — the staleness clock the ledger records; -1 until the
+     first share arrives. *)
+  let stale_age_us at =
+    let age =
+      List.fold_left
+        (fun acc e ->
+          match E2e.Estimator.last_share_at e with
+          | Some t0 ->
+              let a = Sim.Time.to_us at -. Sim.Time.to_us t0 in
+              (match acc with None -> Some a | Some b -> Some (Stdlib.min a b))
+          | None -> acc)
+        None estimators
+    in
+    match age with None -> -1.0 | Some a -> Stdlib.max a 0.0
+  in
   let samples_rev = ref [] in
   let none = { batching; toggler = None; aimd = None; degrade = None; samples_rev } in
   match batching with
@@ -127,11 +144,25 @@ let attach ~engine ~until ~rng ~fault_armed ~batching ~client_socks ~all_socks (
     let rec tick () =
       let at = Sim.Engine.now engine in
       let agg, _ = aggregate_estimate ~advance:true at in
-      (match agg.latency_ns with
-      | Some latency_ns when agg.throughput > 0.0 ->
-        let fb = if latency_ns <= a.slo_us *. 1e3 then `Good else `Bad in
-        set_limit (limit_of_headroom (E2e.Aimd.feedback controller fb))
-      | Some _ | None -> ());
+      let before = limit_of_headroom (E2e.Aimd.limit controller) in
+      let reason =
+        match agg.latency_ns with
+        | Some latency_ns when agg.throughput > 0.0 ->
+          let fb = if latency_ns <= a.slo_us *. 1e3 then `Good else `Bad in
+          set_limit (limit_of_headroom (E2e.Aimd.feedback controller fb));
+          (match fb with `Good -> "good" | `Bad -> "bad")
+        | Some _ | None -> "hold"
+      in
+      (match ledger with
+      | Some lg ->
+        E2e.Ledger.decision lg ~at
+          ?on_us:(ns_opt_to_us agg.latency_ns)
+          ~mode:(Printf.sprintf "limit=%d" before)
+          ~action:
+            (Printf.sprintf "limit=%d"
+               (limit_of_headroom (E2e.Aimd.limit controller)))
+          ~reason ~frozen:false ~stale_us:(stale_age_us at) ()
+      | None -> ());
       if Sim.Time.compare (Sim.Time.add at a.aimd_tick) until <= 0 then
         ignore (Sim.Engine.schedule engine ~after:a.aimd_tick tick)
     in
@@ -208,7 +239,16 @@ let attach ~engine ~until ~rng ~fault_armed ~batching ~client_socks ~all_socks (
           }
           :: !samples_rev
       end;
-      set_mode (E2e.Toggler.decide toggler);
+      let expl = E2e.Toggler.decide_explained toggler in
+      set_mode expl.chosen;
+      (match ledger with
+      | Some lg ->
+        E2e.Ledger.decision lg ~at ?on_us:expl.on_us ?off_us:expl.off_us
+          ~mode:(E2e.Toggler.mode_to_string expl.before)
+          ~action:(E2e.Toggler.mode_to_string expl.chosen)
+          ~reason:(E2e.Toggler.reason_to_string expl.why)
+          ~frozen ~stale_us:(stale_age_us at) ()
+      | None -> ());
       if Sim.Time.compare (Sim.Time.add at d.tick) until <= 0 then
         ignore (Sim.Engine.schedule engine ~after:d.tick tick)
     in

@@ -71,6 +71,7 @@ val estimate_socks :
 type t
 
 val attach :
+  ?ledger:E2e.Ledger.t ->
   engine:Sim.Engine.t ->
   until:Sim.Time.t ->
   rng:Sim.Rng.t ->
@@ -85,7 +86,13 @@ val attach :
     mode switches apply to [all_socks] (both ends of every connection
     in the group).  [rng] feeds the ε-greedy exploration draws only —
     static and AIMD groups never consume it.  [fault_armed] arms the
-    staleness → degrade → fallback machinery (dynamic groups only). *)
+    staleness → degrade → fallback machinery (dynamic groups only).
+    With [ledger] set, every toggler/AIMD decision is recorded as a
+    [Decision_made] trace event (per-arm estimates, ε-branch, freeze
+    state, staleness clock); the caller feeds request completions to
+    {!E2e.Ledger.completion} so tenures close with realized
+    [Decision_outcome]s.  Ledgering only writes trace events — it
+    never perturbs the run. *)
 
 val samples : t -> estimate_sample list
 (** Tick-by-tick estimate log, oldest first (dynamic groups; empty

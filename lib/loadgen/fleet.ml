@@ -256,28 +256,80 @@ let run (cfg : config) =
           s.conns s.client_socks)
       states
   | None -> ());
+  (* Decision ledgers (one per control group) and SLO trackers (one
+     per tenant plus one per connection), created before the drivers so
+     completions are attributed from the first request on.  Group ids
+     match the control groups attached below. *)
+  let ledger_tbl : (string, E2e.Ledger.t) Hashtbl.t = Hashtbl.create 16 in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let tr = Observe.trace o in
+    let at = Sim.Engine.now engine in
+    let add group =
+      Hashtbl.replace ledger_tbl group (E2e.Ledger.create ~trace:tr ~group)
+    in
+    List.iter
+      (fun s ->
+        Observe.declare_slo o ~at ~id:(s.spec.name ^ "/client")
+          ~slo_us:s.spec.slo_us;
+        List.iter
+          (fun csock ->
+            Observe.declare_slo o ~at ~id:(Tcp.Socket.label csock)
+              ~slo_us:s.spec.slo_us)
+          s.client_socks)
+      states;
+    match cfg.scope with
+    | Global -> add "fleet"
+    | Per_tenant -> List.iter (fun s -> add s.spec.name) states
+    | Per_conn ->
+      List.iter
+        (fun s ->
+          List.iter (fun csock -> add (Tcp.Socket.label csock)) s.client_socks)
+        states);
+  let ledger_for gid = Hashtbl.find_opt ledger_tbl gid in
   (* Open-loop drivers: one independent arrival process per tenant,
-     round-robin over that tenant's connections. *)
+     round-robin over that tenant's connections.  Completion callbacks
+     are per connection so ledger tenures and per-conn SLO trackers see
+     exactly their own connection's requests. *)
   List.iter
     (fun s ->
       let client_arr = Array.of_list s.clients in
+      let conn_ids = Array.of_list (List.map Tcp.Socket.label s.client_socks) in
+      let conn_ledgers =
+        Array.map
+          (fun label ->
+            match cfg.scope with
+            | Global -> ledger_for "fleet"
+            | Per_tenant -> ledger_for s.spec.name
+            | Per_conn -> ledger_for label)
+          conn_ids
+      in
       let next_client = ref 0 in
       let tenant_req_id = s.spec.name ^ "/client" in
-      let on_complete ~latency reply =
+      let on_complete_for k ~latency reply =
         (match reply with
         | Kv.Resp.Error e -> failwith ("fleet: server replied with error: " ^ e)
         | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
         let at = Sim.Engine.now engine in
         Recorder.record s.recorder ~at ~latency;
         Recorder.record fleet_recorder ~at ~latency;
+        (match conn_ledgers.(k) with
+        | Some lg -> E2e.Ledger.completion lg ~latency
+        | None -> ());
         match obs with
-        | Some o -> Observe.note_request o ~id:tenant_req_id ~at ~latency
+        | Some o ->
+          Observe.note_request o ~id:tenant_req_id ~at ~latency;
+          Observe.note_slo o ~id:conn_ids.(k) ~at ~latency
         | None -> ()
       in
+      let on_completes =
+        Array.init (Array.length client_arr) (fun k -> on_complete_for k)
+      in
       let issue cmd =
-        let client = client_arr.(!next_client) in
-        next_client := (!next_client + 1) mod Array.length client_arr;
-        Kv.Client.request client cmd ~on_complete
+        let k = !next_client in
+        next_client := (k + 1) mod Array.length client_arr;
+        Kv.Client.request client_arr.(k) cmd ~on_complete:on_completes.(k)
       in
       let rec schedule_request () =
         let gap = Arrival.next_gap s.arrival in
@@ -342,6 +394,7 @@ let run (cfg : config) =
         ignore (Observe.note_residual o ~at ~window_us ~est_us:(lat_ns /. 1e3))
       | Some _ | None -> ());
       Observe.note_sample o (Sim.Metrics.sample m ~at);
+      Observe.slo_tick o ~at;
       if Sim.Time.compare (Sim.Time.add at interval) total <= 0 then
         ignore (Sim.Engine.schedule engine ~after:interval tick)
     in
@@ -354,8 +407,8 @@ let run (cfg : config) =
       [
         ( "fleet",
           None,
-          Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
-            ~fault_armed:false ~batching:cfg.batching
+          Control.attach ?ledger:(ledger_for "fleet") ~engine ~until:total
+            ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:cfg.batching
             ~client_socks:all_client_socks
             ~all_socks:(all_client_socks @ all_server_socks)
             () );
@@ -365,8 +418,9 @@ let run (cfg : config) =
         (fun i s ->
           ( s.spec.name,
             Some i,
-            Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
-              ~fault_armed:false ~batching:s.mode ~client_socks:s.client_socks
+            Control.attach ?ledger:(ledger_for s.spec.name) ~engine ~until:total
+              ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:s.mode
+              ~client_socks:s.client_socks
               ~all_socks:(s.client_socks @ s.server_socks)
               () ))
         states
@@ -378,7 +432,9 @@ let run (cfg : config) =
                (fun csock ssock ->
                  ( Tcp.Socket.label csock,
                    Some i,
-                   Control.attach ~engine ~until:total ~rng:(Sim.Rng.split rng)
+                   Control.attach
+                     ?ledger:(ledger_for (Tcp.Socket.label csock))
+                     ~engine ~until:total ~rng:(Sim.Rng.split rng)
                      ~fault_armed:false ~batching:s.mode ~client_socks:[ csock ]
                      ~all_socks:[ csock; ssock ]
                      () ))

@@ -1,18 +1,57 @@
 (* Per-run observability state: one trace ring, one metrics registry,
-   one residual tracker and the completed-request log that supplies the
-   residual's ground truth.  The runner owns the sampling tick; this
-   module only holds state and turns it into a pure [output] at the end
-   of the run, so results stay structurally comparable across runs and
-   domains. *)
+   one residual tracker, the completed-request log that supplies the
+   residual's ground truth, and the SLO observatory — streaming
+   per-tenant latency histograms with sliding-window burn rates.  The
+   runner owns the sampling tick; this module only holds state and
+   turns it into a pure [output] at the end of the run, so results
+   stay structurally comparable across runs and domains. *)
 
 type config = {
   trace_capacity : int;
   sample_interval : Sim.Time.span;
   trace_sink : (Sim.Trace.record -> unit) option;
+  burn_window : Sim.Time.span;
 }
 
 let default_config =
-  { trace_capacity = 65536; sample_interval = Sim.Time.ms 1; trace_sink = None }
+  {
+    trace_capacity = 65536;
+    sample_interval = Sim.Time.ms 1;
+    trace_sink = None;
+    burn_window = Sim.Time.ms 10;
+  }
+
+(* One SLO tracker per declared id (the whole run, a tenant, or a
+   single connection).  The completion log mirrors the request log's
+   layout: sorted completion times plus a violation prefix sum, so a
+   sliding window is two binary searches. *)
+type slo_tracker = {
+  slo_id : string;
+  slo_us : float;
+  histo : Sim.Histo.t;
+  mutable s_at : float array; (* completion time us, oldest first *)
+  mutable s_viol : int array; (* length n+1: violations prefix sum *)
+  mutable s_n : int;
+  mutable burn_rev : (float * float) list; (* (tick us, burn rate) *)
+  mutable max_burn : float;
+  mutable final_burn : float;
+  mutable first_burn_us : float option;
+}
+
+type slo_report = {
+  r_id : string;
+  r_slo_us : float;
+  r_total : int;
+  r_violations : int;
+  r_attainment : float;
+  r_p50_us : float option;
+  r_p95_us : float option;
+  r_p99_us : float option;
+  r_max_burn : float;
+  r_final_burn : float;
+  r_first_burn_us : float option;
+  r_burn : (float * float) list;
+}
 
 type output = {
   records : Sim.Trace.record list;
@@ -21,16 +60,20 @@ type output = {
   residual_pairs : E2e.Residual.pair list;
   residual : E2e.Residual.summary option;
   audits : Sim.Audit.report list;
+  slo : slo_report list;
 }
 
 type t = {
   trace : Sim.Trace.t;
   metrics : Sim.Metrics.t;
   interval : Sim.Time.span;
+  burn_window_us : float;
   residual : E2e.Residual.t;
   audit : Sim.Audit.t;
   mutable audits : Sim.Audit.report list;
   mutable samples_rev : Sim.Metrics.sample list;
+  mutable slo_rev : slo_tracker list; (* declaration order, reversed *)
+  slo_tbl : (string, slo_tracker) Hashtbl.t;
   (* Completed-request log as parallel growable arrays: completion
      times (nondecreasing — requests are logged at sim-now) and the
      prefix sums of their latencies, so [truth_over] answers any
@@ -46,6 +89,8 @@ type t = {
 let create (cfg : config) =
   if cfg.sample_interval <= 0 then
     invalid_arg "Observe.create: sample_interval must be positive";
+  if cfg.burn_window <= 0 then
+    invalid_arg "Observe.create: burn_window must be positive";
   let trace = Sim.Trace.create ~capacity:cfg.trace_capacity () in
   Sim.Trace.set_enabled trace true;
   Sim.Trace.set_sink trace cfg.trace_sink;
@@ -53,10 +98,13 @@ let create (cfg : config) =
     trace;
     metrics = Sim.Metrics.create ();
     interval = cfg.sample_interval;
+    burn_window_us = Sim.Time.to_us cfg.burn_window;
     residual = E2e.Residual.create ();
     audit = Sim.Audit.create ();
     audits = [];
     samples_rev = [];
+    slo_rev = [];
+    slo_tbl = Hashtbl.create 8;
     req_at = [||];
     req_prefix = [| 0.0 |];
     n_reqs = 0;
@@ -72,6 +120,122 @@ let finalize_audit t ~at =
   t.audits <- reports;
   reports
 
+(* {1 SLO observatory} *)
+
+let declare_slo t ~at ~id ~slo_us =
+  if (not (Float.is_finite slo_us)) || slo_us <= 0.0 then
+    invalid_arg "Observe.declare_slo: slo_us must be positive and finite";
+  if not (Hashtbl.mem t.slo_tbl id) then begin
+    let tr =
+      {
+        slo_id = id;
+        slo_us;
+        histo = Sim.Histo.create ();
+        s_at = [||];
+        s_viol = [| 0 |];
+        s_n = 0;
+        burn_rev = [];
+        max_burn = 0.0;
+        final_burn = 0.0;
+        first_burn_us = None;
+      }
+    in
+    Hashtbl.add t.slo_tbl id tr;
+    t.slo_rev <- tr :: t.slo_rev;
+    (* A trace breadcrumb so offline tools ([e2ebench slo]/[report])
+       can recover each id's declared SLO from the file alone. *)
+    Sim.Trace.event t.trace ~at ~id
+      (Sim.Trace.Message
+         { tag = "slo_declared"; detail = Printf.sprintf "%.17g" slo_us })
+  end
+
+let slo_feed tr ~at_us ~latency_us =
+  Sim.Histo.add tr.histo latency_us;
+  let n = tr.s_n in
+  if n = Array.length tr.s_at then begin
+    let cap = Stdlib.max 1024 (2 * n) in
+    let at' = Array.make cap 0.0 in
+    Array.blit tr.s_at 0 at' 0 n;
+    tr.s_at <- at';
+    let v' = Array.make (cap + 1) 0 in
+    Array.blit tr.s_viol 0 v' 0 (n + 1);
+    tr.s_viol <- v'
+  end;
+  tr.s_at.(n) <- at_us;
+  tr.s_viol.(n + 1) <- tr.s_viol.(n) + (if latency_us > tr.slo_us then 1 else 0);
+  tr.s_n <- n + 1
+
+let note_slo t ~id ~at ~latency =
+  match Hashtbl.find_opt t.slo_tbl id with
+  | Some tr ->
+      slo_feed tr ~at_us:(Sim.Time.to_us at) ~latency_us:(Sim.Time.to_us latency)
+  | None -> ()
+
+(* First index whose completion time exceeds [bound] in a sorted
+   array prefix. *)
+let first_after_arr a n bound =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > bound then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Error budget for an SLO judged at p99: 1% of requests may violate.
+   Burn rate = (violation fraction over the window) / budget, so
+   burn > 1 means the window is eating budget faster than sustainable
+   ("The Site Reliability Workbook" multiwindow burn alerting). *)
+let budget = 0.01
+
+let slo_burn_over tr ~from_us ~upto_us =
+  let i = first_after_arr tr.s_at tr.s_n from_us in
+  let j = first_after_arr tr.s_at tr.s_n upto_us in
+  if j <= i then 0.0
+  else
+    let viol = tr.s_viol.(j) - tr.s_viol.(i) in
+    float_of_int viol /. float_of_int (j - i) /. budget
+
+let slo_tick t ~at =
+  let at_us = Sim.Time.to_us at in
+  List.iter
+    (fun tr ->
+      let burn = slo_burn_over tr ~from_us:(at_us -. t.burn_window_us) ~upto_us:at_us in
+      tr.burn_rev <- (at_us, burn) :: tr.burn_rev;
+      tr.final_burn <- burn;
+      if burn > tr.max_burn then tr.max_burn <- burn;
+      if burn > 1.0 && tr.first_burn_us = None then tr.first_burn_us <- Some at_us;
+      (* Re-stamp the declaration breadcrumb so it survives the trace
+         ring on runs long enough to evict the original: offline tools
+         only need any one instance within the retained window. *)
+      if Sim.Trace.enabled t.trace then
+        Sim.Trace.event t.trace ~at ~id:tr.slo_id
+          (Sim.Trace.Message
+             { tag = "slo_declared"; detail = Printf.sprintf "%.17g" tr.slo_us }))
+    t.slo_rev
+
+let slo_report_of tr =
+  let q p = Sim.Histo.quantile tr.histo p in
+  let total = tr.s_n in
+  let violations = tr.s_viol.(total) in
+  {
+    r_id = tr.slo_id;
+    r_slo_us = tr.slo_us;
+    r_total = total;
+    r_violations = violations;
+    r_attainment =
+      (if total = 0 then 1.0
+       else 1.0 -. (float_of_int violations /. float_of_int total));
+    r_p50_us = q 50.0;
+    r_p95_us = q 95.0;
+    r_p99_us = q 99.0;
+    r_max_burn = tr.max_burn;
+    r_final_burn = tr.final_burn;
+    r_first_burn_us = tr.first_burn_us;
+    r_burn = List.rev tr.burn_rev;
+  }
+
+let slo_reports t = List.rev_map slo_report_of t.slo_rev
+
 let note_request ?(id = "client") t ~at ~latency =
   let latency_us = Sim.Time.to_us latency in
   let n = t.n_reqs in
@@ -84,20 +248,18 @@ let note_request ?(id = "client") t ~at ~latency =
     Array.blit t.req_prefix 0 pf' 0 (n + 1);
     t.req_prefix <- pf'
   end;
-  t.req_at.(n) <- Sim.Time.to_us at;
+  let at_us = Sim.Time.to_us at in
+  t.req_at.(n) <- at_us;
   t.req_prefix.(n + 1) <- t.req_prefix.(n) +. latency_us;
   t.n_reqs <- n + 1;
+  (match Hashtbl.find_opt t.slo_tbl id with
+  | Some tr -> slo_feed tr ~at_us ~latency_us
+  | None -> ());
   Sim.Trace.event t.trace ~at ~id (Sim.Trace.Request_done { latency_us })
 
 (* First index whose completion time exceeds [bound] — the log is
    sorted, so a window's edges are two binary searches. *)
-let first_after t bound =
-  let lo = ref 0 and hi = ref t.n_reqs in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.req_at.(mid) > bound then hi := mid else lo := mid + 1
-  done;
-  !lo
+let first_after t bound = first_after_arr t.req_at t.n_reqs bound
 
 (* Mean latency of requests completing in [(from_us, upto_us]]. *)
 let truth_over t ~from_us ~upto_us =
@@ -124,4 +286,5 @@ let output t =
     residual_pairs = E2e.Residual.pairs t.residual;
     residual = E2e.Residual.summary t.residual;
     audits = t.audits;
+    slo = slo_reports t;
   }

@@ -18,10 +18,33 @@ type config = {
           run of any length traces in constant memory; [output.records]
           is then empty.  Single-run use only — do not share a sinked
           config across parallel sweep workers. *)
+  burn_window : Sim.Time.span;
+      (** sliding window for SLO burn rates (default 10 ms) *)
 }
 
 val default_config : config
-(** 65536 records, 1 ms cadence, no sink. *)
+(** 65536 records, 1 ms cadence, no sink, 10 ms burn window. *)
+
+type slo_report = {
+  r_id : string;  (** the declared id (run, tenant, or connection) *)
+  r_slo_us : float;  (** declared SLO, judged at p99 *)
+  r_total : int;
+  r_violations : int;  (** completions above the SLO *)
+  r_attainment : float;  (** 1 - violations/total (1.0 when empty) *)
+  r_p50_us : float option;  (** streaming-histogram quantiles; [None]
+                                when no request completed *)
+  r_p95_us : float option;
+  r_p99_us : float option;
+  r_max_burn : float;  (** worst sliding-window burn rate seen *)
+  r_final_burn : float;  (** burn rate at the last tick *)
+  r_first_burn_us : float option;
+      (** first tick whose burn rate exceeded 1.0 (budget-eating) *)
+  r_burn : (float * float) list;  (** (tick µs, burn rate), oldest first *)
+}
+(** Per-id SLO attainment from the streaming observatory.  Burn rate
+    is the window's violation fraction over the 1% error budget a
+    p99-judged SLO allows: burn > 1 means the budget is being consumed
+    faster than sustainable. *)
 
 type output = {
   records : Sim.Trace.record list;  (** oldest first *)
@@ -32,6 +55,7 @@ type output = {
   audits : Sim.Audit.report list;
       (** Little's-law audit per queue over the measured window
           (registration order); empty until {!finalize_audit}. *)
+  slo : slo_report list;  (** declaration order *)
 }
 (** Pure data: safe for structural equality and cross-domain moves. *)
 
@@ -52,12 +76,34 @@ val finalize_audit : t -> at:Sim.Time.t -> Sim.Audit.report list
 (** Close the audit window at [at], store the per-queue reports so
     {!output} carries them, and return them. *)
 
+val declare_slo : t -> at:Sim.Time.t -> id:string -> slo_us:float -> unit
+(** Start tracking SLO attainment for completions logged under [id]
+    ({!note_request}/{!note_slo}).  Emits an [slo_declared] trace
+    breadcrumb carrying the SLO so offline tools can recover it from
+    the file alone.  Re-declaring an id is a no-op.
+    @raise Invalid_argument for a non-positive or non-finite SLO. *)
+
+val note_slo : t -> id:string -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
+(** Feed one completion to [id]'s SLO tracker without logging a
+    request or emitting any trace event — how fleet runs track
+    per-connection attainment on top of the tenant-level
+    {!note_request} stream.  Ignored for undeclared ids. *)
+
+val slo_tick : t -> at:Sim.Time.t -> unit
+(** Sample every tracker's sliding-window burn rate at [at].  Called
+    from the read-only observability tick; touches no simulation
+    state. *)
+
+val slo_reports : t -> slo_report list
+(** Current per-id reports, declaration order. *)
+
 val note_request :
   ?id:string -> t -> at:Sim.Time.t -> latency:Sim.Time.span -> unit
 (** Log one completed request (the residual ground-truth source) and
     emit a [Request_done] trace event under [id] (default ["client"]).
     Fleet runs pass tenant-tagged ids like ["bare/c0"] so reports can
-    group request events by tenant. *)
+    group request events by tenant.  When [id] has a declared SLO the
+    completion also feeds its tracker. *)
 
 val truth_over : t -> from_us:float -> upto_us:float -> float option
 (** Mean logged latency of requests completing in [(from_us, upto_us]];

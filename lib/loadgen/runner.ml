@@ -314,12 +314,25 @@ let run cfg =
       Arrival.bursty ~rng:arrival_rng ~rate_rps:cfg.rate_rps ~burst:cfg.burst
     else Arrival.poisson ~rng:arrival_rng ~rate_rps:cfg.rate_rps
   in
+  (* SLO observatory + decision ledger: one tracker and one ledger for
+     the run's single control group.  Both only write trace/histogram
+     state, never simulation state. *)
+  let ledger =
+    Option.map
+      (fun o ->
+        Observe.declare_slo o ~at:(Sim.Engine.now engine) ~id:"client" ~slo_us;
+        E2e.Ledger.create ~trace:(Observe.trace o) ~group:"run")
+      obs
+  in
   (* Open-loop request driver, round-robin over connections. *)
   let on_complete ~latency reply =
     (match reply with
     | Kv.Resp.Error e -> failwith ("runner: server replied with error: " ^ e)
     | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
     Recorder.record recorder ~at:(Sim.Engine.now engine) ~latency;
+    (match ledger with
+    | Some lg -> E2e.Ledger.completion lg ~latency
+    | None -> ());
     match obs with
     | Some o -> Observe.note_request o ~at:(Sim.Engine.now engine) ~latency
     | None -> ()
@@ -443,6 +456,7 @@ let run cfg =
         | None -> s
       in
       Observe.note_sample o s;
+      Observe.slo_tick o ~at;
       if Sim.Time.compare (Sim.Time.add at interval) total <= 0 then
         ignore (Sim.Engine.schedule engine ~after:interval tick)
     in
@@ -452,7 +466,7 @@ let run cfg =
      above is scheduled first, so at coincident instants the sample
      still sees the window the controller is about to advance. *)
   let ctrl =
-    Control.attach ~engine ~until:total ~rng:toggler_rng
+    Control.attach ?ledger ~engine ~until:total ~rng:toggler_rng
       ~fault_armed:(cfg.fault <> None) ~batching:cfg.batching ~client_socks
       ~all_socks ()
   in

@@ -1,0 +1,42 @@
+(** Fixed-size log-bucketed latency histogram (HDR-style).
+
+    64 octaves x 32 linear sub-buckets (2048 buckets total) covering
+    [1, 2^64); values below 1 clamp into the first bucket.  Relative
+    bucket width is 1/32 (~3.1%), so bucket-bound quantiles land
+    within ~1.6% of the true sample value.
+
+    Unlike {!Stats.Histogram} the bucket array is fixed-size and
+    [add] is guaranteed allocation-free (enforced by
+    [make alloc-gate]), so it is safe on the request hot path.
+    [merge] is exact: merging histograms then reading a quantile
+    equals reading the quantile of the concatenated samples. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+(** Zero every bucket, the count and the sum (no allocation). *)
+
+val add : t -> float -> unit
+(** Record one value.  Allocation-free. *)
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float option
+(** [None] on an empty histogram. *)
+
+val quantile : t -> float -> float option
+(** [quantile t p] with [p] in [0, 100]: the upper bound of the
+    bucket holding the nearest-rank sample, or [None] on an empty
+    histogram.  Within one bucket width of the exact nearest-rank
+    value. *)
+
+val width_at : float -> float
+(** Width of the bucket that would hold [v] — the quantile error
+    bound at that magnitude. *)
+
+val merge : into:t -> t -> unit
+(** Exact: bucket-wise sum of counts plus combined count/sum. *)
+
+val copy : t -> t

@@ -9,7 +9,7 @@ type counter = { c_name : string; mutable c_value : int }
 type source =
   | Counter of counter
   | Gauge of (unit -> float)
-  | Hist of Stats.Histogram.t
+  | Hist of Histo.t
 
 type t = { mutable sources : (string * source) list (* newest first *) }
 
@@ -52,7 +52,7 @@ let histogram t name =
   | Some (Hist h) -> h
   | Some _ -> wrong_kind name "wanted histogram"
   | None ->
-      let h = Stats.Histogram.create () in
+      let h = Histo.create () in
       t.sources <- (name, Hist h) :: t.sources;
       h
 
@@ -68,9 +68,9 @@ let sample t ~at =
         | Counter c -> (name, float_of_int c.c_value) :: acc
         | Gauge f -> (name, f ()) :: acc
         | Hist h ->
-            (name ^ ".count", float_of_int (Stats.Histogram.count h))
-            :: (name ^ ".mean", Stats.Histogram.mean h)
-            :: (name ^ ".p99", Stats.Histogram.percentile h 99.0)
+            (name ^ ".count", float_of_int (Histo.count h))
+            :: (name ^ ".mean", Option.value (Histo.mean h) ~default:0.0)
+            :: (name ^ ".p99", Option.value (Histo.quantile h 99.0) ~default:0.0)
             :: acc)
       [] t.sources
   in

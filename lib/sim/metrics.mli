@@ -1,9 +1,10 @@
 (** Lightweight metrics registry.
 
-    Named counters, gauges and histograms (reusing {!Stats.Histogram})
-    that sockets, links and the estimator register into; a periodic
-    [sample] flattens every instrument into pure [(name, float)] pairs
-    for per-run time series.
+    Named counters, gauges and histograms (the fixed-size log-bucketed
+    {!Histo}, so registry adds stay allocation-free) that sockets,
+    links and the estimator register into; a periodic [sample]
+    flattens every instrument into pure [(name, float)] pairs for
+    per-run time series.
 
     Lifecycle: a registry is created per run, instruments are
     registered during setup (counters/histograms are get-or-create,
@@ -36,8 +37,9 @@ val gauge : t -> string -> (unit -> float) -> unit
 
 (** {1 Histograms} *)
 
-val histogram : t -> string -> Stats.Histogram.t
-(** Get or create.  Sampled as [name.count], [name.mean], [name.p99].
+val histogram : t -> string -> Histo.t
+(** Get or create.  Sampled as [name.count], [name.mean], [name.p99]
+    (0.0 while empty, keeping sample shape stable).
     @raise Invalid_argument if the name names a counter/gauge. *)
 
 val names : t -> string list

@@ -44,6 +44,22 @@ type event =
       rel_err : float;
     }
   | Message of { tag : string; detail : string }
+  | Decision_made of {
+      decision : int;  (** sequence number within the emitting group *)
+      on_us : float option;  (** smoothed estimate for the Batch_on arm *)
+      off_us : float option;  (** smoothed estimate for the Batch_off arm *)
+      mode : string;  (** mode in force when the decision was taken *)
+      action : string;  (** mode/limit chosen by the decision *)
+      reason : string;  (** explore/exploit/undersampled/forced/good/bad/hold *)
+      frozen : bool;  (** degrade freeze in force *)
+      stale_us : float;  (** age of the freshest remote share; -1 = unknown *)
+    }
+  | Decision_outcome of {
+      decision : int;  (** the [Decision_made] this realizes *)
+      mean_us : float;
+      p99_us : float;
+      n : int;  (** completions observed during the tenure *)
+    }
 
 type record = { at : Time.t; id : string; event : event }
 
@@ -154,6 +170,8 @@ let tag r =
   | Srv_reply _ -> "srv_reply"
   | Audit_window _ -> "audit"
   | Message { tag; _ } -> tag
+  | Decision_made _ -> "decision"
+  | Decision_outcome _ -> "outcome"
 
 let detail r =
   match r.event with
@@ -196,6 +214,18 @@ let detail r =
       Printf.sprintf "queue=%s L=%.3f lambda=%.1f/s W=%.2fus err=%.4f" queue l_avg
         lambda_per_s w_us rel_err
   | Message { detail; _ } -> detail
+  | Decision_made { decision; on_us; off_us; mode; action; reason; frozen; stale_us }
+    ->
+      let arm = function
+        | Some v -> Printf.sprintf "%.2f" v
+        | None -> "-"
+      in
+      Printf.sprintf "#%d on=%s off=%s mode=%s action=%s reason=%s%s stale_us=%.1f"
+        decision (arm on_us) (arm off_us) mode action reason
+        (if frozen then " FROZEN" else "")
+        stale_us
+  | Decision_outcome { decision; mean_us; p99_us; n } ->
+      Printf.sprintf "#%d mean_us=%.2f p99_us=%.2f n=%d" decision mean_us p99_us n
 
 let find t ~tag:wanted =
   List.rev
@@ -359,7 +389,28 @@ let record_to_json ?run r =
   | Message { tag; detail } ->
       add_str b "ev" "msg";
       add_str b "tag" tag;
-      add_str b "detail" detail);
+      add_str b "detail" detail
+  | Decision_made { decision; on_us; off_us; mode; action; reason; frozen; stale_us }
+    ->
+      add_str b "ev" "decision";
+      add_int b "decision" decision;
+      (match on_us with
+      | Some v -> add_float b "on_us" v
+      | None -> Buffer.add_string b ",\"on_us\":null");
+      (match off_us with
+      | Some v -> add_float b "off_us" v
+      | None -> Buffer.add_string b ",\"off_us\":null");
+      add_str b "mode" mode;
+      add_str b "action" action;
+      add_str b "reason" reason;
+      add_bool b "frozen" frozen;
+      add_float b "stale_us" stale_us
+  | Decision_outcome { decision; mean_us; p99_us; n } ->
+      add_str b "ev" "outcome";
+      add_int b "decision" decision;
+      add_float b "mean_us" mean_us;
+      add_float b "p99_us" p99_us;
+      add_int b "n" n);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -638,6 +689,34 @@ let record_of_json line =
         let* tag = str fields "tag" in
         let* detail = str fields "detail" in
         Ok (Message { tag; detail })
+    | "decision" ->
+        let* decision = int_field fields "decision" in
+        let opt key =
+          match field fields key with Some (Jnum v) -> Some v | _ -> None
+        in
+        let* mode = str fields "mode" in
+        let* action = str fields "action" in
+        let* reason = str fields "reason" in
+        let* frozen = bool_field fields "frozen" in
+        let* stale_us = num fields "stale_us" in
+        Ok
+          (Decision_made
+             {
+               decision;
+               on_us = opt "on_us";
+               off_us = opt "off_us";
+               mode;
+               action;
+               reason;
+               frozen;
+               stale_us;
+             })
+    | "outcome" ->
+        let* decision = int_field fields "decision" in
+        let* mean_us = num fields "mean_us" in
+        let* p99_us = num fields "p99_us" in
+        let* n = int_field fields "n" in
+        Ok (Decision_outcome { decision; mean_us; p99_us; n })
     | other -> Error (Printf.sprintf "unknown event type %S" other)
   in
   Ok (run, { at = at_ns; id; event })
@@ -709,12 +788,17 @@ let load_jsonl path =
 module Binary = struct
   let magic = "e2ebtrc1"
   let footer_magic = "e2ebtrcF"
-  let version = 1
+
+  (* v2 added kinds 26/27 (Decision_made / Decision_outcome) and flag
+     bit 2; v1 files remain readable. *)
+  let version = 2
+  let min_read_version = 1
   let header_len = 16
   let footer_len = 32
 
   let flag_b0 = 0x01
   let flag_b1 = 0x02
+  let flag_b2 = 0x04
   let flag_wide = 0x40
   let flag_run = 0x80
 
@@ -745,6 +829,8 @@ module Binary = struct
     | Message _ -> 23
     | Segment_challenged _ -> 24
     | Probe_sent _ -> 25
+    | Decision_made _ -> 26
+    | Decision_outcome _ -> 27
 
   (* Payload size in bytes for a (kind, wide) pair; the prefix (4B) and
      the optional run ref (2B) are accounted for separately.  [num] is
@@ -770,6 +856,8 @@ module Binary = struct
     | 23 -> 8 (* tag ref + detail ref *)
     | 24 -> 8 + 4 (* seq i64 + kind ref *)
     | 25 -> 8 + num (* seq i64 + backoff *)
+    | 26 -> num + 16 + 12 + 8 (* decision + on/off f64 + 3 refs + stale f64 *)
+    | 27 -> (2 * num) + 16 (* decision + n + mean/p99 f64 *)
     | k -> invalid_arg (Printf.sprintf "Trace.Binary: unknown kind %d" k)
 
   let u32_ok v = v >= 0 && v <= 0xFFFF_FFFF
@@ -864,6 +952,12 @@ module Binary = struct
       | Req_sent { req } | Req_complete { req } | Srv_start { req } ->
           (0, u32_ok req)
       | Probe_sent { backoff; _ } -> (0, u32_ok backoff)
+      | Decision_made { decision; on_us; off_us; frozen; _ } ->
+          ( (if frozen then flag_b0 else 0)
+            lor (if on_us <> None then flag_b1 else 0)
+            lor (if off_us <> None then flag_b2 else 0),
+            u32_ok decision )
+      | Decision_outcome { decision; n; _ } -> (0, u32_ok decision && u32_ok n)
       | Fin_received _ | Segment_reordered _ | Segment_duplicated _
       | Segment_challenged _ | Share_corrupted _ | Share_rejected _
       | Request_done _ | Audit_window _ | Message _ ->
@@ -936,7 +1030,21 @@ module Binary = struct
         add_u32 b (intern_str w kind)
     | Probe_sent { seq; backoff } ->
         add_i64 b seq;
-        add_num b ~wide backoff);
+        add_num b ~wide backoff
+    | Decision_made
+        { decision; on_us; off_us; mode; action; reason; stale_us; frozen = _ } ->
+        add_num b ~wide decision;
+        add_f64 b (match on_us with Some v -> v | None -> 0.0);
+        add_f64 b (match off_us with Some v -> v | None -> 0.0);
+        add_u32 b (intern_str w mode);
+        add_u32 b (intern_str w action);
+        add_u32 b (intern_str w reason);
+        add_f64 b stale_us
+    | Decision_outcome { decision; mean_us; p99_us; n } ->
+        add_num b ~wide decision;
+        add_num b ~wide n;
+        add_f64 b mean_us;
+        add_f64 b p99_us);
     (match run with
     | Some label -> Buffer.add_uint16_le b (intern_name w label)
     | None -> ());
@@ -1014,7 +1122,8 @@ module Binary = struct
             if Bytes.sub_string by 0 8 <> magic then corrupt "bad magic";
             let by = read 8 in
             let v = Bytes.get_uint16_le by 0 in
-            if v <> version then corrupt "unsupported version %d" v;
+            if v < min_read_version || v > version then
+              corrupt "unsupported version %d" v;
             let hlen = Bytes.get_uint16_le by 2 in
             seek_in ic (size - footer_len);
             let by = read footer_len in
@@ -1134,6 +1243,32 @@ module Binary = struct
                     Segment_challenged
                       { seq = get_i64 by 0; kind = str (get_u32 by 8) }
                 | 25 -> Probe_sent { seq = get_i64 by 0; backoff = num 8 }
+                | 26 ->
+                    Decision_made
+                      {
+                        decision = num 0;
+                        on_us =
+                          (if flags land flag_b1 <> 0 then
+                             Some (get_f64 by nsz)
+                           else None);
+                        off_us =
+                          (if flags land flag_b2 <> 0 then
+                             Some (get_f64 by (nsz + 8))
+                           else None);
+                        mode = str (get_u32 by (nsz + 16));
+                        action = str (get_u32 by (nsz + 20));
+                        reason = str (get_u32 by (nsz + 24));
+                        frozen = b0;
+                        stale_us = get_f64 by (nsz + 28);
+                      }
+                | 27 ->
+                    Decision_outcome
+                      {
+                        decision = num 0;
+                        n = num nsz;
+                        mean_us = get_f64 by (2 * nsz);
+                        p99_us = get_f64 by ((2 * nsz) + 8);
+                      }
                 | k -> corrupt "record %d: unknown kind %d" rec_no k
               in
               let run =

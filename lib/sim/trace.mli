@@ -80,6 +80,39 @@ type event =
     }  (** One Little's-law audit window result (see {!Audit}). *)
   | Message of { tag : string; detail : string }
       (** Escape hatch for ad-hoc string traces ([emit]/[emitf]). *)
+  | Decision_made of {
+      decision : int;
+          (** 0-based sequence number within the emitting control
+              group (the record's [id]) — the key [Decision_outcome]
+              refers back to. *)
+      on_us : float option;
+          (** smoothed end-to-end estimate for the Batch_on arm at
+              decision time ([None] when unsampled); AIMD groups carry
+              their single aggregate estimate here *)
+      off_us : float option;
+          (** ditto for the Batch_off arm (toggler only) *)
+      mode : string;
+          (** mode in force when the decision was taken (["on"],
+              ["off"] or ["limit=N"]) *)
+      action : string;  (** mode/limit the decision chose *)
+      reason : string;
+          (** why: ["explore"] (ε-draw), ["exploit"], ["undersampled"],
+              ["forced"] (degrade freeze) for the toggler;
+              ["good"]/["bad"]/["hold"] for AIMD *)
+      frozen : bool;  (** degrade freeze in force *)
+      stale_us : float;
+          (** age of the freshest accepted remote share across the
+              group's estimators; [-1] when no share has arrived *)
+    }  (** One toggler/AIMD control decision with its inputs. *)
+  | Decision_outcome of {
+      decision : int;  (** the [Decision_made] this realizes *)
+      mean_us : float;  (** mean request latency over the tenure *)
+      p99_us : float;  (** p99 request latency over the tenure *)
+      n : int;  (** completions observed during the tenure *)
+    }
+      (** Realized outcome of a decision's tenure, emitted when the
+          {e next} decision closes it.  The final decision of a run
+          stays open (no outcome). *)
 
 type record = { at : Time.t; id : string; event : event }
 (** [id] names the emitting connection/socket (e.g. ["c0"]). *)
@@ -196,6 +229,8 @@ module Binary : sig
   (** First 8 bytes of every binary trace file. *)
 
   val version : int
+  (** Version written by new files (2).  The reader accepts versions 1
+      (pre-decision-ledger) through [version]. *)
 
   type writer
 

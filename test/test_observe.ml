@@ -22,8 +22,8 @@ let test_metrics_sample_order () =
   ignore (Sim.Metrics.counter m "a");
   Sim.Metrics.gauge m "b" (fun () -> 2.5);
   let h = Sim.Metrics.histogram m "c" in
-  Sim.Stats.Histogram.add h 10.0;
-  Sim.Stats.Histogram.add h 20.0;
+  Sim.Histo.add h 10.0;
+  Sim.Histo.add h 20.0;
   Alcotest.(check (list string)) "registration order" [ "a"; "b"; "c" ]
     (Sim.Metrics.names m);
   let s = Sim.Metrics.sample m ~at:(Sim.Time.us 7) in

@@ -416,6 +416,94 @@ let prop_p2_close_to_exact =
       | Some v -> Float.abs (v -. exact) < 60.0 (* within ~6% of the range *)
       | None -> false)
 
+(* {1 Log-bucketed fixed histogram (Histo)} *)
+
+let test_histo_empty () =
+  let h = Sim.Histo.create () in
+  Alcotest.(check int) "count" 0 (Sim.Histo.count h);
+  Alcotest.(check (option (float 0.0))) "mean" None (Sim.Histo.mean h);
+  Alcotest.(check (option (float 0.0))) "quantile" None (Sim.Histo.quantile h 50.0);
+  Sim.Histo.add h 42.0;
+  Sim.Histo.reset h;
+  Alcotest.(check int) "count after reset" 0 (Sim.Histo.count h);
+  Alcotest.(check (option (float 0.0))) "quantile after reset" None
+    (Sim.Histo.quantile h 99.0)
+
+let test_histo_single_value_bounds () =
+  (* the quantile is the holding bucket's upper bound: >= the sample
+     and within one bucket width of it, across magnitudes *)
+  List.iter
+    (fun v ->
+      let h = Sim.Histo.create () in
+      Sim.Histo.add h v;
+      match Sim.Histo.quantile h 50.0 with
+      | None -> Alcotest.fail "no quantile after add"
+      | Some q ->
+        if q < v then Alcotest.failf "quantile %f below sample %f" q v;
+        if q -. v > Sim.Histo.width_at v +. 1e-9 then
+          Alcotest.failf "quantile %f more than a bucket above %f" q v)
+    [ 1.0; 1.03; 2.0; 17.5; 88.25; 1234.5; 9.99e5; 3.2e9 ]
+
+let test_histo_sub_one_clamps () =
+  let h = Sim.Histo.create () in
+  List.iter (Sim.Histo.add h) [ 0.0; -3.0; 0.5; Float.nan ];
+  Alcotest.(check int) "all counted" 4 (Sim.Histo.count h);
+  match Sim.Histo.quantile h 99.0 with
+  | Some q ->
+    if q > 2.0 then Alcotest.failf "clamped values left the first octave: %f" q
+  | None -> Alcotest.fail "no quantile"
+
+let test_histo_merge_exact () =
+  let a = Sim.Histo.create () and b = Sim.Histo.create () in
+  let all = Sim.Histo.create () in
+  let rng = Sim.Rng.create ~seed:7 in
+  for i = 1 to 500 do
+    let v = Sim.Rng.float rng *. 1e5 in
+    Sim.Histo.add (if i mod 2 = 0 then a else b) v;
+    Sim.Histo.add all v
+  done;
+  let m = Sim.Histo.copy a in
+  Sim.Histo.merge ~into:m b;
+  Alcotest.(check int) "merged count" (Sim.Histo.count all) (Sim.Histo.count m);
+  (* sums accumulate in different orders; equal up to rounding *)
+  if
+    Float.abs (Sim.Histo.sum all -. Sim.Histo.sum m)
+    > 1e-9 *. Float.abs (Sim.Histo.sum all)
+  then
+    Alcotest.failf "merged sum %f far from %f" (Sim.Histo.sum m)
+      (Sim.Histo.sum all);
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "merged p%g equals one-histogram p%g" p p)
+        (Sim.Histo.quantile all p) (Sim.Histo.quantile m p))
+    [ 1.0; 50.0; 95.0; 99.0; 100.0 ]
+
+let prop_histo_quantile_close_to_exact =
+  (* satellite bound: histo quantiles within 2 bucket widths of the
+     exact nearest-rank value, for samples in the covered range *)
+  QCheck.Test.make
+    ~name:"Histo quantile within 2 bucket widths of exact nearest-rank"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 300) (float_range 1.0 1e6))
+        (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let h = Sim.Histo.create () in
+      List.iter (Sim.Histo.add h) xs;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min n (int_of_float (ceil (p /. 100.0 *. float_of_int n))))
+      in
+      let exact = sorted.(rank - 1) in
+      match Sim.Histo.quantile h p with
+      | None -> false
+      | Some q -> Float.abs (q -. exact) <= 2.0 *. Sim.Histo.width_at exact)
+
 let test_time_avg () =
   let ta = Sim.Stats.Time_avg.create ~at:0 ~value:1.0 in
   Sim.Stats.Time_avg.update ta ~at:(Sim.Time.us 10) ~value:4.0;
@@ -566,6 +654,11 @@ let trace_sample_events : Sim.Trace.event list =
       { queue = "c0.unacked"; l_avg = 3.25; lambda_per_s = 60000.5;
         w_us = 54.125; rel_err = 0.015625 };
     Sim.Trace.Message { tag = "note"; detail = "hello \"quoted\" \\ world" };
+    Sim.Trace.Decision_made
+      { decision = 3; on_us = Some 92.125; off_us = None; mode = "on";
+        action = "off"; reason = "exploit"; frozen = true; stale_us = -1.0 };
+    Sim.Trace.Decision_outcome
+      { decision = 3; mean_us = 78.8125; p99_us = 148.0; n = 51 };
   ]
 
 let test_trace_json_roundtrip () =
@@ -740,6 +833,24 @@ let trace_every_event : Sim.Trace.event list =
         w_us = 54.125; rel_err = 0.015625 };
     Sim.Trace.Message { tag = "note"; detail = "hello \"quoted\" \\ world" };
     Sim.Trace.Message { tag = ""; detail = "" };
+    Sim.Trace.Decision_made
+      { decision = 0; on_us = Some 92.125; off_us = Some 54.5; mode = "on";
+        action = "off"; reason = "exploit"; frozen = false; stale_us = 18.75 };
+    Sim.Trace.Decision_made
+      { decision = 0x1_0000_0004; on_us = None; off_us = Some 54.5;
+        mode = "off"; action = "off"; reason = "undersampled"; frozen = true;
+        stale_us = -1.0 };
+    Sim.Trace.Decision_made
+      { decision = 7; on_us = Some 88.0; off_us = None; mode = "limit=4";
+        action = "limit=8"; reason = "good"; frozen = false; stale_us = 0.0 };
+    Sim.Trace.Decision_made
+      { decision = 8; on_us = None; off_us = None; mode = "off"; action = "on";
+        reason = "explore"; frozen = false; stale_us = 123.0625 };
+    Sim.Trace.Decision_outcome
+      { decision = 0; mean_us = 78.8125; p99_us = 148.0; n = 51 };
+    Sim.Trace.Decision_outcome
+      { decision = 0x1_0000_0004; mean_us = 0.0; p99_us = 0.0;
+        n = 0x1_0000_0001 };
   ]
 
 let trace_binary_sample : (string option * Sim.Trace.record) list =
@@ -869,6 +980,21 @@ let prop_trace_binary_roundtrip =
                   { queue; l_avg = l; lambda_per_s = lam; w_us = w; rel_err = e }));
             (let* tag = small_string and* detail = small_string in
              return (Sim.Trace.Message { tag; detail }));
+            (let* decision = slot and* on_us = opt fin.gen
+             and* off_us = opt fin.gen
+             and* mode = oneofl [ "on"; "off"; "limit=4" ]
+             and* action = oneofl [ "on"; "off"; "limit=8" ]
+             and* reason =
+               oneofl [ "explore"; "exploit"; "undersampled"; "forced";
+                        "good"; "bad"; "hold" ]
+             and* frozen = bool and* stale_us = fin.gen in
+             return
+               (Sim.Trace.Decision_made
+                  { decision; on_us; off_us; mode; action; reason; frozen;
+                    stale_us }));
+            (let* decision = slot and* mean_us = fin.gen and* p99_us = fin.gen
+             and* n = slot in
+             return (Sim.Trace.Decision_outcome { decision; mean_us; p99_us; n }));
           ]
       in
       return (run, { Sim.Trace.at; id; event = ev }))
@@ -996,6 +1122,19 @@ let prop_trace_json_roundtrip =
              return (Sim.Trace.Message { tag; detail }));
             (let* l = fin.gen in
              return (Sim.Trace.Request_done { latency_us = l }));
+            (let* decision = 0 -- 1_000_000_000 and* on_us = opt fin.gen
+             and* off_us = opt fin.gen
+             and* mode = oneofl [ "on"; "off"; "limit=4" ]
+             and* action = oneofl [ "on"; "off"; "limit=8" ]
+             and* reason = oneofl [ "explore"; "exploit"; "hold" ]
+             and* frozen = bool and* stale_us = fin.gen in
+             return
+               (Sim.Trace.Decision_made
+                  { decision; on_us; off_us; mode; action; reason; frozen;
+                    stale_us }));
+            (let* decision = 0 -- 1_000_000_000 and* mean_us = fin.gen
+             and* p99_us = fin.gen and* n = 0 -- 1_000_000_000 in
+             return (Sim.Trace.Decision_outcome { decision; mean_us; p99_us; n }));
           ]
       in
       return { Sim.Trace.at; id; event = ev })
@@ -1068,6 +1207,15 @@ let suite =
         QCheck_alcotest.to_alcotest prop_p2_close_to_exact;
         Alcotest.test_case "time-avg paper example" `Quick test_time_avg;
         Alcotest.test_case "time-avg rejects backwards" `Quick test_time_avg_backwards;
+      ] );
+    ( "sim.histo",
+      [
+        Alcotest.test_case "empty and reset" `Quick test_histo_empty;
+        Alcotest.test_case "single-value bucket bounds" `Quick
+          test_histo_single_value_bounds;
+        Alcotest.test_case "sub-1 values clamp" `Quick test_histo_sub_one_clamps;
+        Alcotest.test_case "merge is exact" `Quick test_histo_merge_exact;
+        QCheck_alcotest.to_alcotest prop_histo_quantile_close_to_exact;
       ] );
     ( "sim.cpu",
       [
