@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke alloc-gate bench-par bench-rawspeed clean
+.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke alloc-gate bench-par bench-rawspeed clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke alloc-gate
+check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke alloc-gate
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -148,6 +148,33 @@ explain-smoke:
 	@if dune exec bin/e2ebench.exe -- slo /dev/null > /dev/null 2>&1; \
 	  then echo "explain-smoke: slo accepted an empty trace"; exit 1; fi
 	@echo "explain-smoke: OK"
+
+# Time-varying-load smoke: an envelope + scripted-churn scenario runs
+# end to end with a trace, the offline settling table rebuilds from the
+# trace's edge breadcrumbs, and the chaos flash-crowd / churn-storm
+# cells assert bounded re-convergence (exit nonzero on any violation).
+# The ablation run (--ablate-settling) must fail: no settling tracker
+# means no re-convergence evidence.
+churn-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	printf '%s\n' \
+	  'fleet seed=11 warmup_ms=10 duration_ms=40 scope=per_conn' \
+	  'tenant name=churny conns=4 rate_rps=20000 batching=dynamic slo_us=500 envelope=square env_period_ms=20 env_duty=0.5 env_high=2 churn_script=20:+2,30:-2 churn_max=32' \
+	  > _smoke/churn.scn
+	dune exec bin/e2ebench.exe -- scenario _smoke/churn.scn \
+	  --trace-out _smoke/churn-trace.bin | tee _smoke/churn.out
+	@grep -q '^churny ' _smoke/churn.out || { echo "churn-smoke: no tenant row"; exit 1; }
+	dune exec bin/e2ebench.exe -- slo _smoke/churn-trace.bin \
+	  | tee _smoke/churn-slo.out
+	@grep -q 'settling (1 ms ground-truth buckets' _smoke/churn-slo.out \
+	  || { echo "churn-smoke: no settling table from trace"; exit 1; }
+	@grep -q 'churny/client .*us' _smoke/churn-slo.out \
+	  || { echo "churn-smoke: no per-edge settling row"; exit 1; }
+	dune exec bin/e2ebench.exe -- chaos --flash-crowd --churn-storm
+	@if dune exec bin/e2ebench.exe -- chaos --churn-storm --ablate-settling \
+	  > /dev/null 2>&1; then echo "churn-smoke: settling ablation passed the gate"; exit 1; fi
+	@echo "churn-smoke: OK"
 
 # Zero-allocation gate: every guarded hot-path probe (disabled trace
 # emission, event-heap push/take, idle engine polling, delayed-ACK

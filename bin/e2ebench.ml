@@ -447,13 +447,96 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "zero-window" ] ~doc)
   in
+  let flash_crowd_arg =
+    let doc =
+      "Run the fleet-based flash-crowd cell instead of the wire grid: a 10x \
+       square-wave rate envelope over a per-connection dynamic tenant, \
+       asserting liveness and bounded re-convergence after every envelope \
+       edge."
+    in
+    Arg.(value & flag & info [ "flash-crowd" ] ~doc)
+  in
+  let churn_storm_arg =
+    let doc =
+      "Run the fleet-based churn-storm cell instead of the wire grid: six \
+       connections mass-connect mid-run and mass-disconnect again, asserting \
+       clean drain/FIN, cold-start inheritance, and bounded estimate *and* \
+       mode re-convergence."
+    in
+    Arg.(value & flag & info [ "churn-storm" ] ~doc)
+  in
+  let ablate_inherit_arg =
+    let doc =
+      "Ablation: disable cold-start inheritance in the flash-crowd/churn-storm \
+       cells (spawned connections re-explore from scratch — the storm cell is \
+       expected to fail its mode re-convergence bound)."
+    in
+    Arg.(value & flag & info [ "ablate-inherit" ] ~doc)
+  in
+  let ablate_settling_arg =
+    let doc =
+      "Ablation: disable the settling-time tracker in the flash-crowd/\
+       churn-storm cells (expected to fail for lack of re-convergence \
+       evidence)."
+    in
+    Arg.(value & flag & info [ "ablate-settling" ] ~doc)
+  in
   let parse_floats name s =
     let parsed = List.filter_map float_of_string_opt (String.split_on_char ',' s) in
     if parsed = [] then Error (Printf.sprintf "no valid values in --%s %S" name s)
     else Ok parsed
   in
+  let run_churn_cells ~domains ~flash ~storm ~inherit_prior ~settling =
+    let cells =
+      (if flash then
+         [ { Loadgen.Chaos.flash = true; storm = false; inherit_prior; settling } ]
+       else [])
+      @
+      if storm then
+        [ { Loadgen.Chaos.flash = false; storm = true; inherit_prior; settling } ]
+      else []
+    in
+    let verdicts = Loadgen.Chaos.run_churn_grid ~domains cells in
+    pf "%-30s | %9s %6s %6s | %9s %9s | %s\n" "cell" "completed" "opened" "closed"
+      "est-settle" "mode-settle" "verdict";
+    pf "%s\n" (String.make 96 '-');
+    List.iter
+      (fun (v : Loadgen.Chaos.churn_verdict) ->
+        let r = v.fleet_result in
+        let completed, opened, closed =
+          List.fold_left
+            (fun (c, o, cl) (t : Loadgen.Fleet.tenant_result) ->
+              (c + t.t_completed, o + t.t_conns_opened, cl + t.t_conns_closed))
+            (0, 0, 0) r.tenants
+        in
+        let worst proj =
+          match r.observability with
+          | None -> "-"
+          | Some o ->
+            let settles = List.filter_map proj o.Loadgen.Observe.settling in
+            if settles = [] then "-"
+            else Printf.sprintf "%.0fus" (List.fold_left Float.max 0.0 settles)
+        in
+        pf "%-30s | %9d %6d %6d | %9s %9s | %s\n"
+          (Loadgen.Chaos.churn_cell_label v.churn_cell)
+          completed opened closed
+          (worst (fun g -> g.Loadgen.Observe.g_settle_us))
+          (worst (fun g -> g.Loadgen.Observe.g_mode_settle_us))
+          (if Loadgen.Chaos.churn_ok v then "ok"
+           else String.concat "; " v.churn_failures))
+      verdicts;
+    let bad = List.filter (fun v -> not (Loadgen.Chaos.churn_ok v)) verdicts in
+    if bad = [] then begin
+      pf "chaos               : all %d cells passed\n" (List.length verdicts);
+      `Ok ()
+    end
+    else
+      fail "chaos: %d of %d cells failed invariants" (List.length bad)
+        (List.length verdicts)
+  in
   let action rate seed duration warmup losses reorders blackouts zero_window
-      domains trace_out metrics_out sample_us =
+      flash_crowd churn_storm ablate_inherit ablate_settling domains trace_out
+      metrics_out sample_us =
     let ( let* ) = Result.bind in
     let checked =
       let* losses = parse_floats "losses" losses in
@@ -470,6 +553,11 @@ let chaos_cmd =
     in
     match checked with
     | Error e -> fail "%s" e
+    | Ok _ when flash_crowd || churn_storm ->
+      if domains < 1 then fail "--domains must be at least 1"
+      else
+        run_churn_cells ~domains ~flash:flash_crowd ~storm:churn_storm
+          ~inherit_prior:(not ablate_inherit) ~settling:(not ablate_settling)
     | Ok (losses, reorders, blackouts_ms, base) ->
       let zero_windows = if zero_window then [ false; true ] else [ false ] in
       let verdicts =
@@ -506,8 +594,9 @@ let chaos_cmd =
       ret
         (const action $ chaos_rate_arg $ seed_arg $ chaos_duration_arg
        $ chaos_warmup_arg $ losses_arg
-       $ reorders_arg $ blackouts_arg $ zero_window_arg $ domains_arg
-       $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
+       $ reorders_arg $ blackouts_arg $ zero_window_arg $ flash_crowd_arg
+       $ churn_storm_arg $ ablate_inherit_arg $ ablate_settling_arg
+       $ domains_arg $ trace_out_arg $ metrics_out_arg $ sample_us_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -874,6 +963,7 @@ type slo_agg = {
   g_histo : Sim.Histo.t;
   mutable g_done_rev : (float * float) list;  (* completion us, latency us *)
   mutable g_total : int;
+  mutable g_edges_rev : float list;  (* "edge" breadcrumbs, µs *)
 }
 
 type slo_run = {
@@ -888,7 +978,7 @@ let slo_agg_of sr id =
   | None ->
     let g =
       { g_id = id; g_slo_us = None; g_histo = Sim.Histo.create ();
-        g_done_rev = []; g_total = 0 }
+        g_done_rev = []; g_total = 0; g_edges_rev = [] }
     in
     Hashtbl.add sr.sr_tbl id g;
     sr.sr_order_rev <- id :: sr.sr_order_rev;
@@ -900,6 +990,13 @@ let slo_run_feed sr (r : Sim.Trace.record) =
     match float_of_string_opt detail with
     | Some slo_us when slo_us > 0.0 ->
       (slo_agg_of sr r.id).g_slo_us <- Some slo_us
+    | Some _ | None -> ())
+  | Sim.Trace.Message { tag = "edge"; detail } -> (
+    (* Settling-tracker breadcrumb: a load discontinuity for this id. *)
+    match float_of_string_opt detail with
+    | Some at_us when Float.is_finite at_us ->
+      let g = slo_agg_of sr r.id in
+      g.g_edges_rev <- at_us :: g.g_edges_rev
     | Some _ | None -> ())
   | Sim.Trace.Request_done { latency_us } ->
     let g = slo_agg_of sr r.id in
@@ -1029,6 +1126,94 @@ let slo_rows ~burn_window_us sr =
 
 let fopt = function Some v -> Printf.sprintf "%8.1fus" v | None -> "         -"
 
+(* Offline settling: recompute re-convergence per edge-to-edge segment
+   from the completion stream, bucketed to 1 ms means.  The trace file
+   does not carry the in-run estimator series, but ground-truth latency
+   re-converging is the same question asked of a coarser signal, and
+   the "edge" breadcrumbs mark exactly the discontinuities the in-run
+   tracker judged. *)
+type settle_row = {
+  st_id : string;
+  st_edge_us : float;
+  st_end_us : float;
+  st_steady_us : float option;
+  st_settle_us : float option;
+}
+
+let settle_rows sr =
+  let ids = List.rev sr.sr_order_rev in
+  List.concat_map
+    (fun id ->
+      let g = Hashtbl.find sr.sr_tbl id in
+      let edges = List.sort_uniq compare (List.rev g.g_edges_rev) in
+      if edges = [] || g.g_done_rev = [] then []
+      else begin
+        let pairs = List.rev g.g_done_rev in
+        let tbl : (int, float * int) Hashtbl.t = Hashtbl.create 256 in
+        List.iter
+          (fun (at, lat) ->
+            let b = int_of_float (at /. 1000.0) in
+            let sum, n =
+              Option.value (Hashtbl.find_opt tbl b) ~default:(0.0, 0)
+            in
+            Hashtbl.replace tbl b (sum +. lat, n + 1))
+          pairs;
+        let series =
+          List.sort
+            (fun (a, _) (b, _) -> Float.compare a b)
+            (Hashtbl.fold
+               (fun b (sum, n) acc ->
+                 (((float_of_int b +. 0.5) *. 1000.0), sum /. float_of_int n)
+                 :: acc)
+               tbl [])
+        in
+        let last =
+          List.fold_left (fun acc (at, _) -> Float.max acc at) 0.0 pairs
+        in
+        let until = last +. 1.0 in
+        let rec segs = function
+          | [] -> []
+          | e :: rest ->
+            let seg_end = match rest with n :: _ -> n | [] -> until in
+            (e, seg_end) :: segs rest
+        in
+        List.map
+          (fun (edge_us, end_us) ->
+            let steady, settle =
+              Loadgen.Observe.judge_settle series ~edge_us ~end_us
+                ~kind:`Estimate
+            in
+            {
+              st_id = id;
+              st_edge_us = edge_us;
+              st_end_us = end_us;
+              st_steady_us = steady;
+              st_settle_us = settle;
+            })
+          (segs (List.filter (fun e -> e < until) edges))
+      end)
+    ids
+
+let print_settle_rows rows =
+  if rows <> [] then begin
+    pf "  settling (1 ms ground-truth buckets between edge breadcrumbs):\n";
+    pf "    %-16s %10s %10s %10s %10s  %s\n" "id" "edge" "seg-end" "steady"
+      "settle" "verdict";
+    List.iter
+      (fun s ->
+        let f = function
+          | Some v -> Printf.sprintf "%8.1fus" v
+          | None -> "         -"
+        in
+        pf "    %-16s %8.0fus %8.0fus %s %s  %s\n" s.st_id s.st_edge_us
+          s.st_end_us (f s.st_steady_us) (f s.st_settle_us)
+          (match (s.st_steady_us, s.st_settle_us) with
+          | None, _ -> "too few samples"
+          | Some _, None -> "never settled"
+          | Some _, Some _ -> "settled"))
+      rows
+  end
+
 let print_slo_run ~burn_window_us sr =
   let rows, declared_only = slo_rows ~burn_window_us sr in
   pf "run %s: SLO attainment (burn window %.0fus, budget %.0f%%)\n"
@@ -1052,6 +1237,7 @@ let print_slo_run ~burn_window_us sr =
         trackers report in-run only)\n"
       declared_only
       (if declared_only = 1 then "" else "s");
+  print_settle_rows (settle_rows sr);
   rows
 
 let burn_window_us_arg =
@@ -1419,6 +1605,32 @@ let slo_panel_sections slo_tables =
                  | Some v -> Printf.sprintf "%.1fus" v
                  | None -> "-"
                in
+               let settles = settle_rows sr in
+               let settle_section =
+                 if settles = [] then ""
+                 else
+                   Report.Html.paragraph
+                     "Re-convergence after load discontinuities (envelope \
+                      edges / churn epochs), recomputed from 1 ms \
+                      ground-truth buckets between the trace's edge \
+                      breadcrumbs."
+                   ^ Report.Html.table
+                       ~header:
+                         [ "id"; "edge"; "segment end"; "steady"; "settle";
+                           "verdict" ]
+                       (List.map
+                          (fun s ->
+                            [ s.st_id;
+                              Printf.sprintf "%.0fus" s.st_edge_us;
+                              Printf.sprintf "%.0fus" s.st_end_us;
+                              cell s.st_steady_us;
+                              cell s.st_settle_us;
+                              (match (s.st_steady_us, s.st_settle_us) with
+                              | None, _ -> "too few samples"
+                              | Some _, None -> "never settled"
+                              | Some _, Some _ -> "settled") ])
+                          settles)
+               in
                Some
                  (Report.Html.section
                     ~title:(Printf.sprintf "SLO attainment — %s" label)
@@ -1444,7 +1656,8 @@ let slo_panel_sections slo_tables =
                                (match r.sl_first_burn_us with
                                | Some us -> Printf.sprintf "%.1fus" us
                                | None -> "-") ])
-                           rows))))
+                           rows)
+                    ^ settle_section)))
            runs)
        slo_tables)
 

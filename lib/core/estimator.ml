@@ -1,8 +1,11 @@
+type lifecycle = Cold_start | Warm
+
 type t = {
   unacked : Queue_state.t;
   unread : Queue_state.t;
   ackdelay : Queue_state.t;
   created_at : Sim.Time.t;
+  mutable lifecycle : lifecycle;
   mutable local_prev : Exchange.triple;
   mutable remote_baseline : Exchange.triple option;
   mutable remote_latest : Exchange.triple option;
@@ -37,6 +40,11 @@ let create ~at =
     unread;
     ackdelay;
     created_at = at;
+    (* Estimators created with their run start Warm: their first window
+       spans warmup, which the warmup-boundary [estimate] call already
+       discards.  Only connections spawned mid-run (fleet churn) are
+       marked [Cold_start] explicitly. *)
+    lifecycle = Warm;
     local_prev;
     remote_baseline = None;
     remote_latest = None;
@@ -51,6 +59,10 @@ let create ~at =
 let set_trace t tr ~id =
   t.trace <- Some tr;
   t.trace_id <- id
+
+let set_cold_start t = t.lifecycle <- Cold_start
+let lifecycle t = t.lifecycle
+let is_cold t = t.lifecycle = Cold_start
 
 let set_audit t au ~prefix =
   t.audit <-
@@ -196,17 +208,28 @@ let estimate t ~at =
     (match t.remote_latest with
     | Some latest -> t.remote_baseline <- Some latest
     | None -> ());
-    (match t.trace with
-    | Some tr when Sim.Trace.enabled tr ->
-        Sim.Trace.event tr ~at ~id:t.trace_id
-          (Estimate_computed
-             {
-               latency_us = Option.map (fun l -> l /. 1e3) est.latency_ns;
-               throughput = est.throughput;
-               window_us = float_of_int est.window /. 1e3;
-             })
-    | _ -> ());
-    Some est
+    if t.lifecycle = Cold_start then begin
+      (* The first window of a mid-run connection spans its slow-start
+         ramp: a handful of samples over a tiny span.  Discard it —
+         windows re-anchor at [at] — and report nothing, so a fresh
+         connection cannot poison its group's aggregate. *)
+      t.lifecycle <- Warm;
+      None
+    end
+    else begin
+      (match t.trace with
+      | Some tr when Sim.Trace.enabled tr ->
+          Sim.Trace.event tr ~at ~id:t.trace_id
+            (Estimate_computed
+               {
+                 latency_us = Option.map (fun l -> l /. 1e3) est.latency_ns;
+                 throughput = est.throughput;
+                 window_us = float_of_int est.window /. 1e3;
+               })
+      | _ -> ());
+      Some est
+    end
 
 let peek_estimate t ~at =
-  match compute t ~at with None -> None | Some (est, _) -> Some est
+  if t.lifecycle = Cold_start then None
+  else match compute t ~at with None -> None | Some (est, _) -> Some est

@@ -13,6 +13,25 @@ type t
 
 val create : at:Sim.Time.t -> t
 
+(** {1 Lifecycle}
+
+    Estimators created with their run start [Warm]: the warmup-boundary
+    [estimate] call already discards the ramp-up window.  A connection
+    spawned {e mid-run} (fleet churn) has no such boundary — its first
+    window spans TCP slow start with a handful of samples — so callers
+    mark it [Cold_start].  While cold, {!peek_estimate} reports nothing
+    and the first {!estimate} advances past the untrustworthy window
+    (returning [None]) instead of publishing it; the estimator is
+    [Warm] from then on.  Under [Per_tenant]/[Global] control scope the
+    group's other estimators keep the aggregate alive meanwhile — the
+    cold connection inherits the group prior instead of re-exploring. *)
+
+type lifecycle = Cold_start | Warm
+
+val set_cold_start : t -> unit
+val lifecycle : t -> lifecycle
+val is_cold : t -> bool
+
 (** {1 Local queue instrumentation} *)
 
 val track_unacked : t -> at:Sim.Time.t -> int -> unit

@@ -48,6 +48,17 @@ let observe t ~mode (outcome : Policy.outcome) =
 
 let observations t m = (arm t m).samples
 
+(* Cold-start inheritance: pre-load an arm with a sibling group's
+   smoothed outcome so a freshly spawned per-conn group exploits the
+   fleet's experience instead of re-exploring from nothing.  Counts as
+   enough observations to skip the undersampled-forcing phase, but the
+   EWMA still adapts as real samples arrive. *)
+let seed_arm t ~mode (outcome : Policy.outcome) =
+  let a = arm t mode in
+  ignore (Ewma.update a.latency outcome.latency_ns);
+  ignore (Ewma.update a.throughput outcome.throughput);
+  if a.samples < t.min_observations then a.samples <- t.min_observations
+
 let smoothed t m : Policy.outcome option =
   let a = arm t m in
   match (Ewma.value a.latency, Ewma.value a.throughput) with

@@ -41,6 +41,13 @@ val observe : t -> mode:mode -> Policy.outcome -> unit
 val observations : t -> mode -> int
 val smoothed : t -> mode -> Policy.outcome option
 
+val seed_arm : t -> mode:mode -> Policy.outcome -> unit
+(** Cold-start inheritance: pre-load an arm with a sibling group's
+    smoothed outcome and mark it as sufficiently observed, so a group
+    spawned mid-run (connection churn) exploits the fleet's experience
+    instead of re-exploring both arms from scratch.  The EWMA still
+    adapts as the group's own samples arrive. *)
+
 val decide : t -> mode
 (** Pick the mode for the next window: explore with probability ε (or
     when the other arm is unexplored), otherwise exploit the better

@@ -1,27 +1,138 @@
+type envelope =
+  | Flat
+  | Steps of (float * float) list
+  | Ramp of { period_us : float; from_f : float; to_f : float }
+  | Square of { period_us : float; duty : float; high : float }
+
+let check_factor what f =
+  if not (Float.is_finite f) || f <= 0.0 then
+    invalid_arg (Printf.sprintf "Arrival: %s factor must be finite and positive" what)
+
+let check_envelope = function
+  | Flat -> ()
+  | Steps steps ->
+    if steps = [] then invalid_arg "Arrival: steps envelope needs at least one step";
+    List.iter
+      (fun (at, f) ->
+        if not (Float.is_finite at) || at < 0.0 then
+          invalid_arg "Arrival: step times must be finite and non-negative";
+        check_factor "step" f)
+      steps;
+    let rec sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if b <= a then invalid_arg "Arrival: step times must be strictly increasing";
+        sorted rest
+      | _ -> ()
+    in
+    sorted steps
+  | Ramp { period_us; from_f; to_f } ->
+    if not (Float.is_finite period_us) || period_us <= 0.0 then
+      invalid_arg "Arrival: ramp period must be positive";
+    check_factor "ramp from" from_f;
+    check_factor "ramp to" to_f
+  | Square { period_us; duty; high } ->
+    if not (Float.is_finite period_us) || period_us <= 0.0 then
+      invalid_arg "Arrival: square period must be positive";
+    if not (Float.is_finite duty) || duty <= 0.0 || duty >= 1.0 then
+      invalid_arg "Arrival: square duty must be in (0,1)";
+    check_factor "square high" high
+
+(* Rate multiplier at absolute sim time [at_us].  1.0 means the base
+   process is undisturbed. *)
+let factor env ~at_us =
+  match env with
+  | Flat -> 1.0
+  | Steps steps ->
+    List.fold_left (fun acc (at, f) -> if at <= at_us then f else acc) 1.0 steps
+  | Ramp { period_us; from_f; to_f } ->
+    let phase = Float.rem at_us period_us /. period_us in
+    let phase = if phase < 0.0 then phase +. 1.0 else phase in
+    from_f +. ((to_f -. from_f) *. phase)
+  | Square { period_us; duty; high } ->
+    let phase = Float.rem at_us period_us /. period_us in
+    let phase = if phase < 0.0 then phase +. 1.0 else phase in
+    if phase < duty then high else 1.0
+
+(* Discontinuity instants in [0, until_us] — the moments a settling
+   tracker should measure re-convergence from.  Ramps are continuous
+   except at the period wrap (skipped when the ramp is degenerate). *)
+let edges env ~until_us =
+  let ok t = t > 0.0 && t <= until_us in
+  match env with
+  | Flat -> []
+  | Steps steps -> List.filter ok (List.map fst steps)
+  | Ramp { period_us; from_f; to_f } ->
+    if from_f = to_f then []
+    else begin
+      let acc = ref [] in
+      let t = ref period_us in
+      while !t <= until_us do
+        acc := !t :: !acc;
+        t := !t +. period_us
+      done;
+      List.rev !acc
+    end
+  | Square { period_us; duty; high } ->
+    if high = 1.0 then []
+    else begin
+      let acc = ref [] in
+      let k = ref 0.0 in
+      while !k *. period_us <= until_us do
+        let rise = !k *. period_us and fall = (!k +. duty) *. period_us in
+        if ok rise then acc := rise :: !acc;
+        if ok fall then acc := fall :: !acc;
+        k := !k +. 1.0
+      done;
+      List.rev !acc
+    end
+
 type kind =
   | Poisson of Sim.Rng.t
   | Uniform
   | Bursty of { rng : Sim.Rng.t; burst : int; mutable left : int }
+  | Replay of { gaps : int array; mutable pos : int }
 
-type t = { kind : kind; rate_rps : float; gap_ns : float }
+type t = { kind : kind; rate_rps : float; gap_ns : float; envelope : envelope }
 
 let check_rate rate_rps =
-  if rate_rps <= 0.0 then invalid_arg "Arrival: rate must be positive"
+  if not (Float.is_finite rate_rps) || rate_rps <= 0.0 then
+    invalid_arg "Arrival: rate must be finite and positive"
 
 let poisson ~rng ~rate_rps =
   check_rate rate_rps;
-  { kind = Poisson rng; rate_rps; gap_ns = 1e9 /. rate_rps }
+  { kind = Poisson rng; rate_rps; gap_ns = 1e9 /. rate_rps; envelope = Flat }
 
 let uniform ~rate_rps =
   check_rate rate_rps;
-  { kind = Uniform; rate_rps; gap_ns = 1e9 /. rate_rps }
+  { kind = Uniform; rate_rps; gap_ns = 1e9 /. rate_rps; envelope = Flat }
 
 let bursty ~rng ~rate_rps ~burst =
   check_rate rate_rps;
   if burst < 1 then invalid_arg "Arrival.bursty: burst must be >= 1";
-  { kind = Bursty { rng; burst; left = 0 }; rate_rps; gap_ns = 1e9 /. rate_rps }
+  { kind = Bursty { rng; burst; left = 0 };
+    rate_rps;
+    gap_ns = 1e9 /. rate_rps;
+    envelope = Flat }
 
-let next_gap t =
+let replay ~gaps_ns =
+  if Array.length gaps_ns = 0 then
+    invalid_arg "Arrival.replay: need at least one recorded gap";
+  Array.iter
+    (fun g -> if g < 0 then invalid_arg "Arrival.replay: gaps must be non-negative")
+    gaps_ns;
+  let total = Array.fold_left (fun a g -> a +. float_of_int g) 0.0 gaps_ns in
+  if total <= 0.0 then invalid_arg "Arrival.replay: trace has zero total duration";
+  let gap_ns = total /. float_of_int (Array.length gaps_ns) in
+  { kind = Replay { gaps = Array.copy gaps_ns; pos = 0 };
+    rate_rps = 1e9 /. gap_ns;
+    gap_ns;
+    envelope = Flat }
+
+let modulate t env =
+  check_envelope env;
+  { t with envelope = env }
+
+let base_gap t =
   match t.kind with
   | Uniform -> int_of_float t.gap_ns
   | Poisson rng -> int_of_float (Sim.Rng.exponential rng ~mean:t.gap_ns)
@@ -35,5 +146,25 @@ let next_gap t =
       (* Bursts arrive at rate/burst, so the per-request rate holds. *)
       int_of_float (Sim.Rng.exponential b.rng ~mean:(t.gap_ns *. float_of_int b.burst))
     end
+  | Replay r ->
+    let g = r.gaps.(r.pos) in
+    r.pos <- (r.pos + 1) mod Array.length r.gaps;
+    g
+
+let next_gap t ~now =
+  match t.envelope with
+  | Flat ->
+    (* No envelope: exactly the pre-envelope arithmetic, so runs without
+       modulation replay bit-identically. *)
+    base_gap t
+  | env ->
+    (* Gap scaling: the drawn gap shrinks by the instantaneous rate
+       factor at draw time.  A piecewise approximation of thinning —
+       exact for Uniform, and for the others the first gap after an edge
+       still reflects the pre-edge rate, an error of at most one
+       inter-arrival time. *)
+    let f = factor env ~at_us:(float_of_int now /. 1e3) in
+    int_of_float (float_of_int (base_gap t) /. f)
 
 let rate t = t.rate_rps
+let envelope t = t.envelope

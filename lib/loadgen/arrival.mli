@@ -3,22 +3,64 @@
     Open-loop generation as in Lancet: inter-arrival gaps are drawn
     independently of completions, so the offered load is fixed and
     queueing delay shows up as latency rather than as a reduced request
-    rate. *)
+    rate.
+
+    Any base process can additionally be wrapped in a time-varying
+    {!envelope} — a rate multiplier evaluated at the draw instant — to
+    model flash crowds, diurnal ramps and stepped load changes. *)
+
+type envelope =
+  | Flat  (** no modulation; the base process runs undisturbed *)
+  | Steps of (float * float) list
+      (** [(at_us, factor)] piecewise-constant schedule, strictly
+          increasing times; the factor is 1.0 before the first step and
+          each step holds until the next *)
+  | Ramp of { period_us : float; from_f : float; to_f : float }
+      (** sawtooth (diurnal) ramp: factor sweeps linearly [from_f] to
+          [to_f] over each period, then wraps *)
+  | Square of { period_us : float; duty : float; high : float }
+      (** flash-crowd square wave: factor [high] for the first
+          [duty] fraction of each period, 1.0 for the rest *)
+
+val factor : envelope -> at_us:float -> float
+(** Instantaneous rate multiplier at absolute sim time [at_us]. *)
+
+val edges : envelope -> until_us:float -> float list
+(** Discontinuity instants in [(0, until_us]], ascending — the moments a
+    settling tracker measures re-convergence from. *)
 
 type t
 
 val poisson : rng:Sim.Rng.t -> rate_rps:float -> t
 (** Exponential gaps with mean [1/rate] — a memoryless open-loop
-    client.  @raise Invalid_argument when the rate is not positive. *)
+    client.  @raise Invalid_argument when the rate is not finite and
+    positive. *)
 
 val uniform : rate_rps:float -> t
-(** Fixed gaps of exactly [1/rate]. *)
+(** Fixed gaps of exactly [1/rate].
+    @raise Invalid_argument when the rate is not finite and positive. *)
 
 val bursty : rng:Sim.Rng.t -> rate_rps:float -> burst:int -> t
 (** Poisson arrivals of bursts of [burst] back-to-back requests, with
-    the gap mean scaled so the long-run rate stays [rate_rps]. *)
+    the gap mean scaled so the long-run rate stays [rate_rps].
+    @raise Invalid_argument when the rate is not finite and positive or
+    [burst < 1]. *)
 
-val next_gap : t -> Sim.Time.span
-(** The gap before the next request (0 within a burst). *)
+val replay : gaps_ns:int array -> t
+(** Replays recorded inter-arrival gaps verbatim, cycling when the
+    trace runs out; [rate] reports the trace's long-run mean.
+    @raise Invalid_argument on an empty trace, a negative gap, or a
+    trace of all-zero gaps. *)
+
+val modulate : t -> envelope -> t
+(** Wrap a base process in a rate envelope.  Drawn gaps are divided by
+    the factor at draw time; [Flat] returns the process unchanged.
+    @raise Invalid_argument on malformed envelopes (non-positive or
+    non-finite factors, unsorted steps, duty outside (0,1)). *)
+
+val next_gap : t -> now:Sim.Time.t -> Sim.Time.span
+(** The gap before the next request (0 within a burst), with the
+    envelope factor applied at time [now]. *)
 
 val rate : t -> float
+val envelope : t -> envelope

@@ -175,3 +175,188 @@ let run_cell ~base cell =
 let run_grid ?(domains = 1) ?zero_windows ~base ~losses ~reorders ~blackouts_ms () =
   Par.Pool.map ~domains (run_cell ~base)
     (grid ?zero_windows ~losses ~reorders ~blackouts_ms ())
+
+(* {1 Time-varying-load chaos: flash crowds and churn storms}
+
+   Fleet-based cells that stress the re-convergence machinery instead
+   of the wire: a flash-crowd cell drives a 10x square-wave envelope, a
+   churn-storm cell mass-connects and mass-disconnects mid-run.  The
+   verdicts demand liveness (per-tenant accounting closure, lifecycle
+   actually exercised) and bounded re-convergence (every judged
+   settling segment back in band within the cell's bound).  The
+   [inherit_prior] and [settling] knobs are the ablations: without
+   cold-start inheritance freshly spawned per-connection togglers
+   re-explore from scratch and blow the bound; without the settling
+   tracker there is no re-convergence evidence at all. *)
+
+type churn_cell = {
+  flash : bool;  (* 10x square-wave envelope on the arrival process *)
+  storm : bool;  (* scripted mass connect / disconnect epochs *)
+  inherit_prior : bool;  (* Fleet.cold_start_inherit *)
+  settling : bool;  (* Observe settling tracker enabled *)
+}
+
+let churn_cell_label c =
+  Printf.sprintf "%s%s%s%s"
+    (if c.flash then "flash-crowd" else "")
+    (if c.flash && c.storm then "+" else "")
+    (if c.storm then "churn-storm" else "")
+    ((if c.inherit_prior then "" else " no-inherit")
+    ^ if c.settling then "" else " no-settling")
+
+(* Storm disturbances are population changes against a constant rate:
+   the estimate moves a little and the seeded modes not at all, so
+   25 ms is generous.  Flash peaks deliberately melt the server for
+   20 ms at a time; the recovery being bounded is the whole point, and
+   the bound budgets for the backlog drain after each burst. *)
+let churn_settle_bound_us = 25_000.0
+let flash_settle_bound_us = 60_000.0
+
+let settle_bound_us cell =
+  if cell.flash then flash_settle_bound_us else churn_settle_bound_us
+
+let churn_config c =
+  (* The 150 µs policy SLO makes batching-off the decisive winner at
+     these rates (nagle delay blows the budget), so converged togglers
+     hold their arm instead of hunting between near-tied arms on
+     window noise.  Storm cells additionally run slow, deliberate
+     togglers — 4 ms decision windows, four observations per arm
+     before the bandit trusts it — so a freshly spawned, un-seeded
+     toggler force-explores for 2 x 4 x 4 ms = 32 ms, comfortably past
+     [churn_settle_bound_us], while a seeded one exploits immediately.
+     Flash cells keep the default 1 ms tick: their sparse low-rate
+     phases starve 4 ms windows of samples, and a hunting toggler
+     pinned on the batching arm for 4 ms at a time inflates latency by
+     multiple ms. *)
+  let dyn =
+    Control.Dynamic
+      {
+        Control.default_dynamic with
+        policy = E2e.Policy.Throughput_under_slo { slo_ns = 150_000.0 };
+        epsilon = (if c.storm then 0.02 else 0.005);
+        tick = (if c.storm then Sim.Time.ms 4 else Sim.Time.ms 1);
+        min_observations = (if c.storm then 4 else 3);
+      }
+  in
+  let envelope =
+    if c.flash then Arrival.Square { period_us = 80_000.0; duty = 0.25; high = 10.0 }
+    else Arrival.Flat
+  in
+  let churn =
+    if c.storm then
+      Some
+        {
+          Fleet.no_churn with
+          max_conns = 32;
+          script = [ (Sim.Time.ms 60, 6); (Sim.Time.ms 120, -6) ];
+        }
+    else None
+  in
+  (* Rates keep every phase dense enough for the estimator to mean
+     something: below ~10k rps tenant-wide the per-connection windows
+     are starved and Little's-law peeks over near-empty windows read
+     as multi-ms garbage no tolerance band can judge.  The flash base
+     therefore sits at 15k — its 10x peak genuinely melts the server
+     for 20 ms at a time, which is exactly the recovery the flash
+     bound is asserting. *)
+  let tenant =
+    {
+      (Fleet.default_tenant ~name:"churny"
+         ~rate_rps:(if c.flash then 15000.0 else 20000.0))
+      with
+      Fleet.n_conns = 8;
+      batching = dyn;
+      envelope;
+      churn;
+    }
+  in
+  {
+    (Fleet.default_config ~tenants:[ tenant ]) with
+    Fleet.seed = 11;
+    warmup = Sim.Time.ms 20;
+    duration = Sim.Time.ms 160;
+    scope = Fleet.Per_conn;
+    cold_start_inherit = c.inherit_prior;
+    observe = Some { Observe.default_config with Observe.settling = c.settling };
+  }
+
+type churn_verdict = {
+  churn_cell : churn_cell;
+  fleet_result : Fleet.result;
+  churn_failures : string list;
+}
+
+let churn_ok v = v.churn_failures = []
+
+let check_churn (r : Fleet.result) ~cell =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun (t : Fleet.tenant_result) ->
+      if t.Fleet.t_issued <> t.Fleet.t_completed_total + t.Fleet.t_outstanding_end then
+        fail "accounting: tenant %s issued=%d <> completed=%d + outstanding=%d"
+          t.Fleet.t_name t.Fleet.t_issued t.Fleet.t_completed_total
+          t.Fleet.t_outstanding_end;
+      if t.Fleet.t_completed = 0 then
+        fail "liveness: tenant %s completed nothing" t.Fleet.t_name)
+    r.Fleet.tenants;
+  if cell.storm then begin
+    let opened =
+      List.fold_left (fun acc t -> acc + t.Fleet.t_conns_opened) 0 r.Fleet.tenants
+    in
+    let closed =
+      List.fold_left (fun acc t -> acc + t.Fleet.t_conns_closed) 0 r.Fleet.tenants
+    in
+    if opened = 0 then fail "churn: no connection ever spawned";
+    if closed = 0 then fail "churn: no connection ever drained and closed"
+  end;
+  (match r.Fleet.observability with
+  | None -> fail "settling: no observability attached"
+  | Some o ->
+    let judged =
+      List.filter
+        (fun (g : Observe.settle_report) -> g.Observe.g_steady_us <> None)
+        o.Observe.settling
+    in
+    if judged = [] then
+      fail "settling: no re-convergence evidence (tracker off or no judged segment)"
+    else
+      let est_bound = settle_bound_us cell in
+      List.iter
+        (fun (g : Observe.settle_report) ->
+          (match g.Observe.g_settle_us with
+          | None ->
+            fail "settling: %s edge %.0fus estimate never re-converged" g.Observe.g_id
+              g.Observe.g_edge_us
+          | Some s when s > est_bound ->
+            fail "settling: %s edge %.0fus estimate took %.0fus > %.0fus bound"
+              g.Observe.g_id g.Observe.g_edge_us s est_bound
+          | Some _ -> ());
+          (* Mode re-convergence is only owed by storm cells (a flash
+             crowd never changes the winning arm), and always against
+             the tight churn bound: a spawned toggler that has to
+             re-explore from scratch alternates arms for 32 ms
+             regardless of what the rate envelope is doing. *)
+          if cell.storm then
+            match g.Observe.g_mode_settle_us with
+            | None ->
+              fail "settling: %s edge %.0fus modes never re-converged" g.Observe.g_id
+                g.Observe.g_edge_us
+            | Some s when s > churn_settle_bound_us ->
+              fail "settling: %s edge %.0fus modes took %.0fus > %.0fus bound"
+                g.Observe.g_id g.Observe.g_edge_us s churn_settle_bound_us
+            | Some _ -> ())
+        judged);
+  List.rev !failures
+
+let run_churn_cell cell =
+  let fleet_result = Fleet.run (churn_config cell) in
+  { churn_cell = cell; fleet_result; churn_failures = check_churn fleet_result ~cell }
+
+let churn_grid () =
+  [
+    { flash = true; storm = false; inherit_prior = true; settling = true };
+    { flash = false; storm = true; inherit_prior = true; settling = true };
+  ]
+
+let run_churn_grid ?(domains = 1) cells = Par.Pool.map ~domains run_churn_cell cells

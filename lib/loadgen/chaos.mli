@@ -86,3 +86,69 @@ val run_grid :
   unit ->
   verdict list
 (** The whole grid, fanned out over [domains] (default 1). *)
+
+(** {1 Time-varying-load chaos}
+
+    Fleet-based cells that stress the re-convergence machinery instead
+    of the wire.  A {e flash-crowd} cell drives a 10x square-wave rate
+    envelope; a {e churn-storm} cell mass-connects six extra
+    connections mid-run and mass-disconnects them again.  Verdicts
+    demand liveness (per-tenant accounting closure, progress, and — for
+    storms — connections actually opened {e and} drained/closed) and
+    bounded re-convergence: every judged {!Observe.settle_report}
+    segment must re-enter its steady band within the cell's bound of
+    the disturbance edge (storm cells additionally bound the mode
+    series, always against the tight {!churn_settle_bound_us}).
+
+    The two booleans are ablations wired for falsifiability: with
+    [inherit_prior = false] freshly spawned per-connection togglers
+    re-explore from scratch and blow the mode-settle bound; with
+    [settling = false] the tracker emits no reports and the
+    re-convergence invariant fails for lack of evidence. *)
+
+type churn_cell = {
+  flash : bool;  (** 10x square-wave envelope on the arrival process *)
+  storm : bool;  (** scripted mass connect / disconnect epochs *)
+  inherit_prior : bool;  (** {!Fleet.config.cold_start_inherit} *)
+  settling : bool;  (** {!Observe.config.settling} *)
+}
+
+val churn_cell_label : churn_cell -> string
+
+val churn_settle_bound_us : float
+(** Worst tolerated re-convergence time after a churn edge (25 ms) —
+    population changes against a constant rate barely move the
+    estimate, and seeded modes not at all. *)
+
+val flash_settle_bound_us : float
+(** Worst tolerated re-convergence time after an envelope edge
+    (60 ms): a 10x peak melts the server for the 20 ms burst, and the
+    bound budgets for the backlog drain afterwards. *)
+
+val settle_bound_us : churn_cell -> float
+(** The estimate-series bound for this cell: the flash bound when an
+    envelope is in play, the churn bound otherwise. *)
+
+val churn_config : churn_cell -> Fleet.config
+(** The cell's fleet: one 8-connection per-conn-dynamic tenant, 20 ms
+    warmup + 160 ms measured, with the cell's envelope/churn script and
+    ablation knobs applied. *)
+
+type churn_verdict = {
+  churn_cell : churn_cell;
+  fleet_result : Fleet.result;
+  churn_failures : string list;
+}
+
+val churn_ok : churn_verdict -> bool
+
+val check_churn : Fleet.result -> cell:churn_cell -> string list
+(** The invariant list above; empty when all hold. *)
+
+val run_churn_cell : churn_cell -> churn_verdict
+
+val churn_grid : unit -> churn_cell list
+(** The default two cells: flash-crowd and churn-storm, both with
+    inheritance and settling enabled. *)
+
+val run_churn_grid : ?domains:int -> churn_cell list -> churn_verdict list

@@ -93,31 +93,40 @@ type t = {
   aimd : E2e.Aimd.t option;
   degrade : E2e.Degrade.t option;
   samples_rev : estimate_sample list ref;
+  (* Group membership is mutable so connections can join (churn spawn)
+     and leave (drain + FIN) a live group: the decision-tick closures
+     read these refs, never a captured list. *)
+  clients : Tcp.Socket.t list ref;
+  alls : Tcp.Socket.t list ref;
 }
 
 let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
     ~all_socks () =
-  let estimators = List.map Tcp.Socket.estimator client_socks in
-  let aggregate_estimate ~advance at = estimate_socks ~advance client_socks ~at in
-  let kick_all () = List.iter Tcp.Socket.kick all_socks in
+  let clients = ref client_socks in
+  let alls = ref all_socks in
+  let aggregate_estimate ~advance at = estimate_socks ~advance !clients ~at in
+  let kick_all () = List.iter Tcp.Socket.kick !alls in
   (* Age (µs) of the freshest accepted remote share across the group's
      estimators — the staleness clock the ledger records; -1 until the
      first share arrives. *)
   let stale_age_us at =
     let age =
       List.fold_left
-        (fun acc e ->
-          match E2e.Estimator.last_share_at e with
+        (fun acc sock ->
+          match E2e.Estimator.last_share_at (Tcp.Socket.estimator sock) with
           | Some t0 ->
               let a = Sim.Time.to_us at -. Sim.Time.to_us t0 in
               (match acc with None -> Some a | Some b -> Some (Stdlib.min a b))
           | None -> acc)
-        None estimators
+        None !clients
     in
     match age with None -> -1.0 | Some a -> Stdlib.max a 0.0
   in
   let samples_rev = ref [] in
-  let none = { batching; toggler = None; aimd = None; degrade = None; samples_rev } in
+  let none =
+    { batching; toggler = None; aimd = None; degrade = None; samples_rev;
+      clients; alls }
+  in
   match batching with
   | Static_on | Static_off -> none
   | Aimd_limit a ->
@@ -137,7 +146,7 @@ let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
     let set_limit limit =
       List.iter
         (fun sock -> Tcp.Nagle.set_min_send (Tcp.Socket.nagle sock) (Some limit))
-        all_socks;
+        !alls;
       kick_all ()
     in
     set_limit (limit_of_headroom (E2e.Aimd.limit controller));
@@ -184,7 +193,7 @@ let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
     let degrade = if fault_armed then Some (E2e.Degrade.create ~config:d.degrade ()) else None in
     let set_mode mode =
       let enabled = match mode with E2e.Toggler.Batch_on -> true | Batch_off -> false in
-      List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) all_socks;
+      List.iter (fun sock -> Tcp.Socket.set_nagle_enabled sock enabled) !alls;
       kick_all ()
     in
     let step_degrade at =
@@ -195,8 +204,10 @@ let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
            max(k · srtt, floor); the timeout tracks the live RTT
            estimate. *)
         let stale =
-          List.for_all2
-            (fun e sock ->
+          !clients <> []
+          && List.for_all
+            (fun sock ->
+              let e = Tcp.Socket.estimator sock in
               let srtt =
                 Option.value (Tcp.Rtt.srtt (Tcp.Socket.rtt sock)) ~default:0
               in
@@ -207,7 +218,7 @@ let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
               in
               E2e.Estimator.set_staleness e ~timeout:(Some timeout);
               E2e.Estimator.is_stale e ~at)
-            estimators client_socks
+            !clients
         in
         let state = E2e.Degrade.step dg ~stale in
         E2e.Toggler.force toggler
@@ -257,6 +268,44 @@ let attach ?ledger ~engine ~until ~rng ~fault_armed ~batching ~client_socks
 
 let samples t = List.rev !(t.samples_rev)
 let final_mode t = Option.map E2e.Toggler.mode t.toggler
+let toggler t = t.toggler
+let client_socks t = !(t.clients)
+
+let current_nagle t =
+  match t.toggler with
+  | Some tg -> (match E2e.Toggler.mode tg with Batch_on -> true | Batch_off -> false)
+  | None -> initial_nagle t.batching
+
+(* A connection spawned mid-run joins a live group: it becomes visible
+   to the next decision tick and immediately receives the group's
+   current mode/limit — the cold-start inheritance path for
+   [Global]/[Per_tenant] scope (a fresh socket otherwise starts at the
+   configuration default and waits a tick for correction). *)
+let adopt ?(inherit_mode = true) t ~client_sock ~server_sock =
+  t.clients := !(t.clients) @ [ client_sock ];
+  t.alls := !(t.alls) @ [ client_sock; server_sock ];
+  if not inherit_mode then ()
+  else
+    match t.batching with
+  | Static_on | Static_off -> ()
+  | Dynamic _ ->
+    let enabled = current_nagle t in
+    Tcp.Socket.set_nagle_enabled client_sock enabled;
+    Tcp.Socket.set_nagle_enabled server_sock enabled
+  | Aimd_limit a ->
+    let limit =
+      match t.aimd with
+      | Some c -> a.max_limit - (E2e.Aimd.limit c - 1)
+      | None -> a.max_limit
+    in
+    Tcp.Nagle.set_min_send (Tcp.Socket.nagle client_sock) (Some limit);
+    Tcp.Nagle.set_min_send (Tcp.Socket.nagle server_sock) (Some limit)
+
+(* Departing connections leave the group before closing so the decision
+   tick stops reading their (now idle) estimators. *)
+let abandon t ~client_sock ~server_sock =
+  t.clients := List.filter (fun s -> s != client_sock) !(t.clients);
+  t.alls := List.filter (fun s -> s != client_sock && s != server_sock) !(t.alls)
 
 let final_batch_limit t =
   match (t.aimd, t.batching) with

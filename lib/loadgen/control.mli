@@ -94,11 +94,38 @@ val attach :
     [Decision_outcome]s.  Ledgering only writes trace events — it
     never perturbs the run. *)
 
+val adopt :
+  ?inherit_mode:bool -> t -> client_sock:Tcp.Socket.t -> server_sock:Tcp.Socket.t -> unit
+(** Join a connection spawned mid-run (fleet churn) to a live group.
+    The pair becomes visible to the next decision tick, and — with
+    [inherit_mode] (the default) — the group's {e current} mode
+    (toggler arm, AIMD limit, or static flag) is applied to both
+    sockets immediately: the cold-start inheritance path for
+    [Global]/[Per_tenant] scope.  [~inherit_mode:false] joins the
+    membership only (the chaos ablation), leaving the sockets on their
+    setup-time flags until the next group-wide switch. *)
+
+val abandon : t -> client_sock:Tcp.Socket.t -> server_sock:Tcp.Socket.t -> unit
+(** Remove a departing connection (compared physically) so the decision
+    tick stops reading its estimator while it drains and closes. *)
+
 val samples : t -> estimate_sample list
 (** Tick-by-tick estimate log, oldest first (dynamic groups; empty
     otherwise). *)
 
 val final_mode : t -> E2e.Toggler.mode option
+
+val toggler : t -> E2e.Toggler.t option
+(** The group's ε-greedy toggler (dynamic groups only) — exposed so a
+    per-conn group spawned by churn can seed its arms from a sibling
+    via {!E2e.Toggler.seed_arm}. *)
+
+val client_socks : t -> Tcp.Socket.t list
+(** Current client-side membership. *)
+
+val current_nagle : t -> bool
+(** The Nagle flag the group would apply to a joining socket now. *)
+
 val final_batch_limit : t -> int option
 val degrade_freezes : t -> int option
 val degrade_thaws : t -> int option

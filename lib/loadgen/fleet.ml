@@ -4,7 +4,16 @@
    app core, one IRQ core — Redis is single-threaded).  Batching is
    controlled by {!Control} groups whose granularity is the [scope]
    knob: one group spanning the fleet, one per tenant, or one per
-   connection with its own toggler/estimator/degrade state. *)
+   connection with its own toggler/estimator/degrade state.
+
+   Time-varying load: each tenant's arrival process can be wrapped in
+   an {!Arrival.envelope}, and tenants may declare connection [churn] —
+   Poisson connect/disconnect rates or scripted epochs.  Connections
+   spawned mid-run enter TCP slow-start ([cc_enabled]) and the
+   estimator cold-start path; departing connections drain outstanding
+   requests and FIN cleanly.  Envelope-free, churn-free configs take
+   none of these paths and split no extra rng streams, so their results
+   stay bit-identical to the fixed-population implementation. *)
 
 type scope = Global | Per_tenant | Per_conn
 
@@ -12,6 +21,16 @@ let scope_label = function
   | Global -> "global"
   | Per_tenant -> "per_tenant"
   | Per_conn -> "per_conn"
+
+type churn = {
+  arrive_rps : float;  (* Poisson connection-arrival rate; 0 disables *)
+  depart_rps : float;  (* Poisson departure rate; 0 disables *)
+  min_conns : int;  (* departures below this floor are refused *)
+  max_conns : int;  (* arrivals above this cap are dropped *)
+  script : (Sim.Time.t * int) list;  (* scripted (at, ±n) epochs *)
+}
+
+let no_churn = { arrive_rps = 0.0; depart_rps = 0.0; min_conns = 1; max_conns = 64; script = [] }
 
 type tenant = {
   name : string;
@@ -23,6 +42,9 @@ type tenant = {
   link : Tcp.Conn.link_params;
   slo_us : float;
   batching : Control.batching;
+  envelope : Arrival.envelope;
+  replay_gaps : int array option;
+  churn : churn option;
 }
 
 let default_tenant ~name ~rate_rps =
@@ -36,6 +58,9 @@ let default_tenant ~name ~rate_rps =
     link = Tcp.Conn.default_link;
     slo_us = Runner.slo_us;
     batching = Control.Static_off;
+    envelope = Arrival.Flat;
+    replay_gaps = None;
+    churn = None;
   }
 
 type config = {
@@ -47,6 +72,7 @@ type config = {
   server : Kv.Server.config;
   client : Kv.Client.config;
   observe : Observe.config option;
+  cold_start_inherit : bool;
   tenants : tenant list;
 }
 
@@ -60,6 +86,7 @@ let default_config ~tenants =
     server = Kv.Server.default_config;
     client = Kv.Client.default_config;
     observe = None;
+    cold_start_inherit = true;
     tenants;
   }
 
@@ -79,6 +106,8 @@ type tenant_result = {
   t_estimated_tput_rps : float;
   t_client_app_util : float;
   t_nagle_toggles : int;
+  t_conns_opened : int;
+  t_conns_closed : int;
 }
 
 type result = {
@@ -93,6 +122,22 @@ type result = {
   final_modes : (string * E2e.Toggler.mode) list;
   observability : Observe.output option;
 }
+
+let validate_churn name c =
+  let bad msg =
+    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: %s" name msg)
+  in
+  if (not (Float.is_finite c.arrive_rps)) || c.arrive_rps < 0.0 then
+    bad "churn arrive_rps must be finite and non-negative";
+  if (not (Float.is_finite c.depart_rps)) || c.depart_rps < 0.0 then
+    bad "churn depart_rps must be finite and non-negative";
+  if c.min_conns < 1 then bad "churn min_conns must be at least 1";
+  if c.max_conns < c.min_conns then bad "churn max_conns must be >= min_conns";
+  List.iter
+    (fun (at, delta) ->
+      if at < 0 then bad "churn script times must be non-negative";
+      if delta = 0 then bad "churn script deltas must be non-zero")
+    c.script
 
 let validate_tenant t =
   if t.name = "" then invalid_arg "Fleet.run: tenant name must be non-empty";
@@ -114,25 +159,61 @@ let validate_tenant t =
     invalid_arg
       (Printf.sprintf "Fleet.run: tenant %s: cpu_multiplier must be positive" t.name);
   if (not (Float.is_finite t.slo_us)) || t.slo_us <= 0.0 then
-    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: slo_us must be positive" t.name)
+    invalid_arg (Printf.sprintf "Fleet.run: tenant %s: slo_us must be positive" t.name);
+  match t.churn with
+  | None -> ()
+  | Some c ->
+    validate_churn t.name c;
+    if t.n_conns < c.min_conns || t.n_conns > c.max_conns then
+      invalid_arg
+        (Printf.sprintf
+           "Fleet.run: tenant %s: n_conns must lie within churn [min_conns, max_conns]"
+           t.name)
 
-(* Everything one tenant owns at runtime.  [socket_pairs] keeps the
-   (client, server) association so per-connection control groups can
-   switch both ends of exactly their connection. *)
+(* One connection's lifetime state.  [gen] is 0 for run-start
+   connections and the per-tenant spawn ordinal for churn arrivals;
+   [accepting] keeps the entry in the issue rotation, [retired] marks a
+   fully drained-and-closed departure (kept for lifetime accounting). *)
+type conn_entry = {
+  gen : int;
+  client : Kv.Client.t;
+  csock : Tcp.Socket.t;
+  ssock : Tcp.Socket.t;
+  mutable accepting : bool;
+  mutable retired : bool;
+  mutable egroup : Control.t option;
+  mutable on_complete : latency:Sim.Time.span -> Kv.Resp.value -> unit;
+}
+
+(* Everything one tenant owns at runtime.  [entries] holds every
+   connection the tenant ever had, oldest first, so lifetime accounting
+   (issued = completed + outstanding) covers departed connections. *)
 type tenant_state = {
   spec : tenant;
   mode : Control.batching;  (* after applying the scope *)
-  clients : Kv.Client.t list;
-  client_socks : Tcp.Socket.t list;
-  server_socks : Tcp.Socket.t list;
-  conns : Tcp.Conn.t list;
   client_cpu : Sim.Cpu.t;
+  client_irq : Sim.Cpu.t;
+  store : Kv.Store.t;
+  conns0 : Tcp.Conn.t list;  (* run-start connections, for trace wiring *)
   recorder : Recorder.t;
   workload_rng : Sim.Rng.t;
   arrival : Arrival.t;
+  mutable entries : conn_entry list;
+  mutable next_gen : int;
+  mutable opened_mid : int;
+  mutable closed_mid : int;
+  mutable rotation : conn_entry array;
+  next_client : int ref;
 }
 
 let ns_opt_to_us = Option.map (fun ns -> ns /. 1e3)
+
+let rebuild_rotation s =
+  s.rotation <- Array.of_list (List.filter (fun e -> e.accepting) s.entries)
+
+let accepting_count s = Array.length s.rotation
+
+let live_entries s = List.filter (fun e -> not e.retired) s.entries
 
 let run (cfg : config) =
   if cfg.tenants = [] then invalid_arg "Fleet.run: at least one tenant required";
@@ -177,8 +258,11 @@ let run (cfg : config) =
   in
   (* Rng split order is fixed and documented: two streams per tenant in
      declaration order (workload, arrival), then one per control group
-     in group order.  Identical configs therefore replay identical draw
-     sequences regardless of host parallelism. *)
+     in group order, then — only for tenants that declare churn — one
+     churn stream per churning tenant in declaration order.  Identical
+     configs therefore replay identical draw sequences regardless of
+     host parallelism, and configs without churn split exactly the
+     pre-churn streams. *)
   let states =
     List.map
       (fun (t : tenant) ->
@@ -217,27 +301,59 @@ let run (cfg : config) =
             (fun sock -> Kv.Client.create engine ~cpu:client_cpu ~socket:sock client_cfg)
             client_socks
         in
-        let arrival =
-          if t.burst > 1 then
-            Arrival.bursty ~rng:arrival_rng ~rate_rps:t.rate_rps ~burst:t.burst
-          else Arrival.poisson ~rng:arrival_rng ~rate_rps:t.rate_rps
+        let base =
+          match t.replay_gaps with
+          | Some gaps -> Arrival.replay ~gaps_ns:gaps
+          | None ->
+            if t.burst > 1 then
+              Arrival.bursty ~rng:arrival_rng ~rate_rps:t.rate_rps ~burst:t.burst
+            else Arrival.poisson ~rng:arrival_rng ~rate_rps:t.rate_rps
         in
-        {
-          spec = t;
-          mode;
-          clients;
-          client_socks;
-          server_socks;
-          conns;
-          client_cpu;
-          recorder = Recorder.create ~warmup_until ();
-          workload_rng;
-          arrival;
-        })
+        let arrival = Arrival.modulate base t.envelope in
+        let entries =
+          List.map2
+            (fun client conn ->
+              {
+                gen = 0;
+                client;
+                csock = Tcp.Conn.sock_a conn;
+                ssock = Tcp.Conn.sock_b conn;
+                accepting = true;
+                retired = false;
+                egroup = None;
+                on_complete = (fun ~latency:_ _ -> ());
+              })
+            clients conns
+        in
+        let s =
+          {
+            spec = t;
+            mode;
+            client_cpu;
+            client_irq;
+            store;
+            conns0 = conns;
+            recorder = Recorder.create ~warmup_until ();
+            workload_rng;
+            arrival;
+            entries;
+            next_gen = 1;
+            opened_mid = 0;
+            closed_mid = 0;
+            rotation = [||];
+            next_client = ref 0;
+          }
+        in
+        rebuild_rotation s;
+        s)
       cfg.tenants
   in
-  let all_client_socks = List.concat_map (fun s -> s.client_socks) states in
-  let all_server_socks = List.concat_map (fun s -> s.server_socks) states in
+  let all_client_socks =
+    List.concat_map (fun s -> List.map (fun e -> e.csock) s.entries) states
+  in
+  let all_server_socks =
+    List.concat_map (fun s -> List.map (fun e -> e.ssock) s.entries) states
+  in
   (match obs with
   | Some o ->
     let tr = Observe.trace o in
@@ -250,10 +366,11 @@ let run (cfg : config) =
       (all_client_socks @ all_server_socks);
     List.iter
       (fun s ->
-        List.iter2
-          (fun conn sock ->
-            Tcp.Link.set_trace (Tcp.Conn.link_ab conn) tr ~id:(Tcp.Socket.label sock))
-          s.conns s.client_socks)
+        List.iter
+          (fun conn ->
+            Tcp.Link.set_trace (Tcp.Conn.link_ab conn) tr
+              ~id:(Tcp.Socket.label (Tcp.Conn.sock_a conn)))
+          s.conns0)
       states
   | None -> ());
   (* Decision ledgers (one per control group) and SLO trackers (one
@@ -274,10 +391,10 @@ let run (cfg : config) =
         Observe.declare_slo o ~at ~id:(s.spec.name ^ "/client")
           ~slo_us:s.spec.slo_us;
         List.iter
-          (fun csock ->
-            Observe.declare_slo o ~at ~id:(Tcp.Socket.label csock)
+          (fun e ->
+            Observe.declare_slo o ~at ~id:(Tcp.Socket.label e.csock)
               ~slo_us:s.spec.slo_us)
-          s.client_socks)
+          s.entries)
       states;
     match cfg.scope with
     | Global -> add "fleet"
@@ -285,54 +402,58 @@ let run (cfg : config) =
     | Per_conn ->
       List.iter
         (fun s ->
-          List.iter (fun csock -> add (Tcp.Socket.label csock)) s.client_socks)
+          List.iter (fun e -> add (Tcp.Socket.label e.csock)) s.entries)
         states);
   let ledger_for gid = Hashtbl.find_opt ledger_tbl gid in
-  (* Open-loop drivers: one independent arrival process per tenant,
-     round-robin over that tenant's connections.  Completion callbacks
-     are per connection so ledger tenures and per-conn SLO trackers see
-     exactly their own connection's requests. *)
-  List.iter
-    (fun s ->
-      let client_arr = Array.of_list s.clients in
-      let conn_ids = Array.of_list (List.map Tcp.Socket.label s.client_socks) in
-      let conn_ledgers =
-        Array.map
-          (fun label ->
-            match cfg.scope with
-            | Global -> ledger_for "fleet"
-            | Per_tenant -> ledger_for s.spec.name
-            | Per_conn -> ledger_for label)
-          conn_ids
-      in
-      let next_client = ref 0 in
-      let tenant_req_id = s.spec.name ^ "/client" in
-      let on_complete_for k ~latency reply =
+  let entry_ledger s e =
+    match cfg.scope with
+    | Global -> ledger_for "fleet"
+    | Per_tenant -> ledger_for s.spec.name
+    | Per_conn -> ledger_for (Tcp.Socket.label e.csock)
+  in
+  (* Per-entry completion callback: records latency, feeds the owning
+     group's ledger and the per-tenant + per-connection SLO trackers.
+     Built once per connection (run-start or spawned) so the hot path
+     allocates no closures. *)
+  let wire_entry s e =
+    let lg = entry_ledger s e in
+    let conn_id = Tcp.Socket.label e.csock in
+    let tenant_req_id = s.spec.name ^ "/client" in
+    e.on_complete <-
+      (fun ~latency reply ->
         (match reply with
-        | Kv.Resp.Error e -> failwith ("fleet: server replied with error: " ^ e)
+        | Kv.Resp.Error err -> failwith ("fleet: server replied with error: " ^ err)
         | Kv.Resp.Simple _ | Kv.Resp.Integer _ | Kv.Resp.Bulk _ | Kv.Resp.Array _ -> ());
         let at = Sim.Engine.now engine in
         Recorder.record s.recorder ~at ~latency;
         Recorder.record fleet_recorder ~at ~latency;
-        (match conn_ledgers.(k) with
+        (match lg with
         | Some lg -> E2e.Ledger.completion lg ~latency
         | None -> ());
         match obs with
         | Some o ->
           Observe.note_request o ~id:tenant_req_id ~at ~latency;
-          Observe.note_slo o ~id:conn_ids.(k) ~at ~latency
-        | None -> ()
-      in
-      let on_completes =
-        Array.init (Array.length client_arr) (fun k -> on_complete_for k)
-      in
+          Observe.note_slo o ~id:conn_id ~at ~latency
+        | None -> ())
+  in
+  (* Open-loop drivers: one independent arrival process per tenant,
+     round-robin over the tenant's currently accepting connections.
+     The rotation is rebuilt on churn; with a fixed population it is
+     the fixed array the pre-churn implementation used. *)
+  List.iter
+    (fun s ->
+      List.iter (wire_entry s) s.entries;
       let issue cmd =
-        let k = !next_client in
-        next_client := (k + 1) mod Array.length client_arr;
-        Kv.Client.request client_arr.(k) cmd ~on_complete:on_completes.(k)
+        let n = Array.length s.rotation in
+        if n > 0 then begin
+          let k = !(s.next_client) mod n in
+          s.next_client := (k + 1) mod n;
+          let e = s.rotation.(k) in
+          Kv.Client.request e.client cmd ~on_complete:e.on_complete
+        end
       in
       let rec schedule_request () =
-        let gap = Arrival.next_gap s.arrival in
+        let gap = Arrival.next_gap s.arrival ~now:(Sim.Engine.now engine) in
         let at = Sim.Time.add (Sim.Engine.now engine) gap in
         if Sim.Time.compare at total <= 0 then
           ignore
@@ -342,10 +463,11 @@ let run (cfg : config) =
       in
       schedule_request ())
     states;
-  let all_estimators = List.map Tcp.Socket.estimator all_client_socks in
   (* Observability sampling, scheduled before the control groups so a
      coincident-instant sample sees the window the controller is about
-     to advance (same invariant as {!Runner.run}). *)
+     to advance (same invariant as {!Runner.run}).  The tick iterates
+     the live population, so churn arrivals join the sample and the
+     per-tenant settling series the moment they exist. *)
   (match obs with
   | None -> ()
   | Some o ->
@@ -364,24 +486,34 @@ let run (cfg : config) =
     let interval = Observe.interval o in
     let rec tick () =
       let at = Sim.Engine.now engine in
-      let per_flow =
-        List.map2
-          (fun sock e ->
-            let est = E2e.Estimator.peek_estimate e ~at in
-            (match est with
-            | Some (est : E2e.Estimator.estimate) ->
-              Sim.Trace.event (Observe.trace o) ~at ~id:(Tcp.Socket.label sock)
-                (Sim.Trace.Estimate_computed
-                   {
-                     latency_us = ns_opt_to_us est.latency_ns;
-                     throughput = est.throughput;
-                     window_us = float_of_int est.window /. 1e3;
-                   })
-            | None -> ());
-            est)
-          all_client_socks all_estimators
+      let per_tenant =
+        List.map
+          (fun s ->
+            let live = live_entries s in
+            let flows =
+              List.filter_map
+                (fun e ->
+                  let est =
+                    E2e.Estimator.peek_estimate (Tcp.Socket.estimator e.csock) ~at
+                  in
+                  (match est with
+                  | Some (est : E2e.Estimator.estimate) ->
+                    Sim.Trace.event (Observe.trace o) ~at
+                      ~id:(Tcp.Socket.label e.csock)
+                      (Sim.Trace.Estimate_computed
+                         {
+                           latency_us = ns_opt_to_us est.latency_ns;
+                           throughput = est.throughput;
+                           window_us = float_of_int est.window /. 1e3;
+                         })
+                  | None -> ());
+                  est)
+                live
+            in
+            (s, live, flows))
+          states
       in
-      let flows = List.filter_map Fun.id per_flow in
+      let flows = List.concat_map (fun (_, _, fl) -> fl) per_tenant in
       let agg = E2e.Aggregate.of_estimates flows in
       (match agg.latency_ns with
       | Some lat_ns when Sim.Time.compare at warmup_until > 0 ->
@@ -395,59 +527,331 @@ let run (cfg : config) =
       | Some _ | None -> ());
       Observe.note_sample o (Sim.Metrics.sample m ~at);
       Observe.slo_tick o ~at;
+      List.iter
+        (fun (s, live, tflows) ->
+          let tagg = E2e.Aggregate.of_estimates tflows in
+          let accepting = List.filter (fun e -> e.accepting) live in
+          let nagle_frac =
+            match accepting with
+            | [] -> Float.nan
+            | _ ->
+              let on =
+                List.fold_left
+                  (fun acc e ->
+                    if Tcp.Nagle.enabled (Tcp.Socket.nagle e.csock) then acc + 1
+                    else acc)
+                  0 accepting
+              in
+              float_of_int on /. float_of_int (List.length accepting)
+          in
+          Observe.note_settle o ~id:(s.spec.name ^ "/client") ~at
+            ~est_us:(ns_opt_to_us tagg.latency_ns) ~nagle_frac)
+        per_tenant;
       if Sim.Time.compare (Sim.Time.add at interval) total <= 0 then
         ignore (Sim.Engine.schedule engine ~after:interval tick)
     in
     ignore (Sim.Engine.schedule engine ~after:interval tick));
+  (* Envelope edges: register every modulation discontinuity at its own
+     instant so the settling tracker can segment the run.  Scheduling
+     (rather than registering up front) keeps the trace breadcrumbs in
+     event order — written at setup time they would be the ring's oldest
+     records and the first dropped on wraparound, leaving offline tools
+     with completions but no edges. *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    List.iter
+      (fun s ->
+        match Arrival.envelope s.arrival with
+        | Arrival.Flat -> ()
+        | env ->
+          List.iter
+            (fun at_us ->
+              let at = int_of_float (at_us *. 1e3) in
+              ignore
+                (Sim.Engine.schedule_at engine ~at (fun () ->
+                     Observe.note_edge o ~id:(s.spec.name ^ "/client") ~at)))
+            (Arrival.edges env ~until_us:(float_of_int total /. 1e3)))
+      states);
   (* Control groups, one per scope unit, each with its own rng split in
      a fixed order so per-connection togglers explore independently. *)
   let groups =
     match cfg.scope with
     | Global ->
-      [
-        ( "fleet",
-          None,
-          Control.attach ?ledger:(ledger_for "fleet") ~engine ~until:total
-            ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:cfg.batching
-            ~client_socks:all_client_socks
-            ~all_socks:(all_client_socks @ all_server_socks)
-            () );
-      ]
+      let g =
+        Control.attach ?ledger:(ledger_for "fleet") ~engine ~until:total
+          ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:cfg.batching
+          ~client_socks:all_client_socks
+          ~all_socks:(all_client_socks @ all_server_socks)
+          ()
+      in
+      List.iter (fun s -> List.iter (fun e -> e.egroup <- Some g) s.entries) states;
+      [ ("fleet", None, g) ]
     | Per_tenant ->
       List.mapi
         (fun i s ->
-          ( s.spec.name,
-            Some i,
+          let g =
             Control.attach ?ledger:(ledger_for s.spec.name) ~engine ~until:total
               ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:s.mode
-              ~client_socks:s.client_socks
-              ~all_socks:(s.client_socks @ s.server_socks)
-              () ))
+              ~client_socks:(List.map (fun e -> e.csock) s.entries)
+              ~all_socks:
+                (List.map (fun e -> e.csock) s.entries
+                @ List.map (fun e -> e.ssock) s.entries)
+              ()
+          in
+          List.iter (fun e -> e.egroup <- Some g) s.entries;
+          (s.spec.name, Some i, g))
         states
     | Per_conn ->
       List.concat
         (List.mapi
            (fun i s ->
-             List.map2
-               (fun csock ssock ->
-                 ( Tcp.Socket.label csock,
-                   Some i,
+             List.map
+               (fun e ->
+                 let g =
                    Control.attach
-                     ?ledger:(ledger_for (Tcp.Socket.label csock))
+                     ?ledger:(ledger_for (Tcp.Socket.label e.csock))
                      ~engine ~until:total ~rng:(Sim.Rng.split rng)
-                     ~fault_armed:false ~batching:s.mode ~client_socks:[ csock ]
-                     ~all_socks:[ csock; ssock ]
-                     () ))
-               s.client_socks s.server_socks)
+                     ~fault_armed:false ~batching:s.mode ~client_socks:[ e.csock ]
+                     ~all_socks:[ e.csock; e.ssock ]
+                     ()
+                 in
+                 e.egroup <- Some g;
+                 (Tcp.Socket.label e.csock, Some i, g))
+               s.entries)
            states)
   in
+  (* Connection churn: spawn and retire connections while the run is
+     live.  Spawned connections enter TCP slow-start ([cc_enabled]) and
+     — when [cold_start_inherit] — the estimator cold-start path plus
+     group-prior inheritance (adopting the live mode under
+     Global/Per_tenant, seeding the fresh toggler's arms from a sibling
+     under Per_conn).  Departing connections leave the rotation, drain
+     outstanding requests, FIN, and close the server side once its
+     half-close is seen. *)
+  let spawned_groups = ref [] in
+  let tenant_group i =
+    List.find_map (fun (_, ti, g) -> if ti = Some i then Some g else None) groups
+  in
+  let global_group () =
+    match groups with (_, _, g) :: _ -> Some g | [] -> None
+  in
+  let sibling_group s =
+    List.find_map (fun e -> if e.retired then None else e.egroup) s.entries
+  in
+  let spawn_one i s crng =
+    let t = s.spec in
+    let idx = List.length s.entries in
+    let gen = s.next_gen in
+    s.next_gen <- gen + 1;
+    let hp = host ~nagle:(Control.initial_nagle s.mode) in
+    let hp =
+      { hp with
+        Tcp.Conn.socket = { hp.Tcp.Conn.socket with Tcp.Socket.cc_enabled = true }
+      }
+    in
+    let conn =
+      Tcp.Conn.create engine ~a:hp ~b:hp ~link_ab:t.link ~link_ba:t.link
+        ~cpu_a:s.client_irq ~cpu_b:server_irq
+        ~label_a:(Printf.sprintf "%s/c%d" t.name idx)
+        ~label_b:(Printf.sprintf "%s/s%d" t.name idx)
+        ()
+    in
+    let csock = Tcp.Conn.sock_a conn in
+    let ssock = Tcp.Conn.sock_b conn in
+    ignore (Kv.Server.create engine ~cpu:server_cpu ~socket:ssock ~store:s.store cfg.server);
+    let client_cfg =
+      { cfg.client with
+        Kv.Client.cpu_multiplier = cfg.client.Kv.Client.cpu_multiplier *. t.cpu_multiplier
+      }
+    in
+    let client = Kv.Client.create engine ~cpu:s.client_cpu ~socket:csock client_cfg in
+    let label = Tcp.Socket.label csock in
+    let at = Sim.Engine.now engine in
+    (match obs with
+    | Some o ->
+      let tr = Observe.trace o in
+      let au = Observe.audit o in
+      List.iter
+        (fun sock ->
+          Tcp.Socket.set_trace sock tr;
+          E2e.Estimator.set_audit (Tcp.Socket.estimator sock) au
+            ~prefix:(Tcp.Socket.label sock))
+        [ csock; ssock ];
+      Tcp.Link.set_trace (Tcp.Conn.link_ab conn) tr ~id:label;
+      Observe.declare_slo o ~at ~id:label ~slo_us:t.slo_us;
+      let m = Observe.metrics o in
+      let est = Tcp.Socket.estimator csock in
+      Sim.Metrics.gauge m (label ^ ".unacked") (fun () ->
+          float_of_int (E2e.Estimator.unacked_size est));
+      Sim.Metrics.gauge m (label ^ ".unread") (fun () ->
+          float_of_int (E2e.Estimator.unread_size est))
+    | None -> ());
+    let inherited = cfg.cold_start_inherit in
+    if inherited then E2e.Estimator.set_cold_start (Tcp.Socket.estimator csock);
+    let entry =
+      {
+        gen;
+        client;
+        csock;
+        ssock;
+        accepting = true;
+        retired = false;
+        egroup = None;
+        on_complete = (fun ~latency:_ _ -> ());
+      }
+    in
+    (match cfg.scope with
+    | Global | Per_tenant ->
+      let g = (match cfg.scope with Global -> global_group () | _ -> tenant_group i) in
+      (match g with
+      | Some g ->
+        Control.adopt ~inherit_mode:inherited g ~client_sock:csock ~server_sock:ssock;
+        entry.egroup <- Some g
+      | None -> ())
+    | Per_conn ->
+      (match obs with
+      | Some o ->
+        Hashtbl.replace ledger_tbl label
+          (E2e.Ledger.create ~trace:(Observe.trace o) ~group:label)
+      | None -> ());
+      let g =
+        Control.attach ?ledger:(ledger_for label) ~engine ~until:total
+          ~rng:(Sim.Rng.split crng) ~fault_armed:false ~batching:s.mode
+          ~client_socks:[ csock ] ~all_socks:[ csock; ssock ] ()
+      in
+      entry.egroup <- Some g;
+      spawned_groups := !spawned_groups @ [ (label, Some i, g) ];
+      if inherited then (
+        match sibling_group s with
+        | Some sib ->
+          (match (Control.toggler sib, Control.toggler g) with
+          | Some from_t, Some to_t ->
+            List.iter
+              (fun m ->
+                match E2e.Toggler.smoothed from_t m with
+                | Some outcome -> E2e.Toggler.seed_arm to_t ~mode:m outcome
+                | None -> ())
+              [ E2e.Toggler.Batch_on; E2e.Toggler.Batch_off ]
+          | _ -> ());
+          let en = Control.current_nagle sib in
+          Tcp.Socket.set_nagle_enabled csock en;
+          Tcp.Socket.set_nagle_enabled ssock en
+        | None -> ()));
+    s.entries <- s.entries @ [ entry ];
+    s.opened_mid <- s.opened_mid + 1;
+    wire_entry s entry;
+    rebuild_rotation s;
+    match obs with
+    | Some o ->
+      Sim.Trace.event (Observe.trace o) ~at ~id:label
+        (Sim.Trace.Conn_opened { gen; inherited })
+    | None -> ()
+  in
+  let retire_entry s e =
+    e.accepting <- false;
+    rebuild_rotation s;
+    let label = Tcp.Socket.label e.csock in
+    let rec drain () =
+      if Kv.Client.outstanding e.client = 0 then begin
+        Tcp.Socket.close e.csock;
+        (match e.egroup with
+        | Some g -> Control.abandon g ~client_sock:e.csock ~server_sock:e.ssock
+        | None -> ());
+        e.retired <- true;
+        s.closed_mid <- s.closed_mid + 1;
+        (match obs with
+        | Some o ->
+          Sim.Trace.event (Observe.trace o) ~at:(Sim.Engine.now engine) ~id:label
+            (Sim.Trace.Conn_closed
+               { gen = e.gen; completed = Kv.Client.completed e.client })
+        | None -> ());
+        let rec server_close () =
+          match Tcp.Socket.state e.ssock with
+          | Tcp.Socket.Close_wait -> Tcp.Socket.close e.ssock
+          | Tcp.Socket.Closed | Tcp.Socket.Time_wait -> ()
+          | _ -> ignore (Sim.Engine.schedule engine ~after:(Sim.Time.us 100) server_close)
+        in
+        server_close ()
+      end
+      else ignore (Sim.Engine.schedule engine ~after:(Sim.Time.us 50) drain)
+    in
+    drain ()
+  in
+  let last_accepting s =
+    Array.fold_left (fun _ e -> Some e) None s.rotation
+  in
+  List.iteri
+    (fun i s ->
+      match s.spec.churn with
+      | None -> ()
+      | Some ch ->
+        let crng = Sim.Rng.split rng in
+        (if ch.arrive_rps > 0.0 then
+           let rec arrivals () =
+             let gap =
+               int_of_float (Sim.Rng.exponential crng ~mean:(1e9 /. ch.arrive_rps))
+             in
+             let at = Sim.Time.add (Sim.Engine.now engine) gap in
+             if Sim.Time.compare at total <= 0 then
+               ignore
+                 (Sim.Engine.schedule engine ~after:gap (fun () ->
+                      if accepting_count s < ch.max_conns then spawn_one i s crng;
+                      arrivals ()))
+           in
+           arrivals ());
+        (if ch.depart_rps > 0.0 then
+           let rec departures () =
+             let gap =
+               int_of_float (Sim.Rng.exponential crng ~mean:(1e9 /. ch.depart_rps))
+             in
+             let at = Sim.Time.add (Sim.Engine.now engine) gap in
+             if Sim.Time.compare at total <= 0 then
+               ignore
+                 (Sim.Engine.schedule engine ~after:gap (fun () ->
+                      (if accepting_count s > ch.min_conns then
+                         let k = Sim.Rng.int crng ~bound:(accepting_count s) in
+                         retire_entry s s.rotation.(k));
+                      departures ()))
+           in
+           departures ());
+        List.iter
+          (fun (at, delta) ->
+            if Sim.Time.compare at total <= 0 then begin
+              (match obs with
+              | Some o -> Observe.note_edge o ~id:(s.spec.name ^ "/client") ~at
+              | None -> ());
+              ignore
+                (Sim.Engine.schedule_at engine ~at (fun () ->
+                     if delta > 0 then
+                       for _ = 1 to delta do
+                         if accepting_count s < ch.max_conns then spawn_one i s crng
+                       done
+                     else
+                       for _ = 1 to -delta do
+                         if accepting_count s > ch.min_conns then
+                           match last_accepting s with
+                           | Some e -> retire_entry s e
+                           | None -> ()
+                       done))
+            end)
+          ch.script)
+    states;
   (* Warmup boundary: close every estimation window, reset the audit,
      capture CPU baselines. *)
   let baseline = ref None in
   ignore
     (Sim.Engine.schedule_at engine ~at:warmup_until (fun () ->
          let at = Sim.Engine.now engine in
-         List.iter (fun e -> ignore (E2e.Estimator.estimate e ~at)) all_estimators;
+         List.iter
+           (fun s ->
+             List.iter
+               (fun e ->
+                 if not e.retired then
+                   ignore
+                     (E2e.Estimator.estimate (Tcp.Socket.estimator e.csock) ~at))
+               s.entries)
+           states;
          (match obs with
          | Some o -> Sim.Audit.reset_window (Observe.audit o) ~at
          | None -> ());
@@ -481,6 +885,7 @@ let run (cfg : config) =
   in
   let duration_s = Sim.Time.to_sec cfg.duration in
   let util busy base_v = float_of_int (busy - base_v) /. float_of_int cfg.duration in
+  let all_groups = groups @ !spawned_groups in
   (* Per-tenant stack estimate: dynamic groups advance their windows on
      every tick, so aggregate their tick samples; static/AIMD groups
      (and any tenant under a global group) kept windows open since
@@ -489,7 +894,7 @@ let run (cfg : config) =
     let own_groups =
       List.filter_map
         (fun (_, ti, ctrl) -> if ti = Some i then Some ctrl else None)
-        groups
+        all_groups
     in
     let dynamic = match s.mode with Control.Dynamic _ -> true | _ -> false in
     if cfg.scope <> Global && dynamic then
@@ -505,7 +910,8 @@ let run (cfg : config) =
       let tput = List.fold_left (fun acc (_, tp) -> acc +. tp) 0.0 summaries in
       ((if weight > 0.0 then Some (weighted /. weight) else None), tput)
     else
-      let agg, _ = Control.estimate_socks s.client_socks ~at in
+      let live_socks = List.map (fun e -> e.csock) (live_entries s) in
+      let agg, _ = Control.estimate_socks live_socks ~at in
       (ns_opt_to_us agg.latency_ns, agg.throughput)
   in
   let tenant_results =
@@ -513,18 +919,19 @@ let run (cfg : config) =
       (fun i s ->
         let completed = Recorder.count s.recorder in
         let est_us, est_tput = tenant_estimate i s in
-        let issued = List.fold_left (fun acc c -> acc + Kv.Client.issued c) 0 s.clients in
+        let clients = List.map (fun e -> e.client) s.entries in
+        let issued = List.fold_left (fun acc c -> acc + Kv.Client.issued c) 0 clients in
         let outstanding =
-          List.fold_left (fun acc c -> acc + Kv.Client.outstanding c) 0 s.clients
+          List.fold_left (fun acc c -> acc + Kv.Client.outstanding c) 0 clients
         in
         {
           t_name = s.spec.name;
-          t_offered_rps = s.spec.rate_rps;
+          t_offered_rps = Arrival.rate s.arrival;
           t_achieved_rps = float_of_int completed /. duration_s;
           t_completed = completed;
           t_issued = issued;
           t_completed_total =
-            List.fold_left (fun acc c -> acc + Kv.Client.completed c) 0 s.clients;
+            List.fold_left (fun acc c -> acc + Kv.Client.completed c) 0 clients;
           t_outstanding_end = outstanding;
           t_mean_us = Recorder.mean_us s.recorder;
           t_p50_us = Recorder.p50_us s.recorder;
@@ -536,8 +943,10 @@ let run (cfg : config) =
             util (Sim.Cpu.busy_ns s.client_cpu) (List.nth b_clients i);
           t_nagle_toggles =
             List.fold_left
-              (fun acc sock -> acc + Tcp.Nagle.toggles (Tcp.Socket.nagle sock))
-              0 s.client_socks;
+              (fun acc e -> acc + Tcp.Nagle.toggles (Tcp.Socket.nagle e.csock))
+              0 s.entries;
+          t_conns_opened = s.opened_mid;
+          t_conns_closed = s.closed_mid;
         })
       states
   in
@@ -559,6 +968,7 @@ let run (cfg : config) =
       List.filter_map
         (fun (gid, _, ctrl) ->
           Option.map (fun m -> (gid, m)) (Control.final_mode ctrl))
-        groups;
-    observability = Option.map Observe.output obs;
+        all_groups;
+    observability =
+      Option.map (Observe.output ~until_us:(float_of_int total /. 1e3)) obs;
   }

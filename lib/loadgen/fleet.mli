@@ -16,10 +16,25 @@
     Nagle-off — the headline heterogeneous-fleet experiment where no
     global static choice serves both.
 
+    Time-varying load: a tenant's arrival process can be wrapped in an
+    {!Arrival.envelope} (flash-crowd square waves, diurnal ramps,
+    stepped schedules) or replaced outright by a recorded gap trace
+    ([replay_gaps]), and tenants may declare connection [churn].
+    Connections spawned mid-run enter TCP slow-start and the estimator
+    cold-start path — with [cold_start_inherit] they adopt the live
+    group mode (Global/Per_tenant) or seed a fresh per-connection
+    toggler from a sibling's learned arms (Per_conn) instead of
+    re-exploring.  Departing connections stop accepting requests, drain
+    what is outstanding, and FIN cleanly.  {!Observe}'s settling
+    tracker measures re-convergence after every envelope edge and
+    scripted churn epoch.
+
     Determinism: identical configs produce identical results across
     repeats and across worker-domain counts; rng streams are split in a
-    fixed, documented order (two per tenant, then one per control
-    group). *)
+    fixed, documented order (two per tenant, one per control group,
+    then one per {e churning} tenant).  Envelope-free, churn-free
+    configs split exactly the pre-churn streams, so their results stay
+    bit-identical to the fixed-population implementation. *)
 
 type scope =
   | Global  (** one control group spans every connection of the fleet *)
@@ -27,6 +42,21 @@ type scope =
   | Per_conn  (** one group — toggler, estimators, rng — per connection *)
 
 val scope_label : scope -> string
+
+type churn = {
+  arrive_rps : float;
+      (** Poisson connection-arrival rate (connections/s); 0 disables *)
+  depart_rps : float;  (** Poisson departure rate; 0 disables *)
+  min_conns : int;  (** departures below this floor are refused (>= 1) *)
+  max_conns : int;  (** arrivals above this cap are dropped *)
+  script : (Sim.Time.t * int) list;
+      (** scripted epochs: at each absolute instant, [+n] spawns /
+          [-n] retires that many connections (clamped to the
+          min/max band); each epoch is also a settling-tracker edge *)
+}
+
+val no_churn : churn
+(** No rates, no script, population band [1, 64] — a base to [with]. *)
 
 type tenant = {
   name : string;
@@ -44,11 +74,20 @@ type tenant = {
   batching : Control.batching;
       (** this tenant's mode under [Per_tenant]/[Per_conn] scopes;
           ignored under [Global] *)
+  envelope : Arrival.envelope;
+      (** rate modulation over the base arrival process ([Flat] = the
+          historical fixed-rate behaviour) *)
+  replay_gaps : int array option;
+      (** when set, replaces the Poisson/bursty base process with a
+          verbatim replay of these inter-arrival gaps (ns), cycling —
+          see {!Trace.load_gaps}; [rate_rps]/[burst] are then ignored
+          and the offered rate reported is the trace's long-run mean *)
+  churn : churn option;  (** connection lifecycle; [None] = fixed population *)
 }
 
 val default_tenant : name:string -> rate_rps:float -> tenant
 (** 1 connection, Poisson, paper SET-only workload, bare-metal CPU,
-    default link, 500 µs SLO, [Static_off]. *)
+    default link, 500 µs SLO, [Static_off], flat envelope, no churn. *)
 
 type config = {
   seed : int;
@@ -61,32 +100,44 @@ type config = {
   client : Kv.Client.config;
       (** base costs; each tenant's [cpu_multiplier] stacks on top *)
   observe : Observe.config option;
+  cold_start_inherit : bool;
+      (** churn arrivals inherit the group prior (live mode / seeded
+          arms) and discard their slow-start estimation window; [false]
+          is the ablation that makes them re-explore from scratch —
+          the chaos churn cells assert it breaks re-convergence
+          bounds.  Default [true]. *)
   tenants : tenant list;
 }
 
 val default_config : tenants:tenant list -> config
 (** Seed 42, 100 ms warmup + 400 ms measured, [Global] scope with
-    [Static_off], default server/client costs, no observability. *)
+    [Static_off], default server/client costs, no observability,
+    cold-start inheritance on. *)
 
 type tenant_result = {
   t_name : string;
   t_offered_rps : float;
+      (** base arrival rate (the trace's long-run mean under replay) *)
   t_achieved_rps : float;
   t_completed : int;  (** completions inside the measured window *)
   t_issued : int;  (** lifetime, warmup included *)
   t_completed_total : int;  (** lifetime completions, warmup included *)
   t_outstanding_end : int;
-      (** liveness closure:
+      (** liveness closure over every connection the tenant ever had,
+          departed ones included:
           [t_issued = t_completed_total + t_outstanding_end] *)
   t_mean_us : float;
   t_p50_us : float;
   t_p99_us : float;
   t_under_slo : float;  (** fraction within this tenant's [slo_us] *)
   t_estimated_us : float option;
-      (** §3.2 stack estimate aggregated over the tenant's connections *)
+      (** §3.2 stack estimate aggregated over the tenant's live
+          connections *)
   t_estimated_tput_rps : float;
   t_client_app_util : float;
   t_nagle_toggles : int;  (** summed over the tenant's client sockets *)
+  t_conns_opened : int;  (** connections spawned mid-run by churn *)
+  t_conns_closed : int;  (** connections drained, FINed and closed *)
 }
 
 type result = {
@@ -100,12 +151,18 @@ type result = {
   server_app_util : float;
   server_irq_util : float;
   final_modes : (string * E2e.Toggler.mode) list;
-      (** final mode per dynamic control group: group ids are ["fleet"],
-          tenant names, or connection labels depending on [scope] *)
+      (** final mode per dynamic control group (churn-spawned groups
+          included): group ids are ["fleet"], tenant names, or
+          connection labels depending on [scope] *)
   observability : Observe.output option;
+      (** includes the per-tenant settling reports when envelopes or
+          scripted churn declared edges *)
 }
 
 val run : config -> result
 (** Raises [Invalid_argument] on an empty tenant list, duplicate or
-    malformed tenant names, or non-positive per-tenant rates, bursts,
-    connection counts, CPU multipliers or SLOs. *)
+    malformed tenant names, non-positive per-tenant rates, bursts,
+    connection counts, CPU multipliers or SLOs, malformed envelopes or
+    replay traces, or churn declarations whose rates are negative,
+    whose population band is empty, or whose scripts hold zero deltas
+    or negative times. *)

@@ -11,6 +11,7 @@ type config = {
   sample_interval : Sim.Time.span;
   trace_sink : (Sim.Trace.record -> unit) option;
   burn_window : Sim.Time.span;
+  settling : bool;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     sample_interval = Sim.Time.ms 1;
     trace_sink = None;
     burn_window = Sim.Time.ms 10;
+    settling = true;
   }
 
 (* One SLO tracker per declared id (the whole run, a tenant, or a
@@ -53,6 +55,27 @@ type slo_report = {
   r_burn : (float * float) list;
 }
 
+(* One settling tracker per id: the envelope edges / churn bursts to
+   re-converge from, plus the per-tick estimate and mode time series to
+   judge re-convergence on.  Passive bookkeeping only — no engine
+   interaction — so tracking settling cannot perturb a run. *)
+type settle_tracker = {
+  set_id : string;
+  mutable edges_rev : float list;  (* edge instants, us *)
+  mutable est_rev : (float * float) list;  (* (tick us, est latency us) *)
+  mutable mode_rev : (float * float) list;  (* (tick us, nagle-on fraction) *)
+}
+
+type settle_report = {
+  g_id : string;
+  g_edge_us : float;
+  g_end_us : float;  (* segment end: next edge or end of run *)
+  g_steady_us : float option;  (* tail-median steady estimate of the segment *)
+  g_settle_us : float option;  (* edge -> lasting in-band estimate *)
+  g_mode_settle_us : float option;  (* edge -> lasting in-band mode fraction *)
+  g_settled : bool;  (* both settle times found within the segment *)
+}
+
 type output = {
   records : Sim.Trace.record list;
   dropped_records : int;
@@ -61,6 +84,7 @@ type output = {
   residual : E2e.Residual.summary option;
   audits : Sim.Audit.report list;
   slo : slo_report list;
+  settling : settle_report list;
 }
 
 type t = {
@@ -74,6 +98,9 @@ type t = {
   mutable samples_rev : Sim.Metrics.sample list;
   mutable slo_rev : slo_tracker list; (* declaration order, reversed *)
   slo_tbl : (string, slo_tracker) Hashtbl.t;
+  settling_on : bool;
+  mutable settle_rev : settle_tracker list; (* declaration order, reversed *)
+  settle_tbl : (string, settle_tracker) Hashtbl.t;
   (* Completed-request log as parallel growable arrays: completion
      times (nondecreasing — requests are logged at sim-now) and the
      prefix sums of their latencies, so [truth_over] answers any
@@ -105,6 +132,9 @@ let create (cfg : config) =
     samples_rev = [];
     slo_rev = [];
     slo_tbl = Hashtbl.create 8;
+    settling_on = cfg.settling;
+    settle_rev = [];
+    settle_tbl = Hashtbl.create 8;
     req_at = [||];
     req_prefix = [| 0.0 |];
     n_reqs = 0;
@@ -278,7 +308,167 @@ let note_residual t ~at ~window_us ~est_us =
 
 let note_sample t s = t.samples_rev <- s :: t.samples_rev
 
-let output t =
+(* {1 Settling-time tracker} *)
+
+let settle_tracker_of t id =
+  match Hashtbl.find_opt t.settle_tbl id with
+  | Some tr -> tr
+  | None ->
+    let tr = { set_id = id; edges_rev = []; est_rev = []; mode_rev = [] } in
+    Hashtbl.add t.settle_tbl id tr;
+    t.settle_rev <- tr :: t.settle_rev;
+    tr
+
+let note_edge t ~id ~at =
+  if t.settling_on then begin
+    let tr = settle_tracker_of t id in
+    tr.edges_rev <- Sim.Time.to_us at :: tr.edges_rev;
+    (* Breadcrumb so offline tools can recompute settling from the
+       trace file alone. *)
+    Sim.Trace.event t.trace ~at ~id
+      (Sim.Trace.Message { tag = "edge"; detail = Printf.sprintf "%.17g" (Sim.Time.to_us at) })
+  end
+
+let note_settle t ~id ~at ~est_us ~nagle_frac =
+  if t.settling_on then begin
+    let tr = settle_tracker_of t id in
+    let at_us = Sim.Time.to_us at in
+    (match est_us with
+    | Some v when Float.is_finite v -> tr.est_rev <- (at_us, v) :: tr.est_rev
+    | Some _ | None -> ());
+    if Float.is_finite nagle_frac then
+      tr.mode_rev <- (at_us, nagle_frac) :: tr.mode_rev
+  end
+
+(* Tolerances: an estimate has re-converged when it is back within
+   ±25% (floored at 60 µs of absolute slack) of the segment's eventual
+   steady value; the mode fraction within ±0.34 — wide enough that one
+   per-conn group's ε-exploration flip in a small population does not
+   count as unsettled.  The absolute floor matters at low latencies:
+   per-tick aggregate estimator peeks read partial windows, so even an
+   unsaturated steady state jitters by tens of µs tick to tick. *)
+let settle_rel_tol = 0.25
+let settle_abs_floor_us = 60.0
+let mode_abs_tol = 0.34
+
+let median = function
+  | [] -> None
+  | l ->
+    let a = Array.of_list l in
+    Array.sort compare a;
+    Some a.(Array.length a / 2)
+
+(* Centered median-of-5 filter (window clamped at the ends).  Per-tick
+   estimator peeks are spiky — a single partial window or one group's
+   ε-exploration flip can double the aggregate for a tick — and a
+   settling judgement on the raw series would never hold a band.  The
+   median filter removes isolated excursions while adding only two
+   ticks of lag, so genuine regime shifts still register. *)
+let median5 arr =
+  let n = Array.length arr in
+  Array.init n (fun i ->
+      let lo = Stdlib.max 0 (i - 2) and hi = Stdlib.min (n - 1) (i + 2) in
+      let w = Array.sub arr lo (hi - lo + 1) in
+      Array.sort compare w;
+      w.(Array.length w / 2))
+
+(* Time from [edge] until the (median-filtered) series stays within
+   the band around its eventual steady value (tail median of the
+   segment) for the rest of the segment.  The sample at exactly
+   [seg_end] is excluded — events scheduled at the edge (churn epochs,
+   envelope flips) run before the same-timestamp observation tick, so
+   that sample already reflects the next regime.  [None] when the
+   segment has too few samples or the series never holds the band. *)
+let settle_of_series samples ~edge ~seg_end ~band =
+  let seg =
+    List.filter (fun (at, _) -> at > edge && at < seg_end) samples
+  in
+  let n = List.length seg in
+  if n < 4 then (None, None)
+  else begin
+    let ats = Array.of_list (List.map fst seg) in
+    let vals = median5 (Array.of_list (List.map snd seg)) in
+    (* Steady value: median of the last quarter (at least 3 samples). *)
+    let tail_n = Stdlib.max 3 (n / 4) in
+    let tail = Array.to_list (Array.sub vals (n - tail_n) tail_n) in
+    match median tail with
+    | None -> (None, None)
+    | Some steady ->
+      let tol = band steady in
+      let in_band v = Float.abs (v -. steady) <= tol in
+      (* Earliest sample from which every later sample stays in band. *)
+      let entry = ref None in
+      Array.iteri
+        (fun i v ->
+          if in_band v then begin
+            if !entry = None then entry := Some ats.(i)
+          end
+          else entry := None)
+        vals;
+      (Some steady, Option.map (fun at -> at -. edge) !entry)
+  end
+
+let judge_settle samples ~edge_us ~end_us ~kind =
+  let band =
+    match kind with
+    | `Estimate ->
+      fun steady ->
+        Stdlib.max (settle_rel_tol *. Float.abs steady) settle_abs_floor_us
+    | `Mode -> fun _ -> mode_abs_tol
+  in
+  settle_of_series samples ~edge:edge_us ~seg_end:end_us ~band
+
+let settle_report_of tr ~until_us =
+  (* An edge at (or past) the end of the run opens a zero-length
+     segment with nothing to judge — drop it. *)
+  let edges =
+    List.filter
+      (fun e -> e < until_us)
+      (List.sort_uniq compare (List.rev tr.edges_rev))
+  in
+  let ests = List.rev tr.est_rev in
+  let modes = List.rev tr.mode_rev in
+  let rec segments = function
+    | [] -> []
+    | edge :: rest ->
+      let seg_end = match rest with e :: _ -> e | [] -> until_us in
+      (edge, seg_end) :: segments rest
+  in
+  List.map
+    (fun (edge, seg_end) ->
+      let steady, settle =
+        settle_of_series ests ~edge ~seg_end ~band:(fun steady ->
+            Stdlib.max (settle_rel_tol *. Float.abs steady) settle_abs_floor_us)
+      in
+      let _, mode_settle =
+        settle_of_series modes ~edge ~seg_end ~band:(fun _ -> mode_abs_tol)
+      in
+      {
+        g_id = tr.set_id;
+        g_edge_us = edge;
+        g_end_us = seg_end;
+        g_steady_us = steady;
+        g_settle_us = settle;
+        g_mode_settle_us = (if modes = [] then None else mode_settle);
+        g_settled =
+          settle <> None && (modes = [] || mode_settle <> None);
+      })
+    (segments edges)
+
+let settle_reports t ~until_us =
+  List.concat_map (fun tr -> settle_report_of tr ~until_us) (List.rev t.settle_rev)
+
+let output ?(until_us = 0.0) t =
+  let until_us =
+    (* Default: judge settling up to the last observed sample/edge. *)
+    if until_us > 0.0 then until_us
+    else
+      List.fold_left
+        (fun acc tr ->
+          let m = function [] -> acc | (at, _) :: _ -> Stdlib.max acc at in
+          Stdlib.max (m tr.est_rev) (m tr.mode_rev))
+        0.0 t.settle_rev
+  in
   {
     records = Sim.Trace.records t.trace;
     dropped_records = Sim.Trace.dropped t.trace;
@@ -287,4 +477,5 @@ let output t =
     residual = E2e.Residual.summary t.residual;
     audits = t.audits;
     slo = slo_reports t;
+    settling = settle_reports t ~until_us;
   }

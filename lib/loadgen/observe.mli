@@ -20,10 +20,15 @@ type config = {
           config across parallel sweep workers. *)
   burn_window : Sim.Time.span;
       (** sliding window for SLO burn rates (default 10 ms) *)
+  settling : bool;
+      (** track re-convergence after envelope edges / churn bursts
+          (default true); when off, {!note_edge}/{!note_settle} are
+          no-ops and [output.settling] is empty *)
 }
 
 val default_config : config
-(** 65536 records, 1 ms cadence, no sink, 10 ms burn window. *)
+(** 65536 records, 1 ms cadence, no sink, 10 ms burn window, settling
+    tracker on. *)
 
 type slo_report = {
   r_id : string;  (** the declared id (run, tenant, or connection) *)
@@ -46,6 +51,24 @@ type slo_report = {
     p99-judged SLO allows: burn > 1 means the budget is being consumed
     faster than sustainable. *)
 
+type settle_report = {
+  g_id : string;  (** the tracked id (typically ["tenant/client"]) *)
+  g_edge_us : float;  (** the envelope edge / churn burst *)
+  g_end_us : float;  (** segment end: the next edge, or end of run *)
+  g_steady_us : float option;
+      (** the segment's eventual steady estimate (tail median); [None]
+          when the segment holds too few samples to judge *)
+  g_settle_us : float option;
+      (** time from the edge until the estimate is {e and stays} within
+          the tolerance band (±25%, floored at ±60 µs) of the steady
+          value; [None] when it never holds the band *)
+  g_mode_settle_us : float option;
+      (** ditto for the nagle-on mode fraction (band ±0.34); [None]
+          with no mode series *)
+  g_settled : bool;  (** both series settled within the segment *)
+}
+(** Re-convergence measurement for one edge-to-edge segment. *)
+
 type output = {
   records : Sim.Trace.record list;  (** oldest first *)
   dropped_records : int;  (** overwritten by ring wraparound *)
@@ -56,6 +79,9 @@ type output = {
       (** Little's-law audit per queue over the measured window
           (registration order); empty until {!finalize_audit}. *)
   slo : slo_report list;  (** declaration order *)
+  settling : settle_report list;
+      (** per-id, per-edge re-convergence reports (edge order within
+          declaration order) *)
 }
 (** Pure data: safe for structural equality and cross-domain moves. *)
 
@@ -118,4 +144,43 @@ val note_residual :
 
 val note_sample : t -> Sim.Metrics.sample -> unit
 
-val output : t -> output
+(** {1 Settling-time tracker}
+
+    Measures how fast estimates and chosen modes re-converge after a
+    load discontinuity: callers register the discontinuities
+    ({!note_edge} — envelope edges, scripted churn epochs) and feed the
+    per-tick estimate / mode-fraction series ({!note_settle}); the
+    tracker computes, per edge-to-edge segment, the time until each
+    series is back within a tolerance band of its eventual steady value
+    (the segment's tail median).  All passive bookkeeping — tracking
+    settling cannot perturb the run. *)
+
+val note_edge : t -> id:string -> at:Sim.Time.t -> unit
+(** Register a load discontinuity for [id] and drop an ["edge"]
+    breadcrumb into the trace so offline tools can recover it. *)
+
+val note_settle :
+  t -> id:string -> at:Sim.Time.t -> est_us:float option -> nagle_frac:float -> unit
+(** Feed one observability-tick sample for [id]: the aggregate latency
+    estimate (skipped when [None]) and the fraction of the id's
+    connections currently running Nagle-on ([nan] to skip). *)
+
+val settle_reports : t -> until_us:float -> settle_report list
+(** Judge every segment now, closing the last one at [until_us]. *)
+
+val judge_settle :
+  (float * float) list ->
+  edge_us:float ->
+  end_us:float ->
+  kind:[ `Estimate | `Mode ] ->
+  float option * float option
+(** [(steady, settle_us)] for an arbitrary [(time µs, value)] series
+    over one segment, under the tracker's own median filter and
+    tolerance bands — how offline tools (e.g. [e2ebench slo]) recompute
+    settling from a trace file's ["edge"] breadcrumbs and
+    request-completion buckets.  Samples at [edge_us] and [end_us]
+    themselves are excluded, matching the in-run tracker. *)
+
+val output : ?until_us:float -> t -> output
+(** [until_us] closes the last settling segment (defaults to the last
+    sample seen). *)

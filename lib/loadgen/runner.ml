@@ -353,7 +353,7 @@ let run cfg =
       entries
   | None ->
     let rec schedule_request () =
-      let gap = Arrival.next_gap arrival in
+      let gap = Arrival.next_gap arrival ~now:(Sim.Engine.now engine) in
       let at = Sim.Time.add (Sim.Engine.now engine) gap in
       if Sim.Time.compare at total <= 0 then
         ignore

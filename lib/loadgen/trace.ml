@@ -95,7 +95,7 @@ let synthesize ~workload ~rate_rps ~duration ~rng =
   if rate_rps <= 0.0 then invalid_arg "Trace.synthesize: rate must be positive";
   let arrival = Arrival.poisson ~rng ~rate_rps in
   let rec go acc at =
-    let at = Sim.Time.add at (Arrival.next_gap arrival) in
+    let at = Sim.Time.add at (Arrival.next_gap arrival ~now:at) in
     if Sim.Time.compare at duration > 0 then List.rev acc
     else go ({ at; cmd = Workload.next_command workload ~rng } :: acc) at
   in
@@ -106,3 +106,58 @@ let duration = function
   | entries -> (List.nth entries (List.length entries - 1)).at
 
 let count = List.length
+
+(* {1 Inter-arrival gap traces}
+
+   One non-negative gap in microseconds per line ([#] comments and
+   blanks allowed); feeds [Arrival.replay]. *)
+
+let gaps_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lineno = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+      else begin
+        match float_of_string_opt line with
+        | Some us when Float.is_finite us && us >= 0.0 ->
+          go (int_of_float (us *. 1e3) :: acc) (lineno + 1) rest
+        | Some _ ->
+          Error
+            (Printf.sprintf "line %d: gap must be a finite non-negative number" lineno)
+        | None ->
+          Error
+            (Printf.sprintf "line %d: bad gap line (expected one number, microseconds)"
+               lineno)
+      end
+  in
+  go [] 1 lines
+
+let gaps_to_string gaps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# e2ebatch gap trace: one inter-arrival gap per line, microseconds\n";
+  Array.iter
+    (fun g -> Buffer.add_string buf (Printf.sprintf "%.3f\n" (float_of_int g /. 1e3)))
+    gaps;
+  Buffer.contents buf
+
+let load_gaps path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match gaps_of_string (In_channel.input_all ic) with
+        | Ok gaps -> Ok gaps
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  with Sys_error msg -> Error msg
+
+let save_gaps path gaps =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (gaps_to_string gaps));
+    Ok ()
+  with Sys_error msg -> Error msg

@@ -38,3 +38,20 @@ val synthesize :
 
 val duration : entry list -> Sim.Time.span
 val count : entry list -> int
+
+(** {1 Inter-arrival gap traces}
+
+    A second, simpler format feeding {!Arrival.replay}: one recorded
+    inter-arrival gap per line, in microseconds (fractions allowed),
+    [#] comments and blank lines skipped.  Gaps are returned in
+    nanoseconds. *)
+
+val gaps_of_string : string -> (int array, string) result
+(** Errors carry the 1-based line number. *)
+
+val gaps_to_string : int array -> string
+
+val load_gaps : string -> (int array, string) result
+(** Like {!gaps_of_string}; errors are prefixed with the path. *)
+
+val save_gaps : string -> int array -> (unit, string) result

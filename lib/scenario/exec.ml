@@ -22,6 +22,35 @@ let to_workload = function
 let span_of_ms ms = Sim.Time.ns (int_of_float (ms *. 1e6))
 let span_of_us us = Sim.Time.ns (int_of_float (us *. 1e3))
 
+let to_envelope : Spec.envelope -> Loadgen.Arrival.envelope = function
+  | Spec.Flat | Spec.Replay _ -> Loadgen.Arrival.Flat
+  | Spec.Square { period_ms; duty; high } ->
+    Loadgen.Arrival.Square { period_us = period_ms *. 1e3; duty; high }
+  | Spec.Ramp { period_ms; from_f; to_f } ->
+    Loadgen.Arrival.Ramp { period_us = period_ms *. 1e3; from_f; to_f }
+  | Spec.Steps steps ->
+    Loadgen.Arrival.Steps (List.map (fun (at_ms, f) -> (at_ms *. 1e3, f)) steps)
+
+(* Replay envelopes name a gap-trace file; the load happens here, at
+   compile time, so parse stays total and pure.  An unreadable or
+   malformed trace raises [Failure] with the loader's line-numbered
+   message. *)
+let to_replay_gaps : Spec.envelope -> int array option = function
+  | Spec.Replay path -> (
+    match Loadgen.Trace.load_gaps path with
+    | Ok gaps -> Some gaps
+    | Error msg -> failwith ("scenario: " ^ msg))
+  | _ -> None
+
+let to_churn (c : Spec.churn) : Fleet.churn =
+  {
+    Fleet.arrive_rps = c.c_arrive_rps;
+    depart_rps = c.c_depart_rps;
+    min_conns = c.c_min;
+    max_conns = c.c_max;
+    script = List.map (fun (at_ms, d) -> (span_of_ms at_ms, d)) c.c_script;
+  }
+
 let to_tenant (t : Spec.tenant) : Fleet.tenant =
   {
     Fleet.name = t.name;
@@ -33,6 +62,9 @@ let to_tenant (t : Spec.tenant) : Fleet.tenant =
     link = { Tcp.Conn.default_link with prop_delay = span_of_us t.link_us };
     slo_us = t.slo_us;
     batching = to_batching t.batching;
+    envelope = to_envelope t.envelope;
+    replay_gaps = to_replay_gaps t.envelope;
+    churn = Option.map to_churn t.churn;
   }
 
 let to_fleet (s : Spec.t) : Fleet.config =

@@ -33,6 +33,21 @@ let scope_of_string = function
   | "per_conn" -> Ok Per_conn
   | s -> Error (Printf.sprintf "unknown scope %S (want global|per_tenant|per_conn)" s)
 
+type envelope =
+  | Flat
+  | Square of { period_ms : float; duty : float; high : float }
+  | Ramp of { period_ms : float; from_f : float; to_f : float }
+  | Steps of (float * float) list  (* (at_ms, factor) *)
+  | Replay of string  (* gap-trace file, one µs gap per line *)
+
+type churn = {
+  c_arrive_rps : float;
+  c_depart_rps : float;
+  c_min : int;
+  c_max : int;
+  c_script : (float * int) list;  (* (at_ms, ±delta) *)
+}
+
 type tenant = {
   name : string;
   conns : int;
@@ -43,6 +58,8 @@ type tenant = {
   link_us : float;
   slo_us : float;
   batching : batching;
+  envelope : envelope;
+  churn : churn option;
 }
 
 let default_epsilon = Loadgen.Control.default_dynamic.Loadgen.Control.epsilon
@@ -58,6 +75,8 @@ let default_tenant ~name ~rate_rps =
     link_us = 10.0;
     slo_us = 500.0;
     batching = Off;
+    envelope = Flat;
+    churn = None;
   }
 
 type t = {
@@ -181,13 +200,144 @@ let valid_name name =
          || c = '_' || c = '-')
        name
 
+(* Comma-separated [a:b] pair lists, e.g. [env_steps=100:4,200:1] or
+   [churn_script=150:+4,250:-4]. *)
+let pair_list key v parse_item =
+  let items = String.split_on_char ',' v in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      match String.index_opt item ':' with
+      | None -> Error (Printf.sprintf "%s: expected at:value pairs, got %S" key item)
+      | Some i ->
+        let a = String.sub item 0 i in
+        let b = String.sub item (i + 1) (String.length item - i - 1) in
+        let* pair = parse_item a b in
+        Ok (pair :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let env_keys =
+  [ "env_period_ms"; "env_duty"; "env_high"; "env_from"; "env_to"; "env_steps"; "env_trace" ]
+
+let envelope_of pairs =
+  let reject_stray allowed =
+    match
+      List.find_opt (fun k -> List.mem_assoc k pairs && not (List.mem k allowed)) env_keys
+    with
+    | Some k -> Error (Printf.sprintf "%s does not apply to this envelope" k)
+    | None -> Ok ()
+  in
+  let req_float key =
+    match List.assoc_opt key pairs with
+    | None -> Error (Printf.sprintf "missing required key %S for this envelope" key)
+    | Some _ -> float_of pairs key ~default:nan
+  in
+  match List.assoc_opt "envelope" pairs with
+  | None -> (
+    match List.find_opt (fun k -> List.mem_assoc k pairs) env_keys with
+    | Some k -> Error (Printf.sprintf "%s requires an envelope= clause" k)
+    | None -> Ok Flat)
+  | Some "flat" ->
+    let* () = reject_stray [] in
+    Ok Flat
+  | Some "square" ->
+    let* () = reject_stray [ "env_period_ms"; "env_duty"; "env_high" ] in
+    let* period_ms = req_float "env_period_ms" in
+    let* period_ms = positive "env_period_ms" period_ms in
+    let* duty = float_of pairs "env_duty" ~default:0.5 in
+    let* high = req_float "env_high" in
+    let* high = positive "env_high" high in
+    if duty <= 0.0 || duty >= 1.0 then
+      Error (Printf.sprintf "env_duty=%g out of range (0,1)" duty)
+    else Ok (Square { period_ms; duty; high })
+  | Some "ramp" ->
+    let* () = reject_stray [ "env_period_ms"; "env_from"; "env_to" ] in
+    let* period_ms = req_float "env_period_ms" in
+    let* period_ms = positive "env_period_ms" period_ms in
+    let* from_f = req_float "env_from" in
+    let* from_f = positive "env_from" from_f in
+    let* to_f = req_float "env_to" in
+    let* to_f = positive "env_to" to_f in
+    Ok (Ramp { period_ms; from_f; to_f })
+  | Some "steps" ->
+    let* () = reject_stray [ "env_steps" ] in
+    let* steps =
+      match List.assoc_opt "env_steps" pairs with
+      | None -> Error "missing required key \"env_steps\" for this envelope"
+      | Some v ->
+        pair_list "env_steps" v (fun a b ->
+            match (float_of_string_opt a, float_of_string_opt b) with
+            | Some at, Some f when Float.is_finite at && Float.is_finite f ->
+              if at < 0.0 then Error (Printf.sprintf "env_steps: time %g must be >= 0" at)
+              else if f <= 0.0 then
+                Error (Printf.sprintf "env_steps: factor %g must be positive" f)
+              else Ok (at, f)
+            | _ -> Error (Printf.sprintf "env_steps: bad pair %S:%S" a b))
+    in
+    if steps = [] then Error "env_steps: at least one at:factor pair required"
+    else
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          if a >= b then
+            Error (Printf.sprintf "env_steps: times must be strictly increasing (%g >= %g)" a b)
+          else sorted rest
+        | _ -> Ok (Steps steps)
+      in
+      sorted steps
+  | Some "replay" ->
+    let* () = reject_stray [ "env_trace" ] in
+    (match List.assoc_opt "env_trace" pairs with
+    | Some path when path <> "" -> Ok (Replay path)
+    | Some _ -> Error "env_trace: path must be non-empty"
+    | None -> Error "missing required key \"env_trace\" for this envelope")
+  | Some s ->
+    Error (Printf.sprintf "unknown envelope %S (want flat|square|ramp|steps|replay)" s)
+
+let churn_keys =
+  [ "churn_arrive_rps"; "churn_depart_rps"; "churn_min"; "churn_max"; "churn_script" ]
+
+let churn_of pairs ~conns =
+  if not (List.exists (fun k -> List.mem_assoc k pairs) churn_keys) then Ok None
+  else
+    let* c_arrive_rps = float_of pairs "churn_arrive_rps" ~default:0.0 in
+    let* c_depart_rps = float_of pairs "churn_depart_rps" ~default:0.0 in
+    let* c_min = int_of pairs "churn_min" ~default:1 in
+    let* c_max = int_of pairs "churn_max" ~default:64 in
+    let* c_script =
+      match List.assoc_opt "churn_script" pairs with
+      | None -> Ok []
+      | Some v ->
+        pair_list "churn_script" v (fun a b ->
+            match (float_of_string_opt a, int_of_string_opt b) with
+            | Some at, Some d when Float.is_finite at ->
+              if at < 0.0 then
+                Error (Printf.sprintf "churn_script: time %g must be >= 0" at)
+              else if d = 0 then Error "churn_script: delta must be non-zero"
+              else Ok (at, d)
+            | _ -> Error (Printf.sprintf "churn_script: bad pair %S:%S" a b))
+    in
+    if c_arrive_rps < 0.0 then
+      Error (Printf.sprintf "churn_arrive_rps=%g must be >= 0" c_arrive_rps)
+    else if c_depart_rps < 0.0 then
+      Error (Printf.sprintf "churn_depart_rps=%g must be >= 0" c_depart_rps)
+    else if c_min < 1 then Error (Printf.sprintf "churn_min=%d must be >= 1" c_min)
+    else if c_max < c_min then
+      Error (Printf.sprintf "churn_max=%d must be >= churn_min=%d" c_max c_min)
+    else if conns < c_min || conns > c_max then
+      Error
+        (Printf.sprintf "conns=%d must lie within [churn_min=%d, churn_max=%d]" conns
+           c_min c_max)
+    else Ok (Some { c_arrive_rps; c_depart_rps; c_min; c_max; c_script })
+
 let parse_tenant spec pairs =
   let* pairs =
     known
-      [
-        "name"; "conns"; "rate_rps"; "burst"; "mix"; "cpu_mult"; "link_us";
-        "slo_us"; "batching"; "epsilon";
-      ]
+      ([
+         "name"; "conns"; "rate_rps"; "burst"; "mix"; "cpu_mult"; "link_us";
+         "slo_us"; "batching"; "epsilon"; "envelope";
+       ]
+      @ env_keys @ churn_keys)
       pairs
   in
   let* name =
@@ -219,12 +369,17 @@ let parse_tenant spec pairs =
     let* slo_us = float_of pairs "slo_us" ~default:d.slo_us in
     let* slo_us = positive "slo_us" slo_us in
     let* batching = batching_of pairs ~default:d.batching in
+    let* envelope = envelope_of pairs in
+    let* churn = churn_of pairs ~conns in
     if conns < 1 then Error (Printf.sprintf "conns=%d must be >= 1" conns)
     else if burst < 1 then Error (Printf.sprintf "burst=%d must be >= 1" burst)
     else if link_us < 0.0 then Error (Printf.sprintf "link_us=%g must be >= 0" link_us)
     else
       let tenant =
-        { name; conns; rate_rps; burst; mix; cpu_mult; link_us; slo_us; batching }
+        {
+          name; conns; rate_rps; burst; mix; cpu_mult; link_us; slo_us; batching;
+          envelope; churn;
+        }
       in
       Ok { spec with tenants = spec.tenants @ [ tenant ] }
 
@@ -262,6 +417,37 @@ let pp_batching ppf = function
   | Dynamic eps -> Format.fprintf ppf "batching=dynamic epsilon=%g" eps
   | b -> Format.fprintf ppf "batching=%s" (batching_to_string b)
 
+let pp_pair_list sep item ppf xs =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Format.pp_print_string ppf sep;
+      item ppf x)
+    xs
+
+let pp_envelope ppf = function
+  | Flat -> ()
+  | Square { period_ms; duty; high } ->
+    Format.fprintf ppf " envelope=square env_period_ms=%g env_duty=%g env_high=%g"
+      period_ms duty high
+  | Ramp { period_ms; from_f; to_f } ->
+    Format.fprintf ppf " envelope=ramp env_period_ms=%g env_from=%g env_to=%g"
+      period_ms from_f to_f
+  | Steps steps ->
+    Format.fprintf ppf " envelope=steps env_steps=%a"
+      (pp_pair_list "," (fun ppf (at, f) -> Format.fprintf ppf "%g:%g" at f))
+      steps
+  | Replay path -> Format.fprintf ppf " envelope=replay env_trace=%s" path
+
+let pp_churn ppf = function
+  | None -> ()
+  | Some c ->
+    Format.fprintf ppf " churn_arrive_rps=%g churn_depart_rps=%g churn_min=%d churn_max=%d"
+      c.c_arrive_rps c.c_depart_rps c.c_min c.c_max;
+    if c.c_script <> [] then
+      Format.fprintf ppf " churn_script=%a"
+        (pp_pair_list "," (fun ppf (at, d) -> Format.fprintf ppf "%g:%+d" at d))
+        c.c_script
+
 let pp ppf t =
   Format.fprintf ppf "fleet seed=%d warmup_ms=%g duration_ms=%g scope=%s %a@\n"
     t.seed t.warmup_ms t.duration_ms
@@ -270,9 +456,10 @@ let pp ppf t =
   List.iter
     (fun tn ->
       Format.fprintf ppf
-        "tenant name=%s conns=%d rate_rps=%g burst=%d mix=%s cpu_mult=%g link_us=%g slo_us=%g %a@\n"
+        "tenant name=%s conns=%d rate_rps=%g burst=%d mix=%s cpu_mult=%g link_us=%g slo_us=%g %a%a%a@\n"
         tn.name tn.conns tn.rate_rps tn.burst (mix_to_string tn.mix) tn.cpu_mult
-        tn.link_us tn.slo_us pp_batching tn.batching)
+        tn.link_us tn.slo_us pp_batching tn.batching pp_envelope tn.envelope
+        pp_churn tn.churn)
     t.tenants
 
 let to_string t = Format.asprintf "%a" pp t

@@ -18,6 +18,20 @@
     controller spans the fleet, one per tenant, or one per connection
     (see {!Loadgen.Fleet.scope}).
 
+    Time-varying load rides on two optional tenant clause families.
+    [envelope=square|ramp|steps|replay|flat] wraps the arrival process
+    in a rate envelope: square waves take [env_period_ms], [env_duty]
+    (default 0.5) and [env_high]; ramps take [env_period_ms],
+    [env_from] and [env_to]; stepped schedules take
+    [env_steps=at_ms:factor,…] with strictly increasing times; replay
+    takes [env_trace=path] naming a gap-trace file (one µs gap per
+    line, loaded at execution time — see {!Loadgen.Trace.load_gaps}).
+    [churn_*] keys declare connection lifecycle: [churn_arrive_rps] /
+    [churn_depart_rps] Poisson connect/disconnect rates,
+    [churn_min]/[churn_max] population bounds (defaults 1/64; [conns]
+    must lie within), and [churn_script=at_ms:+n,at_ms:-n,…] scripted
+    epochs.
+
     Parsing is total: errors come back as [Error "scenario line N: …"]
     with the 1-based line number.  {!to_string} prints a canonical form
     and round-trips: [of_string (to_string s) = Ok s]. *)
@@ -42,6 +56,27 @@ type scope = Loadgen.Fleet.scope = Global | Per_tenant | Per_conn
 
 val scope_of_string : string -> (scope, string) result
 
+type envelope =
+  | Flat  (** no modulation (the default; not printed) *)
+  | Square of { period_ms : float; duty : float; high : float }
+      (** flash crowd: factor [high] for the first [duty] of each period *)
+  | Ramp of { period_ms : float; from_f : float; to_f : float }
+      (** diurnal ramp: factor sweeps [from_f]→[to_f] each period *)
+  | Steps of (float * float) list
+      (** [(at_ms, factor)] piecewise-constant schedule, strictly
+          increasing times *)
+  | Replay of string
+      (** gap-trace file path; replaces the base arrival process
+          outright (loaded at execution time) *)
+
+type churn = {
+  c_arrive_rps : float;  (** Poisson connection arrivals; 0 disables *)
+  c_depart_rps : float;  (** Poisson departures; 0 disables *)
+  c_min : int;  (** population floor (>= 1) *)
+  c_max : int;  (** population cap *)
+  c_script : (float * int) list;  (** scripted [(at_ms, ±n)] epochs *)
+}
+
 type tenant = {
   name : string;  (** [[A-Za-z0-9_-]+], unique within the scenario *)
   conns : int;
@@ -52,11 +87,13 @@ type tenant = {
   link_us : float;  (** one-way propagation delay *)
   slo_us : float;
   batching : batching;  (** used under [per_tenant]/[per_conn] scopes *)
+  envelope : envelope;
+  churn : churn option;  (** [None] = fixed connection population *)
 }
 
 val default_tenant : name:string -> rate_rps:float -> tenant
 (** 1 connection, Poisson, [set_only] mix, bare metal, 10 µs link,
-    500 µs SLO, [Off]. *)
+    500 µs SLO, [Off], flat envelope, no churn. *)
 
 val default_epsilon : float
 

@@ -60,6 +60,14 @@ type event =
       p99_us : float;
       n : int;  (** completions observed during the tenure *)
     }
+  | Conn_opened of {
+      gen : int;  (** per-tenant connection generation counter *)
+      inherited : bool;  (** group prior adopted (estimator cold-start) *)
+    }
+  | Conn_closed of {
+      gen : int;
+      completed : int;  (** requests completed over the connection's life *)
+    }
 
 type record = { at : Time.t; id : string; event : event }
 
@@ -172,6 +180,8 @@ let tag r =
   | Message { tag; _ } -> tag
   | Decision_made _ -> "decision"
   | Decision_outcome _ -> "outcome"
+  | Conn_opened _ -> "conn_open"
+  | Conn_closed _ -> "conn_close"
 
 let detail r =
   match r.event with
@@ -226,6 +236,10 @@ let detail r =
         stale_us
   | Decision_outcome { decision; mean_us; p99_us; n } ->
       Printf.sprintf "#%d mean_us=%.2f p99_us=%.2f n=%d" decision mean_us p99_us n
+  | Conn_opened { gen; inherited } ->
+      Printf.sprintf "gen=%d%s" gen (if inherited then " INHERITED" else "")
+  | Conn_closed { gen; completed } ->
+      Printf.sprintf "gen=%d completed=%d" gen completed
 
 let find t ~tag:wanted =
   List.rev
@@ -410,7 +424,15 @@ let record_to_json ?run r =
       add_int b "decision" decision;
       add_float b "mean_us" mean_us;
       add_float b "p99_us" p99_us;
-      add_int b "n" n);
+      add_int b "n" n
+  | Conn_opened { gen; inherited } ->
+      add_str b "ev" "conn_open";
+      add_int b "gen" gen;
+      add_bool b "inherited" inherited
+  | Conn_closed { gen; completed } ->
+      add_str b "ev" "conn_close";
+      add_int b "gen" gen;
+      add_int b "completed" completed);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -717,6 +739,14 @@ let record_of_json line =
         let* p99_us = num fields "p99_us" in
         let* n = int_field fields "n" in
         Ok (Decision_outcome { decision; mean_us; p99_us; n })
+    | "conn_open" ->
+        let* gen = int_field fields "gen" in
+        let* inherited = bool_field fields "inherited" in
+        Ok (Conn_opened { gen; inherited })
+    | "conn_close" ->
+        let* gen = int_field fields "gen" in
+        let* completed = int_field fields "completed" in
+        Ok (Conn_closed { gen; completed })
     | other -> Error (Printf.sprintf "unknown event type %S" other)
   in
   Ok (run, { at = at_ns; id; event })
@@ -790,8 +820,9 @@ module Binary = struct
   let footer_magic = "e2ebtrcF"
 
   (* v2 added kinds 26/27 (Decision_made / Decision_outcome) and flag
-     bit 2; v1 files remain readable. *)
-  let version = 2
+     bit 2; v3 added kinds 28/29 (Conn_opened / Conn_closed).  v1 and
+     v2 files remain readable. *)
+  let version = 3
   let min_read_version = 1
   let header_len = 16
   let footer_len = 32
@@ -831,6 +862,8 @@ module Binary = struct
     | Probe_sent _ -> 25
     | Decision_made _ -> 26
     | Decision_outcome _ -> 27
+    | Conn_opened _ -> 28
+    | Conn_closed _ -> 29
 
   (* Payload size in bytes for a (kind, wide) pair; the prefix (4B) and
      the optional run ref (2B) are accounted for separately.  [num] is
@@ -858,6 +891,8 @@ module Binary = struct
     | 25 -> 8 + num (* seq i64 + backoff *)
     | 26 -> num + 16 + 12 + 8 (* decision + on/off f64 + 3 refs + stale f64 *)
     | 27 -> (2 * num) + 16 (* decision + n + mean/p99 f64 *)
+    | 28 -> num (* gen; inherited in flag b0 *)
+    | 29 -> 2 * num (* gen + completed *)
     | k -> invalid_arg (Printf.sprintf "Trace.Binary: unknown kind %d" k)
 
   let u32_ok v = v >= 0 && v <= 0xFFFF_FFFF
@@ -958,6 +993,9 @@ module Binary = struct
             lor (if off_us <> None then flag_b2 else 0),
             u32_ok decision )
       | Decision_outcome { decision; n; _ } -> (0, u32_ok decision && u32_ok n)
+      | Conn_opened { gen; inherited } ->
+          ((if inherited then flag_b0 else 0), u32_ok gen)
+      | Conn_closed { gen; completed } -> (0, u32_ok gen && u32_ok completed)
       | Fin_received _ | Segment_reordered _ | Segment_duplicated _
       | Segment_challenged _ | Share_corrupted _ | Share_rejected _
       | Request_done _ | Audit_window _ | Message _ ->
@@ -1044,7 +1082,11 @@ module Binary = struct
         add_num b ~wide decision;
         add_num b ~wide n;
         add_f64 b mean_us;
-        add_f64 b p99_us);
+        add_f64 b p99_us
+    | Conn_opened { gen; inherited = _ } -> add_num b ~wide gen
+    | Conn_closed { gen; completed } ->
+        add_num b ~wide gen;
+        add_num b ~wide completed);
     (match run with
     | Some label -> Buffer.add_uint16_le b (intern_name w label)
     | None -> ());
@@ -1269,6 +1311,8 @@ module Binary = struct
                         mean_us = get_f64 by (2 * nsz);
                         p99_us = get_f64 by ((2 * nsz) + 8);
                       }
+                | 28 -> Conn_opened { gen = num 0; inherited = b0 }
+                | 29 -> Conn_closed { gen = num 0; completed = num nsz }
                 | k -> corrupt "record %d: unknown kind %d" rec_no k
               in
               let run =

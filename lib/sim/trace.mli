@@ -113,6 +113,18 @@ type event =
       (** Realized outcome of a decision's tenure, emitted when the
           {e next} decision closes it.  The final decision of a run
           stays open (no outcome). *)
+  | Conn_opened of {
+      gen : int;  (** per-tenant connection generation counter *)
+      inherited : bool;
+          (** the estimator/control state was seeded from the group
+              prior (cold-start inheritance) rather than starting
+              from scratch *)
+    }  (** A connection joined the run mid-flight (fleet churn). *)
+  | Conn_closed of {
+      gen : int;  (** generation from the matching [Conn_opened] *)
+      completed : int;  (** requests completed over the connection's life *)
+    }
+      (** A churned connection finished draining and closed (FIN). *)
 
 type record = { at : Time.t; id : string; event : event }
 (** [id] names the emitting connection/socket (e.g. ["c0"]). *)

@@ -7,7 +7,7 @@
 let mean_gap arrival n =
   let total = ref 0 in
   for _ = 1 to n do
-    total := !total + Loadgen.Arrival.next_gap arrival
+    total := !total + Loadgen.Arrival.next_gap arrival ~now:0
   done;
   float_of_int !total /. float_of_int n
 
@@ -22,7 +22,7 @@ let test_poisson_mean_rate () =
 let test_uniform_exact () =
   let a = Loadgen.Arrival.uniform ~rate_rps:10e3 in
   for _ = 1 to 10 do
-    Alcotest.(check int) "fixed gap" 100_000 (Loadgen.Arrival.next_gap a)
+    Alcotest.(check int) "fixed gap" 100_000 (Loadgen.Arrival.next_gap a ~now:0)
   done
 
 let test_bursty_preserves_rate () =
@@ -34,13 +34,13 @@ let test_bursty_preserves_rate () =
   (* bursts contain zero gaps *)
   let zeros = ref 0 in
   for _ = 1 to 400 do
-    if Loadgen.Arrival.next_gap a = 0 then incr zeros
+    if Loadgen.Arrival.next_gap a ~now:0 = 0 then incr zeros
   done;
   Alcotest.(check bool) "roughly 3/4 zero gaps" true (!zeros > 250 && !zeros < 350)
 
 let test_arrival_validation () =
   let rng = Sim.Rng.create ~seed:1 in
-  Alcotest.check_raises "zero rate" (Invalid_argument "Arrival: rate must be positive")
+  Alcotest.check_raises "zero rate" (Invalid_argument "Arrival: rate must be finite and positive")
     (fun () -> ignore (Loadgen.Arrival.poisson ~rng ~rate_rps:0.0));
   Alcotest.check_raises "bad burst"
     (Invalid_argument "Arrival.bursty: burst must be >= 1") (fun () ->

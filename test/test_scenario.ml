@@ -63,6 +63,42 @@ let gen_spec =
     oneofl [ Spec.On; Spec.Off; Spec.Aimd; Spec.Dynamic 0.05;
              Spec.Dynamic 0.125; Spec.Dynamic 0.0 ]
   in
+  let gen_envelope =
+    oneofl
+      [
+        Spec.Flat;
+        Spec.Flat;
+        Spec.Square { period_ms = 50.0; duty = 0.25; high = 10.0 };
+        Spec.Square { period_ms = 100.0; duty = 0.5; high = 4.0 };
+        Spec.Ramp { period_ms = 200.0; from_f = 0.5; to_f = 2.0 };
+        Spec.Steps [ (10.0, 2.0); (20.0, 0.5) ];
+        Spec.Steps [ (100.0, 4.0) ];
+        Spec.Replay "traces/recorded.gaps";
+      ]
+  in
+  let gen_churn =
+    oneofl
+      [
+        None;
+        None;
+        Some
+          {
+            Spec.c_arrive_rps = 50.0;
+            c_depart_rps = 25.0;
+            c_min = 1;
+            c_max = 8;
+            c_script = [];
+          };
+        Some
+          {
+            Spec.c_arrive_rps = 0.0;
+            c_depart_rps = 0.0;
+            c_min = 1;
+            c_max = 16;
+            c_script = [ (150.0, 4); (250.0, -4) ];
+          };
+      ]
+  in
   let gen_tenant i =
     let* conns = 1 -- 4 in
     let* rate_rps = nice_rate in
@@ -72,6 +108,8 @@ let gen_spec =
     let* link_us = oneofl [ 0.0; 2.5; 10.0; 100.0 ] in
     let* slo_us = oneofl [ 100.0; 500.0; 2000.0 ] in
     let* batching = gen_batching in
+    let* envelope = gen_envelope in
+    let* churn = gen_churn in
     return
       {
         Spec.name = Printf.sprintf "t%d" i;
@@ -83,6 +121,8 @@ let gen_spec =
         link_us;
         slo_us;
         batching;
+        envelope;
+        churn;
       }
   in
   let* seed = 0 -- 1000 in
@@ -106,6 +146,23 @@ let test_errors_carry_line_numbers () =
   check_prefix ~prefix:"scenario line 3:"
     (parse_err "# comment\nfleet seed=1\ntenant name=a rate_rps=nope\n");
   check_prefix ~prefix:"scenario line 1:" (parse_err "fleet scope=sideways\n")
+
+let test_duplicate_tenant_line_numbered () =
+  (* The duplicate is rejected at ITS line, not the first occurrence's. *)
+  let msg =
+    parse_err
+      "tenant name=a rate_rps=1000\n\
+       tenant name=b rate_rps=2000\n\
+       tenant name=a rate_rps=3000\n"
+  in
+  check_prefix ~prefix:"scenario line 3:" msg;
+  let contains needle =
+    let n = String.length needle and m = String.length msg in
+    let rec find i = i + n <= m && (String.sub msg i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "names the duplicate" true
+    (contains "duplicate tenant name \"a\"")
 
 let test_rejects_malformed () =
   let cases =
@@ -131,6 +188,23 @@ let test_rejects_malformed () =
       ("fleet duration_ms=0\ntenant name=a rate_rps=1000\n", "zero duration");
       ("fleet warmup_ms=-1\ntenant name=a rate_rps=1000\n", "negative warmup");
       ("tenant name=a rate_rps=1000 extra\n", "token without =");
+      ("tenant name=a rate_rps=1000 envelope=weird\n", "unknown envelope");
+      ("tenant name=a rate_rps=1000 env_high=4\n", "env key without envelope");
+      ("tenant name=a rate_rps=1000 envelope=square env_high=4\n", "square missing period");
+      ( "tenant name=a rate_rps=1000 envelope=square env_period_ms=50 env_high=4 env_from=1\n",
+        "stray env key" );
+      ( "tenant name=a rate_rps=1000 envelope=square env_period_ms=50 env_duty=1 env_high=4\n",
+        "duty out of range" );
+      ( "tenant name=a rate_rps=1000 envelope=steps env_steps=20:2,10:4\n",
+        "unsorted steps" );
+      ("tenant name=a rate_rps=1000 envelope=steps env_steps=10:0\n", "zero step factor");
+      ("tenant name=a rate_rps=1000 envelope=replay\n", "replay missing trace");
+      ("tenant name=a rate_rps=1000 churn_min=0\n", "churn_min zero");
+      ("tenant name=a rate_rps=1000 churn_min=2 churn_max=1\n", "empty churn band");
+      ("tenant name=a rate_rps=1000 conns=2 churn_max=1\n", "conns above churn_max");
+      ("tenant name=a rate_rps=1000 churn_arrive_rps=-1\n", "negative churn rate");
+      ("tenant name=a rate_rps=1000 churn_script=150:0\n", "zero script delta");
+      ("tenant name=a rate_rps=1000 churn_script=150\n", "script pair without colon");
     ]
   in
   List.iter
@@ -318,6 +392,8 @@ let suite =
         Alcotest.test_case "parses the example" `Quick test_parse_example;
         Alcotest.test_case "round-trips the example" `Quick test_roundtrip_example;
         Alcotest.test_case "line-numbered errors" `Quick test_errors_carry_line_numbers;
+        Alcotest.test_case "duplicate tenant is line-numbered" `Quick
+          test_duplicate_tenant_line_numbered;
         Alcotest.test_case "rejects malformed input" `Quick test_rejects_malformed;
         Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
         QCheck_alcotest.to_alcotest prop_roundtrip;

@@ -851,6 +851,10 @@ let trace_every_event : Sim.Trace.event list =
     Sim.Trace.Decision_outcome
       { decision = 0x1_0000_0004; mean_us = 0.0; p99_us = 0.0;
         n = 0x1_0000_0001 };
+    Sim.Trace.Conn_opened { gen = 3; inherited = true };
+    Sim.Trace.Conn_opened { gen = 0x1_0000_0005; inherited = false };
+    Sim.Trace.Conn_closed { gen = 3; completed = 1234 };
+    Sim.Trace.Conn_closed { gen = 0; completed = 0x1_0000_0006 };
   ]
 
 let trace_binary_sample : (string option * Sim.Trace.record) list =
@@ -995,6 +999,10 @@ let prop_trace_binary_roundtrip =
             (let* decision = slot and* mean_us = fin.gen and* p99_us = fin.gen
              and* n = slot in
              return (Sim.Trace.Decision_outcome { decision; mean_us; p99_us; n }));
+            (let* gen = slot and* inherited = bool in
+             return (Sim.Trace.Conn_opened { gen; inherited }));
+            (let* gen = slot and* completed = slot in
+             return (Sim.Trace.Conn_closed { gen; completed }));
           ]
       in
       return (run, { Sim.Trace.at; id; event = ev }))
