@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build + full test suite (the
 # parallel-vs-sequential determinism tests included) with backtraces on.
-.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke alloc-gate bench-par bench-rawspeed clean
+.PHONY: all build test check smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke scale-smoke alloc-gate bench-par bench-rawspeed bench-scale clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 test:
 	OCAMLRUNPARAM=b dune runtest
 
-check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke alloc-gate
+check: smoke report-smoke chaos-smoke scenario-smoke convert-smoke explain-smoke churn-smoke scale-smoke alloc-gate
 	OCAMLRUNPARAM=b dune build
 	OCAMLRUNPARAM=b dune runtest
 
@@ -176,6 +176,45 @@ churn-smoke:
 	  > /dev/null 2>&1; then echo "churn-smoke: settling ablation passed the gate"; exit 1; fi
 	@echo "churn-smoke: OK"
 
+# Sharded-serving smoke: a 10k-connection 4-shard fleet behind the
+# least-loaded front LB runs end to end from the scenario grammar,
+# the trace rebuilds per-shard slo and inspect breakdowns, and the
+# whole run repeats bit-identically (the LB and steering are hashes
+# and counters — no rng, so sharding must not perturb determinism).
+scale-smoke:
+	dune build bin/e2ebench.exe
+	mkdir -p _smoke
+	printf '%s\n' \
+	  'fleet seed=11 warmup_ms=10 duration_ms=40 scope=per_tenant batching=dynamic' \
+	  'server cores=4 lb=least_loaded' \
+	  'tenant name=bare conns=6000 rate_rps=40000 batching=dynamic' \
+	  'tenant name=vm conns=4000 rate_rps=15000 mix=small cpu_mult=4 batching=dynamic' \
+	  > _smoke/scale.scn
+	dune exec bin/e2ebench.exe -- scenario _smoke/scale.scn --print \
+	  --trace-out _smoke/scale-trace.jsonl | tee _smoke/scale.out
+	@grep -q '^server cores=4 lb=least_loaded' _smoke/scale.out \
+	  || { echo "scale-smoke: server directive lost in round-trip"; exit 1; }
+	@grep -q '^s0 ' _smoke/scale.out || { echo "scale-smoke: no shard 0 row"; exit 1; }
+	@grep -q '^s3 ' _smoke/scale.out || { echo "scale-smoke: no shard 3 row"; exit 1; }
+	dune exec bin/e2ebench.exe -- slo _smoke/scale-trace.jsonl \
+	  | tee _smoke/scale-slo.out
+	@grep -q 'shard s0:' _smoke/scale-slo.out || { echo "scale-smoke: no per-shard SLO roll-up"; exit 1; }
+	dune exec bin/e2ebench.exe -- inspect _smoke/scale-trace.jsonl --limit 0 \
+	  > _smoke/scale-inspect.out
+	@grep -q 'shard s0:' _smoke/scale-inspect.out || { echo "scale-smoke: no per-shard inspect section"; exit 1; }
+	@grep -q 'shard s3:' _smoke/scale-inspect.out || { echo "scale-smoke: no shard 3 inspect section"; exit 1; }
+	# determinism x2: same scenario, byte-identical stdout and trace
+	# (the trace-file name appears in stdout, so strip that line)
+	dune exec bin/e2ebench.exe -- scenario _smoke/scale.scn --print \
+	  --trace-out _smoke/scale-trace2.jsonl > _smoke/scale2.out
+	@grep -v '_smoke/scale-trace' _smoke/scale.out > _smoke/scale.out.norm
+	@grep -v '_smoke/scale-trace' _smoke/scale2.out > _smoke/scale2.out.norm
+	@cmp -s _smoke/scale.out.norm _smoke/scale2.out.norm \
+	  || { echo "scale-smoke: sharded run not deterministic (stdout)"; exit 1; }
+	@cmp -s _smoke/scale-trace.jsonl _smoke/scale-trace2.jsonl \
+	  || { echo "scale-smoke: sharded run not deterministic (trace)"; exit 1; }
+	@echo "scale-smoke: OK"
+
 # Zero-allocation gate: every guarded hot-path probe (disabled trace
 # emission, event-heap push/take, idle engine polling, delayed-ACK
 # bookkeeping) must measure 0.000 minor words per op.  Writes
@@ -193,6 +232,13 @@ bench-par:
 REQUESTS ?= 1000000
 bench-rawspeed:
 	dune exec bench/main.exe -- rawspeed --requests $(REQUESTS)
+
+# Headline scale bench: the 100k-connection 4-shard fleet with per-shard
+# accounting closure, per-shard dynamic convergence and the hot-shard
+# LB-policy comparison; writes BENCH_scale.json and exits nonzero if
+# any of those claims fails.
+bench-scale:
+	dune exec bench/main.exe -- scale
 
 clean:
 	dune clean

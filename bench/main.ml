@@ -1040,6 +1040,7 @@ let alloc () =
   let delack = Tcp.Delayed_ack.create delack_engine ~send_ack:ignore () in
   let histo = Sim.Histo.create () in
   let ledger_off = E2e.Ledger.create ~trace:trace_off ~group:"bench" in
+  let steer = Shard.Steer.create ~shards:4 in
   let probes =
     [
       ( "trace.emitf_guarded_disabled",
@@ -1066,6 +1067,8 @@ let alloc () =
       ("histo.add", fun () -> Sim.Histo.add histo 123.456);
       ( "ledger.completion_disabled",
         fun () -> E2e.Ledger.completion ledger_off ~latency:123_456 );
+      ( "shard.steer_disabled",
+        fun () -> ignore (Shard.Steer.lookup steer "bare/c42") );
     ]
   in
   let results = List.map (fun (name, f) -> (name, alloc_per_op f)) probes in
@@ -1748,6 +1751,195 @@ let churn () =
   pf "  wrote BENCH_churn.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Scale: the sharded serving tier at 100k connections.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims, one section.  (1) A 100k-connection, 4-shard fleet
+   completes with exact per-shard accounting closure — issued =
+   completed + outstanding on every shard, over every connection ever
+   steered there.  (2) Per-connection dynamic batching still converges
+   per shard: the mixed fleet from the headline bench, sharded 4 ways,
+   settles each connection's mode on every shard.  (3) Policy: under a
+   skewed tenant whose connections consistent-hashing clumps onto one
+   shard, [least_loaded] beats [consistent_hash] on fleet p99.  The
+   hot-shard pair also runs twice and across domain counts, asserting
+   bit-identical results — the LB and steering are hashes and counters,
+   no rng. *)
+
+(* The "whale" tenant is chosen so that FNV-1a consistent hashing lands
+   all six of its connections on shard 0 (deterministic, seedless);
+   [least_loaded] spreads them 2/2/1/1 by construction. *)
+let hot_shard_scenario lb =
+  Printf.sprintf
+    "fleet seed=42 warmup_ms=50 duration_ms=200 scope=global batching=off\n\
+     server cores=4 lb=%s\n\
+     tenant name=whale conns=6 rate_rps=70000 mix=set_only slo_us=500\n\
+     tenant name=steady conns=24 rate_rps=15000 mix=small cpu_mult=4 slo_us=2000\n"
+    lb
+
+let scale_convergence_scenario =
+  "fleet seed=42 warmup_ms=100 duration_ms=400 scope=per_conn batching=off\n\
+   server cores=4 lb=least_loaded\n\
+   tenant name=bare conns=8 rate_rps=70000 mix=set_only cpu_mult=1 slo_us=500 \
+   batching=dynamic epsilon=0.02\n\
+   tenant name=vm conns=8 rate_rps=15000 mix=small cpu_mult=4 slo_us=2000 \
+   batching=dynamic epsilon=0.02\n"
+
+let scale_conns = ref 100_000
+
+let scale () =
+  hr "Scale — sharded serving tier, 100k connections, front LB policies";
+  let module Fleet = Loadgen.Fleet in
+  (* -- 1: the 100k-connection fleet, 4 shards, accounting closure -- *)
+  let conns = Stdlib.max 4 !scale_conns in
+  let per_tenant = (conns + 3) / 4 in
+  let tenants =
+    List.init 4 (fun i ->
+        {
+          (Fleet.default_tenant
+             ~name:(Printf.sprintf "t%d" i)
+             ~rate_rps:25_000.0)
+          with
+          Fleet.n_conns = per_tenant;
+        })
+  in
+  let cfg =
+    {
+      (Fleet.default_config ~tenants) with
+      Fleet.cores = 4;
+      lb = Shard.Lb.Least_loaded;
+      warmup = Sim.Time.ms 20;
+      duration = Sim.Time.ms 100;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Fleet.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  pf "100k fleet: %d connections over %d shards (%s), %.1fs wall\n"
+    (4 * per_tenant) (List.length r.Fleet.shards)
+    (Shard.Lb.policy_to_string cfg.Fleet.lb)
+    dt;
+  pf "%-6s %8s %10s %10s %12s %8s\n" "shard" "conns" "issued" "completed"
+    "outstanding" "closure";
+  let closure_ok = ref true in
+  List.iter
+    (fun (s : Fleet.shard_result) ->
+      let ok = s.sh_issued = s.sh_completed_total + s.sh_outstanding_end in
+      if not ok then closure_ok := false;
+      pf "s%-5d %8d %10d %10d %12d %8s\n" s.sh_index s.sh_conns s.sh_issued
+        s.sh_completed_total s.sh_outstanding_end
+        (if ok then "exact" else "BROKEN"))
+    r.Fleet.shards;
+  pf "per-shard accounting closure: %b\n" !closure_ok;
+  (* -- 2: per-conn dynamic batching converging per shard -- *)
+  let conv_spec =
+    match Scenario.Spec.of_string scale_convergence_scenario with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let conv = Scenario.Exec.run conv_spec in
+  pf "\nper-conn dynamic over 4 shards:\n";
+  pf "%-6s %8s %10s %8s %8s  %s\n" "shard" "conns" "achieved" "mean" "p99"
+    "modes settled";
+  let shard_of_gid gid =
+    match Sim.Trace.shard_of_id gid with Some s -> s | None -> -1
+  in
+  let conv_ok = ref true in
+  List.iter
+    (fun (s : Fleet.shard_result) ->
+      let settled =
+        List.length
+          (List.filter
+             (fun (gid, _) -> shard_of_gid gid = s.sh_index)
+             conv.Fleet.final_modes)
+      in
+      (* every shard hosts 2 bare + 2 vm conns; all four must have
+         settled on a final mode for "converged per shard" to hold *)
+      if settled < 4 then conv_ok := false;
+      pf "s%-5d %8d %10.0f %6.1fus %6.1fus  %d\n" s.sh_index s.sh_conns
+        s.sh_achieved_rps s.sh_mean_us s.sh_p99_us settled)
+    conv.Fleet.shards;
+  pf "dynamic control converges on every shard: %b\n" !conv_ok;
+  (* -- 3: hot shard, least_loaded vs consistent_hash, determinism -- *)
+  let run_hot lb =
+    let spec =
+      match Scenario.Spec.of_string (hot_shard_scenario lb) with
+      | Ok s -> s
+      | Error msg -> failwith msg
+    in
+    Scenario.Exec.run spec
+  in
+  let fingerprint (r : Fleet.result) =
+    Printf.sprintf "%.6f/%.6f/%s" r.Fleet.fleet_p99_us r.Fleet.fleet_mean_us
+      (String.concat ","
+         (List.map
+            (fun (s : Fleet.shard_result) ->
+              Printf.sprintf "%d:%d:%d" s.sh_index s.sh_conns s.sh_issued)
+            r.Fleet.shards))
+  in
+  let jobs = [ "consistent_hash"; "least_loaded"; "consistent_hash"; "least_loaded" ] in
+  let pair domains = Par.Pool.map ~domains run_hot jobs in
+  let d1 = pair 1 in
+  let d2 = pair (Stdlib.max 2 !domains) in
+  let deterministic =
+    List.for_all2 (fun a b -> fingerprint a = fingerprint b) d1 d2
+    && fingerprint (List.nth d1 0) = fingerprint (List.nth d1 2)
+    && fingerprint (List.nth d1 1) = fingerprint (List.nth d1 3)
+  in
+  let ch = List.nth d1 0 and ll = List.nth d1 1 in
+  pf "\nhot-shard scenario (whale tenant, 6 conns clumped by hashing):\n";
+  let show label (r : Fleet.result) =
+    pf "  %-16s fleet p99 %8.1fus mean %7.1fus | shard conns: %s\n" label
+      r.Fleet.fleet_p99_us r.Fleet.fleet_mean_us
+      (String.concat " "
+         (List.map
+            (fun (s : Fleet.shard_result) ->
+              Printf.sprintf "s%d=%d" s.sh_index s.sh_conns)
+            r.Fleet.shards))
+  in
+  show "consistent_hash" ch;
+  show "least_loaded" ll;
+  let ll_wins = ll.Fleet.fleet_p99_us < ch.Fleet.fleet_p99_us in
+  pf "least_loaded beats consistent_hash on p99: %b\n" ll_wins;
+  pf "bit-identical across repeats and domains 1 vs %d: %b\n"
+    (Stdlib.max 2 !domains) deterministic;
+  let shard_json (s : Fleet.shard_result) =
+    Report.Json.(
+      Obj
+        [
+          ("index", Int s.sh_index);
+          ("conns", Int s.sh_conns);
+          ("issued", Int s.sh_issued);
+          ("completed_total", Int s.sh_completed_total);
+          ("outstanding_end", Int s.sh_outstanding_end);
+          ("achieved_rps", Float s.sh_achieved_rps);
+          ("mean_us", Float s.sh_mean_us);
+          ("p99_us", Float s.sh_p99_us);
+          ("app_util", Float s.sh_app_util);
+          ("irq_util", Float s.sh_irq_util);
+        ])
+  in
+  Report.Json.to_file "BENCH_scale.json"
+    Report.Json.(
+      Obj
+        [
+          ("section", String "scale");
+          ("connections", Int (4 * per_tenant));
+          ("shards", Int (List.length r.Fleet.shards));
+          ("wall_s", Float dt);
+          ("closure_pass", Bool !closure_ok);
+          ("headline_shards", List (List.map shard_json r.Fleet.shards));
+          ("convergence_pass", Bool !conv_ok);
+          ("convergence_shards", List (List.map shard_json conv.Fleet.shards));
+          ("hot_shard_consistent_hash_p99_us", Float ch.Fleet.fleet_p99_us);
+          ("hot_shard_least_loaded_p99_us", Float ll.Fleet.fleet_p99_us);
+          ("least_loaded_wins", Bool ll_wins);
+          ("deterministic", Bool deterministic);
+        ]);
+  pf "  wrote BENCH_scale.json\n";
+  if not (!closure_ok && !conv_ok && ll_wins && deterministic) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1767,6 +1959,7 @@ let sections =
     ("fault", fault);
     ("fleet", fleet);
     ("churn", churn);
+    ("scale", scale);
   ]
 
 let () =

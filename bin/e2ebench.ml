@@ -766,6 +766,8 @@ type run_agg = {
   ra_all : span_agg;
   mutable ra_tenant_order_rev : string list;
   ra_tenants : (string, span_agg) Hashtbl.t;
+  mutable ra_shard_order_rev : int list;
+  ra_shards : (int, span_agg) Hashtbl.t;
 }
 
 let run_agg ~limit run =
@@ -782,6 +784,8 @@ let run_agg ~limit run =
     ra_all = span_agg ();
     ra_tenant_order_rev = [];
     ra_tenants = Hashtbl.create 4;
+    ra_shard_order_rev = [];
+    ra_shards = Hashtbl.create 4;
   }
 
 let run_agg_feed ra (r : Sim.Trace.record) =
@@ -810,7 +814,7 @@ let run_agg_feed ra (r : Sim.Trace.record) =
   | Sim.Trace.Audit_window _ -> ra.ra_audits_rev <- r :: ra.ra_audits_rev
   | _ -> ());
   span_agg_feed ra.ra_all r;
-  match Sim.Trace.tenant_of_id r.Sim.Trace.id with
+  (match Sim.Trace.tenant_of_id r.Sim.Trace.id with
   | None -> ()
   | Some tenant ->
     let sa =
@@ -820,6 +824,20 @@ let run_agg_feed ra (r : Sim.Trace.record) =
         let sa = span_agg () in
         Hashtbl.add ra.ra_tenants tenant sa;
         ra.ra_tenant_order_rev <- tenant :: ra.ra_tenant_order_rev;
+        sa
+    in
+    span_agg_feed sa r);
+  (* sharded fleet traces suffix ids "@s<k>"; break down per shard too *)
+  match Sim.Trace.shard_of_id r.Sim.Trace.id with
+  | None -> ()
+  | Some shard ->
+    let sa =
+      match Hashtbl.find_opt ra.ra_shards shard with
+      | Some sa -> sa
+      | None ->
+        let sa = span_agg () in
+        Hashtbl.add ra.ra_shards shard sa;
+        ra.ra_shard_order_rev <- shard :: ra.ra_shard_order_rev;
         sa
     in
     span_agg_feed sa r
@@ -871,15 +889,30 @@ let print_run_agg ra =
       | None -> ());
       print_breakdown ~indent:"    " tspans)
     (List.rev ra.ra_tenant_order_rev);
+  (* sharded traces ("...@s<k>" ids): per-shard sections, shard order *)
+  List.iter
+    (fun shard ->
+      let sa = Hashtbl.find ra.ra_shards shard in
+      let sspans = span_agg_spans sa in
+      pf "  shard s%d: %d events, %d spans (%d incomplete)\n" shard sa.sa_events
+        (List.length sspans) (span_agg_incomplete sa);
+      print_breakdown ~indent:"    " sspans)
+    (List.sort compare (List.rev ra.ra_shard_order_rev));
   spans
 
 (* Stream a trace file into per-run aggregates, first-appearance
-   order; the empty key stands for unlabelled single-run files. *)
+   order; the empty key stands for unlabelled single-run files.
+   Event kinds from trace versions newer than this build are skipped
+   and counted rather than failing the whole file. *)
 let fold_runs ~limit path =
   let order_rev = ref [] in
+  let skipped = ref 0 in
   let runs : (string, run_agg) Hashtbl.t = Hashtbl.create 4 in
   match
-    Sim.Trace.fold_file path ~init:() ~f:(fun () run r ->
+    Sim.Trace.fold_file path
+      ~unknown:(fun _ -> incr skipped)
+      ~init:()
+      ~f:(fun () run r ->
         let key = Option.value run ~default:"" in
         let ra =
           match Hashtbl.find_opt runs key with
@@ -896,7 +929,7 @@ let fold_runs ~limit path =
   | Ok () when !order_rev = [] ->
     Error (Printf.sprintf "%s: no trace records" path)
   | Ok () ->
-    Ok (List.rev_map (fun key -> Hashtbl.find runs key) !order_rev)
+    Ok (List.rev_map (fun key -> Hashtbl.find runs key) !order_rev, !skipped)
 
 let inspect_cmd =
   let file_arg =
@@ -918,8 +951,10 @@ let inspect_cmd =
   let action file limit request conn =
     match fold_runs ~limit file with
     | Error msg -> fail "%s" msg
-    | Ok runs ->
+    | Ok (runs, skipped) ->
       let spans_by_run = List.map print_run_agg runs in
+      if skipped > 0 then
+        pf "skipped %d unknown event records (newer trace version)\n" skipped;
       (match request with
       | None -> `Ok ()
       | Some req ->
@@ -1237,6 +1272,32 @@ let print_slo_run ~burn_window_us sr =
         trackers report in-run only)\n"
       declared_only
       (if declared_only = 1 then "" else "s");
+  (* sharded traces ("...@s<k>" ids): per-shard attainment roll-up *)
+  let by_shard = Hashtbl.create 4 in
+  let shard_order_rev = ref [] in
+  List.iter
+    (fun r ->
+      match Sim.Trace.shard_of_id r.sl_id with
+      | None -> ()
+      | Some k ->
+        if not (Hashtbl.mem by_shard k) then
+          shard_order_rev := k :: !shard_order_rev;
+        let n, viol, burn =
+          Option.value (Hashtbl.find_opt by_shard k) ~default:(0, 0, 0.0)
+        in
+        Hashtbl.replace by_shard k
+          (n + r.sl_total, viol + r.sl_violations, Float.max burn r.sl_max_burn))
+    rows;
+  List.iter
+    (fun k ->
+      let n, viol, burn = Hashtbl.find by_shard k in
+      pf "  shard s%d: %d completions, %d violations, attain %.2f%%, \
+          max-burn %.2f\n"
+        k n viol
+        (if n = 0 then 100.0
+         else 100.0 *. (1.0 -. (float_of_int viol /. float_of_int n)))
+        burn)
+    (List.sort compare !shard_order_rev);
   print_settle_rows (settle_rows sr);
   rows
 
@@ -1496,7 +1557,7 @@ let dataset_of_agg ~label ~audits sa =
 let datasets_of_file path =
   match fold_runs ~limit:0 path with
   | Error e -> Error e
-  | Ok runs ->
+  | Ok (runs, _skipped) ->
     Ok
       (List.concat_map
          (fun ra ->
@@ -1992,6 +2053,18 @@ let print_fleet_result (r : Loadgen.Fleet.result) =
   pf "fleet: %.0f rps, mean %.1fus, p99 %.1fus | server app %.2f irq %.2f\n"
     r.fleet_achieved_rps r.fleet_mean_us r.fleet_p99_us r.server_app_util
     r.server_irq_util;
+  (* per-shard table only for sharded runs; cores=1 output is untouched *)
+  (match r.shards with
+  | [] | [ _ ] -> ()
+  | shards ->
+    pf "%-8s %6s %10s %10s %7s %7s %6s %6s\n" "shard" "conns" "issued"
+      "achieved" "mean" "p99" "app" "irq";
+    List.iter
+      (fun (s : Loadgen.Fleet.shard_result) ->
+        pf "s%-7d %6d %10d %10.0f %5.1fus %5.1fus %6.2f %6.2f\n" s.sh_index
+          s.sh_conns s.sh_issued s.sh_achieved_rps s.sh_mean_us s.sh_p99_us
+          s.sh_app_util s.sh_irq_util)
+      shards);
   (match (r.goodput_max_min_ratio, r.goodput_jain) with
   | Some ratio, Some jain ->
     pf "fairness: goodput max/min %.3f, Jain %.3f\n" ratio jain
@@ -2019,11 +2092,33 @@ let tenant_json (t : Loadgen.Fleet.tenant_result) =
         ("nagle_toggles", Int t.t_nagle_toggles);
       ])
 
-let fleet_json (r : Loadgen.Fleet.result) =
+let shard_json (s : Loadgen.Fleet.shard_result) =
   Report.Json.(
     Obj
       [
-        ("tenants", List (List.map tenant_json r.tenants));
+        ("index", Int s.sh_index);
+        ("conns", Int s.sh_conns);
+        ("issued", Int s.sh_issued);
+        ("completed_total", Int s.sh_completed_total);
+        ("outstanding_end", Int s.sh_outstanding_end);
+        ("completed", Int s.sh_completed);
+        ("achieved_rps", Float s.sh_achieved_rps);
+        ("mean_us", Float s.sh_mean_us);
+        ("p99_us", Float s.sh_p99_us);
+        ("app_util", Float s.sh_app_util);
+        ("irq_util", Float s.sh_irq_util);
+      ])
+
+let fleet_json (r : Loadgen.Fleet.result) =
+  Report.Json.(
+    Obj
+      (("tenants", List (List.map tenant_json r.tenants))
+       ::
+       (* sharded runs only, so cores=1 JSON stays byte-identical *)
+       (match r.shards with
+       | [] | [ _ ] -> []
+       | shards -> [ ("shards", List (List.map shard_json shards)) ])
+      @ [
         ("fleet_achieved_rps", Float r.fleet_achieved_rps);
         ("fleet_mean_us", Float r.fleet_mean_us);
         ("fleet_p99_us", Float r.fleet_p99_us);
@@ -2034,7 +2129,7 @@ let fleet_json (r : Loadgen.Fleet.result) =
         ( "final_modes",
           Obj (List.map (fun (gid, m) -> (gid, String (mode_label m))) r.final_modes)
         );
-      ])
+      ]))
 
 let comparison_json (c : Scenario.Exec.comparison) =
   Report.Json.(
@@ -2102,6 +2197,29 @@ let scenario_cmd =
     | Ok (_, Some _) when compare ->
       fail "--trace-out/--metrics-out apply to plain runs, not --compare-static"
     | Ok (spec, observe) ->
+      (* Sharded fleets write per-connection assignment and per-shard
+         SLO breadcrumbs up front; size the trace ring so a
+         10k-connection scenario keeps them instead of evicting the
+         oldest records.  cores=1 keeps the default capacity so
+         unsharded runs stay byte-identical. *)
+      let observe =
+        if spec.Scenario.Spec.cores > 1 then
+          let conns =
+            List.fold_left
+              (fun acc (t : Scenario.Spec.tenant) -> acc + t.Scenario.Spec.conns)
+              0 spec.Scenario.Spec.tenants
+          in
+          Option.map
+            (fun (o : Loadgen.Observe.config) ->
+              {
+                o with
+                Loadgen.Observe.trace_capacity =
+                  Stdlib.max o.Loadgen.Observe.trace_capacity
+                    ((8 * conns) + 65536);
+              })
+            observe
+        else observe
+      in
       if print then pf "%s" (Scenario.Spec.to_string spec);
       pf "scope=%s tenants=%d seed=%d\n"
         (Loadgen.Fleet.scope_label spec.Scenario.Spec.scope)

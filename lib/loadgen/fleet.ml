@@ -73,6 +73,8 @@ type config = {
   client : Kv.Client.config;
   observe : Observe.config option;
   cold_start_inherit : bool;
+  cores : int;  (* server shards; 1 = the unsharded tier *)
+  lb : Shard.Lb.policy;  (* connection -> shard assignment policy *)
   tenants : tenant list;
 }
 
@@ -87,6 +89,8 @@ let default_config ~tenants =
     client = Kv.Client.default_config;
     observe = None;
     cold_start_inherit = true;
+    cores = 1;
+    lb = Shard.Lb.Consistent_hash;
     tenants;
   }
 
@@ -110,8 +114,23 @@ type tenant_result = {
   t_conns_closed : int;
 }
 
+type shard_result = {
+  sh_index : int;
+  sh_conns : int;
+  sh_issued : int;
+  sh_completed_total : int;
+  sh_outstanding_end : int;
+  sh_completed : int;
+  sh_achieved_rps : float;
+  sh_mean_us : float;
+  sh_p99_us : float;
+  sh_app_util : float;
+  sh_irq_util : float;
+}
+
 type result = {
   tenants : tenant_result list;
+  shards : shard_result list;
   fleet_achieved_rps : float;
   fleet_mean_us : float;
   fleet_p99_us : float;
@@ -176,6 +195,7 @@ let validate_tenant t =
    fully drained-and-closed departure (kept for lifetime accounting). *)
 type conn_entry = {
   gen : int;
+  shard : int;  (* backend shard this connection is steered to *)
   client : Kv.Client.t;
   csock : Tcp.Socket.t;
   ssock : Tcp.Socket.t;
@@ -186,8 +206,11 @@ type conn_entry = {
 }
 
 (* Everything one tenant owns at runtime.  [entries] holds every
-   connection the tenant ever had, oldest first, so lifetime accounting
-   (issued = completed + outstanding) covers departed connections. *)
+   connection the tenant ever had in a flat slot pool (handles are
+   ascending spawn order, never freed, so lifetime accounting
+   (issued = completed + outstanding) covers departed connections and
+   10^5+-connection tenants cost one flat array instead of a list
+   spine the GC must walk). *)
 type tenant_state = {
   spec : tenant;
   mode : Control.batching;  (* after applying the scope *)
@@ -198,7 +221,7 @@ type tenant_state = {
   recorder : Recorder.t;
   workload_rng : Sim.Rng.t;
   arrival : Arrival.t;
-  mutable entries : conn_entry list;
+  entries : conn_entry Shard.Flat.t;
   mutable next_gen : int;
   mutable opened_mid : int;
   mutable closed_mid : int;
@@ -208,15 +231,53 @@ type tenant_state = {
 
 let ns_opt_to_us = Option.map (fun ns -> ns /. 1e3)
 
+(* Live slots in ascending handle order — the old oldest-first list
+   order, for every iteration below that depends on it. *)
+let entries_list s =
+  List.rev (Shard.Flat.fold s.entries ~init:[] ~f:(fun acc _ e -> e :: acc))
+
+let iter_entries s ~f = Shard.Flat.iter s.entries ~f:(fun _ e -> f e)
+
+let fold_entries s ~init ~f =
+  Shard.Flat.fold s.entries ~init ~f:(fun acc _ e -> f acc e)
+
 let rebuild_rotation s =
-  s.rotation <- Array.of_list (List.filter (fun e -> e.accepting) s.entries)
+  let n = fold_entries s ~init:0 ~f:(fun n e -> if e.accepting then n + 1 else n) in
+  if n = 0 then s.rotation <- [||]
+  else begin
+    (* Seed the array with any entry to avoid an option box per slot,
+       then overwrite in ascending-handle order. *)
+    let seed = ref None in
+    (try
+       iter_entries s ~f:(fun e ->
+           if e.accepting then begin
+             seed := Some e;
+             raise Exit
+           end)
+     with Exit -> ());
+    match !seed with
+    | None -> s.rotation <- [||]
+    | Some e0 ->
+      let a = Array.make n e0 in
+      let i = ref 0 in
+      iter_entries s ~f:(fun e ->
+          if e.accepting then begin
+            a.(!i) <- e;
+            incr i
+          end);
+      s.rotation <- a
+  end
 
 let accepting_count s = Array.length s.rotation
 
-let live_entries s = List.filter (fun e -> not e.retired) s.entries
+let live_entries s =
+  List.rev
+    (fold_entries s ~init:[] ~f:(fun acc e ->
+         if e.retired then acc else e :: acc))
 
 let run (cfg : config) =
   if cfg.tenants = [] then invalid_arg "Fleet.run: at least one tenant required";
+  if cfg.cores < 1 then invalid_arg "Fleet.run: cores must be at least 1";
   List.iter validate_tenant cfg.tenants;
   let names = List.map (fun t -> t.name) cfg.tenants in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -225,11 +286,37 @@ let run (cfg : config) =
   let rng = Sim.Rng.create ~seed:cfg.seed in
   let warmup_until = cfg.warmup in
   let total = cfg.warmup + cfg.duration in
-  (* Shared server host: one app core, one IRQ core, fed by every
-     tenant.  Contention for these cores is the coupling that makes
-     global batching decisions unfair. *)
-  let server_cpu = Sim.Cpu.create engine in
-  let server_irq = Sim.Cpu.create engine in
+  (* Sharded server tier: [cores] simulated cores, each with a private
+     app CPU (its run queue) and IRQ CPU.  With [cores = 1] this is the
+     classic shared single-core server (contention for which is the
+     coupling that makes global batching decisions unfair), created in
+     exactly the pre-sharding CPU order so such runs stay
+     bit-identical.  The front load balancer assigns each connection a
+     shard (deterministic, rng-free policies — no stream splits), and
+     the RSS steering table is pinned to agree so repinning stays an
+     explicit, observable operation. *)
+  let cores = cfg.cores in
+  let pool = Shard.Pool.create engine ~cores in
+  let lb = Shard.Lb.create ~policy:cfg.lb ~shards:cores in
+  let steer = Shard.Steer.create ~shards:cores in
+  (* Per-shard dispatch depth (issued - completed), for the
+     [Shard_enqueued] stream and end-of-run accounting closure. *)
+  let sh_issued = Array.make cores 0 in
+  let sh_done = Array.make cores 0 in
+  let sh_recorders =
+    Array.init cores (fun _ -> Recorder.create ~warmup_until ())
+  in
+  let lb_policy_name = Shard.Lb.policy_to_string cfg.lb in
+  (* Assign a connection to a shard: LB policy picks, steering table
+     pinned to match.  [key] is the shard-free connection label. *)
+  let assign_shard key =
+    if cores = 1 then 0
+    else begin
+      let sh = Shard.Lb.assign lb ~key in
+      Shard.Steer.repin steer key ~shard:sh;
+      sh
+    end
+  in
   let fleet_recorder = Recorder.create ~warmup_until () in
   let obs = Option.map Observe.create cfg.observe in
   let host ~nagle =
@@ -262,7 +349,9 @@ let run (cfg : config) =
      churn stream per churning tenant in declaration order.  Identical
      configs therefore replay identical draw sequences regardless of
      host parallelism, and configs without churn split exactly the
-     pre-churn streams. *)
+     pre-churn streams.  Sharding adds {e no} streams: load-balancer
+     policies and flow steering are deterministic hashes and counters,
+     so [cores = 1] configs split exactly the unsharded streams. *)
   let states =
     List.map
       (fun (t : tenant) ->
@@ -277,20 +366,34 @@ let run (cfg : config) =
            would let one tenant resize another's GET responses. *)
         let store = Kv.Store.create () in
         Workload.prepopulate t.workload store ~now:(Sim.Engine.now engine);
-        let conns =
+        (* LB assignment per connection, in label order.  Sharded runs
+           suffix ids with "@s<k>" so every downstream tool (spans,
+           inspect, slo, report) can break the run down per shard;
+           single-shard runs keep the exact pre-sharding labels. *)
+        let conn_shards =
           List.init t.n_conns (fun i ->
+              assign_shard (Printf.sprintf "%s/c%d" t.name i))
+        in
+        let conns =
+          List.mapi
+            (fun i shard ->
+              let suffix =
+                if cores = 1 then "" else Printf.sprintf "@s%d" shard
+              in
               Tcp.Conn.create engine ~a:h ~b:h ~link_ab:t.link ~link_ba:t.link
-                ~cpu_a:client_irq ~cpu_b:server_irq
-                ~label_a:(Printf.sprintf "%s/c%d" t.name i)
-                ~label_b:(Printf.sprintf "%s/s%d" t.name i)
+                ~cpu_a:client_irq ~cpu_b:(Shard.Pool.irq pool shard)
+                ~label_a:(Printf.sprintf "%s/c%d%s" t.name i suffix)
+                ~label_b:(Printf.sprintf "%s/s%d%s" t.name i suffix)
                 ())
+            conn_shards
         in
         let client_socks = List.map Tcp.Conn.sock_a conns in
-        let server_socks = List.map Tcp.Conn.sock_b conns in
-        List.iter
-          (fun sock ->
-            ignore (Kv.Server.create engine ~cpu:server_cpu ~socket:sock ~store cfg.server))
-          server_socks;
+        List.iter2
+          (fun shard conn ->
+            ignore
+              (Kv.Server.create engine ~cpu:(Shard.Pool.cpu pool shard)
+                 ~socket:(Tcp.Conn.sock_b conn) ~store cfg.server))
+          conn_shards conns;
         let client_cfg =
           { cfg.client with
             Kv.Client.cpu_multiplier = cfg.client.Kv.Client.cpu_multiplier *. t.cpu_multiplier
@@ -301,6 +404,19 @@ let run (cfg : config) =
             (fun sock -> Kv.Client.create engine ~cpu:client_cpu ~socket:sock client_cfg)
             client_socks
         in
+        (* Typed LB breadcrumbs, sharded runs only, so unsharded traces
+           stay byte-identical to pre-sharding ones. *)
+        (match obs with
+        | Some o when cores > 1 ->
+          let tr = Observe.trace o in
+          if Sim.Trace.enabled tr then
+            List.iter2
+              (fun shard sock ->
+                Sim.Trace.event tr ~at:(Sim.Engine.now engine)
+                  ~id:(Tcp.Socket.label sock)
+                  (Sim.Trace.Lb_assigned { shard; policy = lb_policy_name }))
+              conn_shards client_socks
+        | Some _ | None -> ());
         let base =
           match t.replay_gaps with
           | Some gaps -> Arrival.replay ~gaps_ns:gaps
@@ -311,20 +427,41 @@ let run (cfg : config) =
         in
         let arrival = Arrival.modulate base t.envelope in
         let entries =
-          List.map2
-            (fun client conn ->
-              {
-                gen = 0;
-                client;
-                csock = Tcp.Conn.sock_a conn;
-                ssock = Tcp.Conn.sock_b conn;
-                accepting = true;
-                retired = false;
-                egroup = None;
-                on_complete = (fun ~latency:_ _ -> ());
-              })
-            clients conns
+          Shard.Flat.create ~capacity:(max 16 t.n_conns)
+            ~dummy:
+              (match (clients, conns, conn_shards) with
+              | client :: _, conn :: _, shard :: _ ->
+                {
+                  gen = -1;
+                  shard;
+                  client;
+                  csock = Tcp.Conn.sock_a conn;
+                  ssock = Tcp.Conn.sock_b conn;
+                  accepting = false;
+                  retired = true;
+                  egroup = None;
+                  on_complete = (fun ~latency:_ _ -> ());
+                }
+              | _ -> assert false)
+            ()
         in
+        List.iter2
+          (fun (client, shard) conn ->
+            ignore
+              (Shard.Flat.alloc entries
+                 {
+                   gen = 0;
+                   shard;
+                   client;
+                   csock = Tcp.Conn.sock_a conn;
+                   ssock = Tcp.Conn.sock_b conn;
+                   accepting = true;
+                   retired = false;
+                   egroup = None;
+                   on_complete = (fun ~latency:_ _ -> ());
+                 }))
+          (List.combine clients conn_shards)
+          conns;
         let s =
           {
             spec = t;
@@ -349,10 +486,10 @@ let run (cfg : config) =
       cfg.tenants
   in
   let all_client_socks =
-    List.concat_map (fun s -> List.map (fun e -> e.csock) s.entries) states
+    List.concat_map (fun s -> List.map (fun e -> e.csock) (entries_list s)) states
   in
   let all_server_socks =
-    List.concat_map (fun s -> List.map (fun e -> e.ssock) s.entries) states
+    List.concat_map (fun s -> List.map (fun e -> e.ssock) (entries_list s)) states
   in
   (match obs with
   | Some o ->
@@ -390,19 +527,31 @@ let run (cfg : config) =
       (fun s ->
         Observe.declare_slo o ~at ~id:(s.spec.name ^ "/client")
           ~slo_us:s.spec.slo_us;
-        List.iter
-          (fun e ->
+        iter_entries s ~f:(fun e ->
             Observe.declare_slo o ~at ~id:(Tcp.Socket.label e.csock)
-              ~slo_us:s.spec.slo_us)
-          s.entries)
+              ~slo_us:s.spec.slo_us))
       states;
+    (* Sharded runs additionally declare tenant-per-shard SLO ids
+       ("<tenant>/client@s<k>") as trace breadcrumbs only — offline
+       [slo] rebuilds a per-shard attainment roll-up from them while
+       the in-run observatory keeps its tenant-level trackers. *)
+    if cores > 1 && Sim.Trace.enabled tr then
+      List.iter
+        (fun s ->
+          for k = 0 to cores - 1 do
+            Sim.Trace.event tr ~at
+              ~id:(Printf.sprintf "%s/client@s%d" s.spec.name k)
+              (Sim.Trace.Message
+                 { tag = "slo_declared";
+                   detail = Printf.sprintf "%.17g" s.spec.slo_us })
+          done)
+        states;
     match cfg.scope with
     | Global -> add "fleet"
     | Per_tenant -> List.iter (fun s -> add s.spec.name) states
     | Per_conn ->
       List.iter
-        (fun s ->
-          List.iter (fun e -> add (Tcp.Socket.label e.csock)) s.entries)
+        (fun s -> iter_entries s ~f:(fun e -> add (Tcp.Socket.label e.csock)))
         states);
   let ledger_for gid = Hashtbl.find_opt ledger_tbl gid in
   let entry_ledger s e =
@@ -419,6 +568,11 @@ let run (cfg : config) =
     let lg = entry_ledger s e in
     let conn_id = Tcp.Socket.label e.csock in
     let tenant_req_id = s.spec.name ^ "/client" in
+    let shard = e.shard in
+    let shard_req_id =
+      if cores = 1 then None
+      else Some (Printf.sprintf "%s/client@s%d" s.spec.name shard)
+    in
     e.on_complete <-
       (fun ~latency reply ->
         (match reply with
@@ -427,12 +581,21 @@ let run (cfg : config) =
         let at = Sim.Engine.now engine in
         Recorder.record s.recorder ~at ~latency;
         Recorder.record fleet_recorder ~at ~latency;
+        sh_done.(shard) <- sh_done.(shard) + 1;
+        Recorder.record sh_recorders.(shard) ~at ~latency;
         (match lg with
         | Some lg -> E2e.Ledger.completion lg ~latency
         | None -> ());
         match obs with
         | Some o ->
           Observe.note_request o ~id:tenant_req_id ~at ~latency;
+          (match shard_req_id with
+          | Some sid ->
+            let tr = Observe.trace o in
+            if Sim.Trace.enabled tr then
+              Sim.Trace.event tr ~at ~id:sid
+                (Sim.Trace.Request_done { latency_us = Sim.Time.to_us latency })
+          | None -> ());
           Observe.note_slo o ~id:conn_id ~at ~latency
         | None -> ())
   in
@@ -442,13 +605,28 @@ let run (cfg : config) =
      the fixed array the pre-churn implementation used. *)
   List.iter
     (fun s ->
-      List.iter (wire_entry s) s.entries;
+      iter_entries s ~f:(wire_entry s);
       let issue cmd =
         let n = Array.length s.rotation in
         if n > 0 then begin
           let k = !(s.next_client) mod n in
           s.next_client := (k + 1) mod n;
           let e = s.rotation.(k) in
+          let shard = e.shard in
+          sh_issued.(shard) <- sh_issued.(shard) + 1;
+          (* Dispatch breadcrumb (sharded runs only); the enabled check
+             precedes event construction so untraced issues allocate
+             nothing extra. *)
+          (if cores > 1 then
+             match obs with
+             | Some o ->
+               let tr = Observe.trace o in
+               if Sim.Trace.enabled tr then
+                 Sim.Trace.event tr ~at:(Sim.Engine.now engine)
+                   ~id:(Tcp.Socket.label e.csock)
+                   (Sim.Trace.Shard_enqueued
+                      { shard; depth = sh_issued.(shard) - sh_done.(shard) })
+             | None -> ());
           Kv.Client.request e.client cmd ~on_complete:e.on_complete
         end
       in
@@ -585,21 +763,22 @@ let run (cfg : config) =
           ~all_socks:(all_client_socks @ all_server_socks)
           ()
       in
-      List.iter (fun s -> List.iter (fun e -> e.egroup <- Some g) s.entries) states;
+      List.iter (fun s -> iter_entries s ~f:(fun e -> e.egroup <- Some g)) states;
       [ ("fleet", None, g) ]
     | Per_tenant ->
       List.mapi
         (fun i s ->
+          let es = entries_list s in
           let g =
             Control.attach ?ledger:(ledger_for s.spec.name) ~engine ~until:total
               ~rng:(Sim.Rng.split rng) ~fault_armed:false ~batching:s.mode
-              ~client_socks:(List.map (fun e -> e.csock) s.entries)
+              ~client_socks:(List.map (fun e -> e.csock) es)
               ~all_socks:
-                (List.map (fun e -> e.csock) s.entries
-                @ List.map (fun e -> e.ssock) s.entries)
+                (List.map (fun e -> e.csock) es
+                @ List.map (fun e -> e.ssock) es)
               ()
           in
-          List.iter (fun e -> e.egroup <- Some g) s.entries;
+          List.iter (fun e -> e.egroup <- Some g) es;
           (s.spec.name, Some i, g))
         states
     | Per_conn ->
@@ -618,7 +797,7 @@ let run (cfg : config) =
                  in
                  e.egroup <- Some g;
                  (Tcp.Socket.label e.csock, Some i, g))
-               s.entries)
+               (entries_list s))
            states)
   in
   (* Connection churn: spawn and retire connections while the run is
@@ -637,13 +816,20 @@ let run (cfg : config) =
     match groups with (_, _, g) :: _ -> Some g | [] -> None
   in
   let sibling_group s =
-    List.find_map (fun e -> if e.retired then None else e.egroup) s.entries
+    fold_entries s ~init:None ~f:(fun acc e ->
+        match acc with
+        | Some _ -> acc
+        | None -> if e.retired then None else e.egroup)
   in
   let spawn_one i s crng =
     let t = s.spec in
-    let idx = List.length s.entries in
+    let idx = Shard.Flat.live s.entries in
     let gen = s.next_gen in
     s.next_gen <- gen + 1;
+    (* Churn arrivals go through the same front LB as run-start
+       connections (rng-free, so churn streams stay untouched). *)
+    let shard = assign_shard (Printf.sprintf "%s/c%d" t.name idx) in
+    let suffix = if cores = 1 then "" else Printf.sprintf "@s%d" shard in
     let hp = host ~nagle:(Control.initial_nagle s.mode) in
     let hp =
       { hp with
@@ -652,14 +838,16 @@ let run (cfg : config) =
     in
     let conn =
       Tcp.Conn.create engine ~a:hp ~b:hp ~link_ab:t.link ~link_ba:t.link
-        ~cpu_a:s.client_irq ~cpu_b:server_irq
-        ~label_a:(Printf.sprintf "%s/c%d" t.name idx)
-        ~label_b:(Printf.sprintf "%s/s%d" t.name idx)
+        ~cpu_a:s.client_irq ~cpu_b:(Shard.Pool.irq pool shard)
+        ~label_a:(Printf.sprintf "%s/c%d%s" t.name idx suffix)
+        ~label_b:(Printf.sprintf "%s/s%d%s" t.name idx suffix)
         ()
     in
     let csock = Tcp.Conn.sock_a conn in
     let ssock = Tcp.Conn.sock_b conn in
-    ignore (Kv.Server.create engine ~cpu:server_cpu ~socket:ssock ~store:s.store cfg.server);
+    ignore
+      (Kv.Server.create engine ~cpu:(Shard.Pool.cpu pool shard) ~socket:ssock
+         ~store:s.store cfg.server);
     let client_cfg =
       { cfg.client with
         Kv.Client.cpu_multiplier = cfg.client.Kv.Client.cpu_multiplier *. t.cpu_multiplier
@@ -689,9 +877,17 @@ let run (cfg : config) =
     | None -> ());
     let inherited = cfg.cold_start_inherit in
     if inherited then E2e.Estimator.set_cold_start (Tcp.Socket.estimator csock);
+    (match obs with
+    | Some o when cores > 1 ->
+      let tr = Observe.trace o in
+      if Sim.Trace.enabled tr then
+        Sim.Trace.event tr ~at ~id:label
+          (Sim.Trace.Lb_assigned { shard; policy = lb_policy_name })
+    | Some _ | None -> ());
     let entry =
       {
         gen;
+        shard;
         client;
         csock;
         ssock;
@@ -738,7 +934,7 @@ let run (cfg : config) =
           Tcp.Socket.set_nagle_enabled csock en;
           Tcp.Socket.set_nagle_enabled ssock en
         | None -> ()));
-    s.entries <- s.entries @ [ entry ];
+    ignore (Shard.Flat.alloc s.entries entry);
     s.opened_mid <- s.opened_mid + 1;
     wire_entry s entry;
     rebuild_rotation s;
@@ -760,6 +956,7 @@ let run (cfg : config) =
         | None -> ());
         e.retired <- true;
         s.closed_mid <- s.closed_mid + 1;
+        if cores > 1 then Shard.Lb.release lb ~shard:e.shard;
         (match obs with
         | Some o ->
           Sim.Trace.event (Observe.trace o) ~at:(Sim.Engine.now engine) ~id:label
@@ -845,20 +1042,20 @@ let run (cfg : config) =
          let at = Sim.Engine.now engine in
          List.iter
            (fun s ->
-             List.iter
-               (fun e ->
+             iter_entries s ~f:(fun e ->
                  if not e.retired then
                    ignore
-                     (E2e.Estimator.estimate (Tcp.Socket.estimator e.csock) ~at))
-               s.entries)
+                     (E2e.Estimator.estimate (Tcp.Socket.estimator e.csock) ~at)))
            states;
          (match obs with
          | Some o -> Sim.Audit.reset_window (Observe.audit o) ~at
          | None -> ());
          baseline :=
            Some
-             ( Sim.Cpu.busy_ns server_cpu,
-               Sim.Cpu.busy_ns server_irq,
+             ( Array.init cores (fun k ->
+                   Sim.Cpu.busy_ns (Shard.Pool.cpu pool k)),
+               Array.init cores (fun k ->
+                   Sim.Cpu.busy_ns (Shard.Pool.irq pool k)),
                List.map (fun s -> Sim.Cpu.busy_ns s.client_cpu) states )));
   Sim.Engine.run_until engine total;
   let at = Sim.Engine.now engine in
@@ -878,7 +1075,27 @@ let run (cfg : config) =
                rel_err = r.rel_err;
              }))
       reports);
-  let b_server_app, b_server_irq, b_clients =
+  (* Re-emit the tenant-per-shard SLO declarations at run end: the
+     trace is a drop-oldest ring, and on 10k+-connection fleets the
+     start-of-run breadcrumbs are long evicted by completion events.
+     The [slo] reader is order-independent, so the newest copy is as
+     good as the first. *)
+  (match obs with
+  | Some o when cores > 1 ->
+    let tr = Observe.trace o in
+    if Sim.Trace.enabled tr then
+      List.iter
+        (fun s ->
+          for k = 0 to cores - 1 do
+            Sim.Trace.event tr ~at
+              ~id:(Printf.sprintf "%s/client@s%d" s.spec.name k)
+              (Sim.Trace.Message
+                 { tag = "slo_declared";
+                   detail = Printf.sprintf "%.17g" s.spec.slo_us })
+          done)
+        states
+  | Some _ | None -> ());
+  let b_sh_app, b_sh_irq, b_clients =
     match !baseline with
     | Some b -> b
     | None -> failwith "fleet: warmup sample never fired"
@@ -919,7 +1136,7 @@ let run (cfg : config) =
       (fun i s ->
         let completed = Recorder.count s.recorder in
         let est_us, est_tput = tenant_estimate i s in
-        let clients = List.map (fun e -> e.client) s.entries in
+        let clients = List.map (fun e -> e.client) (entries_list s) in
         let issued = List.fold_left (fun acc c -> acc + Kv.Client.issued c) 0 clients in
         let outstanding =
           List.fold_left (fun acc c -> acc + Kv.Client.outstanding c) 0 clients
@@ -942,9 +1159,8 @@ let run (cfg : config) =
           t_client_app_util =
             util (Sim.Cpu.busy_ns s.client_cpu) (List.nth b_clients i);
           t_nagle_toggles =
-            List.fold_left
-              (fun acc e -> acc + Tcp.Nagle.toggles (Tcp.Socket.nagle e.csock))
-              0 s.entries;
+            fold_entries s ~init:0 ~f:(fun acc e ->
+                acc + Tcp.Nagle.toggles (Tcp.Socket.nagle e.csock));
           t_conns_opened = s.opened_mid;
           t_conns_closed = s.closed_mid;
         })
@@ -955,15 +1171,53 @@ let run (cfg : config) =
   let goodput =
     List.map (fun r -> r.t_achieved_rps /. r.t_offered_rps) tenant_results
   in
+  (* Per-shard accounting: fold every tenant's entries (live and
+     retired alike) bucketed by the shard each connection was steered
+     to, so t_issued = t_completed_total + t_outstanding_end closes
+     per shard exactly as it does per tenant. *)
+  let shard_results =
+    List.init cores (fun k ->
+        let conns, issued, completed_total, outstanding =
+          List.fold_left
+            (fun acc s ->
+              fold_entries s ~init:acc ~f:(fun (n, iss, ct, out) e ->
+                  if e.shard = k then
+                    ( n + 1,
+                      iss + Kv.Client.issued e.client,
+                      ct + Kv.Client.completed e.client,
+                      out + Kv.Client.outstanding e.client )
+                  else (n, iss, ct, out)))
+            (0, 0, 0, 0) states
+        in
+        let rec_k = sh_recorders.(k) in
+        {
+          sh_index = k;
+          sh_conns = conns;
+          sh_issued = issued;
+          sh_completed_total = completed_total;
+          sh_outstanding_end = outstanding;
+          sh_completed = Recorder.count rec_k;
+          sh_achieved_rps = float_of_int (Recorder.count rec_k) /. duration_s;
+          sh_mean_us = Recorder.mean_us rec_k;
+          sh_p99_us = Recorder.p99_us rec_k;
+          sh_app_util =
+            util (Sim.Cpu.busy_ns (Shard.Pool.cpu pool k)) b_sh_app.(k);
+          sh_irq_util =
+            util (Sim.Cpu.busy_ns (Shard.Pool.irq pool k)) b_sh_irq.(k);
+        })
+  in
   {
     tenants = tenant_results;
+    shards = shard_results;
     fleet_achieved_rps = float_of_int (Recorder.count fleet_recorder) /. duration_s;
     fleet_mean_us = Recorder.mean_us fleet_recorder;
     fleet_p99_us = Recorder.p99_us fleet_recorder;
     goodput_max_min_ratio = E2e.Aggregate.max_min_ratio goodput;
     goodput_jain = E2e.Aggregate.jain goodput;
-    server_app_util = util (Sim.Cpu.busy_ns server_cpu) b_server_app;
-    server_irq_util = util (Sim.Cpu.busy_ns server_irq) b_server_irq;
+    server_app_util =
+      List.fold_left (fun acc r -> acc +. r.sh_app_util) 0.0 shard_results;
+    server_irq_util =
+      List.fold_left (fun acc r -> acc +. r.sh_irq_util) 0.0 shard_results;
     final_modes =
       List.filter_map
         (fun (gid, _, ctrl) ->

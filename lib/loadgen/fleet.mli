@@ -106,6 +106,15 @@ type config = {
           is the ablation that makes them re-explore from scratch —
           the chaos churn cells assert it breaks re-convergence
           bounds.  Default [true]. *)
+  cores : int;
+      (** server shards (simulated cores), each with a private run
+          queue, app CPU and irq CPU.  [cores = 1] is the unsharded
+          tier and runs bit-identical to the pre-sharding code.
+          Default 1. *)
+  lb : Shard.Lb.policy;
+      (** front load-balancer policy steering new connections onto
+          shards.  Ignored when [cores = 1].  Default
+          [Consistent_hash]. *)
   tenants : tenant list;
 }
 
@@ -140,16 +149,35 @@ type tenant_result = {
   t_conns_closed : int;  (** connections drained, FINed and closed *)
 }
 
+type shard_result = {
+  sh_index : int;
+  sh_conns : int;  (** connections ever steered here, departed included *)
+  sh_issued : int;  (** lifetime, warmup included *)
+  sh_completed_total : int;  (** lifetime completions, warmup included *)
+  sh_outstanding_end : int;
+      (** per-shard liveness closure:
+          [sh_issued = sh_completed_total + sh_outstanding_end] *)
+  sh_completed : int;  (** completions inside the measured window *)
+  sh_achieved_rps : float;
+  sh_mean_us : float;
+  sh_p99_us : float;
+  sh_app_util : float;
+  sh_irq_util : float;
+}
+
 type result = {
   tenants : tenant_result list;  (** in [config.tenants] order *)
+  shards : shard_result list;
+      (** one per shard in index order; a single element when
+          [cores = 1] *)
   fleet_achieved_rps : float;
   fleet_mean_us : float;
   fleet_p99_us : float;
   goodput_max_min_ratio : float option;
       (** max/min of per-tenant achieved/offered; 1.0 is perfectly fair *)
   goodput_jain : float option;  (** Jain's index over the same fractions *)
-  server_app_util : float;
-  server_irq_util : float;
+  server_app_util : float;  (** summed across shards *)
+  server_irq_util : float;  (** summed across shards *)
   final_modes : (string * E2e.Toggler.mode) list;
       (** final mode per dynamic control group (churn-spawned groups
           included): group ids are ["fleet"], tenant names, or

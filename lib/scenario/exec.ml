@@ -75,6 +75,8 @@ let to_fleet (s : Spec.t) : Fleet.config =
     duration = span_of_ms s.duration_ms;
     scope = s.scope;
     batching = to_batching s.batching;
+    cores = s.cores;
+    lb = s.lb;
   }
 
 let run ?observe s =

@@ -85,6 +85,8 @@ type t = {
   duration_ms : float;
   scope : scope;
   batching : batching;
+  cores : int;
+  lb : Shard.Lb.policy;
   tenants : tenant list;
 }
 
@@ -95,6 +97,8 @@ let default =
     duration_ms = 400.0;
     scope = Global;
     batching = Off;
+    cores = 1;
+    lb = Shard.Lb.Consistent_hash;
     tenants = [];
   }
 
@@ -129,7 +133,9 @@ let assoc_all toks =
 
 let known keys pairs =
   match List.find_opt (fun (k, _) -> not (List.mem k keys)) pairs with
-  | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
+  | Some (k, _) ->
+    Error
+      (Printf.sprintf "unknown key %S (accepted: %s)" k (String.concat ", " keys))
   | None -> Ok pairs
 
 let float_of pairs key ~default =
@@ -189,6 +195,25 @@ let parse_fleet spec pairs =
   let* batching = batching_of pairs ~default:spec.batching in
   if warmup_ms < 0.0 then Error (Printf.sprintf "warmup_ms=%g must be >= 0" warmup_ms)
   else Ok { spec with seed; warmup_ms; duration_ms; scope; batching }
+
+(* The server tier: how many shards (simulated cores) and which
+   front-LB policy steers connections onto them. *)
+let parse_server spec pairs =
+  let* pairs = known [ "cores"; "lb" ] pairs in
+  let* cores = int_of pairs "cores" ~default:spec.cores in
+  let* lb =
+    match List.assoc_opt "lb" pairs with
+    | None -> Ok spec.lb
+    | Some v -> (
+      match Shard.Lb.policy_of_string v with
+      | Some p -> Ok p
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown lb %S (want consistent_hash|least_loaded|round_robin)" v))
+  in
+  if cores < 1 then Error (Printf.sprintf "cores=%d must be >= 1" cores)
+  else Ok { spec with cores; lb }
 
 let valid_name name =
   name <> ""
@@ -390,8 +415,10 @@ let parse_directive spec toks =
     let* pairs = assoc_all rest in
     match verb with
     | "fleet" -> parse_fleet spec pairs
+    | "server" -> parse_server spec pairs
     | "tenant" -> parse_tenant spec pairs
-    | verb -> Error (Printf.sprintf "unknown directive %S (want fleet|tenant)" verb))
+    | verb ->
+      Error (Printf.sprintf "unknown directive %S (want fleet|server|tenant)" verb))
 
 let of_string text =
   let lines = String.split_on_char '\n' text in
@@ -453,6 +480,9 @@ let pp ppf t =
     t.seed t.warmup_ms t.duration_ms
     (Loadgen.Fleet.scope_label t.scope)
     pp_batching t.batching;
+  if t.cores <> 1 || t.lb <> Shard.Lb.Consistent_hash then
+    Format.fprintf ppf "server cores=%d lb=%s@\n" t.cores
+      (Shard.Lb.policy_to_string t.lb);
   List.iter
     (fun tn ->
       Format.fprintf ppf

@@ -103,12 +103,15 @@ type t = {
   duration_ms : float;
   scope : scope;
   batching : batching;  (** the fleet-wide group's mode under [Global] *)
+  cores : int;  (** server shards; the [server cores=M] directive *)
+  lb : Shard.Lb.policy;  (** front-LB policy; the [server lb=...] key *)
   tenants : tenant list;  (** in declaration order *)
 }
 
 val default : t
-(** Seed 42, 100 ms warmup, 400 ms measured, [Global] scope, [Off] —
-    and no tenants, so it does not parse back until one is added. *)
+(** Seed 42, 100 ms warmup, 400 ms measured, [Global] scope, [Off],
+    1 core behind a consistent-hash LB — and no tenants, so it does
+    not parse back until one is added. *)
 
 val of_string : string -> (t, string) result
 val of_file : string -> (t, string) result

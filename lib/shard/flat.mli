@@ -1,0 +1,50 @@
+(** Index-addressed growable slot pool with a free list.
+
+    Per-connection hot state for 10^5+-connection fleets lives here
+    as flat arrays addressed by [int] handles, not records chained
+    through lists: alloc and free reuse dead slots (LIFO) and never
+    allocate once the pool has grown to its high-water mark, so the
+    GC scans one flat array instead of a million list cells.
+
+    Handles are dense small ints.  A freed handle may be reissued by
+    a later {!alloc}; the pool never hands out a handle that aliases
+    a currently-live slot.  Iteration visits live slots in ascending
+    index order, which is stable across {!free}s of other slots and
+    across internal growth. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty pool.  [dummy] fills dead
+    slots so freed payloads don't leak through the backing array;
+    it is never returned by {!get}.  [capacity] (default 16) is the
+    initial backing-array size; the pool doubles as needed. *)
+
+val alloc : 'a t -> 'a -> int
+(** [alloc t v] stores [v] in a dead slot (reusing the most recently
+    freed index if any) and returns its handle. *)
+
+val free : 'a t -> int -> unit
+(** [free t i] kills slot [i] and recycles its index.
+    @raise Invalid_argument if [i] is not live. *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if the slot is not live. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if the slot is not live. *)
+
+val in_use : 'a t -> int -> bool
+(** [in_use t i] is [true] iff [i] is a live handle. *)
+
+val live : 'a t -> int
+(** Number of live slots. *)
+
+val capacity : 'a t -> int
+(** Current backing-array size (>= [live t]). *)
+
+val iter : 'a t -> f:(int -> 'a -> unit) -> unit
+(** Visit live slots in ascending index order. *)
+
+val fold : 'a t -> init:'acc -> f:('acc -> int -> 'a -> 'acc) -> 'acc
+(** Fold over live slots in ascending index order. *)

@@ -1,0 +1,97 @@
+(* Front load balancer: picks the backend shard for each new
+   connection.  All three policies are deterministic and rng-free —
+   hashes and counters only — so sharded runs reproduce bit-for-bit
+   without consuming any simulation random stream.
+
+   [Consistent_hash] hashes keys onto a ring of 8 virtual nodes per
+   shard.  Eight vnodes is deliberately few: the ring is lumpy, so a
+   tenant whose connections share a key prefix can land clustered on
+   one shard — the hot-shard failure mode the [least_loaded] policy
+   exists to avoid, and the one the hot-shard bench demonstrates.
+   The payoff is stability: adding a shard moves only the keys that
+   fall into the new shard's arcs (~K/M of them), which the steering
+   property test pins. *)
+
+type policy = Round_robin | Consistent_hash | Least_loaded
+
+let policy_to_string = function
+  | Round_robin -> "round_robin"
+  | Consistent_hash -> "consistent_hash"
+  | Least_loaded -> "least_loaded"
+
+let policy_of_string = function
+  | "round_robin" -> Some Round_robin
+  | "consistent_hash" -> Some Consistent_hash
+  | "least_loaded" -> Some Least_loaded
+  | _ -> None
+
+let vnodes_per_shard = 8
+
+type t = {
+  policy : policy;
+  shards : int;
+  loads : int array;  (* live connections assigned per shard *)
+  mutable rr_next : int;
+  ring : (int * int) array;  (* (point, shard), sorted by point *)
+}
+
+let ring_points ~shards =
+  let pts =
+    Array.init (shards * vnodes_per_shard) (fun i ->
+        let s = i / vnodes_per_shard and v = i mod vnodes_per_shard in
+        (Steer.hash (Printf.sprintf "shard-%d/vnode-%d" s v), s))
+  in
+  Array.sort compare pts;
+  pts
+
+let create ~policy ~shards =
+  if shards < 1 then invalid_arg "Shard.Lb.create: shards must be >= 1";
+  {
+    policy;
+    shards;
+    loads = Array.make shards 0;
+    rr_next = 0;
+    ring = (match policy with Consistent_hash -> ring_points ~shards | _ -> [||]);
+  }
+
+let policy t = t.policy
+let shards t = t.shards
+let load t s = t.loads.(s)
+let loads t = Array.copy t.loads
+
+(* First ring point with point >= h, wrapping to ring.(0). *)
+let ring_successor ring h =
+  let n = Array.length ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst ring.(mid) >= h then hi := mid else lo := mid + 1
+  done;
+  snd ring.(if !lo = n then 0 else !lo)
+
+let pick t ~key =
+  match t.policy with
+  | Round_robin ->
+    let s = t.rr_next in
+    t.rr_next <- (t.rr_next + 1) mod t.shards;
+    s
+  | Consistent_hash -> ring_successor t.ring (Steer.hash key)
+  | Least_loaded ->
+    (* argmin over live loads; ties break to the lowest index so the
+       choice is deterministic. *)
+    let best = ref 0 in
+    for s = 1 to t.shards - 1 do
+      if t.loads.(s) < t.loads.(!best) then best := s
+    done;
+    !best
+
+let assign t ~key =
+  let s = pick t ~key in
+  t.loads.(s) <- t.loads.(s) + 1;
+  s
+
+let release t ~shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Shard.Lb.release: shard out of range";
+  if t.loads.(shard) <= 0 then invalid_arg "Shard.Lb.release: shard has no load";
+  t.loads.(shard) <- t.loads.(shard) - 1

@@ -1,0 +1,46 @@
+(** Front load balancer: assigns connections to backend shards.
+
+    All policies are deterministic and rng-free (hashes and counters
+    only), so sharded runs reproduce bit-for-bit without consuming
+    any simulation random stream:
+
+    - [Round_robin] — cycle through shards in assignment order.
+    - [Consistent_hash] — hash the key onto a ring of 8 virtual
+      nodes per shard.  Few vnodes means a lumpy ring: correlated
+      keys can cluster on one shard (the hot-shard failure mode),
+      but adding a shard moves only ~K/M keys.
+    - [Least_loaded] — argmin over live assigned counts, ties to the
+      lowest shard index. *)
+
+type policy = Round_robin | Consistent_hash | Least_loaded
+
+val policy_to_string : policy -> string
+(** ["round_robin"] / ["consistent_hash"] / ["least_loaded"] — the
+    spelling the scenario grammar and trace events use. *)
+
+val policy_of_string : string -> policy option
+
+type t
+
+val create : policy:policy -> shards:int -> t
+(** @raise Invalid_argument if [shards < 1]. *)
+
+val policy : t -> policy
+val shards : t -> int
+
+val assign : t -> key:string -> int
+(** Pick a shard for a new connection keyed by [key] (the
+    connection's label) and count it against that shard's load. *)
+
+val release : t -> shard:int -> unit
+(** Drop one connection from [shard]'s live load (connection
+    retired).  @raise Invalid_argument if the shard has no load. *)
+
+val load : t -> int -> int
+(** Live connections currently assigned to a shard. *)
+
+val loads : t -> int array
+(** Per-shard live loads, copied. *)
+
+val vnodes_per_shard : int
+(** Ring density of [Consistent_hash] (8). *)

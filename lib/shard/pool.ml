@@ -1,0 +1,29 @@
+(* The M-shard server tier: one simulated core per shard, each with
+   its own app CPU (run queue) and irq CPU (network softirq), so one
+   shard's queueing never leaks into another's.
+
+   Creation order is load-bearing for determinism: shard 0's app CPU
+   first, then its irq CPU, then shard 1's pair, and so on.  With
+   [cores = 1] this is exactly the pre-sharding creation order
+   (server_cpu then server_irq), which keeps single-shard runs
+   bit-identical to the unsharded code. *)
+
+type shard = { index : int; cpu : Sim.Cpu.t; irq : Sim.Cpu.t }
+
+type t = { shards : shard array }
+
+let create engine ~cores =
+  if cores < 1 then invalid_arg "Shard.Pool.create: cores must be >= 1";
+  {
+    shards =
+      Array.init cores (fun index ->
+          let cpu = Sim.Cpu.create engine in
+          let irq = Sim.Cpu.create engine in
+          { index; cpu; irq });
+  }
+
+let cores t = Array.length t.shards
+let shard t i = t.shards.(i)
+let cpu t i = t.shards.(i).cpu
+let irq t i = t.shards.(i).irq
+let iter t ~f = Array.iter f t.shards

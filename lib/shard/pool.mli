@@ -1,0 +1,20 @@
+(** The M-shard server tier: one simulated core per shard, each with
+    a private app CPU (the shard's run queue) and irq CPU (its
+    network softirq side), so shards queue independently.
+
+    CPUs are created in shard order, app before irq within a shard.
+    With [cores = 1] that is exactly the pre-sharding creation order,
+    which keeps single-shard runs bit-identical to unsharded ones. *)
+
+type shard = { index : int; cpu : Sim.Cpu.t; irq : Sim.Cpu.t }
+
+type t
+
+val create : Sim.Engine.t -> cores:int -> t
+(** @raise Invalid_argument if [cores < 1]. *)
+
+val cores : t -> int
+val shard : t -> int -> shard
+val cpu : t -> int -> Sim.Cpu.t
+val irq : t -> int -> Sim.Cpu.t
+val iter : t -> f:(shard -> unit) -> unit

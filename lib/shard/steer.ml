@@ -1,0 +1,68 @@
+(* RSS-style flow steering: hash the connection id into a small
+   indirection table whose entries name shards.  Real NICs do exactly
+   this (Toeplitz hash -> 128/256-entry table -> queue); the
+   indirection level is what makes repinning cheap — rewrite table
+   entries, don't rehash flows.
+
+   Individual flows can additionally be repinned by an explicit
+   override table.  The hot lookup keeps the no-override case pure
+   int arithmetic over flat arrays (no allocation — guarded by the
+   [shard.steer_disabled] probe in [make alloc-gate]); the override
+   hashtable is only consulted once at least one repin exists. *)
+
+let table_size = 256
+
+type t = {
+  shards : int;
+  table : int array;  (* table_size entries, each a shard index *)
+  overrides : (string, int) Hashtbl.t;
+  mutable n_overrides : int;
+}
+
+(* FNV-1a over the bytes of the id: deterministic, seedless, good
+   enough dispersion for flow steering and cheap to compute. *)
+let hash (s : string) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193;
+    h := !h land 0x3FFFFFFF
+  done;
+  !h
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard.Steer.create: shards must be >= 1";
+  {
+    shards;
+    table = Array.init table_size (fun i -> i mod shards);
+    overrides = Hashtbl.create 16;
+    n_overrides = 0;
+  }
+
+let shards t = t.shards
+
+let lookup t id =
+  if t.n_overrides > 0 then
+    match Hashtbl.find_opt t.overrides id with
+    | Some s -> s
+    | None -> t.table.(hash id land (table_size - 1))
+  else t.table.(hash id land (table_size - 1))
+
+let repin t id ~shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Shard.Steer.repin: shard out of range";
+  if not (Hashtbl.mem t.overrides id) then
+    t.n_overrides <- t.n_overrides + 1;
+  Hashtbl.replace t.overrides id shard
+
+let unpin t id =
+  if Hashtbl.mem t.overrides id then begin
+    Hashtbl.remove t.overrides id;
+    t.n_overrides <- t.n_overrides - 1
+  end
+
+let retable t ~entry ~shard =
+  if entry < 0 || entry >= table_size then
+    invalid_arg "Shard.Steer.retable: entry out of range";
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Shard.Steer.retable: shard out of range";
+  t.table.(entry) <- shard

@@ -1,0 +1,41 @@
+(** RSS-style flow steering.
+
+    Flows hash (FNV-1a over the connection id) into a fixed 256-entry
+    indirection table whose entries name shards — the same structure
+    NIC receive-side scaling uses, so rebalancing means rewriting
+    table entries rather than rehashing flows.  Individual flows can
+    be repinned by an explicit override table; when no overrides
+    exist the lookup is pure int arithmetic over flat arrays and
+    allocates nothing (guarded by the [shard.steer_disabled] probe in
+    [make alloc-gate]). *)
+
+type t
+
+val create : shards:int -> t
+(** A steering table dispersing flows round-robin over [shards]
+    table entries.  @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+
+val lookup : t -> string -> int
+(** [lookup t id] is the shard for flow [id]: its override if
+    repinned, else the indirection-table entry its hash selects.
+    Deterministic — same id, same table, same shard. *)
+
+val repin : t -> string -> shard:int -> unit
+(** Pin one flow to [shard], overriding the hash.
+    @raise Invalid_argument if [shard] is out of range. *)
+
+val unpin : t -> string -> unit
+(** Remove a flow's override (no-op if none). *)
+
+val retable : t -> entry:int -> shard:int -> unit
+(** Rewrite one indirection-table entry — the RSS rebalance
+    primitive.  @raise Invalid_argument on out-of-range values. *)
+
+val table_size : int
+(** Number of indirection-table entries (256). *)
+
+val hash : string -> int
+(** The steering hash (FNV-1a folded to 30 bits), exposed for
+    tests. *)

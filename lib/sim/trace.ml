@@ -68,6 +68,14 @@ type event =
       gen : int;
       completed : int;  (** requests completed over the connection's life *)
     }
+  | Lb_assigned of {
+      shard : int;  (** backend shard the load balancer picked *)
+      policy : string;  (** round_robin / consistent_hash / least_loaded *)
+    }
+  | Shard_enqueued of {
+      shard : int;
+      depth : int;  (** shard dispatch-queue depth after this enqueue *)
+    }
 
 type record = { at : Time.t; id : string; event : event }
 
@@ -149,6 +157,16 @@ let tenant_of_id id =
   | Some i when i > 0 -> Some (String.sub id 0 i)
   | Some _ | None -> None
 
+(* Sharded fleet runs suffix ids with the backend shard: ["bare/c0@s3"].
+   Single-shard runs keep the unsuffixed labels, so pre-sharding traces
+   simply have no shard. *)
+let shard_of_id id =
+  match String.rindex_opt id '@' with
+  | Some i
+    when i + 2 < String.length id && id.[i + 1] = 's' ->
+      int_of_string_opt (String.sub id (i + 2) (String.length id - i - 2))
+  | Some _ | None -> None
+
 let tag r =
   match r.event with
   | Segment_sent { retx = true; _ } -> "retx"
@@ -182,6 +200,8 @@ let tag r =
   | Decision_outcome _ -> "outcome"
   | Conn_opened _ -> "conn_open"
   | Conn_closed _ -> "conn_close"
+  | Lb_assigned _ -> "lb_assign"
+  | Shard_enqueued _ -> "shard_enq"
 
 let detail r =
   match r.event with
@@ -240,6 +260,10 @@ let detail r =
       Printf.sprintf "gen=%d%s" gen (if inherited then " INHERITED" else "")
   | Conn_closed { gen; completed } ->
       Printf.sprintf "gen=%d completed=%d" gen completed
+  | Lb_assigned { shard; policy } ->
+      Printf.sprintf "shard=%d policy=%s" shard policy
+  | Shard_enqueued { shard; depth } ->
+      Printf.sprintf "shard=%d depth=%d" shard depth
 
 let find t ~tag:wanted =
   List.rev
@@ -432,7 +456,15 @@ let record_to_json ?run r =
   | Conn_closed { gen; completed } ->
       add_str b "ev" "conn_close";
       add_int b "gen" gen;
-      add_int b "completed" completed);
+      add_int b "completed" completed
+  | Lb_assigned { shard; policy } ->
+      add_str b "ev" "lb_assign";
+      add_int b "shard" shard;
+      add_str b "policy" policy
+  | Shard_enqueued { shard; depth } ->
+      add_str b "ev" "shard_enq";
+      add_int b "shard" shard;
+      add_int b "depth" depth);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -598,7 +630,12 @@ let bool_field fields key =
 
 let ( let* ) = Result.bind
 
-let record_of_json line =
+(* Raised (internally) by the event decoder when the ["ev"] tag has no
+   case: the line is well-formed JSONL from a newer writer, not
+   garbage, and forward-compat readers may skip it. *)
+exception Unknown_ev of string
+
+let record_of_json_ext line =
   let* fields = parse_flat_object line in
   let* at_ns = int_field fields "at_ns" in
   let* ev = str fields "ev" in
@@ -747,15 +784,34 @@ let record_of_json line =
         let* gen = int_field fields "gen" in
         let* completed = int_field fields "completed" in
         Ok (Conn_closed { gen; completed })
-    | other -> Error (Printf.sprintf "unknown event type %S" other)
+    | "lb_assign" ->
+        let* shard = int_field fields "shard" in
+        let* policy = str fields "policy" in
+        Ok (Lb_assigned { shard; policy })
+    | "shard_enq" ->
+        let* shard = int_field fields "shard" in
+        let* depth = int_field fields "depth" in
+        Ok (Shard_enqueued { shard; depth })
+    | other -> raise (Unknown_ev other)
   in
   Ok (run, { at = at_ns; id; event })
+
+let record_of_json line =
+  match record_of_json_ext line with
+  | exception Unknown_ev other ->
+      Error (Printf.sprintf "unknown event type %S" other)
+  | r -> r
 
 (* Stream a JSONL trace file without materializing it.  Missing or
    unreadable files and malformed lines are reported as [Error] (with
    the offending line number) so callers can exit non-zero with one
-   clear message instead of silently doing nothing. *)
-let fold_jsonl path ~init ~f =
+   clear message instead of silently doing nothing.
+
+   [?unknown] opts into forward compatibility: well-formed lines whose
+   ["ev"] tag this reader has no case for (a newer writer's event
+   kinds) are skipped and reported to the callback instead of failing
+   the fold.  Malformed lines still fail either way. *)
+let fold_jsonl ?unknown path ~init ~f =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
@@ -767,8 +823,16 @@ let fold_jsonl path ~init ~f =
            let line = input_line ic in
            incr line_no;
            if String.trim line <> "" then
-             match record_of_json line with
+             match record_of_json_ext line with
              | Ok (run, r) -> acc := f !acc run r
+             | exception Unknown_ev ev -> (
+                 match unknown with
+                 | Some cb -> cb ev
+                 | None ->
+                     err :=
+                       Some
+                         (Printf.sprintf "%s: line %d: unknown event type %S"
+                            path !line_no ev))
              | Error msg ->
                  err := Some (Printf.sprintf "%s: line %d: %s" path !line_no msg)
          done
@@ -820,9 +884,16 @@ module Binary = struct
   let footer_magic = "e2ebtrcF"
 
   (* v2 added kinds 26/27 (Decision_made / Decision_outcome) and flag
-     bit 2; v3 added kinds 28/29 (Conn_opened / Conn_closed).  v1 and
-     v2 files remain readable. *)
-  let version = 3
+     bit 2; v3 added kinds 28/29 (Conn_opened / Conn_closed); v4 added
+     kinds 30/31 (Lb_assigned / Shard_enqueued).  v1..v3 files remain
+     readable.
+
+     Forward compatibility from v4 on: writers of any later version
+     must encode kinds unknown to this reader with an explicit u16
+     payload-length field immediately after the 12-byte record prefix
+     (known kinds keep their fixed layouts), so a v4 reader given an
+     [?unknown] callback can skip newer records instead of failing. *)
+  let version = 4
   let min_read_version = 1
   let header_len = 16
   let footer_len = 32
@@ -864,6 +935,8 @@ module Binary = struct
     | Decision_outcome _ -> 27
     | Conn_opened _ -> 28
     | Conn_closed _ -> 29
+    | Lb_assigned _ -> 30
+    | Shard_enqueued _ -> 31
 
   (* Payload size in bytes for a (kind, wide) pair; the prefix (4B) and
      the optional run ref (2B) are accounted for separately.  [num] is
@@ -893,6 +966,8 @@ module Binary = struct
     | 27 -> (2 * num) + 16 (* decision + n + mean/p99 f64 *)
     | 28 -> num (* gen; inherited in flag b0 *)
     | 29 -> 2 * num (* gen + completed *)
+    | 30 -> num + 4 (* shard + policy ref *)
+    | 31 -> 2 * num (* shard + depth *)
     | k -> invalid_arg (Printf.sprintf "Trace.Binary: unknown kind %d" k)
 
   let u32_ok v = v >= 0 && v <= 0xFFFF_FFFF
@@ -996,6 +1071,8 @@ module Binary = struct
       | Conn_opened { gen; inherited } ->
           ((if inherited then flag_b0 else 0), u32_ok gen)
       | Conn_closed { gen; completed } -> (0, u32_ok gen && u32_ok completed)
+      | Lb_assigned { shard; _ } -> (0, u32_ok shard)
+      | Shard_enqueued { shard; depth } -> (0, u32_ok shard && u32_ok depth)
       | Fin_received _ | Segment_reordered _ | Segment_duplicated _
       | Segment_challenged _ | Share_corrupted _ | Share_rejected _
       | Request_done _ | Audit_window _ | Message _ ->
@@ -1086,7 +1163,13 @@ module Binary = struct
     | Conn_opened { gen; inherited = _ } -> add_num b ~wide gen
     | Conn_closed { gen; completed } ->
         add_num b ~wide gen;
-        add_num b ~wide completed);
+        add_num b ~wide completed
+    | Lb_assigned { shard; policy } ->
+        add_num b ~wide shard;
+        add_u32 b (intern_str w policy)
+    | Shard_enqueued { shard; depth } ->
+        add_num b ~wide shard;
+        add_num b ~wide depth);
     (match run with
     | Some label -> Buffer.add_uint16_le b (intern_name w label)
     | None -> ());
@@ -1143,7 +1226,7 @@ module Binary = struct
         close_in ic;
         ok
 
-  let fold_file path ~init ~f =
+  let fold_file ?unknown path ~init ~f =
     match open_in_bin path with
     | exception Sys_error msg -> Error msg
     | ic -> (
@@ -1164,7 +1247,11 @@ module Binary = struct
             if Bytes.sub_string by 0 8 <> magic then corrupt "bad magic";
             let by = read 8 in
             let v = Bytes.get_uint16_le by 0 in
-            if v < min_read_version || v > version then
+            (* With an [?unknown] callback, files from newer writers are
+               acceptable: their new kinds carry explicit lengths (see
+               the version note above) and get skipped record by
+               record.  Without one, stay strict. *)
+            if v < min_read_version || (v > version && unknown = None) then
               corrupt "unsupported version %d" v;
             let hlen = Bytes.get_uint16_le by 2 in
             seek_in ic (size - footer_len);
@@ -1209,11 +1296,21 @@ module Binary = struct
               let id_ref = Bytes.get_uint16_le by 2 in
               let at = get_i64 by 4 in
               let wide = flags land flag_wide <> 0 in
-              let plen =
-                try payload_len kind ~wide
-                with Invalid_argument _ ->
-                  corrupt "record %d: unknown kind %d" rec_no kind
-              in
+              match
+                try Some (payload_len kind ~wide)
+                with Invalid_argument _ -> None
+              with
+              | None -> (
+                  match unknown with
+                  | Some cb ->
+                      (* Newer-writer record: skip its explicit-length
+                         payload and optional run ref, count it. *)
+                      let plen = Bytes.get_uint16_le (read 2) 0 in
+                      seek_in ic (pos_in ic + plen);
+                      if flags land flag_run <> 0 then ignore (read 2);
+                      cb (Printf.sprintf "kind %d" kind)
+                  | None -> corrupt "record %d: unknown kind %d" rec_no kind)
+              | Some plen ->
               let by = read plen in
               let num off = if wide then get_i64 by off else get_u32 by off in
               let nsz = if wide then 8 else 4 in
@@ -1313,6 +1410,9 @@ module Binary = struct
                       }
                 | 28 -> Conn_opened { gen = num 0; inherited = b0 }
                 | 29 -> Conn_closed { gen = num 0; completed = num nsz }
+                | 30 ->
+                    Lb_assigned { shard = num 0; policy = str (get_u32 by nsz) }
+                | 31 -> Shard_enqueued { shard = num 0; depth = num nsz }
                 | k -> corrupt "record %d: unknown kind %d" rec_no k
               in
               let run =
@@ -1337,6 +1437,6 @@ module Binary = struct
 end
 
 (* Fold over a trace file in either format, sniffing the binary magic. *)
-let fold_file path ~init ~f =
-  if Binary.is_binary path then Binary.fold_file path ~init ~f
-  else fold_jsonl path ~init ~f
+let fold_file ?unknown path ~init ~f =
+  if Binary.is_binary path then Binary.fold_file ?unknown path ~init ~f
+  else fold_jsonl ?unknown path ~init ~f

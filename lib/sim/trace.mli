@@ -125,6 +125,21 @@ type event =
       completed : int;  (** requests completed over the connection's life *)
     }
       (** A churned connection finished draining and closed (FIN). *)
+  | Lb_assigned of {
+      shard : int;  (** backend shard the front load balancer picked *)
+      policy : string;
+          (** ["round_robin"] / ["consistent_hash"] / ["least_loaded"] *)
+    }
+      (** The load balancer assigned this connection to a shard
+          (sharded fleets only, emitted at connection creation). *)
+  | Shard_enqueued of {
+      shard : int;
+      depth : int;
+          (** requests outstanding against the shard after this
+              enqueue — the shard dispatch-queue depth *)
+    }
+      (** A request was dispatched to a backend shard (sharded fleets
+          only). *)
 
 type record = { at : Time.t; id : string; event : event }
 (** [id] names the emitting connection/socket (e.g. ["c0"]). *)
@@ -185,6 +200,11 @@ val tenant_of_id : string -> string option
     connections ["<tenant>/c0"], so ["bare/c0"] maps to [Some "bare"]
     while the single-run ["c0"] convention maps to [None]. *)
 
+val shard_of_id : string -> int option
+(** Shard tag of an emitter id: sharded fleet runs suffix labels with
+    the backend shard, so ["bare/c0@s3"] maps to [Some 3] while
+    unsharded ids (["bare/c0"], ["c0"]) map to [None]. *)
+
 val tag : record -> string
 (** Short stable tag for the record's event ("tx", "rx", "ack", "hold",
     "toggle", "cork", "delack_fire", "delack_cancel", "fin", "retx",
@@ -213,12 +233,18 @@ val record_of_json : string -> (string option * record, string) result
     Returns [Error msg] on malformed input. *)
 
 val fold_jsonl :
+  ?unknown:(string -> unit) ->
   string -> init:'a -> f:('a -> string option -> record -> 'a) -> ('a, string) result
 (** Stream a JSONL trace file record by record, in file order, without
     materializing it — constant memory however large the file.
     Returns [Error] with a human-readable message when the file is
     missing or unreadable, or when any line fails to parse (with its
-    line number).  A file with no records folds to [Ok init]. *)
+    line number).  A file with no records folds to [Ok init].
+
+    [?unknown] opts into forward compatibility: a well-formed line
+    whose ["ev"] tag this reader has no case for (a newer writer's
+    event kind) is skipped and the callback invoked with the tag,
+    instead of failing the fold.  Malformed lines still [Error]. *)
 
 val load_jsonl : string -> ((string option * record) list, string) result
 (** Load every record of a JSONL trace file, in file order.  Returns
@@ -241,8 +267,13 @@ module Binary : sig
   (** First 8 bytes of every binary trace file. *)
 
   val version : int
-  (** Version written by new files (2).  The reader accepts versions 1
-      (pre-decision-ledger) through [version]. *)
+  (** Version written by new files (4).  The reader accepts versions 1
+      (pre-decision-ledger) through [version]; with [fold_file]'s
+      [?unknown] callback it also accepts newer versions, skipping
+      record kinds it cannot decode.  From v4 on, writers of later
+      versions must encode kinds unknown to v4 with an explicit u16
+      payload-length field right after the 12-byte record prefix so
+      older readers can skip them. *)
 
   type writer
 
@@ -265,15 +296,24 @@ module Binary : sig
   (** Sniff the file's first 8 bytes for the binary magic. *)
 
   val fold_file :
+    ?unknown:(string -> unit) ->
     string -> init:'a -> f:('a -> string option -> record -> 'a) -> ('a, string) result
   (** Stream a binary trace file record by record, in file order, with
       memory bounded by the interned string tables.  [Error] on
-      missing/unreadable/corrupt files. *)
+      missing/unreadable/corrupt files.
+
+      [?unknown] opts into forward compatibility: files written by
+      newer versions are accepted, and records of kinds this reader
+      cannot decode are skipped (via their explicit u16 payload
+      length), invoking the callback with ["kind <k>"].  Without it,
+      both hard-fail — exact tools like [convert] stay strict. *)
 
   val load_file : string -> ((string option * record) list, string) result
   (** Materialize a whole binary trace file, in file order. *)
 end
 
 val fold_file :
+  ?unknown:(string -> unit) ->
   string -> init:'a -> f:('a -> string option -> record -> 'a) -> ('a, string) result
-(** [fold_jsonl] or [Binary.fold_file], chosen by sniffing the magic. *)
+(** [fold_jsonl] or [Binary.fold_file], chosen by sniffing the magic;
+    [?unknown] passes through to either (forward-compat skip). *)

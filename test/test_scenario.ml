@@ -130,9 +130,14 @@ let gen_spec =
   let* duration_ms = oneofl [ 10.0; 62.5; 400.0 ] in
   let* scope = oneofl [ Spec.Global; Spec.Per_tenant; Spec.Per_conn ] in
   let* batching = gen_batching in
+  let* cores = oneofl [ 1; 2; 4 ] in
+  let* lb =
+    oneofl
+      [ Shard.Lb.Consistent_hash; Shard.Lb.Least_loaded; Shard.Lb.Round_robin ]
+  in
   let* n = 1 -- 4 in
   let* tenants = flatten_l (List.init n gen_tenant) in
-  return { Spec.seed; warmup_ms; duration_ms; scope; batching; tenants }
+  return { Spec.seed; warmup_ms; duration_ms; scope; batching; cores; lb; tenants }
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"grammar round-trip: of_string (to_string s) = s"
@@ -205,6 +210,9 @@ let test_rejects_malformed () =
       ("tenant name=a rate_rps=1000 churn_arrive_rps=-1\n", "negative churn rate");
       ("tenant name=a rate_rps=1000 churn_script=150:0\n", "zero script delta");
       ("tenant name=a rate_rps=1000 churn_script=150\n", "script pair without colon");
+      ("server cores=0\ntenant name=a rate_rps=1000\n", "zero cores");
+      ("server lb=fastest\ntenant name=a rate_rps=1000\n", "unknown lb policy");
+      ("server bogus=1\ntenant name=a rate_rps=1000\n", "unknown server key");
     ]
   in
   List.iter
@@ -213,6 +221,45 @@ let test_rejects_malformed () =
       | Ok _ -> Alcotest.failf "%s: expected rejection of %S" what text
       | Error _ -> ())
     cases
+
+let test_server_directive () =
+  let s =
+    parse_ok
+      "fleet seed=5\n\
+       server cores=4 lb=least_loaded\n\
+       tenant name=a rate_rps=1000\n"
+  in
+  Alcotest.(check int) "cores" 4 s.Spec.cores;
+  Alcotest.(check bool) "lb" true (s.Spec.lb = Shard.Lb.Least_loaded);
+  (* defaults when the directive is absent *)
+  let d = parse_ok "tenant name=a rate_rps=1000\n" in
+  Alcotest.(check int) "default cores" 1 d.Spec.cores;
+  Alcotest.(check bool) "default lb" true (d.Spec.lb = Shard.Lb.Consistent_hash)
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec find i = i + n <= m && (String.sub msg i n = needle || find (i + 1)) in
+  find 0
+
+(* Unknown-key rejections must name the offending key AND list the
+   accepted set, for every directive. *)
+let test_unknown_key_lists_accepted () =
+  let msg = parse_err "server bogus=1\ntenant name=a rate_rps=1000\n" in
+  Alcotest.(check bool) "names the key" true (contains msg "\"bogus\"");
+  Alcotest.(check bool) "lists accepted" true (contains msg "accepted:");
+  Alcotest.(check bool) "accepted set has cores" true (contains msg "cores");
+  Alcotest.(check bool) "accepted set has lb" true (contains msg "lb");
+  let msg = parse_err "fleet sede=1\ntenant name=a rate_rps=1000\n" in
+  Alcotest.(check bool) "fleet names the key" true (contains msg "\"sede\"");
+  Alcotest.(check bool) "fleet lists accepted" true (contains msg "accepted:");
+  Alcotest.(check bool) "fleet accepted set has seed" true (contains msg "seed");
+  let msg = parse_err "tenant name=a rate_rps=1000 conn=2\n" in
+  Alcotest.(check bool) "tenant names the key" true (contains msg "\"conn\"");
+  Alcotest.(check bool) "tenant accepted set has conns" true (contains msg "conns");
+  (* the directive list itself mentions server *)
+  let msg = parse_err "servor cores=4\ntenant name=a rate_rps=1000\n" in
+  Alcotest.(check bool) "unknown directive names it" true (contains msg "\"servor\"");
+  Alcotest.(check bool) "directive list has server" true (contains msg "server")
 
 let test_comments_and_whitespace () =
   let s =
@@ -395,6 +442,9 @@ let suite =
         Alcotest.test_case "duplicate tenant is line-numbered" `Quick
           test_duplicate_tenant_line_numbered;
         Alcotest.test_case "rejects malformed input" `Quick test_rejects_malformed;
+        Alcotest.test_case "server directive" `Quick test_server_directive;
+        Alcotest.test_case "unknown keys list the accepted set" `Quick
+          test_unknown_key_lists_accepted;
         Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
         QCheck_alcotest.to_alcotest prop_roundtrip;
       ] );
